@@ -1,0 +1,140 @@
+//! `adlb`: the Asynchronous Dynamic Load Balancing stack-buffer bug the
+//! paper's §II-B recounts — the bug that motivated MC-Checker.
+//!
+//! "An older version of the ADLB library ... used MPI_Put to transfer
+//! data from a stack variable in a function and returned from the
+//! function without waiting for the completion of that operation, since
+//! the epoch was closed later elsewhere in the program. This procedure
+//! worked correctly for several years ... since on most platforms small
+//! variables are copied into internal temporary communication buffers ...
+//! When the code was ported to the IBM Blue Gene/Q in early 2012 ... the
+//! function stack was overwritten by other functions, resulting in data
+//! corruption."
+//!
+//! The simulation gives each rank a fixed "stack slot" reused by every
+//! helper-function call: the first call puts from it and returns; the
+//! second call overwrites it while the put may still be in flight.
+//! `Eager` delivery (the internal-buffer copy) masks the bug exactly as
+//! pre-2012 MPICH did; `AtClose` (Blue Gene/Q) corrupts the transferred
+//! data. The checker flags the trace either way.
+
+use super::BugSpec;
+use mcc_mpi_sim::Proc;
+use mcc_types::{CommId, DatatypeId, WinId};
+
+/// Table II-style row for this extra case study.
+pub const SPEC: BugSpec = BugSpec {
+    name: "adlb",
+    nprocs: 2,
+    error_location: "within an epoch",
+    root_cause: "conflicting MPI_Put (from a stack variable) and local store (stack reuse)",
+    symptom: "corrupted work unit after platform change",
+    injected: false,
+};
+
+/// "Pushes" a work unit to the server by putting from the shared stack
+/// slot — the buggy helper returns with the put still pending.
+fn push_work(p: &mut Proc, stack_slot: u64, win: WinId, value: i32, slot_index: u64) {
+    p.set_func("push_work");
+    p.tstore_i32(stack_slot, value); // the "stack variable"
+    p.put(stack_slot, 1, DatatypeId::INT, 1, 4 * slot_index, 1, DatatypeId::INT, win);
+    // returns without waiting — "the epoch was closed later elsewhere"
+}
+
+fn body(p: &mut Proc, fixed: bool) -> (u64, WinId) {
+    p.set_func("adlb");
+    // The server (rank 1) exposes a work queue of two slots.
+    let queue = p.alloc_i32s(2);
+    let win = p.win_create(queue, 8, CommId::WORLD);
+    // One fixed address plays the role of the reused stack frame.
+    let stack_slot = p.alloc_i32s(1);
+    p.win_fence(win);
+    if p.rank() == 0 {
+        push_work(p, stack_slot, win, 111, 0);
+        if fixed {
+            // The fix adopted by ADLB: complete the transfer before the
+            // frame can be reused.
+            p.win_fence(win);
+        }
+        push_work(p, stack_slot, win, 222, 1);
+        p.win_fence(win);
+    } else {
+        p.win_fence(win);
+        if fixed {
+            p.win_fence(win);
+        }
+    }
+    p.win_fence(win);
+    (queue, win)
+}
+
+/// The historical bug.
+pub fn buggy(p: &mut Proc) {
+    let (_, win) = body(p, false);
+    p.win_free(win);
+}
+
+/// The fix: close the epoch before the stack frame is reused.
+pub fn fixed(p: &mut Proc) {
+    let (_, win) = body(p, true);
+    p.win_free(win);
+}
+
+/// Runs the buggy body and reports whether the corruption symptom
+/// occurred at the server (slot 0 overwritten by the second call's
+/// value).
+pub fn symptom_occurred(p: &mut Proc) -> bool {
+    let (queue, win) = body(p, false);
+    let corrupted = p.rank() == 1 && p.peek_i32(queue) != 111;
+    p.win_free(win);
+    corrupted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bugs::trace_of;
+    use mcc_core::{ErrorScope, McChecker};
+    use mcc_mpi_sim::{run, DeliveryPolicy, SimConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn detected_as_intra_epoch_put_store() {
+        let trace = trace_of(2, 77, buggy);
+        let report = McChecker::new().check(&trace);
+        assert!(report.has_errors());
+        let e = report
+            .errors()
+            .find(|e| {
+                [e.a.op.as_str(), e.b.op.as_str()].contains(&"MPI_Put")
+                    && [e.a.op.as_str(), e.b.op.as_str()].contains(&"store")
+            })
+            .expect("put/store stack-reuse conflict");
+        assert!(matches!(e.scope, ErrorScope::IntraEpoch { rank: mcc_types::Rank(0), .. }));
+        assert_eq!(e.a.loc.func, "push_work");
+    }
+
+    #[test]
+    fn masked_on_old_platforms_corrupts_on_bgq() {
+        // Eager = the internal-buffer platforms; AtClose = Blue Gene/Q.
+        let corrupted = |delivery| {
+            let flag = AtomicBool::new(false);
+            run(SimConfig::new(2).with_seed(7).with_delivery(delivery), |p| {
+                if symptom_occurred(p) {
+                    flag.store(true, Ordering::Relaxed);
+                }
+            })
+            .unwrap();
+            flag.load(Ordering::Relaxed)
+        };
+        assert!(!corrupted(DeliveryPolicy::Eager), "worked correctly for years");
+        assert!(corrupted(DeliveryPolicy::AtClose), "corrupts on Blue Gene/Q");
+    }
+
+    #[test]
+    fn fixed_variant_clean() {
+        let trace = trace_of(2, 77, fixed);
+        let report = McChecker::new().check(&trace);
+        assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
+    }
+}

@@ -1,0 +1,147 @@
+//! `BT-broadcast`: the binary-tree broadcast of Luecke et al. — the
+//! paper's second real-world bug case (Figure 6, §VII-A1; 2 processes).
+//!
+//! A child polls a local flag `check`, which an `MPI_Get` inside the same
+//! epoch is supposed to refresh from the parent's window. Because the get
+//! is nonblocking, it "may not be completed until the end of the epoch at
+//! line 8 ... As a result, the program will execute the while loop forever
+//! as the value of variable check is always 0."
+//!
+//! The simulated variant bounds the spin loop so the trace terminates; the
+//! livelock symptom is reported by [`buggy_with_symptom`].
+
+use super::BugSpec;
+use mcc_mpi_sim::Proc;
+use mcc_types::{CommId, DatatypeId, LockKind};
+
+/// Table II row.
+pub const SPEC: BugSpec = BugSpec {
+    name: "BT-broadcast",
+    nprocs: 2,
+    error_location: "within an epoch",
+    root_cause: "conflicting MPI_Get and local load",
+    symptom: "infinite polling loop (livelock)",
+    injected: false,
+};
+
+/// Spin iterations before the bounded loop gives up.
+const SPIN_LIMIT: u32 = 64;
+
+fn scaffold(p: &mut Proc) -> (u64, mcc_types::WinId) {
+    p.set_func("bt_broadcast");
+    // Each rank's window holds its broadcast-ready flag.
+    let flag = p.alloc_i32s(1);
+    let win = p.win_create(flag, 4, CommId::WORLD);
+    p.barrier(CommId::WORLD);
+    (flag, win)
+}
+
+/// The buggy polling broadcast. Returns `true` if the child livelocked
+/// (hit the spin bound).
+pub fn buggy_with_symptom(p: &mut Proc) -> bool {
+    let (flag, win) = scaffold(p);
+    let mut livelocked = false;
+    if p.rank() == 0 {
+        // Parent: mark its own flag ready so the child can fetch it.
+        p.tstore_i32(flag, 1);
+        p.barrier(CommId::WORLD);
+    } else {
+        p.barrier(CommId::WORLD);
+        // Child (Figure 6): poll `check` for the parent's flag.
+        let check = p.alloc_i32s(1);
+        p.win_lock(LockKind::Shared, 0, win); // line 1: epoch open
+        p.tstore_i32(check, 0); // line 3: initialize check
+        let mut spins = 0;
+        while p.tload_i32(check) == 0 {
+            // line 4: load of check
+            p.get(check, 1, DatatypeId::INT, 0, 0, 1, DatatypeId::INT, win); // line 5
+            spins += 1;
+            if spins >= SPIN_LIMIT {
+                livelocked = true;
+                break;
+            }
+        }
+        p.win_unlock(0, win); // line 8: epoch close — the get completes HERE
+    }
+    p.barrier(CommId::WORLD);
+    p.win_free(win);
+    livelocked
+}
+
+/// The buggy body (symptom discarded) for the Table II harness.
+pub fn buggy(p: &mut Proc) {
+    let _ = buggy_with_symptom(p);
+}
+
+/// The fix: one lock/unlock epoch per poll, so every get completes before
+/// `check` is read.
+pub fn fixed(p: &mut Proc) {
+    let (flag, win) = scaffold(p);
+    if p.rank() == 0 {
+        p.tstore_i32(flag, 1);
+        p.barrier(CommId::WORLD);
+    } else {
+        p.barrier(CommId::WORLD);
+        let check = p.alloc_i32s(1);
+        p.tstore_i32(check, 0);
+        let mut spins = 0;
+        while p.tload_i32(check) == 0 && spins < SPIN_LIMIT {
+            p.win_lock(LockKind::Shared, 0, win);
+            p.get(check, 1, DatatypeId::INT, 0, 0, 1, DatatypeId::INT, win);
+            p.win_unlock(0, win); // get completes before the next load
+            spins += 1;
+        }
+        assert!(spins < SPIN_LIMIT, "fixed variant must terminate");
+    }
+    p.barrier(CommId::WORLD);
+    p.win_free(win);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bugs::trace_of;
+    use mcc_core::{ErrorScope, McChecker};
+    use mcc_types::Rank;
+
+    #[test]
+    fn buggy_variant_detected_with_line_numbers() {
+        let trace = trace_of(SPEC.nprocs, 7, buggy);
+        let report = McChecker::new().check(&trace);
+        assert!(report.has_errors());
+        // The paper: "MC-Checker reports that a local load operation is
+        // conflicting with MPI_Get".
+        let e = report
+            .errors()
+            .find(|e| e.a.op == "MPI_Get" && e.b.op == "load")
+            .or_else(|| report.errors().find(|e| e.a.op == "load" && e.b.op == "MPI_Get"))
+            .expect("get/load conflict reported");
+        assert!(matches!(e.scope, ErrorScope::IntraEpoch { rank: Rank(1), .. }));
+        assert!(e.a.loc.file.ends_with("bt_broadcast.rs"));
+        assert!(e.b.loc.file.ends_with("bt_broadcast.rs"));
+    }
+
+    #[test]
+    fn livelock_symptom_under_atclose() {
+        use mcc_mpi_sim::{run, DeliveryPolicy, SimConfig};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let locked = AtomicBool::new(false);
+        run(
+            SimConfig::new(2).with_seed(7).with_delivery(DeliveryPolicy::AtClose),
+            |p| {
+                if buggy_with_symptom(p) {
+                    locked.store(true, Ordering::Relaxed);
+                }
+            },
+        )
+        .unwrap();
+        assert!(locked.load(Ordering::Relaxed), "the while loop spins forever");
+    }
+
+    #[test]
+    fn fixed_variant_clean_and_terminates() {
+        let trace = trace_of(SPEC.nprocs, 7, fixed);
+        let report = McChecker::new().check(&trace);
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+}

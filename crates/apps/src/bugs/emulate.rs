@@ -1,0 +1,159 @@
+//! `emulate`: a distributed-shared-memory emulation — the paper's first
+//! real-world bug case (Figure 1, Table II row 1; 2 processes).
+//!
+//! Each rank exposes a counter in a window and emulates a shared fetch-
+//! and-increment: lock the remote window, `MPI_Get` the counter into a
+//! local variable `out`, increment it locally, put it back, unlock.
+//!
+//! The bug (Figure 1): the load of `out` (and the store of the
+//! incremented value) happen **inside** the epoch, before the nonblocking
+//! get is guaranteed complete — "the load access of out can retrieve an
+//! old value and the store access of out can be overwritten by a value
+//! retrieved from MPI_Get".
+
+use super::BugSpec;
+use mcc_mpi_sim::Proc;
+use mcc_types::{CommId, DatatypeId, LockKind};
+
+/// Table II row.
+pub const SPEC: BugSpec = BugSpec {
+    name: "emulate",
+    nprocs: 2,
+    error_location: "within an epoch",
+    root_cause: "conflicting MPI_Get and local load/store",
+    symptom: "stale value read; increment lost",
+    injected: false,
+};
+
+fn scaffold(p: &mut Proc) -> (u64, mcc_types::WinId) {
+    p.set_func("main");
+    let counter = p.alloc_i32s(1);
+    p.poke_i32(counter, 100);
+    let win = p.win_create(counter, 4, CommId::WORLD);
+    p.barrier(CommId::WORLD);
+    (counter, win)
+}
+
+/// The buggy fetch-and-increment: load/store of `out` inside the epoch.
+pub fn buggy(p: &mut Proc) {
+    let (_counter, win) = scaffold(p);
+    p.set_func("shmem_fetch_inc");
+    if p.rank() == 0 {
+        let target = 1;
+        let out = p.alloc_i32s(1);
+        p.win_lock(LockKind::Shared, target, win);
+        p.get(out, 1, DatatypeId::INT, target, 0, 1, DatatypeId::INT, win); // Fig 1 line 2
+        let x = p.tload_i32(out); // Fig 1 line 3: may read a stale value
+        p.tstore_i32(out, x + 1); // Fig 1 line 4: may be overwritten by the get
+        p.win_unlock(target, win); // Fig 1 line 6: epoch close
+    }
+    p.barrier(CommId::WORLD);
+    p.win_free(win);
+}
+
+/// The fix: close the epoch before touching the fetched value.
+pub fn fixed(p: &mut Proc) {
+    let (_counter, win) = scaffold(p);
+    p.set_func("shmem_fetch_inc");
+    if p.rank() == 0 {
+        let target = 1;
+        let out = p.alloc_i32s(1);
+        p.win_lock(LockKind::Shared, target, win);
+        p.get(out, 1, DatatypeId::INT, target, 0, 1, DatatypeId::INT, win);
+        p.win_unlock(target, win); // get is complete here
+        let x = p.tload_i32(out);
+        p.tstore_i32(out, x + 1);
+    }
+    p.barrier(CommId::WORLD);
+    p.win_free(win);
+}
+
+/// Runs the buggy body and reports whether the symptom (a stale read)
+/// occurred — used by the Table II binary to show the failure mode.
+pub fn symptom_occurred(p: &mut Proc) -> bool {
+    let (_counter, win) = scaffold(p);
+    let mut stale = false;
+    if p.rank() == 0 {
+        let out = p.alloc_i32s(1);
+        p.win_lock(LockKind::Shared, 1, win);
+        p.get(out, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
+        let x = p.peek_i32(out); // the buggy read
+        p.win_unlock(1, win);
+        stale = x != 100; // remote counter is 100; a stale read sees 0
+    }
+    p.barrier(CommId::WORLD);
+    p.win_free(win);
+    stale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bugs::trace_of;
+    use mcc_core::{ErrorScope, McChecker, Severity};
+    use mcc_types::Rank;
+
+    #[test]
+    fn buggy_variant_detected() {
+        let trace = trace_of(SPEC.nprocs, 1, buggy);
+        let report = McChecker::new().check(&trace);
+        assert!(report.has_errors(), "emulate bug must be detected");
+        let e = report.errors().next().unwrap();
+        assert!(matches!(e.scope, ErrorScope::IntraEpoch { rank: Rank(0), .. }));
+        assert_eq!(e.severity, Severity::Error);
+        // Root cause: MPI_Get conflicting with load/store.
+        assert_eq!(e.a.op, "MPI_Get");
+        assert!(e.b.op == "load" || e.b.op == "store");
+        // Diagnostics cite this file.
+        assert!(e.a.loc.file.ends_with("emulate.rs"));
+        assert_eq!(e.a.loc.func, "shmem_fetch_inc");
+    }
+
+    #[test]
+    fn fixed_variant_clean() {
+        let trace = trace_of(SPEC.nprocs, 1, fixed);
+        let report = McChecker::new().check(&trace);
+        assert!(!report.has_errors(), "fixed emulate must be clean: {}", report.render());
+        assert_eq!(report.diagnostics.len(), 0);
+    }
+
+    #[test]
+    fn symptom_reproduces_under_atclose() {
+        use mcc_mpi_sim::{run, DeliveryPolicy, SimConfig};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stale = AtomicBool::new(false);
+        run(
+            SimConfig::new(2).with_seed(3).with_delivery(DeliveryPolicy::AtClose),
+            |p| {
+                if symptom_occurred(p) {
+                    stale.store(true, Ordering::Relaxed);
+                }
+            },
+        )
+        .unwrap();
+        assert!(stale.load(Ordering::Relaxed), "AtClose delivery exposes the stale read");
+    }
+
+    #[test]
+    fn symptom_masked_under_eager() {
+        // Eager delivery (small messages buffered immediately) masks the
+        // bug — the same way the ADLB bug stayed hidden for years.
+        use mcc_mpi_sim::{run, DeliveryPolicy, SimConfig};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stale = AtomicBool::new(false);
+        run(
+            SimConfig::new(2).with_seed(3).with_delivery(DeliveryPolicy::Eager),
+            |p| {
+                if symptom_occurred(p) {
+                    stale.store(true, Ordering::Relaxed);
+                }
+            },
+        )
+        .unwrap();
+        assert!(!stale.load(Ordering::Relaxed));
+        // But the checker still flags the trace — detection is not
+        // timing-dependent.
+        let trace = trace_of(SPEC.nprocs, 3, buggy);
+        assert!(McChecker::new().check(&trace).has_errors());
+    }
+}

@@ -1,0 +1,138 @@
+//! `jacobi`: a 1-D Jacobi solver with one-sided halo exchange and an
+//! **injected** cross-process bug (Table II row 5; 4 processes).
+//!
+//! Each rank owns a block of the vector plus two halo cells exposed in a
+//! window. Per iteration every rank puts its boundary values into its
+//! neighbours' halo cells, a fence completes the exchange, and the rank
+//! relaxes its interior. The injected error removes the fence *between*
+//! the neighbour's put and the owner's halo reads, so the owner's loads of
+//! its window race with the incoming `MPI_Put` — the Figure 2d pattern
+//! across processes. The fix restores the double-fence protocol.
+
+use super::BugSpec;
+use mcc_mpi_sim::Proc;
+use mcc_types::{CommId, DatatypeId};
+
+/// Table II row.
+pub const SPEC: BugSpec = BugSpec {
+    name: "jacobi",
+    nprocs: 4,
+    error_location: "across processes",
+    root_cause: "conflicting MPI_Put and local load (injected)",
+    symptom: "wrong relaxation values; convergence stalls",
+    injected: true,
+};
+
+/// Interior cells per rank.
+const BLOCK: usize = 8;
+/// Jacobi sweeps.
+const ITERS: u32 = 3;
+
+/// Window layout per rank: `[halo_left, cell_0 .. cell_{BLOCK-1},
+/// halo_right]`, all `i32` (fixed-point values scaled by 1000).
+fn body(p: &mut Proc, buggy: bool) {
+    p.set_func("jacobi");
+    let n = p.size();
+    let me = p.rank();
+    let wlen = BLOCK + 2;
+    let wbuf = p.alloc_i32s(wlen);
+    // Initial condition: rank r's cells start at r*1000 (scaled).
+    for i in 1..=BLOCK as u64 {
+        p.poke_i32(wbuf + 4 * i, (me * 1000) as i32);
+    }
+    let win = p.win_create(wbuf, (4 * wlen) as u64, CommId::WORLD);
+    let left = if me == 0 { None } else { Some(me - 1) };
+    let right = if me + 1 == n { None } else { Some(me + 1) };
+    let scratch = p.alloc_i32s(BLOCK);
+
+    p.win_fence(win);
+    for _iter in 0..ITERS {
+        // Exchange: put my boundary cells into the neighbours' halos.
+        if let Some(l) = left {
+            // My first interior cell becomes the left neighbour's right halo.
+            p.put(
+                wbuf + 4,
+                1,
+                DatatypeId::INT,
+                l,
+                (4 * (wlen - 1)) as u64,
+                1,
+                DatatypeId::INT,
+                win,
+            );
+        }
+        if let Some(r) = right {
+            // My last interior cell becomes the right neighbour's left halo.
+            p.put(wbuf + 4 * BLOCK as u64, 1, DatatypeId::INT, r, 0, 1, DatatypeId::INT, win);
+        }
+        if !buggy {
+            // The fence that completes the puts BEFORE anyone reads halos.
+            p.win_fence(win);
+        }
+        // Relax: new[i] = (old[i-1] + old[i+1]) / 2 over the window.
+        for i in 0..BLOCK as u64 {
+            let l = p.tload_i32(wbuf + 4 * i);
+            let r = p.tload_i32(wbuf + 4 * (i + 2));
+            p.store_i32(scratch + 4 * i, (l + r) / 2);
+        }
+        for i in 0..BLOCK as u64 {
+            let v = p.load_i32(scratch + 4 * i);
+            p.tstore_i32(wbuf + 4 * (i + 1), v);
+        }
+        // End-of-iteration fence (in the buggy variant this is the ONLY
+        // fence, so the halo reads above race with the neighbour's put).
+        p.win_fence(win);
+    }
+    p.win_free(win);
+}
+
+/// The injected-bug variant (missing mid-iteration fence).
+pub fn buggy(p: &mut Proc) {
+    body(p, true);
+}
+
+/// The correct double-fence protocol.
+pub fn fixed(p: &mut Proc) {
+    body(p, false);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bugs::trace_of;
+    use mcc_core::{ErrorScope, McChecker};
+
+    #[test]
+    fn missing_fence_detected_across_processes() {
+        let trace = trace_of(SPEC.nprocs, 31, buggy);
+        let report = McChecker::new().check(&trace);
+        assert!(report.has_errors());
+        // A put conflicting with the target's own halo access.
+        let e = report
+            .errors()
+            .find(|e| matches!(e.scope, ErrorScope::CrossProcess { .. }))
+            .expect("cross-process conflict: {report}");
+        let ops = [e.a.op.as_str(), e.b.op.as_str()];
+        assert!(ops.contains(&"MPI_Put"));
+        assert!(ops.contains(&"load") || ops.contains(&"store"));
+    }
+
+    #[test]
+    fn fixed_variant_clean() {
+        let trace = trace_of(SPEC.nprocs, 31, fixed);
+        let report = McChecker::new().check(&trace);
+        assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn fixed_variant_converges() {
+        // Semantic check: with correct synchronization the averaged values
+        // move toward each other deterministically under any delivery.
+        use mcc_mpi_sim::{run, DeliveryPolicy, SimConfig};
+        run(
+            SimConfig::new(4).with_seed(5).with_delivery(DeliveryPolicy::Adversarial),
+            fixed,
+        )
+        .unwrap();
+    }
+}

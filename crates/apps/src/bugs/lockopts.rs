@@ -1,0 +1,137 @@
+//! `lockopts`: the RMA test case from the MPICH package (svn r10308) —
+//! the paper's third real-world bug case (Figure 7, §VII-A2; 64
+//! processes).
+//!
+//! An origin process locks a neighbour's window and put/gets into it while
+//! the target process concurrently loads and stores its own window memory
+//! (Figure 7's section A vs section D). With the revised **shared** lock
+//! the accesses are genuinely concurrent — a definite error; with the
+//! original **exclusive** lock the runtime may serialize the epochs, so
+//! MC-Checker reports only a warning.
+
+use super::BugSpec;
+use mcc_mpi_sim::Proc;
+use mcc_types::{CommId, DatatypeId, LockKind};
+
+/// Table II row.
+pub const SPEC: BugSpec = BugSpec {
+    name: "lockopts",
+    nprocs: 64,
+    error_location: "across processes",
+    root_cause: "conflicting local load/store and remote MPI_Put/MPI_Get",
+    symptom: "nondeterministic results",
+    injected: false,
+};
+
+/// Window length in `i32` elements.
+const WLEN: usize = 4;
+
+fn body(p: &mut Proc, lock: LockKind, safe: bool) {
+    p.set_func("lockopts");
+    let wbuf = p.alloc_i32s(WLEN);
+    for i in 0..WLEN as u64 {
+        p.poke_i32(wbuf + 4 * i, p.rank() as i32);
+    }
+    let win = p.win_create(wbuf, (4 * WLEN) as u64, CommId::WORLD);
+    p.barrier(CommId::WORLD);
+
+    let n = p.size();
+    if p.rank().is_multiple_of(2) && p.rank() + 1 < n {
+        // Origin: put into the odd neighbour's window, then read it back.
+        let target = p.rank() + 1;
+        let src = p.alloc_i32s(WLEN);
+        for i in 0..WLEN as u64 {
+            p.tstore_i32(src + 4 * i, 1000 + p.rank() as i32);
+        }
+        p.win_lock(lock, target, win);
+        p.put(src, WLEN as u32, DatatypeId::INT, target, 0, WLEN as u32, DatatypeId::INT, win);
+        p.win_unlock(target, win);
+        let back = p.alloc_i32s(WLEN);
+        p.win_lock(lock, target, win);
+        p.get(back, WLEN as u32, DatatypeId::INT, target, 0, WLEN as u32, DatatypeId::INT, win);
+        p.win_unlock(target, win);
+    } else if p.rank() % 2 == 1 {
+        if safe {
+            // Fixed: wait until the origin finished both epochs before
+            // touching the window (sections separated by synchronization).
+            p.barrier(CommId::WORLD);
+        }
+        // Target (Figure 7 section A): local load/store of its own
+        // window memory, concurrent with the neighbour's epochs in the
+        // buggy variant.
+        for i in 0..WLEN as u64 {
+            let v = p.tload_i32(wbuf + 4 * i);
+            p.tstore_i32(wbuf + 4 * i, v + 1);
+        }
+    }
+    if safe && p.rank().is_multiple_of(2) {
+        p.barrier(CommId::WORLD);
+    }
+    p.barrier(CommId::WORLD);
+    p.win_free(win);
+}
+
+/// Revised bug (shared lock): definite cross-process error.
+pub fn buggy(p: &mut Proc) {
+    body(p, LockKind::Shared, false);
+}
+
+/// The original bug (exclusive lock): reported as a warning only.
+pub fn original_exclusive(p: &mut Proc) {
+    body(p, LockKind::Exclusive, false);
+}
+
+/// The fix: the target's section A runs strictly after the origin's
+/// epochs (separated by a barrier).
+pub fn fixed(p: &mut Proc) {
+    body(p, LockKind::Shared, true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bugs::trace_of;
+    use mcc_core::{ErrorScope, McChecker, Severity};
+
+    /// The full 64-process configuration is exercised by the `table2`
+    /// binary and integration tests; unit tests use 8 ranks for speed.
+    const TEST_PROCS: u32 = 8;
+
+    #[test]
+    fn shared_lock_variant_is_error() {
+        let trace = trace_of(TEST_PROCS, 11, buggy);
+        let report = McChecker::new().check(&trace);
+        assert!(report.has_errors());
+        let e = report.errors().next().unwrap();
+        assert!(matches!(e.scope, ErrorScope::CrossProcess { .. }));
+        // Put or get conflicting with the target's load/store.
+        let ops = [e.a.op.as_str(), e.b.op.as_str()];
+        assert!(ops.contains(&"MPI_Put") || ops.contains(&"MPI_Get"));
+        assert!(ops.contains(&"load") || ops.contains(&"store"));
+    }
+
+    #[test]
+    fn exclusive_lock_variant_is_warning_only() {
+        let trace = trace_of(TEST_PROCS, 11, original_exclusive);
+        let report = McChecker::new().check(&trace);
+        assert!(!report.has_errors(), "exclusive locks may serialize: {}", report.render());
+        assert!(report.warnings().next().is_some(), "but a warning is still raised");
+        assert_eq!(report.warnings().next().unwrap().severity, Severity::Warning);
+    }
+
+    #[test]
+    fn fixed_variant_clean() {
+        let trace = trace_of(TEST_PROCS, 11, fixed);
+        let report = McChecker::new().check(&trace);
+        assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn detected_at_full_scale_too() {
+        // Table II: triggered with 64 processes. Detection capability "is
+        // not affected by the scale of the system".
+        let trace = trace_of(SPEC.nprocs, 11, buggy);
+        let report = McChecker::new().check(&trace);
+        assert!(report.has_errors());
+    }
+}

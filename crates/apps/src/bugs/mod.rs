@@ -1,0 +1,95 @@
+//! The bug-case applications of the paper's effectiveness evaluation
+//! (Table II): three real-world bugs and two injected ones.
+//!
+//! | App | Procs | Error location | Root cause |
+//! |---|---|---|---|
+//! | emulate | 2 | within an epoch | conflicting `MPI_Get` and load/store |
+//! | BT-broadcast | 2 | within an epoch | conflicting `MPI_Get` and load |
+//! | lockopts | 64 | across processes | conflicting load/store and `MPI_Put`/`MPI_Get` |
+//! | ping-pong | 2 | within an epoch | conflicting `MPI_Put` and store (injected) |
+//! | jacobi | 4 | across processes | conflicting `MPI_Put` and load (injected) |
+//!
+//! Every case provides a `buggy` and a `fixed` variant; the fixed variants
+//! double as false-positive regression tests for the checker.
+
+pub mod adlb;
+pub mod archetypes;
+pub mod bt_broadcast;
+pub mod emulate;
+pub mod jacobi;
+pub mod lockopts;
+pub mod mpi3_queue;
+pub mod pingpong;
+
+use mcc_mpi_sim::{run, DeliveryPolicy, Proc, SimConfig};
+use mcc_types::Trace;
+
+/// Metadata of one Table II row.
+#[derive(Debug, Clone, Copy)]
+pub struct BugSpec {
+    /// Application name as listed in Table II.
+    pub name: &'static str,
+    /// Number of processes the bug is triggered with.
+    pub nprocs: u32,
+    /// "within an epoch" or "across processes".
+    pub error_location: &'static str,
+    /// The conflicting operation pair (root cause).
+    pub root_cause: &'static str,
+    /// Failure symptom observed in the application.
+    pub symptom: &'static str,
+    /// Whether this is a real-world or injected bug.
+    pub injected: bool,
+}
+
+/// Runs a bug-case body under the Profiler and returns its trace.
+///
+/// Bug demos run under `AtClose` delivery: the worst legal completion
+/// timing, which makes the symptoms deterministic (the checker itself is
+/// timing-independent — it analyzes the trace, not the symptom).
+pub fn trace_of(nprocs: u32, seed: u64, body: impl Fn(&mut Proc) + Send + Sync) -> Trace {
+    run(
+        SimConfig::new(nprocs).with_seed(seed).with_delivery(DeliveryPolicy::AtClose),
+        body,
+    )
+    .expect("bug case must run to completion")
+    .trace
+    .expect("tracing is enabled")
+}
+
+/// A case with its buggy body: `(spec, buggy)`.
+pub type BugCase = (BugSpec, fn(&mut Proc));
+
+/// A case with both variants: `(spec, buggy, fixed)`.
+pub type BugCasePair = (BugSpec, fn(&mut Proc), fn(&mut Proc));
+
+/// All five Table II rows with their buggy bodies, in paper order.
+pub fn table2_cases() -> Vec<BugCase> {
+    vec![
+        (emulate::SPEC, emulate::buggy as fn(&mut Proc)),
+        (bt_broadcast::SPEC, bt_broadcast::buggy),
+        (lockopts::SPEC, lockopts::buggy),
+        (pingpong::SPEC, pingpong::buggy),
+        (jacobi::SPEC, jacobi::buggy),
+    ]
+}
+
+/// The fixed counterparts, used as false-positive regressions.
+pub fn fixed_cases() -> Vec<BugCase> {
+    vec![
+        (emulate::SPEC, emulate::fixed as fn(&mut Proc)),
+        (bt_broadcast::SPEC, bt_broadcast::fixed),
+        (lockopts::SPEC, lockopts::fixed),
+        (pingpong::SPEC, pingpong::fixed),
+        (jacobi::SPEC, jacobi::fixed),
+    ]
+}
+
+/// Extension case studies beyond the paper's Table II: the ADLB stack
+/// bug the paper recounts in §II-B and an MPI-3 work queue exercising the
+/// §V extension.
+pub fn extension_cases() -> Vec<BugCasePair> {
+    vec![
+        (adlb::SPEC, adlb::buggy as fn(&mut Proc), adlb::fixed as fn(&mut Proc)),
+        (mpi3_queue::SPEC, mpi3_queue::buggy, mpi3_queue::fixed),
+    ]
+}

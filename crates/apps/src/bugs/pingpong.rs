@@ -1,0 +1,116 @@
+//! `ping-pong`: an ARMCI-MPI-style one-sided ping-pong benchmark with an
+//! **injected** bug (Table II row 4; 2 processes).
+//!
+//! Two ranks bounce a message through each other's windows with
+//! fence-delimited puts. The injected error is the Figure 2a pattern: the
+//! origin updates its send buffer immediately after the nonblocking
+//! `MPI_Put`, inside the same epoch — exactly the ADLB stack-buffer bug
+//! (§II-B). The fix defers the update until after the closing fence.
+
+use super::BugSpec;
+use mcc_mpi_sim::Proc;
+use mcc_types::{CommId, DatatypeId};
+
+/// Table II row.
+pub const SPEC: BugSpec = BugSpec {
+    name: "ping-pong",
+    nprocs: 2,
+    error_location: "within an epoch",
+    root_cause: "conflicting MPI_Put and local store (injected)",
+    symptom: "corrupted message payload",
+    injected: true,
+};
+
+/// Message length in `i32`s.
+const MLEN: usize = 8;
+/// Ping-pong rounds.
+const ROUNDS: u32 = 4;
+
+fn body(p: &mut Proc, buggy: bool) {
+    p.set_func("pingpong");
+    let inbox = p.alloc_i32s(MLEN);
+    let win = p.win_create(inbox, (4 * MLEN) as u64, CommId::WORLD);
+    let msg = p.alloc_i32s(MLEN);
+    let me = p.rank();
+    let peer = 1 - me;
+    p.win_fence(win);
+    for round in 0..ROUNDS {
+        let my_turn = round % 2 == me;
+        if my_turn {
+            for i in 0..MLEN as u64 {
+                p.tstore_i32(msg + 4 * i, (round * 100 + i as u32) as i32);
+            }
+            p.put(msg, MLEN as u32, DatatypeId::INT, peer, 0, MLEN as u32, DatatypeId::INT, win);
+            if buggy {
+                // Injected Figure 2a bug: eagerly prepare the next round's
+                // payload in the same buffer before the epoch closes.
+                p.tstore_i32(msg, -1);
+            }
+        }
+        p.win_fence(win);
+        if !my_turn {
+            // Consume the received message.
+            let mut sum = 0i64;
+            for i in 0..MLEN as u64 {
+                sum += p.tload_i32(inbox + 4 * i) as i64;
+            }
+            std::hint::black_box(sum);
+        }
+    }
+    p.win_free(win);
+}
+
+/// The injected-bug variant.
+pub fn buggy(p: &mut Proc) {
+    body(p, true);
+}
+
+/// The correct benchmark.
+pub fn fixed(p: &mut Proc) {
+    body(p, false);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bugs::trace_of;
+    use mcc_core::{ErrorScope, McChecker};
+    use mcc_types::Rank;
+
+    #[test]
+    fn injected_put_store_race_detected() {
+        let trace = trace_of(SPEC.nprocs, 21, buggy);
+        let report = McChecker::new().check(&trace);
+        assert!(report.has_errors());
+        let e = report
+            .errors()
+            .find(|e| {
+                (e.a.op == "MPI_Put" && e.b.op == "store")
+                    || (e.a.op == "store" && e.b.op == "MPI_Put")
+            })
+            .expect("put/store conflict");
+        assert!(matches!(e.scope, ErrorScope::IntraEpoch { .. }));
+    }
+
+    #[test]
+    fn both_ranks_affected() {
+        // The bug fires on whichever rank sends; both do across rounds.
+        let trace = trace_of(SPEC.nprocs, 21, buggy);
+        let report = McChecker::new().check(&trace);
+        let ranks: std::collections::HashSet<Rank> = report
+            .errors()
+            .filter_map(|e| match e.scope {
+                ErrorScope::IntraEpoch { rank, .. } => Some(rank),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ranks.len(), 2, "{}", report.render());
+    }
+
+    #[test]
+    fn fixed_variant_clean() {
+        let trace = trace_of(SPEC.nprocs, 21, fixed);
+        let report = McChecker::new().check(&trace);
+        assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
+    }
+}

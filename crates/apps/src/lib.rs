@@ -1,0 +1,5 @@
+#![warn(missing_docs)]
+//! The paper's evaluation applications.
+
+pub mod bugs;
+pub mod overhead;

@@ -1,0 +1,163 @@
+//! A NAS-LU-style factorization kernel — the strong-scaling application
+//! of Figures 8–10.
+//!
+//! An `N×N` system is factorized with row-cyclic distribution: for every
+//! pivot step the owner normalizes and broadcasts the pivot row, then
+//! every rank eliminates its own rows — `O(N³/P)` relevant loads/stores
+//! per rank against the window-exposed matrix. Under strong scaling
+//! (fixed `N`, growing `P`) the per-rank computation — and with it the
+//! rate of profiling events — shrinks, which is exactly the effect the
+//! paper uses to explain Figure 9's falling overhead via Figure 10.
+
+use mcc_mpi_sim::Proc;
+use mcc_types::{CommId, DatatypeId, ReduceOp};
+
+/// Problem-size knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LuParams {
+    /// Matrix dimension (the paper runs 1500; the benches scale this
+    /// down — the *shape* of the scaling curve is what matters).
+    pub n: usize,
+}
+
+impl Default for LuParams {
+    fn default() -> Self {
+        Self { n: 48 }
+    }
+}
+
+/// Runs the kernel on one rank. Returns this rank's residual checksum.
+pub fn lu(p: &mut Proc, params: &LuParams) -> f64 {
+    p.set_func("lu");
+    let nprocs = p.size() as usize;
+    let me = p.rank() as usize;
+    let n = params.n;
+    // Row-cyclic distribution: I own rows r with r % nprocs == me.
+    let my_rows: Vec<usize> = (0..n).filter(|r| r % nprocs == me).collect();
+    let rows_local = my_rows.len();
+    // Window: my rows, packed (f64).
+    let a = p.alloc_f64s(rows_local * n);
+    for (li, &r) in my_rows.iter().enumerate() {
+        for c in 0..n {
+            // Diagonally dominant deterministic matrix.
+            let v = if r == c { n as f64 + 1.0 } else { 1.0 / (1 + r + c) as f64 };
+            p.poke_f64(a + 8 * (li * n + c) as u64, v);
+        }
+    }
+    let win = p.win_create(a, (8 * rows_local * n) as u64, CommId::WORLD);
+    let pivot = p.alloc_f64s(n);
+    p.win_fence(win);
+
+    for k in 0..n {
+        let owner = (k % nprocs) as u32;
+        if me == k % nprocs {
+            // Normalize my pivot row and stage it for broadcast.
+            let li = k / nprocs;
+            let d = p.tload_f64(a + 8 * (li * n + k) as u64);
+            for c in 0..n {
+                let v = p.tload_f64(a + 8 * (li * n + c) as u64);
+                p.store_f64(pivot + 8 * c as u64, v / d);
+            }
+        }
+        p.bcast(pivot, n as u32, DatatypeId::DOUBLE, owner, CommId::WORLD);
+        // Eliminate my rows below the pivot.
+        for (li, &r) in my_rows.iter().enumerate() {
+            if r <= k {
+                continue;
+            }
+            let f = p.tload_f64(a + 8 * (li * n + k) as u64);
+            if f == 0.0 {
+                continue;
+            }
+            for c in k..n {
+                let pv = p.load_f64(pivot + 8 * c as u64);
+                let v = p.tload_f64(a + 8 * (li * n + c) as u64);
+                p.tstore_f64(a + 8 * (li * n + c) as u64, v - f * pv);
+            }
+        }
+    }
+    p.win_fence(win);
+
+    // Residual-style checksum of my block, combined with an allreduce.
+    let mut sum = 0.0;
+    for li in 0..rows_local {
+        for c in 0..n {
+            sum += p.tload_f64(a + 8 * (li * n + c) as u64).abs();
+        }
+    }
+    let local = p.alloc_f64s(1);
+    p.poke_f64(local, sum);
+    let global = p.alloc_f64s(1);
+    p.allreduce(local, global, 1, DatatypeId::DOUBLE, ReduceOp::Sum, CommId::WORLD);
+    let out = p.peek_f64(global);
+    p.win_free(win);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_mpi_sim::{run, Instrument, SimConfig};
+    use std::sync::Mutex;
+
+    #[test]
+    fn factorization_is_scale_invariant() {
+        // The checksum must not depend on the process count.
+        let checksum_at = |nprocs: u32| {
+            let params = LuParams { n: 12 };
+            let out = Mutex::new(0.0f64);
+            run(SimConfig::new(nprocs).with_seed(8), |p| {
+                let s = lu(p, &params);
+                if p.rank() == 0 {
+                    *out.lock().unwrap() = s;
+                }
+            })
+            .unwrap();
+            let v = *out.lock().unwrap();
+            v
+        };
+        let a = checksum_at(1);
+        let b = checksum_at(3);
+        let c = checksum_at(4);
+        assert!((a - b).abs() < 1e-6 * a.abs(), "{a} vs {b}");
+        assert!((a - c).abs() < 1e-6 * a.abs(), "{a} vs {c}");
+    }
+
+    #[test]
+    fn trace_is_race_free() {
+        use mcc_core::McChecker;
+        let params = LuParams { n: 8 };
+        let r = run(SimConfig::new(2).with_seed(8), |p| {
+            lu(p, &params);
+        })
+        .unwrap();
+        let report = McChecker::new().check(&r.trace.unwrap());
+        assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn strong_scaling_reduces_per_rank_events() {
+        // Fig 10's mechanism: fixed problem, more ranks, fewer relevant
+        // accesses per rank.
+        let params = LuParams { n: 16 };
+        let events_at = |nprocs: u32| {
+            let r = run(
+                SimConfig::new(nprocs)
+                    .with_seed(8)
+                    .with_instrument(Instrument::Relevant)
+                    .with_keep_events(false),
+                |p| {
+                    lu(p, &params);
+                },
+            )
+            .unwrap();
+            r.stats.total_mem_events() as f64 / nprocs as f64
+        };
+        let per_rank_2 = events_at(2);
+        let per_rank_8 = events_at(8);
+        assert!(
+            per_rank_8 < per_rank_2 / 2.0,
+            "per-rank event count must fall under strong scaling: {per_rank_2} vs {per_rank_8}"
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! The overhead-study applications (paper §VI, Figures 8–10): three
+//! GA-package kernels over an ARMCI-style one-sided layer (Lennard-Jones,
+//! SCF, Boltzmann), a SKaMPI-style RMA microbenchmark sweep, and a NAS
+//! LU-style wavefront solver.
+//!
+//! Physics fidelity is not the point — the paper measures *profiling
+//! overhead*, which is a function of each kernel's mix of computation,
+//! instrumented (relevant) accesses, and MPI calls. Each kernel keeps the
+//! communication/computation skeleton of its namesake and accepts a size
+//! parameter so the benches can scale it.
+
+pub mod boltzmann;
+pub mod lennard_jones;
+pub mod lu;
+pub mod scf;
+pub mod skampi;

@@ -1,0 +1,125 @@
+//! A SKaMPI-style one-sided microbenchmark sweep (Figure 8's fourth
+//! application).
+//!
+//! SKaMPI measures MPI primitives across message sizes. This kernel
+//! sweeps put/get/accumulate over a range of sizes under both fence and
+//! lock synchronization — maximum MPI-call density with minimal
+//! computation, the opposite end of the overhead spectrum from the
+//! compute-heavy kernels.
+
+use mcc_mpi_sim::Proc;
+use mcc_types::{CommId, DatatypeId, LockKind, ReduceOp};
+
+/// Problem-size knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SkampiParams {
+    /// Largest message, in `i32` elements (sweeps powers of two up to
+    /// this).
+    pub max_elems: usize,
+    /// Repetitions per size.
+    pub reps: usize,
+}
+
+impl Default for SkampiParams {
+    fn default() -> Self {
+        Self { max_elems: 64, reps: 4 }
+    }
+}
+
+/// Runs the sweep on one rank.
+pub fn skampi(p: &mut Proc, params: &SkampiParams) {
+    p.set_func("skampi");
+    let n = p.size();
+    let me = p.rank();
+    let peer = me ^ 1; // pairwise pattern
+    let max = params.max_elems.max(1);
+    let wbuf = p.alloc_i32s(max);
+    let win = p.win_create(wbuf, (4 * max) as u64, CommId::WORLD);
+    let src = p.alloc_i32s(max);
+    for i in 0..max {
+        p.tstore_i32(src + 4 * i as u64, i as i32);
+    }
+
+    // Fence-mode sweep.
+    p.win_fence(win);
+    let mut elems = 1usize;
+    while elems <= max {
+        for _rep in 0..params.reps {
+            if me.is_multiple_of(2) && peer < n {
+                p.put(src, elems as u32, DatatypeId::INT, peer, 0, elems as u32, DatatypeId::INT, win);
+            }
+            p.win_fence(win);
+            if me % 2 == 1 {
+                // Touch the received prefix.
+                let mut s = 0i64;
+                for i in 0..elems {
+                    s += p.tload_i32(wbuf + 4 * i as u64) as i64;
+                }
+                std::hint::black_box(s);
+            }
+            p.win_fence(win);
+        }
+        elems *= 2;
+    }
+
+    // Lock-mode sweep (passive target): even ranks drive.
+    p.barrier(CommId::WORLD);
+    if me.is_multiple_of(2) && peer < n {
+        let mut elems = 1usize;
+        let back = p.alloc_i32s(max);
+        while elems <= max {
+            for _rep in 0..params.reps {
+                p.win_lock(LockKind::Exclusive, peer, win);
+                p.put(src, elems as u32, DatatypeId::INT, peer, 0, elems as u32, DatatypeId::INT, win);
+                p.win_unlock(peer, win);
+                p.win_lock(LockKind::Shared, peer, win);
+                p.get(back, elems as u32, DatatypeId::INT, peer, 0, elems as u32, DatatypeId::INT, win);
+                p.win_unlock(peer, win);
+                p.win_lock(LockKind::Exclusive, peer, win);
+                p.accumulate(
+                    src,
+                    elems as u32,
+                    DatatypeId::INT,
+                    peer,
+                    0,
+                    elems as u32,
+                    DatatypeId::INT,
+                    ReduceOp::Sum,
+                    win,
+                );
+                p.win_unlock(peer, win);
+            }
+            elems *= 2;
+        }
+    }
+    p.barrier(CommId::WORLD);
+    p.win_free(win);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_mpi_sim::{run, SimConfig};
+
+    #[test]
+    fn sweep_runs() {
+        let params = SkampiParams { max_elems: 16, reps: 2 };
+        let r = run(SimConfig::new(4).with_seed(6), |p| skampi(p, &params)).unwrap();
+        assert!(r.stats.total_mpi_events() > 0);
+    }
+
+    #[test]
+    fn trace_is_race_free() {
+        use mcc_core::McChecker;
+        let params = SkampiParams { max_elems: 8, reps: 1 };
+        let r = run(SimConfig::new(2).with_seed(6), |p| skampi(p, &params)).unwrap();
+        let report = McChecker::new().check(&r.trace.unwrap());
+        assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn odd_world_size_last_rank_idles() {
+        let params = SkampiParams { max_elems: 4, reps: 1 };
+        run(SimConfig::new(3).with_seed(6), |p| skampi(p, &params)).unwrap();
+    }
+}

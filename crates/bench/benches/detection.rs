@@ -1,0 +1,40 @@
+//! Criterion bench — §IV-C4 ablation: the linear window-vector
+//! cross-process detector vs. the naive all-pairs detector, swept over
+//! concurrent-region size. "the time complexity is combinatorial with
+//! respect to the total number of operations within one concurrent
+//! region. Can we do better?"
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcc_bench::synth::{synth_trace, SynthParams};
+use mcc_core::{CheckOptions, McChecker};
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detection/linear_vs_naive");
+    g.sample_size(10);
+    for ops in [16usize, 64, 256] {
+        // One giant region (rounds = 1) so region size == ops * nprocs.
+        let t = synth_trace(
+            &SynthParams {
+                rounds: 1,
+                ops_per_round: ops,
+                locals_per_round: ops,
+                ..Default::default()
+            },
+            0.02,
+        );
+        g.throughput(Throughput::Elements((ops * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("window-vector", ops), &t, |b, t| {
+            let checker = McChecker::new();
+            b.iter(|| checker.check(t));
+        });
+        g.bench_with_input(BenchmarkId::new("all-pairs", ops), &t, |b, t| {
+            let checker =
+                McChecker::with_options(CheckOptions { naive_inter: true, ..Default::default() });
+            b.iter(|| checker.check(t));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

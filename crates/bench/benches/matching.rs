@@ -1,0 +1,28 @@
+//! Criterion bench — §IV-C2a ablation: Algorithm 1's progress-counter
+//! synchronization matching vs. the scan-from-the-start straw man the
+//! paper rejects as "time-consuming ... especially for large trace
+//! files".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcc_bench::synth::synth_sync_trace;
+use mcc_core::{matching, preprocess};
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching/progress_vs_scan");
+    g.sample_size(10);
+    for rounds in [64usize, 256, 1024] {
+        let t = synth_sync_trace(8, rounds, 5);
+        let ctx = preprocess::preprocess(&t);
+        g.throughput(Throughput::Elements(t.total_events() as u64));
+        g.bench_with_input(BenchmarkId::new("progress-counters", rounds), &t, |b, t| {
+            b.iter(|| matching::match_sync(t, &ctx))
+        });
+        g.bench_with_input(BenchmarkId::new("scan-from-start", rounds), &t, |b, t| {
+            b.iter(|| matching::match_sync_naive(t, &ctx))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

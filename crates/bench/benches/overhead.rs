@@ -1,0 +1,39 @@
+//! Criterion bench — the Figure 8 instrumentation ablation in bench form:
+//! native vs. relevant-only vs. instrument-all profiling of the LU
+//! kernel. Relevant-only should sit within tens of percent of native;
+//! instrument-all should be a clear multiple (the SyncChecker/Purify
+//! comparison, §VII-B).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcc_apps::overhead::lu::{lu, LuParams};
+use mcc_mpi_sim::{run, Instrument, SimConfig};
+
+fn bench_instrumentation(c: &mut Criterion) {
+    let params = LuParams { n: 64 };
+    let mut g = c.benchmark_group("profiler/instrumentation");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("native", Instrument::Off),
+        ("relevant", Instrument::Relevant),
+        ("all", Instrument::All),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run(
+                    SimConfig::new(4)
+                        .with_seed(1)
+                        .with_instrument(mode)
+                        .with_keep_events(false),
+                    |p| {
+                        lu(p, &params);
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_instrumentation);
+criterion_main!(benches);

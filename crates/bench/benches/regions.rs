@@ -1,0 +1,31 @@
+//! Criterion bench — §III-B ablation: concurrent-region partitioning at
+//! global synchronization events ("truncate the DAG into multiple
+//! execution regions, which ... can be used to improve the efficiency of
+//! the analysis") vs. analyzing the whole trace as one region.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcc_bench::synth::{synth_trace, SynthParams};
+use mcc_core::{CheckOptions, McChecker};
+
+fn bench_regions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("regions/partition_vs_whole");
+    g.sample_size(10);
+    for rounds in [4usize, 16, 64] {
+        let t = synth_trace(&SynthParams { rounds, ..Default::default() }, 0.02);
+        g.bench_with_input(BenchmarkId::new("partitioned", rounds), &t, |b, t| {
+            let checker = McChecker::new();
+            b.iter(|| checker.check(t));
+        });
+        g.bench_with_input(BenchmarkId::new("single-region", rounds), &t, |b, t| {
+            let checker = McChecker::with_options(CheckOptions {
+                partition_regions: false,
+                ..Default::default()
+            });
+            b.iter(|| checker.check(t));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_regions);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Regenerates **Figure 9**: scalability of MC-Checker's Profiler on the
+//! LU benchmark — overhead vs. process count under strong scaling.
+//!
+//! The paper observes the overhead falling from 147.2% at 8 processes to
+//! 37.1% at 128 processes, because the fixed-size problem spreads over
+//! more ranks and the per-rank rate of instrumented accesses drops
+//! (Figure 10). Expected shape here: monotonically (modulo noise)
+//! decreasing overhead as ranks grow.
+//!
+//! ```text
+//! cargo run -p mcc-bench --release --bin fig9 [-- --n 192 --reps 3]
+//! ```
+
+use mcc_apps::overhead::lu::{lu, LuParams};
+use mcc_mpi_sim::{Instrument, SimConfig};
+use mcc_profiler::profile_run;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str, default: u32| -> u32 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let n = flag("--n", 192) as usize;
+    let reps = flag("--reps", 3);
+
+    println!("Figure 9: Profiler overhead on LU under strong scaling (matrix {n}x{n}, best of {reps})");
+    println!();
+    println!("{:>6} {:>12} {:>12} {:>10}", "procs", "native (ms)", "profiled", "overhead");
+    println!("{}", "-".repeat(44));
+    for procs in [8u32, 16, 32, 64, 128] {
+        let params = LuParams { n };
+        let r = profile_run(
+            "LU",
+            SimConfig::new(procs).with_seed(0xf199),
+            Instrument::Relevant,
+            reps,
+            move |p| {
+                lu(p, &params);
+            },
+        )
+        .unwrap();
+        println!(
+            "{:>6} {:>12.2} {:>12.2} {:>9.1}%",
+            procs,
+            r.native.as_secs_f64() * 1e3,
+            r.profiled.as_secs_f64() * 1e3,
+            r.overhead_pct
+        );
+    }
+    println!();
+    println!("Paper: 147.2% at 8 procs falling to 37.1% at 128 procs.");
+}

@@ -1,0 +1,15 @@
+//! Regenerates **Table I**: the compatibility matrix of RMA operations.
+//!
+//! ```text
+//! cargo run -p mcc-bench --bin table1
+//! ```
+
+fn main() {
+    println!("Table I: Compatibility matrix of RMA operations (MPI-2.2 window ruleset)");
+    println!();
+    print!("{}", mcc_types::compat::render_table1());
+    println!();
+    println!("BOTH   = overlapping and nonoverlapping combinations permitted");
+    println!("NON-OV = only nonoverlapping combinations permitted");
+    println!("ERROR  = combination erroneous even without overlap (separation rule)");
+}

@@ -1,0 +1,4 @@
+#![warn(missing_docs)]
+//! Shared helpers for the table/figure regeneration binaries and benches.
+
+pub mod synth;

@@ -1,0 +1,210 @@
+//! Synthetic trace generators for the analyzer benchmarks.
+//!
+//! The Criterion benches need traces whose size and conflict density can
+//! be dialed independently of any application, so the analyzer phases
+//! (matching, DAG construction, detection) can be measured in isolation
+//! and the §IV-C4 linear-vs-combinatorial ablation can sweep region sizes.
+
+use mcc_types::{
+    CommId, DatatypeId, EventKind, Rank, RmaKind, RmaOp, SourceLoc, Tag, Trace, TraceBuilder,
+    WinId,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs for the synthetic workload.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthParams {
+    /// Number of ranks.
+    pub nprocs: u32,
+    /// Fence-delimited rounds (regions).
+    pub rounds: usize,
+    /// RMA operations per rank per round.
+    pub ops_per_round: usize,
+    /// Local load/store events per rank per round.
+    pub locals_per_round: usize,
+    /// Window length per rank in bytes.
+    pub win_len: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthParams {
+    fn default() -> Self {
+        Self {
+            nprocs: 8,
+            rounds: 4,
+            ops_per_round: 16,
+            locals_per_round: 32,
+            win_len: 4096,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a fence-synchronized trace of puts/gets with random disjoint
+/// or overlapping targets. `conflict_fraction` ∈ [0,1] steers how many
+/// operations aim at a shared "hot" window slot (producing real
+/// conflicts); 0.0 produces a conflict-free trace.
+pub fn synth_trace(params: &SynthParams, conflict_fraction: f64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let n = params.nprocs;
+    let mut b = TraceBuilder::new(n as usize);
+    let win = WinId(0);
+    let base = 64u64;
+    for r in 0..n {
+        b.push(
+            Rank(r),
+            EventKind::WinCreate { win, base, len: params.win_len, comm: CommId::WORLD },
+        );
+    }
+    let slots = params.win_len / 8;
+    for round in 0..params.rounds {
+        for r in 0..n {
+            b.push(Rank(r), EventKind::Fence { win });
+        }
+        for r in 0..n {
+            for op_i in 0..params.ops_per_round {
+                let target = rng.gen_range(0..n);
+                let hot = rng.gen_bool(conflict_fraction);
+                // Disjoint slots per (rank, op) unless "hot", in which
+                // case everyone writes slot 0 of the target.
+                let slot = if hot {
+                    0
+                } else {
+                    1 + (r as u64 * params.ops_per_round as u64 + op_i as u64) % (slots - 1)
+                };
+                // Gets on the cold path keep the trace conflict-free when
+                // conflict_fraction is 0; hot ops are puts so they truly
+                // collide.
+                let kind = if hot || rng.gen_bool(0.5) { RmaKind::Put } else { RmaKind::Get };
+                b.push_at(
+                    Rank(r),
+                    EventKind::Rma(RmaOp {
+                        kind,
+                        win,
+                        target: Rank(target),
+                        origin_addr: (1 << 16) + 64 * (r as u64 * 1024 + op_i as u64),
+                        origin_count: 2,
+                        origin_dtype: DatatypeId::INT,
+                        target_disp: 8 * slot,
+                        target_count: 2,
+                        target_dtype: DatatypeId::INT,
+                    }),
+                    SourceLoc::new(
+                        "synth.c",
+                        (round * 100_000 + r as usize * 1000 + op_i) as u32,
+                        "synth",
+                    ),
+                );
+            }
+            for l in 0..params.locals_per_round {
+                // Local traffic strictly outside the window so it can
+                // never conflict (conflicts come only from the hot slot).
+                let addr = (1 << 20) + 8 * l as u64;
+                let kind = if rng.gen_bool(0.5) {
+                    EventKind::Load { addr, len: 4 }
+                } else {
+                    EventKind::Store { addr, len: 4 }
+                };
+                b.push(Rank(r), kind);
+            }
+        }
+    }
+    for r in 0..n {
+        b.push(Rank(r), EventKind::Fence { win });
+        b.push(Rank(r), EventKind::WinFree { win });
+    }
+    b.build()
+}
+
+/// A trace with heavy collective + point-to-point synchronization and no
+/// RMA — exercising the matching phase in isolation.
+pub fn synth_sync_trace(nprocs: u32, rounds: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TraceBuilder::new(nprocs as usize);
+    for _ in 0..rounds {
+        for r in 0..nprocs {
+            b.push(Rank(r), EventKind::Barrier { comm: CommId::WORLD });
+        }
+        // A ring of sends; the receiver logs the tag that actually
+        // matched, exactly as the Profiler does.
+        let tags: Vec<u32> = (0..nprocs).map(|_| rng.gen_range(0..4)).collect();
+        for r in 0..nprocs {
+            let to = (r + 1) % nprocs;
+            b.push(
+                Rank(r),
+                EventKind::Send {
+                    comm: CommId::WORLD,
+                    to: Rank(to),
+                    tag: Tag(tags[r as usize]),
+                    bytes: 8,
+                },
+            );
+        }
+        for r in 0..nprocs {
+            let from = (r + nprocs - 1) % nprocs;
+            b.push(
+                Rank(r),
+                EventKind::Recv {
+                    comm: CommId::WORLD,
+                    from: Rank(from),
+                    tag: Tag(tags[from as usize]),
+                    bytes: 8,
+                },
+            );
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_core::{CheckOptions, McChecker};
+
+    #[test]
+    fn conflict_free_trace_is_clean() {
+        let t = synth_trace(&SynthParams::default(), 0.0);
+        let report = McChecker::new().check(&t);
+        assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn hot_slot_produces_conflicts() {
+        let t = synth_trace(&SynthParams::default(), 0.5);
+        let report = McChecker::new().check(&t);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn trace_size_scales() {
+        let small = synth_trace(&SynthParams { rounds: 1, ..Default::default() }, 0.0);
+        let large = synth_trace(&SynthParams { rounds: 8, ..Default::default() }, 0.0);
+        assert!(large.total_events() > 4 * small.total_events());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = synth_trace(&SynthParams::default(), 0.3);
+        let b = synth_trace(&SynthParams::default(), 0.3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sync_trace_fully_matched() {
+        let t = synth_sync_trace(6, 5, 9);
+        let report = McChecker::new().check(&t);
+        assert_eq!(report.stats.unmatched_sync, 0);
+        assert!(report.stats.regions > 1);
+    }
+
+    #[test]
+    fn detectors_agree_on_synthetic_conflicts() {
+        let t = synth_trace(&SynthParams { nprocs: 4, rounds: 2, ..Default::default() }, 0.4);
+        let fast = McChecker::new().check(&t);
+        let naive = McChecker::with_options(CheckOptions { naive_inter: true, ..Default::default() })
+            .check(&t);
+        assert_eq!(fast.diagnostics.len(), naive.diagnostics.len());
+    }
+}

@@ -1,0 +1,298 @@
+//! The MC-Checker facade: one call from trace to diagnostics.
+//!
+//! [`McChecker::check`] runs the full DN-Analyzer pipeline —
+//! preprocessing, synchronization matching (Algorithm 1), DAG
+//! construction, vector clocks, concurrent-region extraction, epoch
+//! extraction, and the two detectors — and returns the consolidated
+//! report plus per-phase statistics for the benchmarks.
+
+use crate::dag;
+use crate::epoch;
+use crate::inter;
+use crate::intra;
+use crate::matching;
+use crate::preprocess;
+use crate::regions::{self, Regions};
+use crate::report::{ConsistencyError, Severity};
+use crate::vc::Clocks;
+use mcc_types::Trace;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Analysis knobs (all ablation-oriented; the defaults reproduce the
+/// paper's configuration).
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Use the combinatorial all-pairs cross-process detector instead of
+    /// the linear window-vector one (§IV-C4 ablation).
+    pub naive_inter: bool,
+    /// Partition the trace into concurrent regions at global
+    /// synchronization (§III-B); off = one region (ablation).
+    pub partition_regions: bool,
+    /// Use the scan-from-the-start synchronization matcher instead of the
+    /// progress-counter Algorithm 1 (ablation).
+    pub naive_matching: bool,
+    /// Analyze regions on multiple threads (the paper's stated future
+    /// work: "We plan to further improve it by using multithreaded
+    /// programming", §VI).
+    pub parallel: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        Self {
+            naive_inter: false,
+            partition_regions: true,
+            naive_matching: false,
+            parallel: false,
+        }
+    }
+}
+
+/// Per-phase timings and structure sizes of one analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisStats {
+    /// Events analyzed.
+    pub total_events: usize,
+    /// DAG nodes (events plus collective phase splits).
+    pub dag_nodes: usize,
+    /// DAG edges.
+    pub dag_edges: usize,
+    /// Concurrent regions.
+    pub regions: usize,
+    /// Extracted epochs.
+    pub epochs: usize,
+    /// Synchronization calls that found no partner.
+    pub unmatched_sync: usize,
+    /// Phase durations.
+    pub preprocess_time: Duration,
+    /// Matching phase duration.
+    pub matching_time: Duration,
+    /// DAG + vector-clock phase duration.
+    pub dag_time: Duration,
+    /// Detection phase duration (both detectors).
+    pub detect_time: Duration,
+}
+
+/// The outcome of a check.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// All findings, errors before warnings, deduplicated by source
+    /// location pair.
+    pub diagnostics: Vec<ConsistencyError>,
+    /// Analysis statistics.
+    pub stats: AnalysisStats,
+}
+
+impl CheckReport {
+    /// Only the definite errors.
+    pub fn errors(&self) -> impl Iterator<Item = &ConsistencyError> {
+        self.diagnostics.iter().filter(|e| e.severity == Severity::Error)
+    }
+
+    /// Only the warnings.
+    pub fn warnings(&self) -> impl Iterator<Item = &ConsistencyError> {
+        self.diagnostics.iter().filter(|e| e.severity == Severity::Warning)
+    }
+
+    /// Whether any definite error was found.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Renders the report the way the MC-Checker CLI would print it.
+    pub fn render(&self) -> String {
+        if self.diagnostics.is_empty() {
+            return "MC-Checker: no memory consistency errors detected.\n".to_string();
+        }
+        let mut s = format!(
+            "MC-Checker: {} finding(s) ({} error(s), {} warning(s))\n\n",
+            self.diagnostics.len(),
+            self.errors().count(),
+            self.warnings().count()
+        );
+        for (i, e) in self.diagnostics.iter().enumerate() {
+            s.push_str(&format!("--- finding {} ---\n{}\n\n", i + 1, e));
+        }
+        s
+    }
+}
+
+/// The checker.
+#[derive(Debug, Default, Clone)]
+pub struct McChecker {
+    opts: CheckOptions,
+}
+
+impl McChecker {
+    /// A checker with default (paper-configuration) options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A checker with explicit options.
+    pub fn with_options(opts: CheckOptions) -> Self {
+        Self { opts }
+    }
+
+    /// Runs the full pipeline on a trace.
+    pub fn check(&self, trace: &Trace) -> CheckReport {
+        let mut stats = AnalysisStats { total_events: trace.total_events(), ..Default::default() };
+
+        let t0 = Instant::now();
+        let ctx = preprocess::preprocess(trace);
+        stats.preprocess_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        let matching = if self.opts.naive_matching {
+            matching::match_sync_naive(trace, &ctx)
+        } else {
+            matching::match_sync(trace, &ctx)
+        };
+        stats.matching_time = t0.elapsed();
+        stats.unmatched_sync = matching.unmatched.len();
+
+        let t0 = Instant::now();
+        let dag = dag::build(trace, &ctx, &matching);
+        let clocks = Clocks::compute(&dag);
+        stats.dag_nodes = dag.node_count();
+        stats.dag_edges = dag.edge_count();
+        stats.dag_time = t0.elapsed();
+
+        let regions = if self.opts.partition_regions {
+            regions::partition(trace, &matching)
+        } else {
+            Regions::whole(trace)
+        };
+        stats.regions = regions.count;
+
+        let epochs = epoch::extract(trace, &ctx);
+        stats.epochs = epochs.epochs.len();
+
+        let t0 = Instant::now();
+        let mut diagnostics = intra::detect(trace, &ctx, &epochs);
+        let inter_findings = if self.opts.naive_inter {
+            inter::detect_naive(trace, &ctx, &epochs, &regions, &dag, &clocks)
+        } else if self.opts.parallel {
+            use rayon::prelude::*;
+            let mut found: Vec<ConsistencyError> = (0..regions.count as u32)
+                .into_par_iter()
+                .flat_map(|r| {
+                    inter::detect_one_region(trace, &ctx, &epochs, &regions, r, &dag, &clocks)
+                })
+                .collect();
+            // Parallel collection can interleave; restore a stable order.
+            found.sort_by_key(|e| (e.a.ev, e.b.ev));
+            found
+        } else {
+            inter::detect(trace, &ctx, &epochs, &regions, &dag, &clocks)
+        };
+        diagnostics.extend(inter_findings);
+        stats.detect_time = t0.elapsed();
+
+        // Global dedup (a pair can surface from both detectors) and stable
+        // presentation order: errors first.
+        let mut seen = HashSet::new();
+        diagnostics.retain(|e| seen.insert(e.dedup_key()));
+        diagnostics.sort_by_key(|e| (e.severity, e.a.ev, e.b.ev));
+
+        CheckReport { diagnostics, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_types::{
+        CommId, DatatypeId, EventKind, Rank, RmaKind, RmaOp, TraceBuilder, WinId,
+    };
+
+    fn buggy_trace() -> Trace {
+        let mut b = TraceBuilder::new(2);
+        for r in 0..2u32 {
+            b.push(
+                Rank(r),
+                EventKind::WinCreate { win: WinId(0), base: 64, len: 64, comm: CommId::WORLD },
+            );
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        b.push(
+            Rank(0),
+            EventKind::Rma(RmaOp {
+                kind: RmaKind::Put,
+                win: WinId(0),
+                target: Rank(1),
+                origin_addr: 200,
+                origin_count: 1,
+                origin_dtype: DatatypeId::INT,
+                target_disp: 0,
+                target_count: 1,
+                target_dtype: DatatypeId::INT,
+            }),
+        );
+        b.push(Rank(0), EventKind::Store { addr: 200, len: 4 });
+        b.push(Rank(1), EventKind::Store { addr: 64, len: 4 });
+        for r in 0..2u32 {
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn full_pipeline_finds_both_error_classes() {
+        let report = McChecker::new().check(&buggy_trace());
+        assert!(report.has_errors());
+        // Intra (put vs origin store) + cross (put vs target store).
+        assert_eq!(report.diagnostics.len(), 2);
+        assert!(report.render().contains("finding 2"));
+        assert!(report.stats.total_events > 0);
+        assert!(report.stats.dag_nodes >= report.stats.total_events);
+        assert_eq!(report.stats.unmatched_sync, 0);
+        assert_eq!(report.stats.epochs, 1);
+    }
+
+    #[test]
+    fn all_option_combinations_agree_on_findings() {
+        let base = McChecker::new().check(&buggy_trace()).diagnostics.len();
+        for naive_inter in [false, true] {
+            for partition in [false, true] {
+                for parallel in [false, true] {
+                    let opts = CheckOptions {
+                        naive_inter,
+                        partition_regions: partition,
+                        naive_matching: false,
+                        parallel,
+                    };
+                    let n = McChecker::with_options(opts).check(&buggy_trace()).diagnostics.len();
+                    assert_eq!(
+                        n, base,
+                        "naive_inter={naive_inter} partition={partition} parallel={parallel}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clean_trace_reports_nothing() {
+        let mut b = TraceBuilder::new(2);
+        for r in 0..2u32 {
+            b.push(
+                Rank(r),
+                EventKind::WinCreate { win: WinId(0), base: 64, len: 64, comm: CommId::WORLD },
+            );
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        let report = McChecker::new().check(&b.build());
+        assert!(!report.has_errors());
+        assert!(report.render().contains("no memory consistency errors"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let report = McChecker::new().check(&Trace::new(4));
+        assert!(report.diagnostics.is_empty());
+        assert_eq!(report.stats.total_events, 0);
+    }
+}

@@ -1,0 +1,521 @@
+//! Cross-process conflict detection (paper §III-C / §IV-C4, second error
+//! class).
+//!
+//! The straightforward approach checks every pair of operations in a
+//! concurrent region — combinatorial. The paper's observation: such errors
+//! can occur *only in the window buffers at target processes*. So the
+//! detector keeps one vector entry per `(window, target)` holding the
+//! one-sided operations seen so far; each new operation is checked only
+//! against its own entry, and in a second pass each local load/store is
+//! checked against the entries of the windows it touches. Cost is linear
+//! in the number of operations plus bucket-local comparisons.
+//!
+//! Pairs that the region partition admits are confirmed genuinely
+//! unordered with vector clocks before being reported (no false positives
+//! from, e.g., a send/recv inside the region).
+//!
+//! The naive all-pairs detector is kept as [`detect_naive`] for the
+//! complexity ablation.
+
+use crate::dag::Dag;
+use crate::epoch::{EpochKind, Epochs};
+use crate::preprocess::Ctx;
+use crate::regions::Regions;
+use crate::report::{ConsistencyError, ErrorScope, OpInfo, Severity};
+use crate::vc::Clocks;
+use mcc_types::{
+    conflicts, AccessClass, DataMap, EventKind, EventRef, LockKind, MemRegion, Rank,
+    Trace, WinId,
+};
+use std::collections::{HashMap, HashSet};
+
+/// A one-sided operation recorded in a window-vector entry.
+struct Stored {
+    ev: EventRef,
+    class: AccessClass,
+    /// Absolute footprint in the target's window.
+    map: DataMap,
+    /// Lock kind of the issuing epoch, when it is a passive-target epoch.
+    lock: Option<LockKind>,
+}
+
+fn op_lock_kind(epochs: &Epochs, ev: EventRef) -> Option<LockKind> {
+    match epochs.epoch_of(ev)?.kind {
+        EpochKind::Lock { lock, .. } => Some(lock),
+        // MPI-3 lock_all acquires shared locks everywhere.
+        EpochKind::LockAll { .. } => Some(LockKind::Shared),
+        _ => None,
+    }
+}
+
+/// Severity demotion: a conflict where every involved RMA epoch holds an
+/// exclusive lock may be serialized by the runtime — report a warning, as
+/// the paper does for the original lockopts bug (§VII-A2).
+fn severity(locks: &[Option<LockKind>]) -> Severity {
+    let rma_epochs: Vec<LockKind> = locks.iter().filter_map(|l| *l).collect();
+    if !rma_epochs.is_empty() && rma_epochs.iter().all(|&l| l == LockKind::Exclusive) {
+        Severity::Warning
+    } else {
+        Severity::Error
+    }
+}
+
+/// Runs the linear window-vector detection over every concurrent region.
+pub fn detect(
+    trace: &Trace,
+    ctx: &Ctx,
+    epochs: &Epochs,
+    regions: &Regions,
+    dag: &Dag,
+    clocks: &Clocks,
+) -> Vec<ConsistencyError> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    for region in 0..regions.count as u32 {
+        detect_region(trace, ctx, epochs, regions, region, dag, clocks, &mut out, &mut seen);
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn detect_region(
+    trace: &Trace,
+    ctx: &Ctx,
+    epochs: &Epochs,
+    regions: &Regions,
+    region: u32,
+    dag: &Dag,
+    clocks: &Clocks,
+    out: &mut Vec<ConsistencyError>,
+    seen: &mut HashSet<String>,
+) {
+    let mut buckets: HashMap<(WinId, Rank), Vec<Stored>> = HashMap::new();
+    let push = |e: ConsistencyError, seen: &mut HashSet<_>, out: &mut Vec<_>| {
+        if seen.insert(e.dedup_key()) {
+            out.push(e);
+        }
+    };
+
+    // Pass 1: one-sided operations against the window vector.
+    for (er, event) in trace.iter_events() {
+        if regions.region_of(er) != region {
+            continue;
+        }
+        let Some(ra) = ctx.resolve_rma_event(er.rank, &event.kind) else { continue };
+        let lock = op_lock_kind(epochs, er);
+        let entry = buckets.entry((ra.win, ra.target_abs)).or_default();
+        for prior in entry.iter() {
+            if !clocks.concurrent(dag.enter(prior.ev), dag.enter(er)) {
+                continue;
+            }
+            let overlap = prior.map.overlaps_at(0, &ra.target_map, 0);
+            if let Some(kind) = conflicts(prior.class, ra.class, overlap) {
+                push(
+                    ConsistencyError {
+                        severity: severity(&[prior.lock, lock]),
+                        scope: ErrorScope::CrossProcess { win: ra.win, target: ra.target_abs },
+                        a: OpInfo::from_trace(trace, prior.ev, Some(prior.map.bounding_region_at(0))),
+                        b: OpInfo::from_trace(trace, er, Some(ra.target_map.bounding_region_at(0))),
+                        kind,
+                        explanation: format!(
+                            "concurrent {} and {} reach the window of {} with no \
+                             happens-before or consistency ordering between them",
+                            prior.class, ra.class, ra.target_abs
+                        ),
+                    },
+                    seen,
+                    out,
+                );
+            }
+        }
+        entry.push(Stored { ev: er, class: ra.class, map: ra.target_map, lock });
+    }
+
+    // Pass 2: local load/store accesses that touch window memory.
+    for (er, event) in trace.iter_events() {
+        if regions.region_of(er) != region {
+            continue;
+        }
+        let (is_store, addr, len) = match event.kind {
+            EventKind::Load { addr, len } => (false, addr, len),
+            EventKind::Store { addr, len } => (true, addr, len),
+            _ => continue,
+        };
+        let access = MemRegion::new(addr, len);
+        let local_class = if is_store { AccessClass::STORE } else { AccessClass::LOAD };
+        for (win, win_region) in ctx.wins_of_rank(er.rank) {
+            if !win_region.overlaps(access) {
+                continue;
+            }
+            let Some(entry) = buckets.get(&(win, er.rank)) else { continue };
+            for stored in entry {
+                // Skip self-conflicts between an op and accesses of the
+                // same rank that issued it — those are the intra-epoch
+                // detector's job when they share an epoch; across epochs
+                // at the same rank the ordering check below handles it.
+                if !clocks.concurrent(dag.enter(stored.ev), dag.enter(er)) {
+                    continue;
+                }
+                let overlap = stored.map.overlaps_region_at(0, access);
+                if let Some(kind) = conflicts(local_class, stored.class, overlap) {
+                    push(
+                        ConsistencyError {
+                            severity: severity(&[stored.lock]),
+                            scope: ErrorScope::CrossProcess { win, target: er.rank },
+                            a: OpInfo::from_trace(trace, stored.ev, Some(stored.map.bounding_region_at(0))),
+                            b: OpInfo::from_trace(trace, er, Some(access)),
+                            kind,
+                            explanation: format!(
+                                "a remote {} to {}'s window is concurrent with the target's own \
+                                 {} of window memory",
+                                stored.class,
+                                er.rank,
+                                if is_store { "store" } else { "load" }
+                            ),
+                        },
+                        seen,
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Detects conflicts in a single region — the unit of work of the
+/// multithreaded analysis mode (the paper's stated future work, §VI).
+pub fn detect_one_region(
+    trace: &Trace,
+    ctx: &Ctx,
+    epochs: &Epochs,
+    regions: &Regions,
+    region: u32,
+    dag: &Dag,
+    clocks: &Clocks,
+) -> Vec<ConsistencyError> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    detect_region(trace, ctx, epochs, regions, region, dag, clocks, &mut out, &mut seen);
+    out
+}
+
+/// The combinatorial baseline: every pair of operations in each region is
+/// checked directly. Produces the same reports; kept for the §IV-C4
+/// complexity ablation.
+pub fn detect_naive(
+    trace: &Trace,
+    ctx: &Ctx,
+    epochs: &Epochs,
+    regions: &Regions,
+    dag: &Dag,
+    clocks: &Clocks,
+) -> Vec<ConsistencyError> {
+    struct Access {
+        er: EventRef,
+        class: AccessClass,
+        /// `(window, target rank, footprint)` — for local accesses, one
+        /// entry per window the access touches.
+        touches: Vec<(WinId, Rank, DataMap)>,
+        lock: Option<LockKind>,
+    }
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    for region in 0..regions.count as u32 {
+        let mut accesses: Vec<Access> = Vec::new();
+        for (er, event) in trace.iter_events() {
+            if regions.region_of(er) != region {
+                continue;
+            }
+            if let Some(ra) = ctx.resolve_rma_event(er.rank, &event.kind) {
+                accesses.push(Access {
+                    er,
+                    class: ra.class,
+                    touches: vec![(ra.win, ra.target_abs, ra.target_map)],
+                    lock: op_lock_kind(epochs, er),
+                });
+                continue;
+            }
+            match &event.kind {
+                EventKind::Load { addr, len } | EventKind::Store { addr, len } => {
+                    let is_store = matches!(event.kind, EventKind::Store { .. });
+                    let access = MemRegion::new(*addr, *len);
+                    let touches: Vec<(WinId, Rank, DataMap)> = ctx
+                        .wins_of_rank(er.rank)
+                        .into_iter()
+                        .filter(|(_, wr)| wr.overlaps(access))
+                        .map(|(w, _)| {
+                            (w, er.rank, DataMap::contiguous(*len).shifted(*addr))
+                        })
+                        .collect();
+                    if touches.is_empty() {
+                        continue;
+                    }
+                    accesses.push(Access {
+                        er,
+                        class: if is_store { AccessClass::STORE } else { AccessClass::LOAD },
+                        touches,
+                        lock: None,
+                    });
+                }
+                _ => {}
+            }
+        }
+        for i in 0..accesses.len() {
+            for j in (i + 1)..accesses.len() {
+                let (a, b) = (&accesses[i], &accesses[j]);
+                // Local-local pairs never conflict under this ruleset
+                // (only the window owner loads/stores its window).
+                let a_is_rma = trace.event(a.er).kind.is_rma_op();
+                let b_is_rma = trace.event(b.er).kind.is_rma_op();
+                if !a_is_rma && !b_is_rma {
+                    continue;
+                }
+                for (wa, ta, ma) in &a.touches {
+                    for (wb, tb, mb) in &b.touches {
+                        if wa != wb || ta != tb {
+                            continue;
+                        }
+                        if !clocks.concurrent(dag.enter(a.er), dag.enter(b.er)) {
+                            continue;
+                        }
+                        let overlap = ma.overlaps_at(0, mb, 0);
+                        if let Some(kind) = conflicts(a.class, b.class, overlap) {
+                            let e = ConsistencyError {
+                                severity: severity(&[a.lock, b.lock]),
+                                scope: ErrorScope::CrossProcess { win: *wa, target: *ta },
+                                a: OpInfo::from_trace(trace, a.er, Some(ma.bounding_region_at(0))),
+                                b: OpInfo::from_trace(trace, b.er, Some(mb.bounding_region_at(0))),
+                                kind,
+                                explanation: "naive all-pairs detection".to_string(),
+                            };
+                            if seen.insert(e.dedup_key()) {
+                                out.push(e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::build;
+    use crate::epoch::extract;
+    use crate::matching::match_sync;
+    use crate::preprocess::preprocess;
+    use crate::regions::partition;
+    use mcc_types::{CommId, DatatypeId, RmaKind, RmaOp, SourceLoc, TraceBuilder};
+
+    fn rma(kind: RmaKind, origin: u64, target: u32, disp: u64) -> EventKind {
+        EventKind::Rma(RmaOp {
+            kind,
+            win: WinId(0),
+            target: Rank(target),
+            origin_addr: origin,
+            origin_count: 1,
+            origin_dtype: DatatypeId::INT,
+            target_disp: disp,
+            target_count: 1,
+            target_dtype: DatatypeId::INT,
+        })
+    }
+
+    struct Pipeline {
+        trace: Trace,
+    }
+
+    impl Pipeline {
+        fn run(&self) -> Vec<ConsistencyError> {
+            let ctx = preprocess(&self.trace);
+            let m = match_sync(&self.trace, &ctx);
+            let dag = build(&self.trace, &ctx, &m);
+            let clocks = Clocks::compute(&dag);
+            let regions = partition(&self.trace, &m);
+            let eps = extract(&self.trace, &ctx);
+            detect(&self.trace, &ctx, &eps, &regions, &dag, &clocks)
+        }
+
+        fn run_naive(&self) -> Vec<ConsistencyError> {
+            let ctx = preprocess(&self.trace);
+            let m = match_sync(&self.trace, &ctx);
+            let dag = build(&self.trace, &ctx, &m);
+            let clocks = Clocks::compute(&dag);
+            let regions = partition(&self.trace, &m);
+            let eps = extract(&self.trace, &ctx);
+            detect_naive(&self.trace, &ctx, &eps, &regions, &dag, &clocks)
+        }
+    }
+
+    fn scaffold(n: u32) -> TraceBuilder {
+        let mut b = TraceBuilder::new(n as usize);
+        for r in 0..n {
+            b.push(
+                Rank(r),
+                EventKind::WinCreate { win: WinId(0), base: 64, len: 64, comm: CommId::WORLD },
+            );
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        b
+    }
+
+    fn close_fence(b: &mut TraceBuilder, n: u32) {
+        for r in 0..n {
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+    }
+
+    /// Figure 2b: two puts from different origins to the same target
+    /// location in concurrent active-target epochs.
+    #[test]
+    fn fig2b_concurrent_puts() {
+        let mut b = scaffold(3);
+        b.push_at(Rank(0), rma(RmaKind::Put, 200, 1, 0), SourceLoc::new("fig2b.c", 3, "main"));
+        b.push_at(Rank(2), rma(RmaKind::Put, 200, 1, 0), SourceLoc::new("fig2b.c", 7, "main"));
+        close_fence(&mut b, 3);
+        let errors = Pipeline { trace: b.build() }.run();
+        assert_eq!(errors.len(), 1);
+        let e = &errors[0];
+        assert_eq!(e.severity, Severity::Error);
+        assert!(matches!(e.scope, ErrorScope::CrossProcess { target: Rank(1), .. }));
+        assert_eq!(e.a.op, "MPI_Put");
+        assert_eq!(e.b.op, "MPI_Put");
+        assert_ne!(e.a.rank, e.b.rank);
+    }
+
+    #[test]
+    fn disjoint_targets_no_conflict() {
+        let mut b = scaffold(3);
+        b.push(Rank(0), rma(RmaKind::Put, 200, 1, 0));
+        b.push(Rank(2), rma(RmaKind::Put, 200, 1, 8));
+        close_fence(&mut b, 3);
+        assert!(Pipeline { trace: b.build() }.run().is_empty());
+    }
+
+    /// Figure 2c: concurrent put and get on overlapping window memory from
+    /// passive-target epochs.
+    #[test]
+    fn fig2c_passive_put_vs_get() {
+        let mut b = scaffold(3);
+        b.push(Rank(0), EventKind::Lock { win: WinId(0), target: Rank(1), kind: LockKind::Shared });
+        b.push(Rank(0), rma(RmaKind::Put, 200, 1, 0));
+        b.push(Rank(0), EventKind::Unlock { win: WinId(0), target: Rank(1) });
+        b.push(Rank(2), EventKind::Lock { win: WinId(0), target: Rank(1), kind: LockKind::Shared });
+        b.push(Rank(2), rma(RmaKind::Get, 200, 1, 0));
+        b.push(Rank(2), EventKind::Unlock { win: WinId(0), target: Rank(1) });
+        close_fence(&mut b, 3);
+        let errors = Pipeline { trace: b.build() }.run();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].severity, Severity::Error, "shared locks do not serialize");
+    }
+
+    /// The original lockopts scenario: both epochs exclusive → warning.
+    #[test]
+    fn exclusive_lock_demoted_to_warning() {
+        let mut b = scaffold(3);
+        for r in [0u32, 2] {
+            b.push(
+                Rank(r),
+                EventKind::Lock { win: WinId(0), target: Rank(1), kind: LockKind::Exclusive },
+            );
+            b.push(Rank(r), rma(RmaKind::Put, 200, 1, 0));
+            b.push(Rank(r), EventKind::Unlock { win: WinId(0), target: Rank(1) });
+        }
+        close_fence(&mut b, 3);
+        let errors = Pipeline { trace: b.build() }.run();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].severity, Severity::Warning);
+    }
+
+    /// Figure 2d: put vs the target's own store to its window.
+    #[test]
+    fn fig2d_put_vs_target_store() {
+        let mut b = scaffold(2);
+        b.push(Rank(0), rma(RmaKind::Put, 200, 1, 0));
+        // Rank 1 stores into its own window (base 64) concurrently.
+        b.push_at(Rank(1), EventKind::Store { addr: 64, len: 4 }, SourceLoc::new("fig2d.c", 9, "main"));
+        close_fence(&mut b, 2);
+        let errors = Pipeline { trace: b.build() }.run();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].b.op, "store");
+        assert_eq!(errors[0].b.loc.line, 9);
+    }
+
+    /// The separation rule: a store to the window conflicts with a put to
+    /// a *different* part of the same window.
+    #[test]
+    fn separation_rule_disjoint_store_vs_put() {
+        let mut b = scaffold(2);
+        b.push(Rank(0), rma(RmaKind::Put, 200, 1, 0));
+        b.push(Rank(1), EventKind::Store { addr: 100, len: 4 }); // disjoint from put's [64,68)
+        close_fence(&mut b, 2);
+        let errors = Pipeline { trace: b.build() }.run();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].kind, mcc_types::ConflictKind::SeparationViolation);
+    }
+
+    #[test]
+    fn target_load_vs_put_needs_overlap() {
+        let mut b = scaffold(2);
+        b.push(Rank(0), rma(RmaKind::Put, 200, 1, 0));
+        b.push(Rank(1), EventKind::Load { addr: 100, len: 4 }); // disjoint
+        close_fence(&mut b, 2);
+        assert!(Pipeline { trace: b.build() }.run().is_empty());
+        let mut b = scaffold(2);
+        b.push(Rank(0), rma(RmaKind::Put, 200, 1, 0));
+        b.push(Rank(1), EventKind::Load { addr: 64, len: 4 }); // overlaps
+        close_fence(&mut b, 2);
+        assert_eq!(Pipeline { trace: b.build() }.run().len(), 1);
+    }
+
+    #[test]
+    fn barrier_separated_epochs_no_conflict() {
+        // Figure 3's c/d scenario: ops in different regions are ordered.
+        let mut b = scaffold(2);
+        b.push(Rank(0), rma(RmaKind::Put, 200, 1, 0));
+        close_fence(&mut b, 2); // closes epoch AND partitions regions
+        b.push(Rank(1), EventKind::Load { addr: 64, len: 4 });
+        close_fence(&mut b, 2);
+        assert!(Pipeline { trace: b.build() }.run().is_empty());
+    }
+
+    #[test]
+    fn local_access_outside_windows_ignored() {
+        let mut b = scaffold(2);
+        b.push(Rank(0), rma(RmaKind::Put, 200, 1, 0));
+        b.push(Rank(1), EventKind::Store { addr: 4096, len: 4 }); // not window memory
+        close_fence(&mut b, 2);
+        assert!(Pipeline { trace: b.build() }.run().is_empty());
+    }
+
+    #[test]
+    fn naive_detector_agrees() {
+        let mut b = scaffold(3);
+        b.push(Rank(0), rma(RmaKind::Put, 200, 1, 0));
+        b.push(Rank(2), rma(RmaKind::Put, 200, 1, 0));
+        b.push(Rank(1), EventKind::Store { addr: 64, len: 4 });
+        close_fence(&mut b, 3);
+        let p = Pipeline { trace: b.build() };
+        let fast = p.run();
+        let naive = p.run_naive();
+        assert_eq!(fast.len(), naive.len());
+        let key = |v: &Vec<ConsistencyError>| {
+            let mut k: Vec<_> = v.iter().map(|e| (e.a.ev, e.b.ev)).collect();
+            k.sort();
+            k
+        };
+        assert_eq!(key(&fast), key(&naive));
+    }
+
+    #[test]
+    fn concurrent_gets_are_fine() {
+        let mut b = scaffold(3);
+        b.push(Rank(0), rma(RmaKind::Get, 200, 1, 0));
+        b.push(Rank(2), rma(RmaKind::Get, 200, 1, 0));
+        close_fence(&mut b, 3);
+        assert!(Pipeline { trace: b.build() }.run().is_empty());
+    }
+}

@@ -1,0 +1,527 @@
+//! Intra-epoch conflict detection (paper §III-C, first error class).
+//!
+//! Within an epoch, nonblocking RMA operations complete at an undefined
+//! point before the closing synchronization, so they race with:
+//!
+//! * other operations of the same epoch whose **target** footprints
+//!   overlap at the same target process (checked against Table I), and
+//! * any access to the local buffers they read or write between issue and
+//!   completion — a pending `MPI_Get` acts as a deferred store into its
+//!   origin buffer (Figures 1 and 6), a pending `MPI_Put`/
+//!   `MPI_Accumulate` as a deferred load of it (Figure 2a / the ADLB
+//!   stack bug), and an MPI-3 atomic as a deferred load of its operand
+//!   plus a deferred store into its result buffer.
+//!
+//! MPI-3 refinements: a request-based operation waited with `MPI_Wait`
+//! completes at the wait, so later accesses in the same epoch are ordered
+//! after it; flushes split passive epochs into sub-epochs upstream (in
+//! [`crate::epoch`]), so cross-flush pairs never reach this detector.
+
+use crate::epoch::{Epoch, Epochs};
+use crate::preprocess::{Ctx, ResolvedAccess};
+use crate::report::{ConsistencyError, ErrorScope, OpInfo, Severity};
+use mcc_types::{compat, conflicts, ConflictKind, EventKind, EventRef, MemRegion, Trace};
+use std::collections::HashSet;
+
+struct ResolvedOp {
+    ev: EventRef,
+    ra: ResolvedAccess,
+    /// Early completion point (request-based op that was waited).
+    close: Option<EventRef>,
+}
+
+impl ResolvedOp {
+    /// Whether `other_idx` (an event index at the same rank) is ordered
+    /// after this op's completion.
+    fn completed_before(&self, other_idx: usize) -> bool {
+        self.close.is_some_and(|c| other_idx > c.idx)
+    }
+}
+
+/// Scans every epoch for conflicting pairs.
+pub fn detect(trace: &Trace, ctx: &Ctx, epochs: &Epochs) -> Vec<ConsistencyError> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    for epoch in &epochs.epochs {
+        check_epoch(trace, ctx, epoch, &mut out, &mut seen);
+    }
+    out
+}
+
+fn check_epoch(
+    trace: &Trace,
+    ctx: &Ctx,
+    epoch: &Epoch,
+    out: &mut Vec<ConsistencyError>,
+    seen: &mut HashSet<String>,
+) {
+    let ops: Vec<ResolvedOp> = epoch
+        .ops
+        .iter()
+        .map(|&ev| {
+            let ra = ctx
+                .resolve_rma_event(ev.rank, &trace.event(ev).kind)
+                .expect("epoch ops are RMA events");
+            ResolvedOp { ev, ra, close: epoch.op_close.get(&ev).copied() }
+        })
+        .collect();
+
+    let mut push = |e: ConsistencyError, seen: &mut HashSet<_>| {
+        if seen.insert(e.dedup_key()) {
+            out.push(e);
+        }
+    };
+
+    // Operation pairs within the epoch. Pairs where one op completed
+    // (early wait) before the other was issued are program-ordered.
+    for i in 0..ops.len() {
+        for j in (i + 1)..ops.len() {
+            let (a, b) = (&ops[i], &ops[j]);
+            debug_assert!(a.ev.idx < b.ev.idx, "epoch ops are in issue order");
+            if a.completed_before(b.ev.idx) {
+                continue;
+            }
+            // Origin-buffer side (both buffers live at this rank).
+            if a.ra.origin_conflicts_with(&b.ra) {
+                push(
+                    ConsistencyError {
+                        severity: Severity::Error,
+                        scope: ErrorScope::IntraEpoch { rank: epoch.rank, win: epoch.win },
+                        a: op_info(trace, a, true),
+                        b: op_info(trace, b, true),
+                        kind: ConflictKind::OverlapViolation,
+                        explanation: format!(
+                            "both operations access the same local buffer while nonblocking \
+                             and unordered within the epoch (at least one updates it); \
+                             the result is undefined until the epoch closes at {}",
+                            close_desc(trace, epoch)
+                        ),
+                    },
+                    seen,
+                );
+            }
+            // Target-window side.
+            if a.ra.target_abs == b.ra.target_abs && a.ra.win == b.ra.win {
+                let overlap = a.ra.target_map.overlaps_at(0, &b.ra.target_map, 0);
+                if let Some(kind) = conflicts(a.ra.class, b.ra.class, overlap) {
+                    push(
+                        ConsistencyError {
+                            severity: Severity::Error,
+                            scope: ErrorScope::IntraEpoch { rank: epoch.rank, win: epoch.win },
+                            a: op_info(trace, a, false),
+                            b: op_info(trace, b, false),
+                            kind,
+                            explanation: format!(
+                                "unordered {} and {} update overlapping window memory at target \
+                                 {} within one epoch (Table I: {})",
+                                a.ra.class,
+                                b.ra.class,
+                                a.ra.target_abs,
+                                compat(a.ra.class, b.ra.class)
+                            ),
+                        },
+                        seen,
+                    );
+                }
+            }
+        }
+    }
+
+    // Operation vs. local access: only accesses between issue and the
+    // op's completion (early wait, else epoch close).
+    for op in &ops {
+        for &acc in &epoch.locals {
+            if acc.idx <= op.ev.idx || op.completed_before(acc.idx) {
+                continue;
+            }
+            let (is_store, addr, len) = match trace.event(acc).kind {
+                EventKind::Load { addr, len } => (false, addr, len),
+                EventKind::Store { addr, len } => (true, addr, len),
+                _ => continue,
+            };
+            let region = MemRegion::new(addr, len);
+            if op.ra.origin_conflicts_with_access(is_store, region) {
+                let effect = if op.ra.writes.overlaps_region_at(0, region) {
+                    "writes local memory at an undefined time before it completes"
+                } else {
+                    "reads its local buffer at an undefined time before it completes"
+                };
+                push(
+                    ConsistencyError {
+                        severity: Severity::Error,
+                        scope: ErrorScope::IntraEpoch { rank: epoch.rank, win: epoch.win },
+                        a: op_info(trace, op, true),
+                        b: OpInfo::from_trace(trace, acc, Some(region)),
+                        kind: ConflictKind::OverlapViolation,
+                        explanation: format!(
+                            "the nonblocking {} {}; the {} of the same memory races with it \
+                             (close: {})",
+                            trace.event(op.ev).kind.call_name(),
+                            effect,
+                            if is_store { "store" } else { "load" },
+                            close_desc(trace, epoch),
+                        ),
+                    },
+                    seen,
+                );
+            }
+        }
+    }
+}
+
+fn op_info(trace: &Trace, op: &ResolvedOp, origin_side: bool) -> OpInfo {
+    let map = if origin_side {
+        if op.ra.writes.is_empty() { &op.ra.reads } else { &op.ra.writes }
+    } else {
+        &op.ra.target_map
+    };
+    let region = (!map.is_empty()).then(|| map.bounding_region_at(0));
+    OpInfo::from_trace(trace, op.ev, region)
+}
+
+fn close_desc(trace: &Trace, epoch: &Epoch) -> String {
+    match epoch.close {
+        Some(c) => format!("{} at {}", trace.event(c).kind.call_name(), trace.loc_of(c)),
+        None => "never closed in this trace".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::extract;
+    use crate::preprocess::preprocess;
+    use mcc_types::{
+        AtomicKind, AtomicOp, CommId, DatatypeId, Rank, ReduceOp, RmaKind, RmaOp, SourceLoc,
+        TraceBuilder, WinId,
+    };
+
+    fn rma(kind: RmaKind, origin: u64, target: u32, disp: u64, count: u32) -> EventKind {
+        EventKind::Rma(RmaOp {
+            kind,
+            win: WinId(0),
+            target: Rank(target),
+            origin_addr: origin,
+            origin_count: count,
+            origin_dtype: DatatypeId::INT,
+            target_disp: disp,
+            target_count: count,
+            target_dtype: DatatypeId::INT,
+        })
+    }
+
+    fn scaffold(b: &mut TraceBuilder, n: u32) {
+        for r in 0..n {
+            b.push(
+                Rank(r),
+                EventKind::WinCreate { win: WinId(0), base: 64, len: 64, comm: CommId::WORLD },
+            );
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+    }
+
+    fn close(b: &mut TraceBuilder, n: u32) {
+        for r in 0..n {
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+    }
+
+    fn run(t: &Trace) -> Vec<ConsistencyError> {
+        let ctx = preprocess(t);
+        let eps = extract(t, &ctx);
+        detect(t, &ctx, &eps)
+    }
+
+    /// Figure 2a: put then store to the same buffer within one epoch.
+    #[test]
+    fn fig2a_put_then_store() {
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        b.push_at(Rank(0), rma(RmaKind::Put, 200, 1, 0, 1), SourceLoc::new("fig2a.c", 3, "main"));
+        b.push_at(Rank(0), EventKind::Store { addr: 200, len: 4 }, SourceLoc::new("fig2a.c", 4, "main"));
+        close(&mut b, 2);
+        let errors = run(&b.build());
+        assert_eq!(errors.len(), 1);
+        let e = &errors[0];
+        assert_eq!(e.severity, Severity::Error);
+        assert!(matches!(e.scope, ErrorScope::IntraEpoch { rank: Rank(0), .. }));
+        assert_eq!(e.a.op, "MPI_Put");
+        assert_eq!(e.b.op, "store");
+        assert_eq!(e.a.loc.line, 3);
+        assert_eq!(e.b.loc.line, 4);
+    }
+
+    /// Figure 1 / Figure 6: get then load of the origin buffer.
+    #[test]
+    fn fig6_get_then_load() {
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        b.push_at(Rank(0), rma(RmaKind::Get, 200, 1, 0, 1), SourceLoc::new("bt.c", 5, "main"));
+        b.push_at(Rank(0), EventKind::Load { addr: 200, len: 4 }, SourceLoc::new("bt.c", 4, "main"));
+        close(&mut b, 2);
+        let errors = run(&b.build());
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].a.op, "MPI_Get");
+        assert_eq!(errors[0].b.op, "load");
+    }
+
+    #[test]
+    fn load_before_issue_is_ordered() {
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        b.push(Rank(0), EventKind::Load { addr: 200, len: 4 });
+        b.push(Rank(0), rma(RmaKind::Get, 200, 1, 0, 1));
+        close(&mut b, 2);
+        assert!(run(&b.build()).is_empty(), "access before issue cannot race");
+    }
+
+    #[test]
+    fn load_of_put_origin_is_fine() {
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        b.push(Rank(0), rma(RmaKind::Put, 200, 1, 0, 1));
+        b.push(Rank(0), EventKind::Load { addr: 200, len: 4 });
+        close(&mut b, 2);
+        assert!(run(&b.build()).is_empty(), "both only read the origin buffer");
+    }
+
+    #[test]
+    fn disjoint_buffers_no_conflict() {
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        b.push(Rank(0), rma(RmaKind::Get, 200, 1, 0, 1));
+        b.push(Rank(0), EventKind::Store { addr: 300, len: 4 });
+        close(&mut b, 2);
+        assert!(run(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn two_puts_overlapping_target() {
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        b.push(Rank(0), rma(RmaKind::Put, 200, 1, 0, 1));
+        b.push(Rank(0), rma(RmaKind::Put, 300, 1, 0, 1));
+        close(&mut b, 2);
+        let errors = run(&b.build());
+        assert_eq!(errors.len(), 1, "two puts to the same target location in one epoch");
+        assert_eq!(errors[0].kind, ConflictKind::OverlapViolation);
+    }
+
+    #[test]
+    fn two_puts_disjoint_target_fine() {
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        b.push(Rank(0), rma(RmaKind::Put, 200, 1, 0, 1));
+        b.push(Rank(0), rma(RmaKind::Put, 300, 1, 8, 1));
+        close(&mut b, 2);
+        assert!(run(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn same_op_accumulates_may_overlap() {
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        b.push(Rank(0), rma(RmaKind::Acc(ReduceOp::Sum), 200, 1, 0, 1));
+        b.push(Rank(0), rma(RmaKind::Acc(ReduceOp::Sum), 300, 1, 0, 1));
+        close(&mut b, 2);
+        assert!(run(&b.build()).is_empty(), "same-op same-dtype accumulates commute");
+    }
+
+    #[test]
+    fn different_op_accumulates_conflict() {
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        b.push(Rank(0), rma(RmaKind::Acc(ReduceOp::Sum), 200, 1, 0, 1));
+        b.push(Rank(0), rma(RmaKind::Acc(ReduceOp::Prod), 300, 1, 0, 1));
+        close(&mut b, 2);
+        assert_eq!(run(&b.build()).len(), 1);
+    }
+
+    #[test]
+    fn two_gets_same_origin_conflict() {
+        // Both gets write the same local buffer concurrently.
+        let mut b = TraceBuilder::new(3);
+        for r in 0..3u32 {
+            b.push(
+                Rank(r),
+                EventKind::WinCreate { win: WinId(0), base: 64, len: 64, comm: CommId::WORLD },
+            );
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        b.push(Rank(0), rma(RmaKind::Get, 200, 1, 0, 1));
+        b.push(Rank(0), rma(RmaKind::Get, 200, 2, 0, 1));
+        for r in 0..3u32 {
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        let errors = run(&b.build());
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].a.op, "MPI_Get");
+        assert_eq!(errors[0].b.op, "MPI_Get");
+    }
+
+    #[test]
+    fn loop_conflicts_deduplicated() {
+        // The same source-level pair repeated 10 times reports once per
+        // distinct finding class.
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        for _ in 0..10 {
+            b.push_at(Rank(0), rma(RmaKind::Get, 200, 1, 0, 1), SourceLoc::new("x.c", 5, "f"));
+            b.push_at(Rank(0), EventKind::Load { addr: 200, len: 4 }, SourceLoc::new("x.c", 4, "f"));
+        }
+        close(&mut b, 2);
+        let errors = run(&b.build());
+        assert_eq!(
+            errors.len(),
+            2,
+            "one get-vs-load and one get-vs-get finding, each deduplicated across iterations"
+        );
+    }
+
+    #[test]
+    fn conflicts_isolated_per_epoch() {
+        // Get in epoch 1, load of the same buffer in epoch 2: the fence
+        // orders them.
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        b.push(Rank(0), rma(RmaKind::Get, 200, 1, 0, 1));
+        close(&mut b, 2);
+        b.push(Rank(0), EventKind::Load { addr: 200, len: 4 });
+        close(&mut b, 2);
+        assert!(run(&b.build()).is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // MPI-3 cases.
+    // ------------------------------------------------------------------
+
+    fn fetch_op(origin: u64, result: u64, target: u32) -> EventKind {
+        EventKind::RmaAtomic(AtomicOp {
+            kind: AtomicKind::FetchAndOp(ReduceOp::Sum),
+            win: WinId(0),
+            target: Rank(target),
+            origin_addr: origin,
+            result_addr: result,
+            compare_addr: None,
+            count: 1,
+            dtype: DatatypeId::INT,
+            target_disp: 0,
+        })
+    }
+
+    #[test]
+    fn fetch_and_op_result_buffer_race() {
+        // Reading the result buffer before the epoch closes is the MPI-3
+        // analogue of Figure 6.
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        b.push(Rank(0), fetch_op(200, 240, 1));
+        b.push(Rank(0), EventKind::Load { addr: 240, len: 4 });
+        close(&mut b, 2);
+        let errors = run(&b.build());
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].a.op, "MPI_Fetch_and_op");
+        assert_eq!(errors[0].b.op, "load");
+    }
+
+    #[test]
+    fn fetch_and_op_operand_store_race() {
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        b.push(Rank(0), fetch_op(200, 240, 1));
+        b.push(Rank(0), EventKind::Store { addr: 200, len: 4 });
+        close(&mut b, 2);
+        assert_eq!(run(&b.build()).len(), 1, "operand overwritten while pending");
+    }
+
+    #[test]
+    fn fetch_and_op_unrelated_access_fine() {
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        b.push(Rank(0), fetch_op(200, 240, 1));
+        b.push(Rank(0), EventKind::Load { addr: 300, len: 4 });
+        // Reading the *operand* is also fine (both reads).
+        b.push(Rank(0), EventKind::Load { addr: 200, len: 4 });
+        close(&mut b, 2);
+        assert!(run(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn same_op_atomics_overlap_at_target() {
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        b.push(Rank(0), fetch_op(200, 240, 1));
+        b.push(Rank(0), fetch_op(204, 244, 1));
+        close(&mut b, 2);
+        assert!(run(&b.build()).is_empty(), "same-op atomics may target the same cell");
+    }
+
+    #[test]
+    fn atomic_vs_put_target_conflict() {
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        b.push(Rank(0), fetch_op(200, 240, 1));
+        b.push(Rank(0), rma(RmaKind::Put, 300, 1, 0, 1));
+        close(&mut b, 2);
+        let errors = run(&b.build());
+        assert_eq!(errors.len(), 1, "Acc vs Put overlapping at the target");
+    }
+
+    #[test]
+    fn waited_request_op_is_ordered() {
+        // rput; wait; store origin — safe, the wait completes the op.
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        b.push(
+            Rank(0),
+            EventKind::RmaReq {
+                op: RmaOp {
+                    kind: RmaKind::Put,
+                    win: WinId(0),
+                    target: Rank(1),
+                    origin_addr: 200,
+                    origin_count: 1,
+                    origin_dtype: DatatypeId::INT,
+                    target_disp: 0,
+                    target_count: 1,
+                    target_dtype: DatatypeId::INT,
+                },
+                req: 9,
+            },
+        );
+        b.push(Rank(0), EventKind::WaitReq { req: 9 });
+        b.push(Rank(0), EventKind::Store { addr: 200, len: 4 });
+        close(&mut b, 2);
+        assert!(run(&b.build()).is_empty(), "MPI_Wait completes the rput");
+    }
+
+    #[test]
+    fn unwaited_request_op_races() {
+        // rput; store origin; wait — the store is before completion.
+        let mut b = TraceBuilder::new(2);
+        scaffold(&mut b, 2);
+        b.push(
+            Rank(0),
+            EventKind::RmaReq {
+                op: RmaOp {
+                    kind: RmaKind::Put,
+                    win: WinId(0),
+                    target: Rank(1),
+                    origin_addr: 200,
+                    origin_count: 1,
+                    origin_dtype: DatatypeId::INT,
+                    target_disp: 0,
+                    target_count: 1,
+                    target_dtype: DatatypeId::INT,
+                },
+                req: 9,
+            },
+        );
+        b.push(Rank(0), EventKind::Store { addr: 200, len: 4 });
+        b.push(Rank(0), EventKind::WaitReq { req: 9 });
+        close(&mut b, 2);
+        let errors = run(&b.build());
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].a.op, "MPI_Rput");
+    }
+}

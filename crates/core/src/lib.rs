@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+//! DN-Analyzer — the paper's contribution.
+
+pub mod check;
+pub mod dag;
+pub mod epoch;
+pub mod inter;
+pub mod intra;
+pub mod matching;
+pub mod preprocess;
+pub mod regions;
+pub mod report;
+pub mod streaming;
+pub mod vc;
+
+pub use check::{CheckOptions, CheckReport, McChecker};
+pub use report::{ConsistencyError, ErrorScope, OpInfo, Severity};
+pub use streaming::{StreamingChecker, StreamingStats};

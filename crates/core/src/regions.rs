@@ -1,0 +1,162 @@
+//! Concurrent-region extraction (paper §III-B).
+//!
+//! "While analyzing the DAG, MC-Checker identifies global synchronization
+//! events (e.g., via barrier operations) that partition the DAG. These
+//! synchronization events essentially truncate the DAG into multiple
+//! execution regions, which are sequentially ordered and can be used to
+//! improve the efficiency of the analysis."
+//!
+//! A *global* synchronization is a matched collective over a communicator
+//! spanning every rank. Each rank's event sequence is cut at its global
+//! synchronization events; the k-th segment of every rank together forms
+//! concurrent region k. Pairs in different regions are ordered and need no
+//! pairwise check; pairs within a region are *candidates* and are
+//! confirmed unordered with vector clocks (regions are a pruning device,
+//! not the ordering oracle).
+
+use crate::matching::Matching;
+use mcc_types::{EventRef, Trace};
+
+/// The region partition of a trace.
+#[derive(Debug)]
+pub struct Regions {
+    /// Number of regions (at least 1 for non-empty traces).
+    pub count: usize,
+    /// `of[rank][idx]` is the region of that event. Global-synchronization
+    /// boundary events belong to the region they close.
+    pub of: Vec<Vec<u32>>,
+}
+
+impl Regions {
+    /// The region of an event.
+    pub fn region_of(&self, er: EventRef) -> u32 {
+        self.of[er.rank.idx()][er.idx]
+    }
+
+    /// A single-region partition (the no-partitioning ablation).
+    pub fn whole(trace: &Trace) -> Regions {
+        Regions {
+            count: 1,
+            of: trace.procs.iter().map(|p| vec![0; p.events.len()]).collect(),
+        }
+    }
+}
+
+/// Partitions the trace at global synchronization events.
+pub fn partition(trace: &Trace, matching: &Matching) -> Regions {
+    let n = trace.nprocs();
+    // Collect the boundary events per rank (events that are members of a
+    // global collective).
+    let mut boundaries: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for coll in matching.collectives.iter().filter(|c| c.global) {
+        for &er in &coll.events {
+            boundaries[er.rank.idx()].push(er.idx);
+        }
+    }
+    for b in &mut boundaries {
+        b.sort_unstable();
+    }
+    // Every rank participates in every global collective, so all ranks see
+    // the same number of boundaries, and the k-th boundary of each rank is
+    // the same matched collective (collectives on a communicator are
+    // totally ordered per member).
+    let counts: Vec<usize> = boundaries.iter().map(Vec::len).collect();
+    let bcount = counts.first().copied().unwrap_or(0);
+    debug_assert!(counts.iter().all(|&c| c == bcount), "global collectives must span all ranks");
+
+    let mut of = Vec::with_capacity(n);
+    for (r, proc) in trace.procs.iter().enumerate() {
+        let mut regions = Vec::with_capacity(proc.events.len());
+        let mut next_boundary = 0usize;
+        let mut region = 0u32;
+        for idx in 0..proc.events.len() {
+            regions.push(region);
+            if next_boundary < boundaries[r].len() && boundaries[r][next_boundary] == idx {
+                region += 1;
+                next_boundary += 1;
+            }
+        }
+        of.push(regions);
+    }
+    Regions { count: bcount + 1, of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::match_sync;
+    use crate::preprocess::preprocess;
+    use mcc_types::{CommId, EventKind, Rank, TraceBuilder};
+
+    #[test]
+    fn barriers_partition_regions() {
+        let mut b = TraceBuilder::new(2);
+        let mut marks = Vec::new();
+        for r in 0..2u32 {
+            let a = b.push(Rank(r), EventKind::Store { addr: 64, len: 4 });
+            let bar = b.push(Rank(r), EventKind::Barrier { comm: CommId::WORLD });
+            let c = b.push(Rank(r), EventKind::Load { addr: 64, len: 4 });
+            marks.push((a, bar, c));
+        }
+        let t = b.build();
+        let ctx = preprocess(&t);
+        let m = match_sync(&t, &ctx);
+        let regions = partition(&t, &m);
+        assert_eq!(regions.count, 2);
+        for &(a, bar, c) in &marks {
+            assert_eq!(regions.region_of(a), 0);
+            assert_eq!(regions.region_of(bar), 0, "boundary closes its region");
+            assert_eq!(regions.region_of(c), 1);
+        }
+    }
+
+    #[test]
+    fn subcommunicator_collectives_do_not_partition() {
+        let mut b = TraceBuilder::new(3);
+        // Only ranks 0 and 2 synchronize on a sub-communicator.
+        for r in [0u32, 2] {
+            b.push(
+                Rank(r),
+                EventKind::GroupIncl {
+                    old: mcc_types::GroupId::WORLD,
+                    new: mcc_types::GroupId(4),
+                    ranks: vec![0, 2],
+                },
+            );
+            b.push(
+                Rank(r),
+                EventKind::CommCreate {
+                    old: CommId::WORLD,
+                    group: mcc_types::GroupId(4),
+                    new: Some(CommId(2)),
+                },
+            );
+            b.push(Rank(r), EventKind::Barrier { comm: CommId(2) });
+            b.push(Rank(r), EventKind::Store { addr: 64, len: 4 });
+        }
+        let t = b.build();
+        let ctx = preprocess(&t);
+        let m = match_sync(&t, &ctx);
+        let regions = partition(&t, &m);
+        assert_eq!(regions.count, 1, "no world-spanning sync, one region");
+    }
+
+    #[test]
+    fn whole_partition_for_ablation() {
+        let mut b = TraceBuilder::new(1);
+        b.push(Rank(0), EventKind::Store { addr: 64, len: 4 });
+        let t = b.build();
+        let r = Regions::whole(&t);
+        assert_eq!(r.count, 1);
+        assert_eq!(r.region_of(EventRef::new(Rank(0), 0)), 0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new(2);
+        let ctx = preprocess(&t);
+        let m = match_sync(&t, &ctx);
+        let r = partition(&t, &m);
+        assert_eq!(r.count, 1);
+    }
+}

@@ -1,0 +1,341 @@
+//! Online (streaming) analysis — the paper's stated future work:
+//! "While MC-Checker analyzes the traces offline, we can extend it to
+//! perform online analysis by leveraging streaming processing algorithms"
+//! (§VII-B).
+//!
+//! The key enabler is the concurrent-region theorem of §III-B: operations
+//! separated by a global synchronization can never conflict. The
+//! [`StreamingChecker`] therefore buffers events only until every rank has
+//! passed its next global synchronization point, analyzes that region
+//! with the ordinary pipeline, emits its findings, and discards the
+//! region's events — memory stays bounded by the largest region plus the
+//! (small) registry events that must persist (window/datatype/group
+//! definitions).
+//!
+//! Known limitation (inherent to discarding flushed regions): an epoch
+//! that *spans* a global synchronization point is analyzed piecewise, so
+//! an intra-epoch pair straddling the boundary is missed. Well-formed
+//! programs close epochs before global synchronization; the batch
+//! checker remains the completeness reference.
+
+use crate::check::{CheckOptions, McChecker};
+use crate::report::ConsistencyError;
+use mcc_types::{CommId, Event, EventKind, Rank, SourceLoc, Trace, TraceBuilder, WinId};
+use std::collections::{HashMap, HashSet};
+
+/// Incremental, bounded-memory checker.
+pub struct StreamingChecker {
+    nprocs: usize,
+    checker: McChecker,
+    /// Registry events that must survive region flushes, per rank.
+    ctx_events: Vec<Vec<(EventKind, SourceLoc)>>,
+    /// Buffered (unflushed) events per rank.
+    buf: Vec<Vec<(EventKind, SourceLoc)>>,
+    /// Boundary (global-sync) indices inside `buf`, per rank.
+    boundaries: Vec<Vec<usize>>,
+    /// Window → communicator table learned from WinCreate events.
+    win_comm: HashMap<WinId, CommId>,
+    /// Communicators known to span all ranks.
+    world_comms: HashSet<CommId>,
+    /// Accumulated findings (deduplicated).
+    findings: Vec<ConsistencyError>,
+    seen: HashSet<String>,
+    /// Regions flushed so far.
+    pub regions_flushed: usize,
+    /// High-water mark of buffered events (the memory bound).
+    pub peak_buffered: usize,
+}
+
+impl StreamingChecker {
+    /// Creates a streaming checker for `nprocs` ranks.
+    pub fn new(nprocs: usize) -> Self {
+        let mut world_comms = HashSet::new();
+        world_comms.insert(CommId::WORLD);
+        Self {
+            nprocs,
+            checker: McChecker::with_options(CheckOptions::default()),
+            ctx_events: vec![Vec::new(); nprocs],
+            buf: vec![Vec::new(); nprocs],
+            boundaries: vec![Vec::new(); nprocs],
+            win_comm: HashMap::new(),
+            world_comms,
+            findings: Vec::new(),
+            seen: HashSet::new(),
+            regions_flushed: 0,
+            peak_buffered: 0,
+        }
+    }
+
+    fn is_registry(kind: &EventKind) -> bool {
+        matches!(
+            kind,
+            EventKind::WinCreate { .. }
+                | EventKind::TypeContiguous { .. }
+                | EventKind::TypeVector { .. }
+                | EventKind::TypeStruct { .. }
+                | EventKind::GroupIncl { .. }
+                | EventKind::CommGroup { .. }
+                | EventKind::CommCreate { .. }
+        )
+    }
+
+    fn is_global_sync(&self, kind: &EventKind) -> bool {
+        match kind {
+            EventKind::Barrier { comm }
+            | EventKind::Bcast { comm, .. }
+            | EventKind::Reduce { comm, .. }
+            | EventKind::Allreduce { comm, .. } => self.world_comms.contains(comm),
+            EventKind::Fence { win } | EventKind::WinFree { win } => self
+                .win_comm
+                .get(win)
+                .is_some_and(|c| self.world_comms.contains(c)),
+            EventKind::WinCreate { comm, .. } => self.world_comms.contains(comm),
+            _ => false,
+        }
+    }
+
+    /// Feeds one event from `rank`'s instrumentation stream. Returns any
+    /// findings completed by this event (i.e. the analysis of a region
+    /// that just became flushable).
+    pub fn push(&mut self, rank: Rank, kind: EventKind, loc: SourceLoc) -> Vec<ConsistencyError> {
+        // Maintain the lightweight registry needed for boundary detection.
+        match &kind {
+            EventKind::WinCreate { win, comm, .. } => {
+                self.win_comm.insert(*win, *comm);
+            }
+            EventKind::CommCreate { new: Some(_c), .. } => {
+                // Sub-communicators never span all ranks unless they
+                // mirror the world; conservatively treat them as local
+                // (their collectives do not flush regions).
+            }
+            _ => {}
+        }
+        let r = rank.idx();
+        if self.is_global_sync(&kind) {
+            self.boundaries[r].push(self.buf[r].len());
+        }
+        self.buf[r].push((kind, loc));
+        let buffered: usize = self.buf.iter().map(Vec::len).sum();
+        self.peak_buffered = self.peak_buffered.max(buffered);
+
+        if self.boundaries.iter().all(|b| !b.is_empty()) {
+            self.flush_region()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Cuts one region (through each rank's first boundary) and analyzes
+    /// it together with the persistent registry events.
+    fn flush_region(&mut self) -> Vec<ConsistencyError> {
+        let mut b = TraceBuilder::new(self.nprocs);
+        for r in 0..self.nprocs {
+            let rank = Rank(r as u32);
+            for (kind, loc) in &self.ctx_events[r] {
+                b.push_at(rank, kind.clone(), loc.clone());
+            }
+            let cut = self.boundaries[r][0] + 1;
+            let rest = self.buf[r].split_off(cut);
+            for (kind, loc) in self.buf[r].drain(..) {
+                if Self::is_registry(&kind) {
+                    self.ctx_events[r].push((kind.clone(), loc.clone()));
+                }
+                b.push_at(rank, kind, loc);
+            }
+            self.buf[r] = rest;
+            self.boundaries[r].remove(0);
+            for idx in self.boundaries[r].iter_mut() {
+                *idx -= cut;
+            }
+        }
+        self.regions_flushed += 1;
+        self.analyze(b.build())
+    }
+
+    fn analyze(&mut self, trace: Trace) -> Vec<ConsistencyError> {
+        let report = self.checker.check(&trace);
+        let mut fresh = Vec::new();
+        for e in report.diagnostics {
+            if self.seen.insert(e.dedup_key()) {
+                self.findings.push(e.clone());
+                fresh.push(e);
+            }
+        }
+        fresh
+    }
+
+    /// Flushes whatever remains and returns all findings.
+    pub fn finish(mut self) -> Vec<ConsistencyError> {
+        let mut b = TraceBuilder::new(self.nprocs);
+        for r in 0..self.nprocs {
+            let rank = Rank(r as u32);
+            for (kind, loc) in &self.ctx_events[r] {
+                b.push_at(rank, kind.clone(), loc.clone());
+            }
+            for (kind, loc) in self.buf[r].drain(..) {
+                b.push_at(rank, kind, loc);
+            }
+        }
+        self.analyze(b.build());
+        self.findings
+    }
+
+    /// Convenience: streams a complete trace through the checker (used by
+    /// the equivalence tests and benches).
+    pub fn run_over(trace: &Trace) -> (Vec<ConsistencyError>, StreamingStats) {
+        let mut sc = StreamingChecker::new(trace.nprocs());
+        // Interleave ranks round-robin, as events would arrive online.
+        let mut idx = vec![0usize; trace.nprocs()];
+        let mut remaining: usize = trace.total_events();
+        while remaining > 0 {
+            #[allow(clippy::needless_range_loop)] // r doubles as the rank id
+            for r in 0..trace.nprocs() {
+                if idx[r] < trace.procs[r].events.len() {
+                    let ev: &Event = &trace.procs[r].events[idx[r]];
+                    let loc = trace.procs[r].loc(ev.loc);
+                    sc.push(Rank(r as u32), ev.kind.clone(), loc);
+                    idx[r] += 1;
+                    remaining -= 1;
+                }
+            }
+        }
+        let stats = StreamingStats {
+            regions_flushed: sc.regions_flushed,
+            peak_buffered: sc.peak_buffered,
+            total_events: trace.total_events(),
+        };
+        (sc.finish(), stats)
+    }
+}
+
+/// Memory-profile statistics of a streaming run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingStats {
+    /// Regions flushed before the final drain.
+    pub regions_flushed: usize,
+    /// Maximum simultaneously buffered events.
+    pub peak_buffered: usize,
+    /// Events processed in total.
+    pub total_events: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_types::{DatatypeId, RmaKind, RmaOp};
+
+    fn put(target: u32) -> EventKind {
+        EventKind::Rma(RmaOp {
+            kind: RmaKind::Put,
+            win: WinId(0),
+            target: Rank(target),
+            origin_addr: 0x200,
+            origin_count: 1,
+            origin_dtype: DatatypeId::INT,
+            target_disp: 0,
+            target_count: 1,
+            target_dtype: DatatypeId::INT,
+        })
+    }
+
+    /// Many fence-separated rounds, one conflict in round 5.
+    fn rounds_trace(rounds: usize) -> Trace {
+        let mut b = TraceBuilder::new(2);
+        for r in 0..2u32 {
+            b.push(
+                Rank(r),
+                EventKind::WinCreate { win: WinId(0), base: 0x40, len: 0x40, comm: CommId::WORLD },
+            );
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        for round in 0..rounds {
+            if round == 5 {
+                b.push(Rank(0), put(1));
+                b.push(Rank(1), EventKind::Store { addr: 0x40, len: 4 });
+            } else {
+                b.push(Rank(0), put(1));
+            }
+            for r in 0..2u32 {
+                b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let trace = rounds_trace(12);
+        let batch = McChecker::new().check(&trace);
+        let (streamed, stats) = StreamingChecker::run_over(&trace);
+        assert_eq!(streamed.len(), batch.diagnostics.len());
+        let key = |v: &[ConsistencyError]| {
+            let mut k: Vec<String> = v.iter().map(|e| e.dedup_key()).collect();
+            k.sort();
+            k
+        };
+        assert_eq!(key(&streamed), key(&batch.diagnostics));
+        assert!(stats.regions_flushed >= 10, "regions flushed incrementally");
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        // 100 rounds: the peak buffer must stay near one round's worth of
+        // events, far below the total.
+        let trace = rounds_trace(100);
+        let (_, stats) = StreamingChecker::run_over(&trace);
+        assert!(
+            stats.peak_buffered * 4 < stats.total_events,
+            "peak {} vs total {}",
+            stats.peak_buffered,
+            stats.total_events
+        );
+    }
+
+    #[test]
+    fn incremental_findings_surface_early() {
+        let trace = rounds_trace(12);
+        let mut sc = StreamingChecker::new(2);
+        let mut found_at = None;
+        let mut pushed = 0usize;
+        let mut idx = [0usize; 2];
+        'outer: loop {
+            let mut progressed = false;
+            #[allow(clippy::needless_range_loop)] // r doubles as the rank id
+            for r in 0..2 {
+                if idx[r] < trace.procs[r].events.len() {
+                    let ev = &trace.procs[r].events[idx[r]];
+                    let loc = trace.procs[r].loc(ev.loc);
+                    let fresh = sc.push(Rank(r as u32), ev.kind.clone(), loc);
+                    idx[r] += 1;
+                    pushed += 1;
+                    progressed = true;
+                    if !fresh.is_empty() {
+                        found_at = Some(pushed);
+                        break 'outer;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let total = trace.total_events();
+        let at = found_at.expect("conflict reported during the stream");
+        assert!(at < total, "finding surfaced before the end ({at}/{total})");
+    }
+
+    #[test]
+    fn clean_stream_reports_nothing() {
+        let mut b = TraceBuilder::new(2);
+        for r in 0..2u32 {
+            b.push(
+                Rank(r),
+                EventKind::WinCreate { win: WinId(0), base: 0x40, len: 0x40, comm: CommId::WORLD },
+            );
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        let (findings, _) = StreamingChecker::run_over(&b.build());
+        assert!(findings.is_empty());
+    }
+}

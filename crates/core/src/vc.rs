@@ -1,0 +1,347 @@
+//! Vector clocks over the data-access DAG.
+//!
+//! The paper extracts "sets of operations that are unordered in the DAG"
+//! (§I); deciding unorderedness per pair by graph search would be
+//! quadratic, so we assign vector clocks in one topological sweep.
+//!
+//! The classic O(1) query — `a happens-before b` iff
+//! `VC_b[rank(a)] ≥ VC_a[rank(a)]` — is only sound when each rank's
+//! clocked nodes are **totally ordered**. Blocking events satisfy that
+//! (they form each rank's program-order chain), but nonblocking RMA nodes
+//! deliberately do not: they float between issue and epoch close. So only
+//! chain nodes tick the clock, and a floating node is queried through its
+//! chain anchors: its effect is complete no earlier than its **close**
+//! node and cannot begin before its **issue** node:
+//!
+//! * `rma_a →  x`  iff  `close(a) →= x`
+//! * `x → rma_b`   iff  `x →= issue(b)`
+//!
+//! where `→=` is reflexive ordering on chain nodes. An RMA operation whose
+//! epoch is never closed in the trace is not ordered before anything.
+
+use crate::dag::{Dag, NodeId, NodeKind};
+
+/// Vector clocks for every DAG node.
+#[derive(Debug)]
+pub struct Clocks {
+    n: usize,
+    /// Flattened `node_count × nprocs` clock matrix.
+    vcs: Vec<u32>,
+    ranks: Vec<u32>,
+    kinds: Vec<NodeKind>,
+}
+
+impl Clocks {
+    /// Computes clocks with a Kahn topological traversal.
+    ///
+    /// # Panics
+    /// Panics if the DAG contains a cycle (which would mean the matching
+    /// produced an inconsistent ordering — a malformed trace).
+    pub fn compute(dag: &Dag) -> Clocks {
+        let nodes = dag.node_count();
+        let n = dag.nprocs;
+        let mut indeg = vec![0u32; nodes];
+        for succs in &dag.succ {
+            for &s in succs {
+                indeg[s as usize] += 1;
+            }
+        }
+        let mut vcs = vec![0u32; nodes * n];
+        let mut queue: Vec<NodeId> =
+            (0..nodes as NodeId).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            if dag.node_kind[u as usize] == NodeKind::Chain {
+                let r = dag.node_rank[u as usize].idx();
+                vcs[u as usize * n + r] += 1;
+            }
+            let head = u as usize * n;
+            // Propagate to successors: succ VC = max(succ VC, this VC).
+            let this: Vec<u32> = vcs[head..head + n].to_vec();
+            for &s in &dag.succ[u as usize] {
+                let sh = s as usize * n;
+                for k in 0..n {
+                    if this[k] > vcs[sh + k] {
+                        vcs[sh + k] = this[k];
+                    }
+                }
+                indeg[s as usize] -= 1;
+                if indeg[s as usize] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        assert_eq!(seen, nodes, "cycle in happens-before DAG: malformed trace");
+        Clocks {
+            n,
+            vcs,
+            ranks: dag.node_rank.iter().map(|r| r.0).collect(),
+            kinds: dag.node_kind.clone(),
+        }
+    }
+
+    /// The clock of a node.
+    pub fn clock(&self, node: NodeId) -> &[u32] {
+        let h = node as usize * self.n;
+        &self.vcs[h..h + self.n]
+    }
+
+    /// Reflexive ordering between two **chain** nodes.
+    #[inline]
+    fn chain_ordered_eq(&self, a: NodeId, b: NodeId) -> bool {
+        debug_assert_eq!(self.kinds[a as usize], NodeKind::Chain);
+        debug_assert_eq!(self.kinds[b as usize], NodeKind::Chain);
+        if a == b {
+            return true;
+        }
+        let ra = self.ranks[a as usize] as usize;
+        self.clock(b)[ra] >= self.clock(a)[ra]
+    }
+
+    /// The chain node at which a node's effect is certainly complete.
+    fn start_anchor(&self, x: NodeId) -> Option<NodeId> {
+        match self.kinds[x as usize] {
+            NodeKind::Chain => Some(x),
+            NodeKind::Rma { close, .. } => close,
+        }
+    }
+
+    /// The chain node that must precede a node's effect.
+    fn end_anchor(&self, x: NodeId) -> Option<NodeId> {
+        match self.kinds[x as usize] {
+            NodeKind::Chain => Some(x),
+            NodeKind::Rma { issue, .. } => issue,
+        }
+    }
+
+    /// Whether `a` happens-before `b` (strictly).
+    pub fn ordered(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        let (Some(ca), Some(cb)) = (self.start_anchor(a), self.end_anchor(b)) else {
+            return false;
+        };
+        self.chain_ordered_eq(ca, cb)
+    }
+
+    /// Whether two nodes are concurrent (no ordering either way).
+    #[inline]
+    pub fn concurrent(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && !self.ordered(a, b) && !self.ordered(b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::build;
+    use crate::matching::match_sync;
+    use crate::preprocess::preprocess;
+    use mcc_types::{CommId, EventKind, Rank, Tag, TraceBuilder};
+
+    #[test]
+    fn program_order_is_ordered() {
+        let mut b = TraceBuilder::new(1);
+        let a = b.push(Rank(0), EventKind::Load { addr: 64, len: 4 });
+        let c = b.push(Rank(0), EventKind::Store { addr: 64, len: 4 });
+        let t = b.build();
+        let ctx = preprocess(&t);
+        let m = match_sync(&t, &ctx);
+        let dag = build(&t, &ctx, &m);
+        let vc = Clocks::compute(&dag);
+        assert!(vc.ordered(dag.enter(a), dag.enter(c)));
+        assert!(!vc.ordered(dag.enter(c), dag.enter(a)));
+        assert!(!vc.concurrent(dag.enter(a), dag.enter(c)));
+    }
+
+    #[test]
+    fn unsynchronized_ranks_are_concurrent() {
+        let mut b = TraceBuilder::new(2);
+        let a = b.push(Rank(0), EventKind::Store { addr: 64, len: 4 });
+        let c = b.push(Rank(1), EventKind::Store { addr: 64, len: 4 });
+        let t = b.build();
+        let ctx = preprocess(&t);
+        let m = match_sync(&t, &ctx);
+        let dag = build(&t, &ctx, &m);
+        let vc = Clocks::compute(&dag);
+        assert!(vc.concurrent(dag.enter(a), dag.enter(c)));
+    }
+
+    #[test]
+    fn barrier_orders_across_ranks() {
+        let mut b = TraceBuilder::new(2);
+        let before = b.push(Rank(0), EventKind::Store { addr: 64, len: 4 });
+        b.push(Rank(0), EventKind::Barrier { comm: CommId::WORLD });
+        b.push(Rank(1), EventKind::Barrier { comm: CommId::WORLD });
+        let after = b.push(Rank(1), EventKind::Load { addr: 64, len: 4 });
+        let t = b.build();
+        let ctx = preprocess(&t);
+        let m = match_sync(&t, &ctx);
+        let dag = build(&t, &ctx, &m);
+        let vc = Clocks::compute(&dag);
+        assert!(vc.ordered(dag.enter(before), dag.enter(after)));
+        assert!(!vc.ordered(dag.enter(after), dag.enter(before)));
+    }
+
+    #[test]
+    fn send_recv_orders_only_that_direction() {
+        let mut b = TraceBuilder::new(2);
+        let s_pre = b.push(Rank(0), EventKind::Store { addr: 64, len: 4 });
+        b.push(Rank(0), EventKind::Send { comm: CommId::WORLD, to: Rank(1), tag: Tag(0), bytes: 4 });
+        b.push(Rank(1), EventKind::Recv { comm: CommId::WORLD, from: Rank(0), tag: Tag(0), bytes: 4 });
+        let r_post = b.push(Rank(1), EventKind::Load { addr: 64, len: 4 });
+        let t = b.build();
+        let ctx = preprocess(&t);
+        let m = match_sync(&t, &ctx);
+        let dag = build(&t, &ctx, &m);
+        let vc = Clocks::compute(&dag);
+        assert!(vc.ordered(dag.enter(s_pre), dag.enter(r_post)));
+        assert!(!vc.ordered(dag.enter(r_post), dag.enter(s_pre)));
+    }
+
+    #[test]
+    fn bcast_root_asymmetry() {
+        // Bcast rooted at 0: rank 0's pre-event is ordered before rank 1's
+        // post-event, but rank 1's pre-event is NOT ordered before rank
+        // 0's post-event.
+        let mut b = TraceBuilder::new(2);
+        let pre0 = b.push(Rank(0), EventKind::Store { addr: 64, len: 4 });
+        b.push(Rank(0), EventKind::Bcast { comm: CommId::WORLD, root: Rank(0), bytes: 4 });
+        let post0 = b.push(Rank(0), EventKind::Load { addr: 64, len: 4 });
+        let pre1 = b.push(Rank(1), EventKind::Store { addr: 128, len: 4 });
+        b.push(Rank(1), EventKind::Bcast { comm: CommId::WORLD, root: Rank(0), bytes: 4 });
+        let post1 = b.push(Rank(1), EventKind::Load { addr: 128, len: 4 });
+        let t = b.build();
+        let ctx = preprocess(&t);
+        let m = match_sync(&t, &ctx);
+        let dag = build(&t, &ctx, &m);
+        let vc = Clocks::compute(&dag);
+        assert!(vc.ordered(dag.enter(pre0), dag.enter(post1)), "root data flows out");
+        assert!(
+            !vc.ordered(dag.enter(pre1), dag.enter(post0)),
+            "bcast does not synchronize non-root towards root"
+        );
+        assert!(vc.concurrent(dag.enter(pre1), dag.enter(post0)));
+    }
+
+    #[test]
+    fn rma_op_concurrent_with_epoch_body() {
+        use mcc_types::{DatatypeId, RmaKind, RmaOp, WinId};
+        let mut b = TraceBuilder::new(2);
+        for r in 0..2u32 {
+            b.push(
+                Rank(r),
+                EventKind::WinCreate { win: WinId(0), base: 64, len: 16, comm: CommId::WORLD },
+            );
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        let pre_store = b.push(Rank(0), EventKind::Store { addr: 80, len: 4 });
+        let put = b.push(
+            Rank(0),
+            EventKind::Rma(RmaOp {
+                kind: RmaKind::Put,
+                win: WinId(0),
+                target: Rank(1),
+                origin_addr: 64,
+                origin_count: 1,
+                origin_dtype: DatatypeId::INT,
+                target_disp: 0,
+                target_count: 1,
+                target_dtype: DatatypeId::INT,
+            }),
+        );
+        let store = b.push(Rank(0), EventKind::Store { addr: 64, len: 4 });
+        for r in 0..2u32 {
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        let after = b.push(Rank(0), EventKind::Load { addr: 64, len: 4 });
+        let remote_after = b.push(Rank(1), EventKind::Load { addr: 64, len: 4 });
+        let t = b.build();
+        let ctx = preprocess(&t);
+        let m = match_sync(&t, &ctx);
+        let dag = build(&t, &ctx, &m);
+        let vc = Clocks::compute(&dag);
+        // The store after the put's issue is a race with the put (Fig 2a).
+        assert!(vc.concurrent(dag.enter(put), dag.enter(store)));
+        // The store before the put's issue is ordered before it.
+        assert!(vc.ordered(dag.enter(pre_store), dag.enter(put)));
+        assert!(!vc.concurrent(dag.enter(pre_store), dag.enter(put)));
+        // The closing fence orders the put before everything after it —
+        // on its own rank and across ranks.
+        assert!(vc.ordered(dag.enter(put), dag.enter(after)));
+        assert!(vc.ordered(dag.enter(put), dag.enter(remote_after)));
+    }
+
+    #[test]
+    fn two_rma_ops_same_epoch_concurrent() {
+        use mcc_types::{DatatypeId, RmaKind, RmaOp, WinId};
+        let mut b = TraceBuilder::new(2);
+        for r in 0..2u32 {
+            b.push(
+                Rank(r),
+                EventKind::WinCreate { win: WinId(0), base: 64, len: 16, comm: CommId::WORLD },
+            );
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        let mk = |addr: u64| {
+            EventKind::Rma(RmaOp {
+                kind: RmaKind::Put,
+                win: WinId(0),
+                target: Rank(1),
+                origin_addr: addr,
+                origin_count: 1,
+                origin_dtype: DatatypeId::INT,
+                target_disp: 0,
+                target_count: 1,
+                target_dtype: DatatypeId::INT,
+            })
+        };
+        let p1 = b.push(Rank(0), mk(64));
+        let p2 = b.push(Rank(0), mk(68));
+        for r in 0..2u32 {
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        let t = b.build();
+        let ctx = preprocess(&t);
+        let m = match_sync(&t, &ctx);
+        let dag = build(&t, &ctx, &m);
+        let vc = Clocks::compute(&dag);
+        assert!(vc.concurrent(dag.enter(p1), dag.enter(p2)), "ops within an epoch are unordered");
+    }
+
+    #[test]
+    fn unclosed_epoch_op_never_ordered_before() {
+        use mcc_types::{DatatypeId, RmaKind, RmaOp, WinId};
+        let mut b = TraceBuilder::new(2);
+        for r in 0..2u32 {
+            b.push(
+                Rank(r),
+                EventKind::WinCreate { win: WinId(0), base: 64, len: 16, comm: CommId::WORLD },
+            );
+        }
+        let put = b.push(
+            Rank(0),
+            EventKind::Rma(RmaOp {
+                kind: RmaKind::Put,
+                win: WinId(0),
+                target: Rank(1),
+                origin_addr: 64,
+                origin_count: 1,
+                origin_dtype: DatatypeId::INT,
+                target_disp: 0,
+                target_count: 1,
+                target_dtype: DatatypeId::INT,
+            }),
+        );
+        let later = b.push(Rank(0), EventKind::Load { addr: 64, len: 4 });
+        let t = b.build();
+        let ctx = preprocess(&t);
+        let m = match_sync(&t, &ctx);
+        let dag = build(&t, &ctx, &m);
+        let vc = Clocks::compute(&dag);
+        assert!(!vc.ordered(dag.enter(put), dag.enter(later)), "no closing sync in trace");
+        assert!(vc.concurrent(dag.enter(put), dag.enter(later)));
+    }
+}

@@ -1,0 +1,324 @@
+//! Property test: the anchored vector-clock happens-before query must
+//! agree with exact graph reachability on the DAG, for randomly generated
+//! valid traces.
+//!
+//! This is the load-bearing correctness property of the analyzer — a
+//! false `ordered` hides races (false negatives), a false `concurrent`
+//! fabricates them (false positives). The oracle is a plain DFS over the
+//! DAG's edges, with the RMA completion refinement applied on top: a
+//! floating node with no closing synchronization orders nothing after it.
+
+use mcc_core::dag::{self, NodeKind};
+use mcc_core::matching::match_sync;
+use mcc_core::preprocess::preprocess;
+use mcc_core::vc::Clocks;
+use mcc_types::{
+    CommId, DatatypeId, EventKind, Rank, RmaKind, RmaOp, Tag, Trace, TraceBuilder, WinId,
+};
+use proptest::prelude::*;
+
+/// One random action per rank per round; rounds are NOT synchronized
+/// unless the action itself is a collective drawn for the whole round.
+#[derive(Debug, Clone)]
+enum RoundKind {
+    /// Every rank does a local/RMA action independently.
+    Free(Vec<FreeAction>),
+    /// A world barrier.
+    Barrier,
+    /// A world fence on win 0.
+    Fence,
+    /// A send ring with matched receives.
+    Ring(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FreeAction {
+    Load(u64),
+    Store(u64),
+    Put { target: u32, disp: u64 },
+    Get { target: u32, disp: u64 },
+    LockPutUnlock { target: u32, disp: u64 },
+    /// MPI-3: lock_all; put; flush(target); put; unlock_all.
+    LockAllFlush { target: u32, disp: u64 },
+    /// MPI-3: request-based put completed by an MPI_Wait (inside a
+    /// fence epoch).
+    RputWait { target: u32, disp: u64 },
+    /// MPI-3 atomic inside a lock_all epoch.
+    Atomic { target: u32, disp: u64 },
+    Idle,
+}
+
+fn arb_free(nprocs: u32) -> impl Strategy<Value = FreeAction> {
+    (0..9u8, 0..nprocs, 0..4u64, 0..8u64).prop_map(move |(k, t, d, a)| match k {
+        0 => FreeAction::Load(0x40 + 4 * a),
+        1 => FreeAction::Store(0x40 + 4 * a),
+        2 => FreeAction::Put { target: t, disp: 4 * d },
+        3 => FreeAction::Get { target: t, disp: 4 * d },
+        4 => FreeAction::LockPutUnlock { target: t, disp: 4 * d },
+        5 => FreeAction::LockAllFlush { target: t, disp: 4 * d },
+        6 => FreeAction::RputWait { target: t, disp: 4 * d },
+        7 => FreeAction::Atomic { target: t, disp: 4 * d },
+        _ => FreeAction::Idle,
+    })
+}
+
+fn arb_scenario() -> impl Strategy<Value = (u32, Vec<RoundKind>)> {
+    (2u32..5).prop_flat_map(|n| (Just(n), arb_rounds(n)))
+}
+
+fn arb_rounds(nprocs: u32) -> impl Strategy<Value = Vec<RoundKind>> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::collection::vec(arb_free(nprocs), nprocs as usize).prop_map(RoundKind::Free),
+            Just(RoundKind::Barrier),
+            Just(RoundKind::Fence),
+            (0..4u32).prop_map(RoundKind::Ring),
+        ],
+        1..7,
+    )
+}
+
+fn rma(kind: RmaKind, target: u32, disp: u64) -> EventKind {
+    EventKind::Rma(RmaOp {
+        kind,
+        win: WinId(0),
+        target: Rank(target),
+        origin_addr: 0x200,
+        origin_count: 1,
+        origin_dtype: DatatypeId::INT,
+        target_disp: disp,
+        target_count: 1,
+        target_dtype: DatatypeId::INT,
+    })
+}
+
+fn build_trace(nprocs: u32, rounds: &[RoundKind]) -> Trace {
+    let mut b = TraceBuilder::new(nprocs as usize);
+    let mut next_req = vec![0u64; nprocs as usize];
+    for r in 0..nprocs {
+        b.push(
+            Rank(r),
+            EventKind::WinCreate { win: WinId(0), base: 0x40, len: 0x40, comm: CommId::WORLD },
+        );
+    }
+    for round in rounds {
+        match round {
+            RoundKind::Barrier => {
+                for r in 0..nprocs {
+                    b.push(Rank(r), EventKind::Barrier { comm: CommId::WORLD });
+                }
+            }
+            RoundKind::Fence => {
+                for r in 0..nprocs {
+                    b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+                }
+            }
+            RoundKind::Ring(tag) => {
+                for r in 0..nprocs {
+                    let to = (r + 1) % nprocs;
+                    b.push(
+                        Rank(r),
+                        EventKind::Send { comm: CommId::WORLD, to: Rank(to), tag: Tag(*tag), bytes: 4 },
+                    );
+                }
+                for r in 0..nprocs {
+                    let from = (r + nprocs - 1) % nprocs;
+                    b.push(
+                        Rank(r),
+                        EventKind::Recv {
+                            comm: CommId::WORLD,
+                            from: Rank(from),
+                            tag: Tag(*tag),
+                            bytes: 4,
+                        },
+                    );
+                }
+            }
+            RoundKind::Free(actions) => {
+                for (r, act) in actions.iter().enumerate() {
+                    let rank = Rank(r as u32);
+                    match *act {
+                        FreeAction::Load(addr) => {
+                            b.push(rank, EventKind::Load { addr, len: 4 });
+                        }
+                        FreeAction::Store(addr) => {
+                            b.push(rank, EventKind::Store { addr, len: 4 });
+                        }
+                        FreeAction::Put { target, disp } => {
+                            b.push(rank, rma(RmaKind::Put, target, disp));
+                        }
+                        FreeAction::Get { target, disp } => {
+                            b.push(rank, rma(RmaKind::Get, target, disp));
+                        }
+                        FreeAction::LockPutUnlock { target, disp } => {
+                            b.push(
+                                rank,
+                                EventKind::Lock {
+                                    win: WinId(0),
+                                    target: Rank(target),
+                                    kind: mcc_types::LockKind::Shared,
+                                },
+                            );
+                            b.push(rank, rma(RmaKind::Put, target, disp));
+                            b.push(rank, EventKind::Unlock { win: WinId(0), target: Rank(target) });
+                        }
+                        FreeAction::LockAllFlush { target, disp } => {
+                            b.push(rank, EventKind::LockAll { win: WinId(0) });
+                            b.push(rank, rma(RmaKind::Put, target, disp));
+                            b.push(rank, EventKind::Flush { win: WinId(0), target: Rank(target) });
+                            b.push(rank, rma(RmaKind::Put, target, disp));
+                            b.push(rank, EventKind::UnlockAll { win: WinId(0) });
+                        }
+                        FreeAction::RputWait { target, disp } => {
+                            let req = next_req[r];
+                            next_req[r] += 1;
+                            let EventKind::Rma(op) = rma(RmaKind::Put, target, disp) else {
+                                unreachable!()
+                            };
+                            b.push(rank, EventKind::RmaReq { op, req });
+                            b.push(rank, EventKind::Load { addr: 0x44, len: 4 });
+                            b.push(rank, EventKind::WaitReq { req });
+                        }
+                        FreeAction::Atomic { target, disp } => {
+                            b.push(rank, EventKind::LockAll { win: WinId(0) });
+                            b.push(
+                                rank,
+                                EventKind::RmaAtomic(mcc_types::AtomicOp {
+                                    kind: mcc_types::AtomicKind::FetchAndOp(
+                                        mcc_types::ReduceOp::Sum,
+                                    ),
+                                    win: WinId(0),
+                                    target: Rank(target),
+                                    origin_addr: 0x200,
+                                    result_addr: 0x210,
+                                    compare_addr: None,
+                                    count: 1,
+                                    dtype: DatatypeId::INT,
+                                    target_disp: disp,
+                                }),
+                            );
+                            b.push(rank, EventKind::UnlockAll { win: WinId(0) });
+                        }
+                        FreeAction::Idle => {}
+                    }
+                }
+            }
+        }
+    }
+    // Final fence so most epochs close (some traces still end with open
+    // fence epochs — the oracle must agree there too).
+    for r in 0..nprocs {
+        b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+    }
+    b.build()
+}
+
+/// Exact reachability oracle: `a` happens-before `b` iff there is a path
+/// `start(a) → … → end(b)` where a floating node is entered through its
+/// close and left through its issue — i.e. plain edge reachability from
+/// `a` to `b` going *through* the graph, with the refinement that the
+/// effect of an unclosed floating node never precedes anything.
+fn reachable(dagg: &dag::Dag, from: u32, to: u32) -> bool {
+    // Effect-based reachability: effect of `from` complete ⟹ must pass
+    // through its close node; effect of `to` begun ⟹ reached via its
+    // issue node. Both are encoded in the edge structure already (the
+    // only out-edge of a floating node is to its close; the only in-edge
+    // is from its issue), so DFS over edges is the oracle.
+    if from == to {
+        return false;
+    }
+    let mut stack = vec![from];
+    let mut seen = vec![false; dagg.node_count()];
+    seen[from as usize] = true;
+    while let Some(u) = stack.pop() {
+        for &v in &dagg.succ[u as usize] {
+            if v == to {
+                return true;
+            }
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                stack.push(v);
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn vc_agrees_with_reachability((nprocs, rounds) in arb_scenario()) {
+        let trace = build_trace(nprocs, &rounds);
+        let ctx = preprocess(&trace);
+        let m = match_sync(&trace, &ctx);
+        prop_assert!(m.unmatched.is_empty(), "generator produces matched traces");
+        let g = dag::build(&trace, &ctx, &m);
+        let clocks = Clocks::compute(&g);
+        let n = g.node_count() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let expect = reachable(&g, a, b);
+                let got = clocks.ordered(a, b);
+                prop_assert_eq!(
+                    got,
+                    expect,
+                    "nodes {} ({:?} of {}) -> {} ({:?} of {})",
+                    a,
+                    g.node_kind[a as usize],
+                    g.node_event[a as usize],
+                    b,
+                    g.node_kind[b as usize],
+                    g.node_event[b as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrency_is_symmetric_and_irreflexive((nprocs, rounds) in arb_scenario()) {
+        let trace = build_trace(nprocs, &rounds);
+        let ctx = preprocess(&trace);
+        let m = match_sync(&trace, &ctx);
+        let g = dag::build(&trace, &ctx, &m);
+        let clocks = Clocks::compute(&g);
+        let n = g.node_count() as u32;
+        for a in 0..n {
+            prop_assert!(!clocks.concurrent(a, a));
+            for b in (a + 1)..n {
+                prop_assert_eq!(clocks.concurrent(a, b), clocks.concurrent(b, a));
+                // Exactly one of: a→b, b→a, concurrent.
+                let rel = [clocks.ordered(a, b), clocks.ordered(b, a), clocks.concurrent(a, b)];
+                prop_assert_eq!(rel.iter().filter(|x| **x).count(), 1, "{} vs {}", a, b);
+            }
+        }
+    }
+
+    /// Chain nodes of one rank are totally ordered (the assumption the
+    /// O(1) query rests on).
+    #[test]
+    fn chain_total_order_per_rank((nprocs, rounds) in arb_scenario()) {
+        let trace = build_trace(nprocs, &rounds);
+        let ctx = preprocess(&trace);
+        let m = match_sync(&trace, &ctx);
+        let g = dag::build(&trace, &ctx, &m);
+        let clocks = Clocks::compute(&g);
+        let n = g.node_count() as u32;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if g.node_rank[a as usize] == g.node_rank[b as usize]
+                    && g.node_kind[a as usize] == NodeKind::Chain
+                    && g.node_kind[b as usize] == NodeKind::Chain
+                {
+                    prop_assert!(
+                        clocks.ordered(a, b) || clocks.ordered(b, a),
+                        "same-rank chain nodes {}, {} unordered", a, b
+                    );
+                }
+            }
+        }
+    }
+}

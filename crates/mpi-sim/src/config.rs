@@ -1,0 +1,128 @@
+//! Run configuration for the simulator.
+
+/// When a nonblocking RMA operation's memory effect is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryPolicy {
+    /// Apply at issue time (the "small message copied into an internal
+    /// buffer" behaviour that masked the ADLB bug for years, §II-B).
+    Eager,
+    /// Defer every effect to the closing synchronization of the epoch —
+    /// the worst legal behaviour; deterministically triggers
+    /// read-before-complete bugs such as BT-broadcast's spin loop.
+    AtClose,
+    /// Pick Eager or AtClose per operation from the seeded RNG. This is
+    /// the default: buggy programs misbehave intermittently, correct
+    /// programs are unaffected.
+    Adversarial,
+}
+
+/// Which local memory accesses the built-in tracer records.
+///
+/// MPI calls are always recorded while tracing is enabled; this knob only
+/// affects CPU load/store events, mirroring the paper's distinction
+/// between instrumenting *relevant* accesses (ST-Analyzer-guided) and
+/// instrumenting everything (the SyncChecker/Purify strawman, §VII-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instrument {
+    /// Tracing disabled entirely — the native baseline of Figure 8.
+    Off,
+    /// Record only accesses made through the `t`-prefixed (relevant)
+    /// accessors.
+    Relevant,
+    /// Record every access made through any accessor.
+    All,
+}
+
+/// Configuration for one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of ranks (threads) to spawn.
+    pub nprocs: u32,
+    /// Seed for all runtime randomness (delivery decisions).
+    pub seed: u64,
+    /// RMA delivery policy.
+    pub delivery: DeliveryPolicy,
+    /// Local-access instrumentation mode.
+    pub instrument: Instrument,
+    /// Keep full event logs (`true`) or only per-class counters
+    /// (`false`). Counter-only mode is used by the large overhead runs of
+    /// Figures 8–10 where storing every event would distort memory
+    /// behaviour; it still pays the per-event logging cost.
+    pub keep_events: bool,
+    /// Bytes of arena pre-allocated per rank.
+    pub arena_bytes: u64,
+}
+
+impl SimConfig {
+    /// A default configuration: adversarial delivery, relevant-access
+    /// instrumentation, full event logs.
+    pub fn new(nprocs: u32) -> Self {
+        Self {
+            nprocs,
+            seed: 0x4d43_2d43_6865_636b, // "MC-Check"
+            delivery: DeliveryPolicy::Adversarial,
+            instrument: Instrument::Relevant,
+            keep_events: true,
+            arena_bytes: 1 << 20,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the delivery policy.
+    pub fn with_delivery(mut self, delivery: DeliveryPolicy) -> Self {
+        self.delivery = delivery;
+        self
+    }
+
+    /// Sets the instrumentation mode.
+    pub fn with_instrument(mut self, instrument: Instrument) -> Self {
+        self.instrument = instrument;
+        self
+    }
+
+    /// Enables or disables full event retention.
+    pub fn with_keep_events(mut self, keep: bool) -> Self {
+        self.keep_events = keep;
+        self
+    }
+
+    /// Sets the per-rank arena size in bytes.
+    pub fn with_arena_bytes(mut self, bytes: u64) -> Self {
+        self.arena_bytes = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = SimConfig::new(4)
+            .with_seed(9)
+            .with_delivery(DeliveryPolicy::Eager)
+            .with_instrument(Instrument::All)
+            .with_keep_events(false)
+            .with_arena_bytes(4096);
+        assert_eq!(c.nprocs, 4);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.delivery, DeliveryPolicy::Eager);
+        assert_eq!(c.instrument, Instrument::All);
+        assert!(!c.keep_events);
+        assert_eq!(c.arena_bytes, 4096);
+    }
+
+    #[test]
+    fn defaults() {
+        let c = SimConfig::new(2);
+        assert_eq!(c.delivery, DeliveryPolicy::Adversarial);
+        assert_eq!(c.instrument, Instrument::Relevant);
+        assert!(c.keep_events);
+    }
+}

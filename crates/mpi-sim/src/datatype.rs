@@ -1,0 +1,177 @@
+//! Rank-local datatype registries.
+//!
+//! MPI datatypes are process-local handles. Each [`crate::Proc`] owns a
+//! [`TypeRegistry`] mapping [`DatatypeId`]s to their resolved layout
+//! ([`DataMap`]) plus the *basic* element type, which the accumulate path
+//! and the Table I accumulate exception need.
+
+use mcc_types::{DataMap, DatatypeId};
+use std::collections::HashMap;
+
+/// Resolved information about one datatype.
+#[derive(Debug, Clone)]
+pub struct TypeInfo {
+    /// The byte layout of one element of this type.
+    pub map: DataMap,
+    /// The underlying basic (primitive) type, if the datatype is
+    /// homogeneous; heterogeneous structs report `None`.
+    pub basic: Option<DatatypeId>,
+}
+
+/// A rank-local table of datatypes. Primitive types are implicitly
+/// registered.
+#[derive(Debug)]
+pub struct TypeRegistry {
+    derived: HashMap<DatatypeId, TypeInfo>,
+    next: u32,
+}
+
+impl Default for TypeRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TypeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self { derived: HashMap::new(), next: DatatypeId::FIRST_DERIVED.0 }
+    }
+
+    fn fresh(&mut self) -> DatatypeId {
+        let id = DatatypeId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Resolves a datatype to its layout and basic element type.
+    ///
+    /// # Panics
+    /// Panics on an unknown handle — using an uncommitted or foreign
+    /// datatype is an application bug.
+    pub fn resolve(&self, id: DatatypeId) -> TypeInfo {
+        if let Some(size) = id.primitive_size() {
+            return TypeInfo { map: DataMap::contiguous(size), basic: Some(id) };
+        }
+        self.derived.get(&id).cloned().unwrap_or_else(|| panic!("unknown datatype {id}"))
+    }
+
+    /// `MPI_Type_contiguous`: `count` consecutive elements of `elem`.
+    pub fn contiguous(&mut self, count: u32, elem: DatatypeId) -> DatatypeId {
+        let info = self.resolve(elem);
+        let id = self.fresh();
+        self.derived.insert(
+            id,
+            TypeInfo { map: info.map.tiled(count as u64), basic: info.basic },
+        );
+        id
+    }
+
+    /// `MPI_Type_vector`: `count` blocks of `blocklen` elements, separated
+    /// by a stride of `stride` elements (stride ≥ blocklen).
+    pub fn vector(
+        &mut self,
+        count: u32,
+        blocklen: u32,
+        stride: u32,
+        elem: DatatypeId,
+    ) -> DatatypeId {
+        assert!(stride >= blocklen, "vector stride {stride} < blocklen {blocklen}");
+        let info = self.resolve(elem);
+        let block = info.map.tiled(blocklen as u64);
+        let stride_bytes = info.map.extent() * stride as u64;
+        let span = block.span();
+        let one = block.with_extent(stride_bytes.max(span));
+        let id = self.fresh();
+        self.derived.insert(id, TypeInfo { map: one.tiled(count as u64), basic: info.basic });
+        id
+    }
+
+    /// `MPI_Type_create_struct`: fields of `(byte displacement, count,
+    /// type)`.
+    pub fn structured(&mut self, fields: &[(u64, u32, DatatypeId)]) -> DatatypeId {
+        let mut parts = Vec::with_capacity(fields.len());
+        let mut basic: Option<Option<DatatypeId>> = None;
+        for &(disp, count, ty) in fields {
+            let info = self.resolve(ty);
+            // The struct is homogeneous only if every field shares a basic type.
+            basic = Some(match basic {
+                None => info.basic,
+                Some(b) if b == info.basic => b,
+                Some(_) => None,
+            });
+            parts.push((disp, info.map.tiled(count as u64)));
+        }
+        let id = self.fresh();
+        self.derived.insert(
+            id,
+            TypeInfo { map: DataMap::structured(parts), basic: basic.flatten() },
+        );
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_types::Segment;
+
+    #[test]
+    fn primitives_resolve_implicitly() {
+        let reg = TypeRegistry::new();
+        let int = reg.resolve(DatatypeId::INT);
+        assert_eq!(int.map, DataMap::contiguous(4));
+        assert_eq!(int.basic, Some(DatatypeId::INT));
+    }
+
+    #[test]
+    fn contiguous_type() {
+        let mut reg = TypeRegistry::new();
+        let t = reg.contiguous(4, DatatypeId::INT);
+        let info = reg.resolve(t);
+        assert_eq!(info.map.size(), 16);
+        assert_eq!(info.basic, Some(DatatypeId::INT));
+        // Nested: contiguous of contiguous.
+        let t2 = reg.contiguous(2, t);
+        assert_eq!(reg.resolve(t2).map.size(), 32);
+    }
+
+    #[test]
+    fn vector_type_layout() {
+        let mut reg = TypeRegistry::new();
+        // 3 blocks of 1 int, stride 4 ints: a strided column.
+        let t = reg.vector(3, 1, 4, DatatypeId::INT);
+        let info = reg.resolve(t);
+        assert_eq!(
+            info.map.segments(),
+            &[Segment::new(0, 4), Segment::new(16, 4), Segment::new(32, 4)]
+        );
+    }
+
+    #[test]
+    fn struct_type_heterogeneous() {
+        let mut reg = TypeRegistry::new();
+        let t = reg.structured(&[(0, 1, DatatypeId::INT), (8, 1, DatatypeId::DOUBLE)]);
+        let info = reg.resolve(t);
+        assert_eq!(info.map.segments(), &[Segment::new(0, 4), Segment::new(8, 8)]);
+        assert_eq!(info.basic, None, "mixed basic types");
+        let homog = reg.structured(&[(0, 2, DatatypeId::INT), (16, 1, DatatypeId::INT)]);
+        assert_eq!(reg.resolve(homog).basic, Some(DatatypeId::INT));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown datatype")]
+    fn unknown_handle_panics() {
+        let reg = TypeRegistry::new();
+        reg.resolve(DatatypeId(999));
+    }
+
+    #[test]
+    fn fresh_ids_unique() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.contiguous(1, DatatypeId::INT);
+        let b = reg.contiguous(1, DatatypeId::INT);
+        assert_ne!(a, b);
+        assert!(!a.is_primitive());
+    }
+}

@@ -1,0 +1,43 @@
+//! Simulator errors.
+
+use std::fmt;
+
+/// Errors surfaced by [`crate::run`].
+#[derive(Debug)]
+pub enum SimError {
+    /// A rank's body panicked; carries the rank and the panic message.
+    RankPanicked {
+        /// The rank whose thread panicked.
+        rank: u32,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The configuration was invalid (e.g. zero ranks).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::RankPanicked { rank: 3, message: "boom".into() };
+        assert_eq!(e.to_string(), "rank 3 panicked: boom");
+        let e = SimError::InvalidConfig("nprocs == 0".into());
+        assert!(e.to_string().contains("nprocs"));
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+//! A simulated MPI runtime — the substrate the MC-Checker reproduction
+//! runs on.
+//!
+//! The paper evaluates MC-Checker on MPICH running on a 658-node cluster.
+//! This crate replaces that substrate with an in-process simulator:
+//!
+//! * every MPI **rank is an OS thread** with its own byte-addressed arena
+//!   (no shared application memory — remote data is reachable only through
+//!   the runtime, as on a real distributed-memory machine);
+//! * **windows** expose arena regions for one-sided access
+//!   ([`Proc::win_create`]);
+//! * **Put/Get/Accumulate are nonblocking**: under the
+//!   [`DeliveryPolicy::Adversarial`] policy each operation takes effect at
+//!   a seeded-random point between issue and the closing synchronization,
+//!   so programs with memory consistency errors visibly misbehave — the
+//!   same mechanism that broke ADLB on Blue Gene/Q (paper §II-B);
+//! * active-target (fence, post/start/complete/wait) and passive-target
+//!   (shared/exclusive lock–unlock) synchronization with real blocking
+//!   semantics;
+//! * blocking send/recv, barrier/bcast/reduce/allreduce, communicator and
+//!   group manipulation, and derived datatypes — everything the paper's
+//!   Profiler instruments (§IV-B);
+//! * a built-in tracer that records the event vocabulary of
+//!   [`mcc_types::event`], with per-call-class counters for the overhead
+//!   studies (Figures 8–10).
+//!
+//! # Example
+//!
+//! ```
+//! use mcc_mpi_sim::{run, SimConfig};
+//! use mcc_types::DatatypeId;
+//!
+//! let result = run(SimConfig::new(2).with_seed(7), |p| {
+//!     let buf = p.alloc(8);
+//!     let win = p.win_create(buf, 8, mcc_types::CommId::WORLD);
+//!     p.win_fence(win);
+//!     if p.rank() == 0 {
+//!         let local = p.alloc(8);
+//!         p.store_i32(local, 42);
+//!         p.put(local, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
+//!     }
+//!     p.win_fence(win);
+//!     if p.rank() == 1 {
+//!         assert_eq!(p.load_i32(buf), 42);
+//!     }
+//!     p.win_free(win);
+//! })
+//! .unwrap();
+//! assert!(result.trace.is_some());
+//! ```
+
+pub mod config;
+pub mod datatype;
+pub mod error;
+pub mod memory;
+pub mod proc;
+pub mod reduce;
+pub mod runner;
+pub mod shared;
+pub mod tracer;
+
+pub use config::{DeliveryPolicy, Instrument, SimConfig};
+pub use error::SimError;
+pub use proc::Proc;
+pub use runner::{run, RankStats, RunStats, SimResult};

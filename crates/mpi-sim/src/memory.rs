@@ -1,0 +1,181 @@
+//! Per-rank address spaces.
+//!
+//! Each rank owns an [`Arena`]: a flat byte array with a bump allocator.
+//! Addresses handed to applications are offsets into this array (we reserve
+//! address 0 as a null-like guard, so allocations start at 64). A rank's
+//! arena is reachable from other threads only through the runtime's RMA
+//! path, which locks it — exactly the discipline of a distributed-memory
+//! machine with an RDMA NIC.
+
+use mcc_types::MemRegion;
+
+/// Alignment of every allocation.
+const ALIGN: u64 = 16;
+/// First usable address (0 acts as a guard / null).
+const BASE: u64 = 64;
+
+/// A rank-private byte arena with bump allocation.
+#[derive(Debug)]
+pub struct Arena {
+    bytes: Vec<u8>,
+    next: u64,
+}
+
+impl Arena {
+    /// Creates an arena of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self { bytes: vec![0; capacity as usize], next: BASE }
+    }
+
+    /// Allocates `len` zeroed bytes, growing the arena if necessary.
+    pub fn alloc(&mut self, len: u64) -> u64 {
+        let addr = self.next;
+        self.next = (self.next + len + ALIGN - 1) & !(ALIGN - 1);
+        if self.next as usize > self.bytes.len() {
+            self.bytes.resize(self.next as usize, 0);
+        }
+        addr
+    }
+
+    /// Number of bytes currently allocated (high-water mark).
+    pub fn used(&self) -> u64 {
+        self.next
+    }
+
+    /// Whether the region is inside the allocated part of the arena.
+    pub fn check(&self, region: MemRegion) -> bool {
+        region.base >= BASE && region.end() <= self.next
+    }
+
+    /// Reads `len` bytes at `addr`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds access — a wild read is an application bug
+    /// the simulator surfaces immediately.
+    pub fn read(&self, addr: u64, len: u64) -> &[u8] {
+        let region = MemRegion::new(addr, len);
+        assert!(self.check(region), "out-of-bounds read {region}");
+        &self.bytes[addr as usize..(addr + len) as usize]
+    }
+
+    /// Writes `data` at `addr`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds access.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        let region = MemRegion::new(addr, data.len() as u64);
+        assert!(self.check(region), "out-of-bounds write {region}");
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+    }
+
+    /// Mutable view of `len` bytes at `addr`.
+    pub fn slice_mut(&mut self, addr: u64, len: u64) -> &mut [u8] {
+        let region = MemRegion::new(addr, len);
+        assert!(self.check(region), "out-of-bounds access {region}");
+        &mut self.bytes[addr as usize..(addr + len) as usize]
+    }
+
+    // Typed helpers. All little-endian, matching the simulated platform.
+
+    /// Reads an `i32`.
+    pub fn read_i32(&self, addr: u64) -> i32 {
+        i32::from_le_bytes(self.read(addr, 4).try_into().unwrap())
+    }
+
+    /// Writes an `i32`.
+    pub fn write_i32(&mut self, addr: u64, v: i32) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Reads an `i64`.
+    pub fn read_i64(&self, addr: u64) -> i64 {
+        i64::from_le_bytes(self.read(addr, 8).try_into().unwrap())
+    }
+
+    /// Writes an `i64`.
+    pub fn write_i64(&mut self, addr: u64, v: i64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Reads an `f64`.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_le_bytes(self.read(addr, 8).try_into().unwrap())
+    }
+
+    /// Writes an `f64`.
+    pub fn write_f64(&mut self, addr: u64, v: f64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Reads an `f32`.
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_le_bytes(self.read(addr, 4).try_into().unwrap())
+    }
+
+    /// Writes an `f32`.
+    pub fn write_f32(&mut self, addr: u64, v: f32) {
+        self.write(addr, &v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_aligned_and_disjoint() {
+        let mut a = Arena::new(1024);
+        let x = a.alloc(10);
+        let y = a.alloc(1);
+        let z = a.alloc(100);
+        assert!(x >= BASE);
+        assert_eq!(x % ALIGN, 0);
+        assert_eq!(y % ALIGN, 0);
+        assert!(y >= x + 10);
+        assert!(z > y);
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut a = Arena::new(64);
+        let p = a.alloc(10_000);
+        a.write(p + 9_999, &[7]);
+        assert_eq!(a.read(p + 9_999, 1), &[7]);
+    }
+
+    #[test]
+    fn typed_roundtrips() {
+        let mut a = Arena::new(1024);
+        let p = a.alloc(32);
+        a.write_i32(p, -5);
+        assert_eq!(a.read_i32(p), -5);
+        a.write_i64(p + 8, i64::MIN);
+        assert_eq!(a.read_i64(p + 8), i64::MIN);
+        a.write_f64(p + 16, 2.5);
+        assert_eq!(a.read_f64(p + 16), 2.5);
+        a.write_f32(p + 24, -0.5);
+        assert_eq!(a.read_f32(p + 24), -0.5);
+    }
+
+    #[test]
+    fn zero_initialized() {
+        let mut a = Arena::new(256);
+        let p = a.alloc(16);
+        assert_eq!(a.read_i64(p), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-bounds")]
+    fn oob_read_panics() {
+        let a = Arena::new(256);
+        let _ = a.read(BASE, 1); // nothing allocated yet
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-bounds")]
+    fn null_write_panics() {
+        let mut a = Arena::new(256);
+        a.alloc(16);
+        a.write(0, &[1]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Element-wise reductions over raw byte buffers, shared by the
+//! `MPI_Reduce`/`MPI_Allreduce` collectives and the `MPI_Accumulate` RMA
+//! path.
+
+use mcc_types::{DatatypeId, ReduceOp};
+
+macro_rules! reduce_typed {
+    ($ty:ty, $op:expr, $acc:expr, $src:expr) => {{
+        const W: usize = std::mem::size_of::<$ty>();
+        assert_eq!($acc.len(), $src.len(), "reduce length mismatch");
+        #[allow(clippy::modulo_one)] // W == 1 for the byte instantiation
+        {
+            assert_eq!($acc.len() % W, 0, "buffer not a whole number of elements");
+        }
+        for (a, s) in $acc.chunks_exact_mut(W).zip($src.chunks_exact(W)) {
+            let x = <$ty>::from_le_bytes(a.try_into().unwrap());
+            let y = <$ty>::from_le_bytes(s.try_into().unwrap());
+            let r: $ty = apply_op($op, x, y);
+            a.copy_from_slice(&r.to_le_bytes());
+        }
+    }};
+}
+
+trait Element: Copy {
+    fn add(self, o: Self) -> Self;
+    fn mul(self, o: Self) -> Self;
+    fn max_(self, o: Self) -> Self;
+    fn min_(self, o: Self) -> Self;
+}
+
+macro_rules! impl_int_element {
+    ($($t:ty),*) => {$(
+        impl Element for $t {
+            fn add(self, o: Self) -> Self { self.wrapping_add(o) }
+            fn mul(self, o: Self) -> Self { self.wrapping_mul(o) }
+            fn max_(self, o: Self) -> Self { self.max(o) }
+            fn min_(self, o: Self) -> Self { self.min(o) }
+        }
+    )*};
+}
+impl_int_element!(u8, i32, i64);
+
+macro_rules! impl_float_element {
+    ($($t:ty),*) => {$(
+        impl Element for $t {
+            fn add(self, o: Self) -> Self { self + o }
+            fn mul(self, o: Self) -> Self { self * o }
+            fn max_(self, o: Self) -> Self { self.max(o) }
+            fn min_(self, o: Self) -> Self { self.min(o) }
+        }
+    )*};
+}
+impl_float_element!(f32, f64);
+
+fn apply_op<T: Element>(op: ReduceOp, acc: T, operand: T) -> T {
+    match op {
+        ReduceOp::Sum => acc.add(operand),
+        ReduceOp::Prod => acc.mul(operand),
+        ReduceOp::Max => acc.max_(operand),
+        ReduceOp::Min => acc.min_(operand),
+        ReduceOp::Replace => operand,
+    }
+}
+
+/// Folds `src` into `acc` element-wise: `acc[i] = op(acc[i], src[i])`.
+///
+/// # Panics
+/// Panics on length mismatch, on a buffer that is not a whole number of
+/// elements, or on a non-primitive `dtype` (callers resolve derived types
+/// to their basic element first).
+pub fn reduce_bytes(op: ReduceOp, dtype: DatatypeId, acc: &mut [u8], src: &[u8]) {
+    match dtype {
+        DatatypeId::BYTE => reduce_typed!(u8, op, acc, src),
+        DatatypeId::INT => reduce_typed!(i32, op, acc, src),
+        DatatypeId::FLOAT => reduce_typed!(f32, op, acc, src),
+        DatatypeId::DOUBLE => reduce_typed!(f64, op, acc, src),
+        DatatypeId::LONG => reduce_typed!(i64, op, acc, src),
+        other => panic!("accumulate/reduce on non-primitive datatype {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i32s(v: &[i32]) -> Vec<u8> {
+        v.iter().flat_map(|x| x.to_le_bytes()).collect()
+    }
+
+    fn to_i32s(b: &[u8]) -> Vec<i32> {
+        b.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+
+    #[test]
+    fn sum_ints() {
+        let mut acc = i32s(&[1, 2, 3]);
+        reduce_bytes(ReduceOp::Sum, DatatypeId::INT, &mut acc, &i32s(&[10, 20, 30]));
+        assert_eq!(to_i32s(&acc), vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn prod_max_min_replace() {
+        let mut acc = i32s(&[2, 9, -1]);
+        reduce_bytes(ReduceOp::Prod, DatatypeId::INT, &mut acc, &i32s(&[3, 1, 5]));
+        assert_eq!(to_i32s(&acc), vec![6, 9, -5]);
+        reduce_bytes(ReduceOp::Max, DatatypeId::INT, &mut acc, &i32s(&[4, 4, 4]));
+        assert_eq!(to_i32s(&acc), vec![6, 9, 4]);
+        reduce_bytes(ReduceOp::Min, DatatypeId::INT, &mut acc, &i32s(&[5, 5, 5]));
+        assert_eq!(to_i32s(&acc), vec![5, 5, 4]);
+        reduce_bytes(ReduceOp::Replace, DatatypeId::INT, &mut acc, &i32s(&[7, 8, 9]));
+        assert_eq!(to_i32s(&acc), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn doubles() {
+        let mut acc: Vec<u8> = [1.5f64, -2.0].iter().flat_map(|x| x.to_le_bytes()).collect();
+        let src: Vec<u8> = [0.5f64, 1.0].iter().flat_map(|x| x.to_le_bytes()).collect();
+        reduce_bytes(ReduceOp::Sum, DatatypeId::DOUBLE, &mut acc, &src);
+        let out: Vec<f64> =
+            acc.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect();
+        assert_eq!(out, vec![2.0, -1.0]);
+    }
+
+    #[test]
+    fn integer_sum_wraps() {
+        let mut acc = i32s(&[i32::MAX]);
+        reduce_bytes(ReduceOp::Sum, DatatypeId::INT, &mut acc, &i32s(&[1]));
+        assert_eq!(to_i32s(&acc), vec![i32::MIN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut acc = i32s(&[1]);
+        reduce_bytes(ReduceOp::Sum, DatatypeId::INT, &mut acc, &i32s(&[1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-primitive")]
+    fn derived_dtype_panics() {
+        let mut acc = i32s(&[1]);
+        let src = i32s(&[1]);
+        reduce_bytes(ReduceOp::Sum, DatatypeId::FIRST_DERIVED, &mut acc, &src);
+    }
+}

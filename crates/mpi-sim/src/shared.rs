@@ -1,0 +1,600 @@
+//! Global runtime state shared by all rank threads.
+//!
+//! Everything here is internal machinery behind [`crate::Proc`]'s API:
+//! per-rank arenas, the communicator/group/window registries, a generic
+//! collective-rendezvous engine, the point-to-point mailbox, passive-target
+//! window locks, and the post/start/complete/wait counters.
+//!
+//! Lock discipline: no thread ever holds two arena locks at once (RMA
+//! transfers stage through a flat buffer), and registry locks are never
+//! held while blocking on a condition variable.
+
+use crate::memory::Arena;
+use crate::reduce::reduce_bytes;
+use mcc_types::{CommId, DatatypeId, GroupId, ReduceOp, WinId};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared poison flag: when any rank panics, the runner raises it and
+/// wakes every blocked peer so the whole simulation unwinds instead of
+/// deadlocking on a half-attended collective.
+pub type AbortFlag = Arc<AtomicBool>;
+
+fn check_abort(abort: &AtomicBool) {
+    if abort.load(Ordering::SeqCst) {
+        panic!("aborting: another rank failed");
+    }
+}
+
+/// Identifies which collective a rank is participating in, so mismatched
+/// collectives (a real application bug) fail fast instead of deadlocking.
+/// Variant fields carry the arguments every member must agree on.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum CollTag {
+    /// `MPI_Barrier`
+    Barrier,
+    /// `MPI_Bcast`
+    Bcast { root: u32, bytes: u64 },
+    /// `MPI_Reduce`
+    Reduce { root: u32, op: ReduceOp, dtype: DatatypeId, count: u32 },
+    /// `MPI_Allreduce`
+    Allreduce { op: ReduceOp, dtype: DatatypeId, count: u32 },
+    /// `MPI_Win_create`
+    WinCreate,
+    /// `MPI_Win_free`
+    WinFree { win: WinId },
+    /// `MPI_Win_fence`
+    Fence { win: WinId },
+    /// `MPI_Comm_create`. Group handles are process-local, so they are
+    /// not part of the tag (each member legitimately holds a different
+    /// handle for the same logical group).
+    CommCreate,
+}
+
+#[derive(Default)]
+struct CollSlot {
+    gen: u64,
+    arrived: u32,
+    tag: Option<CollTag>,
+    /// Contribution of each member, keyed by absolute rank.
+    contrib: HashMap<u32, Vec<u8>>,
+    result: Vec<u8>,
+}
+
+/// One rendezvous point per communicator.
+pub struct CollPoint {
+    slot: Mutex<CollSlot>,
+    cv: Condvar,
+    abort: AbortFlag,
+}
+
+impl CollPoint {
+    /// Creates a rendezvous point tied to the run's abort flag.
+    pub fn new(abort: AbortFlag) -> Self {
+        Self { slot: Mutex::new(CollSlot::default()), cv: Condvar::new(), abort }
+    }
+
+    /// Executes one collective: blocks until all `n` members arrive, then
+    /// every member returns `combine`'s result. `combine` runs exactly
+    /// once, on the last arriver, while the slot is locked.
+    pub fn collective<F>(&self, n: u32, me: u32, tag: CollTag, contrib: Vec<u8>, combine: F) -> Vec<u8>
+    where
+        F: FnOnce(&HashMap<u32, Vec<u8>>) -> Vec<u8>,
+    {
+        let mut s = self.slot.lock();
+        match &s.tag {
+            None => s.tag = Some(tag),
+            Some(t) => assert_eq!(
+                *t, tag,
+                "collective mismatch on communicator: rank {me} called {tag:?}, others {t:?}"
+            ),
+        }
+        let my_gen = s.gen;
+        s.contrib.insert(me, contrib);
+        s.arrived += 1;
+        if s.arrived == n {
+            s.result = combine(&s.contrib);
+            s.contrib.clear();
+            s.arrived = 0;
+            s.tag = None;
+            s.gen += 1;
+            self.cv.notify_all();
+        } else {
+            while s.gen == my_gen {
+                check_abort(&self.abort);
+                // Bounded wait so an abort raised between the check and
+                // the sleep is picked up on the next lap.
+                self.cv.wait_for(&mut s, ABORT_POLL);
+            }
+        }
+        s.result.clone()
+    }
+}
+
+/// Re-check interval for abort polling inside blocking waits.
+const ABORT_POLL: std::time::Duration = std::time::Duration::from_millis(50);
+
+/// Group and communicator registry. Groups are lists of absolute ranks;
+/// each communicator is backed by a group.
+pub struct CommTable {
+    groups: Vec<Vec<u32>>,
+    /// `comms[c]` is the group index backing communicator `c`.
+    comms: Vec<u32>,
+}
+
+impl CommTable {
+    /// World group/communicator for `n` ranks.
+    pub fn new(n: u32) -> Self {
+        Self { groups: vec![(0..n).collect()], comms: vec![0] }
+    }
+
+    /// Members (absolute ranks) of a communicator, in group order.
+    pub fn members(&self, comm: CommId) -> &[u32] {
+        &self.groups[self.comms[comm.0 as usize] as usize]
+    }
+
+    /// Members of a group.
+    pub fn group_members(&self, group: GroupId) -> &[u32] {
+        &self.groups[group.0 as usize]
+    }
+
+    /// Translates a comm-relative rank to an absolute rank.
+    pub fn abs_rank(&self, comm: CommId, rel: u32) -> u32 {
+        self.members(comm)[rel as usize]
+    }
+
+    /// Translates an absolute rank to its position in a communicator.
+    pub fn rel_rank(&self, comm: CommId, abs: u32) -> Option<u32> {
+        self.members(comm).iter().position(|&r| r == abs).map(|p| p as u32)
+    }
+
+    /// `MPI_Group_incl`: registers a new group containing the listed
+    /// (old-group-relative) members of `old`.
+    pub fn group_incl(&mut self, old: GroupId, ranks: &[u32]) -> GroupId {
+        let old_members = self.groups[old.0 as usize].clone();
+        let new: Vec<u32> = ranks.iter().map(|&r| old_members[r as usize]).collect();
+        self.groups.push(new);
+        GroupId((self.groups.len() - 1) as u32)
+    }
+
+    /// Registers a communicator backed by `group`.
+    pub fn comm_create(&mut self, group: GroupId) -> CommId {
+        self.comms.push(group.0);
+        CommId((self.comms.len() - 1) as u32)
+    }
+
+    /// The group backing a communicator.
+    pub fn comm_group(&self, comm: CommId) -> GroupId {
+        GroupId(self.comms[comm.0 as usize])
+    }
+}
+
+/// Window registry entry: the communicator the window was created over and
+/// each member's exposed `(base, len)`, indexed by member position.
+#[derive(Debug, Clone)]
+pub struct WinInfo {
+    /// Communicator the window spans.
+    pub comm: CommId,
+    /// `(base, len)` per member position.
+    pub ranks: Vec<(u64, u64)>,
+}
+
+/// One queued message: `(tag, payload)`.
+type QueuedMsg = (u32, Vec<u8>);
+
+/// Point-to-point mailbox: per `(comm, src, dst)` FIFO of `(tag, payload)`.
+pub struct Mailbox {
+    queues: Mutex<HashMap<(u32, u32, u32), VecDeque<QueuedMsg>>>,
+    cv: Condvar,
+    abort: AbortFlag,
+}
+
+impl Mailbox {
+    /// Creates a mailbox tied to the run's abort flag.
+    pub fn new(abort: AbortFlag) -> Self {
+        Self { queues: Mutex::new(HashMap::new()), cv: Condvar::new(), abort }
+    }
+
+    /// Deposits a message (buffered standard-mode send: does not block).
+    pub fn send(&self, comm: CommId, src_abs: u32, dst_abs: u32, tag: u32, data: Vec<u8>) {
+        let mut q = self.queues.lock();
+        q.entry((comm.0, src_abs, dst_abs)).or_default().push_back((tag, data));
+        self.cv.notify_all();
+    }
+
+    /// Blocks until a message with a matching tag is available and removes
+    /// it. `tag == u32::MAX` is the wildcard.
+    pub fn recv(&self, comm: CommId, src_abs: u32, dst_abs: u32, tag: u32) -> (u32, Vec<u8>) {
+        let key = (comm.0, src_abs, dst_abs);
+        let mut q = self.queues.lock();
+        loop {
+            if let Some(dq) = q.get_mut(&key) {
+                let pos = if tag == u32::MAX {
+                    if dq.is_empty() { None } else { Some(0) }
+                } else {
+                    dq.iter().position(|(t, _)| *t == tag)
+                };
+                if let Some(pos) = pos {
+                    return dq.remove(pos).expect("position just found");
+                }
+            }
+            check_abort(&self.abort);
+            self.cv.wait_for(&mut q, ABORT_POLL);
+        }
+    }
+}
+
+#[derive(Default, Debug)]
+struct LockSt {
+    exclusive: bool,
+    shared: u32,
+}
+
+/// Passive-target window locks, one logical lock per `(window, target)`.
+pub struct WinLocks {
+    locks: Mutex<HashMap<(u32, u32), LockSt>>,
+    cv: Condvar,
+    abort: AbortFlag,
+}
+
+impl WinLocks {
+    /// Creates the lock table tied to the run's abort flag.
+    pub fn new(abort: AbortFlag) -> Self {
+        Self { locks: Mutex::new(HashMap::new()), cv: Condvar::new(), abort }
+    }
+
+    /// Acquires the lock, blocking until compatible.
+    pub fn lock(&self, win: WinId, target_abs: u32, exclusive: bool) {
+        let key = (win.0, target_abs);
+        let mut map = self.locks.lock();
+        loop {
+            let st = map.entry(key).or_default();
+            let grantable = if exclusive { !st.exclusive && st.shared == 0 } else { !st.exclusive };
+            if grantable {
+                if exclusive {
+                    st.exclusive = true;
+                } else {
+                    st.shared += 1;
+                }
+                return;
+            }
+            check_abort(&self.abort);
+            self.cv.wait_for(&mut map, ABORT_POLL);
+        }
+    }
+
+    /// Releases the lock.
+    pub fn unlock(&self, win: WinId, target_abs: u32, exclusive: bool) {
+        let key = (win.0, target_abs);
+        let mut map = self.locks.lock();
+        let st = map.get_mut(&key).expect("unlock without lock");
+        if exclusive {
+            assert!(st.exclusive, "unlock exclusive without holding it");
+            st.exclusive = false;
+        } else {
+            assert!(st.shared > 0, "unlock shared without holding it");
+            st.shared -= 1;
+        }
+        self.cv.notify_all();
+    }
+}
+
+#[derive(Default, Debug, Clone, Copy)]
+struct PscwCnt {
+    posted: u64,
+    completed: u64,
+}
+
+/// Post/start/complete/wait rendezvous counters, keyed by
+/// `(window, origin, target)`, all absolute ranks.
+pub struct Pscw {
+    counts: Mutex<HashMap<(u32, u32, u32), PscwCnt>>,
+    cv: Condvar,
+    abort: AbortFlag,
+}
+
+impl Pscw {
+    /// Creates the counter table tied to the run's abort flag.
+    pub fn new(abort: AbortFlag) -> Self {
+        Self { counts: Mutex::new(HashMap::new()), cv: Condvar::new(), abort }
+    }
+
+    /// Target `me` exposes its window to each origin in `origins`.
+    pub fn post(&self, win: WinId, me: u32, origins: &[u32]) {
+        let mut c = self.counts.lock();
+        for &o in origins {
+            c.entry((win.0, o, me)).or_default().posted += 1;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Origin `me` waits until every target in `targets` has posted more
+    /// times than `seen[target]`, then bumps the seen counts.
+    pub fn start(&self, win: WinId, me: u32, targets: &[u32], seen: &mut HashMap<(u32, u32), u64>) {
+        let mut c = self.counts.lock();
+        for &t in targets {
+            let seen_cnt = seen.entry((win.0, t)).or_default();
+            loop {
+                let posted = c.get(&(win.0, me, t)).map_or(0, |x| x.posted);
+                if posted > *seen_cnt {
+                    *seen_cnt += 1;
+                    break;
+                }
+                check_abort(&self.abort);
+                self.cv.wait_for(&mut c, ABORT_POLL);
+            }
+        }
+    }
+
+    /// Origin `me` completes its access epoch towards each target.
+    pub fn complete(&self, win: WinId, me: u32, targets: &[u32]) {
+        let mut c = self.counts.lock();
+        for &t in targets {
+            c.entry((win.0, me, t)).or_default().completed += 1;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Target `me` waits until every origin in `origins` has completed.
+    pub fn wait(&self, win: WinId, me: u32, origins: &[u32], seen: &mut HashMap<(u32, u32), u64>) {
+        let mut c = self.counts.lock();
+        for &o in origins {
+            let seen_cnt = seen.entry((win.0, o)).or_default();
+            loop {
+                let completed = c.get(&(win.0, o, me)).map_or(0, |x| x.completed);
+                if completed > *seen_cnt {
+                    *seen_cnt += 1;
+                    break;
+                }
+                check_abort(&self.abort);
+                self.cv.wait_for(&mut c, ABORT_POLL);
+            }
+        }
+    }
+}
+
+/// Everything shared between rank threads.
+pub struct Shared {
+    /// Per-rank arenas.
+    pub arenas: Vec<Mutex<Arena>>,
+    /// Group / communicator registry.
+    pub comms: RwLock<CommTable>,
+    /// Window registry.
+    pub wins: RwLock<HashMap<u32, WinInfo>>,
+    /// Collective rendezvous points, keyed by communicator.
+    coll: Mutex<HashMap<u32, std::sync::Arc<CollPoint>>>,
+    /// Point-to-point mailbox.
+    pub mailbox: Mailbox,
+    /// Passive-target locks.
+    pub winlocks: WinLocks,
+    /// PSCW counters.
+    pub pscw: Pscw,
+    /// Fresh-id counters (windows, communicators share one space each).
+    next_win: Mutex<u32>,
+    /// Run-wide poison flag.
+    abort: AbortFlag,
+}
+
+impl Shared {
+    /// Creates the shared state for `n` ranks with `arena_bytes` arenas.
+    pub fn new(n: u32, arena_bytes: u64) -> Self {
+        let abort: AbortFlag = Arc::new(AtomicBool::new(false));
+        Self {
+            arenas: (0..n).map(|_| Mutex::new(Arena::new(arena_bytes))).collect(),
+            comms: RwLock::new(CommTable::new(n)),
+            wins: RwLock::new(HashMap::new()),
+            coll: Mutex::new(HashMap::new()),
+            mailbox: Mailbox::new(abort.clone()),
+            winlocks: WinLocks::new(abort.clone()),
+            pscw: Pscw::new(abort.clone()),
+            next_win: Mutex::new(0),
+            abort,
+        }
+    }
+
+    /// The rendezvous point for a communicator (created on first use).
+    pub fn coll_point(&self, comm: CommId) -> std::sync::Arc<CollPoint> {
+        self.coll
+            .lock()
+            .entry(comm.0)
+            .or_insert_with(|| std::sync::Arc::new(CollPoint::new(self.abort.clone())))
+            .clone()
+    }
+
+    /// Raises the poison flag so every blocked rank unwinds (called by
+    /// the runner when a rank panics).
+    pub fn trigger_abort(&self) {
+        self.abort.store(true, Ordering::SeqCst);
+    }
+
+    /// Allocates a fresh window id (called by the `win_create` combiner).
+    pub fn fresh_win_id(&self) -> WinId {
+        let mut w = self.next_win.lock();
+        let id = WinId(*w);
+        *w += 1;
+        id
+    }
+
+    /// Performs a reduction over per-member contributions, in member-rank
+    /// order (deterministic).
+    pub fn combine_reduce(
+        contribs: &HashMap<u32, Vec<u8>>,
+        members: &[u32],
+        op: ReduceOp,
+        dtype: DatatypeId,
+    ) -> Vec<u8> {
+        let mut iter = members.iter();
+        let first = *iter.next().expect("reduce over empty communicator");
+        let mut acc = contribs[&first].clone();
+        for &m in iter {
+            reduce_bytes(op, dtype, &mut acc, &contribs[&m]);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn flag() -> AbortFlag {
+        Arc::new(AtomicBool::new(false))
+    }
+
+    #[test]
+    fn comm_table_world() {
+        let t = CommTable::new(4);
+        assert_eq!(t.members(CommId::WORLD), &[0, 1, 2, 3]);
+        assert_eq!(t.abs_rank(CommId::WORLD, 2), 2);
+        assert_eq!(t.rel_rank(CommId::WORLD, 3), Some(3));
+    }
+
+    #[test]
+    fn group_incl_translates_relative_ranks() {
+        let mut t = CommTable::new(6);
+        // Sub-group of even ranks.
+        let even = t.group_incl(GroupId::WORLD, &[0, 2, 4]);
+        assert_eq!(t.group_members(even), &[0, 2, 4]);
+        // Nested: ranks relative to `even`.
+        let g = t.group_incl(even, &[1, 2]);
+        assert_eq!(t.group_members(g), &[2, 4]);
+        let c = t.comm_create(g);
+        assert_eq!(t.members(c), &[2, 4]);
+        assert_eq!(t.abs_rank(c, 0), 2);
+        assert_eq!(t.rel_rank(c, 4), Some(1));
+        assert_eq!(t.rel_rank(c, 0), None);
+        assert_eq!(t.comm_group(c), g);
+    }
+
+    #[test]
+    fn mailbox_fifo_and_tags() {
+        let mb = Mailbox::new(flag());
+        mb.send(CommId::WORLD, 0, 1, 5, vec![1]);
+        mb.send(CommId::WORLD, 0, 1, 6, vec![2]);
+        mb.send(CommId::WORLD, 0, 1, 5, vec![3]);
+        // Tag-selective receive skips non-matching messages.
+        assert_eq!(mb.recv(CommId::WORLD, 0, 1, 6), (6, vec![2]));
+        assert_eq!(mb.recv(CommId::WORLD, 0, 1, 5), (5, vec![1]));
+        // Wildcard takes the head.
+        assert_eq!(mb.recv(CommId::WORLD, 0, 1, u32::MAX), (5, vec![3]));
+    }
+
+    #[test]
+    fn mailbox_blocks_until_send() {
+        let mb = Arc::new(Mailbox::new(flag()));
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || mb2.recv(CommId::WORLD, 0, 1, 9));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.send(CommId::WORLD, 0, 1, 9, vec![42]);
+        assert_eq!(h.join().unwrap(), (9, vec![42]));
+    }
+
+    #[test]
+    fn collective_rendezvous() {
+        let point = Arc::new(CollPoint::new(flag()));
+        let n = 4;
+        let results: Vec<Vec<u8>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|me| {
+                    let p = point.clone();
+                    s.spawn(move || {
+                        p.collective(n, me, CollTag::Barrier, vec![me as u8], |c| {
+                            let mut sum = 0u8;
+                            for v in c.values() {
+                                sum += v[0];
+                            }
+                            vec![sum]
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in results {
+            assert_eq!(r, vec![1 + 2 + 3]);
+        }
+    }
+
+    #[test]
+    fn collective_repeated_generations() {
+        let point = Arc::new(CollPoint::new(flag()));
+        let n = 3;
+        std::thread::scope(|s| {
+            for me in 0..n {
+                let p = point.clone();
+                s.spawn(move || {
+                    for round in 0..50u8 {
+                        let out = p.collective(n, me, CollTag::Barrier, vec![round], |c| {
+                            // All contributions must be from the same round.
+                            let r = c.values().next().unwrap()[0];
+                            assert!(c.values().all(|v| v[0] == r));
+                            vec![r]
+                        });
+                        assert_eq!(out, vec![round]);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn win_locks_shared_vs_exclusive() {
+        let locks = Arc::new(WinLocks::new(flag()));
+        locks.lock(WinId(0), 1, false);
+        locks.lock(WinId(0), 1, false); // second shared ok
+        // Exclusive on another target is independent.
+        locks.lock(WinId(0), 2, true);
+        locks.unlock(WinId(0), 2, true);
+        // Exclusive must wait for shared holders.
+        let l2 = locks.clone();
+        let h = std::thread::spawn(move || {
+            l2.lock(WinId(0), 1, true);
+            l2.unlock(WinId(0), 1, true);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        locks.unlock(WinId(0), 1, false);
+        locks.unlock(WinId(0), 1, false);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn pscw_rendezvous() {
+        let pscw = Arc::new(Pscw::new(flag()));
+        let p2 = pscw.clone();
+        // Origin 0, target 1.
+        let origin = std::thread::spawn(move || {
+            let mut seen = HashMap::new();
+            p2.start(WinId(0), 0, &[1], &mut seen);
+            p2.complete(WinId(0), 0, &[1]);
+        });
+        let mut seen = HashMap::new();
+        pscw.post(WinId(0), 1, &[0]);
+        pscw.wait(WinId(0), 1, &[0], &mut seen);
+        origin.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "collective mismatch")]
+    fn mismatched_collectives_panic() {
+        let point = Arc::new(CollPoint::new(flag()));
+        let p = point.clone();
+        let h = std::thread::spawn(move || {
+            p.collective(2, 0, CollTag::Barrier, vec![], |_| vec![])
+        });
+        // Give the first thread time to set the tag.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            point.collective(2, 1, CollTag::WinCreate, vec![], |_| vec![]);
+        }));
+        // Unblock thread 0 so the test does not hang, then re-panic.
+        point.collective(2, 1, CollTag::Barrier, vec![], |_| vec![]);
+        h.join().unwrap();
+        if let Err(e) = r {
+            std::panic::resume_unwind(e);
+        }
+    }
+}

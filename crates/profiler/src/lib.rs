@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! The Profiler's offline side: trace files and event statistics.
+//!
+//! In the paper, the Profiler "logs the runtime events into the local disk
+//! independently for each process" (§VII-B) and the DN-Analyzer later reads
+//! those files. This crate provides that boundary:
+//!
+//! * [`tracefile`] — write a [`mcc_types::Trace`] as one JSON-lines file
+//!   per rank and read it back;
+//! * [`stats`] — per-class event-rate accounting used by the Figure 9/10
+//!   scalability studies;
+//! * [`profile`] — convenience wrappers that run a program on the
+//!   simulator under each instrumentation mode and report timings
+//!   (Figure 8's with/without-Profiler comparison).
+
+pub mod profile;
+pub mod stats;
+pub mod tracefile;
+
+pub use profile::{profile_run, OverheadReport};
+pub use stats::{EventRates, TraceStats};
+pub use tracefile::{read_trace_dir, write_trace_dir};

@@ -1,0 +1,104 @@
+//! With/without-Profiler comparison runs (Figure 8's methodology).
+//!
+//! The paper runs each application twice — natively and under the
+//! Profiler — and reports the normalized slowdown. [`profile_run`] does
+//! the same: it executes the given program once per requested
+//! instrumentation mode with identical seeds and returns the timings,
+//! repeated `reps` times with the minimum taken (the usual
+//! noise-suppression for wall-clock comparisons).
+
+use crate::stats::{overhead_pct, EventRates, TraceStats};
+use mcc_mpi_sim::{run, Instrument, Proc, SimConfig, SimError};
+use std::time::Duration;
+
+/// Timings and event rates of a native/profiled pair of runs.
+#[derive(Debug, Clone)]
+pub struct OverheadReport {
+    /// Name of the application (for table rendering).
+    pub name: String,
+    /// Number of ranks.
+    pub nprocs: u32,
+    /// Best native wall time.
+    pub native: Duration,
+    /// Best profiled wall time.
+    pub profiled: Duration,
+    /// Event rates of the profiled run.
+    pub rates: EventRates,
+    /// Normalized profiled time (native = 1.0).
+    pub normalized: f64,
+    /// Percentage overhead.
+    pub overhead_pct: f64,
+}
+
+/// Runs `body` under [`Instrument::Off`] and then under `mode`, `reps`
+/// times each, and reports the best-of timings.
+pub fn profile_run<F>(
+    name: &str,
+    base: SimConfig,
+    mode: Instrument,
+    reps: u32,
+    body: F,
+) -> Result<OverheadReport, SimError>
+where
+    F: Fn(&mut Proc) + Send + Sync,
+{
+    assert!(reps > 0, "reps must be positive");
+    let mut native = Duration::MAX;
+    let mut profiled = Duration::MAX;
+    let mut rates = None;
+    for _ in 0..reps {
+        let r = run(base.clone().with_instrument(Instrument::Off).with_keep_events(false), &body)?;
+        native = native.min(r.stats.wall);
+        let r = run(base.clone().with_instrument(mode).with_keep_events(false), &body)?;
+        if r.stats.wall < profiled {
+            profiled = r.stats.wall;
+            rates = Some(TraceStats::new(r.stats).rates());
+        }
+    }
+    let rates = rates.expect("at least one profiled repetition");
+    Ok(OverheadReport {
+        name: name.to_string(),
+        nprocs: base.nprocs,
+        native,
+        profiled,
+        rates,
+        normalized: profiled.as_secs_f64() / native.as_secs_f64().max(1e-9),
+        overhead_pct: overhead_pct(native, profiled),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_types::CommId;
+
+    #[test]
+    fn profile_produces_sane_report() {
+        let body = |p: &mut Proc| {
+            let buf = p.alloc_i32s(64);
+            let win = p.win_create(buf, 256, CommId::WORLD);
+            p.win_fence(win);
+            for i in 0..64u64 {
+                p.tstore_i32(buf + 4 * i, i as i32);
+                let _ = p.tload_i32(buf + 4 * i);
+            }
+            p.win_fence(win);
+            p.win_free(win);
+        };
+        let rep = profile_run("toy", SimConfig::new(2).with_seed(1), Instrument::Relevant, 2, body)
+            .unwrap();
+        assert_eq!(rep.name, "toy");
+        assert_eq!(rep.nprocs, 2);
+        assert!(rep.native > Duration::ZERO);
+        assert!(rep.profiled > Duration::ZERO);
+        assert_eq!(rep.rates.mem_events, 2 * 128);
+        assert!(rep.normalized > 0.0);
+        assert!(rep.overhead_pct.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "reps must be positive")]
+    fn zero_reps_rejected() {
+        let _ = profile_run("x", SimConfig::new(1), Instrument::Relevant, 0, |_| {});
+    }
+}

@@ -1,0 +1,109 @@
+//! Event statistics for the overhead and scalability studies.
+//!
+//! Figure 10 of the paper explains the falling overhead of Figure 9 by the
+//! falling *rate of profiling events per process* under strong scaling:
+//! load/store events dominate and are proportional to per-rank
+//! computation. These types compute exactly those series.
+
+use mcc_mpi_sim::RunStats;
+use std::time::Duration;
+
+/// Event counts and rates of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventRates {
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Total MPI call events across ranks.
+    pub mpi_events: u64,
+    /// Total load/store events across ranks.
+    pub mem_events: u64,
+    /// Load/store events per second *per rank* — the paper's Figure 10
+    /// metric.
+    pub mem_rate_per_rank: f64,
+    /// MPI events per second per rank.
+    pub mpi_rate_per_rank: f64,
+}
+
+/// Aggregated statistics helper over a run's [`RunStats`].
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    nprocs: usize,
+    stats: RunStats,
+}
+
+impl TraceStats {
+    /// Wraps run statistics.
+    pub fn new(stats: RunStats) -> Self {
+        Self { nprocs: stats.per_rank.len(), stats }
+    }
+
+    /// Number of ranks.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Computes event rates.
+    pub fn rates(&self) -> EventRates {
+        let wall = self.stats.wall;
+        let secs = wall.as_secs_f64().max(1e-9);
+        let mpi = self.stats.total_mpi_events();
+        let mem = self.stats.total_mem_events();
+        let n = self.nprocs.max(1) as f64;
+        EventRates {
+            wall,
+            mpi_events: mpi,
+            mem_events: mem,
+            mem_rate_per_rank: mem as f64 / secs / n,
+            mpi_rate_per_rank: mpi as f64 / secs / n,
+        }
+    }
+}
+
+/// Percentage overhead of `profiled` over `native` wall time, e.g. `45.2`
+/// for a 1.452x slowdown.
+pub fn overhead_pct(native: Duration, profiled: Duration) -> f64 {
+    let n = native.as_secs_f64().max(1e-9);
+    (profiled.as_secs_f64() - n) / n * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_mpi_sim::RankStats;
+
+    fn mk_stats(wall_ms: u64, per_rank: Vec<(u64, u64)>) -> RunStats {
+        RunStats {
+            wall: Duration::from_millis(wall_ms),
+            per_rank: per_rank
+                .into_iter()
+                .map(|(mpi, mem)| RankStats { mpi_events: mpi, mem_events: mem, rma_bytes: 0 })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn rates_computed_per_rank() {
+        let s = TraceStats::new(mk_stats(1000, vec![(10, 1000), (10, 1000)]));
+        let r = s.rates();
+        assert_eq!(r.mpi_events, 20);
+        assert_eq!(r.mem_events, 2000);
+        // 2000 events / 1 s / 2 ranks = 1000 events/s/rank.
+        assert!((r.mem_rate_per_rank - 1000.0).abs() < 1e-6);
+        assert!((r.mpi_rate_per_rank - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overhead_percentage() {
+        let native = Duration::from_millis(100);
+        let profiled = Duration::from_millis(145);
+        assert!((overhead_pct(native, profiled) - 45.0).abs() < 1e-9);
+        assert!((overhead_pct(native, native) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_guarded() {
+        let r = TraceStats::new(mk_stats(0, vec![(1, 1)])).rates();
+        assert!(r.mem_rate_per_rank.is_finite());
+        assert!(overhead_pct(Duration::ZERO, Duration::from_secs(1)).is_finite());
+    }
+}

@@ -1,0 +1,115 @@
+//! Trace file I/O: one JSON-lines file per rank, mirroring the paper's
+//! per-process local trace files.
+//!
+//! Layout of a trace directory:
+//!
+//! ```text
+//! trace-dir/
+//!   meta.json        { "nprocs": N }
+//!   rank-0.jsonl     first line: the rank's SourceLoc table
+//!   rank-1.jsonl     following lines: one Event each, in program order
+//!   ...
+//! ```
+
+use mcc_types::{Event, ProcessTrace, SourceLoc, Trace};
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+#[derive(Serialize, Deserialize)]
+struct Meta {
+    nprocs: usize,
+}
+
+/// Writes a trace as a directory of per-rank JSON-lines files.
+pub fn write_trace_dir(trace: &Trace, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let meta = Meta { nprocs: trace.nprocs() };
+    fs::write(dir.join("meta.json"), serde_json::to_string(&meta)?)?;
+    for (rank, proc) in trace.procs.iter().enumerate() {
+        let mut w = BufWriter::new(File::create(dir.join(format!("rank-{rank}.jsonl")))?);
+        serde_json::to_writer(&mut w, &proc.locs)?;
+        w.write_all(b"\n")?;
+        for event in &proc.events {
+            serde_json::to_writer(&mut w, event)?;
+            w.write_all(b"\n")?;
+        }
+        w.flush()?;
+    }
+    Ok(())
+}
+
+/// Reads a trace directory written by [`write_trace_dir`].
+pub fn read_trace_dir(dir: &Path) -> io::Result<Trace> {
+    let meta: Meta = serde_json::from_str(&fs::read_to_string(dir.join("meta.json"))?)?;
+    let mut procs = Vec::with_capacity(meta.nprocs);
+    for rank in 0..meta.nprocs {
+        let f = File::open(dir.join(format!("rank-{rank}.jsonl")))?;
+        let mut lines = BufReader::new(f).lines();
+        let loc_line = lines.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, format!("rank {rank}: empty trace file"))
+        })??;
+        let locs: Vec<SourceLoc> = serde_json::from_str(&loc_line)?;
+        let mut events = Vec::new();
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event: Event = serde_json::from_str(&line)?;
+            events.push(event);
+        }
+        procs.push(ProcessTrace { events, locs });
+    }
+    Ok(Trace { procs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_types::{CommId, EventKind, Rank, TraceBuilder};
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new(3);
+        for r in 0..3u32 {
+            b.push_at(
+                Rank(r),
+                EventKind::Barrier { comm: CommId::WORLD },
+                SourceLoc::new("app.c", 10, "main"),
+            );
+            b.push_at(
+                Rank(r),
+                EventKind::Store { addr: 64 + r as u64, len: 4 },
+                SourceLoc::new("app.c", 11 + r, "main"),
+            );
+        }
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mcc-trace-test-{}", std::process::id()));
+        let t = sample_trace();
+        write_trace_dir(&t, &dir).unwrap();
+        let back = read_trace_dir(&dir).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mcc-trace-empty-{}", std::process::id()));
+        let t = Trace::new(2);
+        write_trace_dir(&t, &dir).unwrap();
+        let back = read_trace_dir(&dir).unwrap();
+        assert_eq!(back.nprocs(), 2);
+        assert_eq!(back.total_events(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_errors() {
+        assert!(read_trace_dir(Path::new("/definitely/not/here")).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! The relevant-variable analysis (the paper's ST-Analyzer, §IV-A).
+//!
+//! "First, ST-Analyzer identifies all variables that belong to the window
+//! buffers or the buffers being accessed by one-sided communication calls.
+//! It labels these variables as relevant. Then ST-Analyzer propagates such
+//! labels by following pointer assignments or function calls involving
+//! pointers."
+//!
+//! The analysis is deliberately **conservative and cheap**: flow- and
+//! context-insensitive ("insensitive to branch and loop"), so it may
+//! over-approximate (extra variables instrumented) but never misses a
+//! variable that can alias RMA-exposed memory. Labels flow *bidirectionally*
+//! across aliases — if `q = p` and either end is relevant, both are —
+//! because either name can reach the shared storage.
+
+use crate::ir::{walk_stmts, Arg, MpiCall, Program, StmtKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The ST-Analyzer output: per function, the set of variable names whose
+/// loads/stores the Profiler must instrument.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    relevant: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl Report {
+    /// Whether variable `var` in function `func` must be instrumented.
+    pub fn is_relevant(&self, func: &str, var: &str) -> bool {
+        self.relevant.get(func).is_some_and(|s| s.contains(var))
+    }
+
+    /// The relevant set of a function (empty if none).
+    pub fn relevant_in(&self, func: &str) -> impl Iterator<Item = &str> {
+        self.relevant.get(func).into_iter().flatten().map(String::as_str)
+    }
+
+    /// Total number of `(function, variable)` labels — the size of the
+    /// instrumentation set, reported by the `table` binaries.
+    pub fn label_count(&self) -> usize {
+        self.relevant.values().map(BTreeSet::len).sum()
+    }
+
+    fn mark(&mut self, func: &str, var: &str) -> bool {
+        self.relevant.entry(func.to_string()).or_default().insert(var.to_string())
+    }
+}
+
+/// A node in the alias graph: a variable within a function.
+type Node = (String, String);
+
+/// Runs the analysis over a whole program.
+pub fn analyze(prog: &Program) -> Report {
+    let mut report = Report::default();
+    // Undirected alias edges between (func, var) nodes.
+    let mut edges: BTreeMap<Node, Vec<Node>> = BTreeMap::new();
+    let add_edge = |edges: &mut BTreeMap<Node, Vec<Node>>, a: Node, b: Node| {
+        edges.entry(a.clone()).or_default().push(b.clone());
+        edges.entry(b).or_default().push(a);
+    };
+
+    // Pass 1: collect seeds (window buffers and RMA origin buffers) and
+    // alias edges (pointer assignments and pointer-passing calls).
+    for func in &prog.funcs {
+        let fname = &func.name;
+        walk_stmts(&func.body, &mut |stmt| match &stmt.kind {
+            StmtKind::Mpi(call) => match call {
+                MpiCall::WinCreate { buf, .. } => {
+                    report.mark(fname, buf);
+                }
+                MpiCall::Put { origin, .. }
+                | MpiCall::Get { origin, .. }
+                | MpiCall::Acc { origin, .. } => {
+                    report.mark(fname, origin);
+                }
+                _ => {}
+            },
+            StmtKind::AssignPtr { name, value } => {
+                add_edge(
+                    &mut edges,
+                    (fname.clone(), name.clone()),
+                    (fname.clone(), value.base().to_string()),
+                );
+            }
+            StmtKind::Memcpy { dst, src, .. } => {
+                // A copy makes the destination carry RMA-exposed bytes
+                // (and a copy out of a window buffer must itself be
+                // instrumented): propagate both ways, like an alias.
+                add_edge(
+                    &mut edges,
+                    (fname.clone(), dst.clone()),
+                    (fname.clone(), src.clone()),
+                );
+            }
+            StmtKind::Call { func: callee, args } => {
+                if let Some(cf) = prog.func(callee) {
+                    for (arg, (param, is_ptr)) in args.iter().zip(&cf.params) {
+                        if let (Arg::Ptr(var), true) = (arg, is_ptr) {
+                            add_edge(
+                                &mut edges,
+                                (fname.clone(), var.clone()),
+                                (cf.name.clone(), param.clone()),
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {}
+        });
+    }
+
+    // Pass 2: propagate labels along alias edges to a fixpoint (BFS from
+    // every seed).
+    let mut work: Vec<Node> = report
+        .relevant
+        .iter()
+        .flat_map(|(f, vars)| vars.iter().map(move |v| (f.clone(), v.clone())))
+        .collect();
+    while let Some(node) = work.pop() {
+        if let Some(neighbours) = edges.get(&node) {
+            for (nf, nv) in neighbours.clone() {
+                if report.mark(&nf, &nv) {
+                    work.push((nf, nv));
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{s, Expr, Func, PtrExpr, Stmt};
+
+    fn win_create(buf: &str) -> Stmt {
+        s(1, StmtKind::Mpi(MpiCall::WinCreate {
+            buf: buf.into(),
+            len: Expr::Const(4),
+            win: "w".into(),
+        }))
+    }
+
+    fn prog(funcs: Vec<Func>) -> Program {
+        Program { file: "t.mc".into(), funcs }
+    }
+
+    #[test]
+    fn window_buffer_is_seed() {
+        let p = prog(vec![Func {
+            name: "main".into(),
+            params: vec![],
+            body: vec![win_create("wbuf")],
+        }]);
+        let r = analyze(&p);
+        assert!(r.is_relevant("main", "wbuf"));
+        assert!(!r.is_relevant("main", "other"));
+        assert_eq!(r.label_count(), 1);
+    }
+
+    #[test]
+    fn rma_origin_is_seed() {
+        let p = prog(vec![Func {
+            name: "main".into(),
+            params: vec![],
+            body: vec![s(2, StmtKind::Mpi(MpiCall::Get {
+                origin: "check".into(),
+                count: Expr::Const(1),
+                target: Expr::Const(1),
+                disp: Expr::Const(0),
+                win: "w".into(),
+            }))],
+        }]);
+        let r = analyze(&p);
+        assert!(r.is_relevant("main", "check"));
+    }
+
+    #[test]
+    fn pointer_assignment_propagates() {
+        let p = prog(vec![Func {
+            name: "main".into(),
+            params: vec![],
+            body: vec![
+                win_create("wbuf"),
+                s(2, StmtKind::AssignPtr { name: "alias".into(), value: PtrExpr::Var("wbuf".into()) }),
+                s(3, StmtKind::AssignPtr {
+                    name: "alias2".into(),
+                    value: PtrExpr::Offset("alias".into(), Expr::Const(2)),
+                }),
+                s(4, StmtKind::AssignPtr { name: "unrelated".into(), value: PtrExpr::Var("other".into()) }),
+            ],
+        }]);
+        let r = analyze(&p);
+        assert!(r.is_relevant("main", "alias"));
+        assert!(r.is_relevant("main", "alias2"), "transitive aliasing");
+        assert!(!r.is_relevant("main", "unrelated"));
+        assert!(!r.is_relevant("main", "other"));
+    }
+
+    #[test]
+    fn labels_flow_backwards_through_aliases() {
+        // q = p; then q used as RMA origin: p must also be instrumented.
+        let p = prog(vec![Func {
+            name: "main".into(),
+            params: vec![],
+            body: vec![
+                s(1, StmtKind::AssignPtr { name: "q".into(), value: PtrExpr::Var("p".into()) }),
+                s(2, StmtKind::Mpi(MpiCall::Put {
+                    origin: "q".into(),
+                    count: Expr::Const(1),
+                    target: Expr::Const(0),
+                    disp: Expr::Const(0),
+                    win: "w".into(),
+                })),
+            ],
+        }]);
+        let r = analyze(&p);
+        assert!(r.is_relevant("main", "q"));
+        assert!(r.is_relevant("main", "p"), "alias of an origin buffer");
+    }
+
+    #[test]
+    fn call_arguments_propagate_into_callee() {
+        let p = prog(vec![
+            Func {
+                name: "main".into(),
+                params: vec![],
+                body: vec![
+                    win_create("wbuf"),
+                    s(2, StmtKind::Call {
+                        func: "helper".into(),
+                        args: vec![Arg::Ptr("wbuf".into()), Arg::Scalar(Expr::Const(3))],
+                    }),
+                ],
+            },
+            Func {
+                name: "helper".into(),
+                params: vec![("data".into(), true), ("n".into(), false)],
+                body: vec![s(10, StmtKind::AssignPtr {
+                    name: "local".into(),
+                    value: PtrExpr::Var("data".into()),
+                })],
+            },
+        ]);
+        let r = analyze(&p);
+        assert!(r.is_relevant("helper", "data"), "param aliases window buffer");
+        assert!(r.is_relevant("helper", "local"), "propagates inside callee");
+        assert!(!r.is_relevant("helper", "n"), "scalar params do not alias");
+    }
+
+    #[test]
+    fn call_propagates_back_to_caller() {
+        // Callee uses its param as an RMA origin; the caller's argument
+        // must be instrumented too.
+        let p = prog(vec![
+            Func {
+                name: "main".into(),
+                params: vec![],
+                body: vec![s(1, StmtKind::Call {
+                    func: "sender".into(),
+                    args: vec![Arg::Ptr("buf".into())],
+                })],
+            },
+            Func {
+                name: "sender".into(),
+                params: vec![("out".into(), true)],
+                body: vec![s(5, StmtKind::Mpi(MpiCall::Put {
+                    origin: "out".into(),
+                    count: Expr::Const(1),
+                    target: Expr::Const(0),
+                    disp: Expr::Const(0),
+                    win: "w".into(),
+                }))],
+            },
+        ]);
+        let r = analyze(&p);
+        assert!(r.is_relevant("sender", "out"));
+        assert!(r.is_relevant("main", "buf"));
+    }
+
+    #[test]
+    fn seeds_inside_branches_and_loops_found() {
+        // Flow-insensitivity: a win_create inside a dead branch still
+        // marks the buffer (conservative over-approximation).
+        let p = prog(vec![Func {
+            name: "main".into(),
+            params: vec![],
+            body: vec![s(1, StmtKind::If {
+                cond: Expr::Const(0),
+                then_body: vec![win_create("condbuf")],
+                else_body: vec![],
+            })],
+        }]);
+        let r = analyze(&p);
+        assert!(r.is_relevant("main", "condbuf"));
+    }
+
+    #[test]
+    fn memcpy_propagates_relevance() {
+        // buf2 = memcpy(buf2, wbuf); accesses through buf2 reach window
+        // bytes' copies — both marked (paper §V's missing channel).
+        let p = prog(vec![Func {
+            name: "main".into(),
+            params: vec![],
+            body: vec![
+                win_create("wbuf"),
+                s(2, StmtKind::Memcpy {
+                    dst: "copy".into(),
+                    src: "wbuf".into(),
+                    count: Expr::Const(4),
+                }),
+                s(3, StmtKind::Memcpy {
+                    dst: "copy2".into(),
+                    src: "copy".into(),
+                    count: Expr::Const(4),
+                }),
+            ],
+        }]);
+        let r = analyze(&p);
+        assert!(r.is_relevant("main", "copy"));
+        assert!(r.is_relevant("main", "copy2"), "transitive through copies");
+    }
+
+    #[test]
+    fn send_recv_buffers_not_relevant() {
+        // Two-sided buffers are not RMA-exposed; the paper instruments
+        // only window/one-sided buffers.
+        let p = prog(vec![Func {
+            name: "main".into(),
+            params: vec![],
+            body: vec![s(1, StmtKind::Mpi(MpiCall::Send {
+                buf: "msg".into(),
+                count: Expr::Const(1),
+                dest: Expr::Const(1),
+                tag: Expr::Const(0),
+            }))],
+        }]);
+        let r = analyze(&p);
+        assert!(!r.is_relevant("main", "msg"));
+        assert_eq!(r.label_count(), 0);
+    }
+}

@@ -1,0 +1,613 @@
+//! The IR interpreter: executes a mini-C program on the simulated MPI
+//! runtime with ST-Analyzer-guided instrumentation.
+//!
+//! This is the stand-in for the paper's LLVM instrumentation pass: where
+//! the paper rewrites the IR so that loads/stores of *relevant* variables
+//! call into the Profiler, this interpreter consults the [`Report`] on
+//! every load/store and logs exactly those accesses. Passing no report
+//! reproduces the instrument-everything baseline the paper compares
+//! against (SyncChecker/Purify, §VII-B).
+
+use crate::analysis::Report;
+use crate::ir::{Arg, BinOp, Expr, Func, MpiCall, Program, PtrExpr, Stmt, StmtKind};
+use mcc_mpi_sim::{run, Proc, SimConfig, SimError, SimResult};
+use mcc_types::{CommId, DatatypeId, SourceLoc, WinId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Interpreter configuration.
+#[derive(Debug, Clone)]
+pub struct InterpConfig {
+    /// Simulator configuration (ranks, seed, delivery, instrumentation).
+    pub sim: SimConfig,
+    /// ST-Analyzer output guiding instrumentation; `None` marks every
+    /// access relevant (the instrument-all baseline).
+    pub report: Option<Report>,
+}
+
+/// The outcome of interpreting a program.
+#[derive(Debug)]
+pub struct ProgramOutcome {
+    /// The simulator result (trace + stats).
+    pub result: SimResult,
+    /// How many bounded `while` loops hit their iteration cap — the
+    /// interpreter's stand-in for an observed livelock (BT-broadcast's
+    /// forever-spinning loop, paper §VII-A1).
+    pub livelocks: u64,
+}
+
+/// Interprets `prog` on the simulator.
+pub fn run_program(prog: &Program, cfg: InterpConfig) -> Result<ProgramOutcome, SimError> {
+    let livelocks = AtomicU64::new(0);
+    let result = run(cfg.sim.clone(), |p| {
+        let mut interp = Interp {
+            prog,
+            report: cfg.report.as_ref(),
+            proc: p,
+            livelocks: &livelocks,
+        };
+        let main = prog.main().clone();
+        interp.call(&main, Vec::new());
+        interp.proc.set_loc_override(None);
+    })?;
+    Ok(ProgramOutcome { result, livelocks: livelocks.load(Ordering::Relaxed) })
+}
+
+/// A variable binding in a stack frame.
+#[derive(Debug, Clone, Copy)]
+enum Binding {
+    /// A scalar living at this arena address (4 bytes).
+    Scalar(u64),
+    /// A pointer to this arena address.
+    Ptr(u64),
+    /// A window handle.
+    Win(WinId),
+}
+
+struct Frame {
+    func: String,
+    vars: HashMap<String, Binding>,
+}
+
+struct Interp<'a> {
+    prog: &'a Program,
+    report: Option<&'a Report>,
+    proc: &'a mut Proc,
+    livelocks: &'a AtomicU64,
+}
+
+impl<'a> Interp<'a> {
+    fn relevant(&self, func: &str, var: &str) -> bool {
+        self.report.is_none_or(|r| r.is_relevant(func, var))
+    }
+
+    fn loc(&self, frame: &Frame, line: u32) -> SourceLoc {
+        SourceLoc::new(self.prog.file.clone(), line, frame.func.clone())
+    }
+
+    fn call(&mut self, func: &Func, args: Vec<Binding>) {
+        assert_eq!(args.len(), func.params.len(), "{}: wrong arity", func.name);
+        let mut frame = Frame { func: func.name.clone(), vars: HashMap::new() };
+        for ((name, _is_ptr), binding) in func.params.iter().zip(args) {
+            frame.vars.insert(name.clone(), binding);
+        }
+        self.exec_block(&func.body, &mut frame);
+    }
+
+    fn exec_block(&mut self, body: &[Stmt], frame: &mut Frame) {
+        for stmt in body {
+            self.exec(stmt, frame);
+        }
+    }
+
+    fn binding(&self, frame: &Frame, name: &str) -> Binding {
+        *frame
+            .vars
+            .get(name)
+            .unwrap_or_else(|| panic!("{}: unbound variable `{name}`", frame.func))
+    }
+
+    /// The address a variable refers to when used as a buffer: scalars
+    /// contribute their own slot, pointers their target.
+    fn buffer_addr(&self, frame: &Frame, name: &str) -> u64 {
+        match self.binding(frame, name) {
+            Binding::Scalar(a) | Binding::Ptr(a) => a,
+            Binding::Win(_) => panic!("{}: `{name}` is a window, not a buffer", frame.func),
+        }
+    }
+
+    fn win(&self, frame: &Frame, name: &str) -> WinId {
+        match self.binding(frame, name) {
+            Binding::Win(w) => w,
+            _ => panic!("{}: `{name}` is not a window handle", frame.func),
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, frame: &Frame, line: u32) -> i64 {
+        match e {
+            Expr::Const(v) => *v,
+            Expr::Rank => self.proc.rank() as i64,
+            Expr::Size => self.proc.size() as i64,
+            Expr::Var(name) => match self.binding(frame, name) {
+                Binding::Scalar(addr) => {
+                    let relevant = self.relevant(&frame.func, name);
+                    let loc = self.loc(frame, line);
+                    self.proc.log_mem_access(false, addr, 4, relevant, &loc);
+                    self.proc.peek_i32(addr) as i64
+                }
+                Binding::Ptr(addr) => addr as i64,
+                Binding::Win(w) => w.0 as i64,
+            },
+            Expr::Index(name, idx) => {
+                let idx = self.eval(idx, frame, line);
+                let base = self.buffer_addr(frame, name);
+                let addr = (base as i64 + idx * 4) as u64;
+                let relevant = self.relevant(&frame.func, name);
+                let loc = self.loc(frame, line);
+                self.proc.log_mem_access(false, addr, 4, relevant, &loc);
+                self.proc.peek_i32(addr) as i64
+            }
+            Expr::Bin(op, a, b) => {
+                let a = self.eval(a, frame, line);
+                let b = self.eval(b, frame, line);
+                match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => a.checked_div(b).unwrap_or(0),
+                    BinOp::Mod => a.checked_rem(b).unwrap_or(0),
+                    BinOp::Lt => (a < b) as i64,
+                    BinOp::Le => (a <= b) as i64,
+                    BinOp::Gt => (a > b) as i64,
+                    BinOp::Ge => (a >= b) as i64,
+                    BinOp::Eq => (a == b) as i64,
+                    BinOp::Ne => (a != b) as i64,
+                }
+            }
+        }
+    }
+
+    fn store_scalar(&mut self, frame: &Frame, name: &str, value: i64, line: u32) {
+        match self.binding(frame, name) {
+            Binding::Scalar(addr) => {
+                let relevant = self.relevant(&frame.func, name);
+                let loc = self.loc(frame, line);
+                self.proc.log_mem_access(true, addr, 4, relevant, &loc);
+                self.proc.poke_i32(addr, value as i32);
+            }
+            _ => panic!("{}: assignment to non-scalar `{name}`", frame.func),
+        }
+    }
+
+    fn exec(&mut self, stmt: &Stmt, frame: &mut Frame) {
+        let line = stmt.line;
+        // Route the source line of this statement into every event the
+        // runtime logs while executing it.
+        self.proc.set_loc_override(Some(self.loc(frame, line)));
+        match &stmt.kind {
+            StmtKind::DeclScalar { name, init } => {
+                let v = self.eval(init, frame, line);
+                let addr = self.proc.alloc(4);
+                frame.vars.insert(name.clone(), Binding::Scalar(addr));
+                self.store_scalar(frame, name, v, line);
+            }
+            StmtKind::DeclArray { name, len } => {
+                let n = self.eval(len, frame, line).max(0) as u64;
+                let addr = self.proc.alloc(4 * n);
+                frame.vars.insert(name.clone(), Binding::Ptr(addr));
+            }
+            StmtKind::Assign { name, value } => {
+                let v = self.eval(value, frame, line);
+                self.store_scalar(frame, name, v, line);
+            }
+            StmtKind::AssignPtr { name, value } => {
+                let addr = match value {
+                    PtrExpr::Var(base) => self.buffer_addr(frame, base),
+                    PtrExpr::Offset(base, off) => {
+                        let o = self.eval(off, frame, line);
+                        (self.buffer_addr(frame, base) as i64 + o * 4) as u64
+                    }
+                };
+                frame.vars.insert(name.clone(), Binding::Ptr(addr));
+            }
+            StmtKind::Store { ptr, index, value } => {
+                let idx = self.eval(index, frame, line);
+                let v = self.eval(value, frame, line);
+                let base = self.buffer_addr(frame, ptr);
+                let addr = (base as i64 + idx * 4) as u64;
+                let relevant = self.relevant(&frame.func, ptr);
+                let loc = self.loc(frame, line);
+                self.proc.log_mem_access(true, addr, 4, relevant, &loc);
+                self.proc.poke_i32(addr, v as i32);
+            }
+            StmtKind::If { cond, then_body, else_body } => {
+                if self.eval(cond, frame, line) != 0 {
+                    self.exec_block(then_body, frame);
+                } else {
+                    self.exec_block(else_body, frame);
+                }
+            }
+            StmtKind::While { cond, body, max_iters } => {
+                let mut iters = 0u64;
+                while self.eval(cond, frame, line) != 0 {
+                    if iters >= *max_iters {
+                        self.livelocks.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    iters += 1;
+                    self.exec_block(body, frame);
+                    self.proc.set_loc_override(Some(self.loc(frame, line)));
+                }
+            }
+            StmtKind::Call { func, args } => {
+                let callee = self
+                    .prog
+                    .func(func)
+                    .unwrap_or_else(|| panic!("call to unknown function `{func}`"))
+                    .clone();
+                let bindings: Vec<Binding> = args
+                    .iter()
+                    .map(|a| match a {
+                        Arg::Ptr(name) => self.binding(frame, name),
+                        Arg::Scalar(e) => {
+                            let v = self.eval(e, frame, line);
+                            let addr = self.proc.alloc(4);
+                            self.proc.poke_i32(addr, v as i32);
+                            Binding::Scalar(addr)
+                        }
+                    })
+                    .collect();
+                self.call(&callee, bindings);
+                self.proc.set_loc_override(Some(self.loc(frame, line)));
+            }
+            StmtKind::Memcpy { dst, src, count } => {
+                let n = self.eval(count, frame, line).max(0);
+                let d = self.buffer_addr(frame, dst);
+                let sa = self.buffer_addr(frame, src);
+                let rel_src = self.relevant(&frame.func, src);
+                let rel_dst = self.relevant(&frame.func, dst);
+                let loc = self.loc(frame, line);
+                for i in 0..n {
+                    self.proc.log_mem_access(false, (sa as i64 + i * 4) as u64, 4, rel_src, &loc);
+                    let v = self.proc.peek_i32((sa as i64 + i * 4) as u64);
+                    self.proc.log_mem_access(true, (d as i64 + i * 4) as u64, 4, rel_dst, &loc);
+                    self.proc.poke_i32((d as i64 + i * 4) as u64, v);
+                }
+            }
+            StmtKind::Mpi(call) => self.exec_mpi(call, frame, line),
+        }
+    }
+
+    fn exec_mpi(&mut self, call: &MpiCall, frame: &mut Frame, line: u32) {
+        const I32: DatatypeId = DatatypeId::INT;
+        match call {
+            MpiCall::WinCreate { buf, len, win } => {
+                let n = self.eval(len, frame, line).max(0) as u64;
+                let addr = self.buffer_addr(frame, buf);
+                let w = self.proc.win_create(addr, 4 * n, CommId::WORLD);
+                frame.vars.insert(win.clone(), Binding::Win(w));
+            }
+            MpiCall::WinFree { win } => {
+                let w = self.win(frame, win);
+                self.proc.win_free(w);
+            }
+            MpiCall::Fence { win } => {
+                let w = self.win(frame, win);
+                self.proc.win_fence(w);
+            }
+            MpiCall::Put { origin, count, target, disp, win } => {
+                let c = self.eval(count, frame, line) as u32;
+                let t = self.eval(target, frame, line) as u32;
+                let d = self.eval(disp, frame, line).max(0) as u64;
+                let addr = self.buffer_addr(frame, origin);
+                let w = self.win(frame, win);
+                self.proc.put(addr, c, I32, t, 4 * d, c, I32, w);
+            }
+            MpiCall::Get { origin, count, target, disp, win } => {
+                let c = self.eval(count, frame, line) as u32;
+                let t = self.eval(target, frame, line) as u32;
+                let d = self.eval(disp, frame, line).max(0) as u64;
+                let addr = self.buffer_addr(frame, origin);
+                let w = self.win(frame, win);
+                self.proc.get(addr, c, I32, t, 4 * d, c, I32, w);
+            }
+            MpiCall::Acc { origin, count, target, disp, op, win } => {
+                let c = self.eval(count, frame, line) as u32;
+                let t = self.eval(target, frame, line) as u32;
+                let d = self.eval(disp, frame, line).max(0) as u64;
+                let addr = self.buffer_addr(frame, origin);
+                let w = self.win(frame, win);
+                self.proc.accumulate(addr, c, I32, t, 4 * d, c, I32, *op, w);
+            }
+            MpiCall::Lock { kind, target, win } => {
+                let t = self.eval(target, frame, line) as u32;
+                let w = self.win(frame, win);
+                self.proc.win_lock(*kind, t, w);
+            }
+            MpiCall::Unlock { target, win } => {
+                let t = self.eval(target, frame, line) as u32;
+                let w = self.win(frame, win);
+                self.proc.win_unlock(t, w);
+            }
+            MpiCall::Barrier => self.proc.barrier(CommId::WORLD),
+            MpiCall::Send { buf, count, dest, tag } => {
+                let c = self.eval(count, frame, line) as u32;
+                let d = self.eval(dest, frame, line) as u32;
+                let t = self.eval(tag, frame, line) as u32;
+                let addr = self.buffer_addr(frame, buf);
+                self.proc.send(addr, c, I32, d, t, CommId::WORLD);
+            }
+            MpiCall::Recv { buf, count, src, tag } => {
+                let c = self.eval(count, frame, line) as u32;
+                let s = self.eval(src, frame, line) as u32;
+                let t = self.eval(tag, frame, line) as u32;
+                let addr = self.buffer_addr(frame, buf);
+                self.proc.recv(addr, c, I32, s, t, CommId::WORLD);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::ir::{s, Expr as E, Func, StmtKind as K};
+    use mcc_mpi_sim::{DeliveryPolicy, Instrument};
+    use mcc_types::EventKind;
+
+    fn cfg(n: u32) -> InterpConfig {
+        InterpConfig {
+            sim: SimConfig::new(n).with_seed(11).with_delivery(DeliveryPolicy::Eager),
+            report: None,
+        }
+    }
+
+    /// A tiny put/fence program used by several tests.
+    fn put_prog() -> Program {
+        Program {
+            file: "put.mc".into(),
+            funcs: vec![Func {
+                name: "main".into(),
+                params: vec![],
+                body: vec![
+                    s(1, K::DeclArray { name: "wbuf".into(), len: E::Const(4) }),
+                    s(2, K::Mpi(MpiCall::WinCreate {
+                        buf: "wbuf".into(),
+                        len: E::Const(4),
+                        win: "w".into(),
+                    })),
+                    s(3, K::Mpi(MpiCall::Fence { win: "w".into() })),
+                    s(4, K::If {
+                        cond: E::bin(BinOp::Eq, E::Rank, E::Const(0)),
+                        then_body: vec![
+                            s(5, K::DeclArray { name: "src".into(), len: E::Const(4) }),
+                            s(6, K::Store { ptr: "src".into(), index: E::Const(0), value: E::Const(99) }),
+                            s(7, K::Mpi(MpiCall::Put {
+                                origin: "src".into(),
+                                count: E::Const(1),
+                                target: E::Const(1),
+                                disp: E::Const(0),
+                                win: "w".into(),
+                            })),
+                        ],
+                        else_body: vec![],
+                    }),
+                    s(8, K::Mpi(MpiCall::Fence { win: "w".into() })),
+                    s(9, K::If {
+                        cond: E::bin(BinOp::Eq, E::Rank, E::Const(1)),
+                        then_body: vec![
+                            s(10, K::DeclScalar {
+                                name: "v".into(),
+                                init: E::index("wbuf", E::Const(0)),
+                            }),
+                        ],
+                        else_body: vec![],
+                    }),
+                    s(11, K::Mpi(MpiCall::WinFree { win: "w".into() })),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn put_program_moves_data() {
+        let out = run_program(&put_prog(), cfg(2)).unwrap();
+        assert_eq!(out.livelocks, 0);
+        let trace = out.result.trace.unwrap();
+        // Rank 0 issued the put.
+        let p0 = &trace.procs[0];
+        assert!(p0.events.iter().any(|e| matches!(&e.kind, EventKind::Rma(op) if op.kind == mcc_types::RmaKind::Put)));
+        // The put's diagnostic location cites line 7 of put.mc.
+        let put = p0
+            .events
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Rma(_)))
+            .unwrap();
+        let loc = p0.loc(put.loc);
+        assert_eq!(loc.file, "put.mc");
+        assert_eq!(loc.line, 7);
+        assert_eq!(loc.func, "main");
+    }
+
+    #[test]
+    fn report_guided_instrumentation_filters() {
+        let prog = put_prog();
+        let report = analyze(&prog);
+        // wbuf (window) and src (origin) are relevant; v is a plain scalar.
+        assert!(report.is_relevant("main", "wbuf"));
+        assert!(report.is_relevant("main", "src"));
+        assert!(!report.is_relevant("main", "v"));
+
+        let guided = InterpConfig {
+            sim: SimConfig::new(2).with_seed(11).with_instrument(Instrument::Relevant),
+            report: Some(report),
+        };
+        let out_guided = run_program(&prog, guided).unwrap();
+        let all = InterpConfig {
+            sim: SimConfig::new(2).with_seed(11).with_instrument(Instrument::Relevant),
+            report: None,
+        };
+        let out_all = run_program(&prog, all).unwrap();
+        let mem_guided = out_guided.result.stats.total_mem_events();
+        let mem_all = out_all.result.stats.total_mem_events();
+        assert!(
+            mem_guided < mem_all,
+            "guided instrumentation must log fewer accesses ({mem_guided} vs {mem_all})"
+        );
+        assert!(mem_guided > 0, "window accesses still logged");
+    }
+
+    #[test]
+    fn while_loop_executes() {
+        // sum = 0; i = 0; while (i < 5) { sum = sum + i; i = i + 1; }
+        let prog = Program {
+            file: "loop.mc".into(),
+            funcs: vec![Func {
+                name: "main".into(),
+                params: vec![],
+                body: vec![
+                    s(1, K::DeclScalar { name: "sum".into(), init: E::Const(0) }),
+                    s(2, K::DeclScalar { name: "i".into(), init: E::Const(0) }),
+                    s(3, K::While {
+                        cond: E::bin(BinOp::Lt, E::var("i"), E::Const(5)),
+                        body: vec![
+                            s(4, K::Assign {
+                                name: "sum".into(),
+                                value: E::bin(BinOp::Add, E::var("sum"), E::var("i")),
+                            }),
+                            s(5, K::Assign {
+                                name: "i".into(),
+                                value: E::bin(BinOp::Add, E::var("i"), E::Const(1)),
+                            }),
+                        ],
+                        max_iters: 100,
+                    }),
+                    // Expose the result so the test can find it: store into
+                    // an array cell we can locate via a put-free window...
+                    // simpler: assert via livelocks == 0 plus trace length.
+                ],
+            }],
+        };
+        let out = run_program(&prog, cfg(1)).unwrap();
+        assert_eq!(out.livelocks, 0);
+    }
+
+    #[test]
+    fn bounded_loop_reports_livelock() {
+        let prog = Program {
+            file: "spin.mc".into(),
+            funcs: vec![Func {
+                name: "main".into(),
+                params: vec![],
+                body: vec![
+                    s(1, K::DeclScalar { name: "check".into(), init: E::Const(0) }),
+                    s(2, K::While {
+                        cond: E::bin(BinOp::Eq, E::var("check"), E::Const(0)),
+                        body: vec![],
+                        max_iters: 50,
+                    }),
+                ],
+            }],
+        };
+        let out = run_program(&prog, cfg(1)).unwrap();
+        assert_eq!(out.livelocks, 1);
+    }
+
+    #[test]
+    fn function_call_with_pointer_arg() {
+        // helper writes through its pointer param into main's array.
+        let prog = Program {
+            file: "call.mc".into(),
+            funcs: vec![
+                Func {
+                    name: "main".into(),
+                    params: vec![],
+                    body: vec![
+                        s(1, K::DeclArray { name: "data".into(), len: E::Const(2) }),
+                        s(2, K::Call {
+                            func: "fill".into(),
+                            args: vec![Arg::Ptr("data".into()), Arg::Scalar(E::Const(7))],
+                        }),
+                        s(3, K::DeclScalar { name: "got".into(), init: E::index("data", E::Const(1)) }),
+                        // got must be 7: check by spinning if wrong (bounded).
+                        s(4, K::While {
+                            cond: E::bin(BinOp::Ne, E::var("got"), E::Const(7)),
+                            body: vec![],
+                            max_iters: 1,
+                        }),
+                    ],
+                },
+                Func {
+                    name: "fill".into(),
+                    params: vec![("out".into(), true), ("v".into(), false)],
+                    body: vec![s(10, K::Store {
+                        ptr: "out".into(),
+                        index: E::Const(1),
+                        value: E::var("v"),
+                    })],
+                },
+            ],
+        };
+        let out = run_program(&prog, cfg(1)).unwrap();
+        assert_eq!(out.livelocks, 0, "value written through callee pointer");
+    }
+
+    #[test]
+    fn send_recv_between_ranks() {
+        let prog = Program {
+            file: "p2p.mc".into(),
+            funcs: vec![Func {
+                name: "main".into(),
+                params: vec![],
+                body: vec![
+                    s(1, K::DeclArray { name: "msg".into(), len: E::Const(1) }),
+                    s(2, K::If {
+                        cond: E::bin(BinOp::Eq, E::Rank, E::Const(0)),
+                        then_body: vec![
+                            s(3, K::Store { ptr: "msg".into(), index: E::Const(0), value: E::Const(5) }),
+                            s(4, K::Mpi(MpiCall::Send {
+                                buf: "msg".into(),
+                                count: E::Const(1),
+                                dest: E::Const(1),
+                                tag: E::Const(0),
+                            })),
+                        ],
+                        else_body: vec![
+                            s(5, K::Mpi(MpiCall::Recv {
+                                buf: "msg".into(),
+                                count: E::Const(1),
+                                src: E::Const(0),
+                                tag: E::Const(0),
+                            })),
+                            s(6, K::DeclScalar { name: "v".into(), init: E::index("msg", E::Const(0)) }),
+                            s(7, K::While {
+                                cond: E::bin(BinOp::Ne, E::var("v"), E::Const(5)),
+                                body: vec![],
+                                max_iters: 1,
+                            }),
+                        ],
+                    }),
+                ],
+            }],
+        };
+        let out = run_program(&prog, cfg(2)).unwrap();
+        assert_eq!(out.livelocks, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn unbound_variable_panics() {
+        let prog = Program {
+            file: "bad.mc".into(),
+            funcs: vec![Func {
+                name: "main".into(),
+                params: vec![],
+                body: vec![s(1, K::Assign { name: "ghost".into(), value: E::Const(0) })],
+            }],
+        };
+        if let Err(e) = run_program(&prog, cfg(1)) {
+            panic!("{e}");
+        }
+    }
+}

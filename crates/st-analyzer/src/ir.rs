@@ -1,0 +1,286 @@
+//! A mini-C intermediate representation of MPI one-sided programs.
+//!
+//! The paper's ST-Analyzer runs on C source through Clang (§IV-A). The
+//! Rust ecosystem has no C front-end to piggy-back on, so the analysis is
+//! reproduced over this small IR, which keeps every feature the analysis
+//! has to reason about: scalar and array variables with memory identity,
+//! pointers with aliasing through assignment and through call arguments,
+//! branches and loops the analysis must be insensitive to, and the MPI
+//! call surface.
+//!
+//! Every statement carries an explicit source line so the diagnostics can
+//! cite the same line numbers the paper's figures use; all data is `i32`.
+
+use mcc_types::{LockKind, ReduceOp};
+
+/// Binary operators of the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating; division by zero evaluates to 0, keeping the
+    /// interpreter total)
+    Div,
+    /// `%` (modulo; by zero evaluates to 0)
+    Mod,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// Expressions. Comparisons evaluate to 0/1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Read of a scalar variable (a memory load of its 4-byte slot).
+    Var(String),
+    /// `ptr[index]` — load of the `i32` element at `index` through a
+    /// pointer/array variable.
+    Index(String, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// This process's world rank.
+    Rank,
+    /// World size.
+    Size,
+}
+
+impl Expr {
+    /// Convenience: `Expr::Bin` with boxed operands.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Convenience: `var[idx]`.
+    pub fn index(var: &str, idx: Expr) -> Expr {
+        Expr::Index(var.to_string(), Box::new(idx))
+    }
+
+    /// Convenience: variable read.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+}
+
+/// A pointer-valued right-hand side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PtrExpr {
+    /// `q = p` — plain alias.
+    Var(String),
+    /// `q = p + offset` (offset in elements).
+    Offset(String, Expr),
+}
+
+impl PtrExpr {
+    /// The base pointer variable this expression aliases.
+    pub fn base(&self) -> &str {
+        match self {
+            PtrExpr::Var(v) | PtrExpr::Offset(v, _) => v,
+        }
+    }
+}
+
+/// Call argument: scalar by value, or a pointer (which aliases the callee
+/// parameter to the caller's buffer).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// Pass the value of an expression.
+    Scalar(Expr),
+    /// Pass a pointer variable.
+    Ptr(String),
+}
+
+/// The MPI call surface of the IR. `win` names a window-handle variable;
+/// `origin`/`buf` name pointer or scalar variables (a scalar used as a
+/// buffer means "address of that scalar, one element").
+///
+/// Variant fields mirror the MPI parameter names and are documented by
+/// the variant doc comments.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum MpiCall {
+    /// `MPI_Win_create(buf, len*4, ..., &win)`
+    WinCreate { buf: String, len: Expr, win: String },
+    /// `MPI_Win_free(&win)`
+    WinFree { win: String },
+    /// `MPI_Win_fence(0, win)`
+    Fence { win: String },
+    /// `MPI_Put(origin, count, MPI_INT, target, disp, count, MPI_INT, win)`
+    Put { origin: String, count: Expr, target: Expr, disp: Expr, win: String },
+    /// `MPI_Get(...)`
+    Get { origin: String, count: Expr, target: Expr, disp: Expr, win: String },
+    /// `MPI_Accumulate(...)`
+    Acc { origin: String, count: Expr, target: Expr, disp: Expr, op: ReduceOp, win: String },
+    /// `MPI_Win_lock(kind, target, 0, win)`
+    Lock { kind: LockKind, target: Expr, win: String },
+    /// `MPI_Win_unlock(target, win)`
+    Unlock { target: Expr, win: String },
+    /// `MPI_Barrier(MPI_COMM_WORLD)`
+    Barrier,
+    /// `MPI_Send(buf, count, MPI_INT, dest, tag, MPI_COMM_WORLD)`
+    Send { buf: String, count: Expr, dest: Expr, tag: Expr },
+    /// `MPI_Recv(buf, count, MPI_INT, src, tag, MPI_COMM_WORLD, ...)`
+    Recv { buf: String, count: Expr, src: Expr, tag: Expr },
+}
+
+/// Statement kinds. Variant fields are documented by the variant doc
+/// comments (they mirror the C construct each statement models).
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum StmtKind {
+    /// `int x = init;`
+    DeclScalar { name: String, init: Expr },
+    /// `int a[len];` (zero-initialized; `name` becomes a pointer to it)
+    DeclArray { name: String, len: Expr },
+    /// `x = value;`
+    Assign { name: String, value: Expr },
+    /// `int *q = <ptr expr>;` / `q = <ptr expr>;` — pointer aliasing.
+    AssignPtr { name: String, value: PtrExpr },
+    /// `ptr[index] = value;`
+    Store { ptr: String, index: Expr, value: Expr },
+    /// `memcpy(dst, src, count * 4)` — element-wise copy between buffers.
+    /// The paper's §V names copies as an aliasing channel its prototype
+    /// does not track ("a source for potential false negatives"); this
+    /// reproduction propagates relevance through them.
+    Memcpy { dst: String, src: String, count: Expr },
+    /// `if (cond) { then } else { els }`
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    /// `while (cond) { body }`, with an iteration bound after which the
+    /// interpreter abandons the loop and reports a livelock (needed to
+    /// reproduce BT-broadcast's infinite loop with a terminating trace).
+    While { cond: Expr, body: Vec<Stmt>, max_iters: u64 },
+    /// Call of another IR function; pointer args alias callee params.
+    Call { func: String, args: Vec<Arg> },
+    /// An MPI call.
+    Mpi(MpiCall),
+}
+
+/// A statement with its source line (as cited in diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Source line number.
+    pub line: u32,
+    /// The statement itself.
+    pub kind: StmtKind,
+}
+
+/// Builds a [`Stmt`] — the IR construction shorthand used throughout the
+/// test programs.
+pub fn s(line: u32, kind: StmtKind) -> Stmt {
+    Stmt { line, kind }
+}
+
+/// A function: named parameters (pointer parameters alias caller buffers,
+/// scalar parameters are fresh scalar slots) and a body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Function name.
+    pub name: String,
+    /// Parameter names, with pointer-ness: `(name, is_pointer)`.
+    pub params: Vec<(String, bool)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole program: `funcs[0]` is `main`, plus the virtual file name used
+/// in diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Source file name cited in diagnostics.
+    pub file: String,
+    /// Functions; entry point first.
+    pub funcs: Vec<Func>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&Func> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// The entry point.
+    pub fn main(&self) -> &Func {
+        &self.funcs[0]
+    }
+}
+
+/// Walks every statement of a function body, recursing into branches and
+/// loops (the analysis is flow-insensitive, so a flat walk suffices).
+pub fn walk_stmts<'a>(body: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for stmt in body {
+        f(stmt);
+        match &stmt.kind {
+            StmtKind::If { then_body, else_body, .. } => {
+                walk_stmts(then_body, f);
+                walk_stmts(else_body, f);
+            }
+            StmtKind::While { body, .. } => walk_stmts(body, f),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builders() {
+        let e = Expr::bin(BinOp::Add, Expr::var("x"), Expr::Const(1));
+        assert_eq!(e, Expr::Bin(BinOp::Add, Box::new(Expr::Var("x".into())), Box::new(Expr::Const(1))));
+        assert_eq!(Expr::index("a", Expr::Const(0)), Expr::Index("a".into(), Box::new(Expr::Const(0))));
+    }
+
+    #[test]
+    fn ptr_expr_base() {
+        assert_eq!(PtrExpr::Var("p".into()).base(), "p");
+        assert_eq!(PtrExpr::Offset("q".into(), Expr::Const(2)).base(), "q");
+    }
+
+    #[test]
+    fn walk_recurses_into_control_flow() {
+        let body = vec![
+            s(1, StmtKind::DeclScalar { name: "x".into(), init: Expr::Const(0) }),
+            s(2, StmtKind::If {
+                cond: Expr::Const(1),
+                then_body: vec![s(3, StmtKind::Assign { name: "x".into(), value: Expr::Const(1) })],
+                else_body: vec![s(4, StmtKind::While {
+                    cond: Expr::Const(0),
+                    body: vec![s(5, StmtKind::Mpi(MpiCall::Barrier))],
+                    max_iters: 10,
+                })],
+            }),
+        ];
+        let mut lines = Vec::new();
+        walk_stmts(&body, &mut |st| lines.push(st.line));
+        assert_eq!(lines, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn program_lookup() {
+        let prog = Program {
+            file: "t.mc".into(),
+            funcs: vec![
+                Func { name: "main".into(), params: vec![], body: vec![] },
+                Func { name: "helper".into(), params: vec![("p".into(), true)], body: vec![] },
+            ],
+        };
+        assert_eq!(prog.main().name, "main");
+        assert!(prog.func("helper").is_some());
+        assert!(prog.func("nope").is_none());
+    }
+}

@@ -1,0 +1,10 @@
+#![warn(missing_docs)]
+//! ST-Analyzer: static identification of relevant memory accesses.
+
+pub mod analysis;
+pub mod interp;
+pub mod ir;
+
+pub use analysis::{analyze, Report};
+pub use interp::{run_program, InterpConfig, ProgramOutcome};
+pub use ir::{s, Arg, BinOp, Expr, Func, MpiCall, Program, PtrExpr, Stmt, StmtKind};

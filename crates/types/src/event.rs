@@ -1,0 +1,544 @@
+//! The runtime event model logged by the Profiler.
+//!
+//! The paper's Profiler instruments four classes of MPI calls (§IV-B) —
+//! one-sided initialization/communication/synchronization calls, datatype
+//! manipulation routines, general synchronization calls, and support
+//! routines — plus the CPU load/store accesses of relevant variables.
+//! [`EventKind`] covers exactly these classes.
+//!
+//! Ranks inside events are recorded **relative to the communicator** the
+//! application passed, exactly as a PMPI interposition layer would see
+//! them; the DN-Analyzer resolves them to absolute ranks during
+//! preprocessing (§IV-C1a). Addresses are simulator-virtual and per-rank.
+
+use crate::access::{AccessClass, ReduceOp};
+use crate::ids::{CommId, DatatypeId, GroupId, Rank, Tag, WinId};
+use crate::loc::LocId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Lock type of a passive-target epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockKind {
+    /// `MPI_LOCK_SHARED`
+    Shared,
+    /// `MPI_LOCK_EXCLUSIVE`
+    Exclusive,
+}
+
+impl fmt::Display for LockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockKind::Shared => f.write_str("MPI_LOCK_SHARED"),
+            LockKind::Exclusive => f.write_str("MPI_LOCK_EXCLUSIVE"),
+        }
+    }
+}
+
+/// Which one-sided communication call an [`RmaOp`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RmaKind {
+    /// `MPI_Put`
+    Put,
+    /// `MPI_Get`
+    Get,
+    /// `MPI_Accumulate` with the given reduction operator.
+    Acc(ReduceOp),
+}
+
+impl RmaKind {
+    /// The Table I classification of this operation, with the accumulate
+    /// exception details filled in from `basic_dtype`.
+    pub fn access_class(self, basic_dtype: DatatypeId) -> AccessClass {
+        match self {
+            RmaKind::Put => AccessClass::PUT,
+            RmaKind::Get => AccessClass::GET,
+            RmaKind::Acc(op) => AccessClass::acc(op, basic_dtype),
+        }
+    }
+}
+
+impl fmt::Display for RmaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmaKind::Put => f.write_str("MPI_Put"),
+            RmaKind::Get => f.write_str("MPI_Get"),
+            RmaKind::Acc(op) => write!(f, "MPI_Accumulate({op})"),
+        }
+    }
+}
+
+/// Which MPI-3 atomic read-modify-write call an [`AtomicOp`] is.
+///
+/// All MPI-3 atomics are *accumulate-class* operations at the window:
+/// they are element-wise atomic and may overlap with other atomics using
+/// the same operation and basic datatype (MPI-3 §11.7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AtomicKind {
+    /// `MPI_Get_accumulate`: fetches the old target value into the result
+    /// buffer and combines the origin operand into the target.
+    GetAccumulate(ReduceOp),
+    /// `MPI_Fetch_and_op`: single-element `MPI_Get_accumulate`.
+    FetchAndOp(ReduceOp),
+    /// `MPI_Compare_and_swap`: single-element compare-exchange.
+    CompareAndSwap,
+}
+
+impl AtomicKind {
+    /// The Table I classification at the window (accumulate class, with
+    /// the operation recorded for the same-op exception; CAS is its own
+    /// operation family).
+    pub fn access_class(self, dtype: DatatypeId) -> AccessClass {
+        match self {
+            AtomicKind::GetAccumulate(op) | AtomicKind::FetchAndOp(op) => AccessClass::acc(op, dtype),
+            // CAS overlaps safely only with other CAS on the same dtype;
+            // model it as an accumulate with a reserved op (Replace is
+            // not used by the other constructors' default workloads, but
+            // to be safe CAS gets its own marker through `acc_op: None`).
+            AtomicKind::CompareAndSwap => AccessClass {
+                category: crate::access::AccessCategory::Acc,
+                acc_op: None,
+                acc_dtype: Some(dtype),
+            },
+        }
+    }
+}
+
+impl fmt::Display for AtomicKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomicKind::GetAccumulate(op) => write!(f, "MPI_Get_accumulate({op})"),
+            AtomicKind::FetchAndOp(op) => write!(f, "MPI_Fetch_and_op({op})"),
+            AtomicKind::CompareAndSwap => f.write_str("MPI_Compare_and_swap"),
+        }
+    }
+}
+
+/// Arguments of an MPI-3 atomic call, as logged. Atomics operate on
+/// predefined (basic) datatypes only.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AtomicOp {
+    /// Which atomic.
+    pub kind: AtomicKind,
+    /// The window.
+    pub win: WinId,
+    /// Target rank, relative to the window's communicator.
+    pub target: Rank,
+    /// Operand buffer (read); the `compare` buffer for CAS is at
+    /// `compare_addr`.
+    pub origin_addr: u64,
+    /// Result (fetch) buffer (written).
+    pub result_addr: u64,
+    /// CAS compare buffer.
+    pub compare_addr: Option<u64>,
+    /// Element count (1 for fetch_and_op / CAS).
+    pub count: u32,
+    /// Basic datatype.
+    pub dtype: DatatypeId,
+    /// Displacement into the target window, in bytes.
+    pub target_disp: u64,
+}
+
+/// Arguments of a one-sided communication call, as logged.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RmaOp {
+    /// Put / Get / Accumulate.
+    pub kind: RmaKind,
+    /// The window operated on.
+    pub win: WinId,
+    /// Target rank, **relative to the window's communicator**.
+    pub target: Rank,
+    /// Origin buffer address in the calling rank's address space.
+    pub origin_addr: u64,
+    /// Origin element count.
+    pub origin_count: u32,
+    /// Origin datatype.
+    pub origin_dtype: DatatypeId,
+    /// Displacement into the target window, in bytes.
+    pub target_disp: u64,
+    /// Target element count.
+    pub target_count: u32,
+    /// Target datatype.
+    pub target_dtype: DatatypeId,
+}
+
+/// One logged runtime event. The event's rank and program-order position
+/// are implied by its position in the owning [`crate::ProcessTrace`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// Where in the source it happened (interned).
+    pub loc: LocId,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(kind: EventKind, loc: LocId) -> Self {
+        Self { kind, loc }
+    }
+}
+
+/// The event vocabulary, mirroring the paper's four instrumented MPI call
+/// classes plus local memory accesses.
+///
+/// Variant fields carry the logged MPI call arguments and are documented
+/// by the variant doc comments; their names mirror the MPI parameter
+/// names.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum EventKind {
+    // --- one-sided initialization ---
+    /// Collective `MPI_Win_create`: this rank exposes `[base, base+len)`.
+    WinCreate { win: WinId, base: u64, len: u64, comm: CommId },
+    /// Collective `MPI_Win_free`.
+    WinFree { win: WinId },
+
+    // --- one-sided communication (nonblocking) ---
+    /// `MPI_Put` / `MPI_Get` / `MPI_Accumulate`.
+    Rma(RmaOp),
+    /// MPI-3 atomic read-modify-write.
+    RmaAtomic(AtomicOp),
+    /// MPI-3 request-based operation (`MPI_Rput` / `MPI_Rget` / ...),
+    /// locally completed by the matching [`EventKind::WaitReq`].
+    RmaReq {
+        /// The operation.
+        op: RmaOp,
+        /// Rank-local request id.
+        req: u64,
+    },
+    /// `MPI_Wait` on a request-based RMA operation.
+    WaitReq {
+        /// The request being completed.
+        req: u64,
+    },
+
+    // --- one-sided synchronization ---
+    /// Collective `MPI_Win_fence` over the window's communicator.
+    Fence { win: WinId },
+    /// `MPI_Win_lock` on `target` (relative to the window's communicator).
+    Lock { win: WinId, target: Rank, kind: LockKind },
+    /// `MPI_Win_unlock`.
+    Unlock { win: WinId, target: Rank },
+    /// MPI-3 `MPI_Win_lock_all` (shared lock on every target).
+    LockAll { win: WinId },
+    /// MPI-3 `MPI_Win_unlock_all`.
+    UnlockAll { win: WinId },
+    /// MPI-3 `MPI_Win_flush`: completes all pending operations to
+    /// `target` (consistency order without closing the epoch).
+    Flush { win: WinId, target: Rank },
+    /// MPI-3 `MPI_Win_flush_all`.
+    FlushAll { win: WinId },
+    /// `MPI_Win_post`: exposure epoch open towards `group`.
+    Post { win: WinId, group: GroupId },
+    /// `MPI_Win_start`: access epoch open towards `group`.
+    Start { win: WinId, group: GroupId },
+    /// `MPI_Win_complete`: access epoch close.
+    Complete { win: WinId },
+    /// `MPI_Win_wait`: exposure epoch close.
+    WaitWin { win: WinId },
+
+    // --- general synchronization ---
+    /// Blocking `MPI_Send` to `to` (comm-relative).
+    Send { comm: CommId, to: Rank, tag: Tag, bytes: u64 },
+    /// Blocking `MPI_Recv` from `from` (comm-relative; may be wildcard in
+    /// the call, the trace records the actual matched source).
+    Recv { comm: CommId, from: Rank, tag: Tag, bytes: u64 },
+    /// Nonblocking `MPI_Isend`; locally completed by [`EventKind::WaitReq`].
+    Isend { comm: CommId, to: Rank, tag: Tag, bytes: u64, req: u64 },
+    /// Nonblocking `MPI_Irecv`; the data is available only after the
+    /// matching [`EventKind::WaitReq`].
+    Irecv { comm: CommId, from: Rank, tag: Tag, req: u64 },
+    /// `MPI_Barrier`.
+    Barrier { comm: CommId },
+    /// `MPI_Bcast` rooted at `root` (comm-relative).
+    Bcast { comm: CommId, root: Rank, bytes: u64 },
+    /// `MPI_Reduce` rooted at `root`.
+    Reduce { comm: CommId, root: Rank, bytes: u64 },
+    /// `MPI_Allreduce`.
+    Allreduce { comm: CommId, bytes: u64 },
+
+    // --- datatype manipulation ---
+    /// `MPI_Type_contiguous`.
+    TypeContiguous { new: DatatypeId, count: u32, elem: DatatypeId },
+    /// `MPI_Type_vector` (stride in elements of `elem`).
+    TypeVector { new: DatatypeId, count: u32, blocklen: u32, stride: u32, elem: DatatypeId },
+    /// `MPI_Type_create_struct`: `(byte displacement, count, type)` fields.
+    TypeStruct { new: DatatypeId, fields: Vec<(u64, u32, DatatypeId)> },
+
+    // --- support routines ---
+    /// `MPI_Comm_rank` result.
+    CommRank { comm: CommId, rank: Rank },
+    /// `MPI_Comm_size` result.
+    CommSize { comm: CommId, size: u32 },
+    /// `MPI_Group_incl`: `new` contains the listed ranks of `old`
+    /// (old-group-relative).
+    GroupIncl { old: GroupId, new: GroupId, ranks: Vec<u32> },
+    /// `MPI_Comm_group`: the group backing a communicator.
+    CommGroup { comm: CommId, group: GroupId },
+    /// `MPI_Comm_create` over `old` from `group`. Ranks not in the group
+    /// log `new: None` (they received `MPI_COMM_NULL`).
+    CommCreate { old: CommId, group: GroupId, new: Option<CommId> },
+
+    // --- local memory accesses (instrumented loads/stores) ---
+    /// CPU load of `len` bytes at `addr`.
+    Load { addr: u64, len: u64 },
+    /// CPU store of `len` bytes at `addr`.
+    Store { addr: u64, len: u64 },
+}
+
+impl EventKind {
+    /// Whether this event can synchronize processes (used by Algorithm 1's
+    /// matcher).
+    pub fn is_sync(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Send { .. }
+                | EventKind::Recv { .. }
+                | EventKind::Isend { .. }
+                | EventKind::Irecv { .. }
+                | EventKind::Barrier { .. }
+                | EventKind::Bcast { .. }
+                | EventKind::Reduce { .. }
+                | EventKind::Allreduce { .. }
+                | EventKind::Fence { .. }
+                | EventKind::WinCreate { .. }
+                | EventKind::WinFree { .. }
+                | EventKind::Post { .. }
+                | EventKind::Start { .. }
+                | EventKind::Complete { .. }
+                | EventKind::WaitWin { .. }
+        )
+    }
+
+    /// Whether this is a collective call, and over which communicator.
+    pub fn collective_comm(&self) -> Option<CommId> {
+        match self {
+            EventKind::Barrier { comm }
+            | EventKind::Bcast { comm, .. }
+            | EventKind::Reduce { comm, .. }
+            | EventKind::Allreduce { comm, .. }
+            | EventKind::WinCreate { comm, .. } => Some(*comm),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a local CPU memory access.
+    pub fn is_mem_access(&self) -> bool {
+        matches!(self, EventKind::Load { .. } | EventKind::Store { .. })
+    }
+
+    /// Whether this is a one-sided communication call.
+    pub fn is_rma_op(&self) -> bool {
+        matches!(self, EventKind::Rma(_) | EventKind::RmaAtomic(_) | EventKind::RmaReq { .. })
+    }
+
+    /// Whether this event opens or closes an RMA epoch on some window, or
+    /// imposes consistency order within one (flush, request wait).
+    pub fn is_rma_sync(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Fence { .. }
+                | EventKind::Lock { .. }
+                | EventKind::Unlock { .. }
+                | EventKind::LockAll { .. }
+                | EventKind::UnlockAll { .. }
+                | EventKind::Flush { .. }
+                | EventKind::FlushAll { .. }
+                | EventKind::WaitReq { .. }
+                | EventKind::Post { .. }
+                | EventKind::Start { .. }
+                | EventKind::Complete { .. }
+                | EventKind::WaitWin { .. }
+        )
+    }
+
+    /// Short human-readable name of the MPI call / access.
+    pub fn call_name(&self) -> &'static str {
+        match self {
+            EventKind::WinCreate { .. } => "MPI_Win_create",
+            EventKind::WinFree { .. } => "MPI_Win_free",
+            EventKind::Rma(op) => match op.kind {
+                RmaKind::Put => "MPI_Put",
+                RmaKind::Get => "MPI_Get",
+                RmaKind::Acc(_) => "MPI_Accumulate",
+            },
+            EventKind::RmaAtomic(op) => match op.kind {
+                AtomicKind::GetAccumulate(_) => "MPI_Get_accumulate",
+                AtomicKind::FetchAndOp(_) => "MPI_Fetch_and_op",
+                AtomicKind::CompareAndSwap => "MPI_Compare_and_swap",
+            },
+            EventKind::RmaReq { op, .. } => match op.kind {
+                RmaKind::Put => "MPI_Rput",
+                RmaKind::Get => "MPI_Rget",
+                RmaKind::Acc(_) => "MPI_Raccumulate",
+            },
+            EventKind::WaitReq { .. } => "MPI_Wait",
+            EventKind::Fence { .. } => "MPI_Win_fence",
+            EventKind::Lock { .. } => "MPI_Win_lock",
+            EventKind::Unlock { .. } => "MPI_Win_unlock",
+            EventKind::LockAll { .. } => "MPI_Win_lock_all",
+            EventKind::UnlockAll { .. } => "MPI_Win_unlock_all",
+            EventKind::Flush { .. } => "MPI_Win_flush",
+            EventKind::FlushAll { .. } => "MPI_Win_flush_all",
+            EventKind::Post { .. } => "MPI_Win_post",
+            EventKind::Start { .. } => "MPI_Win_start",
+            EventKind::Complete { .. } => "MPI_Win_complete",
+            EventKind::WaitWin { .. } => "MPI_Win_wait",
+            EventKind::Send { .. } => "MPI_Send",
+            EventKind::Recv { .. } => "MPI_Recv",
+            EventKind::Isend { .. } => "MPI_Isend",
+            EventKind::Irecv { .. } => "MPI_Irecv",
+            EventKind::Barrier { .. } => "MPI_Barrier",
+            EventKind::Bcast { .. } => "MPI_Bcast",
+            EventKind::Reduce { .. } => "MPI_Reduce",
+            EventKind::Allreduce { .. } => "MPI_Allreduce",
+            EventKind::TypeContiguous { .. } => "MPI_Type_contiguous",
+            EventKind::TypeVector { .. } => "MPI_Type_vector",
+            EventKind::TypeStruct { .. } => "MPI_Type_create_struct",
+            EventKind::CommRank { .. } => "MPI_Comm_rank",
+            EventKind::CommSize { .. } => "MPI_Comm_size",
+            EventKind::GroupIncl { .. } => "MPI_Group_incl",
+            EventKind::CommGroup { .. } => "MPI_Comm_group",
+            EventKind::CommCreate { .. } => "MPI_Comm_create",
+            EventKind::Load { .. } => "load",
+            EventKind::Store { .. } => "store",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put_op() -> RmaOp {
+        RmaOp {
+            kind: RmaKind::Put,
+            win: WinId(0),
+            target: Rank(1),
+            origin_addr: 0x100,
+            origin_count: 4,
+            origin_dtype: DatatypeId::INT,
+            target_disp: 0,
+            target_count: 4,
+            target_dtype: DatatypeId::INT,
+        }
+    }
+
+    #[test]
+    fn classification_predicates() {
+        assert!(EventKind::Barrier { comm: CommId::WORLD }.is_sync());
+        assert!(EventKind::Fence { win: WinId(0) }.is_sync());
+        assert!(!EventKind::Load { addr: 0, len: 4 }.is_sync());
+        assert!(EventKind::Load { addr: 0, len: 4 }.is_mem_access());
+        assert!(EventKind::Rma(put_op()).is_rma_op());
+        assert!(!EventKind::Rma(put_op()).is_sync());
+        assert!(EventKind::Lock { win: WinId(0), target: Rank(1), kind: LockKind::Shared }
+            .is_rma_sync());
+        assert!(
+            !EventKind::Lock { win: WinId(0), target: Rank(1), kind: LockKind::Shared }.is_sync(),
+            "passive-target locks order memory without synchronizing processes"
+        );
+    }
+
+    #[test]
+    fn collective_comm_extraction() {
+        assert_eq!(
+            EventKind::Barrier { comm: CommId(3) }.collective_comm(),
+            Some(CommId(3))
+        );
+        assert_eq!(
+            EventKind::WinCreate { win: WinId(0), base: 0, len: 8, comm: CommId::WORLD }
+                .collective_comm(),
+            Some(CommId::WORLD)
+        );
+        assert_eq!(EventKind::Send { comm: CommId::WORLD, to: Rank(0), tag: Tag(0), bytes: 1 }
+            .collective_comm(), None);
+    }
+
+    #[test]
+    fn rma_kind_access_class() {
+        assert_eq!(RmaKind::Put.access_class(DatatypeId::INT), AccessClass::PUT);
+        assert_eq!(RmaKind::Get.access_class(DatatypeId::INT), AccessClass::GET);
+        let acc = RmaKind::Acc(ReduceOp::Sum).access_class(DatatypeId::DOUBLE);
+        assert_eq!(acc.acc_op, Some(ReduceOp::Sum));
+        assert_eq!(acc.acc_dtype, Some(DatatypeId::DOUBLE));
+    }
+
+    #[test]
+    fn call_names() {
+        assert_eq!(EventKind::Rma(put_op()).call_name(), "MPI_Put");
+        assert_eq!(EventKind::Barrier { comm: CommId::WORLD }.call_name(), "MPI_Barrier");
+        assert_eq!(EventKind::Store { addr: 0, len: 1 }.call_name(), "store");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = Event::new(EventKind::Rma(put_op()), LocId(3));
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+
+    fn fao() -> AtomicOp {
+        AtomicOp {
+            kind: AtomicKind::FetchAndOp(ReduceOp::Sum),
+            win: WinId(0),
+            target: Rank(1),
+            origin_addr: 0x100,
+            result_addr: 0x110,
+            compare_addr: None,
+            count: 1,
+            dtype: DatatypeId::INT,
+            target_disp: 0,
+        }
+    }
+
+    #[test]
+    fn mpi3_event_classification() {
+        assert!(EventKind::RmaAtomic(fao()).is_rma_op());
+        assert!(!EventKind::RmaAtomic(fao()).is_sync());
+        assert!(EventKind::RmaReq { op: put_op(), req: 1 }.is_rma_op());
+        assert!(EventKind::WaitReq { req: 1 }.is_rma_sync());
+        assert!(EventKind::Flush { win: WinId(0), target: Rank(1) }.is_rma_sync());
+        assert!(EventKind::LockAll { win: WinId(0) }.is_rma_sync());
+        assert!(
+            !EventKind::Flush { win: WinId(0), target: Rank(1) }.is_sync(),
+            "flush orders memory without synchronizing processes"
+        );
+    }
+
+    #[test]
+    fn mpi3_call_names() {
+        assert_eq!(EventKind::RmaAtomic(fao()).call_name(), "MPI_Fetch_and_op");
+        assert_eq!(EventKind::RmaReq { op: put_op(), req: 0 }.call_name(), "MPI_Rput");
+        assert_eq!(EventKind::UnlockAll { win: WinId(0) }.call_name(), "MPI_Win_unlock_all");
+        assert_eq!(EventKind::FlushAll { win: WinId(0) }.call_name(), "MPI_Win_flush_all");
+    }
+
+    #[test]
+    fn atomic_access_classes() {
+        use crate::access::AccessCategory;
+        let sum = AtomicKind::FetchAndOp(ReduceOp::Sum).access_class(DatatypeId::INT);
+        assert_eq!(sum.category, AccessCategory::Acc);
+        assert_eq!(sum.acc_op, Some(ReduceOp::Sum));
+        let cas = AtomicKind::CompareAndSwap.access_class(DatatypeId::INT);
+        assert_eq!(cas.category, AccessCategory::Acc);
+        assert_eq!(cas.acc_op, None);
+        // Two same-op fetch_and_ops may overlap; CAS vs FAO may not.
+        use crate::compat::{compat, Compatibility};
+        assert_eq!(compat(sum, sum), Compatibility::Both);
+        assert_eq!(compat(sum, cas), Compatibility::NonOverlap);
+        // Two CAS ops on the same dtype are mutually atomic.
+        assert_eq!(compat(cas, cas), Compatibility::Both);
+        let cas_dbl = AtomicKind::CompareAndSwap.access_class(DatatypeId::DOUBLE);
+        assert_eq!(compat(cas, cas_dbl), Compatibility::NonOverlap);
+    }
+
+    #[test]
+    fn atomic_serde_roundtrip() {
+        let e = Event::new(EventKind::RmaAtomic(fao()), LocId(0));
+        let json = serde_json::to_string(&e).unwrap();
+        assert_eq!(e, serde_json::from_str::<Event>(&json).unwrap());
+    }
+}

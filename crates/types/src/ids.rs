@@ -1,0 +1,188 @@
+//! Small copyable identifiers used across the whole system.
+//!
+//! All identifiers are newtypes over integers so the compiler keeps the
+//! different namespaces apart (a `WinId` can never be passed where a
+//! `CommId` is expected). Ranks come in two flavours at the semantic level:
+//! *absolute* ranks (positions in `MPI_COMM_WORLD`) and *relative* ranks
+//! (positions within a communicator's group). Both are represented by
+//! [`Rank`]; the trace records relative ranks exactly as the application
+//! passed them, and the DN-Analyzer's preprocessing resolves them to
+//! absolute ranks via the group tables (paper §IV-C1a).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A process rank. Whether it is absolute (world) or relative to some
+/// communicator depends on context; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    /// The rank as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifier of an RMA window created by `win_create`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WinId(pub u32);
+
+impl fmt::Display for WinId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "win{}", self.0)
+    }
+}
+
+/// Identifier of a communicator. `CommId::WORLD` is `MPI_COMM_WORLD`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CommId(pub u32);
+
+impl CommId {
+    /// `MPI_COMM_WORLD`.
+    pub const WORLD: CommId = CommId(0);
+}
+
+impl fmt::Display for CommId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == CommId::WORLD {
+            write!(f, "COMM_WORLD")
+        } else {
+            write!(f, "comm{}", self.0)
+        }
+    }
+}
+
+/// Identifier of a process group. `GroupId::WORLD` contains every rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// The group of `MPI_COMM_WORLD`.
+    pub const WORLD: GroupId = GroupId(0);
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group{}", self.0)
+    }
+}
+
+/// Identifier of an MPI datatype. The DN-Analyzer resolves these to
+/// [`crate::DataMap`]s during preprocessing. IDs below
+/// [`DatatypeId::FIRST_DERIVED`] are predefined primitive types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DatatypeId(pub u32);
+
+impl DatatypeId {
+    /// `MPI_BYTE`: 1 byte, opaque.
+    pub const BYTE: DatatypeId = DatatypeId(0);
+    /// `MPI_INT`: 4 bytes, signed integer.
+    pub const INT: DatatypeId = DatatypeId(1);
+    /// `MPI_FLOAT`: 4 bytes.
+    pub const FLOAT: DatatypeId = DatatypeId(2);
+    /// `MPI_DOUBLE`: 8 bytes.
+    pub const DOUBLE: DatatypeId = DatatypeId(3);
+    /// `MPI_LONG` (64-bit signed).
+    pub const LONG: DatatypeId = DatatypeId(4);
+    /// First identifier available for user-defined (derived) datatypes.
+    pub const FIRST_DERIVED: DatatypeId = DatatypeId(16);
+
+    /// Whether this is one of the predefined primitive types.
+    #[inline]
+    pub fn is_primitive(self) -> bool {
+        self.0 < Self::FIRST_DERIVED.0
+    }
+
+    /// Size in bytes of a primitive type; `None` for derived types
+    /// (those are resolved through the datatype registry).
+    pub fn primitive_size(self) -> Option<u64> {
+        match self {
+            Self::BYTE => Some(1),
+            Self::INT | Self::FLOAT => Some(4),
+            Self::DOUBLE | Self::LONG => Some(8),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DatatypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::BYTE => write!(f, "MPI_BYTE"),
+            Self::INT => write!(f, "MPI_INT"),
+            Self::FLOAT => write!(f, "MPI_FLOAT"),
+            Self::DOUBLE => write!(f, "MPI_DOUBLE"),
+            Self::LONG => write!(f, "MPI_LONG"),
+            other => write!(f, "dtype{}", other.0),
+        }
+    }
+}
+
+/// A point-to-point message tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tag(pub u32);
+
+impl Tag {
+    /// Wildcard used by `recv` to accept any tag (`MPI_ANY_TAG`).
+    pub const ANY: Tag = Tag(u32::MAX);
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Tag::ANY {
+            write!(f, "ANY_TAG")
+        } else {
+            write!(f, "tag={}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(DatatypeId::BYTE.primitive_size(), Some(1));
+        assert_eq!(DatatypeId::INT.primitive_size(), Some(4));
+        assert_eq!(DatatypeId::FLOAT.primitive_size(), Some(4));
+        assert_eq!(DatatypeId::DOUBLE.primitive_size(), Some(8));
+        assert_eq!(DatatypeId::LONG.primitive_size(), Some(8));
+        assert_eq!(DatatypeId::FIRST_DERIVED.primitive_size(), None);
+        assert_eq!(DatatypeId(99).primitive_size(), None);
+    }
+
+    #[test]
+    fn primitive_classification() {
+        assert!(DatatypeId::INT.is_primitive());
+        assert!(DatatypeId(15).is_primitive());
+        assert!(!DatatypeId::FIRST_DERIVED.is_primitive());
+        assert!(!DatatypeId(1000).is_primitive());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Rank(3).to_string(), "P3");
+        assert_eq!(CommId::WORLD.to_string(), "COMM_WORLD");
+        assert_eq!(CommId(2).to_string(), "comm2");
+        assert_eq!(WinId(1).to_string(), "win1");
+        assert_eq!(DatatypeId::INT.to_string(), "MPI_INT");
+        assert_eq!(DatatypeId(40).to_string(), "dtype40");
+        assert_eq!(Tag::ANY.to_string(), "ANY_TAG");
+        assert_eq!(Tag(7).to_string(), "tag=7");
+    }
+
+    #[test]
+    fn rank_ordering_and_idx() {
+        assert!(Rank(1) < Rank(2));
+        assert_eq!(Rank(5).idx(), 5);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Shared vocabulary for the MC-Checker reproduction.
+//!
+//! This crate defines the types that every other layer of the system speaks:
+//!
+//! * identifiers for ranks, windows, communicators, groups and datatypes
+//!   ([`ids`]);
+//! * byte-granular memory regions and *data-maps* — the segment-list
+//!   representation of (possibly non-contiguous) MPI datatypes that the
+//!   paper's DN-Analyzer uses (§IV-C1c) ([`region`], [`datamap`]);
+//! * the access classification and the MPI-2.2 RMA compatibility ruleset
+//!   (the paper's Table I) ([`access`], [`compat`]);
+//! * source locations for diagnostics ([`loc`]);
+//! * the runtime event model and trace containers produced by the Profiler
+//!   and consumed by the DN-Analyzer ([`event`], [`trace`]).
+//!
+//! Everything here is plain data: no threads, no I/O. The simulator
+//! (`mcc-mpi-sim`), the profiler (`mcc-profiler`) and the analyzer
+//! (`mcc-core`) all depend on this crate and nothing else shared.
+
+pub mod access;
+pub mod compat;
+pub mod datamap;
+pub mod event;
+pub mod ids;
+pub mod loc;
+pub mod region;
+pub mod trace;
+
+pub use access::{AccessCategory, AccessClass, ReduceOp};
+pub use compat::{compat, conflicts, Compatibility, ConflictKind};
+pub use datamap::{DataMap, Segment};
+pub use event::{AtomicKind, AtomicOp, Event, EventKind, LockKind, RmaKind, RmaOp};
+pub use ids::{CommId, DatatypeId, GroupId, Rank, Tag, WinId};
+pub use loc::{LocId, SourceLoc};
+pub use region::MemRegion;
+pub use trace::{EventRef, ProcessTrace, Trace, TraceBuilder};

@@ -1,0 +1,83 @@
+//! Source locations for diagnostics.
+//!
+//! MC-Checker reports "pairs of conflicting operations and operation
+//! locations including file names, routine names, and line numbers"
+//! (§III-C). Events carry an interned [`LocId`] to keep the hot logging
+//! path allocation-free; the per-process trace owns the [`SourceLoc`]
+//! table.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index into a trace's source-location table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LocId(pub u32);
+
+impl LocId {
+    /// Placeholder for events with no recorded location.
+    pub const UNKNOWN: LocId = LocId(u32::MAX);
+}
+
+/// A source location: file, line, and enclosing routine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SourceLoc {
+    /// Source file name.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Enclosing function / routine name.
+    pub func: String,
+}
+
+impl SourceLoc {
+    /// Creates a location.
+    pub fn new(file: impl Into<String>, line: u32, func: impl Into<String>) -> Self {
+        Self { file: file.into(), line, func: func.into() }
+    }
+
+    /// The unknown location.
+    pub fn unknown() -> Self {
+        Self { file: "<unknown>".into(), line: 0, func: "<unknown>".into() }
+    }
+}
+
+impl fmt::Display for SourceLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{} in {}()", self.file, self.line, self.func)
+    }
+}
+
+/// Captures the Rust call site as a [`SourceLoc`] — the hand-written
+/// evaluation applications use this where the paper's Profiler would have
+/// recorded the instrumented C source line.
+#[macro_export]
+macro_rules! src_loc {
+    ($func:expr) => {
+        $crate::loc::SourceLoc::new(file!(), line!(), $func)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let l = SourceLoc::new("jacobi.c", 42, "exchange_halo");
+        assert_eq!(l.to_string(), "jacobi.c:42 in exchange_halo()");
+    }
+
+    #[test]
+    fn macro_captures_this_file() {
+        let l = src_loc!("macro_captures_this_file");
+        assert!(l.file.ends_with("loc.rs"), "got {}", l.file);
+        assert!(l.line > 0);
+    }
+
+    #[test]
+    fn unknown_loc() {
+        let l = SourceLoc::unknown();
+        assert_eq!(l.line, 0);
+        assert_eq!(LocId::UNKNOWN, LocId(u32::MAX));
+    }
+}

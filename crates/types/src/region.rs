@@ -1,0 +1,140 @@
+//! Contiguous byte ranges in a (simulated) process address space.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `[base, base + len)` in one process's address
+/// space.
+///
+/// All addresses in the system are *simulator-virtual*: each rank has its
+/// own arena, so a `MemRegion` is only meaningful together with the rank it
+/// belongs to. Regions with `len == 0` are empty and overlap nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRegion {
+    /// First byte of the region.
+    pub base: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl MemRegion {
+    /// Creates a region `[base, base + len)`.
+    #[inline]
+    pub fn new(base: u64, len: u64) -> Self {
+        Self { base, len }
+    }
+
+    /// One byte past the end of the region.
+    #[inline]
+    pub fn end(self) -> u64 {
+        self.base + self.len
+    }
+
+    /// Whether the region is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether two regions share at least one byte.
+    #[inline]
+    pub fn overlaps(self, other: MemRegion) -> bool {
+        !self.is_empty() && !other.is_empty() && self.base < other.end() && other.base < self.end()
+    }
+
+    /// Whether `other` is entirely contained in `self`.
+    #[inline]
+    pub fn contains(self, other: MemRegion) -> bool {
+        other.is_empty() || (other.base >= self.base && other.end() <= self.end())
+    }
+
+    /// Whether the region contains the single byte at `addr`.
+    #[inline]
+    pub fn contains_addr(self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+
+    /// The intersection of two regions, or `None` if they are disjoint.
+    pub fn intersect(self, other: MemRegion) -> Option<MemRegion> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        let base = self.base.max(other.base);
+        let end = self.end().min(other.end());
+        Some(MemRegion::new(base, end - base))
+    }
+}
+
+impl fmt::Display for MemRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.base, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn overlap_basics() {
+        let a = MemRegion::new(0, 10);
+        let b = MemRegion::new(5, 10);
+        let c = MemRegion::new(10, 10);
+        assert!(a.overlaps(b));
+        assert!(b.overlaps(a));
+        assert!(!a.overlaps(c), "touching regions do not overlap");
+        assert!(b.overlaps(c));
+    }
+
+    #[test]
+    fn empty_regions_never_overlap() {
+        let e = MemRegion::new(5, 0);
+        let a = MemRegion::new(0, 10);
+        assert!(!e.overlaps(a));
+        assert!(!a.overlaps(e));
+        assert!(!e.overlaps(e));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = MemRegion::new(100, 50);
+        assert!(outer.contains(MemRegion::new(100, 50)));
+        assert!(outer.contains(MemRegion::new(110, 10)));
+        assert!(outer.contains(MemRegion::new(120, 0)), "empty always contained");
+        assert!(!outer.contains(MemRegion::new(90, 20)));
+        assert!(!outer.contains(MemRegion::new(140, 20)));
+        assert!(outer.contains_addr(100));
+        assert!(outer.contains_addr(149));
+        assert!(!outer.contains_addr(150));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = MemRegion::new(0, 10);
+        let b = MemRegion::new(6, 10);
+        assert_eq!(a.intersect(b), Some(MemRegion::new(6, 4)));
+        assert_eq!(a.intersect(MemRegion::new(10, 4)), None);
+    }
+
+    proptest! {
+        #[test]
+        fn overlap_is_symmetric(b1 in 0u64..1000, l1 in 0u64..100, b2 in 0u64..1000, l2 in 0u64..100) {
+            let a = MemRegion::new(b1, l1);
+            let b = MemRegion::new(b2, l2);
+            prop_assert_eq!(a.overlaps(b), b.overlaps(a));
+        }
+
+        #[test]
+        fn intersect_consistent_with_overlap(b1 in 0u64..1000, l1 in 0u64..100, b2 in 0u64..1000, l2 in 0u64..100) {
+            let a = MemRegion::new(b1, l1);
+            let b = MemRegion::new(b2, l2);
+            prop_assert_eq!(a.intersect(b).is_some(), a.overlaps(b));
+            if let Some(i) = a.intersect(b) {
+                prop_assert!(a.contains(i));
+                prop_assert!(b.contains(i));
+                prop_assert!(!i.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! `mcc` — the MC-Checker command line.
+//!
+//! ```text
+//! mcc check <trace-dir> [--json] [--naive] [--parallel] [--streaming]
+//!     Analyze a trace directory written by the Profiler
+//!     (mcc_profiler::write_trace_dir) and print the findings.
+//!
+//! mcc demo <case> [--fixed] [--procs N] [--trace-out DIR]
+//!     Run one of the built-in bug cases under the Profiler and check it.
+//!     Cases: emulate, bt-broadcast, lockopts, ping-pong, jacobi, adlb,
+//!     mpi3-queue, fig2a, fig2b, fig2c, fig2d.
+//!
+//! mcc table1
+//!     Print the RMA compatibility matrix (paper Table I).
+//!
+//! mcc list
+//!     List the available demo cases.
+//! ```
+
+use mc_checker::apps::bugs;
+use mc_checker::core::streaming::StreamingChecker;
+use mc_checker::prelude::*;
+use mc_checker::profiler::{read_trace_dir, write_trace_dir};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("table1") => {
+            print!("{}", mc_checker::types::compat::render_table1());
+            ExitCode::SUCCESS
+        }
+        Some("list") => {
+            println!("Bug-case demos (each has a buggy and a --fixed variant):");
+            for (spec, _) in bugs::table2_cases() {
+                println!(
+                    "  {:<14} {:>3} procs  {:<18} {}",
+                    spec.name, spec.nprocs, spec.error_location, spec.root_cause
+                );
+            }
+            for (spec, _, _) in bugs::extension_cases() {
+                println!(
+                    "  {:<14} {:>3} procs  {:<18} {}",
+                    spec.name, spec.nprocs, spec.error_location, spec.root_cause
+                );
+            }
+            println!("  fig2a / fig2b / fig2c / fig2d   the Figure 2 archetypes");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: mcc <check|demo|table1|list> ...  (see `src/bin/mcc.rs` docs)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let Some(dir) = args.first() else {
+        eprintln!("usage: mcc check <trace-dir> [--json] [--naive] [--parallel] [--streaming]");
+        return ExitCode::from(2);
+    };
+    let trace = match read_trace_dir(Path::new(dir)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mcc: cannot read trace directory `{dir}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let has = |f: &str| args.iter().any(|a| a == f);
+
+    if has("--streaming") {
+        let (findings, stats) = StreamingChecker::run_over(&trace);
+        eprintln!(
+            "streaming: {} events, {} regions flushed, peak buffer {} events",
+            stats.total_events, stats.regions_flushed, stats.peak_buffered
+        );
+        return render_findings(&findings, has("--json"));
+    }
+
+    let opts = CheckOptions {
+        naive_inter: has("--naive"),
+        parallel: has("--parallel"),
+        ..Default::default()
+    };
+    let report = McChecker::with_options(opts).check(&trace);
+    eprintln!(
+        "analyzed {} events: {} DAG nodes, {} regions, {} epochs ({} unmatched sync)",
+        report.stats.total_events,
+        report.stats.dag_nodes,
+        report.stats.regions,
+        report.stats.epochs,
+        report.stats.unmatched_sync
+    );
+    let has_errors = report.has_errors();
+    let code = render_findings(&report.diagnostics, has("--json"));
+    if code == ExitCode::SUCCESS && has_errors {
+        return ExitCode::from(1);
+    }
+    code
+}
+
+fn render_findings(findings: &[ConsistencyError], json: bool) -> ExitCode {
+    if json {
+        match serde_json::to_string_pretty(findings) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("mcc: serialization failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if findings.is_empty() {
+        println!("MC-Checker: no memory consistency errors detected.");
+    } else {
+        for (i, e) in findings.iter().enumerate() {
+            println!("--- finding {} ---\n{e}\n", i + 1);
+        }
+    }
+    if findings.iter().any(|e| e.severity == Severity::Error) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_demo(args: &[String]) -> ExitCode {
+    let Some(name) = args.first().map(String::as_str) else {
+        eprintln!("usage: mcc demo <case> [--fixed] [--procs N] [--trace-out DIR]");
+        return ExitCode::from(2);
+    };
+    let fixed = args.iter().any(|a| a == "--fixed");
+    let procs_override = args
+        .iter()
+        .position(|a| a == "--procs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u32>().ok());
+
+    let (default_procs, body): (u32, fn(&mut Proc)) = match (name, fixed) {
+        ("emulate", false) => (2, bugs::emulate::buggy),
+        ("emulate", true) => (2, bugs::emulate::fixed),
+        ("bt-broadcast", false) => (2, bugs::bt_broadcast::buggy),
+        ("bt-broadcast", true) => (2, bugs::bt_broadcast::fixed),
+        ("lockopts", false) => (64, bugs::lockopts::buggy),
+        ("lockopts", true) => (64, bugs::lockopts::fixed),
+        ("ping-pong", false) => (2, bugs::pingpong::buggy),
+        ("ping-pong", true) => (2, bugs::pingpong::fixed),
+        ("jacobi", false) => (4, bugs::jacobi::buggy),
+        ("jacobi", true) => (4, bugs::jacobi::fixed),
+        ("adlb", false) => (2, bugs::adlb::buggy),
+        ("adlb", true) => (2, bugs::adlb::fixed),
+        ("mpi3-queue", false) => (4, bugs::mpi3_queue::buggy),
+        ("mpi3-queue", true) => (4, bugs::mpi3_queue::fixed),
+        ("fig2a", _) => (2, bugs::archetypes::fig2a),
+        ("fig2b", _) => (3, bugs::archetypes::fig2b),
+        ("fig2c", _) => (3, bugs::archetypes::fig2c),
+        ("fig2d", _) => (2, bugs::archetypes::fig2d),
+        _ => {
+            eprintln!("mcc: unknown demo `{name}` (try `mcc list`)");
+            return ExitCode::from(2);
+        }
+    };
+    let procs = procs_override.unwrap_or(default_procs);
+    eprintln!("running {name}{} with {procs} ranks...", if fixed { " (fixed)" } else { "" });
+    let trace = bugs::trace_of(procs, 0xC11, body);
+
+    if let Some(dir) = args.iter().position(|a| a == "--trace-out").and_then(|i| args.get(i + 1)) {
+        if let Err(e) = write_trace_dir(&trace, Path::new(dir)) {
+            eprintln!("mcc: cannot write trace: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("trace written to {dir}");
+    }
+
+    let report = McChecker::new().check(&trace);
+    print!("{}", report.render());
+    if report.has_errors() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

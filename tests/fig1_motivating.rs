@@ -1,0 +1,56 @@
+//! Integration test for the paper's Figure 1: the motivating example
+//! where a nonblocking `MPI_Get`'s origin buffer is read and written
+//! before `MPI_Win_unlock` closes the epoch.
+
+use mc_checker::prelude::*;
+
+fn fig1_body(p: &mut Proc) {
+    p.set_func("fig1");
+    let remote = p.alloc_i32s(1);
+    p.poke_i32(remote, 41);
+    let win = p.win_create(remote, 4, CommId::WORLD);
+    p.barrier(CommId::WORLD);
+    if p.rank() == 0 {
+        let out = p.alloc_i32s(1);
+        p.win_lock(LockKind::Shared, 1, win); // line 1
+        p.get(out, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win); // line 2
+        let x = p.tload_i32(out); // line 3: may retrieve an old value
+        p.tstore_i32(out, x + 1); // line 4: may be overwritten by the get
+        p.win_unlock(1, win); // line 6
+    }
+    p.barrier(CommId::WORLD);
+    p.win_free(win);
+}
+
+#[test]
+fn figure1_get_load_store_conflicts() {
+    let result = run(
+        SimConfig::new(2).with_seed(1).with_delivery(DeliveryPolicy::AtClose),
+        fig1_body,
+    )
+    .unwrap();
+    let report = McChecker::new().check(&result.trace.unwrap());
+    assert!(report.has_errors());
+    // Both the load and the store conflict with the get.
+    let mut conflicting_ops: Vec<String> = report
+        .errors()
+        .filter(|e| e.a.op == "MPI_Get")
+        .map(|e| e.b.op.clone())
+        .collect();
+    conflicting_ops.sort();
+    assert_eq!(conflicting_ops, vec!["load".to_string(), "store".to_string()]);
+    // Every finding is in rank 0's epoch.
+    for e in report.errors() {
+        assert!(matches!(e.scope, ErrorScope::IntraEpoch { rank: Rank(0), .. }));
+    }
+}
+
+#[test]
+fn figure1_symptom_is_timing_dependent_but_detection_is_not() {
+    // Eager delivery hides the symptom; the checker still fires.
+    for delivery in [DeliveryPolicy::Eager, DeliveryPolicy::AtClose, DeliveryPolicy::Adversarial] {
+        let result = run(SimConfig::new(2).with_seed(1).with_delivery(delivery), fig1_body).unwrap();
+        let report = McChecker::new().check(&result.trace.unwrap());
+        assert!(report.has_errors(), "{delivery:?}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Integration tests for nonblocking point-to-point synchronization —
+//! the paper's §V names the omission of "nonblocking send with its
+//! corresponding wait" as a false-positive source in its prototype; this
+//! reproduction implements the matching (isend → the receive's MPI_Wait)
+//! so such programs analyze cleanly.
+
+use mc_checker::prelude::*;
+
+#[test]
+fn isend_irecv_roundtrip_moves_data() {
+    run(SimConfig::new(2).with_seed(3), |p| {
+        let buf = p.alloc_i32s(2);
+        if p.rank() == 0 {
+            p.poke_i32(buf, 8);
+            p.poke_i32(buf + 4, 9);
+            let req = p.isend(buf, 2, DatatypeId::INT, 1, 5, CommId::WORLD);
+            p.wait_req(req);
+        } else {
+            let req = p.irecv(buf, 2, DatatypeId::INT, 0, 5, CommId::WORLD);
+            p.wait_req(req);
+            assert_eq!(p.peek_i32(buf), 8);
+            assert_eq!(p.peek_i32(buf + 4), 9);
+        }
+    })
+    .unwrap();
+}
+
+/// A put synchronized through an isend/irecv+wait handshake is ordered —
+/// the checker must stay silent (this is exactly the §V false-positive
+/// pattern).
+#[test]
+fn nonblocking_handshake_orders_rma() {
+    let result = run(
+        SimConfig::new(2).with_seed(3).with_delivery(DeliveryPolicy::AtClose),
+        |p| {
+            let wbuf = p.alloc_i32s(1);
+            let win = p.win_create(wbuf, 4, CommId::WORLD);
+            let flag = p.alloc_i32s(1);
+            p.win_fence(win);
+            if p.rank() == 0 {
+                // Put, close the epoch, then signal with a nonblocking send.
+                let src = p.alloc_i32s(1);
+                p.tstore_i32(src, 4);
+                p.put(src, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
+                p.win_fence(win);
+                let req = p.isend(flag, 1, DatatypeId::INT, 1, 0, CommId::WORLD);
+                p.wait_req(req);
+            } else {
+                p.win_fence(win);
+                let req = p.irecv(flag, 1, DatatypeId::INT, 0, 0, CommId::WORLD);
+                p.wait_req(req);
+                // Ordered after the put via fence + handshake: safe.
+                let _ = p.tload_i32(wbuf);
+                p.tstore_i32(wbuf, 0);
+            }
+            p.barrier(CommId::WORLD);
+            p.win_free(win);
+        },
+    )
+    .unwrap();
+    let report = McChecker::new().check(&result.trace.unwrap());
+    assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
+}
+
+/// The handshake only orders one direction: the receiver's accesses
+/// *before* its wait are still concurrent with the sender's.
+#[test]
+fn access_before_wait_still_races() {
+    let result = run(
+        SimConfig::new(2).with_seed(3).with_delivery(DeliveryPolicy::AtClose),
+        |p| {
+            let wbuf = p.alloc_i32s(1);
+            let win = p.win_create(wbuf, 4, CommId::WORLD);
+            let flag = p.alloc_i32s(1);
+            p.barrier(CommId::WORLD);
+            if p.rank() == 0 {
+                let src = p.alloc_i32s(1);
+                p.win_lock(LockKind::Shared, 1, win);
+                p.put(src, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
+                p.win_unlock(1, win);
+                let req = p.isend(flag, 1, DatatypeId::INT, 1, 0, CommId::WORLD);
+                p.wait_req(req);
+            } else {
+                let req = p.irecv(flag, 1, DatatypeId::INT, 0, 0, CommId::WORLD);
+                // BUG: touch the window before the wait — the put is not
+                // ordered yet.
+                p.tstore_i32(wbuf, 1);
+                p.wait_req(req);
+            }
+            p.barrier(CommId::WORLD);
+            p.win_free(win);
+        },
+    )
+    .unwrap();
+    let report = McChecker::new().check(&result.trace.unwrap());
+    assert!(report.has_errors(), "store before the wait races with the put");
+    // Move the store after the wait: clean.
+    let result = run(
+        SimConfig::new(2).with_seed(3).with_delivery(DeliveryPolicy::AtClose),
+        |p| {
+            let wbuf = p.alloc_i32s(1);
+            let win = p.win_create(wbuf, 4, CommId::WORLD);
+            let flag = p.alloc_i32s(1);
+            p.barrier(CommId::WORLD);
+            if p.rank() == 0 {
+                let src = p.alloc_i32s(1);
+                p.win_lock(LockKind::Shared, 1, win);
+                p.put(src, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
+                p.win_unlock(1, win);
+                let req = p.isend(flag, 1, DatatypeId::INT, 1, 0, CommId::WORLD);
+                p.wait_req(req);
+            } else {
+                let req = p.irecv(flag, 1, DatatypeId::INT, 0, 0, CommId::WORLD);
+                p.wait_req(req);
+                p.tstore_i32(wbuf, 1);
+            }
+            p.barrier(CommId::WORLD);
+            p.win_free(win);
+        },
+    )
+    .unwrap();
+    let report = McChecker::new().check(&result.trace.unwrap());
+    assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
+}
+
+/// Mixed blocking/nonblocking matching: a blocking send can satisfy an
+/// irecv and vice versa.
+#[test]
+fn mixed_blocking_nonblocking_matching() {
+    let result = run(SimConfig::new(2).with_seed(3), |p| {
+        let a = p.alloc_i32s(1);
+        let b = p.alloc_i32s(1);
+        if p.rank() == 0 {
+            p.send(a, 1, DatatypeId::INT, 1, 1, CommId::WORLD); // blocking send
+            let req = p.irecv(b, 1, DatatypeId::INT, 1, 2, CommId::WORLD);
+            p.wait_req(req);
+        } else {
+            let req = p.irecv(a, 1, DatatypeId::INT, 0, 1, CommId::WORLD);
+            p.wait_req(req);
+            p.send(b, 1, DatatypeId::INT, 0, 2, CommId::WORLD);
+        }
+    })
+    .unwrap();
+    let report = McChecker::new().check(&result.trace.unwrap());
+    assert_eq!(report.stats.unmatched_sync, 0, "all four calls matched");
+}

@@ -1,0 +1,73 @@
+//! The streaming (online) checker must agree with the batch checker on
+//! the entire bug suite — same findings on the buggy variants, silence on
+//! the fixed ones — while keeping its buffer bounded.
+
+use mc_checker::apps::bugs::{self, trace_of};
+use mc_checker::core::streaming::StreamingChecker;
+use mc_checker::prelude::*;
+
+fn keys(v: &[ConsistencyError]) -> Vec<String> {
+    let mut k: Vec<String> = v.iter().map(|e| e.dedup_key()).collect();
+    k.sort();
+    k
+}
+
+#[test]
+fn streaming_matches_batch_on_buggy_suite() {
+    for (spec, body) in bugs::table2_cases() {
+        if spec.nprocs > 8 {
+            continue; // lockopts@64 is covered by the batch tests
+        }
+        let trace = trace_of(spec.nprocs, 5, body);
+        let batch = McChecker::new().check(&trace);
+        let (streamed, _) = StreamingChecker::run_over(&trace);
+        assert_eq!(
+            keys(&streamed),
+            keys(&batch.diagnostics),
+            "{}: streaming and batch disagree",
+            spec.name
+        );
+        assert!(!streamed.is_empty(), "{}: bug found while streaming", spec.name);
+    }
+}
+
+#[test]
+fn streaming_matches_batch_on_fixed_suite() {
+    for (spec, body) in bugs::fixed_cases() {
+        if spec.nprocs > 8 {
+            continue;
+        }
+        let trace = trace_of(spec.nprocs, 5, body);
+        let (streamed, _) = StreamingChecker::run_over(&trace);
+        assert!(streamed.is_empty(), "{} (fixed) flagged by streaming", spec.name);
+    }
+}
+
+#[test]
+fn streaming_matches_batch_on_extension_cases() {
+    for (spec, buggy, fixed) in bugs::extension_cases() {
+        let trace = trace_of(spec.nprocs, 5, buggy);
+        let batch = McChecker::new().check(&trace);
+        let (streamed, _) = StreamingChecker::run_over(&trace);
+        assert_eq!(keys(&streamed), keys(&batch.diagnostics), "{}", spec.name);
+
+        let trace = trace_of(spec.nprocs, 5, fixed);
+        let (streamed, _) = StreamingChecker::run_over(&trace);
+        assert!(streamed.is_empty(), "{} (fixed)", spec.name);
+    }
+}
+
+#[test]
+fn streaming_buffer_bounded_on_iterative_app() {
+    // Jacobi runs many fence-bounded iterations; the streaming buffer
+    // must stay well below the trace size.
+    let trace = trace_of(4, 5, bugs::jacobi::fixed);
+    let (_, stats) = StreamingChecker::run_over(&trace);
+    assert!(stats.regions_flushed > 2);
+    assert!(
+        stats.peak_buffered < stats.total_events,
+        "peak {} < total {}",
+        stats.peak_buffered,
+        stats.total_events
+    );
+}

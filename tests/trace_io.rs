@@ -1,0 +1,55 @@
+//! Integration test for the Profiler→DN-Analyzer file boundary: traces
+//! survive the on-disk round trip byte-exactly and produce identical
+//! reports, mirroring the paper's offline analysis workflow.
+
+use mc_checker::apps::bugs::{self, trace_of};
+use mc_checker::prelude::*;
+use mc_checker::profiler::{read_trace_dir, write_trace_dir};
+
+#[test]
+fn reports_identical_after_disk_round_trip() {
+    let dir = std::env::temp_dir().join(format!("mcc-it-roundtrip-{}", std::process::id()));
+    for (spec, body) in bugs::table2_cases() {
+        if spec.nprocs > 8 {
+            continue; // keep the I/O test snappy
+        }
+        let trace = trace_of(spec.nprocs, 3, body);
+        write_trace_dir(&trace, &dir).unwrap();
+        let loaded = read_trace_dir(&dir).unwrap();
+        assert_eq!(trace, loaded, "{}: lossless round trip", spec.name);
+        let a = McChecker::new().check(&trace);
+        let b = McChecker::new().check(&loaded);
+        assert_eq!(a.diagnostics, b.diagnostics, "{}", spec.name);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn big_trace_round_trip() {
+    // A heavier trace with datatypes, groups and sub-communicators.
+    let result = run(SimConfig::new(4).with_seed(11), |p| {
+        let world = p.comm_group(CommId::WORLD);
+        let evens = p.group_incl(world, &[0, 2]);
+        let sub = p.comm_create(CommId::WORLD, evens);
+        let col = p.type_vector(4, 1, 4, DatatypeId::INT);
+        let mat = p.alloc_i32s(16);
+        let win = p.win_create(mat, 64, CommId::WORLD);
+        p.win_fence(win);
+        if p.rank() == 0 {
+            let src = p.alloc_i32s(4);
+            p.put(src, 4, DatatypeId::INT, 1, 0, 1, col, win);
+        }
+        p.win_fence(win);
+        if let Some(c) = sub {
+            p.barrier(c);
+        }
+        p.win_free(win);
+    })
+    .unwrap();
+    let trace = result.trace.unwrap();
+    let dir = std::env::temp_dir().join(format!("mcc-it-big-{}", std::process::id()));
+    write_trace_dir(&trace, &dir).unwrap();
+    let loaded = read_trace_dir(&dir).unwrap();
+    assert_eq!(trace, loaded);
+    std::fs::remove_dir_all(&dir).ok();
+}
