@@ -90,11 +90,23 @@ pub fn symptom_occurred(p: &mut Proc) -> bool {
     corrupted
 }
 
+/// Fault plan for the crash-mid-epoch variant: rank 0 dies after both
+/// `push_work` calls have issued their puts but before the closing
+/// fence, leaving the fence epoch open in the trace — the scenario
+/// degraded-mode analysis exists for.
+///
+/// The event budget counts rank 0's logged events in [`buggy`]:
+/// win_create, fence, then store+put per `push_work` call — six events
+/// before the first closing fence.
+pub fn crash_mid_epoch_faults() -> mcc_mpi_sim::FaultPlan {
+    mcc_mpi_sim::FaultPlan::none().with(mcc_mpi_sim::Fault::RankAbort { rank: 0, after_events: 6 })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bugs::trace_of;
-    use mcc_core::{ErrorScope, McChecker};
+    use crate::bugs::{trace_of, trace_under_faults};
+    use mcc_core::{Confidence, ErrorScope, McChecker};
     use mcc_mpi_sim::{run, DeliveryPolicy, SimConfig};
     use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -129,6 +141,27 @@ mod tests {
         };
         assert!(!corrupted(DeliveryPolicy::Eager), "worked correctly for years");
         assert!(corrupted(DeliveryPolicy::AtClose), "corrupts on Blue Gene/Q");
+    }
+
+    #[test]
+    fn crash_mid_epoch_detected_in_degraded_mode() {
+        let (trace, error) = trace_under_faults(2, 77, crash_mid_epoch_faults(), buggy);
+        assert!(error.is_some(), "rank 0's injected abort is reported");
+        // Rank 0's log stops mid-epoch: both puts logged, no closing
+        // fence. The strict checker cannot be used here; the degraded
+        // path still finds the stack-reuse conflict.
+        let (report, info) = McChecker::new().check_degraded(&trace);
+        assert!(!info.is_clean(), "{info}");
+        assert_eq!(report.confidence, Confidence::Degraded);
+        let e = report
+            .errors()
+            .find(|e| {
+                [e.a.op.as_str(), e.b.op.as_str()].contains(&"MPI_Put")
+                    && [e.a.op.as_str(), e.b.op.as_str()].contains(&"store")
+            })
+            .expect("put/store stack-reuse conflict survives the crash");
+        assert!(matches!(e.scope, ErrorScope::IntraEpoch { rank: mcc_types::Rank(0), .. }));
+        assert_eq!(e.confidence, Confidence::Degraded);
     }
 
     #[test]

@@ -137,10 +137,8 @@ mod tests {
     fn fig2c_put_get_pair() {
         let trace = trace_of(3, 17, fig2c);
         let report = McChecker::new().check(&trace);
-        let ops: Vec<&str> = report
-            .errors()
-            .flat_map(|e| [e.a.op.as_str(), e.b.op.as_str()])
-            .collect();
+        let ops: Vec<&str> =
+            report.errors().flat_map(|e| [e.a.op.as_str(), e.b.op.as_str()]).collect();
         assert!(ops.contains(&"MPI_Put") && ops.contains(&"MPI_Get"));
     }
 }

@@ -126,14 +126,11 @@ mod tests {
         use mcc_mpi_sim::{run, DeliveryPolicy, SimConfig};
         use std::sync::atomic::{AtomicBool, Ordering};
         let locked = AtomicBool::new(false);
-        run(
-            SimConfig::new(2).with_seed(7).with_delivery(DeliveryPolicy::AtClose),
-            |p| {
-                if buggy_with_symptom(p) {
-                    locked.store(true, Ordering::Relaxed);
-                }
-            },
-        )
+        run(SimConfig::new(2).with_seed(7).with_delivery(DeliveryPolicy::AtClose), |p| {
+            if buggy_with_symptom(p) {
+                locked.store(true, Ordering::Relaxed);
+            }
+        })
         .unwrap();
         assert!(locked.load(Ordering::Relaxed), "the while loop spins forever");
     }

@@ -122,14 +122,11 @@ mod tests {
         use mcc_mpi_sim::{run, DeliveryPolicy, SimConfig};
         use std::sync::atomic::{AtomicBool, Ordering};
         let stale = AtomicBool::new(false);
-        run(
-            SimConfig::new(2).with_seed(3).with_delivery(DeliveryPolicy::AtClose),
-            |p| {
-                if symptom_occurred(p) {
-                    stale.store(true, Ordering::Relaxed);
-                }
-            },
-        )
+        run(SimConfig::new(2).with_seed(3).with_delivery(DeliveryPolicy::AtClose), |p| {
+            if symptom_occurred(p) {
+                stale.store(true, Ordering::Relaxed);
+            }
+        })
         .unwrap();
         assert!(stale.load(Ordering::Relaxed), "AtClose delivery exposes the stale read");
     }
@@ -141,14 +138,11 @@ mod tests {
         use mcc_mpi_sim::{run, DeliveryPolicy, SimConfig};
         use std::sync::atomic::{AtomicBool, Ordering};
         let stale = AtomicBool::new(false);
-        run(
-            SimConfig::new(2).with_seed(3).with_delivery(DeliveryPolicy::Eager),
-            |p| {
-                if symptom_occurred(p) {
-                    stale.store(true, Ordering::Relaxed);
-                }
-            },
-        )
+        run(SimConfig::new(2).with_seed(3).with_delivery(DeliveryPolicy::Eager), |p| {
+            if symptom_occurred(p) {
+                stale.store(true, Ordering::Relaxed);
+            }
+        })
         .unwrap();
         assert!(!stale.load(Ordering::Relaxed));
         // But the checker still flags the trace — detection is not

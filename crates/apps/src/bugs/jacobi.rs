@@ -129,10 +129,7 @@ mod tests {
         // Semantic check: with correct synchronization the averaged values
         // move toward each other deterministically under any delivery.
         use mcc_mpi_sim::{run, DeliveryPolicy, SimConfig};
-        run(
-            SimConfig::new(4).with_seed(5).with_delivery(DeliveryPolicy::Adversarial),
-            fixed,
-        )
-        .unwrap();
+        run(SimConfig::new(4).with_seed(5).with_delivery(DeliveryPolicy::Adversarial), fixed)
+            .unwrap();
     }
 }

@@ -21,8 +21,9 @@ pub mod lockopts;
 pub mod mpi3_queue;
 pub mod pingpong;
 
-use mcc_mpi_sim::{run, DeliveryPolicy, Proc, SimConfig};
+use mcc_mpi_sim::{run, run_tolerant, DeliveryPolicy, FaultPlan, Proc, SimConfig, SimError};
 use mcc_types::Trace;
+use std::time::Duration;
 
 /// Metadata of one Table II row.
 #[derive(Debug, Clone, Copy)]
@@ -47,13 +48,36 @@ pub struct BugSpec {
 /// timing, which makes the symptoms deterministic (the checker itself is
 /// timing-independent — it analyzes the trace, not the symptom).
 pub fn trace_of(nprocs: u32, seed: u64, body: impl Fn(&mut Proc) + Send + Sync) -> Trace {
-    run(
-        SimConfig::new(nprocs).with_seed(seed).with_delivery(DeliveryPolicy::AtClose),
+    run(SimConfig::new(nprocs).with_seed(seed).with_delivery(DeliveryPolicy::AtClose), body)
+        .expect("bug case must run to completion")
+        .trace
+        .expect("tracing is enabled")
+}
+
+/// Runs a bug-case body under fault injection and salvages whatever
+/// trace the surviving ranks produced.
+///
+/// Unlike [`trace_of`], the run is allowed to fail: injected aborts,
+/// hangs (bounded by a watchdog) and rank deaths all produce a partial
+/// trace plus the simulator's verdict instead of a panic. The partial
+/// trace is what the degraded-mode checker
+/// (`mcc_core::McChecker::check_degraded`) is for.
+pub fn trace_under_faults(
+    nprocs: u32,
+    seed: u64,
+    faults: FaultPlan,
+    body: impl Fn(&mut Proc) + Send + Sync,
+) -> (Trace, Option<SimError>) {
+    let outcome = run_tolerant(
+        SimConfig::new(nprocs)
+            .with_seed(seed)
+            .with_delivery(DeliveryPolicy::AtClose)
+            .with_faults(faults)
+            .with_watchdog(Duration::from_millis(2000)),
         body,
     )
-    .expect("bug case must run to completion")
-    .trace
-    .expect("tracing is enabled")
+    .expect("bug-case configuration is valid");
+    (outcome.trace.expect("tracing is enabled"), outcome.error)
 }
 
 /// A case with its buggy body: `(spec, buggy)`.

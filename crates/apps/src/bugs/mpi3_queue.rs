@@ -123,13 +123,10 @@ mod tests {
         // distinct valid item; the sum over workers is the queue total.
         use std::sync::atomic::{AtomicI64, Ordering};
         let total = AtomicI64::new(0);
-        run(
-            SimConfig::new(4).with_seed(13).with_delivery(DeliveryPolicy::Adversarial),
-            |p| {
-                let s = fixed_with_result(p);
-                total.fetch_add(s, Ordering::Relaxed);
-            },
-        )
+        run(SimConfig::new(4).with_seed(13).with_delivery(DeliveryPolicy::Adversarial), |p| {
+            let s = fixed_with_result(p);
+            total.fetch_add(s, Ordering::Relaxed);
+        })
         .unwrap();
         assert_eq!(total.load(Ordering::Relaxed), 100 + 101 + 102);
     }

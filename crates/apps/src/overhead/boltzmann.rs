@@ -39,7 +39,10 @@ pub fn boltzmann(p: &mut Proc, params: &BoltzmannParams) {
     let f = p.alloc_f64s(wcells * Q);
     for c in 0..wcells {
         for q in 0..Q {
-            p.poke_f64(f + 8 * (c * Q + q) as u64, 1.0 / 3.0 + 0.01 * ((me as usize + c + q) % 5) as f64);
+            p.poke_f64(
+                f + 8 * (c * Q + q) as u64,
+                1.0 / 3.0 + 0.01 * ((me as usize + c + q) % 5) as f64,
+            );
         }
     }
     let win = p.win_create(f, (8 * wcells * Q) as u64, CommId::WORLD);

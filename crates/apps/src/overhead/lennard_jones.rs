@@ -138,7 +138,10 @@ mod tests {
     fn instrument_all_logs_more_than_relevant() {
         let params = LjParams { particles_per_rank: 6, steps: 1 };
         let rel = run(
-            SimConfig::new(2).with_seed(1).with_instrument(Instrument::Relevant).with_keep_events(false),
+            SimConfig::new(2)
+                .with_seed(1)
+                .with_instrument(Instrument::Relevant)
+                .with_keep_events(false),
             |p| lennard_jones(p, &params),
         )
         .unwrap();

@@ -46,7 +46,16 @@ pub fn skampi(p: &mut Proc, params: &SkampiParams) {
     while elems <= max {
         for _rep in 0..params.reps {
             if me.is_multiple_of(2) && peer < n {
-                p.put(src, elems as u32, DatatypeId::INT, peer, 0, elems as u32, DatatypeId::INT, win);
+                p.put(
+                    src,
+                    elems as u32,
+                    DatatypeId::INT,
+                    peer,
+                    0,
+                    elems as u32,
+                    DatatypeId::INT,
+                    win,
+                );
             }
             p.win_fence(win);
             if me % 2 == 1 {
@@ -70,10 +79,28 @@ pub fn skampi(p: &mut Proc, params: &SkampiParams) {
         while elems <= max {
             for _rep in 0..params.reps {
                 p.win_lock(LockKind::Exclusive, peer, win);
-                p.put(src, elems as u32, DatatypeId::INT, peer, 0, elems as u32, DatatypeId::INT, win);
+                p.put(
+                    src,
+                    elems as u32,
+                    DatatypeId::INT,
+                    peer,
+                    0,
+                    elems as u32,
+                    DatatypeId::INT,
+                    win,
+                );
                 p.win_unlock(peer, win);
                 p.win_lock(LockKind::Shared, peer, win);
-                p.get(back, elems as u32, DatatypeId::INT, peer, 0, elems as u32, DatatypeId::INT, win);
+                p.get(
+                    back,
+                    elems as u32,
+                    DatatypeId::INT,
+                    peer,
+                    0,
+                    elems as u32,
+                    DatatypeId::INT,
+                    win,
+                );
                 p.win_unlock(peer, win);
                 p.win_lock(LockKind::Exclusive, peer, win);
                 p.accumulate(

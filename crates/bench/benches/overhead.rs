@@ -12,18 +12,13 @@ fn bench_instrumentation(c: &mut Criterion) {
     let params = LuParams { n: 64 };
     let mut g = c.benchmark_group("profiler/instrumentation");
     g.sample_size(10);
-    for (name, mode) in [
-        ("native", Instrument::Off),
-        ("relevant", Instrument::Relevant),
-        ("all", Instrument::All),
-    ] {
+    for (name, mode) in
+        [("native", Instrument::Off), ("relevant", Instrument::Relevant), ("all", Instrument::All)]
+    {
         g.bench_function(name, |b| {
             b.iter(|| {
                 run(
-                    SimConfig::new(4)
-                        .with_seed(1)
-                        .with_instrument(mode)
-                        .with_keep_events(false),
+                    SimConfig::new(4).with_seed(1).with_instrument(mode).with_keep_events(false),
                     |p| {
                         lu(p, &params);
                     },

@@ -46,7 +46,11 @@ fn main() {
         let rates = TraceStats::new(r.stats).rates();
         println!(
             "{:>6} {:>14} {:>14} {:>18.0} {:>18.0}",
-            procs, rates.mem_events, rates.mpi_events, rates.mem_rate_per_rank, rates.mpi_rate_per_rank
+            procs,
+            rates.mem_events,
+            rates.mpi_events,
+            rates.mem_rate_per_rank,
+            rates.mpi_rate_per_rank
         );
     }
     println!();

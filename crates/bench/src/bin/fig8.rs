@@ -49,39 +49,49 @@ fn main() {
     );
     println!("{}", "-".repeat(68));
 
-    let base = SimConfig::new(procs).with_seed(0xf198);
+    // A hung workload (e.g. a collective that never completes at some
+    // scale) becomes a diagnostic row via the deadlock watchdog instead
+    // of wedging the whole benchmark run.
+    let base =
+        SimConfig::new(procs).with_seed(0xf198).with_watchdog(std::time::Duration::from_secs(10));
     let mut overheads = Vec::new();
-    let mut report = |r: mcc_profiler::OverheadReport| {
-        println!(
-            "{:<16} {:>12.2} {:>12.2} {:>12.3} {:>9.1}%",
-            r.name,
-            r.native.as_secs_f64() * 1e3,
-            r.profiled.as_secs_f64() * 1e3,
-            r.normalized,
-            r.overhead_pct
-        );
-        overheads.push(r.overhead_pct);
+    let mut report = |r: Result<mcc_profiler::OverheadReport, mcc_mpi_sim::SimError>| match r {
+        Ok(r) => {
+            println!(
+                "{:<16} {:>12.2} {:>12.2} {:>12.3} {:>9.1}%",
+                r.name,
+                r.native.as_secs_f64() * 1e3,
+                r.profiled.as_secs_f64() * 1e3,
+                r.normalized,
+                r.overhead_pct
+            );
+            overheads.push(r.overhead_pct);
+        }
+        Err(e) => println!("{:<16} workload did not finish: {e}", "-"),
     };
 
     let lj = LjParams { particles_per_rank: 48, steps: 3 };
-    report(profile_run("Lennard-Jones", base.clone(), mode, reps, move |p| lennard_jones(p, &lj)).unwrap());
+    report(profile_run("Lennard-Jones", base.clone(), mode, reps, move |p| lennard_jones(p, &lj)));
 
     let sc = ScfParams { rows: 12, iters: 3 };
-    report(profile_run("SCF", base.clone(), mode, reps, move |p| scf(p, &sc)).unwrap());
+    report(profile_run("SCF", base.clone(), mode, reps, move |p| scf(p, &sc)));
 
     let bz = BoltzmannParams { cells_per_rank: 2048, steps: 12 };
-    report(profile_run("Boltzmann", base.clone(), mode, reps, move |p| boltzmann(p, &bz)).unwrap());
+    report(profile_run("Boltzmann", base.clone(), mode, reps, move |p| boltzmann(p, &bz)));
 
     let sk = SkampiParams { max_elems: 512, reps: 24 };
-    report(profile_run("SKaMPI", base.clone(), mode, reps, move |p| skampi(p, &sk)).unwrap());
+    report(profile_run("SKaMPI", base.clone(), mode, reps, move |p| skampi(p, &sk)));
 
     let lup = LuParams { n: 160 };
     report(profile_run("LU", base, mode, reps, move |p| {
         lu(p, &lup);
-    })
-    .unwrap());
+    }));
 
-    let avg = overheads.iter().sum::<f64>() / overheads.len() as f64;
+    let avg = if overheads.is_empty() {
+        f64::NAN
+    } else {
+        overheads.iter().sum::<f64>() / overheads.len() as f64
+    };
     println!("{}", "-".repeat(68));
     println!("{:<16} {:>50.1}%", "average", avg);
     println!();

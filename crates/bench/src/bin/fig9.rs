@@ -27,7 +27,9 @@ fn main() {
     let n = flag("--n", 192) as usize;
     let reps = flag("--reps", 3);
 
-    println!("Figure 9: Profiler overhead on LU under strong scaling (matrix {n}x{n}, best of {reps})");
+    println!(
+        "Figure 9: Profiler overhead on LU under strong scaling (matrix {n}x{n}, best of {reps})"
+    );
     println!();
     println!("{:>6} {:>12} {:>12} {:>10}", "procs", "native (ms)", "profiled", "overhead");
     println!("{}", "-".repeat(44));

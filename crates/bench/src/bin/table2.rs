@@ -11,8 +11,9 @@
 //! cargo run -p mcc-bench --release --bin table2
 //! ```
 
-use mcc_apps::bugs::{fixed_cases, table2_cases, trace_of};
+use mcc_apps::bugs::{fixed_cases, table2_cases, trace_under_faults};
 use mcc_core::{ErrorScope, McChecker, Severity};
+use mcc_mpi_sim::FaultPlan;
 
 fn main() {
     let checker = McChecker::new();
@@ -20,13 +21,34 @@ fn main() {
     println!();
     println!(
         "{:<14} {:>6} {:<18} {:<46} {:<10} {:<9}",
-        "Application", "Procs", "Error location", "Root cause (detected pair)", "Detected?", "Severity"
+        "Application",
+        "Procs",
+        "Error location",
+        "Root cause (detected pair)",
+        "Detected?",
+        "Severity"
     );
     println!("{}", "-".repeat(110));
 
     let mut all_detected = true;
     for (spec, body) in table2_cases() {
-        let trace = trace_of(spec.nprocs, 0xbead, body);
+        // The deadlock watchdog inside `trace_under_faults` turns a hung
+        // workload into a diagnostic row instead of a stuck benchmark.
+        let (trace, sim_err) = trace_under_faults(spec.nprocs, 0xbead, FaultPlan::none(), body);
+        if let Some(e) = sim_err {
+            all_detected = false;
+            println!(
+                "{:<14} {:>6} {:<18} {:<46} {:<10} {:<9}",
+                spec.name,
+                spec.nprocs,
+                "-",
+                format!("workload did not finish: {e}"),
+                "NO",
+                "-"
+            );
+            println!();
+            continue;
+        }
         let report = checker.check(&trace);
         // Prefer the finding in the error location the paper's row names
         // (an injected bug can surface in more than one class).
@@ -64,7 +86,10 @@ fn main() {
         if let Some(e) = finding {
             println!(
                 "{:<14} {:>6} root cause per paper: {}  [{}]",
-                "", "", spec.root_cause, if spec.injected { "injected" } else { "real-world" }
+                "",
+                "",
+                spec.root_cause,
+                if spec.injected { "injected" } else { "real-world" }
             );
             println!("{:<14} {:>6} symptom: {}", "", "", spec.symptom);
             println!("{:<14} {:>6} diagnostics: (1) {}   (2) {}", "", "", e.a, e.b);
@@ -75,7 +100,12 @@ fn main() {
     println!("False-positive regression (fixed variants):");
     let mut clean = true;
     for (spec, body) in fixed_cases() {
-        let trace = trace_of(spec.nprocs, 0xbead, body);
+        let (trace, sim_err) = trace_under_faults(spec.nprocs, 0xbead, FaultPlan::none(), body);
+        if let Some(e) = sim_err {
+            clean = false;
+            println!("  {:<14} fixed variant did not finish: {e}", spec.name);
+            continue;
+        }
         let report = checker.check(&trace);
         let findings = report.diagnostics.len();
         clean &= findings == 0;

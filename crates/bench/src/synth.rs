@@ -6,8 +6,7 @@
 //! and the §IV-C4 linear-vs-combinatorial ablation can sweep region sizes.
 
 use mcc_types::{
-    CommId, DatatypeId, EventKind, Rank, RmaKind, RmaOp, SourceLoc, Tag, Trace, TraceBuilder,
-    WinId,
+    CommId, DatatypeId, EventKind, Rank, RmaKind, RmaOp, SourceLoc, Tag, Trace, TraceBuilder, WinId,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -203,8 +202,9 @@ mod tests {
     fn detectors_agree_on_synthetic_conflicts() {
         let t = synth_trace(&SynthParams { nprocs: 4, rounds: 2, ..Default::default() }, 0.4);
         let fast = McChecker::new().check(&t);
-        let naive = McChecker::with_options(CheckOptions { naive_inter: true, ..Default::default() })
-            .check(&t);
+        let naive =
+            McChecker::with_options(CheckOptions { naive_inter: true, ..Default::default() })
+                .check(&t);
         assert_eq!(fast.diagnostics.len(), naive.diagnostics.len());
     }
 }

@@ -7,13 +7,14 @@
 //! report plus per-phase statistics for the benchmarks.
 
 use crate::dag;
+use crate::degrade::{self, DegradedInfo};
 use crate::epoch;
 use crate::inter;
 use crate::intra;
 use crate::matching;
 use crate::preprocess;
 use crate::regions::{self, Regions};
-use crate::report::{ConsistencyError, Severity};
+use crate::report::{Confidence, ConsistencyError, Severity};
 use crate::vc::Clocks;
 use mcc_types::Trace;
 use std::collections::HashSet;
@@ -40,12 +41,7 @@ pub struct CheckOptions {
 
 impl Default for CheckOptions {
     fn default() -> Self {
-        Self {
-            naive_inter: false,
-            partition_regions: true,
-            naive_matching: false,
-            parallel: false,
-        }
+        Self { naive_inter: false, partition_regions: true, naive_matching: false, parallel: false }
     }
 }
 
@@ -82,9 +78,23 @@ pub struct CheckReport {
     pub diagnostics: Vec<ConsistencyError>,
     /// Analysis statistics.
     pub stats: AnalysisStats,
+    /// Whether the trace was analyzed whole or after degraded-mode
+    /// repair.
+    pub confidence: Confidence,
 }
 
 impl CheckReport {
+    /// Downgrades the report (and every finding in it) to degraded
+    /// confidence. Used when the trace itself had to be repaired, or
+    /// when the caller knows the trace is incomplete (e.g. the profiler
+    /// reported missing ranks) even though analysis succeeded as-is.
+    pub fn mark_degraded(&mut self) {
+        self.confidence = Confidence::Degraded;
+        for d in &mut self.diagnostics {
+            d.confidence = Confidence::Degraded;
+        }
+    }
+
     /// Only the definite errors.
     pub fn errors(&self) -> impl Iterator<Item = &ConsistencyError> {
         self.diagnostics.iter().filter(|e| e.severity == Severity::Error)
@@ -102,11 +112,17 @@ impl CheckReport {
 
     /// Renders the report the way the MC-Checker CLI would print it.
     pub fn render(&self) -> String {
+        let banner = if self.confidence == Confidence::Degraded {
+            "MC-Checker: DEGRADED ANALYSIS — the trace was incomplete or damaged; \
+             findings cover only what survived.\n"
+        } else {
+            ""
+        };
         if self.diagnostics.is_empty() {
-            return "MC-Checker: no memory consistency errors detected.\n".to_string();
+            return format!("{banner}MC-Checker: no memory consistency errors detected.\n");
         }
         let mut s = format!(
-            "MC-Checker: {} finding(s) ({} error(s), {} warning(s))\n\n",
+            "{banner}MC-Checker: {} finding(s) ({} error(s), {} warning(s))\n\n",
             self.diagnostics.len(),
             self.errors().count(),
             self.warnings().count()
@@ -196,16 +212,32 @@ impl McChecker {
         diagnostics.retain(|e| seen.insert(e.dedup_key()));
         diagnostics.sort_by_key(|e| (e.severity, e.a.ev, e.b.ev));
 
-        CheckReport { diagnostics, stats }
+        CheckReport { diagnostics, stats, confidence: Confidence::Complete }
+    }
+
+    /// Runs the pipeline in degraded mode: the trace is first repaired
+    /// by [`degrade::sanitize`] (dropping unresolvable events and
+    /// synthesizing closes for truncated epochs), then checked.
+    ///
+    /// If the sanitizer had to intervene, the report and every finding
+    /// in it carry [`Confidence::Degraded`]. Unlike [`McChecker::check`],
+    /// this never panics on an internally inconsistent trace — it is the
+    /// entry point for traces recovered by the profiler's tolerant
+    /// reader.
+    pub fn check_degraded(&self, trace: &Trace) -> (CheckReport, DegradedInfo) {
+        let (repaired, info) = degrade::sanitize(trace);
+        let mut report = self.check(&repaired);
+        if !info.is_clean() {
+            report.mark_degraded();
+        }
+        (report, info)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcc_types::{
-        CommId, DatatypeId, EventKind, Rank, RmaKind, RmaOp, TraceBuilder, WinId,
-    };
+    use mcc_types::{CommId, DatatypeId, EventKind, Rank, RmaKind, RmaOp, TraceBuilder, WinId};
 
     fn buggy_trace() -> Trace {
         let mut b = TraceBuilder::new(2);
@@ -294,5 +326,54 @@ mod tests {
         let report = McChecker::new().check(&Trace::new(4));
         assert!(report.diagnostics.is_empty());
         assert_eq!(report.stats.total_events, 0);
+    }
+
+    /// A trace cut mid-epoch (rank 0 dies before its closing fence) is
+    /// still checked, the pre-truncation bugs are still found, and every
+    /// finding is tagged degraded.
+    #[test]
+    fn truncated_trace_checked_in_degraded_mode() {
+        let mut full = buggy_trace();
+        // Rank 0's log is torn right after its store: the closing fence
+        // is gone.
+        let cut = full.procs[0].events.len() - 1;
+        assert!(matches!(full.procs[0].events[cut].kind, EventKind::Fence { .. }));
+        full.procs[0].events.truncate(cut);
+
+        let (report, info) = McChecker::new().check_degraded(&full);
+        assert!(!info.is_clean());
+        assert!(info.dropped.is_empty());
+        assert_eq!(info.synthesized.len(), 1, "{info}");
+        assert_eq!(report.confidence, crate::report::Confidence::Degraded);
+        assert!(report.has_errors());
+        assert_eq!(report.diagnostics.len(), 2, "both pre-truncation bugs survive");
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.confidence == crate::report::Confidence::Degraded));
+        let rendered = report.render();
+        assert!(rendered.contains("DEGRADED"));
+        assert!(rendered.contains("confidence: degraded"));
+    }
+
+    #[test]
+    fn check_degraded_on_intact_trace_stays_complete() {
+        let (report, info) = McChecker::new().check_degraded(&buggy_trace());
+        assert!(info.is_clean());
+        assert_eq!(report.confidence, crate::report::Confidence::Complete);
+        assert_eq!(report.diagnostics.len(), 2);
+        assert!(!report.render().contains("DEGRADED"));
+    }
+
+    #[test]
+    fn mark_degraded_downgrades_existing_findings() {
+        let mut report = McChecker::new().check(&buggy_trace());
+        assert_eq!(report.confidence, crate::report::Confidence::Complete);
+        report.mark_degraded();
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.confidence == crate::report::Confidence::Degraded));
+        assert!(report.render().contains("DEGRADED"));
     }
 }

@@ -430,7 +430,12 @@ mod tests {
         );
         let r = b.push(
             Rank(1),
-            EventKind::Recv { comm: CommId::WORLD, from: Rank(0), tag: mcc_types::Tag(0), bytes: 4 },
+            EventKind::Recv {
+                comm: CommId::WORLD,
+                from: Rank(0),
+                tag: mcc_types::Tag(0),
+                bytes: 4,
+            },
         );
         let t = b.build();
         let ctx = preprocess(&t);

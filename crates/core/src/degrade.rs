@@ -1,0 +1,700 @@
+//! Degraded-mode analysis: salvaging a damaged trace before checking.
+//!
+//! The analysis pipeline assumes a complete, internally consistent trace:
+//! every referenced communicator, group, window and datatype was defined
+//! by an earlier support event, every collective is balanced, and every
+//! epoch that was opened is eventually closed. A trace recovered from a
+//! crashed or fault-injected run (see `mcc-profiler`'s tolerant reader)
+//! breaks all of those assumptions — a rank's log may simply stop
+//! mid-epoch, and a torn tail can remove the `MPI_Win_create` that a
+//! surviving rank's operations depend on.
+//!
+//! [`sanitize`] makes such a trace checkable instead of fatal:
+//!
+//! 1. **Drop** every event the pipeline could not resolve — operations on
+//!    windows whose collective creation is incomplete, RMA with
+//!    out-of-range targets or undefined datatypes, and support events
+//!    whose own definitions reference unknown handles.
+//! 2. **Synthesize closure** for epochs left open at a rank's truncation
+//!    point: a closing fence, unlock, complete or wait is appended (with
+//!    an unknown source location) so the surviving operations still land
+//!    in a finished epoch and reach the detectors.
+//!
+//! Everything removed or invented is recorded in [`DegradedInfo`]; any
+//! non-empty record downgrades the report's confidence (see
+//! [`crate::report::Confidence`]).
+
+use mcc_types::{CommId, DatatypeId, Event, EventKind, GroupId, LocId, Rank, Trace, WinId};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// What [`sanitize`] had to do to make a trace checkable.
+#[derive(Debug, Default, Clone)]
+pub struct DegradedInfo {
+    /// Events removed, as `(rank, index in the original log, reason)`.
+    pub dropped: Vec<(Rank, usize, String)>,
+    /// Synthetic closing events appended, as `(rank, description)`.
+    pub synthesized: Vec<(Rank, String)>,
+}
+
+impl DegradedInfo {
+    /// Whether the trace needed no intervention at all.
+    pub fn is_clean(&self) -> bool {
+        self.dropped.is_empty() && self.synthesized.is_empty()
+    }
+
+    /// One-line summary for reports and the CLI.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            "trace required no repair".to_string()
+        } else {
+            format!(
+                "degraded: {} event(s) dropped, {} synthetic close(s) appended",
+                self.dropped.len(),
+                self.synthesized.len()
+            )
+        }
+    }
+}
+
+impl fmt::Display for DegradedInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.summary())?;
+        for (rank, idx, reason) in &self.dropped {
+            writeln!(f, "  dropped {rank}#{idx}: {reason}")?;
+        }
+        for (rank, what) in &self.synthesized {
+            writeln!(f, "  appended at {rank}: {what}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Mirror of the preprocessing tables, built tolerantly: invalid defining
+/// events are noted instead of being fatal.
+struct Tables {
+    groups: Vec<HashMap<GroupId, Vec<Rank>>>,
+    comms: HashMap<CommId, Vec<Rank>>,
+    dtypes: Vec<HashSet<DatatypeId>>,
+    /// Definition events that must be dropped, keyed by `(rank, idx)`.
+    invalid: HashMap<(usize, usize), String>,
+    /// Members of each window whose creation is complete (the comm is
+    /// known and every member logged a `WinCreate`).
+    complete_wins: HashMap<WinId, Vec<Rank>>,
+}
+
+fn dtype_ok(tables: &Tables, rank: usize, id: DatatypeId) -> bool {
+    id.primitive_size().is_some() || tables.dtypes[rank].contains(&id)
+}
+
+/// Pass 1: replay the support-event scan exactly as `preprocess` would,
+/// but record invalid definitions instead of panicking, and work out
+/// which windows were completely created.
+fn build_tables(trace: &Trace) -> Tables {
+    let n = trace.nprocs();
+    let world: Vec<Rank> = (0..n as u32).map(Rank).collect();
+    let mut tables = Tables {
+        groups: vec![HashMap::new(); n],
+        comms: HashMap::new(),
+        dtypes: vec![HashSet::new(); n],
+        invalid: HashMap::new(),
+        complete_wins: HashMap::new(),
+    };
+    tables.comms.insert(CommId::WORLD, world.clone());
+    for g in &mut tables.groups {
+        g.insert(GroupId::WORLD, world.clone());
+    }
+    let mut win_parts: HashMap<WinId, (CommId, HashSet<Rank>)> = HashMap::new();
+
+    for (er, event) in trace.iter_events() {
+        let r = er.rank.idx();
+        let key = (r, er.idx);
+        match &event.kind {
+            EventKind::GroupIncl { old, new, ranks } => {
+                let Some(old_members) = tables.groups[r].get(old) else {
+                    tables.invalid.insert(key, format!("GroupIncl references unknown {old}"));
+                    continue;
+                };
+                if ranks.iter().any(|&i| i as usize >= old_members.len()) {
+                    tables.invalid.insert(key, format!("GroupIncl index out of range for {old}"));
+                    continue;
+                }
+                let members: Vec<Rank> = ranks.iter().map(|&i| old_members[i as usize]).collect();
+                tables.groups[r].insert(*new, members);
+            }
+            EventKind::CommGroup { comm, group } => match tables.comms.get(comm) {
+                Some(members) => {
+                    let members = members.clone();
+                    tables.groups[r].insert(*group, members);
+                }
+                None => {
+                    tables.invalid.insert(key, format!("CommGroup references unknown {comm}"));
+                }
+            },
+            EventKind::CommCreate { group, new: Some(c), .. } => {
+                match tables.groups[r].get(group) {
+                    Some(members) => {
+                        let members = members.clone();
+                        tables.comms.insert(*c, members);
+                    }
+                    None => {
+                        tables
+                            .invalid
+                            .insert(key, format!("CommCreate references unknown {group}"));
+                    }
+                }
+            }
+            EventKind::WinCreate { win, comm, .. } => {
+                let entry = win_parts.entry(*win).or_insert_with(|| (*comm, HashSet::new()));
+                entry.1.insert(er.rank);
+            }
+            EventKind::TypeContiguous { new, elem, .. }
+            | EventKind::TypeVector { new, elem, .. } => {
+                if dtype_ok(&tables, r, *elem) {
+                    tables.dtypes[r].insert(*new);
+                } else {
+                    tables
+                        .invalid
+                        .insert(key, format!("datatype definition references unknown {elem}"));
+                }
+            }
+            EventKind::TypeStruct { new, fields } => {
+                if fields.iter().all(|&(_, _, ty)| dtype_ok(&tables, r, ty)) {
+                    tables.dtypes[r].insert(*new);
+                } else {
+                    tables.invalid.insert(
+                        key,
+                        "datatype definition references an unknown field type".to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for (win, (comm, parts)) in win_parts {
+        if let Some(members) = tables.comms.get(&comm) {
+            if members.iter().all(|m| parts.contains(m)) {
+                tables.complete_wins.insert(win, members.clone());
+            }
+        }
+    }
+    tables
+}
+
+/// Why (if at all) an event must be dropped. `None` means keep.
+fn drop_reason(tables: &Tables, rank: usize, idx: usize, kind: &EventKind) -> Option<String> {
+    let win_members = |win: &WinId| tables.complete_wins.get(win);
+    let comm_members = |comm: &CommId| tables.comms.get(comm);
+    match kind {
+        EventKind::GroupIncl { .. }
+        | EventKind::CommGroup { .. }
+        | EventKind::CommCreate { .. }
+        | EventKind::TypeContiguous { .. }
+        | EventKind::TypeVector { .. }
+        | EventKind::TypeStruct { .. } => tables.invalid.get(&(rank, idx)).cloned(),
+        EventKind::WinCreate { win, .. }
+        | EventKind::Fence { win }
+        | EventKind::WinFree { win } => {
+            win_members(win).is_none().then(|| format!("{} on incomplete {win}", kind.call_name()))
+        }
+        EventKind::Lock { win, target, .. }
+        | EventKind::Unlock { win, target }
+        | EventKind::Flush { win, target } => match win_members(win) {
+            None => Some(format!("{} on incomplete {win}", kind.call_name())),
+            Some(m) if target.0 as usize >= m.len() => {
+                Some(format!("{} target {target} out of range for {win}", kind.call_name()))
+            }
+            Some(_) => None,
+        },
+        EventKind::Rma(op) | EventKind::RmaReq { op, .. } => match win_members(&op.win) {
+            None => Some(format!("{} on incomplete {}", kind.call_name(), op.win)),
+            Some(m) if op.target.0 as usize >= m.len() => Some(format!(
+                "{} target {} out of range for {}",
+                kind.call_name(),
+                op.target,
+                op.win
+            )),
+            Some(_) if !dtype_ok(tables, rank, op.origin_dtype) => {
+                Some(format!("{} uses unknown {}", kind.call_name(), op.origin_dtype))
+            }
+            Some(_) if !dtype_ok(tables, rank, op.target_dtype) => {
+                Some(format!("{} uses unknown {}", kind.call_name(), op.target_dtype))
+            }
+            Some(_) => None,
+        },
+        EventKind::RmaAtomic(op) => match win_members(&op.win) {
+            None => Some(format!("{} on incomplete {}", kind.call_name(), op.win)),
+            Some(m) if op.target.0 as usize >= m.len() => Some(format!(
+                "{} target {} out of range for {}",
+                kind.call_name(),
+                op.target,
+                op.win
+            )),
+            Some(_) if op.dtype.primitive_size().is_none() => {
+                Some(format!("{} uses non-primitive {}", kind.call_name(), op.dtype))
+            }
+            Some(_) => None,
+        },
+        EventKind::Send { comm, to, .. } | EventKind::Isend { comm, to, .. } => {
+            match comm_members(comm) {
+                None => Some(format!("{} on unknown {comm}", kind.call_name())),
+                Some(m) if to.0 as usize >= m.len() => {
+                    Some(format!("{} peer {to} out of range for {comm}", kind.call_name()))
+                }
+                Some(_) => None,
+            }
+        }
+        EventKind::Recv { comm, from, .. } | EventKind::Irecv { comm, from, .. } => {
+            match comm_members(comm) {
+                None => Some(format!("{} on unknown {comm}", kind.call_name())),
+                Some(m) if from.0 as usize >= m.len() => {
+                    Some(format!("{} peer {from} out of range for {comm}", kind.call_name()))
+                }
+                Some(_) => None,
+            }
+        }
+        EventKind::Bcast { comm, root, .. } | EventKind::Reduce { comm, root, .. } => {
+            match comm_members(comm) {
+                None => Some(format!("{} on unknown {comm}", kind.call_name())),
+                Some(m) if root.0 as usize >= m.len() => {
+                    Some(format!("{} root {root} out of range for {comm}", kind.call_name()))
+                }
+                Some(_) => None,
+            }
+        }
+        EventKind::Barrier { comm } | EventKind::Allreduce { comm, .. } => {
+            comm_members(comm).is_none().then(|| format!("{} on unknown {comm}", kind.call_name()))
+        }
+        EventKind::Post { group, .. } | EventKind::Start { group, .. } => (!tables.groups[rank]
+            .contains_key(group))
+        .then(|| format!("{} references unknown {group}", kind.call_name())),
+        // Safe everywhere: closes are no-ops when nothing is open, waits
+        // on unknown requests are ignored, and local accesses and query
+        // calls reference nothing.
+        EventKind::LockAll { .. }
+        | EventKind::UnlockAll { .. }
+        | EventKind::FlushAll { .. }
+        | EventKind::Complete { .. }
+        | EventKind::WaitWin { .. }
+        | EventKind::WaitReq { .. }
+        | EventKind::CommRank { .. }
+        | EventKind::CommSize { .. }
+        | EventKind::Load { .. }
+        | EventKind::Store { .. } => None,
+    }
+}
+
+/// Passive-target sub-epoch state during closure synthesis.
+struct PassiveOpen {
+    /// Relative target of the original `Lock`; `None` for a lock_all
+    /// sub-epoch (closed by a single `UnlockAll` instead).
+    lock_target_rel: Option<Rank>,
+    has_ops: bool,
+}
+
+/// Pass 3: replay the epoch-extraction state machine over one rank's kept
+/// events and append synthetic closes for whatever is still open.
+fn synthesize_closure(
+    rank: Rank,
+    events: &mut Vec<Event>,
+    tables: &Tables,
+    info: &mut DegradedInfo,
+) {
+    let mut fence_pending: HashMap<u32, bool> = HashMap::new();
+    let mut passive: HashMap<(u32, u32), PassiveOpen> = HashMap::new();
+    let mut lock_all_open: HashSet<u32> = HashSet::new();
+    let mut access_open: HashMap<u32, bool> = HashMap::new();
+    let mut exposure_open: HashSet<u32> = HashSet::new();
+    let abs = |win: &WinId, rel: Rank| -> u32 {
+        // Kept events passed the range checks, so the lookups succeed.
+        tables.complete_wins[win][rel.0 as usize].0
+    };
+
+    for event in events.iter() {
+        match &event.kind {
+            EventKind::Rma(op) | EventKind::RmaReq { op, .. } => {
+                attribute_op(
+                    op.win,
+                    abs(&op.win, op.target),
+                    &mut fence_pending,
+                    &mut passive,
+                    &lock_all_open,
+                    &mut access_open,
+                );
+            }
+            EventKind::RmaAtomic(op) => {
+                attribute_op(
+                    op.win,
+                    abs(&op.win, op.target),
+                    &mut fence_pending,
+                    &mut passive,
+                    &lock_all_open,
+                    &mut access_open,
+                );
+            }
+            EventKind::Fence { win } => {
+                fence_pending.insert(win.0, false);
+            }
+            EventKind::Lock { win, target, .. } => {
+                passive.insert(
+                    (win.0, abs(win, *target)),
+                    PassiveOpen { lock_target_rel: Some(*target), has_ops: false },
+                );
+            }
+            EventKind::Unlock { win, target } => {
+                passive.remove(&(win.0, abs(win, *target)));
+            }
+            EventKind::LockAll { win } => {
+                lock_all_open.insert(win.0);
+            }
+            EventKind::UnlockAll { win } => {
+                lock_all_open.remove(&win.0);
+                passive.retain(|(w, _), _| *w != win.0);
+            }
+            EventKind::Flush { win, target } => {
+                if let Some(p) = passive.get_mut(&(win.0, abs(win, *target))) {
+                    p.has_ops = false;
+                }
+            }
+            EventKind::FlushAll { win } => {
+                for ((w, _), p) in passive.iter_mut() {
+                    if *w == win.0 {
+                        p.has_ops = false;
+                    }
+                }
+            }
+            EventKind::Start { win, .. } => {
+                access_open.insert(win.0, false);
+            }
+            EventKind::Complete { win } => {
+                access_open.remove(&win.0);
+            }
+            EventKind::Post { win, .. } => {
+                exposure_open.insert(win.0);
+            }
+            EventKind::WaitWin { win } => {
+                exposure_open.remove(&win.0);
+            }
+            _ => {}
+        }
+    }
+
+    let append = |events: &mut Vec<Event>, info: &mut DegradedInfo, kind: EventKind| {
+        info.synthesized.push((rank, format!("synthetic {} for an open epoch", kind.call_name())));
+        events.push(Event::new(kind, LocId::UNKNOWN));
+    };
+
+    // Deterministic order: per category, ascending window id. Collectives
+    // (fences) go last so passive/active epochs are closed first.
+    let mut unlocks: Vec<(u32, Rank)> = Vec::new();
+    let mut unlock_alls: HashSet<u32> = HashSet::new();
+    for (&(w, _), p) in &passive {
+        if !p.has_ops {
+            continue;
+        }
+        match p.lock_target_rel {
+            Some(rel) => unlocks.push((w, rel)),
+            None => {
+                unlock_alls.insert(w);
+            }
+        }
+    }
+    unlocks.sort_unstable_by_key(|&(w, rel)| (w, rel.0));
+    for (w, rel) in unlocks {
+        append(events, info, EventKind::Unlock { win: WinId(w), target: rel });
+    }
+    let mut unlock_alls: Vec<u32> = unlock_alls.into_iter().collect();
+    unlock_alls.sort_unstable();
+    for w in unlock_alls {
+        append(events, info, EventKind::UnlockAll { win: WinId(w) });
+    }
+    let mut completes: Vec<u32> =
+        access_open.iter().filter(|&(_, &ops)| ops).map(|(&w, _)| w).collect();
+    completes.sort_unstable();
+    for w in completes {
+        append(events, info, EventKind::Complete { win: WinId(w) });
+    }
+    let mut waits: Vec<u32> = exposure_open.into_iter().collect();
+    waits.sort_unstable();
+    for w in waits {
+        append(events, info, EventKind::WaitWin { win: WinId(w) });
+    }
+    let mut fences: Vec<u32> =
+        fence_pending.iter().filter(|&(_, &ops)| ops).map(|(&w, _)| w).collect();
+    fences.sort_unstable();
+    for w in fences {
+        append(events, info, EventKind::Fence { win: WinId(w) });
+    }
+}
+
+/// Mirrors the epoch extractor's attribution of a one-sided op: passive
+/// sub-epoch first, then a lazily-opened lock_all sub-epoch, then the
+/// access epoch, then the ambient fence epoch.
+fn attribute_op(
+    win: WinId,
+    target_abs: u32,
+    fence_pending: &mut HashMap<u32, bool>,
+    passive: &mut HashMap<(u32, u32), PassiveOpen>,
+    lock_all_open: &HashSet<u32>,
+    access_open: &mut HashMap<u32, bool>,
+) {
+    let key = (win.0, target_abs);
+    if let Some(p) = passive.get_mut(&key) {
+        p.has_ops = true;
+    } else if lock_all_open.contains(&win.0) {
+        passive.insert(key, PassiveOpen { lock_target_rel: None, has_ops: true });
+    } else if let Some(ops) = access_open.get_mut(&win.0) {
+        *ops = true;
+    } else {
+        fence_pending.insert(win.0, true);
+    }
+}
+
+/// Repairs a damaged trace into one the full pipeline can analyze.
+///
+/// Returns the repaired trace plus a record of everything dropped or
+/// synthesized. The result is guaranteed not to trip any of the
+/// pipeline's internal consistency panics, whatever the input — this is
+/// the checker-side counterpart of the profiler's tolerant reader.
+pub fn sanitize(trace: &Trace) -> (Trace, DegradedInfo) {
+    let tables = build_tables(trace);
+    let mut info = DegradedInfo::default();
+    let mut out = Trace::new(trace.nprocs());
+
+    for (r, proc) in trace.procs.iter().enumerate() {
+        let dst = &mut out.procs[r];
+        dst.locs = proc.locs.clone();
+        for (idx, event) in proc.events.iter().enumerate() {
+            match drop_reason(&tables, r, idx, &event.kind) {
+                Some(reason) => info.dropped.push((Rank(r as u32), idx, reason)),
+                None => dst.events.push(event.clone()),
+            }
+        }
+    }
+    for (r, proc) in out.procs.iter_mut().enumerate() {
+        synthesize_closure(Rank(r as u32), &mut proc.events, &tables, &mut info);
+    }
+    (out, info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_types::{DatatypeId, RmaKind, RmaOp, TraceBuilder};
+
+    fn put(win: u32, target: u32, origin_addr: u64) -> EventKind {
+        EventKind::Rma(RmaOp {
+            kind: RmaKind::Put,
+            win: WinId(win),
+            target: Rank(target),
+            origin_addr,
+            origin_count: 1,
+            origin_dtype: DatatypeId::INT,
+            target_disp: 0,
+            target_count: 1,
+            target_dtype: DatatypeId::INT,
+        })
+    }
+
+    fn win_create(b: &mut TraceBuilder, rank: u32, win: u32) {
+        b.push(
+            Rank(rank),
+            EventKind::WinCreate { win: WinId(win), base: 64, len: 64, comm: CommId::WORLD },
+        );
+    }
+
+    #[test]
+    fn clean_trace_is_untouched() {
+        let mut b = TraceBuilder::new(2);
+        for r in 0..2 {
+            win_create(&mut b, r, 0);
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        b.push(Rank(0), put(0, 1, 200));
+        for r in 0..2 {
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        let trace = b.build();
+        let (out, info) = sanitize(&trace);
+        assert!(info.is_clean(), "{info}");
+        assert_eq!(out, trace);
+        assert!(info.summary().contains("no repair"));
+    }
+
+    #[test]
+    fn truncated_rank_gets_synthetic_fence() {
+        let mut b = TraceBuilder::new(2);
+        for r in 0..2 {
+            win_create(&mut b, r, 0);
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        b.push(Rank(0), put(0, 1, 200));
+        // Only rank 1 logged the closing fence; rank 0's log was torn.
+        b.push(Rank(1), EventKind::Fence { win: WinId(0) });
+        let (out, info) = sanitize(&b.build());
+        assert!(!info.is_clean());
+        assert!(info.dropped.is_empty());
+        assert_eq!(info.synthesized.len(), 1);
+        assert_eq!(info.synthesized[0].0, Rank(0));
+        let last = out.procs[0].events.last().unwrap();
+        assert_eq!(last.kind, EventKind::Fence { win: WinId(0) });
+        assert_eq!(last.loc, LocId::UNKNOWN);
+    }
+
+    #[test]
+    fn incomplete_window_drops_every_reference() {
+        // Rank 1 crashed before logging WinCreate: the window never
+        // completed, so every operation on it must go.
+        let mut b = TraceBuilder::new(2);
+        win_create(&mut b, 0, 0);
+        b.push(Rank(0), EventKind::Fence { win: WinId(0) });
+        b.push(Rank(0), put(0, 1, 200));
+        b.push(Rank(0), EventKind::Store { addr: 200, len: 4 });
+        let (out, info) = sanitize(&b.build());
+        assert_eq!(out.procs[0].events.len(), 1); // only the store survives
+        assert_eq!(info.dropped.len(), 3);
+        assert!(info.synthesized.is_empty());
+        assert!(info.dropped.iter().all(|(r, _, _)| *r == Rank(0)));
+        assert!(info.dropped[0].2.contains("win0"));
+    }
+
+    #[test]
+    fn out_of_range_rma_target_is_dropped() {
+        let mut b = TraceBuilder::new(2);
+        for r in 0..2 {
+            win_create(&mut b, r, 0);
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        b.push(Rank(0), put(0, 7, 200)); // target 7 of a 2-rank comm
+        for r in 0..2 {
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        let (out, info) = sanitize(&b.build());
+        assert_eq!(info.dropped.len(), 1);
+        assert!(info.dropped[0].2.contains("out of range"));
+        assert!(info.synthesized.is_empty());
+        assert!(out.procs[0].events.iter().all(|e| !e.kind.is_rma_op()));
+    }
+
+    #[test]
+    fn unknown_datatype_rma_is_dropped() {
+        let mut b = TraceBuilder::new(2);
+        for r in 0..2 {
+            win_create(&mut b, r, 0);
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        b.push(
+            Rank(0),
+            EventKind::Rma(RmaOp {
+                kind: RmaKind::Put,
+                win: WinId(0),
+                target: Rank(1),
+                origin_addr: 200,
+                origin_count: 1,
+                origin_dtype: DatatypeId(77), // never defined
+                target_disp: 0,
+                target_count: 1,
+                target_dtype: DatatypeId::INT,
+            }),
+        );
+        for r in 0..2 {
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        let (_, info) = sanitize(&b.build());
+        assert_eq!(info.dropped.len(), 1);
+        assert!(info.dropped[0].2.contains("unknown"));
+    }
+
+    #[test]
+    fn invalid_definition_chain_is_dropped() {
+        // GroupIncl on an unknown group fails; the Post that uses the
+        // group it would have defined then fails too.
+        let mut b = TraceBuilder::new(2);
+        b.push(Rank(0), EventKind::GroupIncl { old: GroupId(9), new: GroupId(1), ranks: vec![0] });
+        b.push(Rank(0), EventKind::Post { win: WinId(0), group: GroupId(1) });
+        let (out, info) = sanitize(&b.build());
+        assert!(out.procs[0].events.is_empty());
+        assert_eq!(info.dropped.len(), 2);
+        assert!(info.dropped[0].2.contains("unknown"));
+    }
+
+    #[test]
+    fn open_lock_epoch_gets_synthetic_unlock() {
+        let mut b = TraceBuilder::new(2);
+        for r in 0..2 {
+            win_create(&mut b, r, 0);
+        }
+        b.push(
+            Rank(0),
+            EventKind::Lock {
+                win: WinId(0),
+                target: Rank(1),
+                kind: mcc_types::LockKind::Exclusive,
+            },
+        );
+        b.push(Rank(0), put(0, 1, 200));
+        // No unlock: rank 0 died holding the lock.
+        let (out, info) = sanitize(&b.build());
+        assert_eq!(info.synthesized.len(), 1);
+        let last = out.procs[0].events.last().unwrap();
+        assert_eq!(last.kind, EventKind::Unlock { win: WinId(0), target: Rank(1) });
+    }
+
+    #[test]
+    fn open_pscw_epochs_get_synthetic_closes() {
+        let mut b = TraceBuilder::new(2);
+        for r in 0..2 {
+            win_create(&mut b, r, 0);
+        }
+        b.push(Rank(1), EventKind::Post { win: WinId(0), group: GroupId::WORLD });
+        b.push(Rank(0), EventKind::Start { win: WinId(0), group: GroupId::WORLD });
+        b.push(Rank(0), put(0, 1, 200));
+        let (out, info) = sanitize(&b.build());
+        assert_eq!(info.synthesized.len(), 2);
+        assert_eq!(out.procs[0].events.last().unwrap().kind, EventKind::Complete { win: WinId(0) });
+        assert_eq!(out.procs[1].events.last().unwrap().kind, EventKind::WaitWin { win: WinId(0) });
+    }
+
+    #[test]
+    fn open_lock_all_epoch_gets_synthetic_unlock_all() {
+        let mut b = TraceBuilder::new(2);
+        for r in 0..2 {
+            win_create(&mut b, r, 0);
+        }
+        b.push(Rank(0), EventKind::LockAll { win: WinId(0) });
+        b.push(Rank(0), put(0, 1, 200));
+        let (out, info) = sanitize(&b.build());
+        assert_eq!(info.synthesized.len(), 1);
+        assert_eq!(
+            out.procs[0].events.last().unwrap().kind,
+            EventKind::UnlockAll { win: WinId(0) }
+        );
+    }
+
+    #[test]
+    fn sanitized_trace_survives_the_full_pipeline() {
+        // The nastiest combination we can build by hand: missing
+        // WinCreate, unknown comm, out-of-range peers, undefined
+        // datatypes, and an unclosed epoch — then run the real checker.
+        let mut b = TraceBuilder::new(3);
+        win_create(&mut b, 0, 0);
+        win_create(&mut b, 1, 0); // rank 2 never creates win 0
+        for r in 0..3 {
+            win_create(&mut b, r, 1);
+            b.push(Rank(r), EventKind::Fence { win: WinId(1) });
+        }
+        b.push(Rank(0), put(0, 1, 200)); // incomplete window
+        b.push(Rank(0), put(1, 9, 200)); // bad target
+        b.push(
+            Rank(1),
+            EventKind::Send { comm: CommId(42), to: Rank(0), tag: mcc_types::Tag(0), bytes: 4 },
+        );
+        b.push(Rank(1), EventKind::Bcast { comm: CommId::WORLD, root: Rank(8), bytes: 4 });
+        b.push(Rank(2), put(1, 0, 100)); // fine, but its epoch never closes
+        let (out, info) = sanitize(&b.build());
+        assert!(!info.is_clean());
+        let report = crate::check::McChecker::new().check(&out);
+        assert!(report.stats.total_events > 0);
+    }
+}

@@ -139,19 +139,18 @@ pub fn extract(trace: &Trace, ctx: &crate::preprocess::Ctx) -> Epochs {
         }
         let mut reqs: HashMap<u64, (Bucket, EventRef)> = HashMap::new();
 
-        let finish =
-            |out: &mut Epochs, open: OpenEpoch, win: WinId, close: Option<EventRef>| {
-                // Keep only epochs that could matter: at least one RMA op.
-                if open.ops.is_empty() {
-                    return;
-                }
-                let (epoch, op_refs) = open.into_epoch(rank, win, close);
-                let idx = out.epochs.len();
-                for op in op_refs {
-                    out.of_op.insert(op, idx);
-                }
-                out.epochs.push(epoch);
-            };
+        let finish = |out: &mut Epochs, open: OpenEpoch, win: WinId, close: Option<EventRef>| {
+            // Keep only epochs that could matter: at least one RMA op.
+            if open.ops.is_empty() {
+                return;
+            }
+            let (epoch, op_refs) = open.into_epoch(rank, win, close);
+            let idx = out.epochs.len();
+            for op in op_refs {
+                out.of_op.insert(op, idx);
+            }
+            out.epochs.push(epoch);
+        };
 
         for (idx, event) in proc.events.iter().enumerate() {
             let er = EventRef::new(rank, idx);

@@ -21,11 +21,10 @@ use crate::dag::Dag;
 use crate::epoch::{EpochKind, Epochs};
 use crate::preprocess::Ctx;
 use crate::regions::Regions;
-use crate::report::{ConsistencyError, ErrorScope, OpInfo, Severity};
+use crate::report::{Confidence, ConsistencyError, ErrorScope, OpInfo, Severity};
 use crate::vc::Clocks;
 use mcc_types::{
-    conflicts, AccessClass, DataMap, EventKind, EventRef, LockKind, MemRegion, Rank,
-    Trace, WinId,
+    conflicts, AccessClass, DataMap, EventKind, EventRef, LockKind, MemRegion, Rank, Trace, WinId,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -114,7 +113,12 @@ fn detect_region(
                     ConsistencyError {
                         severity: severity(&[prior.lock, lock]),
                         scope: ErrorScope::CrossProcess { win: ra.win, target: ra.target_abs },
-                        a: OpInfo::from_trace(trace, prior.ev, Some(prior.map.bounding_region_at(0))),
+                        confidence: Confidence::Complete,
+                        a: OpInfo::from_trace(
+                            trace,
+                            prior.ev,
+                            Some(prior.map.bounding_region_at(0)),
+                        ),
                         b: OpInfo::from_trace(trace, er, Some(ra.target_map.bounding_region_at(0))),
                         kind,
                         explanation: format!(
@@ -162,7 +166,12 @@ fn detect_region(
                         ConsistencyError {
                             severity: severity(&[stored.lock]),
                             scope: ErrorScope::CrossProcess { win, target: er.rank },
-                            a: OpInfo::from_trace(trace, stored.ev, Some(stored.map.bounding_region_at(0))),
+                            confidence: Confidence::Complete,
+                            a: OpInfo::from_trace(
+                                trace,
+                                stored.ev,
+                                Some(stored.map.bounding_region_at(0)),
+                            ),
                             b: OpInfo::from_trace(trace, er, Some(access)),
                             kind,
                             explanation: format!(
@@ -243,9 +252,7 @@ pub fn detect_naive(
                         .wins_of_rank(er.rank)
                         .into_iter()
                         .filter(|(_, wr)| wr.overlaps(access))
-                        .map(|(w, _)| {
-                            (w, er.rank, DataMap::contiguous(*len).shifted(*addr))
-                        })
+                        .map(|(w, _)| (w, er.rank, DataMap::contiguous(*len).shifted(*addr)))
                         .collect();
                     if touches.is_empty() {
                         continue;
@@ -283,6 +290,7 @@ pub fn detect_naive(
                             let e = ConsistencyError {
                                 severity: severity(&[a.lock, b.lock]),
                                 scope: ErrorScope::CrossProcess { win: *wa, target: *ta },
+                                confidence: Confidence::Complete,
                                 a: OpInfo::from_trace(trace, a.er, Some(ma.bounding_region_at(0))),
                                 b: OpInfo::from_trace(trace, b.er, Some(mb.bounding_region_at(0))),
                                 kind,
@@ -436,7 +444,11 @@ mod tests {
         let mut b = scaffold(2);
         b.push(Rank(0), rma(RmaKind::Put, 200, 1, 0));
         // Rank 1 stores into its own window (base 64) concurrently.
-        b.push_at(Rank(1), EventKind::Store { addr: 64, len: 4 }, SourceLoc::new("fig2d.c", 9, "main"));
+        b.push_at(
+            Rank(1),
+            EventKind::Store { addr: 64, len: 4 },
+            SourceLoc::new("fig2d.c", 9, "main"),
+        );
         close_fence(&mut b, 2);
         let errors = Pipeline { trace: b.build() }.run();
         assert_eq!(errors.len(), 1);

@@ -19,7 +19,7 @@
 
 use crate::epoch::{Epoch, Epochs};
 use crate::preprocess::{Ctx, ResolvedAccess};
-use crate::report::{ConsistencyError, ErrorScope, OpInfo, Severity};
+use crate::report::{Confidence, ConsistencyError, ErrorScope, OpInfo, Severity};
 use mcc_types::{compat, conflicts, ConflictKind, EventKind, EventRef, MemRegion, Trace};
 use std::collections::HashSet;
 
@@ -87,6 +87,7 @@ fn check_epoch(
                     ConsistencyError {
                         severity: Severity::Error,
                         scope: ErrorScope::IntraEpoch { rank: epoch.rank, win: epoch.win },
+                        confidence: Confidence::Complete,
                         a: op_info(trace, a, true),
                         b: op_info(trace, b, true),
                         kind: ConflictKind::OverlapViolation,
@@ -108,6 +109,7 @@ fn check_epoch(
                         ConsistencyError {
                             severity: Severity::Error,
                             scope: ErrorScope::IntraEpoch { rank: epoch.rank, win: epoch.win },
+                            confidence: Confidence::Complete,
                             a: op_info(trace, a, false),
                             b: op_info(trace, b, false),
                             kind,
@@ -150,6 +152,7 @@ fn check_epoch(
                     ConsistencyError {
                         severity: Severity::Error,
                         scope: ErrorScope::IntraEpoch { rank: epoch.rank, win: epoch.win },
+                        confidence: Confidence::Complete,
                         a: op_info(trace, op, true),
                         b: OpInfo::from_trace(trace, acc, Some(region)),
                         kind: ConflictKind::OverlapViolation,
@@ -171,7 +174,11 @@ fn check_epoch(
 
 fn op_info(trace: &Trace, op: &ResolvedOp, origin_side: bool) -> OpInfo {
     let map = if origin_side {
-        if op.ra.writes.is_empty() { &op.ra.reads } else { &op.ra.writes }
+        if op.ra.writes.is_empty() {
+            &op.ra.reads
+        } else {
+            &op.ra.writes
+        }
     } else {
         &op.ra.target_map
     };
@@ -238,7 +245,11 @@ mod tests {
         let mut b = TraceBuilder::new(2);
         scaffold(&mut b, 2);
         b.push_at(Rank(0), rma(RmaKind::Put, 200, 1, 0, 1), SourceLoc::new("fig2a.c", 3, "main"));
-        b.push_at(Rank(0), EventKind::Store { addr: 200, len: 4 }, SourceLoc::new("fig2a.c", 4, "main"));
+        b.push_at(
+            Rank(0),
+            EventKind::Store { addr: 200, len: 4 },
+            SourceLoc::new("fig2a.c", 4, "main"),
+        );
         close(&mut b, 2);
         let errors = run(&b.build());
         assert_eq!(errors.len(), 1);
@@ -257,7 +268,11 @@ mod tests {
         let mut b = TraceBuilder::new(2);
         scaffold(&mut b, 2);
         b.push_at(Rank(0), rma(RmaKind::Get, 200, 1, 0, 1), SourceLoc::new("bt.c", 5, "main"));
-        b.push_at(Rank(0), EventKind::Load { addr: 200, len: 4 }, SourceLoc::new("bt.c", 4, "main"));
+        b.push_at(
+            Rank(0),
+            EventKind::Load { addr: 200, len: 4 },
+            SourceLoc::new("bt.c", 4, "main"),
+        );
         close(&mut b, 2);
         let errors = run(&b.build());
         assert_eq!(errors.len(), 1);
@@ -367,7 +382,11 @@ mod tests {
         scaffold(&mut b, 2);
         for _ in 0..10 {
             b.push_at(Rank(0), rma(RmaKind::Get, 200, 1, 0, 1), SourceLoc::new("x.c", 5, "f"));
-            b.push_at(Rank(0), EventKind::Load { addr: 200, len: 4 }, SourceLoc::new("x.c", 4, "f"));
+            b.push_at(
+                Rank(0),
+                EventKind::Load { addr: 200, len: 4 },
+                SourceLoc::new("x.c", 4, "f"),
+            );
         }
         close(&mut b, 2);
         let errors = run(&b.build());

@@ -3,6 +3,7 @@
 
 pub mod check;
 pub mod dag;
+pub mod degrade;
 pub mod epoch;
 pub mod inter;
 pub mod intra;
@@ -14,5 +15,6 @@ pub mod streaming;
 pub mod vc;
 
 pub use check::{CheckOptions, CheckReport, McChecker};
-pub use report::{ConsistencyError, ErrorScope, OpInfo, Severity};
+pub use degrade::{sanitize, DegradedInfo};
+pub use report::{Confidence, ConsistencyError, ErrorScope, OpInfo, Severity};
 pub use streaming::{StreamingChecker, StreamingStats};

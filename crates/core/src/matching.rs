@@ -103,14 +103,11 @@ pub fn match_sync(trace: &Trace, ctx: &Ctx) -> Matching {
     // advanced one entry per step (Algorithm 1 lines 2–11).
     #[allow(clippy::while_let_loop)] // the loop body is clearer unrolled
     loop {
-        let Some(r) = (0..n)
-            .filter(|&r| pos[r] < totals[r])
-            .min_by(|&a, &b| {
-                let pa = pos[a] as f64 / totals[a].max(1) as f64;
-                let pb = pos[b] as f64 / totals[b].max(1) as f64;
-                pa.partial_cmp(&pb).expect("progress is never NaN")
-            })
-        else {
+        let Some(r) = (0..n).filter(|&r| pos[r] < totals[r]).min_by(|&a, &b| {
+            let pa = pos[a] as f64 / totals[a].max(1) as f64;
+            let pb = pos[b] as f64 / totals[b].max(1) as f64;
+            pa.partial_cmp(&pb).expect("progress is never NaN")
+        }) else {
             break;
         };
         let rank = Rank(r as u32);
@@ -136,7 +133,9 @@ pub fn match_sync(trace: &Trace, ctx: &Ctx) -> Matching {
                     EventKind::Reduce { comm, root, .. } => {
                         (*comm, None, CollKind::AllToRoot(ctx.abs_rank(*comm, *root)))
                     }
-                    EventKind::WinCreate { comm, win, .. } => (*comm, Some(*win), CollKind::AllToAll),
+                    EventKind::WinCreate { comm, win, .. } => {
+                        (*comm, Some(*win), CollKind::AllToAll)
+                    }
                     EventKind::WinFree { win } | EventKind::Fence { win } => {
                         let comm = ctx.wins[win].comm;
                         (comm, Some(*win), CollKind::AllToAll)
@@ -342,8 +341,14 @@ mod tests {
         let m = match_sync(&t, &ctx);
         assert_eq!(m.collectives.len(), 2);
         assert!(m.unmatched.is_empty());
-        assert_eq!(m.collectives[0].events, vec![EventRef::new(Rank(0), 0), EventRef::new(Rank(1), 0)]);
-        assert_eq!(m.collectives[1].events, vec![EventRef::new(Rank(0), 1), EventRef::new(Rank(1), 1)]);
+        assert_eq!(
+            m.collectives[0].events,
+            vec![EventRef::new(Rank(0), 0), EventRef::new(Rank(1), 0)]
+        );
+        assert_eq!(
+            m.collectives[1].events,
+            vec![EventRef::new(Rank(0), 1), EventRef::new(Rank(1), 1)]
+        );
         assert!(m.collectives[0].global);
     }
 
@@ -352,10 +357,22 @@ mod tests {
         let mut b = TraceBuilder::new(2);
         // Rank 0 sends tag 1 then tag 2; rank 1 receives tag 2 then tag 1
         // (tag-selective matching, not FIFO across tags).
-        b.push(Rank(0), EventKind::Send { comm: CommId::WORLD, to: Rank(1), tag: Tag(1), bytes: 4 });
-        b.push(Rank(0), EventKind::Send { comm: CommId::WORLD, to: Rank(1), tag: Tag(2), bytes: 4 });
-        b.push(Rank(1), EventKind::Recv { comm: CommId::WORLD, from: Rank(0), tag: Tag(2), bytes: 4 });
-        b.push(Rank(1), EventKind::Recv { comm: CommId::WORLD, from: Rank(0), tag: Tag(1), bytes: 4 });
+        b.push(
+            Rank(0),
+            EventKind::Send { comm: CommId::WORLD, to: Rank(1), tag: Tag(1), bytes: 4 },
+        );
+        b.push(
+            Rank(0),
+            EventKind::Send { comm: CommId::WORLD, to: Rank(1), tag: Tag(2), bytes: 4 },
+        );
+        b.push(
+            Rank(1),
+            EventKind::Recv { comm: CommId::WORLD, from: Rank(0), tag: Tag(2), bytes: 4 },
+        );
+        b.push(
+            Rank(1),
+            EventKind::Recv { comm: CommId::WORLD, from: Rank(0), tag: Tag(1), bytes: 4 },
+        );
         let t = b.build();
         let ctx = preprocess(&t);
         let m = match_sync(&t, &ctx);
@@ -369,7 +386,10 @@ mod tests {
     fn unmatched_surfaced() {
         let mut b = TraceBuilder::new(2);
         b.push(Rank(0), barrier(CommId::WORLD)); // rank 1 never joins
-        b.push(Rank(0), EventKind::Send { comm: CommId::WORLD, to: Rank(1), tag: Tag(9), bytes: 1 });
+        b.push(
+            Rank(0),
+            EventKind::Send { comm: CommId::WORLD, to: Rank(1), tag: Tag(9), bytes: 1 },
+        );
         let t = b.build();
         let ctx = preprocess(&t);
         let m = match_sync(&t, &ctx);
@@ -426,10 +446,25 @@ mod tests {
     fn pscw_edges() {
         let mut b = TraceBuilder::new(2);
         // Rank 0: start(group{1}), complete. Rank 1: post(group{0}), wait.
-        b.push(Rank(0), EventKind::GroupIncl { old: mcc_types::GroupId::WORLD, new: mcc_types::GroupId(3), ranks: vec![1] });
-        let start = b.push(Rank(0), EventKind::Start { win: WinId(0), group: mcc_types::GroupId(3) });
+        b.push(
+            Rank(0),
+            EventKind::GroupIncl {
+                old: mcc_types::GroupId::WORLD,
+                new: mcc_types::GroupId(3),
+                ranks: vec![1],
+            },
+        );
+        let start =
+            b.push(Rank(0), EventKind::Start { win: WinId(0), group: mcc_types::GroupId(3) });
         let complete = b.push(Rank(0), EventKind::Complete { win: WinId(0) });
-        b.push(Rank(1), EventKind::GroupIncl { old: mcc_types::GroupId::WORLD, new: mcc_types::GroupId(4), ranks: vec![0] });
+        b.push(
+            Rank(1),
+            EventKind::GroupIncl {
+                old: mcc_types::GroupId::WORLD,
+                new: mcc_types::GroupId(4),
+                ranks: vec![0],
+            },
+        );
         let post = b.push(Rank(1), EventKind::Post { win: WinId(0), group: mcc_types::GroupId(4) });
         let wait = b.push(Rank(1), EventKind::WaitWin { win: WinId(0) });
         let t = b.build();

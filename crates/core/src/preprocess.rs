@@ -10,8 +10,8 @@
 //! per-window table of each member's exposed buffer.
 
 use mcc_types::{
-    AccessClass, AtomicOp, CommId, DataMap, DatatypeId, EventKind, EventRef, GroupId,
-    MemRegion, Rank, RmaOp, Trace, WinId,
+    AccessClass, AtomicOp, CommId, DataMap, DatatypeId, EventKind, EventRef, GroupId, MemRegion,
+    Rank, RmaOp, Trace, WinId,
 };
 use std::collections::HashMap;
 
@@ -115,11 +115,8 @@ impl Ctx {
 
     /// All windows that expose memory of `abs`, with their regions.
     pub fn wins_of_rank(&self, abs: Rank) -> Vec<(WinId, MemRegion)> {
-        let mut out: Vec<(WinId, MemRegion)> = self
-            .wins
-            .keys()
-            .filter_map(|&w| self.win_region(w, abs).map(|r| (w, r)))
-            .collect();
+        let mut out: Vec<(WinId, MemRegion)> =
+            self.wins.keys().filter_map(|&w| self.win_region(w, abs).map(|r| (w, r))).collect();
         out.sort_by_key(|(w, _)| *w);
         out
     }
@@ -189,7 +186,9 @@ impl Ctx {
     /// events.
     pub fn resolve_rma_event(&self, origin: Rank, kind: &EventKind) -> Option<ResolvedAccess> {
         match kind {
-            EventKind::Rma(op) | EventKind::RmaReq { op, .. } => Some(self.resolve_plain(origin, op)),
+            EventKind::Rma(op) | EventKind::RmaReq { op, .. } => {
+                Some(self.resolve_plain(origin, op))
+            }
             EventKind::RmaAtomic(op) => Some(self.resolve_atomic(origin, op)),
             _ => None,
         }
@@ -222,9 +221,7 @@ impl Ctx {
         if let Some(cmp) = op.compare_addr {
             reads.push(span.clone().shifted(cmp));
         }
-        let reads = DataMap::from_segments(
-            reads.iter().flat_map(|m| m.segments().iter().copied()),
-        );
+        let reads = DataMap::from_segments(reads.iter().flat_map(|m| m.segments().iter().copied()));
         let writes = span.clone().shifted(op.result_addr);
         ResolvedAccess {
             win: op.win,
@@ -265,8 +262,7 @@ pub fn preprocess(trace: &Trace) -> Ctx {
                     .get(old)
                     .cloned()
                     .unwrap_or_else(|| panic!("{rank}: GroupIncl references unknown {old}"));
-                let members: Vec<Rank> =
-                    ranks.iter().map(|&r| old_members[r as usize]).collect();
+                let members: Vec<Rank> = ranks.iter().map(|&r| old_members[r as usize]).collect();
                 ctx.groups[rank.idx()].insert(*new, members);
             }
             EventKind::CommGroup { comm, group } => {
@@ -300,10 +296,8 @@ pub fn preprocess(trace: &Trace) -> Ctx {
                 let block = info.map.tiled(*blocklen as u64);
                 let span = block.span();
                 let one = block.with_extent((info.map.extent() * *stride as u64).max(span));
-                ctx.dtypes[rank.idx()].insert(
-                    *new,
-                    DtypeInfo { map: one.tiled(*count as u64), basic: info.basic },
-                );
+                ctx.dtypes[rank.idx()]
+                    .insert(*new, DtypeInfo { map: one.tiled(*count as u64), basic: info.basic });
             }
             EventKind::TypeStruct { new, fields } => {
                 let mut parts = Vec::with_capacity(fields.len());
@@ -337,9 +331,10 @@ pub fn preprocess(trace: &Trace) -> Ctx {
         let ranks = members
             .iter()
             .map(|m| {
-                parts.get(m).copied().unwrap_or_else(|| {
-                    panic!("window {win}: member {m} logged no WinCreate")
-                })
+                parts
+                    .get(m)
+                    .copied()
+                    .unwrap_or_else(|| panic!("window {win}: member {m} logged no WinCreate"))
             })
             .collect();
         ctx.wins.insert(win, WinMeta { comm, ranks });
@@ -425,7 +420,10 @@ mod tests {
             EventKind::GroupIncl { old: GroupId::WORLD, new: GroupId(7), ranks: vec![0, 2, 4] },
         );
         // Relative to group 7: positions 1, 2 are world ranks 2, 4.
-        b.push(Rank(0), EventKind::GroupIncl { old: GroupId(7), new: GroupId(8), ranks: vec![1, 2] });
+        b.push(
+            Rank(0),
+            EventKind::GroupIncl { old: GroupId(7), new: GroupId(8), ranks: vec![1, 2] },
+        );
         let ctx = preprocess(&b.build());
         assert_eq!(ctx.groups[0][&GroupId(8)], vec![Rank(2), Rank(4)]);
     }

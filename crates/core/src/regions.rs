@@ -35,10 +35,7 @@ impl Regions {
 
     /// A single-region partition (the no-partitioning ablation).
     pub fn whole(trace: &Trace) -> Regions {
-        Regions {
-            count: 1,
-            of: trace.procs.iter().map(|p| vec![0; p.events.len()]).collect(),
-        }
+        Regions { count: 1, of: trace.procs.iter().map(|p| vec![0; p.events.len()]).collect() }
     }
 }
 

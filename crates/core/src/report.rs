@@ -29,6 +29,32 @@ impl fmt::Display for Severity {
     }
 }
 
+/// How much of the evidence behind a finding was actually observed.
+///
+/// Findings from an intact trace are [`Confidence::Complete`]. When the
+/// trace had to be repaired first (events dropped, epoch closes
+/// synthesized — see [`crate::degrade::sanitize`]) every finding is
+/// [`Confidence::Degraded`]: the conflict is real in what survived, but
+/// the lost tail could have contained synchronization that changes the
+/// verdict.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Confidence {
+    /// The whole trace was available and internally consistent.
+    #[default]
+    Complete,
+    /// The trace was truncated or damaged and analyzed in degraded mode.
+    Degraded,
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Confidence::Complete => f.write_str("complete"),
+            Confidence::Degraded => f.write_str("degraded"),
+        }
+    }
+}
+
 /// Where a conflict was found.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ErrorScope {
@@ -117,6 +143,8 @@ pub struct ConsistencyError {
     pub kind: ConflictKind,
     /// One-line explanation for the programmer.
     pub explanation: String,
+    /// Whether the finding comes from an intact or a repaired trace.
+    pub confidence: Confidence,
 }
 
 impl ConsistencyError {
@@ -136,6 +164,9 @@ impl ConsistencyError {
 impl fmt::Display for ConsistencyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}: memory consistency error {}", self.severity, self.scope)?;
+        if self.confidence == Confidence::Degraded {
+            writeln!(f, "  confidence: degraded (analyzed from a damaged trace)")?;
+        }
         writeln!(f, "  (1) {}", self.a)?;
         writeln!(f, "  (2) {}", self.b)?;
         writeln!(f, "  rule: {}", self.kind)?;
@@ -168,6 +199,7 @@ mod tests {
             b: OpInfo::from_trace(&t, c, None),
             kind: ConflictKind::OverlapViolation,
             explanation: "test".into(),
+            confidence: Confidence::Complete,
         }
     }
 

@@ -85,10 +85,9 @@ impl StreamingChecker {
             | EventKind::Bcast { comm, .. }
             | EventKind::Reduce { comm, .. }
             | EventKind::Allreduce { comm, .. } => self.world_comms.contains(comm),
-            EventKind::Fence { win } | EventKind::WinFree { win } => self
-                .win_comm
-                .get(win)
-                .is_some_and(|c| self.world_comms.contains(c)),
+            EventKind::Fence { win } | EventKind::WinFree { win } => {
+                self.win_comm.get(win).is_some_and(|c| self.world_comms.contains(c))
+            }
             EventKind::WinCreate { comm, .. } => self.world_comms.contains(comm),
             _ => false,
         }

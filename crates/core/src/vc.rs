@@ -189,8 +189,14 @@ mod tests {
     fn send_recv_orders_only_that_direction() {
         let mut b = TraceBuilder::new(2);
         let s_pre = b.push(Rank(0), EventKind::Store { addr: 64, len: 4 });
-        b.push(Rank(0), EventKind::Send { comm: CommId::WORLD, to: Rank(1), tag: Tag(0), bytes: 4 });
-        b.push(Rank(1), EventKind::Recv { comm: CommId::WORLD, from: Rank(0), tag: Tag(0), bytes: 4 });
+        b.push(
+            Rank(0),
+            EventKind::Send { comm: CommId::WORLD, to: Rank(1), tag: Tag(0), bytes: 4 },
+        );
+        b.push(
+            Rank(1),
+            EventKind::Recv { comm: CommId::WORLD, from: Rank(0), tag: Tag(0), bytes: 4 },
+        );
         let r_post = b.push(Rank(1), EventKind::Load { addr: 64, len: 4 });
         let t = b.build();
         let ctx = preprocess(&t);

@@ -35,16 +35,34 @@ enum RoundKind {
 enum FreeAction {
     Load(u64),
     Store(u64),
-    Put { target: u32, disp: u64 },
-    Get { target: u32, disp: u64 },
-    LockPutUnlock { target: u32, disp: u64 },
+    Put {
+        target: u32,
+        disp: u64,
+    },
+    Get {
+        target: u32,
+        disp: u64,
+    },
+    LockPutUnlock {
+        target: u32,
+        disp: u64,
+    },
     /// MPI-3: lock_all; put; flush(target); put; unlock_all.
-    LockAllFlush { target: u32, disp: u64 },
+    LockAllFlush {
+        target: u32,
+        disp: u64,
+    },
     /// MPI-3: request-based put completed by an MPI_Wait (inside a
     /// fence epoch).
-    RputWait { target: u32, disp: u64 },
+    RputWait {
+        target: u32,
+        disp: u64,
+    },
     /// MPI-3 atomic inside a lock_all epoch.
-    Atomic { target: u32, disp: u64 },
+    Atomic {
+        target: u32,
+        disp: u64,
+    },
     Idle,
 }
 
@@ -118,7 +136,12 @@ fn build_trace(nprocs: u32, rounds: &[RoundKind]) -> Trace {
                     let to = (r + 1) % nprocs;
                     b.push(
                         Rank(r),
-                        EventKind::Send { comm: CommId::WORLD, to: Rank(to), tag: Tag(*tag), bytes: 4 },
+                        EventKind::Send {
+                            comm: CommId::WORLD,
+                            to: Rank(to),
+                            tag: Tag(*tag),
+                            bytes: 4,
+                        },
                     );
                 }
                 for r in 0..nprocs {

@@ -1,5 +1,93 @@
 //! Run configuration for the simulator.
 
+use std::time::Duration;
+
+/// One injected fault. Faults are deterministic given the run seed, so a
+/// failing fault-injection run can always be replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// `rank` aborts (panics with a typed payload) once it has logged
+    /// `after_events` instrumented events. Models a process crash.
+    RankAbort {
+        /// The rank to kill.
+        rank: u32,
+        /// How many instrumented events the rank logs before dying.
+        after_events: u64,
+    },
+    /// `rank` parks forever at its `nth_sync`-th synchronization call
+    /// (0-based) instead of performing it. Models a rank that skips a
+    /// fence/barrier: with a watchdog configured the run ends in
+    /// [`crate::SimError::Deadlock`] instead of hanging.
+    HangAtSync {
+        /// The rank to hang.
+        rank: u32,
+        /// Index of the synchronization call to hang at.
+        nth_sync: u64,
+    },
+    /// Each RMA operation issued by `rank` loses its memory effect with
+    /// probability `percent`/100 (from the seeded fault RNG). The call is
+    /// still logged, so the trace and memory disagree — the profiler and
+    /// checker must cope.
+    DropRma {
+        /// The origin rank whose operations are lossy.
+        rank: u32,
+        /// Drop probability in percent (0–100).
+        percent: u8,
+    },
+    /// Each RMA operation issued by `rank` is delayed to the closing
+    /// synchronization with probability `percent`/100, even under
+    /// [`DeliveryPolicy::Eager`]. Strictly legal per MPI, but it defeats
+    /// the eager delivery that masks read-before-complete bugs.
+    DelayRma {
+        /// The origin rank whose operations are delayed.
+        rank: u32,
+        /// Delay probability in percent (0–100).
+        percent: u8,
+    },
+}
+
+impl Fault {
+    /// The rank this fault is injected into.
+    pub fn rank(&self) -> u32 {
+        match *self {
+            Fault::RankAbort { rank, .. }
+            | Fault::HangAtSync { rank, .. }
+            | Fault::DropRma { rank, .. }
+            | Fault::DelayRma { rank, .. } => rank,
+        }
+    }
+}
+
+/// The set of faults injected into one run. Empty by default.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The individual faults.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault.
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Faults targeting `rank`.
+    pub fn for_rank(&self, rank: u32) -> impl Iterator<Item = &Fault> {
+        self.faults.iter().filter(move |f| f.rank() == rank)
+    }
+}
+
 /// When a nonblocking RMA operation's memory effect is applied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeliveryPolicy {
@@ -51,6 +139,13 @@ pub struct SimConfig {
     pub keep_events: bool,
     /// Bytes of arena pre-allocated per rank.
     pub arena_bytes: u64,
+    /// Faults to inject (empty by default).
+    pub faults: FaultPlan,
+    /// Deadlock watchdog: when set, a monitor thread declares
+    /// [`crate::SimError::Deadlock`] if no rank makes progress for this
+    /// long while every live rank is blocked on a synchronization
+    /// primitive. `None` (the default) disables the watchdog.
+    pub watchdog: Option<Duration>,
 }
 
 impl SimConfig {
@@ -64,6 +159,8 @@ impl SimConfig {
             instrument: Instrument::Relevant,
             keep_events: true,
             arena_bytes: 1 << 20,
+            faults: FaultPlan::none(),
+            watchdog: None,
         }
     }
 
@@ -96,6 +193,24 @@ impl SimConfig {
         self.arena_bytes = bytes;
         self
     }
+
+    /// Adds one injected fault.
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.faults.faults.push(fault);
+        self
+    }
+
+    /// Replaces the whole fault plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Enables the deadlock watchdog with the given timeout.
+    pub fn with_watchdog(mut self, timeout: Duration) -> Self {
+        self.watchdog = Some(timeout);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -124,5 +239,22 @@ mod tests {
         assert_eq!(c.delivery, DeliveryPolicy::Adversarial);
         assert_eq!(c.instrument, Instrument::Relevant);
         assert!(c.keep_events);
+        assert!(c.faults.is_empty());
+        assert!(c.watchdog.is_none());
+    }
+
+    #[test]
+    fn fault_plan_builders() {
+        let c = SimConfig::new(4)
+            .with_fault(Fault::RankAbort { rank: 1, after_events: 10 })
+            .with_fault(Fault::HangAtSync { rank: 2, nth_sync: 0 })
+            .with_watchdog(Duration::from_millis(200));
+        assert_eq!(c.faults.faults.len(), 2);
+        assert_eq!(c.watchdog, Some(Duration::from_millis(200)));
+        let on_two: Vec<_> = c.faults.for_rank(2).collect();
+        assert_eq!(on_two, vec![&Fault::HangAtSync { rank: 2, nth_sync: 0 }]);
+        assert_eq!(c.faults.for_rank(3).count(), 0);
+        assert_eq!(Fault::DropRma { rank: 5, percent: 50 }.rank(), 5);
+        assert_eq!(Fault::DelayRma { rank: 6, percent: 50 }.rank(), 6);
     }
 }

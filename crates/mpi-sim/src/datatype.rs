@@ -60,10 +60,7 @@ impl TypeRegistry {
     pub fn contiguous(&mut self, count: u32, elem: DatatypeId) -> DatatypeId {
         let info = self.resolve(elem);
         let id = self.fresh();
-        self.derived.insert(
-            id,
-            TypeInfo { map: info.map.tiled(count as u64), basic: info.basic },
-        );
+        self.derived.insert(id, TypeInfo { map: info.map.tiled(count as u64), basic: info.basic });
         id
     }
 
@@ -103,10 +100,8 @@ impl TypeRegistry {
             parts.push((disp, info.map.tiled(count as u64)));
         }
         let id = self.fresh();
-        self.derived.insert(
-            id,
-            TypeInfo { map: DataMap::structured(parts), basic: basic.flatten() },
-        );
+        self.derived
+            .insert(id, TypeInfo { map: DataMap::structured(parts), basic: basic.flatten() });
         id
     }
 }

@@ -14,6 +14,23 @@ pub enum SimError {
     },
     /// The configuration was invalid (e.g. zero ranks).
     InvalidConfig(String),
+    /// The watchdog declared a deadlock: no rank made progress for the
+    /// configured timeout while every live rank was blocked. Carries, per
+    /// blocked rank, a description of the synchronization primitive it was
+    /// stuck on.
+    Deadlock {
+        /// `(rank, primitive)` for every rank that was blocked, in rank
+        /// order.
+        blocked: Vec<(u32, String)>,
+    },
+    /// A rank violated the simulator's MPI protocol rules (e.g. finished
+    /// with unsynchronized RMA operations in flight).
+    Protocol {
+        /// The offending rank.
+        rank: u32,
+        /// What was violated.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -23,6 +40,22 @@ impl fmt::Display for SimError {
                 write!(f, "rank {rank} panicked: {message}")
             }
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::Deadlock { blocked } => {
+                write!(f, "deadlock detected: ")?;
+                if blocked.is_empty() {
+                    return write!(f, "no rank made progress within the watchdog timeout");
+                }
+                for (i, (rank, primitive)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "rank {rank} blocked on {primitive}")?;
+                }
+                Ok(())
+            }
+            SimError::Protocol { rank, message } => {
+                write!(f, "rank {rank} violated the MPI protocol: {message}")
+            }
         }
     }
 }
@@ -39,5 +72,35 @@ mod tests {
         assert_eq!(e.to_string(), "rank 3 panicked: boom");
         let e = SimError::InvalidConfig("nprocs == 0".into());
         assert!(e.to_string().contains("nprocs"));
+    }
+
+    #[test]
+    fn deadlock_display_names_every_blocked_rank() {
+        let e = SimError::Deadlock {
+            blocked: vec![
+                (0, "fence(win 0)".into()),
+                (1, "fence(win 0)".into()),
+                (2, "injected hang at sync call #1".into()),
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("deadlock detected: "), "got {s}");
+        assert!(s.contains("rank 0 blocked on fence(win 0)"));
+        assert!(s.contains("rank 2 blocked on injected hang at sync call #1"));
+    }
+
+    #[test]
+    fn deadlock_display_with_no_witnesses() {
+        let e = SimError::Deadlock { blocked: Vec::new() };
+        assert!(e.to_string().contains("no rank made progress"), "got {e}");
+    }
+
+    #[test]
+    fn protocol_display_names_rank_and_violation() {
+        let e = SimError::Protocol { rank: 1, message: "unsynchronized RMA operations".into() };
+        assert_eq!(
+            e.to_string(),
+            "rank 1 violated the MPI protocol: unsynchronized RMA operations"
+        );
     }
 }

@@ -21,9 +21,9 @@
 //! `#[track_caller]`; [`Proc::set_func`] sets the routine name recorded in
 //! diagnostics.
 
-use crate::config::{DeliveryPolicy, Instrument};
+use crate::config::{DeliveryPolicy, Fault, Instrument, SimConfig};
 use crate::datatype::{TypeInfo, TypeRegistry};
-use crate::shared::{CollTag, Shared, WinInfo};
+use crate::shared::{AbortReason, BlockSite, CollTag, Shared, WinInfo, ABORT_POLL};
 use crate::tracer::EventSink;
 use mcc_types::{
     AtomicKind, AtomicOp, CommId, DataMap, DatatypeId, EventKind, GroupId, LocId, LockKind, Rank,
@@ -81,6 +81,24 @@ pub struct Proc {
     /// Posted nonblocking receives: req → receive arguments.
     irecv_open: HashMap<u64, PostedRecv>,
     next_req: u64,
+
+    // Fault-injection state (see `crate::config::Fault`).
+    /// Abort once `events_seen` reaches this count.
+    abort_after: Option<u64>,
+    /// Park forever at this synchronization-call index.
+    hang_at: Option<u64>,
+    /// Synchronization calls made so far (tracked only when `hang_at` is
+    /// set, so unfaulted runs pay nothing).
+    sync_seen: u64,
+    /// Instrumentation points passed so far.
+    events_seen: u64,
+    /// Per-op probability (percent) of losing an RMA memory effect.
+    drop_rma_pct: u8,
+    /// Per-op probability (percent) of forcing AtClose delivery.
+    delay_rma_pct: u8,
+    /// Dedicated RNG for fault decisions, so injecting faults never
+    /// perturbs the seeded delivery schedule.
+    fault_rng: ChaCha8Rng,
 }
 
 /// A posted `MPI_Irecv`, completed by `wait_req`.
@@ -114,23 +132,34 @@ struct PendingAtomic {
 }
 
 impl Proc {
-    pub(crate) fn new(
-        rank: u32,
-        nprocs: u32,
-        shared: Arc<Shared>,
-        instrument: Instrument,
-        keep_events: bool,
-        delivery: DeliveryPolicy,
-        seed: u64,
-    ) -> Self {
+    pub(crate) fn new(rank: u32, cfg: &SimConfig, shared: Arc<Shared>) -> Self {
+        let mut abort_after = None;
+        let mut hang_at = None;
+        let mut drop_rma_pct = 0u8;
+        let mut delay_rma_pct = 0u8;
+        for fault in cfg.faults.for_rank(rank) {
+            match *fault {
+                Fault::RankAbort { after_events, .. } => {
+                    abort_after =
+                        Some(abort_after.map_or(after_events, |a: u64| a.min(after_events)));
+                }
+                Fault::HangAtSync { nth_sync, .. } => {
+                    hang_at = Some(hang_at.map_or(nth_sync, |h: u64| h.min(nth_sync)));
+                }
+                Fault::DropRma { percent, .. } => drop_rma_pct = drop_rma_pct.max(percent),
+                Fault::DelayRma { percent, .. } => delay_rma_pct = delay_rma_pct.max(percent),
+            }
+        }
         Self {
             rank,
-            nprocs,
+            nprocs: cfg.nprocs,
             shared,
             types: TypeRegistry::new(),
-            sink: EventSink::new(instrument, keep_events),
-            rng: ChaCha8Rng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64).wrapping_mul(rank as u64 + 1)),
-            delivery,
+            sink: EventSink::new(cfg.instrument, cfg.keep_events),
+            rng: ChaCha8Rng::seed_from_u64(
+                cfg.seed ^ (0x9e37_79b9_7f4a_7c15u64).wrapping_mul(rank as u64 + 1),
+            ),
+            delivery: cfg.delivery,
             func: "main".to_string(),
             func_epoch: 0,
             loc_cache: HashMap::new(),
@@ -147,21 +176,76 @@ impl Proc {
             req_open: HashMap::new(),
             irecv_open: HashMap::new(),
             next_req: 0,
+            abort_after,
+            hang_at,
+            sync_seen: 0,
+            events_seen: 0,
+            drop_rma_pct,
+            delay_rma_pct,
+            fault_rng: ChaCha8Rng::seed_from_u64(
+                cfg.seed ^ (0xd1b5_4a32_d192_ed03u64).wrapping_mul(rank as u64 + 1),
+            ),
         }
     }
 
     pub(crate) fn into_sink(self) -> EventSink {
-        assert!(
-            self.fence_pending.values().all(Vec::is_empty)
-                && self.lock_pending.values().all(Vec::is_empty)
-                && self.start_pending.values().all(Vec::is_empty)
-                && self.req_open.is_empty()
-                && self.irecv_open.is_empty(),
-            "rank {} finished with unsynchronized RMA operations or \
-             unwaited receives in flight",
-            self.rank
-        );
+        let clean = self.fence_pending.values().all(Vec::is_empty)
+            && self.lock_pending.values().all(Vec::is_empty)
+            && self.start_pending.values().all(Vec::is_empty)
+            && self.req_open.is_empty()
+            && self.irecv_open.is_empty();
+        if !clean {
+            std::panic::panic_any(AbortReason::Protocol {
+                rank: self.rank,
+                message: "finished with unsynchronized RMA operations or unwaited receives \
+                          in flight"
+                    .to_string(),
+            });
+        }
         self.sink
+    }
+
+    /// Salvage path used by tolerant runs: hands back whatever the sink
+    /// holds even when the rank exited (or died) mid-epoch with
+    /// unsynchronized operations in flight.
+    pub(crate) fn into_sink_lossy(self) -> EventSink {
+        self.sink
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-injection hooks.
+    // ------------------------------------------------------------------
+
+    /// Per-instrumentation-point fault hook: kills the rank with a typed
+    /// payload once its scheduled event budget is exhausted.
+    fn fault_event_point(&mut self) {
+        if let Some(after) = self.abort_after {
+            if self.events_seen >= after {
+                std::panic::panic_any(AbortReason::InjectedAbort {
+                    rank: self.rank,
+                    after_events: after,
+                });
+            }
+        }
+        self.events_seen += 1;
+    }
+
+    /// Per-synchronization-call fault hook: when the plan hangs this rank
+    /// here, register as blocked and park until the abort protocol (rank
+    /// failure or watchdog) releases us by unwinding.
+    fn sync_point(&mut self, describe: impl FnOnce() -> String) {
+        let Some(nth) = self.hang_at else { return };
+        let n = self.sync_seen;
+        self.sync_seen += 1;
+        if n != nth {
+            return;
+        }
+        let ctl = self.shared.ctl().clone();
+        ctl.enter_blocked(self.rank, BlockSite::InjectedHang { nth_sync: n, at: describe() });
+        loop {
+            ctl.check_abort();
+            std::thread::sleep(ABORT_POLL);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -216,6 +300,9 @@ impl Proc {
 
     #[track_caller]
     fn caller_loc(&mut self) -> LocId {
+        // Every instrumentation point passes through here exactly once,
+        // which makes it the natural clock for scheduled rank aborts.
+        self.fault_event_point();
         if !self.sink.enabled() {
             return LocId::UNKNOWN;
         }
@@ -301,12 +388,20 @@ impl Proc {
     }
 
     /// Explicit-relevance logged access hook (IR interpreter entry point).
-    pub fn log_mem_access(&mut self, store: bool, addr: u64, len: u64, relevant: bool, loc: &SourceLoc) {
+    pub fn log_mem_access(
+        &mut self,
+        store: bool,
+        addr: u64,
+        len: u64,
+        relevant: bool,
+        loc: &SourceLoc,
+    ) {
         if !self.sink.enabled() {
             return;
         }
         let id = self.intern_loc(loc);
-        let kind = if store { EventKind::Store { addr, len } } else { EventKind::Load { addr, len } };
+        let kind =
+            if store { EventKind::Store { addr, len } } else { EventKind::Load { addr, len } };
         self.sink.log_mem(kind, id, relevant);
     }
 
@@ -407,7 +502,13 @@ impl Proc {
 
     /// `MPI_Type_vector` (stride in elements).
     #[track_caller]
-    pub fn type_vector(&mut self, count: u32, blocklen: u32, stride: u32, elem: DatatypeId) -> DatatypeId {
+    pub fn type_vector(
+        &mut self,
+        count: u32,
+        blocklen: u32,
+        stride: u32,
+        elem: DatatypeId,
+    ) -> DatatypeId {
         let id = self.types.vector(count, blocklen, stride, elem);
         let loc = self.caller_loc();
         self.sink.log_mpi(EventKind::TypeVector { new: id, count, blocklen, stride, elem }, loc);
@@ -453,6 +554,7 @@ impl Proc {
     /// the new communicator, everyone else `None`.
     #[track_caller]
     pub fn comm_create(&mut self, comm: CommId, group: GroupId) -> Option<CommId> {
+        self.sync_point(|| "comm_create".to_string());
         let loc = self.caller_loc();
         let (n, me) = {
             let t = self.shared.comms.read();
@@ -478,7 +580,15 @@ impl Proc {
     /// Blocking `MPI_Send` of `count` elements of `dtype` at `addr` to
     /// `dest` (comm-relative).
     #[track_caller]
-    pub fn send(&mut self, addr: u64, count: u32, dtype: DatatypeId, dest: u32, tag: u32, comm: CommId) {
+    pub fn send(
+        &mut self,
+        addr: u64,
+        count: u32,
+        dtype: DatatypeId,
+        dest: u32,
+        tag: u32,
+        comm: CommId,
+    ) {
         let loc = self.caller_loc();
         let info = self.resolve(dtype);
         let map = info.map.tiled(count as u64);
@@ -492,7 +602,16 @@ impl Proc {
     /// Blocking `MPI_Recv` from `src` (comm-relative); `tag` may be
     /// [`Tag::ANY`]'s raw value (`u32::MAX`). Returns the matched tag.
     #[track_caller]
-    pub fn recv(&mut self, addr: u64, count: u32, dtype: DatatypeId, src: u32, tag: u32, comm: CommId) -> u32 {
+    pub fn recv(
+        &mut self,
+        addr: u64,
+        count: u32,
+        dtype: DatatypeId,
+        src: u32,
+        tag: u32,
+        comm: CommId,
+    ) -> u32 {
+        self.sync_point(|| format!("recv(rank {src})"));
         let loc = self.caller_loc();
         let info = self.resolve(dtype);
         let map = info.map.tiled(count as u64);
@@ -508,7 +627,15 @@ impl Proc {
     /// Nonblocking `MPI_Isend`: the message is buffered immediately;
     /// complete the request with [`Proc::wait_req`].
     #[track_caller]
-    pub fn isend(&mut self, addr: u64, count: u32, dtype: DatatypeId, dest: u32, tag: u32, comm: CommId) -> u64 {
+    pub fn isend(
+        &mut self,
+        addr: u64,
+        count: u32,
+        dtype: DatatypeId,
+        dest: u32,
+        tag: u32,
+        comm: CommId,
+    ) -> u64 {
         let loc = self.caller_loc();
         let info = self.resolve(dtype);
         let map = info.map.tiled(count as u64);
@@ -518,17 +645,23 @@ impl Proc {
         self.shared.mailbox.send(comm, self.rank, dst_abs, tag, data);
         let req = self.next_req;
         self.next_req += 1;
-        self.sink.log_mpi(
-            EventKind::Isend { comm, to: Rank(dest), tag: Tag(tag), bytes, req },
-            loc,
-        );
+        self.sink
+            .log_mpi(EventKind::Isend { comm, to: Rank(dest), tag: Tag(tag), bytes, req }, loc);
         req
     }
 
     /// Nonblocking `MPI_Irecv`: posts the receive; the buffer is filled
     /// when [`Proc::wait_req`] completes the request.
     #[track_caller]
-    pub fn irecv(&mut self, addr: u64, count: u32, dtype: DatatypeId, src: u32, tag: u32, comm: CommId) -> u64 {
+    pub fn irecv(
+        &mut self,
+        addr: u64,
+        count: u32,
+        dtype: DatatypeId,
+        src: u32,
+        tag: u32,
+        comm: CommId,
+    ) -> u64 {
         let loc = self.caller_loc();
         let info = self.resolve(dtype);
         let map = info.map.tiled(count as u64);
@@ -543,6 +676,7 @@ impl Proc {
     /// `MPI_Barrier`.
     #[track_caller]
     pub fn barrier(&mut self, comm: CommId) {
+        self.sync_point(|| "barrier".to_string());
         let loc = self.caller_loc();
         let (n, _) = self.comm_shape(comm);
         let point = self.shared.coll_point(comm);
@@ -554,6 +688,7 @@ impl Proc {
     /// `root` (comm-relative).
     #[track_caller]
     pub fn bcast(&mut self, addr: u64, count: u32, dtype: DatatypeId, root: u32, comm: CommId) {
+        self.sync_point(|| "bcast".to_string());
         let loc = self.caller_loc();
         let info = self.resolve(dtype);
         let map = info.map.tiled(count as u64);
@@ -562,9 +697,10 @@ impl Proc {
         let contrib = if rel == root { self.gather(self.rank, addr, &map) } else { Vec::new() };
         let bytes = map.size();
         let point = self.shared.coll_point(comm);
-        let result = point.collective(n, self.rank, CollTag::Bcast { root, bytes }, contrib, move |c| {
-            c[&root_abs].clone()
-        });
+        let result =
+            point.collective(n, self.rank, CollTag::Bcast { root, bytes }, contrib, move |c| {
+                c[&root_abs].clone()
+            });
         if rel != root {
             self.scatter(self.rank, addr, &map, &result);
         }
@@ -585,6 +721,7 @@ impl Proc {
         root: u32,
         comm: CommId,
     ) {
+        self.sync_point(|| "reduce".to_string());
         let loc = self.caller_loc();
         let info = self.resolve(dtype);
         let basic = info.basic.expect("reduce requires a homogeneous datatype");
@@ -617,6 +754,7 @@ impl Proc {
         op: ReduceOp,
         comm: CommId,
     ) {
+        self.sync_point(|| "allreduce".to_string());
         let loc = self.caller_loc();
         let info = self.resolve(dtype);
         let basic = info.basic.expect("allreduce requires a homogeneous datatype");
@@ -653,6 +791,7 @@ impl Proc {
     /// rank's arena.
     #[track_caller]
     pub fn win_create(&mut self, base: u64, len: u64, comm: CommId) -> WinId {
+        self.sync_point(|| "win_create".to_string());
         let loc = self.caller_loc();
         let (n, _) = self.comm_shape(comm);
         let shared = self.shared.clone();
@@ -684,6 +823,7 @@ impl Proc {
     /// Collective `MPI_Win_free`.
     #[track_caller]
     pub fn win_free(&mut self, win: WinId) {
+        self.sync_point(|| format!("win_free({win})"));
         let loc = self.caller_loc();
         assert!(
             self.fence_pending.get(&win.0).is_none_or(Vec::is_empty),
@@ -713,6 +853,7 @@ impl Proc {
     /// communicator.
     #[track_caller]
     pub fn win_fence(&mut self, win: WinId) {
+        self.sync_point(|| format!("fence({win})"));
         let loc = self.caller_loc();
         let pending = self.fence_pending.remove(&win.0).unwrap_or_default();
         for op in &pending {
@@ -728,9 +869,10 @@ impl Proc {
     /// `MPI_Win_lock` on `target` (comm-relative).
     #[track_caller]
     pub fn win_lock(&mut self, kind: LockKind, target: u32, win: WinId) {
+        self.sync_point(|| format!("lock({win}, target {target})"));
         let loc = self.caller_loc();
         let (abs, _, _) = self.win_target(win, target);
-        self.shared.winlocks.lock(win, abs, kind == LockKind::Exclusive);
+        self.shared.winlocks.lock(self.rank, win, abs, kind == LockKind::Exclusive);
         self.lock_held.insert((win.0, abs), kind);
         self.sink.log_mpi(EventKind::Lock { win, target: Rank(target), kind }, loc);
     }
@@ -739,6 +881,7 @@ impl Proc {
     /// releases the lock.
     #[track_caller]
     pub fn win_unlock(&mut self, target: u32, win: WinId) {
+        self.sync_point(|| format!("unlock({win}, target {target})"));
         let loc = self.caller_loc();
         let (abs, _, _) = self.win_target(win, target);
         let kind = self
@@ -757,6 +900,7 @@ impl Proc {
     /// `group`.
     #[track_caller]
     pub fn win_post(&mut self, group: GroupId, win: WinId) {
+        self.sync_point(|| format!("post({win})"));
         let loc = self.caller_loc();
         let origins: Vec<u32> = self.shared.comms.read().group_members(group).to_vec();
         self.shared.pscw.post(win, self.rank, &origins);
@@ -768,6 +912,7 @@ impl Proc {
     /// `group`; blocks until all targets have posted.
     #[track_caller]
     pub fn win_start(&mut self, group: GroupId, win: WinId) {
+        self.sync_point(|| format!("start({win})"));
         let loc = self.caller_loc();
         let targets: Vec<u32> = self.shared.comms.read().group_members(group).to_vec();
         self.shared.pscw.start(win, self.rank, &targets, &mut self.pscw_post_seen);
@@ -779,6 +924,7 @@ impl Proc {
     /// operations and signalling the targets.
     #[track_caller]
     pub fn win_complete(&mut self, win: WinId) {
+        self.sync_point(|| format!("complete({win})"));
         let loc = self.caller_loc();
         let pending = self.start_pending.remove(&win.0).unwrap_or_default();
         for op in &pending {
@@ -796,6 +942,7 @@ impl Proc {
     /// origin has completed.
     #[track_caller]
     pub fn win_wait(&mut self, win: WinId) {
+        self.sync_point(|| format!("wait({win})"));
         let loc = self.caller_loc();
         let origins = self
             .post_group
@@ -820,7 +967,18 @@ impl Proc {
         win: WinId,
     ) {
         let loc = self.caller_loc();
-        self.rma(RmaKind::Put, origin_addr, origin_count, origin_dtype, target, target_disp, target_count, target_dtype, win, loc);
+        self.rma(
+            RmaKind::Put,
+            origin_addr,
+            origin_count,
+            origin_dtype,
+            target,
+            target_disp,
+            target_count,
+            target_dtype,
+            win,
+            loc,
+        );
     }
 
     /// Nonblocking `MPI_Get`.
@@ -838,7 +996,18 @@ impl Proc {
         win: WinId,
     ) {
         let loc = self.caller_loc();
-        self.rma(RmaKind::Get, origin_addr, origin_count, origin_dtype, target, target_disp, target_count, target_dtype, win, loc);
+        self.rma(
+            RmaKind::Get,
+            origin_addr,
+            origin_count,
+            origin_dtype,
+            target,
+            target_disp,
+            target_count,
+            target_dtype,
+            win,
+            loc,
+        );
     }
 
     /// Nonblocking `MPI_Accumulate`.
@@ -857,7 +1026,18 @@ impl Proc {
         win: WinId,
     ) {
         let loc = self.caller_loc();
-        self.rma(RmaKind::Acc(op), origin_addr, origin_count, origin_dtype, target, target_disp, target_count, target_dtype, win, loc);
+        self.rma(
+            RmaKind::Acc(op),
+            origin_addr,
+            origin_count,
+            origin_dtype,
+            target,
+            target_disp,
+            target_count,
+            target_dtype,
+            win,
+            loc,
+        );
     }
 
     // ------------------------------------------------------------------
@@ -869,11 +1049,12 @@ impl Proc {
     /// stay deadlock-free against concurrent exclusive locks.
     #[track_caller]
     pub fn win_lock_all(&mut self, win: WinId) {
+        self.sync_point(|| format!("lock_all({win})"));
         let loc = self.caller_loc();
         let comm = self.win_comm(win);
         let members: Vec<u32> = self.shared.comms.read().members(comm).to_vec();
         for &m in &members {
-            self.shared.winlocks.lock(win, m, false);
+            self.shared.winlocks.lock(self.rank, win, m, false);
         }
         self.lock_all_held.insert(win.0);
         self.sink.log_mpi(EventKind::LockAll { win }, loc);
@@ -883,6 +1064,7 @@ impl Proc {
     /// epoch and releases all locks.
     #[track_caller]
     pub fn win_unlock_all(&mut self, win: WinId) {
+        self.sync_point(|| format!("unlock_all({win})"));
         let loc = self.caller_loc();
         assert!(self.lock_all_held.remove(&win.0), "unlock_all without lock_all on {win}");
         let keys: Vec<(u32, u32)> =
@@ -905,6 +1087,7 @@ impl Proc {
     /// `target` (comm-relative) without closing the passive epoch.
     #[track_caller]
     pub fn win_flush(&mut self, target: u32, win: WinId) {
+        self.sync_point(|| format!("flush({win}, target {target})"));
         let loc = self.caller_loc();
         let (abs, _, _) = self.win_target(win, target);
         let pending = self.lock_pending.remove(&(win.0, abs)).unwrap_or_default();
@@ -917,6 +1100,7 @@ impl Proc {
     /// MPI-3 `MPI_Win_flush_all`.
     #[track_caller]
     pub fn win_flush_all(&mut self, win: WinId) {
+        self.sync_point(|| format!("flush_all({win})"));
         let loc = self.caller_loc();
         let keys: Vec<(u32, u32)> =
             self.lock_pending.keys().filter(|(w, _)| *w == win.0).copied().collect();
@@ -945,7 +1129,18 @@ impl Proc {
         win: WinId,
     ) -> u64 {
         let loc = self.caller_loc();
-        self.rma_req(RmaKind::Put, origin_addr, origin_count, origin_dtype, target, target_disp, target_count, target_dtype, win, loc)
+        self.rma_req(
+            RmaKind::Put,
+            origin_addr,
+            origin_count,
+            origin_dtype,
+            target,
+            target_disp,
+            target_count,
+            target_dtype,
+            win,
+            loc,
+        )
     }
 
     /// MPI-3 `MPI_Rget`.
@@ -963,7 +1158,18 @@ impl Proc {
         win: WinId,
     ) -> u64 {
         let loc = self.caller_loc();
-        self.rma_req(RmaKind::Get, origin_addr, origin_count, origin_dtype, target, target_disp, target_count, target_dtype, win, loc)
+        self.rma_req(
+            RmaKind::Get,
+            origin_addr,
+            origin_count,
+            origin_dtype,
+            target,
+            target_disp,
+            target_count,
+            target_dtype,
+            win,
+            loc,
+        )
     }
 
     /// `MPI_Wait` on a request: completes a request-based RMA operation
@@ -971,6 +1177,7 @@ impl Proc {
     /// trivially — the message was buffered at the call).
     #[track_caller]
     pub fn wait_req(&mut self, req: u64) {
+        self.sync_point(|| format!("wait(req {req})"));
         let loc = self.caller_loc();
         if let Some(rx) = self.irecv_open.remove(&req) {
             let (_tag, data) = self.shared.mailbox.recv(rx.comm, rx.src_abs, self.rank, rx.tag);
@@ -1027,7 +1234,18 @@ impl Proc {
         win: WinId,
     ) {
         let loc = self.caller_loc();
-        self.atomic(AtomicKind::FetchAndOp(op), origin_addr, result_addr, None, 1, dtype, target, target_disp, win, loc);
+        self.atomic(
+            AtomicKind::FetchAndOp(op),
+            origin_addr,
+            result_addr,
+            None,
+            1,
+            dtype,
+            target,
+            target_disp,
+            win,
+            loc,
+        );
     }
 
     /// MPI-3 `MPI_Get_accumulate`.
@@ -1045,7 +1263,18 @@ impl Proc {
         win: WinId,
     ) {
         let loc = self.caller_loc();
-        self.atomic(AtomicKind::GetAccumulate(op), origin_addr, result_addr, None, count, dtype, target, target_disp, win, loc);
+        self.atomic(
+            AtomicKind::GetAccumulate(op),
+            origin_addr,
+            result_addr,
+            None,
+            count,
+            dtype,
+            target,
+            target_disp,
+            win,
+            loc,
+        );
     }
 
     /// MPI-3 `MPI_Compare_and_swap`.
@@ -1062,7 +1291,18 @@ impl Proc {
         win: WinId,
     ) {
         let loc = self.caller_loc();
-        self.atomic(AtomicKind::CompareAndSwap, origin_addr, result_addr, Some(compare_addr), 1, dtype, target, target_disp, win, loc);
+        self.atomic(
+            AtomicKind::CompareAndSwap,
+            origin_addr,
+            result_addr,
+            Some(compare_addr),
+            1,
+            dtype,
+            target,
+            target_disp,
+            win,
+            loc,
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1199,9 +1439,9 @@ impl Proc {
             target_map.span()
         );
         let basic = match kind {
-            RmaKind::Acc(_) => Some(
-                origin_info.basic.expect("accumulate requires a homogeneous origin datatype"),
-            ),
+            RmaKind::Acc(_) => {
+                Some(origin_info.basic.expect("accumulate requires a homogeneous origin datatype"))
+            }
             _ => origin_info.basic,
         };
         let op = PendingOp {
@@ -1236,8 +1476,23 @@ impl Proc {
     /// fence epoch. Request-tied operations always defer so `wait_req`
     /// has something to complete.
     fn defer_or_apply(&mut self, win: WinId, target_abs: u32, pending: Pending) {
+        // Injected delivery faults: a dropped operation's memory effect
+        // vanishes entirely (the call was already logged, so trace and
+        // memory now disagree); a delayed one is forced to the closing
+        // synchronization even under eager delivery.
+        if self.drop_rma_pct > 0
+            && self.fault_rng.gen_range(0..100u32) < u32::from(self.drop_rma_pct)
+        {
+            if let Pending::Plain { req: Some(req), .. } = &pending {
+                self.req_open.remove(req);
+            }
+            return;
+        }
+        let delayed = self.delay_rma_pct > 0
+            && self.fault_rng.gen_range(0..100u32) < u32::from(self.delay_rma_pct);
         let is_req = matches!(pending, Pending::Plain { req: Some(_), .. });
         let eager = !is_req
+            && !delayed
             && match self.delivery {
                 DeliveryPolicy::Eager => true,
                 DeliveryPolicy::AtClose => false,

@@ -1,11 +1,13 @@
-//! Spawning and joining a simulated run.
+//! Spawning and joining a simulated run: the strict and fault-tolerant
+//! entry points, panic-payload classification, and the deadlock watchdog.
 
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::proc::Proc;
-use crate::shared::Shared;
-use crate::tracer::EventCounts;
+use crate::shared::{AbortReason, Ctl, Shared, ABORT_POLL};
+use crate::tracer::{EventCounts, EventSink};
 use mcc_types::Trace;
+use std::any::Any;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -63,14 +65,115 @@ pub struct SimResult {
     pub stats: RunStats,
 }
 
-/// Runs `body` once per rank on its own thread and collects traces.
+/// Outcome of [`run_tolerant`]: whatever per-rank data survived the run,
+/// plus the classified failure if the run did not complete cleanly.
+#[derive(Debug)]
+pub struct TolerantOutcome {
+    /// Per-rank event logs in rank order (when `keep_events` was set and
+    /// tracing was enabled). Ranks that died keep the events they logged
+    /// before dying, so a crash mid-epoch yields a truncated — not
+    /// missing — per-rank log.
+    pub trace: Option<Trace>,
+    /// Timing and event-rate statistics over the salvaged events.
+    pub stats: RunStats,
+    /// The classified failure, or `None` for a clean run.
+    pub error: Option<SimError>,
+}
+
+/// What one rank's thread produced: a sink (complete or salvaged) and the
+/// panic payload if the rank unwound.
+type RankOutcome = (Option<EventSink>, Option<Box<dyn Any + Send>>);
+
+/// The deadlock watchdog: declares a deadlock once no rank has made
+/// progress for `timeout` while every live rank sits in a blocking
+/// primitive. Force-unblocks everyone via the abort flag so the run
+/// terminates instead of hanging.
+fn watchdog(ctl: &Ctl, timeout: Duration) {
+    let poll = (timeout / 4).min(ABORT_POLL).max(Duration::from_millis(1));
+    let mut last_progress = ctl.progress();
+    let mut stalled = Duration::ZERO;
+    loop {
+        std::thread::sleep(poll);
+        if ctl.aborted() {
+            return;
+        }
+        let alive = ctl.alive();
+        if alive == 0 {
+            return;
+        }
+        let progress = ctl.progress();
+        if progress != last_progress || ctl.blocked_count() < alive {
+            // Someone moved, or someone is computing (not blocked): not a
+            // deadlock, restart the stall clock.
+            last_progress = progress;
+            stalled = Duration::ZERO;
+            continue;
+        }
+        stalled += poll;
+        if stalled >= timeout {
+            ctl.declare_deadlock(ctl.blocked_snapshot());
+            return;
+        }
+    }
+}
+
+/// Classifies the panic payloads of a finished run into at most one
+/// [`SimError`], preferring a real root cause over collateral damage.
 ///
-/// The closure receives this rank's [`Proc`]. Any rank panicking aborts
-/// the run with [`SimError::RankPanicked`] (other ranks may be left
-/// blocked; their threads are joined because a panicking peer unblocks
-/// collectives by poisoning — we instead fail fast by propagating the
-/// first panic after all threads finish or panic).
-pub fn run<F>(config: SimConfig, body: F) -> Result<SimResult, SimError>
+/// Priority: a watchdog deadlock verdict wins (every unwound rank is then
+/// collateral of the forced unblock); otherwise the lowest-ranked real
+/// failure (plain panic, protocol violation, or injected abort) wins;
+/// [`AbortReason::PeerFailure`] payloads are collateral and never
+/// reported as the cause.
+fn classify(ctl: &Ctl, results: &[RankOutcome]) -> Option<SimError> {
+    if let Some(blocked) = ctl.take_deadlock() {
+        return Some(SimError::Deadlock { blocked });
+    }
+    let mut collateral = false;
+    for (rank, (_, payload)) in results.iter().enumerate() {
+        let Some(payload) = payload else { continue };
+        if let Some(reason) = payload.downcast_ref::<AbortReason>() {
+            match reason {
+                AbortReason::PeerFailure => {
+                    collateral = true;
+                    continue;
+                }
+                AbortReason::InjectedAbort { rank, after_events } => {
+                    return Some(SimError::RankPanicked {
+                        rank: *rank,
+                        message: format!(
+                            "fault injection: rank aborted after {after_events} events"
+                        ),
+                    });
+                }
+                AbortReason::Protocol { rank, message } => {
+                    return Some(SimError::Protocol { rank: *rank, message: message.clone() });
+                }
+            }
+        }
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "<non-string panic payload>".into());
+        return Some(SimError::RankPanicked { rank: rank as u32, message });
+    }
+    collateral.then(|| SimError::RankPanicked {
+        rank: 0,
+        message: "run aborted without an identified root cause".into(),
+    })
+}
+
+/// What `execute` hands back: each rank's (possibly salvaged) event
+/// sink, the classified root-cause error if any rank failed, and the
+/// wall-clock duration of the run.
+type ExecuteOutcome = (Vec<Option<EventSink>>, Option<SimError>, Duration);
+
+/// Spawns the per-rank threads (and the watchdog, when configured), joins
+/// them, and classifies the outcome. `tolerant` controls whether a
+/// failing rank's sink is salvaged and whether exit-time protocol checks
+/// run.
+fn execute<F>(config: &SimConfig, body: &F, tolerant: bool) -> Result<ExecuteOutcome, SimError>
 where
     F: Fn(&mut Proc) + Send + Sync,
 {
@@ -78,89 +181,132 @@ where
         return Err(SimError::InvalidConfig("nprocs must be at least 1".into()));
     }
     let shared = Arc::new(Shared::new(config.nprocs, config.arena_bytes));
+    let ctl = shared.ctl().clone();
     let start = Instant::now();
-    let results: Vec<Result<crate::tracer::EventSink, String>> = std::thread::scope(|s| {
+    let results: Vec<RankOutcome> = std::thread::scope(|s| {
+        let dog = config.watchdog.map(|timeout| {
+            let ctl = ctl.clone();
+            s.spawn(move || watchdog(&ctl, timeout))
+        });
         let handles: Vec<_> = (0..config.nprocs)
             .map(|rank| {
                 let shared = shared.clone();
                 let body = &body;
                 let cfg = &config;
                 s.spawn(move || {
-                    let run_shared = shared.clone();
-                    let result =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-                            let mut proc = Proc::new(
-                                rank,
-                                cfg.nprocs,
-                                run_shared,
-                                cfg.instrument,
-                                cfg.keep_events,
-                                cfg.delivery,
-                                cfg.seed,
-                            );
-                            body(&mut proc);
-                            proc.into_sink()
-                        }));
-                    if result.is_err() {
+                    let ctl = shared.ctl().clone();
+                    let mut proc = Proc::new(rank, cfg, shared.clone());
+                    let outcome: RankOutcome =
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            body(&mut proc)
+                        })) {
+                            Ok(()) => {
+                                if tolerant {
+                                    (Some(proc.into_sink_lossy()), None)
+                                } else {
+                                    // Exit-time protocol checks can panic
+                                    // (typed payload); catch them so the
+                                    // run is classified, not poisoned.
+                                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                        move || proc.into_sink(),
+                                    )) {
+                                        Ok(sink) => (Some(sink), None),
+                                        Err(payload) => (None, Some(payload)),
+                                    }
+                                }
+                            }
+                            Err(payload) => {
+                                // Salvage whatever the rank logged before
+                                // dying.
+                                (Some(proc.into_sink_lossy()), Some(payload))
+                            }
+                        };
+                    if outcome.1.is_some() {
                         // Poison the run so peers blocked on this rank
                         // unwind instead of deadlocking.
                         shared.trigger_abort();
                     }
-                    result
+                    ctl.rank_done(rank);
+                    outcome
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(Err)
-                    .map_err(|e| {
-                        e.downcast_ref::<String>()
-                            .cloned()
-                            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
-                            .unwrap_or_else(|| "<non-string panic payload>".into())
-                    })
-            })
-            .collect()
+        let results =
+            handles.into_iter().map(|h| h.join().unwrap_or_else(|p| (None, Some(p)))).collect();
+        if let Some(dog) = dog {
+            let _ = dog.join();
+        }
+        results
     });
     let wall = start.elapsed();
+    let error = classify(&ctl, &results);
+    let sinks = results.into_iter().map(|(sink, _)| sink).collect();
+    Ok((sinks, error, wall))
+}
 
-    let mut sinks = Vec::with_capacity(results.len());
-    let mut first_abort: Option<(u32, String)> = None;
-    let mut first_real: Option<(u32, String)> = None;
-    for (rank, r) in results.into_iter().enumerate() {
-        match r {
-            Ok(sink) => sinks.push(sink),
-            Err(message) => {
-                // Secondary "aborting:" panics are collateral of the first
-                // failure; report the root cause when one exists.
-                let slot = if message.starts_with("aborting:") {
-                    &mut first_abort
-                } else {
-                    &mut first_real
-                };
-                if slot.is_none() {
-                    *slot = Some((rank as u32, message));
-                }
-            }
-        }
-    }
-    if let Some((rank, message)) = first_real.or(first_abort) {
-        return Err(SimError::RankPanicked { rank, message });
-    }
-
+/// Builds a [`Trace`] + [`RunStats`] from per-rank sinks, substituting an
+/// empty log for any rank whose sink did not survive.
+fn assemble(
+    config: &SimConfig,
+    sinks: Vec<Option<EventSink>>,
+    wall: Duration,
+) -> (Option<Trace>, RunStats) {
+    let sinks: Vec<EventSink> = sinks
+        .into_iter()
+        .map(|s| s.unwrap_or_else(|| EventSink::new(config.instrument, config.keep_events)))
+        .collect();
     let per_rank: Vec<RankStats> = sinks.iter().map(|s| s.counts().into()).collect();
     let tracing = config.instrument != crate::config::Instrument::Off;
     let trace = (tracing && config.keep_events)
         .then(|| Trace { procs: sinks.into_iter().map(|s| s.into_trace()).collect() });
-    Ok(SimResult { trace, stats: RunStats { wall, per_rank } })
+    (trace, RunStats { wall, per_rank })
+}
+
+/// Runs `body` once per rank on its own thread and collects traces.
+///
+/// The closure receives this rank's [`Proc`]. Any rank failing aborts the
+/// run: a plain panic surfaces as [`SimError::RankPanicked`], a rank
+/// finishing with unsynchronized operations in flight as
+/// [`SimError::Protocol`], and — when [`SimConfig::watchdog`] is set — a
+/// run where every live rank is blocked with no progress for the timeout
+/// as [`SimError::Deadlock`]. Peers force-unblocked by a failure are
+/// collateral and never reported as the cause.
+pub fn run<F>(config: SimConfig, body: F) -> Result<SimResult, SimError>
+where
+    F: Fn(&mut Proc) + Send + Sync,
+{
+    let (sinks, error, wall) = execute(&config, &body, false)?;
+    if let Some(error) = error {
+        return Err(error);
+    }
+    let (trace, stats) = assemble(&config, sinks, wall);
+    Ok(SimResult { trace, stats })
+}
+
+/// Like [`run`], but salvages per-rank traces even when the run fails.
+///
+/// Every rank's sink survives: a rank that panicked (or was killed by
+/// fault injection) contributes the events it logged before dying, and
+/// exit-time protocol checks are skipped so a salvaged log is never
+/// discarded for being incomplete. The classified failure, if any, is
+/// returned alongside the partial data instead of replacing it. This is
+/// the entry point for crash-consistency demos and degraded-mode
+/// checking.
+///
+/// Configuration errors (e.g. zero ranks) still fail hard.
+pub fn run_tolerant<F>(config: SimConfig, body: F) -> Result<TolerantOutcome, SimError>
+where
+    F: Fn(&mut Proc) + Send + Sync,
+{
+    let (sinks, error, wall) = execute(&config, &body, true)?;
+    let (trace, stats) = assemble(&config, sinks, wall);
+    Ok(TolerantOutcome { trace, stats, error })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{DeliveryPolicy, Instrument};
+    use crate::config::{DeliveryPolicy, Fault, Instrument};
     use mcc_types::{CommId, DatatypeId, EventKind, LockKind, ReduceOp};
 
     fn cfg(n: u32) -> SimConfig {
@@ -686,5 +832,209 @@ mod tests {
             seen
         };
         assert_eq!(observe(), observe());
+    }
+
+    /// Acceptance criterion: a rank that skips a fence hangs the other
+    /// ranks; the watchdog names the hung rank and the fence everyone
+    /// else is stuck on, instead of hanging the test suite.
+    #[test]
+    fn hung_rank_is_caught_by_watchdog() {
+        let cfg = cfg(4)
+            .with_fault(Fault::HangAtSync { rank: 2, nth_sync: 1 })
+            .with_watchdog(Duration::from_millis(300));
+        let err = run(cfg, |p| {
+            let buf = p.alloc_i32s(1);
+            let win = p.win_create(buf, 4, CommId::WORLD); // sync #0
+            p.win_fence(win); // sync #1: rank 2 parks here
+            p.win_fence(win);
+            p.win_free(win);
+        })
+        .unwrap_err();
+        match err {
+            SimError::Deadlock { blocked } => {
+                assert_eq!(blocked.len(), 4, "all four ranks blocked: {blocked:?}");
+                let (_, hung) = blocked.iter().find(|(r, _)| *r == 2).expect("rank 2 named");
+                assert!(hung.contains("injected hang"), "got {hung}");
+                assert!(hung.contains("fence(win0)"), "got {hung}");
+                for r in [0u32, 1, 3] {
+                    let (_, site) = blocked.iter().find(|(b, _)| *b == r).expect("peer named");
+                    assert!(site.contains("fence(win0)"), "rank {r} stuck on {site}");
+                }
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    /// A rank blocked forever because its peer simply exited is also a
+    /// watchdog-detected deadlock, not a hang.
+    #[test]
+    fn watchdog_detects_abandoned_collective() {
+        let err = run(cfg(2).with_watchdog(Duration::from_millis(200)), |p| {
+            if p.rank() == 0 {
+                p.barrier(CommId::WORLD); // rank 1 never arrives
+            }
+        })
+        .unwrap_err();
+        match err {
+            SimError::Deadlock { blocked } => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].0, 0);
+                assert!(blocked[0].1.contains("barrier"), "got {}", blocked[0].1);
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    /// The watchdog must stay quiet on a healthy run.
+    #[test]
+    fn watchdog_quiet_on_healthy_run() {
+        run(cfg(4).with_watchdog(Duration::from_millis(200)), |p| {
+            let buf = p.alloc_i32s(1);
+            let win = p.win_create(buf, 4, CommId::WORLD);
+            p.win_fence(win);
+            p.win_fence(win);
+            p.win_free(win);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn injected_abort_kills_rank_on_schedule() {
+        let cfg = cfg(2).with_fault(Fault::RankAbort { rank: 1, after_events: 2 });
+        let err = run(cfg, |p| {
+            let buf = p.alloc_i32s(1);
+            let win = p.win_create(buf, 4, CommId::WORLD);
+            p.win_fence(win);
+            p.win_fence(win);
+            p.win_free(win);
+        })
+        .unwrap_err();
+        match err {
+            SimError::RankPanicked { rank, message } => {
+                assert_eq!(rank, 1, "the injected rank is the root cause");
+                assert!(message.contains("fault injection"), "got {message}");
+                assert!(message.contains("after 2 events"), "got {message}");
+            }
+            other => panic!("expected injected abort, got {other}"),
+        }
+    }
+
+    #[test]
+    fn dropped_rma_loses_update_but_is_logged() {
+        let cfg = cfg(2)
+            .with_delivery(DeliveryPolicy::Eager)
+            .with_fault(Fault::DropRma { rank: 0, percent: 100 });
+        let r = run(cfg, |p| {
+            let buf = p.alloc_i32s(1);
+            let win = p.win_create(buf, 4, CommId::WORLD);
+            p.win_fence(win);
+            if p.rank() == 0 {
+                let src = p.alloc_i32s(1);
+                p.poke_i32(src, 7);
+                p.put(src, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
+            }
+            p.win_fence(win);
+            if p.rank() == 1 {
+                assert_eq!(p.peek_i32(buf), 0, "dropped put never landed");
+            }
+            p.win_free(win);
+        })
+        .unwrap();
+        // The call is still in the trace: the log and memory now disagree,
+        // which is exactly the hazard degraded-mode checking must survive.
+        let trace = r.trace.unwrap();
+        let puts =
+            trace.procs[0].events.iter().filter(|e| matches!(e.kind, EventKind::Rma(_))).count();
+        assert_eq!(puts, 1, "dropped op is still logged");
+    }
+
+    #[test]
+    fn delayed_rma_defeats_eager_delivery() {
+        let cfg = cfg(2)
+            .with_delivery(DeliveryPolicy::Eager)
+            .with_fault(Fault::DelayRma { rank: 0, percent: 100 });
+        run(cfg, |p| {
+            let buf = p.alloc_i32s(1);
+            if p.rank() == 1 {
+                p.poke_i32(buf, 5);
+            }
+            let win = p.win_create(buf, 4, CommId::WORLD);
+            p.win_fence(win);
+            let dst = p.alloc_i32s(1);
+            if p.rank() == 0 {
+                p.get(dst, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
+                assert_eq!(p.peek_i32(dst), 0, "delayed despite the eager policy");
+            }
+            p.win_fence(win);
+            if p.rank() == 0 {
+                assert_eq!(p.peek_i32(dst), 5, "delivered at the closing fence");
+            }
+            p.win_free(win);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn run_tolerant_salvages_partial_trace() {
+        let cfg = cfg(2)
+            .with_instrument(Instrument::Relevant)
+            .with_fault(Fault::RankAbort { rank: 1, after_events: 2 });
+        let out = run_tolerant(cfg, |p| {
+            let buf = p.alloc_i32s(1);
+            let win = p.win_create(buf, 4, CommId::WORLD);
+            p.win_fence(win);
+            p.tstore_i32(buf, 1);
+            p.win_fence(win);
+            p.win_free(win);
+        })
+        .unwrap();
+        match out.error {
+            Some(SimError::RankPanicked { rank: 1, ref message }) => {
+                assert!(message.contains("fault injection"), "got {message}");
+            }
+            ref other => panic!("expected rank 1 injected abort, got {other:?}"),
+        }
+        let trace = out.trace.expect("partial trace survives the crash");
+        assert_eq!(trace.procs.len(), 2, "every rank has a (possibly truncated) log");
+        assert!(!trace.procs[1].events.is_empty(), "rank 1 logged events before dying");
+        assert!(
+            trace.procs[1].events.len() < trace.procs[0].events.len(),
+            "rank 1's log is truncated relative to the survivor ({} vs {})",
+            trace.procs[1].events.len(),
+            trace.procs[0].events.len()
+        );
+    }
+
+    #[test]
+    fn run_tolerant_clean_run_has_no_error() {
+        let out = run_tolerant(cfg(2), |p| {
+            p.barrier(CommId::WORLD);
+        })
+        .unwrap();
+        assert!(out.error.is_none(), "got {:?}", out.error);
+        let trace = out.trace.unwrap();
+        assert_eq!(trace.procs.len(), 2);
+        assert!(trace.procs.iter().all(|p| !p.events.is_empty()));
+    }
+
+    #[test]
+    fn run_tolerant_skips_exit_protocol_checks() {
+        // The same leak that makes strict `run` fail with a protocol error
+        // is salvaged — with the leaked op still in the log.
+        let out = run_tolerant(cfg(2).with_delivery(DeliveryPolicy::AtClose), |p| {
+            let buf = p.alloc_i32s(1);
+            let win = p.win_create(buf, 4, CommId::WORLD);
+            p.win_fence(win);
+            if p.rank() == 0 {
+                let src = p.alloc_i32s(1);
+                p.put(src, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
+            }
+        })
+        .unwrap();
+        assert!(out.error.is_none(), "tolerant mode skips exit checks: {:?}", out.error);
+        let trace = out.trace.unwrap();
+        let puts =
+            trace.procs[0].events.iter().filter(|e| matches!(e.kind, EventKind::Rma(_))).count();
+        assert_eq!(puts, 1, "the unsynchronized op is preserved for the checker");
     }
 }

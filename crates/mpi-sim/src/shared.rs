@@ -14,17 +14,214 @@ use crate::reduce::reduce_bytes;
 use mcc_types::{CommId, DatatypeId, GroupId, ReduceOp, WinId};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Shared poison flag: when any rank panics, the runner raises it and
-/// wakes every blocked peer so the whole simulation unwinds instead of
-/// deadlocking on a half-attended collective.
-pub type AbortFlag = Arc<AtomicBool>;
+/// Typed panic payload for every unwind the simulator itself raises.
+/// The runner downcasts to this to tell a root-cause failure from the
+/// collateral unwinding of its peers (instead of matching panic-message
+/// prefixes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Another rank failed (or the watchdog fired); this rank's unwind is
+    /// collateral, not a root cause.
+    PeerFailure,
+    /// Fault injection killed this rank on schedule.
+    InjectedAbort {
+        /// The rank that was killed.
+        rank: u32,
+        /// The event count the abort was scheduled after.
+        after_events: u64,
+    },
+    /// The rank broke the simulator's MPI protocol rules (e.g. exited
+    /// with unsynchronized RMA operations in flight).
+    Protocol {
+        /// The offending rank.
+        rank: u32,
+        /// What was violated.
+        message: String,
+    },
+}
 
-fn check_abort(abort: &AtomicBool) {
-    if abort.load(Ordering::SeqCst) {
-        panic!("aborting: another rank failed");
+/// What a blocked rank is waiting on, registered with [`Ctl`] so the
+/// deadlock watchdog can name the primitive in its verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockSite {
+    /// Waiting inside a collective rendezvous.
+    Collective(CollTag),
+    /// Waiting in `MPI_Recv` for a message from `src` (absolute rank).
+    Recv {
+        /// Absolute source rank.
+        src: u32,
+        /// Tag being matched (`u32::MAX` is the wildcard).
+        tag: u32,
+    },
+    /// Waiting to acquire a passive-target window lock.
+    WinLock {
+        /// The window.
+        win: WinId,
+        /// Absolute target rank whose lock is contended.
+        target: u32,
+    },
+    /// Waiting in `MPI_Win_start` for a target's post.
+    PscwStart {
+        /// The window.
+        win: WinId,
+        /// Absolute target rank that has not posted.
+        target: u32,
+    },
+    /// Waiting in `MPI_Win_wait` for an origin's complete.
+    PscwWait {
+        /// The window.
+        win: WinId,
+        /// Absolute origin rank that has not completed.
+        origin: u32,
+    },
+    /// Parked by an injected [`crate::config::Fault::HangAtSync`].
+    InjectedHang {
+        /// Index of the synchronization call the rank hung at.
+        nth_sync: u64,
+        /// Description of the call the rank would have made.
+        at: String,
+    },
+}
+
+impl fmt::Display for BlockSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockSite::Collective(CollTag::Fence { win }) => write!(f, "fence({win})"),
+            BlockSite::Collective(CollTag::Barrier) => write!(f, "barrier"),
+            BlockSite::Collective(tag) => write!(f, "collective {tag:?}"),
+            BlockSite::Recv { src, tag } if *tag == u32::MAX => {
+                write!(f, "recv from rank {src} (any tag)")
+            }
+            BlockSite::Recv { src, tag } => write!(f, "recv from rank {src} (tag {tag})"),
+            BlockSite::WinLock { win, target } => write!(f, "lock({win}, target {target})"),
+            BlockSite::PscwStart { win, target } => {
+                write!(f, "win_start({win}) awaiting post from rank {target}")
+            }
+            BlockSite::PscwWait { win, origin } => {
+                write!(f, "win_wait({win}) awaiting complete from rank {origin}")
+            }
+            BlockSite::InjectedHang { nth_sync, at } => {
+                write!(f, "injected hang at sync call #{nth_sync} ({at})")
+            }
+        }
+    }
+}
+
+/// Run-wide control block: the poison flag, a global progress counter,
+/// the blocked-rank registry, and the watchdog's verdict. Shared (via
+/// `Arc`) by every blocking primitive, each rank thread, the watchdog and
+/// the runner.
+pub struct Ctl {
+    abort: AtomicBool,
+    /// Bumped by every action that can unblock a peer (message deposit,
+    /// lock release, PSCW signal, collective completion, block exit).
+    /// Blocked waiters poll without bumping, so a stalled counter plus a
+    /// fully-blocked rank set is a sound deadlock signal.
+    progress: AtomicU64,
+    /// Ranks still running (spawned and not yet returned or panicked).
+    alive: AtomicU32,
+    /// `rank -> site` for every rank currently inside a blocking wait.
+    blocked: Mutex<HashMap<u32, BlockSite>>,
+    /// The watchdog's verdict, set at most once.
+    deadlock: Mutex<Option<Vec<(u32, String)>>>,
+}
+
+impl Ctl {
+    /// Creates the control block for `n` ranks.
+    pub fn new(n: u32) -> Self {
+        Self {
+            abort: AtomicBool::new(false),
+            progress: AtomicU64::new(0),
+            alive: AtomicU32::new(n),
+            blocked: Mutex::new(HashMap::new()),
+            deadlock: Mutex::new(None),
+        }
+    }
+
+    /// Raises the poison flag so every blocked rank unwinds.
+    pub fn trigger_abort(&self) {
+        self.abort.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the poison flag is raised.
+    pub fn aborted(&self) -> bool {
+        self.abort.load(Ordering::SeqCst)
+    }
+
+    /// Panics with [`AbortReason::PeerFailure`] if the run is poisoned.
+    /// Every blocking wait calls this once per poll lap.
+    pub fn check_abort(&self) {
+        if self.aborted() {
+            std::panic::panic_any(AbortReason::PeerFailure);
+        }
+    }
+
+    /// Records one unit of global progress.
+    pub fn bump(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current progress count.
+    pub fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    /// Number of ranks still running.
+    pub fn alive(&self) -> u32 {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Marks a rank as finished (returned or panicked): it no longer
+    /// counts towards the all-blocked deadlock condition.
+    pub fn rank_done(&self, rank: u32) {
+        self.blocked.lock().remove(&rank);
+        self.alive.fetch_sub(1, Ordering::SeqCst);
+        self.bump();
+    }
+
+    /// Registers `rank` as blocked on `site`.
+    pub fn enter_blocked(&self, rank: u32, site: BlockSite) {
+        self.blocked.lock().insert(rank, site);
+    }
+
+    /// Clears `rank`'s blocked registration; counts as progress.
+    pub fn exit_blocked(&self, rank: u32) {
+        self.blocked.lock().remove(&rank);
+        self.bump();
+    }
+
+    /// How many ranks are currently registered blocked.
+    pub fn blocked_count(&self) -> u32 {
+        self.blocked.lock().len() as u32
+    }
+
+    /// Snapshot of the blocked registry as `(rank, description)`, sorted
+    /// by rank.
+    pub fn blocked_snapshot(&self) -> Vec<(u32, String)> {
+        let mut v: Vec<(u32, String)> =
+            self.blocked.lock().iter().map(|(r, s)| (*r, s.to_string())).collect();
+        v.sort_by_key(|(r, _)| *r);
+        v
+    }
+
+    /// Records the watchdog's verdict (first writer wins) and poisons the
+    /// run so the blocked ranks unwind.
+    pub fn declare_deadlock(&self, blocked: Vec<(u32, String)>) {
+        let mut d = self.deadlock.lock();
+        if d.is_none() {
+            *d = Some(blocked);
+        }
+        drop(d);
+        self.trigger_abort();
+    }
+
+    /// Takes the deadlock verdict, if one was declared.
+    pub fn take_deadlock(&self) -> Option<Vec<(u32, String)>> {
+        self.deadlock.lock().take()
     }
 }
 
@@ -68,25 +265,32 @@ struct CollSlot {
 pub struct CollPoint {
     slot: Mutex<CollSlot>,
     cv: Condvar,
-    abort: AbortFlag,
+    ctl: Arc<Ctl>,
 }
 
 impl CollPoint {
-    /// Creates a rendezvous point tied to the run's abort flag.
-    pub fn new(abort: AbortFlag) -> Self {
-        Self { slot: Mutex::new(CollSlot::default()), cv: Condvar::new(), abort }
+    /// Creates a rendezvous point tied to the run's control block.
+    pub fn new(ctl: Arc<Ctl>) -> Self {
+        Self { slot: Mutex::new(CollSlot::default()), cv: Condvar::new(), ctl }
     }
 
     /// Executes one collective: blocks until all `n` members arrive, then
     /// every member returns `combine`'s result. `combine` runs exactly
     /// once, on the last arriver, while the slot is locked.
-    pub fn collective<F>(&self, n: u32, me: u32, tag: CollTag, contrib: Vec<u8>, combine: F) -> Vec<u8>
+    pub fn collective<F>(
+        &self,
+        n: u32,
+        me: u32,
+        tag: CollTag,
+        contrib: Vec<u8>,
+        combine: F,
+    ) -> Vec<u8>
     where
         F: FnOnce(&HashMap<u32, Vec<u8>>) -> Vec<u8>,
     {
         let mut s = self.slot.lock();
         match &s.tag {
-            None => s.tag = Some(tag),
+            None => s.tag = Some(tag.clone()),
             Some(t) => assert_eq!(
                 *t, tag,
                 "collective mismatch on communicator: rank {me} called {tag:?}, others {t:?}"
@@ -101,21 +305,24 @@ impl CollPoint {
             s.arrived = 0;
             s.tag = None;
             s.gen += 1;
+            self.ctl.bump();
             self.cv.notify_all();
         } else {
+            self.ctl.enter_blocked(me, BlockSite::Collective(tag));
             while s.gen == my_gen {
-                check_abort(&self.abort);
+                self.ctl.check_abort();
                 // Bounded wait so an abort raised between the check and
                 // the sleep is picked up on the next lap.
                 self.cv.wait_for(&mut s, ABORT_POLL);
             }
+            self.ctl.exit_blocked(me);
         }
         s.result.clone()
     }
 }
 
 /// Re-check interval for abort polling inside blocking waits.
-const ABORT_POLL: std::time::Duration = std::time::Duration::from_millis(50);
+pub(crate) const ABORT_POLL: std::time::Duration = std::time::Duration::from_millis(50);
 
 /// Group and communicator registry. Groups are lists of absolute ranks;
 /// each communicator is backed by a group.
@@ -189,19 +396,20 @@ type QueuedMsg = (u32, Vec<u8>);
 pub struct Mailbox {
     queues: Mutex<HashMap<(u32, u32, u32), VecDeque<QueuedMsg>>>,
     cv: Condvar,
-    abort: AbortFlag,
+    ctl: Arc<Ctl>,
 }
 
 impl Mailbox {
-    /// Creates a mailbox tied to the run's abort flag.
-    pub fn new(abort: AbortFlag) -> Self {
-        Self { queues: Mutex::new(HashMap::new()), cv: Condvar::new(), abort }
+    /// Creates a mailbox tied to the run's control block.
+    pub fn new(ctl: Arc<Ctl>) -> Self {
+        Self { queues: Mutex::new(HashMap::new()), cv: Condvar::new(), ctl }
     }
 
     /// Deposits a message (buffered standard-mode send: does not block).
     pub fn send(&self, comm: CommId, src_abs: u32, dst_abs: u32, tag: u32, data: Vec<u8>) {
         let mut q = self.queues.lock();
         q.entry((comm.0, src_abs, dst_abs)).or_default().push_back((tag, data));
+        self.ctl.bump();
         self.cv.notify_all();
     }
 
@@ -210,18 +418,30 @@ impl Mailbox {
     pub fn recv(&self, comm: CommId, src_abs: u32, dst_abs: u32, tag: u32) -> (u32, Vec<u8>) {
         let key = (comm.0, src_abs, dst_abs);
         let mut q = self.queues.lock();
+        let mut registered = false;
         loop {
             if let Some(dq) = q.get_mut(&key) {
                 let pos = if tag == u32::MAX {
-                    if dq.is_empty() { None } else { Some(0) }
+                    if dq.is_empty() {
+                        None
+                    } else {
+                        Some(0)
+                    }
                 } else {
                     dq.iter().position(|(t, _)| *t == tag)
                 };
                 if let Some(pos) = pos {
+                    if registered {
+                        self.ctl.exit_blocked(dst_abs);
+                    }
                     return dq.remove(pos).expect("position just found");
                 }
             }
-            check_abort(&self.abort);
+            if !registered {
+                self.ctl.enter_blocked(dst_abs, BlockSite::Recv { src: src_abs, tag });
+                registered = true;
+            }
+            self.ctl.check_abort();
             self.cv.wait_for(&mut q, ABORT_POLL);
         }
     }
@@ -237,19 +457,21 @@ struct LockSt {
 pub struct WinLocks {
     locks: Mutex<HashMap<(u32, u32), LockSt>>,
     cv: Condvar,
-    abort: AbortFlag,
+    ctl: Arc<Ctl>,
 }
 
 impl WinLocks {
-    /// Creates the lock table tied to the run's abort flag.
-    pub fn new(abort: AbortFlag) -> Self {
-        Self { locks: Mutex::new(HashMap::new()), cv: Condvar::new(), abort }
+    /// Creates the lock table tied to the run's control block.
+    pub fn new(ctl: Arc<Ctl>) -> Self {
+        Self { locks: Mutex::new(HashMap::new()), cv: Condvar::new(), ctl }
     }
 
-    /// Acquires the lock, blocking until compatible.
-    pub fn lock(&self, win: WinId, target_abs: u32, exclusive: bool) {
+    /// Acquires the lock for `origin` (absolute rank, used for blocked-
+    /// rank bookkeeping), blocking until compatible.
+    pub fn lock(&self, origin: u32, win: WinId, target_abs: u32, exclusive: bool) {
         let key = (win.0, target_abs);
         let mut map = self.locks.lock();
+        let mut registered = false;
         loop {
             let st = map.entry(key).or_default();
             let grantable = if exclusive { !st.exclusive && st.shared == 0 } else { !st.exclusive };
@@ -259,9 +481,16 @@ impl WinLocks {
                 } else {
                     st.shared += 1;
                 }
+                if registered {
+                    self.ctl.exit_blocked(origin);
+                }
                 return;
             }
-            check_abort(&self.abort);
+            if !registered {
+                self.ctl.enter_blocked(origin, BlockSite::WinLock { win, target: target_abs });
+                registered = true;
+            }
+            self.ctl.check_abort();
             self.cv.wait_for(&mut map, ABORT_POLL);
         }
     }
@@ -278,6 +507,7 @@ impl WinLocks {
             assert!(st.shared > 0, "unlock shared without holding it");
             st.shared -= 1;
         }
+        self.ctl.bump();
         self.cv.notify_all();
     }
 }
@@ -293,13 +523,13 @@ struct PscwCnt {
 pub struct Pscw {
     counts: Mutex<HashMap<(u32, u32, u32), PscwCnt>>,
     cv: Condvar,
-    abort: AbortFlag,
+    ctl: Arc<Ctl>,
 }
 
 impl Pscw {
-    /// Creates the counter table tied to the run's abort flag.
-    pub fn new(abort: AbortFlag) -> Self {
-        Self { counts: Mutex::new(HashMap::new()), cv: Condvar::new(), abort }
+    /// Creates the counter table tied to the run's control block.
+    pub fn new(ctl: Arc<Ctl>) -> Self {
+        Self { counts: Mutex::new(HashMap::new()), cv: Condvar::new(), ctl }
     }
 
     /// Target `me` exposes its window to each origin in `origins`.
@@ -308,6 +538,7 @@ impl Pscw {
         for &o in origins {
             c.entry((win.0, o, me)).or_default().posted += 1;
         }
+        self.ctl.bump();
         self.cv.notify_all();
     }
 
@@ -317,13 +548,21 @@ impl Pscw {
         let mut c = self.counts.lock();
         for &t in targets {
             let seen_cnt = seen.entry((win.0, t)).or_default();
+            let mut registered = false;
             loop {
                 let posted = c.get(&(win.0, me, t)).map_or(0, |x| x.posted);
                 if posted > *seen_cnt {
                     *seen_cnt += 1;
+                    if registered {
+                        self.ctl.exit_blocked(me);
+                    }
                     break;
                 }
-                check_abort(&self.abort);
+                if !registered {
+                    self.ctl.enter_blocked(me, BlockSite::PscwStart { win, target: t });
+                    registered = true;
+                }
+                self.ctl.check_abort();
                 self.cv.wait_for(&mut c, ABORT_POLL);
             }
         }
@@ -335,6 +574,7 @@ impl Pscw {
         for &t in targets {
             c.entry((win.0, me, t)).or_default().completed += 1;
         }
+        self.ctl.bump();
         self.cv.notify_all();
     }
 
@@ -343,13 +583,21 @@ impl Pscw {
         let mut c = self.counts.lock();
         for &o in origins {
             let seen_cnt = seen.entry((win.0, o)).or_default();
+            let mut registered = false;
             loop {
                 let completed = c.get(&(win.0, o, me)).map_or(0, |x| x.completed);
                 if completed > *seen_cnt {
                     *seen_cnt += 1;
+                    if registered {
+                        self.ctl.exit_blocked(me);
+                    }
                     break;
                 }
-                check_abort(&self.abort);
+                if !registered {
+                    self.ctl.enter_blocked(me, BlockSite::PscwWait { win, origin: o });
+                    registered = true;
+                }
+                self.ctl.check_abort();
                 self.cv.wait_for(&mut c, ABORT_POLL);
             }
         }
@@ -374,24 +622,24 @@ pub struct Shared {
     pub pscw: Pscw,
     /// Fresh-id counters (windows, communicators share one space each).
     next_win: Mutex<u32>,
-    /// Run-wide poison flag.
-    abort: AbortFlag,
+    /// Run-wide control block (poison flag, progress, blocked registry).
+    ctl: Arc<Ctl>,
 }
 
 impl Shared {
     /// Creates the shared state for `n` ranks with `arena_bytes` arenas.
     pub fn new(n: u32, arena_bytes: u64) -> Self {
-        let abort: AbortFlag = Arc::new(AtomicBool::new(false));
+        let ctl = Arc::new(Ctl::new(n));
         Self {
             arenas: (0..n).map(|_| Mutex::new(Arena::new(arena_bytes))).collect(),
             comms: RwLock::new(CommTable::new(n)),
             wins: RwLock::new(HashMap::new()),
             coll: Mutex::new(HashMap::new()),
-            mailbox: Mailbox::new(abort.clone()),
-            winlocks: WinLocks::new(abort.clone()),
-            pscw: Pscw::new(abort.clone()),
+            mailbox: Mailbox::new(ctl.clone()),
+            winlocks: WinLocks::new(ctl.clone()),
+            pscw: Pscw::new(ctl.clone()),
             next_win: Mutex::new(0),
-            abort,
+            ctl,
         }
     }
 
@@ -400,14 +648,19 @@ impl Shared {
         self.coll
             .lock()
             .entry(comm.0)
-            .or_insert_with(|| std::sync::Arc::new(CollPoint::new(self.abort.clone())))
+            .or_insert_with(|| std::sync::Arc::new(CollPoint::new(self.ctl.clone())))
             .clone()
+    }
+
+    /// The run's control block.
+    pub fn ctl(&self) -> &Arc<Ctl> {
+        &self.ctl
     }
 
     /// Raises the poison flag so every blocked rank unwinds (called by
     /// the runner when a rank panics).
     pub fn trigger_abort(&self) {
-        self.abort.store(true, Ordering::SeqCst);
+        self.ctl.trigger_abort();
     }
 
     /// Allocates a fresh window id (called by the `win_create` combiner).
@@ -441,8 +694,8 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
-    fn flag() -> AbortFlag {
-        Arc::new(AtomicBool::new(false))
+    fn ctl() -> Arc<Ctl> {
+        Arc::new(Ctl::new(4))
     }
 
     #[test]
@@ -472,7 +725,7 @@ mod tests {
 
     #[test]
     fn mailbox_fifo_and_tags() {
-        let mb = Mailbox::new(flag());
+        let mb = Mailbox::new(ctl());
         mb.send(CommId::WORLD, 0, 1, 5, vec![1]);
         mb.send(CommId::WORLD, 0, 1, 6, vec![2]);
         mb.send(CommId::WORLD, 0, 1, 5, vec![3]);
@@ -485,7 +738,7 @@ mod tests {
 
     #[test]
     fn mailbox_blocks_until_send() {
-        let mb = Arc::new(Mailbox::new(flag()));
+        let mb = Arc::new(Mailbox::new(ctl()));
         let mb2 = mb.clone();
         let h = std::thread::spawn(move || mb2.recv(CommId::WORLD, 0, 1, 9));
         std::thread::sleep(std::time::Duration::from_millis(20));
@@ -495,7 +748,7 @@ mod tests {
 
     #[test]
     fn collective_rendezvous() {
-        let point = Arc::new(CollPoint::new(flag()));
+        let point = Arc::new(CollPoint::new(ctl()));
         let n = 4;
         let results: Vec<Vec<u8>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..n)
@@ -521,7 +774,7 @@ mod tests {
 
     #[test]
     fn collective_repeated_generations() {
-        let point = Arc::new(CollPoint::new(flag()));
+        let point = Arc::new(CollPoint::new(ctl()));
         let n = 3;
         std::thread::scope(|s| {
             for me in 0..n {
@@ -543,16 +796,16 @@ mod tests {
 
     #[test]
     fn win_locks_shared_vs_exclusive() {
-        let locks = Arc::new(WinLocks::new(flag()));
-        locks.lock(WinId(0), 1, false);
-        locks.lock(WinId(0), 1, false); // second shared ok
-        // Exclusive on another target is independent.
-        locks.lock(WinId(0), 2, true);
+        let locks = Arc::new(WinLocks::new(ctl()));
+        locks.lock(0, WinId(0), 1, false);
+        locks.lock(0, WinId(0), 1, false); // second shared ok
+                                           // Exclusive on another target is independent.
+        locks.lock(0, WinId(0), 2, true);
         locks.unlock(WinId(0), 2, true);
         // Exclusive must wait for shared holders.
         let l2 = locks.clone();
         let h = std::thread::spawn(move || {
-            l2.lock(WinId(0), 1, true);
+            l2.lock(1, WinId(0), 1, true);
             l2.unlock(WinId(0), 1, true);
         });
         std::thread::sleep(std::time::Duration::from_millis(10));
@@ -563,7 +816,7 @@ mod tests {
 
     #[test]
     fn pscw_rendezvous() {
-        let pscw = Arc::new(Pscw::new(flag()));
+        let pscw = Arc::new(Pscw::new(ctl()));
         let p2 = pscw.clone();
         // Origin 0, target 1.
         let origin = std::thread::spawn(move || {
@@ -580,11 +833,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "collective mismatch")]
     fn mismatched_collectives_panic() {
-        let point = Arc::new(CollPoint::new(flag()));
+        let point = Arc::new(CollPoint::new(ctl()));
         let p = point.clone();
-        let h = std::thread::spawn(move || {
-            p.collective(2, 0, CollTag::Barrier, vec![], |_| vec![])
-        });
+        let h =
+            std::thread::spawn(move || p.collective(2, 0, CollTag::Barrier, vec![], |_| vec![]));
         // Give the first thread time to set the tag.
         std::thread::sleep(std::time::Duration::from_millis(20));
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -596,5 +848,87 @@ mod tests {
         if let Err(e) = r {
             std::panic::resume_unwind(e);
         }
+    }
+
+    #[test]
+    fn check_abort_panics_with_typed_payload() {
+        let c = ctl();
+        c.trigger_abort();
+        let err = std::panic::catch_unwind(|| c.check_abort()).unwrap_err();
+        assert_eq!(err.downcast_ref::<AbortReason>(), Some(&AbortReason::PeerFailure));
+    }
+
+    #[test]
+    fn blocked_registry_tracks_waiters() {
+        let c = ctl();
+        assert_eq!(c.blocked_count(), 0);
+        c.enter_blocked(2, BlockSite::Collective(CollTag::Fence { win: WinId(0) }));
+        c.enter_blocked(0, BlockSite::Recv { src: 1, tag: u32::MAX });
+        assert_eq!(c.blocked_count(), 2);
+        let snap = c.blocked_snapshot();
+        assert_eq!(snap[0], (0, "recv from rank 1 (any tag)".to_string()));
+        assert_eq!(snap[1], (2, "fence(win0)".to_string()));
+        let before = c.progress();
+        c.exit_blocked(2);
+        assert_eq!(c.blocked_count(), 1);
+        assert!(c.progress() > before, "unblocking counts as progress");
+    }
+
+    #[test]
+    fn rank_done_clears_blocked_entry() {
+        let c = ctl();
+        assert_eq!(c.alive(), 4);
+        c.enter_blocked(1, BlockSite::Collective(CollTag::Barrier));
+        c.rank_done(1);
+        assert_eq!(c.alive(), 3);
+        assert_eq!(c.blocked_count(), 0, "a dead rank is not a blocked rank");
+    }
+
+    #[test]
+    fn deadlock_verdict_is_first_writer_wins() {
+        let c = ctl();
+        c.declare_deadlock(vec![(0, "barrier".into())]);
+        assert!(c.aborted(), "declaring a deadlock poisons the run");
+        c.declare_deadlock(vec![(9, "late".into())]);
+        assert_eq!(c.take_deadlock(), Some(vec![(0, "barrier".into())]));
+        assert_eq!(c.take_deadlock(), None);
+    }
+
+    #[test]
+    fn mailbox_recv_registers_blocked_site() {
+        let c = ctl();
+        let mb = Arc::new(Mailbox::new(c.clone()));
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || mb2.recv(CommId::WORLD, 0, 1, 9));
+        // Wait for the receiver to register itself.
+        for _ in 0..200 {
+            if c.blocked_count() == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(c.blocked_snapshot(), vec![(1, "recv from rank 0 (tag 9)".to_string())]);
+        mb.send(CommId::WORLD, 0, 1, 9, vec![1]);
+        h.join().unwrap();
+        assert_eq!(c.blocked_count(), 0, "delivery clears the registration");
+    }
+
+    #[test]
+    fn block_site_display_forms() {
+        let win = WinId(3);
+        assert_eq!(BlockSite::WinLock { win, target: 2 }.to_string(), "lock(win3, target 2)");
+        assert_eq!(
+            BlockSite::PscwStart { win, target: 1 }.to_string(),
+            "win_start(win3) awaiting post from rank 1"
+        );
+        assert_eq!(
+            BlockSite::PscwWait { win, origin: 0 }.to_string(),
+            "win_wait(win3) awaiting complete from rank 0"
+        );
+        assert_eq!(
+            BlockSite::InjectedHang { nth_sync: 2, at: "fence(win3)".into() }.to_string(),
+            "injected hang at sync call #2 (fence(win3))"
+        );
+        assert_eq!(BlockSite::Collective(CollTag::Barrier).to_string(), "barrier");
     }
 }

@@ -19,4 +19,7 @@ pub mod tracefile;
 
 pub use profile::{profile_run, OverheadReport};
 pub use stats::{EventRates, TraceStats};
-pub use tracefile::{read_trace_dir, write_trace_dir};
+pub use tracefile::{
+    read_trace_dir, read_trace_dir_tolerant, stream_trace_dir, write_trace_dir, RankWriter,
+    TraceHealth, TraceWriter,
+};

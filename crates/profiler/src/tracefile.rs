@@ -10,16 +10,43 @@
 //!   rank-1.jsonl     following lines: one Event each, in program order
 //!   ...
 //! ```
+//!
+//! Two writers produce this layout:
+//!
+//! * [`write_trace_dir`] — the batch writer: the whole [`Trace`] is in
+//!   memory, each rank file starts with the complete location table.
+//! * [`TraceWriter`] — the streaming, crash-consistent writer: events are
+//!   appended one flushed line at a time, and location-table entries are
+//!   emitted inline as `{"loc": {...}}` lines just before the first event
+//!   that references them. If the writing process dies at any byte, the
+//!   file on disk is a valid prefix plus at most one torn final line.
+//!
+//! Two readers consume it:
+//!
+//! * [`read_trace_dir`] — strict: any damage is an error.
+//! * [`read_trace_dir_tolerant`] — salvages everything parseable from
+//!   either writer's output (torn final lines, corrupt middle lines,
+//!   missing rank files, missing `meta.json`) and reports what was lost
+//!   in a [`TraceHealth`], so the checker can decide to run in degraded
+//!   mode instead of refusing the trace.
 
-use mcc_types::{Event, ProcessTrace, SourceLoc, Trace};
+use mcc_types::{Event, LocId, ProcessTrace, SourceLoc, Trace};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fs::{self, File};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 #[derive(Serialize, Deserialize)]
 struct Meta {
     nprocs: usize,
+}
+
+/// An inline location-table entry in a streamed rank file: defines the
+/// next [`LocId`] (ids are assigned in order of first appearance).
+#[derive(Serialize, Deserialize)]
+struct LocDef {
+    loc: SourceLoc,
 }
 
 /// Writes a trace as a directory of per-rank JSON-lines files.
@@ -63,6 +90,270 @@ pub fn read_trace_dir(dir: &Path) -> io::Result<Trace> {
         procs.push(ProcessTrace { events, locs });
     }
     Ok(Trace { procs })
+}
+
+// ---------------------------------------------------------------------------
+// Streaming, crash-consistent writing
+// ---------------------------------------------------------------------------
+
+/// A streaming trace-directory writer.
+///
+/// `meta.json` is written (and durable) at creation time; per-rank files
+/// are then populated through [`RankWriter`]s one flushed line at a time.
+/// At any crash point the directory is readable by
+/// [`read_trace_dir_tolerant`] with at most the torn final line of each
+/// rank file lost.
+pub struct TraceWriter {
+    dir: PathBuf,
+    nprocs: usize,
+}
+
+impl TraceWriter {
+    /// Creates the directory and writes `meta.json` immediately.
+    pub fn create(dir: &Path, nprocs: usize) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join("meta.json"), serde_json::to_string(&Meta { nprocs })?)?;
+        Ok(Self { dir: dir.to_path_buf(), nprocs })
+    }
+
+    /// Number of ranks declared in `meta.json`.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Opens (truncating) the event log for one rank.
+    pub fn rank(&self, rank: u32) -> io::Result<RankWriter> {
+        if rank as usize >= self.nprocs {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("rank {rank} out of range for {} ranks", self.nprocs),
+            ));
+        }
+        let file = File::create(self.dir.join(format!("rank-{rank}.jsonl")))?;
+        Ok(RankWriter { file, interned: HashMap::new(), next_loc: 0 })
+    }
+}
+
+/// Appends one rank's events, each as a single unbuffered `write` of a
+/// complete line, so a crash can tear at most the line being written.
+///
+/// Source locations are interned on first use: a new location emits a
+/// `{"loc": {...}}` definition line (assigned the next [`LocId`] in
+/// order) immediately before the event that references it.
+pub struct RankWriter {
+    file: File,
+    interned: HashMap<SourceLoc, LocId>,
+    next_loc: u32,
+}
+
+impl RankWriter {
+    fn write_line(&mut self, mut line: String) -> io::Result<()> {
+        line.push('\n');
+        self.file.write_all(line.as_bytes())
+    }
+
+    /// Appends one event; `loc` is interned (emitting a definition line
+    /// if new) and the event line is flushed before returning.
+    pub fn append(&mut self, kind: mcc_types::EventKind, loc: SourceLoc) -> io::Result<()> {
+        let id = match self.interned.get(&loc) {
+            Some(id) => *id,
+            None => {
+                let id = LocId(self.next_loc);
+                self.next_loc += 1;
+                self.write_line(serde_json::to_string(&LocDef { loc: loc.clone() })?)?;
+                self.interned.insert(loc, id);
+                id
+            }
+        };
+        self.write_line(serde_json::to_string(&Event::new(kind, id))?)
+    }
+}
+
+/// Writes an in-memory trace through the streaming writer — the same
+/// on-disk directory a long-running instrumented process would leave
+/// behind, line-by-line flushed. Used by the fault-injection demos so
+/// that even a run that died mid-epoch leaves a salvageable directory.
+pub fn stream_trace_dir(trace: &Trace, dir: &Path) -> io::Result<()> {
+    let w = TraceWriter::create(dir, trace.nprocs())?;
+    for (rank, proc) in trace.procs.iter().enumerate() {
+        let mut rw = w.rank(rank as u32)?;
+        for event in &proc.events {
+            rw.append(event.kind.clone(), proc.loc(event.loc))?;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Tolerant reading
+// ---------------------------------------------------------------------------
+
+/// What a tolerant read had to repair or discard. Produced by
+/// [`read_trace_dir_tolerant`]; [`TraceHealth::is_complete`] decides
+/// whether the checker may report at full confidence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceHealth {
+    /// Whether `meta.json` was present and parseable.
+    pub meta_ok: bool,
+    /// Ranks the directory should contain (from `meta.json`, or inferred
+    /// from the `rank-*.jsonl` files present when it is damaged).
+    pub expected_ranks: usize,
+    /// Ranks whose event log file is missing entirely.
+    pub missing_ranks: Vec<u32>,
+    /// Ranks whose final line was torn (unparseable and not
+    /// newline-terminated — the signature of a writer dying mid-write).
+    /// The torn line is dropped.
+    pub torn_ranks: Vec<u32>,
+    /// `(rank, 1-based line number)` of complete but unparseable lines
+    /// (bit rot, concurrent truncation). Dropped.
+    pub corrupt_lines: Vec<(u32, usize)>,
+    /// Events whose location id had no surviving table entry; their
+    /// location was reset to [`LocId::UNKNOWN`].
+    pub unresolved_locs: u64,
+    /// Events successfully recovered across all ranks.
+    pub events_recovered: u64,
+}
+
+impl TraceHealth {
+    /// `true` when nothing was lost: the trace is byte-for-byte what a
+    /// strict read would have produced.
+    pub fn is_complete(&self) -> bool {
+        self.meta_ok
+            && self.missing_ranks.is_empty()
+            && self.torn_ranks.is_empty()
+            && self.corrupt_lines.is_empty()
+            && self.unresolved_locs == 0
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        if self.is_complete() {
+            return format!(
+                "trace complete: {} ranks, {} events",
+                self.expected_ranks, self.events_recovered
+            );
+        }
+        let mut parts = Vec::new();
+        if !self.meta_ok {
+            parts.push("meta.json missing or corrupt".to_string());
+        }
+        if !self.missing_ranks.is_empty() {
+            parts.push(format!("missing rank logs: {:?}", self.missing_ranks));
+        }
+        if !self.torn_ranks.is_empty() {
+            parts.push(format!("torn final line on ranks {:?}", self.torn_ranks));
+        }
+        if !self.corrupt_lines.is_empty() {
+            parts.push(format!("{} corrupt line(s) dropped", self.corrupt_lines.len()));
+        }
+        if self.unresolved_locs > 0 {
+            parts.push(format!("{} event(s) lost their source location", self.unresolved_locs));
+        }
+        format!(
+            "trace degraded ({} of {} ranks readable, {} events recovered): {}",
+            self.expected_ranks - self.missing_ranks.len(),
+            self.expected_ranks,
+            self.events_recovered,
+            parts.join("; ")
+        )
+    }
+}
+
+impl std::fmt::Display for TraceHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+/// Infers the rank count from the `rank-N.jsonl` files present.
+fn infer_nprocs(dir: &Path) -> io::Result<usize> {
+    let mut max: Option<u32> = None;
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(n) = name.strip_prefix("rank-").and_then(|s| s.strip_suffix(".jsonl")) {
+            if let Ok(n) = n.parse::<u32>() {
+                max = Some(max.map_or(n, |m| m.max(n)));
+            }
+        }
+    }
+    Ok(max.map_or(0, |m| m as usize + 1))
+}
+
+/// Salvages one rank file. Returns the recovered log; records damage in
+/// `health`.
+fn read_rank_tolerant(path: &Path, rank: u32, health: &mut TraceHealth) -> ProcessTrace {
+    let Ok(bytes) = fs::read(path) else {
+        health.missing_ranks.push(rank);
+        return ProcessTrace::default();
+    };
+    // A bit flip can produce invalid UTF-8; decode lossily so the
+    // damaged line fails JSON parsing instead of aborting the read.
+    let text = String::from_utf8_lossy(&bytes);
+    let ends_with_newline = text.ends_with('\n');
+    let lines: Vec<&str> = text.split('\n').collect();
+    // `split` yields a trailing "" when the text ends with '\n'.
+    let n_lines = if ends_with_newline { lines.len().saturating_sub(1) } else { lines.len() };
+
+    let mut locs: Vec<SourceLoc> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut torn = false;
+    for (i, line) in lines.iter().take(n_lines).enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        // First line of a batch-written file is the whole location table.
+        if i == 0 {
+            if let Ok(table) = serde_json::from_str::<Vec<SourceLoc>>(line) {
+                locs = table;
+                continue;
+            }
+        }
+        if let Ok(event) = serde_json::from_str::<Event>(line) {
+            events.push(event);
+        } else if let Ok(def) = serde_json::from_str::<LocDef>(line) {
+            locs.push(def.loc);
+        } else if i + 1 == lines.len() && !ends_with_newline {
+            torn = true;
+        } else {
+            health.corrupt_lines.push((rank, i + 1));
+        }
+    }
+    if torn {
+        health.torn_ranks.push(rank);
+    }
+    // Re-anchor events whose location definition did not survive.
+    for event in &mut events {
+        if event.loc != LocId::UNKNOWN && event.loc.0 as usize >= locs.len() {
+            event.loc = LocId::UNKNOWN;
+            health.unresolved_locs += 1;
+        }
+    }
+    health.events_recovered += events.len() as u64;
+    ProcessTrace { events, locs }
+}
+
+/// Reads a trace directory, salvaging everything parseable.
+///
+/// Never fails on damaged *contents* — torn final lines, corrupt middle
+/// lines, missing rank files, and a missing or corrupt `meta.json` all
+/// degrade the [`TraceHealth`] instead. The only error is an unreadable
+/// directory.
+pub fn read_trace_dir_tolerant(dir: &Path) -> io::Result<(Trace, TraceHealth)> {
+    let mut health = TraceHealth::default();
+    let meta: Option<Meta> =
+        fs::read_to_string(dir.join("meta.json")).ok().and_then(|s| serde_json::from_str(&s).ok());
+    health.meta_ok = meta.is_some();
+    health.expected_ranks = match meta {
+        Some(m) => m.nprocs,
+        None => infer_nprocs(dir)?,
+    };
+    let mut procs = Vec::with_capacity(health.expected_ranks);
+    for rank in 0..health.expected_ranks {
+        let path = dir.join(format!("rank-{rank}.jsonl"));
+        procs.push(read_rank_tolerant(&path, rank as u32, &mut health));
+    }
+    Ok((Trace { procs }, health))
 }
 
 #[cfg(test)]
@@ -111,5 +402,204 @@ mod tests {
     #[test]
     fn missing_dir_errors() {
         assert!(read_trace_dir(Path::new("/definitely/not/here")).is_err());
+    }
+
+    /// Unique scratch dir per test (process id + name).
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mcc-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Resolves every event to `(kind, loc)` so traces from the batch and
+    /// streaming writers compare equal even if their tables are ordered
+    /// differently.
+    fn resolved(t: &Trace) -> Vec<Vec<(EventKind, SourceLoc)>> {
+        t.procs
+            .iter()
+            .map(|p| p.events.iter().map(|e| (e.kind.clone(), p.loc(e.loc))).collect())
+            .collect()
+    }
+
+    #[test]
+    fn streaming_writer_roundtrips_via_tolerant_reader() {
+        let dir = scratch("stream-roundtrip");
+        let t = sample_trace();
+        stream_trace_dir(&t, &dir).unwrap();
+        let (back, health) = read_trace_dir_tolerant(&dir).unwrap();
+        assert!(health.is_complete(), "clean stream: {health}");
+        assert_eq!(resolved(&t), resolved(&back));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tolerant_reader_accepts_batch_format() {
+        let dir = scratch("tolerant-batch");
+        let t = sample_trace();
+        write_trace_dir(&t, &dir).unwrap();
+        let (back, health) = read_trace_dir_tolerant(&dir).unwrap();
+        assert!(health.is_complete(), "{health}");
+        assert_eq!(t, back);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tolerant_reader_drops_torn_final_line() {
+        let dir = scratch("tolerant-torn");
+        let t = sample_trace();
+        write_trace_dir(&t, &dir).unwrap();
+        // Tear the last line of rank 1's file mid-byte.
+        let path = dir.join("rank-1.jsonl");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let (back, health) = read_trace_dir_tolerant(&dir).unwrap();
+        assert!(!health.is_complete());
+        assert_eq!(health.torn_ranks, vec![1]);
+        assert_eq!(back.procs[1].events.len(), t.procs[1].events.len() - 1);
+        assert_eq!(back.procs[0], t.procs[0], "other ranks untouched");
+        assert_eq!(back.procs[2], t.procs[2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tolerant_reader_reports_missing_rank() {
+        let dir = scratch("tolerant-missing");
+        let t = sample_trace();
+        write_trace_dir(&t, &dir).unwrap();
+        std::fs::remove_file(dir.join("rank-2.jsonl")).unwrap();
+        let (back, health) = read_trace_dir_tolerant(&dir).unwrap();
+        assert_eq!(health.missing_ranks, vec![2]);
+        assert_eq!(back.nprocs(), 3, "missing rank keeps its (empty) slot");
+        assert!(back.procs[2].events.is_empty());
+        assert_eq!(back.procs[0], t.procs[0]);
+        assert!(health.summary().contains("missing rank logs"), "got {health}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tolerant_reader_drops_corrupt_middle_line() {
+        let dir = scratch("tolerant-corrupt");
+        let t = sample_trace();
+        write_trace_dir(&t, &dir).unwrap();
+        let path = dir.join("rank-0.jsonl");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[1] = "{\"kind\":GARBAGE".to_string(); // first event line
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let (back, health) = read_trace_dir_tolerant(&dir).unwrap();
+        assert_eq!(health.corrupt_lines, vec![(0, 2)]);
+        assert!(health.torn_ranks.is_empty(), "newline-terminated damage is not a tear");
+        assert_eq!(back.procs[0].events.len(), t.procs[0].events.len() - 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tolerant_reader_infers_nprocs_without_meta() {
+        let dir = scratch("tolerant-nometa");
+        let t = sample_trace();
+        write_trace_dir(&t, &dir).unwrap();
+        std::fs::remove_file(dir.join("meta.json")).unwrap();
+        let (back, health) = read_trace_dir_tolerant(&dir).unwrap();
+        assert!(!health.meta_ok);
+        assert_eq!(health.expected_ranks, 3);
+        assert_eq!(back.nprocs(), 3);
+        assert_eq!(resolved(&t), resolved(&back));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tolerant_reader_remaps_orphaned_loc_ids() {
+        let dir = scratch("tolerant-orphan");
+        let t = sample_trace();
+        write_trace_dir(&t, &dir).unwrap();
+        // Corrupt rank 0's location table (line 1): events keep parsing
+        // but their loc ids no longer resolve.
+        let path = dir.join("rank-0.jsonl");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[0] = "[not a table".to_string();
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let (back, health) = read_trace_dir_tolerant(&dir).unwrap();
+        assert!(health.unresolved_locs > 0);
+        assert_eq!(back.procs[0].events.len(), t.procs[0].events.len());
+        for e in &back.procs[0].events {
+            assert_eq!(e.loc, mcc_types::LocId::UNKNOWN);
+        }
+        // Resolving never panics.
+        for e in &back.procs[0].events {
+            let _ = back.procs[0].loc(e.loc);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streaming_writer_rejects_out_of_range_rank() {
+        let dir = scratch("stream-range");
+        let w = TraceWriter::create(&dir, 2).unwrap();
+        assert!(w.rank(2).is_err());
+        assert!(w.rank(1).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    mod corruption_never_panics {
+        //! Satellite property: no byte-level damage to a trace directory
+        //! can panic the tolerant reader — truncation at *any* offset and
+        //! bit flips at *any* position are salvaged or reported, never
+        //! thrown.
+        use super::*;
+        use proptest::prelude::*;
+
+        fn written_rank_file(
+            streaming: bool,
+            tag: &str,
+        ) -> (std::path::PathBuf, std::path::PathBuf) {
+            let dir = scratch(&format!("{tag}-{}", if streaming { "stream" } else { "batch" }));
+            let t = sample_trace();
+            if streaming {
+                stream_trace_dir(&t, &dir).unwrap();
+            } else {
+                write_trace_dir(&t, &dir).unwrap();
+            }
+            let path = dir.join("rank-1.jsonl");
+            (dir, path)
+        }
+
+        proptest! {
+            #[test]
+            fn truncation_at_any_offset(cut in 0usize..400, streaming in 0usize..2) {
+                let (dir, path) = written_rank_file(streaming == 1, "prop-cut");
+                let bytes = std::fs::read(&path).unwrap();
+                let cut = cut.min(bytes.len());
+                std::fs::write(&path, &bytes[..cut]).unwrap();
+                let (trace, health) = read_trace_dir_tolerant(&dir).unwrap();
+                prop_assert_eq!(trace.nprocs(), 3);
+                // Whatever survived is internally consistent.
+                for p in &trace.procs {
+                    for e in &p.events {
+                        let _ = p.loc(e.loc);
+                    }
+                }
+                let _ = health.summary();
+                std::fs::remove_dir_all(&dir).unwrap();
+            }
+
+            #[test]
+            fn bit_flip_at_any_position(pos in 0usize..400, bit in 0u8..8, streaming in 0usize..2) {
+                let (dir, path) = written_rank_file(streaming == 1, "prop-flip");
+                let mut bytes = std::fs::read(&path).unwrap();
+                let pos = pos % bytes.len();
+                bytes[pos] ^= 1 << bit;
+                std::fs::write(&path, &bytes).unwrap();
+                let (trace, health) = read_trace_dir_tolerant(&dir).unwrap();
+                prop_assert_eq!(trace.nprocs(), 3);
+                for p in &trace.procs {
+                    for e in &p.events {
+                        let _ = p.loc(e.loc);
+                    }
+                }
+                let _ = health.summary();
+                std::fs::remove_dir_all(&dir).unwrap();
+            }
+        }
     }
 }

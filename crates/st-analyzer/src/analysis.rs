@@ -85,11 +85,7 @@ pub fn analyze(prog: &Program) -> Report {
                 // A copy makes the destination carry RMA-exposed bytes
                 // (and a copy out of a window buffer must itself be
                 // instrumented): propagate both ways, like an alias.
-                add_edge(
-                    &mut edges,
-                    (fname.clone(), dst.clone()),
-                    (fname.clone(), src.clone()),
-                );
+                add_edge(&mut edges, (fname.clone(), dst.clone()), (fname.clone(), src.clone()));
             }
             StmtKind::Call { func: callee, args } => {
                 if let Some(cf) = prog.func(callee) {
@@ -133,11 +129,14 @@ mod tests {
     use crate::ir::{s, Expr, Func, PtrExpr, Stmt};
 
     fn win_create(buf: &str) -> Stmt {
-        s(1, StmtKind::Mpi(MpiCall::WinCreate {
-            buf: buf.into(),
-            len: Expr::Const(4),
-            win: "w".into(),
-        }))
+        s(
+            1,
+            StmtKind::Mpi(MpiCall::WinCreate {
+                buf: buf.into(),
+                len: Expr::Const(4),
+                win: "w".into(),
+            }),
+        )
     }
 
     fn prog(funcs: Vec<Func>) -> Program {
@@ -162,13 +161,16 @@ mod tests {
         let p = prog(vec![Func {
             name: "main".into(),
             params: vec![],
-            body: vec![s(2, StmtKind::Mpi(MpiCall::Get {
-                origin: "check".into(),
-                count: Expr::Const(1),
-                target: Expr::Const(1),
-                disp: Expr::Const(0),
-                win: "w".into(),
-            }))],
+            body: vec![s(
+                2,
+                StmtKind::Mpi(MpiCall::Get {
+                    origin: "check".into(),
+                    count: Expr::Const(1),
+                    target: Expr::Const(1),
+                    disp: Expr::Const(0),
+                    win: "w".into(),
+                }),
+            )],
         }]);
         let r = analyze(&p);
         assert!(r.is_relevant("main", "check"));
@@ -181,12 +183,27 @@ mod tests {
             params: vec![],
             body: vec![
                 win_create("wbuf"),
-                s(2, StmtKind::AssignPtr { name: "alias".into(), value: PtrExpr::Var("wbuf".into()) }),
-                s(3, StmtKind::AssignPtr {
-                    name: "alias2".into(),
-                    value: PtrExpr::Offset("alias".into(), Expr::Const(2)),
-                }),
-                s(4, StmtKind::AssignPtr { name: "unrelated".into(), value: PtrExpr::Var("other".into()) }),
+                s(
+                    2,
+                    StmtKind::AssignPtr {
+                        name: "alias".into(),
+                        value: PtrExpr::Var("wbuf".into()),
+                    },
+                ),
+                s(
+                    3,
+                    StmtKind::AssignPtr {
+                        name: "alias2".into(),
+                        value: PtrExpr::Offset("alias".into(), Expr::Const(2)),
+                    },
+                ),
+                s(
+                    4,
+                    StmtKind::AssignPtr {
+                        name: "unrelated".into(),
+                        value: PtrExpr::Var("other".into()),
+                    },
+                ),
             ],
         }]);
         let r = analyze(&p);
@@ -204,13 +221,16 @@ mod tests {
             params: vec![],
             body: vec![
                 s(1, StmtKind::AssignPtr { name: "q".into(), value: PtrExpr::Var("p".into()) }),
-                s(2, StmtKind::Mpi(MpiCall::Put {
-                    origin: "q".into(),
-                    count: Expr::Const(1),
-                    target: Expr::Const(0),
-                    disp: Expr::Const(0),
-                    win: "w".into(),
-                })),
+                s(
+                    2,
+                    StmtKind::Mpi(MpiCall::Put {
+                        origin: "q".into(),
+                        count: Expr::Const(1),
+                        target: Expr::Const(0),
+                        disp: Expr::Const(0),
+                        win: "w".into(),
+                    }),
+                ),
             ],
         }]);
         let r = analyze(&p);
@@ -226,19 +246,25 @@ mod tests {
                 params: vec![],
                 body: vec![
                     win_create("wbuf"),
-                    s(2, StmtKind::Call {
-                        func: "helper".into(),
-                        args: vec![Arg::Ptr("wbuf".into()), Arg::Scalar(Expr::Const(3))],
-                    }),
+                    s(
+                        2,
+                        StmtKind::Call {
+                            func: "helper".into(),
+                            args: vec![Arg::Ptr("wbuf".into()), Arg::Scalar(Expr::Const(3))],
+                        },
+                    ),
                 ],
             },
             Func {
                 name: "helper".into(),
                 params: vec![("data".into(), true), ("n".into(), false)],
-                body: vec![s(10, StmtKind::AssignPtr {
-                    name: "local".into(),
-                    value: PtrExpr::Var("data".into()),
-                })],
+                body: vec![s(
+                    10,
+                    StmtKind::AssignPtr {
+                        name: "local".into(),
+                        value: PtrExpr::Var("data".into()),
+                    },
+                )],
             },
         ]);
         let r = analyze(&p);
@@ -255,21 +281,24 @@ mod tests {
             Func {
                 name: "main".into(),
                 params: vec![],
-                body: vec![s(1, StmtKind::Call {
-                    func: "sender".into(),
-                    args: vec![Arg::Ptr("buf".into())],
-                })],
+                body: vec![s(
+                    1,
+                    StmtKind::Call { func: "sender".into(), args: vec![Arg::Ptr("buf".into())] },
+                )],
             },
             Func {
                 name: "sender".into(),
                 params: vec![("out".into(), true)],
-                body: vec![s(5, StmtKind::Mpi(MpiCall::Put {
-                    origin: "out".into(),
-                    count: Expr::Const(1),
-                    target: Expr::Const(0),
-                    disp: Expr::Const(0),
-                    win: "w".into(),
-                }))],
+                body: vec![s(
+                    5,
+                    StmtKind::Mpi(MpiCall::Put {
+                        origin: "out".into(),
+                        count: Expr::Const(1),
+                        target: Expr::Const(0),
+                        disp: Expr::Const(0),
+                        win: "w".into(),
+                    }),
+                )],
             },
         ]);
         let r = analyze(&p);
@@ -284,11 +313,14 @@ mod tests {
         let p = prog(vec![Func {
             name: "main".into(),
             params: vec![],
-            body: vec![s(1, StmtKind::If {
-                cond: Expr::Const(0),
-                then_body: vec![win_create("condbuf")],
-                else_body: vec![],
-            })],
+            body: vec![s(
+                1,
+                StmtKind::If {
+                    cond: Expr::Const(0),
+                    then_body: vec![win_create("condbuf")],
+                    else_body: vec![],
+                },
+            )],
         }]);
         let r = analyze(&p);
         assert!(r.is_relevant("main", "condbuf"));
@@ -303,16 +335,22 @@ mod tests {
             params: vec![],
             body: vec![
                 win_create("wbuf"),
-                s(2, StmtKind::Memcpy {
-                    dst: "copy".into(),
-                    src: "wbuf".into(),
-                    count: Expr::Const(4),
-                }),
-                s(3, StmtKind::Memcpy {
-                    dst: "copy2".into(),
-                    src: "copy".into(),
-                    count: Expr::Const(4),
-                }),
+                s(
+                    2,
+                    StmtKind::Memcpy {
+                        dst: "copy".into(),
+                        src: "wbuf".into(),
+                        count: Expr::Const(4),
+                    },
+                ),
+                s(
+                    3,
+                    StmtKind::Memcpy {
+                        dst: "copy2".into(),
+                        src: "copy".into(),
+                        count: Expr::Const(4),
+                    },
+                ),
             ],
         }]);
         let r = analyze(&p);
@@ -327,12 +365,15 @@ mod tests {
         let p = prog(vec![Func {
             name: "main".into(),
             params: vec![],
-            body: vec![s(1, StmtKind::Mpi(MpiCall::Send {
-                buf: "msg".into(),
-                count: Expr::Const(1),
-                dest: Expr::Const(1),
-                tag: Expr::Const(0),
-            }))],
+            body: vec![s(
+                1,
+                StmtKind::Mpi(MpiCall::Send {
+                    buf: "msg".into(),
+                    count: Expr::Const(1),
+                    dest: Expr::Const(1),
+                    tag: Expr::Const(0),
+                }),
+            )],
         }]);
         let r = analyze(&p);
         assert!(!r.is_relevant("main", "msg"));

@@ -40,12 +40,8 @@ pub struct ProgramOutcome {
 pub fn run_program(prog: &Program, cfg: InterpConfig) -> Result<ProgramOutcome, SimError> {
     let livelocks = AtomicU64::new(0);
     let result = run(cfg.sim.clone(), |p| {
-        let mut interp = Interp {
-            prog,
-            report: cfg.report.as_ref(),
-            proc: p,
-            livelocks: &livelocks,
-        };
+        let mut interp =
+            Interp { prog, report: cfg.report.as_ref(), proc: p, livelocks: &livelocks };
         let main = prog.main().clone();
         interp.call(&main, Vec::new());
         interp.proc.set_loc_override(None);
@@ -101,10 +97,7 @@ impl<'a> Interp<'a> {
     }
 
     fn binding(&self, frame: &Frame, name: &str) -> Binding {
-        *frame
-            .vars
-            .get(name)
-            .unwrap_or_else(|| panic!("{}: unbound variable `{name}`", frame.func))
+        *frame.vars.get(name).unwrap_or_else(|| panic!("{}: unbound variable `{name}`", frame.func))
     }
 
     /// The address a variable refers to when used as a buffer: scalars
@@ -372,38 +365,58 @@ mod tests {
                 params: vec![],
                 body: vec![
                     s(1, K::DeclArray { name: "wbuf".into(), len: E::Const(4) }),
-                    s(2, K::Mpi(MpiCall::WinCreate {
-                        buf: "wbuf".into(),
-                        len: E::Const(4),
-                        win: "w".into(),
-                    })),
+                    s(
+                        2,
+                        K::Mpi(MpiCall::WinCreate {
+                            buf: "wbuf".into(),
+                            len: E::Const(4),
+                            win: "w".into(),
+                        }),
+                    ),
                     s(3, K::Mpi(MpiCall::Fence { win: "w".into() })),
-                    s(4, K::If {
-                        cond: E::bin(BinOp::Eq, E::Rank, E::Const(0)),
-                        then_body: vec![
-                            s(5, K::DeclArray { name: "src".into(), len: E::Const(4) }),
-                            s(6, K::Store { ptr: "src".into(), index: E::Const(0), value: E::Const(99) }),
-                            s(7, K::Mpi(MpiCall::Put {
-                                origin: "src".into(),
-                                count: E::Const(1),
-                                target: E::Const(1),
-                                disp: E::Const(0),
-                                win: "w".into(),
-                            })),
-                        ],
-                        else_body: vec![],
-                    }),
+                    s(
+                        4,
+                        K::If {
+                            cond: E::bin(BinOp::Eq, E::Rank, E::Const(0)),
+                            then_body: vec![
+                                s(5, K::DeclArray { name: "src".into(), len: E::Const(4) }),
+                                s(
+                                    6,
+                                    K::Store {
+                                        ptr: "src".into(),
+                                        index: E::Const(0),
+                                        value: E::Const(99),
+                                    },
+                                ),
+                                s(
+                                    7,
+                                    K::Mpi(MpiCall::Put {
+                                        origin: "src".into(),
+                                        count: E::Const(1),
+                                        target: E::Const(1),
+                                        disp: E::Const(0),
+                                        win: "w".into(),
+                                    }),
+                                ),
+                            ],
+                            else_body: vec![],
+                        },
+                    ),
                     s(8, K::Mpi(MpiCall::Fence { win: "w".into() })),
-                    s(9, K::If {
-                        cond: E::bin(BinOp::Eq, E::Rank, E::Const(1)),
-                        then_body: vec![
-                            s(10, K::DeclScalar {
-                                name: "v".into(),
-                                init: E::index("wbuf", E::Const(0)),
-                            }),
-                        ],
-                        else_body: vec![],
-                    }),
+                    s(
+                        9,
+                        K::If {
+                            cond: E::bin(BinOp::Eq, E::Rank, E::Const(1)),
+                            then_body: vec![s(
+                                10,
+                                K::DeclScalar {
+                                    name: "v".into(),
+                                    init: E::index("wbuf", E::Const(0)),
+                                },
+                            )],
+                            else_body: vec![],
+                        },
+                    ),
                     s(11, K::Mpi(MpiCall::WinFree { win: "w".into() })),
                 ],
             }],
@@ -417,13 +430,12 @@ mod tests {
         let trace = out.result.trace.unwrap();
         // Rank 0 issued the put.
         let p0 = &trace.procs[0];
-        assert!(p0.events.iter().any(|e| matches!(&e.kind, EventKind::Rma(op) if op.kind == mcc_types::RmaKind::Put)));
-        // The put's diagnostic location cites line 7 of put.mc.
-        let put = p0
+        assert!(p0
             .events
             .iter()
-            .find(|e| matches!(&e.kind, EventKind::Rma(_)))
-            .unwrap();
+            .any(|e| matches!(&e.kind, EventKind::Rma(op) if op.kind == mcc_types::RmaKind::Put)));
+        // The put's diagnostic location cites line 7 of put.mc.
+        let put = p0.events.iter().find(|e| matches!(&e.kind, EventKind::Rma(_))).unwrap();
         let loc = p0.loc(put.loc);
         assert_eq!(loc.file, "put.mc");
         assert_eq!(loc.line, 7);
@@ -469,20 +481,29 @@ mod tests {
                 body: vec![
                     s(1, K::DeclScalar { name: "sum".into(), init: E::Const(0) }),
                     s(2, K::DeclScalar { name: "i".into(), init: E::Const(0) }),
-                    s(3, K::While {
-                        cond: E::bin(BinOp::Lt, E::var("i"), E::Const(5)),
-                        body: vec![
-                            s(4, K::Assign {
-                                name: "sum".into(),
-                                value: E::bin(BinOp::Add, E::var("sum"), E::var("i")),
-                            }),
-                            s(5, K::Assign {
-                                name: "i".into(),
-                                value: E::bin(BinOp::Add, E::var("i"), E::Const(1)),
-                            }),
-                        ],
-                        max_iters: 100,
-                    }),
+                    s(
+                        3,
+                        K::While {
+                            cond: E::bin(BinOp::Lt, E::var("i"), E::Const(5)),
+                            body: vec![
+                                s(
+                                    4,
+                                    K::Assign {
+                                        name: "sum".into(),
+                                        value: E::bin(BinOp::Add, E::var("sum"), E::var("i")),
+                                    },
+                                ),
+                                s(
+                                    5,
+                                    K::Assign {
+                                        name: "i".into(),
+                                        value: E::bin(BinOp::Add, E::var("i"), E::Const(1)),
+                                    },
+                                ),
+                            ],
+                            max_iters: 100,
+                        },
+                    ),
                     // Expose the result so the test can find it: store into
                     // an array cell we can locate via a put-free window...
                     // simpler: assert via livelocks == 0 plus trace length.
@@ -502,11 +523,14 @@ mod tests {
                 params: vec![],
                 body: vec![
                     s(1, K::DeclScalar { name: "check".into(), init: E::Const(0) }),
-                    s(2, K::While {
-                        cond: E::bin(BinOp::Eq, E::var("check"), E::Const(0)),
-                        body: vec![],
-                        max_iters: 50,
-                    }),
+                    s(
+                        2,
+                        K::While {
+                            cond: E::bin(BinOp::Eq, E::var("check"), E::Const(0)),
+                            body: vec![],
+                            max_iters: 50,
+                        },
+                    ),
                 ],
             }],
         };
@@ -525,27 +549,38 @@ mod tests {
                     params: vec![],
                     body: vec![
                         s(1, K::DeclArray { name: "data".into(), len: E::Const(2) }),
-                        s(2, K::Call {
-                            func: "fill".into(),
-                            args: vec![Arg::Ptr("data".into()), Arg::Scalar(E::Const(7))],
-                        }),
-                        s(3, K::DeclScalar { name: "got".into(), init: E::index("data", E::Const(1)) }),
+                        s(
+                            2,
+                            K::Call {
+                                func: "fill".into(),
+                                args: vec![Arg::Ptr("data".into()), Arg::Scalar(E::Const(7))],
+                            },
+                        ),
+                        s(
+                            3,
+                            K::DeclScalar {
+                                name: "got".into(),
+                                init: E::index("data", E::Const(1)),
+                            },
+                        ),
                         // got must be 7: check by spinning if wrong (bounded).
-                        s(4, K::While {
-                            cond: E::bin(BinOp::Ne, E::var("got"), E::Const(7)),
-                            body: vec![],
-                            max_iters: 1,
-                        }),
+                        s(
+                            4,
+                            K::While {
+                                cond: E::bin(BinOp::Ne, E::var("got"), E::Const(7)),
+                                body: vec![],
+                                max_iters: 1,
+                            },
+                        ),
                     ],
                 },
                 Func {
                     name: "fill".into(),
                     params: vec![("out".into(), true), ("v".into(), false)],
-                    body: vec![s(10, K::Store {
-                        ptr: "out".into(),
-                        index: E::Const(1),
-                        value: E::var("v"),
-                    })],
+                    body: vec![s(
+                        10,
+                        K::Store { ptr: "out".into(), index: E::Const(1), value: E::var("v") },
+                    )],
                 },
             ],
         };
@@ -562,32 +597,57 @@ mod tests {
                 params: vec![],
                 body: vec![
                     s(1, K::DeclArray { name: "msg".into(), len: E::Const(1) }),
-                    s(2, K::If {
-                        cond: E::bin(BinOp::Eq, E::Rank, E::Const(0)),
-                        then_body: vec![
-                            s(3, K::Store { ptr: "msg".into(), index: E::Const(0), value: E::Const(5) }),
-                            s(4, K::Mpi(MpiCall::Send {
-                                buf: "msg".into(),
-                                count: E::Const(1),
-                                dest: E::Const(1),
-                                tag: E::Const(0),
-                            })),
-                        ],
-                        else_body: vec![
-                            s(5, K::Mpi(MpiCall::Recv {
-                                buf: "msg".into(),
-                                count: E::Const(1),
-                                src: E::Const(0),
-                                tag: E::Const(0),
-                            })),
-                            s(6, K::DeclScalar { name: "v".into(), init: E::index("msg", E::Const(0)) }),
-                            s(7, K::While {
-                                cond: E::bin(BinOp::Ne, E::var("v"), E::Const(5)),
-                                body: vec![],
-                                max_iters: 1,
-                            }),
-                        ],
-                    }),
+                    s(
+                        2,
+                        K::If {
+                            cond: E::bin(BinOp::Eq, E::Rank, E::Const(0)),
+                            then_body: vec![
+                                s(
+                                    3,
+                                    K::Store {
+                                        ptr: "msg".into(),
+                                        index: E::Const(0),
+                                        value: E::Const(5),
+                                    },
+                                ),
+                                s(
+                                    4,
+                                    K::Mpi(MpiCall::Send {
+                                        buf: "msg".into(),
+                                        count: E::Const(1),
+                                        dest: E::Const(1),
+                                        tag: E::Const(0),
+                                    }),
+                                ),
+                            ],
+                            else_body: vec![
+                                s(
+                                    5,
+                                    K::Mpi(MpiCall::Recv {
+                                        buf: "msg".into(),
+                                        count: E::Const(1),
+                                        src: E::Const(0),
+                                        tag: E::Const(0),
+                                    }),
+                                ),
+                                s(
+                                    6,
+                                    K::DeclScalar {
+                                        name: "v".into(),
+                                        init: E::index("msg", E::Const(0)),
+                                    },
+                                ),
+                                s(
+                                    7,
+                                    K::While {
+                                        cond: E::bin(BinOp::Ne, E::var("v"), E::Const(5)),
+                                        body: vec![],
+                                        max_iters: 1,
+                                    },
+                                ),
+                            ],
+                        },
+                    ),
                 ],
             }],
         };

@@ -241,8 +241,14 @@ mod tests {
     #[test]
     fn expr_builders() {
         let e = Expr::bin(BinOp::Add, Expr::var("x"), Expr::Const(1));
-        assert_eq!(e, Expr::Bin(BinOp::Add, Box::new(Expr::Var("x".into())), Box::new(Expr::Const(1))));
-        assert_eq!(Expr::index("a", Expr::Const(0)), Expr::Index("a".into(), Box::new(Expr::Const(0))));
+        assert_eq!(
+            e,
+            Expr::Bin(BinOp::Add, Box::new(Expr::Var("x".into())), Box::new(Expr::Const(1)))
+        );
+        assert_eq!(
+            Expr::index("a", Expr::Const(0)),
+            Expr::Index("a".into(), Box::new(Expr::Const(0)))
+        );
     }
 
     #[test]
@@ -255,15 +261,24 @@ mod tests {
     fn walk_recurses_into_control_flow() {
         let body = vec![
             s(1, StmtKind::DeclScalar { name: "x".into(), init: Expr::Const(0) }),
-            s(2, StmtKind::If {
-                cond: Expr::Const(1),
-                then_body: vec![s(3, StmtKind::Assign { name: "x".into(), value: Expr::Const(1) })],
-                else_body: vec![s(4, StmtKind::While {
-                    cond: Expr::Const(0),
-                    body: vec![s(5, StmtKind::Mpi(MpiCall::Barrier))],
-                    max_iters: 10,
-                })],
-            }),
+            s(
+                2,
+                StmtKind::If {
+                    cond: Expr::Const(1),
+                    then_body: vec![s(
+                        3,
+                        StmtKind::Assign { name: "x".into(), value: Expr::Const(1) },
+                    )],
+                    else_body: vec![s(
+                        4,
+                        StmtKind::While {
+                            cond: Expr::Const(0),
+                            body: vec![s(5, StmtKind::Mpi(MpiCall::Barrier))],
+                            max_iters: 10,
+                        },
+                    )],
+                },
+            ),
         ];
         let mut lines = Vec::new();
         walk_stmts(&body, &mut |st| lines.push(st.line));

@@ -67,9 +67,9 @@ impl fmt::Display for ConflictKind {
             ConflictKind::OverlapViolation => {
                 f.write_str("conflicting accesses to overlapping memory")
             }
-            ConflictKind::SeparationViolation => f.write_str(
-                "combination erroneous even without overlap (MPI-2.2 separation rule)",
-            ),
+            ConflictKind::SeparationViolation => {
+                f.write_str("combination erroneous even without overlap (MPI-2.2 separation rule)")
+            }
         }
     }
 }

@@ -266,10 +266,7 @@ mod tests {
         // A vector-ish type: 4 bytes data, extent 16 (12-byte gap).
         let v = DataMap::contiguous(4).with_extent(16);
         let t = v.tiled(3);
-        assert_eq!(
-            t.segments(),
-            &[Segment::new(0, 4), Segment::new(16, 4), Segment::new(32, 4)]
-        );
+        assert_eq!(t.segments(), &[Segment::new(0, 4), Segment::new(16, 4), Segment::new(32, 4)]);
         assert_eq!(t.extent(), 48);
     }
 

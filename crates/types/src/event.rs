@@ -90,7 +90,9 @@ impl AtomicKind {
     /// operation family).
     pub fn access_class(self, dtype: DatatypeId) -> AccessClass {
         match self {
-            AtomicKind::GetAccumulate(op) | AtomicKind::FetchAndOp(op) => AccessClass::acc(op, dtype),
+            AtomicKind::GetAccumulate(op) | AtomicKind::FetchAndOp(op) => {
+                AccessClass::acc(op, dtype)
+            }
             // CAS overlaps safely only with other CAS on the same dtype;
             // model it as an accumulate with a reserved op (Replace is
             // not used by the other constructors' default workloads, but
@@ -443,17 +445,17 @@ mod tests {
 
     #[test]
     fn collective_comm_extraction() {
-        assert_eq!(
-            EventKind::Barrier { comm: CommId(3) }.collective_comm(),
-            Some(CommId(3))
-        );
+        assert_eq!(EventKind::Barrier { comm: CommId(3) }.collective_comm(), Some(CommId(3)));
         assert_eq!(
             EventKind::WinCreate { win: WinId(0), base: 0, len: 8, comm: CommId::WORLD }
                 .collective_comm(),
             Some(CommId::WORLD)
         );
-        assert_eq!(EventKind::Send { comm: CommId::WORLD, to: Rank(0), tag: Tag(0), bytes: 1 }
-            .collective_comm(), None);
+        assert_eq!(
+            EventKind::Send { comm: CommId::WORLD, to: Rank(0), tag: Tag(0), bytes: 1 }
+                .collective_comm(),
+            None
+        );
     }
 
     #[test]

@@ -100,10 +100,7 @@ impl Trace {
     /// Iterates over all events as `(EventRef, &Event)`.
     pub fn iter_events(&self) -> impl Iterator<Item = (EventRef, &Event)> {
         self.procs.iter().enumerate().flat_map(|(r, p)| {
-            p.events
-                .iter()
-                .enumerate()
-                .map(move |(i, e)| (EventRef::new(Rank(r as u32), i), e))
+            p.events.iter().enumerate().map(move |(i, e)| (EventRef::new(Rank(r as u32), i), e))
         })
     }
 }

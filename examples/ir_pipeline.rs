@@ -22,41 +22,66 @@ fn bt_broadcast_ir() -> Program {
             params: vec![],
             body: vec![
                 s(0, K::DeclArray { name: "flag".into(), len: E::Const(1) }),
-                s(0, K::Mpi(MpiCall::WinCreate {
-                    buf: "flag".into(),
-                    len: E::Const(1),
-                    win: "win".into(),
-                })),
-                s(0, K::If {
-                    cond: E::bin(BinOp::Eq, E::Rank, E::Const(0)),
-                    // Parent: set its flag, then wait at the barrier.
-                    then_body: vec![
-                        s(0, K::Store { ptr: "flag".into(), index: E::Const(0), value: E::Const(1) }),
-                        s(0, K::Mpi(MpiCall::Barrier)),
-                    ],
-                    // Child: Figure 6 lines 1..8.
-                    else_body: vec![
-                        s(0, K::Mpi(MpiCall::Barrier)),
-                        s(1, K::Mpi(MpiCall::Lock {
-                            kind: LockKind::Shared,
-                            target: E::Const(0),
-                            win: "win".into(),
-                        })),
-                        s(3, K::DeclScalar { name: "check".into(), init: E::Const(0) }),
-                        s(4, K::While {
-                            cond: E::bin(BinOp::Eq, E::var("check"), E::Const(0)),
-                            body: vec![s(5, K::Mpi(MpiCall::Get {
-                                origin: "check".into(),
-                                count: E::Const(1),
-                                target: E::Const(0),
-                                disp: E::Const(0),
-                                win: "win".into(),
-                            }))],
-                            max_iters: 32,
-                        }),
-                        s(8, K::Mpi(MpiCall::Unlock { target: E::Const(0), win: "win".into() })),
-                    ],
-                }),
+                s(
+                    0,
+                    K::Mpi(MpiCall::WinCreate {
+                        buf: "flag".into(),
+                        len: E::Const(1),
+                        win: "win".into(),
+                    }),
+                ),
+                s(
+                    0,
+                    K::If {
+                        cond: E::bin(BinOp::Eq, E::Rank, E::Const(0)),
+                        // Parent: set its flag, then wait at the barrier.
+                        then_body: vec![
+                            s(
+                                0,
+                                K::Store {
+                                    ptr: "flag".into(),
+                                    index: E::Const(0),
+                                    value: E::Const(1),
+                                },
+                            ),
+                            s(0, K::Mpi(MpiCall::Barrier)),
+                        ],
+                        // Child: Figure 6 lines 1..8.
+                        else_body: vec![
+                            s(0, K::Mpi(MpiCall::Barrier)),
+                            s(
+                                1,
+                                K::Mpi(MpiCall::Lock {
+                                    kind: LockKind::Shared,
+                                    target: E::Const(0),
+                                    win: "win".into(),
+                                }),
+                            ),
+                            s(3, K::DeclScalar { name: "check".into(), init: E::Const(0) }),
+                            s(
+                                4,
+                                K::While {
+                                    cond: E::bin(BinOp::Eq, E::var("check"), E::Const(0)),
+                                    body: vec![s(
+                                        5,
+                                        K::Mpi(MpiCall::Get {
+                                            origin: "check".into(),
+                                            count: E::Const(1),
+                                            target: E::Const(0),
+                                            disp: E::Const(0),
+                                            win: "win".into(),
+                                        }),
+                                    )],
+                                    max_iters: 32,
+                                },
+                            ),
+                            s(
+                                8,
+                                K::Mpi(MpiCall::Unlock { target: E::Const(0), win: "win".into() }),
+                            ),
+                        ],
+                    },
+                ),
                 s(9, K::Mpi(MpiCall::Barrier)),
                 s(10, K::Mpi(MpiCall::WinFree { win: "win".into() })),
             ],
@@ -74,7 +99,13 @@ fn aliasing_ir() -> Program {
                 params: vec![],
                 body: vec![
                     s(1, K::DeclArray { name: "data".into(), len: E::Const(8) }),
-                    s(2, K::AssignPtr { name: "view".into(), value: PtrExpr::Offset("data".into(), E::Const(2)) }),
+                    s(
+                        2,
+                        K::AssignPtr {
+                            name: "view".into(),
+                            value: PtrExpr::Offset("data".into(), E::Const(2)),
+                        },
+                    ),
                     s(3, K::DeclArray { name: "unrelated".into(), len: E::Const(8) }),
                     s(4, K::Call { func: "publish".into(), args: vec![Arg::Ptr("view".into())] }),
                 ],
@@ -82,13 +113,16 @@ fn aliasing_ir() -> Program {
             Func {
                 name: "publish".into(),
                 params: vec![("buf".into(), true)],
-                body: vec![s(10, K::Mpi(MpiCall::Put {
-                    origin: "buf".into(),
-                    count: E::Const(1),
-                    target: E::Const(0),
-                    disp: E::Const(0),
-                    win: "w".into(),
-                }))],
+                body: vec![s(
+                    10,
+                    K::Mpi(MpiCall::Put {
+                        origin: "buf".into(),
+                        count: E::Const(1),
+                        target: E::Const(0),
+                        disp: E::Const(0),
+                        win: "w".into(),
+                    }),
+                )],
             },
         ],
     }
@@ -109,8 +143,11 @@ fn main() {
     // --- the BT-broadcast case study, IR edition -----------------------
     let prog = bt_broadcast_ir();
     let st = analyze(&prog);
-    println!("\nST-Analyzer marks in bt_broadcast.c: flag relevant: {}, check relevant: {}",
-        st.is_relevant("main", "flag"), st.is_relevant("main", "check"));
+    println!(
+        "\nST-Analyzer marks in bt_broadcast.c: flag relevant: {}, check relevant: {}",
+        st.is_relevant("main", "flag"),
+        st.is_relevant("main", "check")
+    );
 
     let outcome = run_program(
         &prog,

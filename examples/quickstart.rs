@@ -14,31 +14,28 @@ fn main() {
     // Every rank exposes one i32 in a window. Rank 0 "increments" rank
     // 1's counter: get, add one, put back. The get is nonblocking, and
     // the add happens inside the epoch — the Figure 1 bug.
-    let result = run(
-        SimConfig::new(2).with_seed(42).with_delivery(DeliveryPolicy::AtClose),
-        |p| {
-            p.set_func("fetch_and_inc");
-            let counter = p.alloc_i32s(1);
-            p.poke_i32(counter, 100);
-            let win = p.win_create(counter, 4, CommId::WORLD);
-            p.barrier(CommId::WORLD);
-            if p.rank() == 0 {
-                let out = p.alloc_i32s(1);
-                p.win_lock(LockKind::Shared, 1, win);
-                p.get(out, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
-                let v = p.tload_i32(out); // BUG: the get may not be done
-                p.tstore_i32(out, v + 1); // BUG: and this may be overwritten
-                p.put(out, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
-                p.win_unlock(1, win);
-                println!("[rank 0] read counter = {v} (expected 100)");
-            }
-            p.barrier(CommId::WORLD);
-            if p.rank() == 1 {
-                println!("[rank 1] counter after increment = {}", p.peek_i32(counter));
-            }
-            p.win_free(win);
-        },
-    )
+    let result = run(SimConfig::new(2).with_seed(42).with_delivery(DeliveryPolicy::AtClose), |p| {
+        p.set_func("fetch_and_inc");
+        let counter = p.alloc_i32s(1);
+        p.poke_i32(counter, 100);
+        let win = p.win_create(counter, 4, CommId::WORLD);
+        p.barrier(CommId::WORLD);
+        if p.rank() == 0 {
+            let out = p.alloc_i32s(1);
+            p.win_lock(LockKind::Shared, 1, win);
+            p.get(out, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
+            let v = p.tload_i32(out); // BUG: the get may not be done
+            p.tstore_i32(out, v + 1); // BUG: and this may be overwritten
+            p.put(out, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
+            p.win_unlock(1, win);
+            println!("[rank 0] read counter = {v} (expected 100)");
+        }
+        p.barrier(CommId::WORLD);
+        if p.rank() == 1 {
+            println!("[rank 1] counter after increment = {}", p.peek_i32(counter));
+        }
+        p.win_free(win);
+    })
     .expect("simulation runs");
 
     // --- offline analysis ---------------------------------------------

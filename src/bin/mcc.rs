@@ -2,13 +2,24 @@
 //!
 //! ```text
 //! mcc check <trace-dir> [--json] [--naive] [--parallel] [--streaming]
+//!           [--tolerate-truncation]
 //!     Analyze a trace directory written by the Profiler
 //!     (mcc_profiler::write_trace_dir) and print the findings.
+//!     --tolerate-truncation reads the directory with the tolerant
+//!     reader (torn lines, missing ranks) and checks in degraded mode.
 //!
 //! mcc demo <case> [--fixed] [--procs N] [--trace-out DIR]
+//!          [--abort R:N] [--hang R:N]
 //!     Run one of the built-in bug cases under the Profiler and check it.
 //!     Cases: emulate, bt-broadcast, lockopts, ping-pong, jacobi, adlb,
-//!     mpi3-queue, fig2a, fig2b, fig2c, fig2d.
+//!     adlb-crash, mpi3-queue, fig2a, fig2b, fig2c, fig2d.
+//!     --abort R:N injects a crash of rank R after N events; --hang R:N
+//!     hangs rank R at its Nth synchronization call (caught by the
+//!     watchdog). Either switches the run to fault-tolerant tracing and
+//!     the analysis to degraded mode.
+//!
+//! Exit codes: 0 clean, 1 errors found, 2 usage/IO error,
+//! 3 degraded analysis with errors, 4 degraded analysis, clean.
 //!
 //! mcc table1
 //!     Print the RMA compatibility matrix (paper Table I).
@@ -19,8 +30,10 @@
 
 use mc_checker::apps::bugs;
 use mc_checker::core::streaming::StreamingChecker;
+use mc_checker::core::{CheckReport, Confidence};
+use mc_checker::mpi_sim::{Fault, FaultPlan, SimError};
 use mc_checker::prelude::*;
-use mc_checker::profiler::{read_trace_dir, write_trace_dir};
+use mc_checker::profiler::{read_trace_dir, read_trace_dir_tolerant, write_trace_dir};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -59,17 +72,27 @@ fn main() -> ExitCode {
 
 fn cmd_check(args: &[String]) -> ExitCode {
     let Some(dir) = args.first() else {
-        eprintln!("usage: mcc check <trace-dir> [--json] [--naive] [--parallel] [--streaming]");
+        eprintln!(
+            "usage: mcc check <trace-dir> [--json] [--naive] [--parallel] [--streaming] \
+             [--tolerate-truncation]"
+        );
         return ExitCode::from(2);
     };
+    let has = |f: &str| args.iter().any(|a| a == f);
+
+    if has("--tolerate-truncation") {
+        return cmd_check_tolerant(dir, args);
+    }
     let trace = match read_trace_dir(Path::new(dir)) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("mcc: cannot read trace directory `{dir}`: {e}");
+            eprintln!(
+                "mcc: (a damaged directory may still be readable with --tolerate-truncation)"
+            );
             return ExitCode::from(2);
         }
     };
-    let has = |f: &str| args.iter().any(|a| a == f);
 
     if has("--streaming") {
         let (findings, stats) = StreamingChecker::run_over(&trace);
@@ -102,6 +125,53 @@ fn cmd_check(args: &[String]) -> ExitCode {
     code
 }
 
+/// `mcc check --tolerate-truncation`: tolerant read, degraded check.
+fn cmd_check_tolerant(dir: &str, args: &[String]) -> ExitCode {
+    let has = |f: &str| args.iter().any(|a| a == f);
+    let (trace, health) = match read_trace_dir_tolerant(Path::new(dir)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mcc: cannot read trace directory `{dir}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!("trace health: {}", health.summary());
+    let opts = CheckOptions {
+        naive_inter: has("--naive"),
+        parallel: has("--parallel"),
+        ..Default::default()
+    };
+    let (mut report, info) = McChecker::with_options(opts).check_degraded(&trace);
+    if !health.is_complete() {
+        // The reader lost data even if every surviving event resolved.
+        report.mark_degraded();
+    }
+    eprintln!("degraded-mode repair: {}", info.summary());
+    report_exit(&report, has("--json"))
+}
+
+/// Prints a report and maps it to the documented exit codes
+/// (0/1 complete, 4/3 degraded).
+fn report_exit(report: &CheckReport, json: bool) -> ExitCode {
+    if json {
+        match serde_json::to_string_pretty(&report.diagnostics) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("mcc: serialization failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        print!("{}", report.render());
+    }
+    match (report.confidence == Confidence::Degraded, report.has_errors()) {
+        (false, false) => ExitCode::SUCCESS,
+        (false, true) => ExitCode::from(1),
+        (true, true) => ExitCode::from(3),
+        (true, false) => ExitCode::from(4),
+    }
+}
+
 fn render_findings(findings: &[ConsistencyError], json: bool) -> ExitCode {
     if json {
         match serde_json::to_string_pretty(findings) {
@@ -125,9 +195,18 @@ fn render_findings(findings: &[ConsistencyError], json: bool) -> ExitCode {
     }
 }
 
+/// Parses a `R:N` pair (rank, count) as used by `--abort` and `--hang`.
+fn parse_rank_count(v: &str) -> Option<(u32, u64)> {
+    let (r, n) = v.split_once(':')?;
+    Some((r.parse().ok()?, n.parse().ok()?))
+}
+
 fn cmd_demo(args: &[String]) -> ExitCode {
     let Some(name) = args.first().map(String::as_str) else {
-        eprintln!("usage: mcc demo <case> [--fixed] [--procs N] [--trace-out DIR]");
+        eprintln!(
+            "usage: mcc demo <case> [--fixed] [--procs N] [--trace-out DIR] \
+             [--abort R:N] [--hang R:N]"
+        );
         return ExitCode::from(2);
     };
     let fixed = args.iter().any(|a| a == "--fixed");
@@ -136,6 +215,24 @@ fn cmd_demo(args: &[String]) -> ExitCode {
         .position(|a| a == "--procs")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<u32>().ok());
+
+    let mut faults = FaultPlan::none();
+    for (flag, is_abort) in [("--abort", true), ("--hang", false)] {
+        if let Some(v) = args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)) {
+            let Some((rank, n)) = parse_rank_count(v) else {
+                eprintln!("mcc: {flag} expects R:N (e.g. {flag} 1:6)");
+                return ExitCode::from(2);
+            };
+            faults = faults.with(if is_abort {
+                Fault::RankAbort { rank, after_events: n }
+            } else {
+                Fault::HangAtSync { rank, nth_sync: n }
+            });
+        }
+    }
+    if name == "adlb-crash" {
+        faults = bugs::adlb::crash_mid_epoch_faults();
+    }
 
     let (default_procs, body): (u32, fn(&mut Proc)) = match (name, fixed) {
         ("emulate", false) => (2, bugs::emulate::buggy),
@@ -150,6 +247,7 @@ fn cmd_demo(args: &[String]) -> ExitCode {
         ("jacobi", true) => (4, bugs::jacobi::fixed),
         ("adlb", false) => (2, bugs::adlb::buggy),
         ("adlb", true) => (2, bugs::adlb::fixed),
+        ("adlb-crash", _) => (2, bugs::adlb::buggy),
         ("mpi3-queue", false) => (4, bugs::mpi3_queue::buggy),
         ("mpi3-queue", true) => (4, bugs::mpi3_queue::fixed),
         ("fig2a", _) => (2, bugs::archetypes::fig2a),
@@ -163,7 +261,21 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     };
     let procs = procs_override.unwrap_or(default_procs);
     eprintln!("running {name}{} with {procs} ranks...", if fixed { " (fixed)" } else { "" });
-    let trace = bugs::trace_of(procs, 0xC11, body);
+
+    let (trace, sim_error): (Trace, Option<SimError>) = if faults.is_empty() {
+        (bugs::trace_of(procs, 0xC11, body), None)
+    } else {
+        // Rank deaths are the point of this run; keep their panic
+        // backtraces out of the report.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (trace, error) = bugs::trace_under_faults(procs, 0xC11, faults, body);
+        std::panic::set_hook(prev);
+        if let Some(e) = &error {
+            eprintln!("simulator: {e}");
+        }
+        (trace, error)
+    };
 
     if let Some(dir) = args.iter().position(|a| a == "--trace-out").and_then(|i| args.get(i + 1)) {
         if let Err(e) = write_trace_dir(&trace, Path::new(dir)) {
@@ -173,11 +285,15 @@ fn cmd_demo(args: &[String]) -> ExitCode {
         eprintln!("trace written to {dir}");
     }
 
-    let report = McChecker::new().check(&trace);
-    print!("{}", report.render());
-    if report.has_errors() {
-        ExitCode::from(1)
-    } else {
-        ExitCode::SUCCESS
+    if sim_error.is_none() {
+        let report = McChecker::new().check(&trace);
+        print!("{}", report.render());
+        return if report.has_errors() { ExitCode::from(1) } else { ExitCode::SUCCESS };
     }
+    // The run was cut short: the trace may stop mid-epoch, so only the
+    // degraded path is safe.
+    let (mut report, info) = McChecker::new().check_degraded(&trace);
+    report.mark_degraded();
+    eprintln!("degraded-mode repair: {}", info.summary());
+    report_exit(&report, false)
 }

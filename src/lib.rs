@@ -62,7 +62,9 @@ pub use mcc_types as types;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use mcc_core::{CheckOptions, CheckReport, ConsistencyError, ErrorScope, McChecker, Severity};
+    pub use mcc_core::{
+        CheckOptions, CheckReport, ConsistencyError, ErrorScope, McChecker, Severity,
+    };
     pub use mcc_mpi_sim::{run, DeliveryPolicy, Instrument, Proc, SimConfig};
     pub use mcc_types::{CommId, DataMap, DatatypeId, LockKind, Rank, ReduceOp, Trace, WinId};
 }

@@ -24,19 +24,14 @@ fn fig1_body(p: &mut Proc) {
 
 #[test]
 fn figure1_get_load_store_conflicts() {
-    let result = run(
-        SimConfig::new(2).with_seed(1).with_delivery(DeliveryPolicy::AtClose),
-        fig1_body,
-    )
-    .unwrap();
+    let result =
+        run(SimConfig::new(2).with_seed(1).with_delivery(DeliveryPolicy::AtClose), fig1_body)
+            .unwrap();
     let report = McChecker::new().check(&result.trace.unwrap());
     assert!(report.has_errors());
     // Both the load and the store conflict with the get.
-    let mut conflicting_ops: Vec<String> = report
-        .errors()
-        .filter(|e| e.a.op == "MPI_Get")
-        .map(|e| e.b.op.clone())
-        .collect();
+    let mut conflicting_ops: Vec<String> =
+        report.errors().filter(|e| e.a.op == "MPI_Get").map(|e| e.b.op.clone()).collect();
     conflicting_ops.sort();
     assert_eq!(conflicting_ops, vec!["load".to_string(), "store".to_string()]);
     // Every finding is in rank 0's epoch.
@@ -49,7 +44,8 @@ fn figure1_get_load_store_conflicts() {
 fn figure1_symptom_is_timing_dependent_but_detection_is_not() {
     // Eager delivery hides the symptom; the checker still fires.
     for delivery in [DeliveryPolicy::Eager, DeliveryPolicy::AtClose, DeliveryPolicy::Adversarial] {
-        let result = run(SimConfig::new(2).with_seed(1).with_delivery(delivery), fig1_body).unwrap();
+        let result =
+            run(SimConfig::new(2).with_seed(1).with_delivery(delivery), fig1_body).unwrap();
         let report = McChecker::new().check(&result.trace.unwrap());
         assert!(report.has_errors(), "{delivery:?}");
     }

@@ -7,7 +7,7 @@
 
 use mc_checker::core::{dag, matching, preprocess, regions, vc::Clocks, McChecker};
 use mc_checker::types::{
-    CommId, DatatypeId, EventKind, EventRef, Rank, RmaKind, RmaOp, TraceBuilder, Trace, WinId,
+    CommId, DatatypeId, EventKind, EventRef, Rank, RmaKind, RmaOp, Trace, TraceBuilder, WinId,
 };
 
 fn put(target: u32, disp: u64) -> EventKind {
@@ -46,7 +46,10 @@ fn get(target: u32, disp: u64) -> EventKind {
 fn fig3_trace() -> (Trace, [EventRef; 4]) {
     let mut b = TraceBuilder::new(3);
     for r in 0..3u32 {
-        b.push(Rank(r), EventKind::WinCreate { win: WinId(0), base: 0x40, len: 0x40, comm: CommId::WORLD });
+        b.push(
+            Rank(r),
+            EventKind::WinCreate { win: WinId(0), base: 0x40, len: 0x40, comm: CommId::WORLD },
+        );
         b.push(Rank(r), EventKind::Fence { win: WinId(0) });
     }
     // --- region A ---

@@ -16,11 +16,9 @@ fn scaffold(p: &mut Proc, counter_init: i32) -> (u64, WinId) {
 }
 
 fn check(nprocs: u32, body: impl Fn(&mut Proc) + Send + Sync) -> CheckReport {
-    let result = run(
-        SimConfig::new(nprocs).with_seed(9).with_delivery(DeliveryPolicy::AtClose),
-        body,
-    )
-    .unwrap();
+    let result =
+        run(SimConfig::new(nprocs).with_seed(9).with_delivery(DeliveryPolicy::AtClose), body)
+            .unwrap();
     McChecker::new().check(&result.trace.unwrap())
 }
 
@@ -211,21 +209,18 @@ fn request_ops_with_wait_are_clean_across_rounds() {
 #[test]
 fn streaming_checker_handles_mpi3_traces() {
     use mc_checker::core::streaming::StreamingChecker;
-    let result = run(
-        SimConfig::new(2).with_seed(9).with_delivery(DeliveryPolicy::AtClose),
-        |p| {
-            let (_buf, win) = scaffold(p, 7);
-            if p.rank() == 0 {
-                let out = p.alloc_i32s(1);
-                p.win_lock_all(win);
-                p.get(out, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
-                let _ = p.tload_i32(out); // bug
-                p.win_unlock_all(win);
-            }
-            p.barrier(CommId::WORLD);
-            p.win_free(win);
-        },
-    )
+    let result = run(SimConfig::new(2).with_seed(9).with_delivery(DeliveryPolicy::AtClose), |p| {
+        let (_buf, win) = scaffold(p, 7);
+        if p.rank() == 0 {
+            let out = p.alloc_i32s(1);
+            p.win_lock_all(win);
+            p.get(out, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
+            let _ = p.tload_i32(out); // bug
+            p.win_unlock_all(win);
+        }
+        p.barrier(CommId::WORLD);
+        p.win_free(win);
+    })
     .unwrap();
     let trace = result.trace.unwrap();
     let batch = McChecker::new().check(&trace);

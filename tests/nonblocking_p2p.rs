@@ -30,33 +30,30 @@ fn isend_irecv_roundtrip_moves_data() {
 /// pattern).
 #[test]
 fn nonblocking_handshake_orders_rma() {
-    let result = run(
-        SimConfig::new(2).with_seed(3).with_delivery(DeliveryPolicy::AtClose),
-        |p| {
-            let wbuf = p.alloc_i32s(1);
-            let win = p.win_create(wbuf, 4, CommId::WORLD);
-            let flag = p.alloc_i32s(1);
+    let result = run(SimConfig::new(2).with_seed(3).with_delivery(DeliveryPolicy::AtClose), |p| {
+        let wbuf = p.alloc_i32s(1);
+        let win = p.win_create(wbuf, 4, CommId::WORLD);
+        let flag = p.alloc_i32s(1);
+        p.win_fence(win);
+        if p.rank() == 0 {
+            // Put, close the epoch, then signal with a nonblocking send.
+            let src = p.alloc_i32s(1);
+            p.tstore_i32(src, 4);
+            p.put(src, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
             p.win_fence(win);
-            if p.rank() == 0 {
-                // Put, close the epoch, then signal with a nonblocking send.
-                let src = p.alloc_i32s(1);
-                p.tstore_i32(src, 4);
-                p.put(src, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
-                p.win_fence(win);
-                let req = p.isend(flag, 1, DatatypeId::INT, 1, 0, CommId::WORLD);
-                p.wait_req(req);
-            } else {
-                p.win_fence(win);
-                let req = p.irecv(flag, 1, DatatypeId::INT, 0, 0, CommId::WORLD);
-                p.wait_req(req);
-                // Ordered after the put via fence + handshake: safe.
-                let _ = p.tload_i32(wbuf);
-                p.tstore_i32(wbuf, 0);
-            }
-            p.barrier(CommId::WORLD);
-            p.win_free(win);
-        },
-    )
+            let req = p.isend(flag, 1, DatatypeId::INT, 1, 0, CommId::WORLD);
+            p.wait_req(req);
+        } else {
+            p.win_fence(win);
+            let req = p.irecv(flag, 1, DatatypeId::INT, 0, 0, CommId::WORLD);
+            p.wait_req(req);
+            // Ordered after the put via fence + handshake: safe.
+            let _ = p.tload_i32(wbuf);
+            p.tstore_i32(wbuf, 0);
+        }
+        p.barrier(CommId::WORLD);
+        p.win_free(win);
+    })
     .unwrap();
     let report = McChecker::new().check(&result.trace.unwrap());
     assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
@@ -66,58 +63,52 @@ fn nonblocking_handshake_orders_rma() {
 /// *before* its wait are still concurrent with the sender's.
 #[test]
 fn access_before_wait_still_races() {
-    let result = run(
-        SimConfig::new(2).with_seed(3).with_delivery(DeliveryPolicy::AtClose),
-        |p| {
-            let wbuf = p.alloc_i32s(1);
-            let win = p.win_create(wbuf, 4, CommId::WORLD);
-            let flag = p.alloc_i32s(1);
-            p.barrier(CommId::WORLD);
-            if p.rank() == 0 {
-                let src = p.alloc_i32s(1);
-                p.win_lock(LockKind::Shared, 1, win);
-                p.put(src, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
-                p.win_unlock(1, win);
-                let req = p.isend(flag, 1, DatatypeId::INT, 1, 0, CommId::WORLD);
-                p.wait_req(req);
-            } else {
-                let req = p.irecv(flag, 1, DatatypeId::INT, 0, 0, CommId::WORLD);
-                // BUG: touch the window before the wait — the put is not
-                // ordered yet.
-                p.tstore_i32(wbuf, 1);
-                p.wait_req(req);
-            }
-            p.barrier(CommId::WORLD);
-            p.win_free(win);
-        },
-    )
+    let result = run(SimConfig::new(2).with_seed(3).with_delivery(DeliveryPolicy::AtClose), |p| {
+        let wbuf = p.alloc_i32s(1);
+        let win = p.win_create(wbuf, 4, CommId::WORLD);
+        let flag = p.alloc_i32s(1);
+        p.barrier(CommId::WORLD);
+        if p.rank() == 0 {
+            let src = p.alloc_i32s(1);
+            p.win_lock(LockKind::Shared, 1, win);
+            p.put(src, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
+            p.win_unlock(1, win);
+            let req = p.isend(flag, 1, DatatypeId::INT, 1, 0, CommId::WORLD);
+            p.wait_req(req);
+        } else {
+            let req = p.irecv(flag, 1, DatatypeId::INT, 0, 0, CommId::WORLD);
+            // BUG: touch the window before the wait — the put is not
+            // ordered yet.
+            p.tstore_i32(wbuf, 1);
+            p.wait_req(req);
+        }
+        p.barrier(CommId::WORLD);
+        p.win_free(win);
+    })
     .unwrap();
     let report = McChecker::new().check(&result.trace.unwrap());
     assert!(report.has_errors(), "store before the wait races with the put");
     // Move the store after the wait: clean.
-    let result = run(
-        SimConfig::new(2).with_seed(3).with_delivery(DeliveryPolicy::AtClose),
-        |p| {
-            let wbuf = p.alloc_i32s(1);
-            let win = p.win_create(wbuf, 4, CommId::WORLD);
-            let flag = p.alloc_i32s(1);
-            p.barrier(CommId::WORLD);
-            if p.rank() == 0 {
-                let src = p.alloc_i32s(1);
-                p.win_lock(LockKind::Shared, 1, win);
-                p.put(src, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
-                p.win_unlock(1, win);
-                let req = p.isend(flag, 1, DatatypeId::INT, 1, 0, CommId::WORLD);
-                p.wait_req(req);
-            } else {
-                let req = p.irecv(flag, 1, DatatypeId::INT, 0, 0, CommId::WORLD);
-                p.wait_req(req);
-                p.tstore_i32(wbuf, 1);
-            }
-            p.barrier(CommId::WORLD);
-            p.win_free(win);
-        },
-    )
+    let result = run(SimConfig::new(2).with_seed(3).with_delivery(DeliveryPolicy::AtClose), |p| {
+        let wbuf = p.alloc_i32s(1);
+        let win = p.win_create(wbuf, 4, CommId::WORLD);
+        let flag = p.alloc_i32s(1);
+        p.barrier(CommId::WORLD);
+        if p.rank() == 0 {
+            let src = p.alloc_i32s(1);
+            p.win_lock(LockKind::Shared, 1, win);
+            p.put(src, 1, DatatypeId::INT, 1, 0, 1, DatatypeId::INT, win);
+            p.win_unlock(1, win);
+            let req = p.isend(flag, 1, DatatypeId::INT, 1, 0, CommId::WORLD);
+            p.wait_req(req);
+        } else {
+            let req = p.irecv(flag, 1, DatatypeId::INT, 0, 0, CommId::WORLD);
+            p.wait_req(req);
+            p.tstore_i32(wbuf, 1);
+        }
+        p.barrier(CommId::WORLD);
+        p.win_free(win);
+    })
     .unwrap();
     let report = McChecker::new().check(&result.trace.unwrap());
     assert_eq!(report.diagnostics.len(), 0, "{}", report.render());

@@ -19,11 +19,17 @@ enum Action {
     Idle,
     /// Put into `target`'s slot equal to the origin's rank (disjoint per
     /// origin).
-    PutOwnSlot { target: u32 },
+    PutOwnSlot {
+        target: u32,
+    },
     /// Get from `target`'s read-only slot (never written by anyone).
-    GetReadOnly { target: u32 },
+    GetReadOnly {
+        target: u32,
+    },
     /// Accumulate(SUM) into `target`'s slot 0 — all sums may overlap.
-    AccSlot0 { target: u32 },
+    AccSlot0 {
+        target: u32,
+    },
     /// Store to the rank's own *non-window* scratch.
     LocalScratch,
 }
@@ -73,14 +79,42 @@ fn run_safe(prog: &SafeProgram, seed: u64) -> Trace {
                     p.tstore_i32(src, me as i32);
                     // Slot me+1: disjoint from every other origin's slot
                     // and from slot 0.
-                    p.put(src, 1, DatatypeId::INT, target, 4 * (me as u64 + 1), 1, DatatypeId::INT, win);
+                    p.put(
+                        src,
+                        1,
+                        DatatypeId::INT,
+                        target,
+                        4 * (me as u64 + 1),
+                        1,
+                        DatatypeId::INT,
+                        win,
+                    );
                 }
                 Action::GetReadOnly { target } => {
-                    p.get(dst, 1, DatatypeId::INT, target, 4 * (n as u64 + 1), 1, DatatypeId::INT, win);
+                    p.get(
+                        dst,
+                        1,
+                        DatatypeId::INT,
+                        target,
+                        4 * (n as u64 + 1),
+                        1,
+                        DatatypeId::INT,
+                        win,
+                    );
                 }
                 Action::AccSlot0 { target } => {
                     p.tstore_i32(src, 1);
-                    p.accumulate(src, 1, DatatypeId::INT, target, 0, 1, DatatypeId::INT, ReduceOp::Sum, win);
+                    p.accumulate(
+                        src,
+                        1,
+                        DatatypeId::INT,
+                        target,
+                        0,
+                        1,
+                        DatatypeId::INT,
+                        ReduceOp::Sum,
+                        win,
+                    );
                 }
                 Action::LocalScratch => {
                     let v = p.load_i32(scratch);

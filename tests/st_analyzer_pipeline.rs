@@ -19,36 +19,79 @@ fn buggy_program() -> Program {
             params: vec![],
             body: vec![
                 s(1, K::DeclArray { name: "wbuf".into(), len: E::Const(4) }),
-                s(2, K::Mpi(MpiCall::WinCreate { buf: "wbuf".into(), len: E::Const(4), win: "w".into() })),
+                s(
+                    2,
+                    K::Mpi(MpiCall::WinCreate {
+                        buf: "wbuf".into(),
+                        len: E::Const(4),
+                        win: "w".into(),
+                    }),
+                ),
                 // Irrelevant computation: a loop over a scratch array.
                 s(3, K::DeclArray { name: "scratch".into(), len: E::Const(16) }),
                 s(4, K::DeclScalar { name: "i".into(), init: E::Const(0) }),
-                s(5, K::While {
-                    cond: E::bin(BinOp::Lt, E::var("i"), E::Const(16)),
-                    body: vec![
-                        s(6, K::Store { ptr: "scratch".into(), index: E::var("i"), value: E::var("i") }),
-                        s(7, K::Assign { name: "i".into(), value: E::bin(BinOp::Add, E::var("i"), E::Const(1)) }),
-                    ],
-                    max_iters: 100,
-                }),
+                s(
+                    5,
+                    K::While {
+                        cond: E::bin(BinOp::Lt, E::var("i"), E::Const(16)),
+                        body: vec![
+                            s(
+                                6,
+                                K::Store {
+                                    ptr: "scratch".into(),
+                                    index: E::var("i"),
+                                    value: E::var("i"),
+                                },
+                            ),
+                            s(
+                                7,
+                                K::Assign {
+                                    name: "i".into(),
+                                    value: E::bin(BinOp::Add, E::var("i"), E::Const(1)),
+                                },
+                            ),
+                        ],
+                        max_iters: 100,
+                    },
+                ),
                 s(8, K::Mpi(MpiCall::Fence { win: "w".into() })),
-                s(9, K::If {
-                    cond: E::bin(BinOp::Eq, E::Rank, E::Const(0)),
-                    then_body: vec![
-                        s(10, K::DeclArray { name: "buf".into(), len: E::Const(1) }),
-                        s(11, K::Store { ptr: "buf".into(), index: E::Const(0), value: E::Const(7) }),
-                        s(12, K::Mpi(MpiCall::Put {
-                            origin: "buf".into(),
-                            count: E::Const(1),
-                            target: E::Const(1),
-                            disp: E::Const(0),
-                            win: "w".into(),
-                        })),
-                        // The bug: overwrite the origin inside the epoch.
-                        s(13, K::Store { ptr: "buf".into(), index: E::Const(0), value: E::Const(8) }),
-                    ],
-                    else_body: vec![],
-                }),
+                s(
+                    9,
+                    K::If {
+                        cond: E::bin(BinOp::Eq, E::Rank, E::Const(0)),
+                        then_body: vec![
+                            s(10, K::DeclArray { name: "buf".into(), len: E::Const(1) }),
+                            s(
+                                11,
+                                K::Store {
+                                    ptr: "buf".into(),
+                                    index: E::Const(0),
+                                    value: E::Const(7),
+                                },
+                            ),
+                            s(
+                                12,
+                                K::Mpi(MpiCall::Put {
+                                    origin: "buf".into(),
+                                    count: E::Const(1),
+                                    target: E::Const(1),
+                                    disp: E::Const(0),
+                                    win: "w".into(),
+                                }),
+                            ),
+                            // The bug: overwrite the origin inside the epoch.
+                            s(
+                                13,
+                                K::Store {
+                                    ptr: "buf".into(),
+                                    index: E::Const(0),
+                                    value: E::Const(8),
+                                },
+                            ),
+                        ],
+                        else_body: vec![],
+                    },
+                ),
                 s(14, K::Mpi(MpiCall::Fence { win: "w".into() })),
                 s(15, K::Mpi(MpiCall::WinFree { win: "w".into() })),
             ],
@@ -58,11 +101,8 @@ fn buggy_program() -> Program {
 
 fn run_mode(report: Option<mc_checker::st_analyzer::Report>) -> (u64, usize) {
     let prog = buggy_program();
-    let outcome = run_program(
-        &prog,
-        InterpConfig { sim: SimConfig::new(2).with_seed(5), report },
-    )
-    .unwrap();
+    let outcome =
+        run_program(&prog, InterpConfig { sim: SimConfig::new(2).with_seed(5), report }).unwrap();
     let mem_events = outcome.result.stats.total_mem_events();
     let check = McChecker::new().check(&outcome.result.trace.unwrap());
     (mem_events, check.errors().count())
@@ -93,11 +133,9 @@ fn guided_instrumentation_smaller_but_equally_effective() {
 fn diagnostics_cite_ir_lines() {
     let prog = buggy_program();
     let st = analyze(&prog);
-    let outcome = run_program(
-        &prog,
-        InterpConfig { sim: SimConfig::new(2).with_seed(5), report: Some(st) },
-    )
-    .unwrap();
+    let outcome =
+        run_program(&prog, InterpConfig { sim: SimConfig::new(2).with_seed(5), report: Some(st) })
+            .unwrap();
     let report = McChecker::new().check(&outcome.result.trace.unwrap());
     let e = report.errors().next().unwrap();
     assert_eq!(e.a.loc.file, "prog.mc");

@@ -1,0 +1,40 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Exposes the `into_par_iter()` entry point the checker's parallel mode
+//! uses, but executes sequentially: `into_par_iter()` simply yields the
+//! standard iterator, so adapter chains (`flat_map`, `map`, `collect`,
+//! ...) are the plain `Iterator` methods. Results are therefore in
+//! deterministic order; the caller's post-sort for "parallel
+//! interleaving" is a no-op but stays correct. Swap in the real rayon
+//! when a registry is available to get actual work-stealing parallelism.
+
+pub mod prelude {
+    /// Conversion into a "parallel" iterator (sequential in this shim).
+    pub trait IntoParallelIterator {
+        /// The iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+        /// Converts `self` into an iterator ("parallel" in the real rayon).
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v: Vec<u32> = (0..4u32).into_par_iter().flat_map(|i| vec![i, i]).collect();
+        assert_eq!(v, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+}
