@@ -106,14 +106,14 @@ pub fn crash_mid_epoch_faults() -> mcc_mpi_sim::FaultPlan {
 mod tests {
     use super::*;
     use crate::bugs::{trace_of, trace_under_faults};
-    use mcc_core::{Confidence, ErrorScope, McChecker};
+    use mcc_core::{AnalysisSession, Confidence, ErrorScope};
     use mcc_mpi_sim::{run, DeliveryPolicy, SimConfig};
     use std::sync::atomic::{AtomicBool, Ordering};
 
     #[test]
     fn detected_as_intra_epoch_put_store() {
         let trace = trace_of(2, 77, buggy);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert!(report.has_errors());
         let e = report
             .errors()
@@ -150,7 +150,7 @@ mod tests {
         // Rank 0's log stops mid-epoch: both puts logged, no closing
         // fence. The strict checker cannot be used here; the degraded
         // path still finds the stack-reuse conflict.
-        let (report, info) = McChecker::new().check_degraded(&trace);
+        let (report, info) = AnalysisSession::new().run_with_repair(&trace);
         assert!(!info.is_clean(), "{info}");
         assert_eq!(report.confidence, Confidence::Degraded);
         let e = report
@@ -167,7 +167,7 @@ mod tests {
     #[test]
     fn fixed_variant_clean() {
         let trace = trace_of(2, 77, fixed);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
     }
 }

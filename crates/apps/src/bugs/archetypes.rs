@@ -104,13 +104,13 @@ pub fn all() -> Vec<ArchetypeCase> {
 mod tests {
     use super::*;
     use crate::bugs::trace_of;
-    use mcc_core::{ErrorScope, McChecker};
+    use mcc_core::{AnalysisSession, ErrorScope};
 
     #[test]
     fn every_archetype_detected_with_expected_scope() {
         for (name, nprocs, body, scope) in all() {
             let trace = trace_of(nprocs, 17, body);
-            let report = McChecker::new().check(&trace);
+            let report = AnalysisSession::new().run(&trace);
             assert!(report.has_errors(), "{name} not detected");
             let found_scope = report.errors().next().unwrap().scope;
             match scope {
@@ -125,7 +125,7 @@ mod tests {
     #[test]
     fn fig2b_reports_the_two_origins() {
         let trace = trace_of(3, 17, fig2b);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         let e = report.errors().next().unwrap();
         assert_eq!(e.a.op, "MPI_Put");
         assert_eq!(e.b.op, "MPI_Put");
@@ -136,7 +136,7 @@ mod tests {
     #[test]
     fn fig2c_put_get_pair() {
         let trace = trace_of(3, 17, fig2c);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         let ops: Vec<&str> =
             report.errors().flat_map(|e| [e.a.op.as_str(), e.b.op.as_str()]).collect();
         assert!(ops.contains(&"MPI_Put") && ops.contains(&"MPI_Get"));

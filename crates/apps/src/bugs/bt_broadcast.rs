@@ -101,13 +101,13 @@ pub fn fixed(p: &mut Proc) {
 mod tests {
     use super::*;
     use crate::bugs::trace_of;
-    use mcc_core::{ErrorScope, McChecker};
+    use mcc_core::{AnalysisSession, ErrorScope};
     use mcc_types::Rank;
 
     #[test]
     fn buggy_variant_detected_with_line_numbers() {
         let trace = trace_of(SPEC.nprocs, 7, buggy);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert!(report.has_errors());
         // The paper: "MC-Checker reports that a local load operation is
         // conflicting with MPI_Get".
@@ -138,7 +138,7 @@ mod tests {
     #[test]
     fn fixed_variant_clean_and_terminates() {
         let trace = trace_of(SPEC.nprocs, 7, fixed);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert!(!report.has_errors(), "{}", report.render());
     }
 }

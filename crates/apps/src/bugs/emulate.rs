@@ -90,13 +90,13 @@ pub fn symptom_occurred(p: &mut Proc) -> bool {
 mod tests {
     use super::*;
     use crate::bugs::trace_of;
-    use mcc_core::{ErrorScope, McChecker, Severity};
+    use mcc_core::{AnalysisSession, ErrorScope, Severity};
     use mcc_types::Rank;
 
     #[test]
     fn buggy_variant_detected() {
         let trace = trace_of(SPEC.nprocs, 1, buggy);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert!(report.has_errors(), "emulate bug must be detected");
         let e = report.errors().next().unwrap();
         assert!(matches!(e.scope, ErrorScope::IntraEpoch { rank: Rank(0), .. }));
@@ -112,7 +112,7 @@ mod tests {
     #[test]
     fn fixed_variant_clean() {
         let trace = trace_of(SPEC.nprocs, 1, fixed);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert!(!report.has_errors(), "fixed emulate must be clean: {}", report.render());
         assert_eq!(report.diagnostics.len(), 0);
     }
@@ -148,6 +148,6 @@ mod tests {
         // But the checker still flags the trace — detection is not
         // timing-dependent.
         let trace = trace_of(SPEC.nprocs, 3, buggy);
-        assert!(McChecker::new().check(&trace).has_errors());
+        assert!(AnalysisSession::new().run(&trace).has_errors());
     }
 }

@@ -100,12 +100,12 @@ pub fn fixed(p: &mut Proc) {
 mod tests {
     use super::*;
     use crate::bugs::trace_of;
-    use mcc_core::{ErrorScope, McChecker};
+    use mcc_core::{AnalysisSession, ErrorScope};
 
     #[test]
     fn missing_fence_detected_across_processes() {
         let trace = trace_of(SPEC.nprocs, 31, buggy);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert!(report.has_errors());
         // A put conflicting with the target's own halo access.
         let e = report
@@ -120,7 +120,7 @@ mod tests {
     #[test]
     fn fixed_variant_clean() {
         let trace = trace_of(SPEC.nprocs, 31, fixed);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
     }
 

@@ -91,7 +91,7 @@ pub fn fixed(p: &mut Proc) {
 mod tests {
     use super::*;
     use crate::bugs::trace_of;
-    use mcc_core::{ErrorScope, McChecker, Severity};
+    use mcc_core::{AnalysisSession, ErrorScope, Severity};
 
     /// The full 64-process configuration is exercised by the `table2`
     /// binary and integration tests; unit tests use 8 ranks for speed.
@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn shared_lock_variant_is_error() {
         let trace = trace_of(TEST_PROCS, 11, buggy);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert!(report.has_errors());
         let e = report.errors().next().unwrap();
         assert!(matches!(e.scope, ErrorScope::CrossProcess { .. }));
@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn exclusive_lock_variant_is_warning_only() {
         let trace = trace_of(TEST_PROCS, 11, original_exclusive);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert!(!report.has_errors(), "exclusive locks may serialize: {}", report.render());
         assert!(report.warnings().next().is_some(), "but a warning is still raised");
         assert_eq!(report.warnings().next().unwrap().severity, Severity::Warning);
@@ -122,7 +122,7 @@ mod tests {
     #[test]
     fn fixed_variant_clean() {
         let trace = trace_of(TEST_PROCS, 11, fixed);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
     }
 
@@ -131,7 +131,7 @@ mod tests {
         // Table II: triggered with 64 processes. Detection capability "is
         // not affected by the scale of the system".
         let trace = trace_of(SPEC.nprocs, 11, buggy);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert!(report.has_errors());
     }
 }

@@ -61,7 +61,7 @@ pub fn trace_of(nprocs: u32, seed: u64, body: impl Fn(&mut Proc) + Send + Sync) 
 /// hangs (bounded by a watchdog) and rank deaths all produce a partial
 /// trace plus the simulator's verdict instead of a panic. The partial
 /// trace is what the degraded-mode checker
-/// (`mcc_core::McChecker::check_degraded`) is for.
+/// (`mcc_core::AnalysisSession::run_with_repair`) is for.
 pub fn trace_under_faults(
     nprocs: u32,
     seed: u64,

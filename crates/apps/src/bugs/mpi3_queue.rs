@@ -93,13 +93,13 @@ pub fn fixed_with_result(p: &mut Proc) -> i64 {
 mod tests {
     use super::*;
     use crate::bugs::trace_of;
-    use mcc_core::{ErrorScope, McChecker};
+    use mcc_core::{AnalysisSession, ErrorScope};
     use mcc_mpi_sim::{run, DeliveryPolicy, SimConfig};
 
     #[test]
     fn missing_wait_detected() {
         let trace = trace_of(SPEC.nprocs, 13, buggy);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert!(report.has_errors());
         let e = report
             .errors()
@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn fixed_variant_clean() {
         let trace = trace_of(SPEC.nprocs, 13, fixed);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
     }
 
@@ -137,7 +137,7 @@ mod tests {
         // workers racing (atomicity of the simulated fetch_and_op).
         for seed in 0..5 {
             let trace = trace_of(SPEC.nprocs, seed, fixed);
-            let report = McChecker::new().check(&trace);
+            let report = AnalysisSession::new().run(&trace);
             assert!(!report.has_errors(), "seed {seed}: {}", report.render());
         }
     }

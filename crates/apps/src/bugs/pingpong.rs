@@ -74,13 +74,13 @@ pub fn fixed(p: &mut Proc) {
 mod tests {
     use super::*;
     use crate::bugs::trace_of;
-    use mcc_core::{ErrorScope, McChecker};
+    use mcc_core::{AnalysisSession, ErrorScope};
     use mcc_types::Rank;
 
     #[test]
     fn injected_put_store_race_detected() {
         let trace = trace_of(SPEC.nprocs, 21, buggy);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert!(report.has_errors());
         let e = report
             .errors()
@@ -96,7 +96,7 @@ mod tests {
     fn both_ranks_affected() {
         // The bug fires on whichever rank sends; both do across rounds.
         let trace = trace_of(SPEC.nprocs, 21, buggy);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         let ranks: std::collections::HashSet<Rank> = report
             .errors()
             .filter_map(|e| match e.scope {
@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn fixed_variant_clean() {
         let trace = trace_of(SPEC.nprocs, 21, fixed);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
     }
 }

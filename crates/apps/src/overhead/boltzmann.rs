@@ -124,10 +124,10 @@ mod tests {
 
     #[test]
     fn trace_is_race_free() {
-        use mcc_core::McChecker;
+        use mcc_core::AnalysisSession;
         let params = BoltzmannParams { cells_per_rank: 6, steps: 2 };
         let r = run(SimConfig::new(3).with_seed(4), |p| boltzmann(p, &params)).unwrap();
-        let report = McChecker::new().check(&r.trace.unwrap());
+        let report = AnalysisSession::new().run(&r.trace.unwrap());
         assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
     }
 

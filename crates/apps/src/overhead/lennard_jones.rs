@@ -127,10 +127,10 @@ mod tests {
 
     #[test]
     fn trace_is_race_free() {
-        use mcc_core::McChecker;
+        use mcc_core::AnalysisSession;
         let params = LjParams { particles_per_rank: 4, steps: 1 };
         let r = run(SimConfig::new(2).with_seed(1), |p| lennard_jones(p, &params)).unwrap();
-        let report = McChecker::new().check(&r.trace.unwrap());
+        let report = AnalysisSession::new().run(&r.trace.unwrap());
         assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
     }
 

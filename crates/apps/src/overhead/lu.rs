@@ -125,13 +125,13 @@ mod tests {
 
     #[test]
     fn trace_is_race_free() {
-        use mcc_core::McChecker;
+        use mcc_core::AnalysisSession;
         let params = LuParams { n: 8 };
         let r = run(SimConfig::new(2).with_seed(8), |p| {
             lu(p, &params);
         })
         .unwrap();
-        let report = McChecker::new().check(&r.trace.unwrap());
+        let report = AnalysisSession::new().run(&r.trace.unwrap());
         assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
     }
 

@@ -118,10 +118,10 @@ mod tests {
 
     #[test]
     fn trace_is_race_free() {
-        use mcc_core::McChecker;
+        use mcc_core::AnalysisSession;
         let params = ScfParams { rows: 3, iters: 1 };
         let r = run(SimConfig::new(3).with_seed(2), |p| scf(p, &params)).unwrap();
-        let report = McChecker::new().check(&r.trace.unwrap());
+        let report = AnalysisSession::new().run(&r.trace.unwrap());
         assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
     }
 }

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mcc_bench::synth::{synth_trace, SynthParams};
-use mcc_core::{matching, preprocess, McChecker};
+use mcc_core::{matching, preprocess, AnalysisSession};
 
 fn bench_full_check(c: &mut Criterion) {
     let mut g = c.benchmark_group("analyzer/full_check");
@@ -11,8 +11,8 @@ fn bench_full_check(c: &mut Criterion) {
         let t = synth_trace(&SynthParams { rounds, ..Default::default() }, 0.1);
         g.throughput(Throughput::Elements(t.total_events() as u64));
         g.bench_with_input(BenchmarkId::from_parameter(t.total_events()), &t, |b, t| {
-            let checker = McChecker::new();
-            b.iter(|| checker.check(t));
+            let session = AnalysisSession::new();
+            b.iter(|| session.run(t));
         });
     }
     g.finish();
@@ -39,15 +39,12 @@ fn bench_parallel_mode(c: &mut Criterion) {
     let t = synth_trace(&SynthParams { rounds: 32, nprocs: 8, ..Default::default() }, 0.1);
     let mut g = c.benchmark_group("analyzer/parallel");
     g.bench_function("sequential", |b| {
-        let checker = McChecker::new();
-        b.iter(|| checker.check(&t));
+        let session = AnalysisSession::new();
+        b.iter(|| session.run(&t));
     });
     g.bench_function("rayon", |b| {
-        let checker = McChecker::with_options(mcc_core::CheckOptions {
-            parallel: true,
-            ..Default::default()
-        });
-        b.iter(|| checker.check(&t));
+        let session = AnalysisSession::builder().threads(4).build();
+        b.iter(|| session.run(&t));
     });
     g.finish();
 }
@@ -59,8 +56,8 @@ fn bench_streaming_vs_batch(c: &mut Criterion) {
     let mut g = c.benchmark_group("analyzer/streaming");
     g.sample_size(10);
     g.bench_function("batch", |b| {
-        let checker = McChecker::new();
-        b.iter(|| checker.check(&t));
+        let session = AnalysisSession::new();
+        b.iter(|| session.run(&t));
     });
     g.bench_function("streaming", |b| b.iter(|| StreamingChecker::run_over(&t)));
     g.finish();

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mcc_bench::synth::{synth_trace, SynthParams};
-use mcc_core::{CheckOptions, McChecker};
+use mcc_core::{AnalysisSession, Engine};
 
 fn bench_detectors(c: &mut Criterion) {
     let mut g = c.benchmark_group("detection/linear_vs_naive");
@@ -23,14 +23,13 @@ fn bench_detectors(c: &mut Criterion) {
             0.02,
         );
         g.throughput(Throughput::Elements((ops * 8) as u64));
-        g.bench_with_input(BenchmarkId::new("window-vector", ops), &t, |b, t| {
-            let checker = McChecker::new();
-            b.iter(|| checker.check(t));
+        g.bench_with_input(BenchmarkId::new("sweep", ops), &t, |b, t| {
+            let session = AnalysisSession::new();
+            b.iter(|| session.run(t));
         });
         g.bench_with_input(BenchmarkId::new("all-pairs", ops), &t, |b, t| {
-            let checker =
-                McChecker::with_options(CheckOptions { naive_inter: true, ..Default::default() });
-            b.iter(|| checker.check(t));
+            let session = AnalysisSession::builder().engine(Engine::Naive).build();
+            b.iter(|| session.run(t));
         });
     }
     g.finish();

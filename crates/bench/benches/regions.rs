@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcc_bench::synth::{synth_trace, SynthParams};
-use mcc_core::{CheckOptions, McChecker};
+use mcc_core::AnalysisSession;
 
 fn bench_regions(c: &mut Criterion) {
     let mut g = c.benchmark_group("regions/partition_vs_whole");
@@ -13,15 +13,12 @@ fn bench_regions(c: &mut Criterion) {
     for rounds in [4usize, 16, 64] {
         let t = synth_trace(&SynthParams { rounds, ..Default::default() }, 0.02);
         g.bench_with_input(BenchmarkId::new("partitioned", rounds), &t, |b, t| {
-            let checker = McChecker::new();
-            b.iter(|| checker.check(t));
+            let session = AnalysisSession::new();
+            b.iter(|| session.run(t));
         });
         g.bench_with_input(BenchmarkId::new("single-region", rounds), &t, |b, t| {
-            let checker = McChecker::with_options(CheckOptions {
-                partition_regions: false,
-                ..Default::default()
-            });
-            b.iter(|| checker.check(t));
+            let session = AnalysisSession::builder().partition_regions(false).build();
+            b.iter(|| session.run(t));
         });
     }
     g.finish();

@@ -1,0 +1,174 @@
+//! Conflict-engine benchmark: naive all-pairs vs. the sharded
+//! sort-and-sweep engine at 1/2/4 threads, on a fig8-style synthetic
+//! workload whose concurrent regions hold ≥10³ accesses.
+//!
+//! Every configuration must produce a byte-identical `CheckReport` JSON
+//! document; any divergence is a hard failure (exit 1). Timings are
+//! written to `BENCH_engine.json`.
+//!
+//! ```text
+//! cargo run -p mcc-bench --release --bin engine [-- --procs 16 --ops 128 \
+//!     --locals 16 --rounds 2 --conflict-pct 5 --reps 3 --out BENCH_engine.json]
+//! ```
+//!
+//! Thread-scaling numbers are only meaningful on a multi-core host; the
+//! report records `available_parallelism` so a 1-core CI box's flat
+//! scaling is not mistaken for an engine regression.
+
+use mcc_bench::synth::{synth_trace, SynthParams};
+use mcc_core::{AnalysisSession, Engine};
+use std::time::{Duration, Instant};
+
+struct Row {
+    engine: Engine,
+    threads: usize,
+    wall: Duration,
+    detect: Duration,
+    findings: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let procs = flag("--procs", 16) as u32;
+    let ops = flag("--ops", 128) as usize;
+    let locals = flag("--locals", 16) as usize;
+    let rounds = flag("--rounds", 2) as usize;
+    let conflict = flag("--conflict-pct", 5) as f64 / 100.0;
+    let reps = flag("--reps", 3).max(1) as usize;
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let params = SynthParams {
+        nprocs: procs,
+        rounds,
+        ops_per_round: ops,
+        locals_per_round: locals,
+        ..Default::default()
+    };
+    let trace = synth_trace(&params, conflict);
+    let accesses_per_region = procs as usize * (ops + locals);
+    println!(
+        "Conflict-engine benchmark: {} events, {} regions, {} accesses/region (best of {reps})",
+        trace.total_events(),
+        rounds,
+        accesses_per_region,
+    );
+    println!();
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>10}",
+        "Engine", "Threads", "wall (ms)", "detect (ms)", "findings"
+    );
+    println!("{}", "-".repeat(56));
+
+    let configs =
+        [(Engine::Naive, 1usize), (Engine::Sweep, 1), (Engine::Sweep, 2), (Engine::Sweep, 4)];
+    let mut rows: Vec<Row> = Vec::new();
+    let mut baseline_json: Option<String> = None;
+    let mut diverged = false;
+    for (engine, threads) in configs {
+        let session = AnalysisSession::builder().engine(engine).threads(threads).build();
+        let mut wall = Duration::MAX;
+        let mut detect = Duration::MAX;
+        let mut findings = 0;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let report = session.run(&trace);
+            let elapsed = t0.elapsed();
+            if elapsed < wall {
+                wall = elapsed;
+                detect = report.stats.detect_time;
+            }
+            findings = report.diagnostics.len();
+            let json = report.to_json();
+            match &baseline_json {
+                None => baseline_json = Some(json),
+                Some(b) if *b != json => {
+                    eprintln!(
+                        "DIVERGENCE: {engine} engine at {threads} thread(s) produced a \
+                         different report than the baseline"
+                    );
+                    diverged = true;
+                }
+                Some(_) => {}
+            }
+        }
+        println!(
+            "{:<10} {:>8} {:>12.2} {:>12.2} {:>10}",
+            engine.to_string(),
+            threads,
+            wall.as_secs_f64() * 1e3,
+            detect.as_secs_f64() * 1e3,
+            findings
+        );
+        rows.push(Row { engine, threads, wall, detect, findings });
+    }
+
+    let detect_ms = |e: Engine, t: usize| -> f64 {
+        rows.iter()
+            .find(|r| r.engine == e && r.threads == t)
+            .map(|r| r.detect.as_secs_f64() * 1e3)
+            .unwrap_or(f64::NAN)
+    };
+    let naive = detect_ms(Engine::Naive, 1);
+    let sweep1 = detect_ms(Engine::Sweep, 1);
+    let sweep4 = detect_ms(Engine::Sweep, 4);
+    let sweep_vs_naive = naive / sweep1;
+    let scaling = sweep1 / sweep4;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!();
+    println!("sweep vs naive (detect, 1 thread): {sweep_vs_naive:.1}x");
+    println!("sweep 4-thread scaling (detect):   {scaling:.1}x");
+    if cores < 2 {
+        println!("(single-core host: thread scaling cannot exceed 1x here)");
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"engine\",\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"nprocs\": {procs}, \"rounds\": {rounds}, \"ops_per_round\": {ops}, \
+         \"locals_per_round\": {locals}, \"conflict_fraction\": {conflict}, \
+         \"accesses_per_region\": {accesses_per_region}, \"total_events\": {}}},\n",
+        trace.total_events()
+    ));
+    json.push_str("  \"engines\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \
+             \"detect_ms\": {:.3}, \"findings\": {}}}{}\n",
+            r.engine,
+            r.threads,
+            r.wall.as_secs_f64() * 1e3,
+            r.detect.as_secs_f64() * 1e3,
+            r.findings,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedups\": {{\"sweep_vs_naive_1t\": {sweep_vs_naive:.2}, \
+         \"sweep_4t_vs_1t\": {scaling:.2}}},\n"
+    ));
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!("  \"reports_identical\": {}\n", !diverged));
+    json.push_str("}\n");
+    std::fs::write(&out, json).expect("write benchmark output");
+    println!("wrote {out}");
+
+    if diverged {
+        eprintln!("FAIL: reports are not byte-identical across engines/thread counts");
+        std::process::exit(1);
+    }
+}

@@ -12,11 +12,19 @@
 //! ```
 
 use mcc_apps::bugs::{fixed_cases, table2_cases, trace_under_faults};
-use mcc_core::{ErrorScope, McChecker, Severity};
+use mcc_core::{AnalysisSession, ErrorScope, Severity};
 use mcc_mpi_sim::FaultPlan;
 
 fn main() {
-    let checker = McChecker::new();
+    // `--threads N` selects the conflict-engine thread count (default 1).
+    let args: Vec<String> = std::env::args().collect();
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
+    let checker = AnalysisSession::builder().threads(threads).build();
     println!("Table II: Overall effectiveness of MC-Checker");
     println!();
     println!(
@@ -49,7 +57,7 @@ fn main() {
             println!();
             continue;
         }
-        let report = checker.check(&trace);
+        let report = checker.run(&trace);
         // Prefer the finding in the error location the paper's row names
         // (an injected bug can surface in more than one class).
         let wants_cross = spec.error_location.contains("across");
@@ -106,7 +114,7 @@ fn main() {
             println!("  {:<14} fixed variant did not finish: {e}", spec.name);
             continue;
         }
-        let report = checker.check(&trace);
+        let report = checker.run(&trace);
         let findings = report.diagnostics.len();
         clean &= findings == 0;
         println!("  {:<14} fixed variant: {} finding(s)", spec.name, findings);

@@ -160,19 +160,19 @@ pub fn synth_sync_trace(nprocs: u32, rounds: usize, seed: u64) -> Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcc_core::{CheckOptions, McChecker};
+    use mcc_core::{AnalysisSession, Engine};
 
     #[test]
     fn conflict_free_trace_is_clean() {
         let t = synth_trace(&SynthParams::default(), 0.0);
-        let report = McChecker::new().check(&t);
+        let report = AnalysisSession::new().run(&t);
         assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
     }
 
     #[test]
     fn hot_slot_produces_conflicts() {
         let t = synth_trace(&SynthParams::default(), 0.5);
-        let report = McChecker::new().check(&t);
+        let report = AnalysisSession::new().run(&t);
         assert!(report.has_errors());
     }
 
@@ -193,7 +193,7 @@ mod tests {
     #[test]
     fn sync_trace_fully_matched() {
         let t = synth_sync_trace(6, 5, 9);
-        let report = McChecker::new().check(&t);
+        let report = AnalysisSession::new().run(&t);
         assert_eq!(report.stats.unmatched_sync, 0);
         assert!(report.stats.regions > 1);
     }
@@ -201,10 +201,8 @@ mod tests {
     #[test]
     fn detectors_agree_on_synthetic_conflicts() {
         let t = synth_trace(&SynthParams { nprocs: 4, rounds: 2, ..Default::default() }, 0.4);
-        let fast = McChecker::new().check(&t);
-        let naive =
-            McChecker::with_options(CheckOptions { naive_inter: true, ..Default::default() })
-                .check(&t);
-        assert_eq!(fast.diagnostics.len(), naive.diagnostics.len());
+        let fast = AnalysisSession::new().run(&t);
+        let naive = AnalysisSession::builder().engine(Engine::Naive).build().run(&t);
+        assert_eq!(fast.diagnostics, naive.diagnostics);
     }
 }

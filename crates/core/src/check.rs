@@ -1,31 +1,24 @@
-//! The MC-Checker facade: one call from trace to diagnostics.
+//! Check reports and the legacy checker facade.
 //!
-//! [`McChecker::check`] runs the full DN-Analyzer pipeline —
-//! preprocessing, synchronization matching (Algorithm 1), DAG
-//! construction, vector clocks, concurrent-region extraction, epoch
-//! extraction, and the two detectors — and returns the consolidated
-//! report plus per-phase statistics for the benchmarks.
+//! The pipeline itself lives in [`crate::session`] behind
+//! [`AnalysisSession`]; this module holds the result types —
+//! [`CheckReport`] with its stable JSON rendering ([`CheckReport::to_json`])
+//! and [`AnalysisStats`] — plus the deprecated [`McChecker`] shim that
+//! forwards the old API onto a session.
 
-use crate::dag;
-use crate::degrade::{self, DegradedInfo};
-use crate::epoch;
-use crate::inter;
-use crate::intra;
-use crate::matching;
-use crate::preprocess;
-use crate::regions::{self, Regions};
-use crate::report::{Confidence, ConsistencyError, Severity};
-use crate::vc::Clocks;
-use mcc_types::Trace;
-use std::collections::HashSet;
-use std::time::{Duration, Instant};
+use crate::degrade::DegradedInfo;
+use crate::report::{Confidence, ConsistencyError, ErrorScope, OpInfo, Severity};
+use crate::session::{AnalysisSession, Engine};
+use mcc_types::{ConflictKind, Trace};
+use serde::Value;
+use std::time::Duration;
 
-/// Analysis knobs (all ablation-oriented; the defaults reproduce the
-/// paper's configuration).
+/// Analysis knobs of the old facade.
+#[deprecated(note = "use AnalysisSession::builder() — threads(n)/engine(...) replace these flags")]
 #[derive(Debug, Clone)]
 pub struct CheckOptions {
     /// Use the combinatorial all-pairs cross-process detector instead of
-    /// the linear window-vector one (§IV-C4 ablation).
+    /// the sharded sweep engine (§IV-C4 ablation).
     pub naive_inter: bool,
     /// Partition the trace into concurrent regions at global
     /// synchronization (§III-B); off = one region (ablation).
@@ -33,12 +26,11 @@ pub struct CheckOptions {
     /// Use the scan-from-the-start synchronization matcher instead of the
     /// progress-counter Algorithm 1 (ablation).
     pub naive_matching: bool,
-    /// Analyze regions on multiple threads (the paper's stated future
-    /// work: "We plan to further improve it by using multithreaded
-    /// programming", §VI).
+    /// Analyze shards on multiple threads (maps to `threads(4)`).
     pub parallel: bool,
 }
 
+#[allow(deprecated)]
 impl Default for CheckOptions {
     fn default() -> Self {
         Self { naive_inter: false, partition_regions: true, naive_matching: false, parallel: false }
@@ -73,7 +65,8 @@ pub struct AnalysisStats {
 /// The outcome of a check.
 #[derive(Debug)]
 pub struct CheckReport {
-    /// All findings, errors before warnings, deduplicated by source
+    /// All findings in canonical order — sorted by the `(rank, event id,
+    /// byte offset)` of the conflicting pair — deduplicated by source
     /// location pair.
     pub diagnostics: Vec<ConsistencyError>,
     /// Analysis statistics.
@@ -132,14 +125,121 @@ impl CheckReport {
         }
         s
     }
+
+    /// Renders the report as stable, versioned JSON (`schema_version` 1).
+    ///
+    /// The document carries only scheduling-independent data — findings
+    /// in canonical order plus the structural statistics; no durations,
+    /// thread counts, or engine names — so for a given trace and engine
+    /// configuration the output is **byte-identical at every thread
+    /// count**. Consumers should reject documents whose `schema_version`
+    /// they do not know.
+    pub fn to_json(&self) -> String {
+        let obj = |fields: Vec<(&str, Value)>| {
+            Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        };
+        let confidence = |c: Confidence| Value::Str(c.to_string());
+        let op = |o: &OpInfo| {
+            obj(vec![
+                ("rank", Value::Int(i128::from(o.rank.0))),
+                ("event", Value::Int(o.ev.idx as i128)),
+                ("epoch", o.epoch.map_or(Value::Null, |e| Value::Int(i128::from(e)))),
+                ("op", Value::Str(o.op.clone())),
+                ("file", Value::Str(o.loc.file.clone())),
+                ("line", Value::Int(i128::from(o.loc.line))),
+                ("func", Value::Str(o.loc.func.clone())),
+                (
+                    "bytes",
+                    o.region.map_or(Value::Null, |r| {
+                        obj(vec![
+                            ("start", Value::Int(i128::from(r.base))),
+                            ("len", Value::Int(i128::from(r.len))),
+                        ])
+                    }),
+                ),
+            ])
+        };
+        let findings: Vec<Value> = self
+            .diagnostics
+            .iter()
+            .map(|e| {
+                let severity = match e.severity {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                };
+                let kind = match e.kind {
+                    ConflictKind::OverlapViolation => "overlap-violation",
+                    ConflictKind::SeparationViolation => "separation-violation",
+                };
+                let scope = match e.scope {
+                    ErrorScope::IntraEpoch { rank, win } => obj(vec![
+                        ("type", Value::Str("intra-epoch".into())),
+                        ("rank", Value::Int(i128::from(rank.0))),
+                        ("win", Value::Int(i128::from(win.0))),
+                    ]),
+                    ErrorScope::CrossProcess { win, target } => obj(vec![
+                        ("type", Value::Str("cross-process".into())),
+                        ("win", Value::Int(i128::from(win.0))),
+                        ("target", Value::Int(i128::from(target.0))),
+                    ]),
+                };
+                obj(vec![
+                    ("severity", Value::Str(severity.into())),
+                    ("kind", Value::Str(kind.into())),
+                    ("confidence", confidence(e.confidence)),
+                    ("scope", scope),
+                    ("a", op(&e.a)),
+                    ("b", op(&e.b)),
+                    ("explanation", Value::Str(e.explanation.clone())),
+                ])
+            })
+            .collect();
+        let doc = obj(vec![
+            ("schema_version", Value::Int(1)),
+            ("tool", Value::Str("mc-checker".into())),
+            ("confidence", confidence(self.confidence)),
+            (
+                "summary",
+                obj(vec![
+                    ("findings", Value::Int(self.diagnostics.len() as i128)),
+                    ("errors", Value::Int(self.errors().count() as i128)),
+                    ("warnings", Value::Int(self.warnings().count() as i128)),
+                ]),
+            ),
+            (
+                "stats",
+                obj(vec![
+                    ("total_events", Value::Int(self.stats.total_events as i128)),
+                    ("dag_nodes", Value::Int(self.stats.dag_nodes as i128)),
+                    ("dag_edges", Value::Int(self.stats.dag_edges as i128)),
+                    ("regions", Value::Int(self.stats.regions as i128)),
+                    ("epochs", Value::Int(self.stats.epochs as i128)),
+                    ("unmatched_sync", Value::Int(self.stats.unmatched_sync as i128)),
+                ]),
+            ),
+            ("findings", Value::Arr(findings)),
+        ]);
+        struct Doc(Value);
+        impl serde::Serialize for Doc {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let mut s = serde_json::to_string_pretty(&Doc(doc)).expect("report JSON rendering");
+        s.push('\n');
+        s
+    }
 }
 
-/// The checker.
+/// The legacy checker facade.
+#[deprecated(note = "use AnalysisSession::builder().threads(n).engine(...).build().run(&trace)")]
 #[derive(Debug, Default, Clone)]
 pub struct McChecker {
+    #[allow(deprecated)]
     opts: CheckOptions,
 }
 
+#[allow(deprecated)]
 impl McChecker {
     /// A checker with default (paper-configuration) options.
     pub fn new() -> Self {
@@ -151,93 +251,34 @@ impl McChecker {
         Self { opts }
     }
 
+    fn session(&self) -> AnalysisSession {
+        AnalysisSession::builder()
+            .threads(if self.opts.parallel { 4 } else { 1 })
+            .engine(if self.opts.naive_inter { Engine::Naive } else { Engine::Sweep })
+            .partition_regions(self.opts.partition_regions)
+            .naive_matching(self.opts.naive_matching)
+            .build()
+    }
+
     /// Runs the full pipeline on a trace.
     pub fn check(&self, trace: &Trace) -> CheckReport {
-        let mut stats = AnalysisStats { total_events: trace.total_events(), ..Default::default() };
-
-        let t0 = Instant::now();
-        let ctx = preprocess::preprocess(trace);
-        stats.preprocess_time = t0.elapsed();
-
-        let t0 = Instant::now();
-        let matching = if self.opts.naive_matching {
-            matching::match_sync_naive(trace, &ctx)
-        } else {
-            matching::match_sync(trace, &ctx)
-        };
-        stats.matching_time = t0.elapsed();
-        stats.unmatched_sync = matching.unmatched.len();
-
-        let t0 = Instant::now();
-        let dag = dag::build(trace, &ctx, &matching);
-        let clocks = Clocks::compute(&dag);
-        stats.dag_nodes = dag.node_count();
-        stats.dag_edges = dag.edge_count();
-        stats.dag_time = t0.elapsed();
-
-        let regions = if self.opts.partition_regions {
-            regions::partition(trace, &matching)
-        } else {
-            Regions::whole(trace)
-        };
-        stats.regions = regions.count;
-
-        let epochs = epoch::extract(trace, &ctx);
-        stats.epochs = epochs.epochs.len();
-
-        let t0 = Instant::now();
-        let mut diagnostics = intra::detect(trace, &ctx, &epochs);
-        let inter_findings = if self.opts.naive_inter {
-            inter::detect_naive(trace, &ctx, &epochs, &regions, &dag, &clocks)
-        } else if self.opts.parallel {
-            use rayon::prelude::*;
-            let mut found: Vec<ConsistencyError> = (0..regions.count as u32)
-                .into_par_iter()
-                .flat_map(|r| {
-                    inter::detect_one_region(trace, &ctx, &epochs, &regions, r, &dag, &clocks)
-                })
-                .collect();
-            // Parallel collection can interleave; restore a stable order.
-            found.sort_by_key(|e| (e.a.ev, e.b.ev));
-            found
-        } else {
-            inter::detect(trace, &ctx, &epochs, &regions, &dag, &clocks)
-        };
-        diagnostics.extend(inter_findings);
-        stats.detect_time = t0.elapsed();
-
-        // Global dedup (a pair can surface from both detectors) and stable
-        // presentation order: errors first.
-        let mut seen = HashSet::new();
-        diagnostics.retain(|e| seen.insert(e.dedup_key()));
-        diagnostics.sort_by_key(|e| (e.severity, e.a.ev, e.b.ev));
-
-        CheckReport { diagnostics, stats, confidence: Confidence::Complete }
+        self.session().run(trace)
     }
 
     /// Runs the pipeline in degraded mode: the trace is first repaired
-    /// by [`degrade::sanitize`] (dropping unresolvable events and
+    /// by [`crate::degrade::sanitize`] (dropping unresolvable events and
     /// synthesizing closes for truncated epochs), then checked.
-    ///
-    /// If the sanitizer had to intervene, the report and every finding
-    /// in it carry [`Confidence::Degraded`]. Unlike [`McChecker::check`],
-    /// this never panics on an internally inconsistent trace — it is the
-    /// entry point for traces recovered by the profiler's tolerant
-    /// reader.
     pub fn check_degraded(&self, trace: &Trace) -> (CheckReport, DegradedInfo) {
-        let (repaired, info) = degrade::sanitize(trace);
-        let mut report = self.check(&repaired);
-        if !info.is_clean() {
-            report.mark_degraded();
-        }
-        (report, info)
+        self.session().run_with_repair(trace)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcc_types::{CommId, DatatypeId, EventKind, Rank, RmaKind, RmaOp, TraceBuilder, WinId};
+    use mcc_types::{
+        CommId, DatatypeId, EventKind, LockKind, Rank, RmaKind, RmaOp, TraceBuilder, WinId,
+    };
 
     fn buggy_trace() -> Trace {
         let mut b = TraceBuilder::new(2);
@@ -272,7 +313,7 @@ mod tests {
 
     #[test]
     fn full_pipeline_finds_both_error_classes() {
-        let report = McChecker::new().check(&buggy_trace());
+        let report = AnalysisSession::new().run(&buggy_trace());
         assert!(report.has_errors());
         // Intra (put vs origin store) + cross (put vs target store).
         assert_eq!(report.diagnostics.len(), 2);
@@ -284,8 +325,9 @@ mod tests {
     }
 
     #[test]
-    fn all_option_combinations_agree_on_findings() {
-        let base = McChecker::new().check(&buggy_trace()).diagnostics.len();
+    #[allow(deprecated)]
+    fn deprecated_shim_agrees_with_session() {
+        let base = AnalysisSession::new().run(&buggy_trace()).diagnostics.len();
         for naive_inter in [false, true] {
             for partition in [false, true] {
                 for parallel in [false, true] {
@@ -303,6 +345,9 @@ mod tests {
                 }
             }
         }
+        let (report, info) = McChecker::new().check_degraded(&buggy_trace());
+        assert!(info.is_clean());
+        assert_eq!(report.diagnostics.len(), base);
     }
 
     #[test]
@@ -316,14 +361,14 @@ mod tests {
             b.push(Rank(r), EventKind::Fence { win: WinId(0) });
             b.push(Rank(r), EventKind::Fence { win: WinId(0) });
         }
-        let report = McChecker::new().check(&b.build());
+        let report = AnalysisSession::new().run(&b.build());
         assert!(!report.has_errors());
         assert!(report.render().contains("no memory consistency errors"));
     }
 
     #[test]
     fn empty_trace() {
-        let report = McChecker::new().check(&Trace::new(4));
+        let report = AnalysisSession::new().run(&Trace::new(4));
         assert!(report.diagnostics.is_empty());
         assert_eq!(report.stats.total_events, 0);
     }
@@ -340,40 +385,120 @@ mod tests {
         assert!(matches!(full.procs[0].events[cut].kind, EventKind::Fence { .. }));
         full.procs[0].events.truncate(cut);
 
-        let (report, info) = McChecker::new().check_degraded(&full);
+        let (report, info) = AnalysisSession::new().run_with_repair(&full);
         assert!(!info.is_clean());
         assert!(info.dropped.is_empty());
         assert_eq!(info.synthesized.len(), 1, "{info}");
-        assert_eq!(report.confidence, crate::report::Confidence::Degraded);
+        assert_eq!(report.confidence, Confidence::Degraded);
         assert!(report.has_errors());
         assert_eq!(report.diagnostics.len(), 2, "both pre-truncation bugs survive");
-        assert!(report
-            .diagnostics
-            .iter()
-            .all(|d| d.confidence == crate::report::Confidence::Degraded));
+        assert!(report.diagnostics.iter().all(|d| d.confidence == Confidence::Degraded));
         let rendered = report.render();
         assert!(rendered.contains("DEGRADED"));
         assert!(rendered.contains("confidence: degraded"));
     }
 
     #[test]
-    fn check_degraded_on_intact_trace_stays_complete() {
-        let (report, info) = McChecker::new().check_degraded(&buggy_trace());
+    fn run_with_repair_on_intact_trace_stays_complete() {
+        let (report, info) = AnalysisSession::new().run_with_repair(&buggy_trace());
         assert!(info.is_clean());
-        assert_eq!(report.confidence, crate::report::Confidence::Complete);
+        assert_eq!(report.confidence, Confidence::Complete);
         assert_eq!(report.diagnostics.len(), 2);
         assert!(!report.render().contains("DEGRADED"));
     }
 
     #[test]
     fn mark_degraded_downgrades_existing_findings() {
-        let mut report = McChecker::new().check(&buggy_trace());
-        assert_eq!(report.confidence, crate::report::Confidence::Complete);
+        let mut report = AnalysisSession::new().run(&buggy_trace());
+        assert_eq!(report.confidence, Confidence::Complete);
         report.mark_degraded();
-        assert!(report
-            .diagnostics
-            .iter()
-            .all(|d| d.confidence == crate::report::Confidence::Degraded));
+        assert!(report.diagnostics.iter().all(|d| d.confidence == Confidence::Degraded));
         assert!(report.render().contains("DEGRADED"));
+    }
+
+    #[test]
+    fn json_report_is_versioned_and_parses() {
+        let report = AnalysisSession::new().run(&buggy_trace());
+        let json = report.to_json();
+        let v = serde_json::parse_value_str(&json).expect("valid JSON");
+        let Value::Obj(fields) = v else { panic!("top level must be an object") };
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+        assert_eq!(get("schema_version"), Some(Value::Int(1)));
+        assert_eq!(get("confidence"), Some(Value::Str("complete".into())));
+        let Some(Value::Arr(findings)) = get("findings") else { panic!("findings array") };
+        assert_eq!(findings.len(), 2);
+        // Every finding carries rank / epoch / byte-range / confidence.
+        for f in &findings {
+            let Value::Obj(ff) = f else { panic!("finding must be an object") };
+            for key in ["severity", "kind", "confidence", "scope", "a", "b", "explanation"] {
+                assert!(ff.iter().any(|(n, _)| n == key), "missing {key}");
+            }
+        }
+        assert!(json.contains("\"bytes\""));
+        assert!(json.contains("\"epoch\""));
+    }
+
+    #[test]
+    fn json_report_excludes_timings() {
+        let json = AnalysisSession::new().run(&buggy_trace()).to_json();
+        for key in ["_time", "duration", "threads", "engine"] {
+            assert!(!json.contains(key), "{key} would break byte-identity across runs");
+        }
+    }
+
+    /// Regression test for the canonical finding order: reports used to be
+    /// sorted errors-first by `(severity, event pair)`, which made the
+    /// surviving representative of a duplicated finding depend on
+    /// detector execution order. The canonical order is by `(rank, event
+    /// id, byte offset)` of the pair, severity notwithstanding.
+    #[test]
+    fn findings_sorted_canonically_not_by_severity() {
+        // Rank 0+2 put to rank 1 under exclusive locks (warning), and
+        // rank 3's put conflicts with rank 4's store (error). The warning
+        // pair has smaller event refs than the error pair, so canonical
+        // order puts the WARNING first — the old severity-first order
+        // would have flipped it.
+        let mut b = TraceBuilder::new(5);
+        for r in 0..5u32 {
+            b.push(
+                Rank(r),
+                EventKind::WinCreate { win: WinId(0), base: 64, len: 64, comm: CommId::WORLD },
+            );
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        let put = |target: u32| {
+            EventKind::Rma(RmaOp {
+                kind: RmaKind::Put,
+                win: WinId(0),
+                target: Rank(target),
+                origin_addr: 200,
+                origin_count: 1,
+                origin_dtype: DatatypeId::INT,
+                target_disp: 0,
+                target_count: 1,
+                target_dtype: DatatypeId::INT,
+            })
+        };
+        for r in [0u32, 2] {
+            b.push(
+                Rank(r),
+                EventKind::Lock { win: WinId(0), target: Rank(1), kind: LockKind::Exclusive },
+            );
+            b.push(Rank(r), put(1));
+            b.push(Rank(r), EventKind::Unlock { win: WinId(0), target: Rank(1) });
+        }
+        b.push(Rank(3), put(4));
+        b.push(Rank(4), EventKind::Store { addr: 64, len: 4 });
+        for r in 0..5u32 {
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        let report = AnalysisSession::new().run(&b.build());
+        assert_eq!(report.diagnostics.len(), 2);
+        assert_eq!(report.diagnostics[0].severity, Severity::Warning);
+        assert_eq!(report.diagnostics[1].severity, Severity::Error);
+        let keys: Vec<_> = report.diagnostics.iter().map(|e| e.canonical_key()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 }

@@ -694,7 +694,7 @@ mod tests {
         b.push(Rank(2), put(1, 0, 100)); // fine, but its epoch never closes
         let (out, info) = sanitize(&b.build());
         assert!(!info.is_clean());
-        let report = crate::check::McChecker::new().check(&out);
+        let report = crate::session::AnalysisSession::new().run(&out);
         assert!(report.stats.total_events > 0);
     }
 }

@@ -17,7 +17,9 @@
 //! after it; flushes split passive epochs into sub-epochs upstream (in
 //! [`crate::epoch`]), so cross-flush pairs never reach this detector.
 
-use crate::epoch::{Epoch, Epochs};
+use crate::epoch::Epoch;
+#[cfg(test)]
+use crate::epoch::Epochs;
 use crate::preprocess::{Ctx, ResolvedAccess};
 use crate::report::{Confidence, ConsistencyError, ErrorScope, OpInfo, Severity};
 use mcc_types::{compat, conflicts, ConflictKind, EventKind, EventRef, MemRegion, Trace};
@@ -38,23 +40,36 @@ impl ResolvedOp {
     }
 }
 
-/// Scans every epoch for conflicting pairs.
-pub fn detect(trace: &Trace, ctx: &Ctx, epochs: &Epochs) -> Vec<ConsistencyError> {
+/// Scans every epoch for conflicting pairs — the reference the unit
+/// tests drive directly ([`crate::session::AnalysisSession`] runs
+/// [`check_epoch`] per epoch on the thread pool and merges).
+#[cfg(test)]
+pub(crate) fn detect(trace: &Trace, ctx: &Ctx, epochs: &Epochs) -> Vec<ConsistencyError> {
     let mut out = Vec::new();
     let mut seen = HashSet::new();
-    for epoch in &epochs.epochs {
-        check_epoch(trace, ctx, epoch, &mut out, &mut seen);
+    for (idx, epoch) in epochs.epochs.iter().enumerate() {
+        for e in check_epoch(trace, ctx, epoch, idx as u32) {
+            if seen.insert(e.dedup_key()) {
+                out.push(e);
+            }
+        }
     }
     out
 }
 
-fn check_epoch(
+/// Checks one epoch — the unit of parallel work of the intra-epoch
+/// detector. Epochs are independent (every pair this detector reports
+/// lives inside a single epoch), so the session can run them on any
+/// thread in any order. Findings are deduplicated within the epoch; the
+/// caller deduplicates globally.
+pub(crate) fn check_epoch(
     trace: &Trace,
     ctx: &Ctx,
     epoch: &Epoch,
-    out: &mut Vec<ConsistencyError>,
-    seen: &mut HashSet<String>,
-) {
+    epoch_idx: u32,
+) -> Vec<ConsistencyError> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
     let ops: Vec<ResolvedOp> = epoch
         .ops
         .iter()
@@ -88,8 +103,8 @@ fn check_epoch(
                         severity: Severity::Error,
                         scope: ErrorScope::IntraEpoch { rank: epoch.rank, win: epoch.win },
                         confidence: Confidence::Complete,
-                        a: op_info(trace, a, true),
-                        b: op_info(trace, b, true),
+                        a: op_info(trace, a, true).with_epoch(Some(epoch_idx)),
+                        b: op_info(trace, b, true).with_epoch(Some(epoch_idx)),
                         kind: ConflictKind::OverlapViolation,
                         explanation: format!(
                             "both operations access the same local buffer while nonblocking \
@@ -98,7 +113,7 @@ fn check_epoch(
                             close_desc(trace, epoch)
                         ),
                     },
-                    seen,
+                    &mut seen,
                 );
             }
             // Target-window side.
@@ -110,8 +125,8 @@ fn check_epoch(
                             severity: Severity::Error,
                             scope: ErrorScope::IntraEpoch { rank: epoch.rank, win: epoch.win },
                             confidence: Confidence::Complete,
-                            a: op_info(trace, a, false),
-                            b: op_info(trace, b, false),
+                            a: op_info(trace, a, false).with_epoch(Some(epoch_idx)),
+                            b: op_info(trace, b, false).with_epoch(Some(epoch_idx)),
                             kind,
                             explanation: format!(
                                 "unordered {} and {} update overlapping window memory at target \
@@ -122,7 +137,7 @@ fn check_epoch(
                                 compat(a.ra.class, b.ra.class)
                             ),
                         },
-                        seen,
+                        &mut seen,
                     );
                 }
             }
@@ -153,7 +168,7 @@ fn check_epoch(
                         severity: Severity::Error,
                         scope: ErrorScope::IntraEpoch { rank: epoch.rank, win: epoch.win },
                         confidence: Confidence::Complete,
-                        a: op_info(trace, op, true),
+                        a: op_info(trace, op, true).with_epoch(Some(epoch_idx)),
                         b: OpInfo::from_trace(trace, acc, Some(region)),
                         kind: ConflictKind::OverlapViolation,
                         explanation: format!(
@@ -165,11 +180,12 @@ fn check_epoch(
                             close_desc(trace, epoch),
                         ),
                     },
-                    seen,
+                    &mut seen,
                 );
             }
         }
     }
+    out
 }
 
 fn op_info(trace: &Trace, op: &ResolvedOp, origin_side: bool) -> OpInfo {

@@ -5,16 +5,21 @@ pub mod check;
 pub mod dag;
 pub mod degrade;
 pub mod epoch;
-pub mod inter;
-pub mod intra;
+pub(crate) mod inter;
+pub(crate) mod intra;
 pub mod matching;
 pub mod preprocess;
 pub mod regions;
 pub mod report;
+pub mod session;
 pub mod streaming;
 pub mod vc;
 
-pub use check::{CheckOptions, CheckReport, McChecker};
+#[allow(deprecated)]
+pub use check::{CheckOptions, McChecker};
+
+pub use check::{AnalysisStats, CheckReport};
 pub use degrade::{sanitize, DegradedInfo};
 pub use report::{Confidence, ConsistencyError, ErrorScope, OpInfo, Severity};
+pub use session::{AnalysisSession, AnalysisSessionBuilder, Engine};
 pub use streaming::{StreamingChecker, StreamingStats};

@@ -14,6 +14,11 @@
 //! confirmed unordered with vector clocks (regions are a pruning device,
 //! not the ordering oracle).
 
+//!
+//! This module also hosts the [`IntervalIndex`], the sort-and-sweep
+//! byte-interval index the parallel conflict engine uses to reduce each
+//! shard's pairwise access scan to O(n log n + k).
+
 use crate::matching::Matching;
 use mcc_types::{EventRef, Trace};
 
@@ -76,6 +81,65 @@ pub fn partition(trace: &Trace, matching: &Matching) -> Regions {
         of.push(regions);
     }
     Regions { count: bcount + 1, of }
+}
+
+/// A sort-and-sweep index over half-open byte intervals `[start, end)`.
+///
+/// Items (accesses) contribute one or more intervals (their data-map
+/// segments); [`IntervalIndex::overlapping_pairs`] then enumerates every
+/// pair of distinct items with at least one overlapping byte by sweeping
+/// the interval endpoints in sorted order. With n intervals and k
+/// overlapping pairs the sweep costs O(n log n + k) — replacing the
+/// quadratic all-pairs footprint comparison of the old detector.
+#[derive(Debug, Default)]
+pub struct IntervalIndex {
+    /// `(start, end, item)` triples; `end` is exclusive.
+    segs: Vec<(u64, u64, u32)>,
+}
+
+impl IntervalIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one interval for `item`. Empty intervals are ignored.
+    pub fn insert(&mut self, item: u32, start: u64, end: u64) {
+        if end > start {
+            self.segs.push((start, end, item));
+        }
+    }
+
+    /// Number of intervals inserted.
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Whether the index holds no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// All distinct item pairs `(lo, hi)` with `lo < hi` that share at
+    /// least one byte, sorted. Pairs of intervals belonging to the same
+    /// item are not reported.
+    pub fn overlapping_pairs(&mut self) -> Vec<(u32, u32)> {
+        self.segs.sort_unstable();
+        let mut active: Vec<(u64, u32)> = Vec::new(); // (end, item)
+        let mut pairs = Vec::new();
+        for &(start, end, item) in &self.segs {
+            active.retain(|&(ae, _)| ae > start);
+            for &(_, other) in &active {
+                if other != item {
+                    pairs.push((other.min(item), other.max(item)));
+                }
+            }
+            active.push((end, item));
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
 }
 
 #[cfg(test)]
@@ -155,5 +219,62 @@ mod tests {
         let m = match_sync(&t, &ctx);
         let r = partition(&t, &m);
         assert_eq!(r.count, 1);
+    }
+
+    #[test]
+    fn interval_index_basic_overlaps() {
+        let mut idx = IntervalIndex::new();
+        idx.insert(0, 0, 4);
+        idx.insert(1, 2, 6); // overlaps 0
+        idx.insert(2, 4, 8); // touches 0 (no overlap), overlaps 1
+        idx.insert(3, 100, 104); // isolated
+        idx.insert(4, 0, 0); // empty, ignored
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.overlapping_pairs(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn interval_index_multi_segment_items_dedup() {
+        let mut idx = IntervalIndex::new();
+        // Item 0 has two segments, both overlapping item 1's span.
+        idx.insert(0, 0, 4);
+        idx.insert(0, 8, 12);
+        idx.insert(1, 0, 16);
+        assert_eq!(idx.overlapping_pairs(), vec![(0, 1)], "pair reported once");
+        // Self-overlap between an item's own segments is never a pair.
+        let mut idx = IntervalIndex::new();
+        idx.insert(7, 0, 10);
+        idx.insert(7, 5, 15);
+        assert!(idx.overlapping_pairs().is_empty());
+    }
+
+    #[test]
+    fn interval_index_matches_naive_all_pairs() {
+        // Pseudo-random intervals; compare the sweep against the O(n²)
+        // definition.
+        let mut idx = IntervalIndex::new();
+        let mut items: Vec<(u64, u64, u32)> = Vec::new();
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for item in 0..40u32 {
+            for _ in 0..2 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let start = x % 64;
+                let len = 1 + (x >> 8) % 8;
+                items.push((start, start + len, item));
+                idx.insert(item, start, start + len);
+            }
+        }
+        let mut naive: Vec<(u32, u32)> = Vec::new();
+        for i in 0..items.len() {
+            for j in (i + 1)..items.len() {
+                let (a, b) = (items[i], items[j]);
+                if a.2 != b.2 && a.0 < b.1 && b.0 < a.1 {
+                    naive.push((a.2.min(b.2), a.2.max(b.2)));
+                }
+            }
+        }
+        naive.sort_unstable();
+        naive.dedup();
+        assert_eq!(idx.overlapping_pairs(), naive);
     }
 }

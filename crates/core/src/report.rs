@@ -102,6 +102,9 @@ pub struct OpInfo {
     pub loc: SourceLoc,
     /// The contended memory, if byte-precise information applies.
     pub region: Option<MemRegion>,
+    /// Index of the epoch the operation belongs to (RMA operations only;
+    /// `None` for local accesses and operations outside any epoch).
+    pub epoch: Option<u32>,
 }
 
 impl OpInfo {
@@ -114,7 +117,14 @@ impl OpInfo {
             op: e.kind.call_name().to_string(),
             loc: trace.loc_of(ev),
             region,
+            epoch: None,
         }
+    }
+
+    /// Attaches the epoch index.
+    pub fn with_epoch(mut self, epoch: Option<u32>) -> Self {
+        self.epoch = epoch;
+        self
     }
 }
 
@@ -158,6 +168,16 @@ impl ConsistencyError {
         let pb = format!("{}:{}:{}", self.b.loc.file, self.b.loc.line, self.b.op);
         let (lo, hi) = if pa <= pb { (pa, pb) } else { (pb, pa) };
         format!("{}|{lo}|{hi}", self.scope)
+    }
+
+    /// The canonical presentation order of findings: by (rank, event id)
+    /// of the first operation, then of the second, then by the byte
+    /// offsets of the contended memory. Every engine and thread count
+    /// merges findings in this order, so reports are bit-identical
+    /// however the analysis was scheduled.
+    pub fn canonical_key(&self) -> (EventRef, EventRef, u64, u64) {
+        let off = |o: &OpInfo| o.region.map_or(u64::MAX, |r| r.base);
+        (self.a.ev, self.b.ev, off(&self.a), off(&self.b))
     }
 }
 

@@ -1,0 +1,399 @@
+//! The analysis pipeline API: [`AnalysisSession`].
+//!
+//! A session owns the configuration of one analysis — thread count,
+//! conflict engine, degraded-mode tolerance, and the ablation knobs — and
+//! runs the full DN-Analyzer pipeline (preprocessing, synchronization
+//! matching, DAG construction, vector clocks, concurrent-region and epoch
+//! extraction, the two detectors) on any number of traces:
+//!
+//! ```
+//! use mcc_core::session::{AnalysisSession, Engine};
+//! # use mcc_types::Trace;
+//! let session = AnalysisSession::builder()
+//!     .threads(4)
+//!     .engine(Engine::Sweep)
+//!     .tolerate_truncation(false)
+//!     .build();
+//! let report = session.run(&Trace::new(2));
+//! assert!(!report.has_errors());
+//! ```
+//!
+//! # Parallel sharded detection
+//!
+//! Both detectors decompose into independent shards: the intra-epoch
+//! detector works epoch by epoch, the cross-process detector window
+//! instance by window instance (`(region, window, target)` — see
+//! [`crate::inter`]). With `threads(n)`, shards run on up to `n` OS
+//! threads via the vendored `rayon::par_map`.
+//!
+//! # Determinism
+//!
+//! The report is **bit-identical at every thread count and in both
+//! engines' finding order**: shards are enumerated in a fixed order,
+//! `par_map` returns results in index order regardless of scheduling, and
+//! the merged findings are stably sorted by
+//! [`ConsistencyError::canonical_key`] — `(rank, event id, byte offset)`
+//! of the two operations — before deduplication, so even the surviving
+//! representative of a duplicated finding is scheduling-independent.
+
+use crate::check::{AnalysisStats, CheckReport};
+use crate::dag;
+use crate::degrade::{self, DegradedInfo};
+use crate::epoch;
+use crate::inter;
+use crate::intra;
+use crate::matching;
+use crate::preprocess;
+use crate::regions::{self, Regions};
+use crate::report::{Confidence, ConsistencyError};
+use crate::vc::Clocks;
+use mcc_types::Trace;
+use std::collections::HashSet;
+use std::fmt;
+use std::time::Instant;
+
+/// Which cross-process conflict engine to run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// The sharded sort-and-sweep engine: O(n log n + k) per shard,
+    /// parallelizable. The default.
+    #[default]
+    Sweep,
+    /// The combinatorial all-pairs baseline (§IV-C4 ablation; always
+    /// sequential).
+    Naive,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Engine::Sweep => f.write_str("sweep"),
+            Engine::Naive => f.write_str("naive"),
+        }
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sweep" => Ok(Engine::Sweep),
+            "naive" => Ok(Engine::Naive),
+            other => Err(format!("unknown engine '{other}' (expected 'sweep' or 'naive')")),
+        }
+    }
+}
+
+/// Builder for [`AnalysisSession`]. Defaults reproduce the paper's
+/// configuration: single-threaded, sweep engine, strict (non-tolerant)
+/// trace handling, region partitioning on, progress-counter matching.
+#[derive(Debug, Clone)]
+pub struct AnalysisSessionBuilder {
+    threads: usize,
+    engine: Engine,
+    tolerate_truncation: bool,
+    partition_regions: bool,
+    naive_matching: bool,
+}
+
+impl Default for AnalysisSessionBuilder {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            engine: Engine::Sweep,
+            tolerate_truncation: false,
+            partition_regions: true,
+            naive_matching: false,
+        }
+    }
+}
+
+impl AnalysisSessionBuilder {
+    /// Number of worker threads for the detection phase. `0` is treated
+    /// as `1`. The report is identical at every thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Selects the cross-process conflict engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// When set, [`AnalysisSession::run`] first repairs damaged traces
+    /// via [`degrade::sanitize`] and downgrades the report to degraded
+    /// confidence if the sanitizer had to intervene, instead of assuming
+    /// an internally consistent trace.
+    pub fn tolerate_truncation(mut self, yes: bool) -> Self {
+        self.tolerate_truncation = yes;
+        self
+    }
+
+    /// Partition the trace into concurrent regions at global
+    /// synchronization (§III-B); off = one region (ablation).
+    pub fn partition_regions(mut self, yes: bool) -> Self {
+        self.partition_regions = yes;
+        self
+    }
+
+    /// Use the scan-from-the-start synchronization matcher instead of the
+    /// progress-counter Algorithm 1 (ablation).
+    pub fn naive_matching(mut self, yes: bool) -> Self {
+        self.naive_matching = yes;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> AnalysisSession {
+        AnalysisSession { cfg: self }
+    }
+}
+
+/// A configured analysis pipeline. See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisSession {
+    cfg: AnalysisSessionBuilder,
+}
+
+impl AnalysisSession {
+    /// Starts configuring a session.
+    pub fn builder() -> AnalysisSessionBuilder {
+        AnalysisSessionBuilder::default()
+    }
+
+    /// A session with the default (paper) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.cfg.threads
+    }
+
+    /// The configured engine.
+    pub fn engine(&self) -> Engine {
+        self.cfg.engine
+    }
+
+    /// Runs the pipeline on a trace.
+    ///
+    /// Without [`AnalysisSessionBuilder::tolerate_truncation`] the trace
+    /// must be internally consistent (as produced by the profiler or
+    /// [`mcc_types::TraceBuilder`]); with it, damaged traces are repaired
+    /// first and the report is marked degraded when repair was needed.
+    pub fn run(&self, trace: &Trace) -> CheckReport {
+        if self.cfg.tolerate_truncation {
+            self.run_with_repair(trace).0
+        } else {
+            self.analyze(trace)
+        }
+    }
+
+    /// Like [`run`](Self::run) with tolerance on, but also returns what
+    /// the sanitizer did — the entry point for the CLI's tolerant path.
+    pub fn run_with_repair(&self, trace: &Trace) -> (CheckReport, DegradedInfo) {
+        let (repaired, info) = degrade::sanitize(trace);
+        let mut report = self.analyze(&repaired);
+        if !info.is_clean() {
+            report.mark_degraded();
+        }
+        (report, info)
+    }
+
+    fn analyze(&self, trace: &Trace) -> CheckReport {
+        let mut stats = AnalysisStats { total_events: trace.total_events(), ..Default::default() };
+
+        let t0 = Instant::now();
+        let ctx = preprocess::preprocess(trace);
+        stats.preprocess_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        let matching = if self.cfg.naive_matching {
+            matching::match_sync_naive(trace, &ctx)
+        } else {
+            matching::match_sync(trace, &ctx)
+        };
+        stats.matching_time = t0.elapsed();
+        stats.unmatched_sync = matching.unmatched.len();
+
+        let t0 = Instant::now();
+        let dag = dag::build(trace, &ctx, &matching);
+        let clocks = Clocks::compute(&dag);
+        stats.dag_nodes = dag.node_count();
+        stats.dag_edges = dag.edge_count();
+        stats.dag_time = t0.elapsed();
+
+        let regions = if self.cfg.partition_regions {
+            regions::partition(trace, &matching)
+        } else {
+            Regions::whole(trace)
+        };
+        stats.regions = regions.count;
+
+        let epochs = epoch::extract(trace, &ctx);
+        stats.epochs = epochs.epochs.len();
+
+        // Detection over independent shards. Shard lists are built in a
+        // fixed order and `par_map` returns per-shard results in index
+        // order, so the concatenation below does not depend on
+        // scheduling.
+        let t0 = Instant::now();
+        let threads = self.cfg.threads;
+        let intra_found = rayon::par_map(epochs.epochs.len(), threads, |i| {
+            intra::check_epoch(trace, &ctx, &epochs.epochs[i], i as u32)
+        });
+        let inter_found = match self.cfg.engine {
+            Engine::Sweep => {
+                let shards = inter::build_shards(trace, &ctx, &epochs, &regions, threads);
+                rayon::par_map(shards.len(), threads, |i| {
+                    inter::detect_shard(trace, &dag, &clocks, &shards[i])
+                })
+            }
+            Engine::Naive => {
+                vec![inter::detect_naive(trace, &ctx, &epochs, &regions, &dag, &clocks)]
+            }
+        };
+        let mut diagnostics: Vec<ConsistencyError> =
+            intra_found.into_iter().chain(inter_found).flatten().collect();
+        stats.detect_time = t0.elapsed();
+
+        // Canonical merge: stable sort by (rank, event id, byte offset)
+        // of the pair, THEN deduplicate, so the representative of each
+        // duplicated source-level conflict is the canonically smallest
+        // occurrence whatever order the shards produced them in.
+        diagnostics.sort_by_key(|x| x.canonical_key());
+        let mut seen = HashSet::new();
+        diagnostics.retain(|e| seen.insert(e.dedup_key()));
+
+        CheckReport { diagnostics, stats, confidence: Confidence::Complete }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_types::{CommId, DatatypeId, EventKind, Rank, RmaKind, RmaOp, TraceBuilder, WinId};
+
+    fn buggy_trace() -> Trace {
+        let mut b = TraceBuilder::new(3);
+        for r in 0..3u32 {
+            b.push(
+                Rank(r),
+                EventKind::WinCreate { win: WinId(0), base: 64, len: 64, comm: CommId::WORLD },
+            );
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        let put = |target: u32| {
+            EventKind::Rma(RmaOp {
+                kind: RmaKind::Put,
+                win: WinId(0),
+                target: Rank(target),
+                origin_addr: 200,
+                origin_count: 1,
+                origin_dtype: DatatypeId::INT,
+                target_disp: 0,
+                target_count: 1,
+                target_dtype: DatatypeId::INT,
+            })
+        };
+        b.push(Rank(0), put(1));
+        b.push(Rank(2), put(1));
+        b.push(Rank(0), EventKind::Store { addr: 200, len: 4 });
+        b.push(Rank(1), EventKind::Store { addr: 64, len: 4 });
+        for r in 0..3u32 {
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let s = AnalysisSession::new();
+        assert_eq!(s.threads(), 1);
+        assert_eq!(s.engine(), Engine::Sweep);
+        let s = AnalysisSession::builder().threads(0).build();
+        assert_eq!(s.threads(), 1, "zero threads clamps to one");
+    }
+
+    #[test]
+    fn engine_parses_from_str() {
+        assert_eq!("sweep".parse::<Engine>().unwrap(), Engine::Sweep);
+        assert_eq!("naive".parse::<Engine>().unwrap(), Engine::Naive);
+        assert!("fast".parse::<Engine>().is_err());
+        assert_eq!(Engine::Sweep.to_string(), "sweep");
+    }
+
+    #[test]
+    fn session_finds_both_error_classes() {
+        let report = AnalysisSession::new().run(&buggy_trace());
+        assert!(report.has_errors());
+        assert!(report.diagnostics.len() >= 3, "intra + two cross findings");
+    }
+
+    #[test]
+    fn identical_reports_across_thread_counts_and_engines() {
+        let trace = buggy_trace();
+        let base = AnalysisSession::new().run(&trace);
+        for threads in [1, 2, 4, 8] {
+            for engine in [Engine::Sweep, Engine::Naive] {
+                let r =
+                    AnalysisSession::builder().threads(threads).engine(engine).build().run(&trace);
+                assert_eq!(
+                    r.diagnostics.len(),
+                    base.diagnostics.len(),
+                    "threads={threads} engine={engine}"
+                );
+                for (x, y) in r.diagnostics.iter().zip(&base.diagnostics) {
+                    assert_eq!(x.canonical_key(), y.canonical_key());
+                    assert_eq!(x.severity, y.severity);
+                    assert_eq!(x.kind, y.kind);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn findings_in_canonical_order() {
+        let report = AnalysisSession::builder().threads(4).build().run(&buggy_trace());
+        let keys: Vec<_> = report.diagnostics.iter().map(|e| e.canonical_key()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "findings sorted by (rank, event id, byte offset)");
+    }
+
+    #[test]
+    fn tolerant_session_repairs_truncated_trace() {
+        let mut t = buggy_trace();
+        let cut = t.procs[0].events.len() - 1;
+        t.procs[0].events.truncate(cut);
+        let session = AnalysisSession::builder().tolerate_truncation(true).build();
+        let report = session.run(&t);
+        assert_eq!(report.confidence, Confidence::Degraded);
+        assert!(report.has_errors());
+        let (report2, info) = session.run_with_repair(&t);
+        assert!(!info.is_clean());
+        assert_eq!(report2.diagnostics.len(), report.diagnostics.len());
+    }
+
+    #[test]
+    fn degraded_reports_identical_across_thread_counts() {
+        let mut t = buggy_trace();
+        let cut = t.procs[0].events.len() - 1;
+        t.procs[0].events.truncate(cut);
+        let run = |threads| {
+            AnalysisSession::builder()
+                .threads(threads)
+                .tolerate_truncation(true)
+                .build()
+                .run(&t)
+                .render()
+        };
+        let base = run(1);
+        assert_eq!(run(2), base);
+        assert_eq!(run(4), base);
+    }
+}

@@ -18,15 +18,15 @@
 //! programs close epochs before global synchronization; the batch
 //! checker remains the completeness reference.
 
-use crate::check::{CheckOptions, McChecker};
 use crate::report::ConsistencyError;
+use crate::session::AnalysisSession;
 use mcc_types::{CommId, Event, EventKind, Rank, SourceLoc, Trace, TraceBuilder, WinId};
 use std::collections::{HashMap, HashSet};
 
 /// Incremental, bounded-memory checker.
 pub struct StreamingChecker {
     nprocs: usize,
-    checker: McChecker,
+    session: AnalysisSession,
     /// Registry events that must survive region flushes, per rank.
     ctx_events: Vec<Vec<(EventKind, SourceLoc)>>,
     /// Buffered (unflushed) events per rank.
@@ -53,7 +53,7 @@ impl StreamingChecker {
         world_comms.insert(CommId::WORLD);
         Self {
             nprocs,
-            checker: McChecker::with_options(CheckOptions::default()),
+            session: AnalysisSession::new(),
             ctx_events: vec![Vec::new(); nprocs],
             buf: vec![Vec::new(); nprocs],
             boundaries: vec![Vec::new(); nprocs],
@@ -152,7 +152,7 @@ impl StreamingChecker {
     }
 
     fn analyze(&mut self, trace: Trace) -> Vec<ConsistencyError> {
-        let report = self.checker.check(&trace);
+        let report = self.session.run(&trace);
         let mut fresh = Vec::new();
         for e in report.diagnostics {
             if self.seen.insert(e.dedup_key()) {
@@ -264,7 +264,7 @@ mod tests {
     #[test]
     fn streaming_matches_batch() {
         let trace = rounds_trace(12);
-        let batch = McChecker::new().check(&trace);
+        let batch = AnalysisSession::new().run(&trace);
         let (streamed, stats) = StreamingChecker::run_over(&trace);
         assert_eq!(streamed.len(), batch.diagnostics.len());
         let key = |v: &[ConsistencyError]| {

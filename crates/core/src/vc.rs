@@ -133,6 +133,57 @@ impl Clocks {
     }
 }
 
+/// A per-shard memo over [`Clocks`] queries.
+///
+/// Floating RMA nodes are queried through their chain anchors, and every
+/// operation of one epoch shares the same anchor pair with every
+/// operation of another epoch — so a shard that compares m × k operations
+/// across two epochs asks the same anchor-level question m·k times. The
+/// cache keys on the `(start_anchor, end_anchor)` chain pair, making
+/// repeated epoch-pair lookups a single hash probe.
+///
+/// The cache is intentionally *not* shared between shards: each shard of
+/// the parallel conflict engine owns one, so no locking is needed and
+/// results stay independent of shard scheduling.
+#[derive(Debug)]
+pub struct ReachCache<'a> {
+    clocks: &'a Clocks,
+    memo: std::collections::HashMap<(NodeId, NodeId), bool>,
+}
+
+impl<'a> ReachCache<'a> {
+    /// A fresh cache over `clocks`.
+    pub fn new(clocks: &'a Clocks) -> Self {
+        Self { clocks, memo: std::collections::HashMap::new() }
+    }
+
+    /// Memoized [`Clocks::ordered`].
+    pub fn ordered(&mut self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        let (Some(ca), Some(cb)) = (self.clocks.start_anchor(a), self.clocks.end_anchor(b)) else {
+            return false;
+        };
+        if ca == cb {
+            return true; // reflexive on the shared chain anchor
+        }
+        let clocks = self.clocks;
+        *self.memo.entry((ca, cb)).or_insert_with(|| clocks.chain_ordered_eq(ca, cb))
+    }
+
+    /// Memoized [`Clocks::concurrent`].
+    #[inline]
+    pub fn concurrent(&mut self, a: NodeId, b: NodeId) -> bool {
+        a != b && !self.ordered(a, b) && !self.ordered(b, a)
+    }
+
+    /// Distinct anchor pairs resolved so far (exposed for stats/tests).
+    pub fn entries(&self) -> usize {
+        self.memo.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +366,56 @@ mod tests {
         let dag = build(&t, &ctx, &m);
         let vc = Clocks::compute(&dag);
         assert!(vc.concurrent(dag.enter(p1), dag.enter(p2)), "ops within an epoch are unordered");
+    }
+
+    #[test]
+    fn reach_cache_agrees_with_clocks() {
+        use mcc_types::{DatatypeId, RmaKind, RmaOp, WinId};
+        let mut b = TraceBuilder::new(2);
+        for r in 0..2u32 {
+            b.push(
+                Rank(r),
+                EventKind::WinCreate { win: WinId(0), base: 64, len: 16, comm: CommId::WORLD },
+            );
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        for i in 0..4u64 {
+            b.push(
+                Rank(0),
+                EventKind::Rma(RmaOp {
+                    kind: RmaKind::Put,
+                    win: WinId(0),
+                    target: Rank(1),
+                    origin_addr: 64 + 4 * i,
+                    origin_count: 1,
+                    origin_dtype: DatatypeId::INT,
+                    target_disp: 0,
+                    target_count: 1,
+                    target_dtype: DatatypeId::INT,
+                }),
+            );
+        }
+        b.push(Rank(1), EventKind::Store { addr: 64, len: 4 });
+        for r in 0..2u32 {
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        let t = b.build();
+        let ctx = preprocess(&t);
+        let m = match_sync(&t, &ctx);
+        let dag = build(&t, &ctx, &m);
+        let vc = Clocks::compute(&dag);
+        let mut cache = ReachCache::new(&vc);
+        let nodes = dag.node_count() as u32;
+        for a in 0..nodes {
+            for b in 0..nodes {
+                assert_eq!(cache.ordered(a, b), vc.ordered(a, b), "ordered({a}, {b})");
+                assert_eq!(cache.concurrent(a, b), vc.concurrent(a, b), "concurrent({a}, {b})");
+            }
+        }
+        // The four same-epoch puts share one anchor pair each way, so the
+        // memo stays far below the number of queries made.
+        assert!(cache.entries() > 0);
+        assert!(cache.entries() < (nodes as usize).pow(2));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use mc_checker::prelude::*;
 
 fn check(name: &str, nprocs: u32, body: impl Fn(&mut Proc) + Send + Sync) {
     let trace = bugs::trace_of(nprocs, 99, body);
-    let report = McChecker::new().check(&trace);
+    let report = AnalysisSession::new().run(&trace);
     let errors = report.errors().count();
     let warnings = report.warnings().count();
     println!("=== {name} ({nprocs} procs): {errors} error(s), {warnings} warning(s) ===");

@@ -163,7 +163,7 @@ fn main() {
         outcome.livelocks
     );
 
-    let report = McChecker::new().check(&outcome.result.trace.unwrap());
+    let report = AnalysisSession::new().run(&outcome.result.trace.unwrap());
     println!("\n{}", report.render());
     // The paper: conflicting operations at lines 4 and 5 of Figure 6.
     let e = report.errors().next().expect("bug detected");

@@ -35,7 +35,7 @@ fn main() {
     // 3. Offline analysis from disk.
     let loaded = read_trace_dir(&dir).expect("trace read back");
     assert_eq!(loaded, trace, "lossless trace round-trip");
-    let report = McChecker::new().check(&loaded);
+    let report = AnalysisSession::new().run(&loaded);
     println!("\n{}", report.render());
 
     // 4. The fix: restore the double-fence protocol.
@@ -45,7 +45,7 @@ fn main() {
         jacobi::fixed,
     )
     .expect("runs");
-    let report = McChecker::new().check(&fixed.trace.unwrap());
+    let report = AnalysisSession::new().run(&fixed.trace.unwrap());
     println!("{}", report.render());
 
     std::fs::remove_dir_all(&dir).ok();

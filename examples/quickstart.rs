@@ -45,7 +45,7 @@ fn main() {
         trace.total_events(),
         trace.nprocs()
     );
-    let report = McChecker::new().check(&trace);
+    let report = AnalysisSession::new().run(&trace);
     print!("{}", report.render());
     println!(
         "analysis: {} events, {} DAG nodes, {} regions, {} epochs",

@@ -1,12 +1,18 @@
 //! `mcc` — the MC-Checker command line.
 //!
 //! ```text
-//! mcc check <trace-dir> [--json] [--naive] [--parallel] [--streaming]
-//!           [--tolerate-truncation]
+//! mcc check <trace-dir> [--threads N] [--engine sweep|naive]
+//!           [--format text|json] [--streaming] [--tolerate-truncation]
 //!     Analyze a trace directory written by the Profiler
 //!     (mcc_profiler::write_trace_dir) and print the findings.
+//!     --threads runs the sharded conflict engine on N OS threads (the
+//!     report is identical at every thread count); --engine selects the
+//!     sharded sweep engine (default) or the all-pairs baseline;
+//!     --format json prints the stable schema_version-1 report document.
 //!     --tolerate-truncation reads the directory with the tolerant
 //!     reader (torn lines, missing ranks) and checks in degraded mode.
+//!     (--json, --naive and --parallel are kept as aliases for
+//!     --format json, --engine naive and --threads 4.)
 //!
 //! mcc demo <case> [--fixed] [--procs N] [--trace-out DIR]
 //!          [--abort R:N] [--hang R:N]
@@ -70,18 +76,67 @@ fn main() -> ExitCode {
     }
 }
 
+/// The value following `flag`, if any.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Builds the analysis session from the shared `check` flags.
+fn session_from_args(args: &[String]) -> Result<AnalysisSession, ExitCode> {
+    let has = |f: &str| args.iter().any(|a| a == f);
+    let threads = match flag_value(args, "--threads") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("mcc: --threads expects a positive integer, got `{v}`");
+                return Err(ExitCode::from(2));
+            }
+        },
+        None if has("--parallel") => 4,
+        None => 1,
+    };
+    let engine = match flag_value(args, "--engine") {
+        Some(v) => match v.parse::<Engine>() {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("mcc: {e}");
+                return Err(ExitCode::from(2));
+            }
+        },
+        None if has("--naive") => Engine::Naive,
+        None => Engine::Sweep,
+    };
+    Ok(AnalysisSession::builder().threads(threads).engine(engine).build())
+}
+
+/// Resolves `--format text|json` (with `--json` as an alias).
+fn json_from_args(args: &[String]) -> Result<bool, ExitCode> {
+    match flag_value(args, "--format") {
+        Some("json") => Ok(true),
+        Some("text") | None => Ok(args.iter().any(|a| a == "--json")),
+        Some(other) => {
+            eprintln!("mcc: unknown format `{other}` (expected 'text' or 'json')");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
 fn cmd_check(args: &[String]) -> ExitCode {
     let Some(dir) = args.first() else {
         eprintln!(
-            "usage: mcc check <trace-dir> [--json] [--naive] [--parallel] [--streaming] \
-             [--tolerate-truncation]"
+            "usage: mcc check <trace-dir> [--threads N] [--engine sweep|naive] \
+             [--format text|json] [--streaming] [--tolerate-truncation]"
         );
         return ExitCode::from(2);
     };
     let has = |f: &str| args.iter().any(|a| a == f);
+    let json = match json_from_args(args) {
+        Ok(j) => j,
+        Err(code) => return code,
+    };
 
     if has("--tolerate-truncation") {
-        return cmd_check_tolerant(dir, args);
+        return cmd_check_tolerant(dir, args, json);
     }
     let trace = match read_trace_dir(Path::new(dir)) {
         Ok(t) => t,
@@ -100,34 +155,30 @@ fn cmd_check(args: &[String]) -> ExitCode {
             "streaming: {} events, {} regions flushed, peak buffer {} events",
             stats.total_events, stats.regions_flushed, stats.peak_buffered
         );
-        return render_findings(&findings, has("--json"));
+        return render_findings(&findings, json);
     }
 
-    let opts = CheckOptions {
-        naive_inter: has("--naive"),
-        parallel: has("--parallel"),
-        ..Default::default()
+    let session = match session_from_args(args) {
+        Ok(s) => s,
+        Err(code) => return code,
     };
-    let report = McChecker::with_options(opts).check(&trace);
+    let report = session.run(&trace);
     eprintln!(
-        "analyzed {} events: {} DAG nodes, {} regions, {} epochs ({} unmatched sync)",
+        "analyzed {} events: {} DAG nodes, {} regions, {} epochs ({} unmatched sync) \
+         [engine {}, {} thread(s)]",
         report.stats.total_events,
         report.stats.dag_nodes,
         report.stats.regions,
         report.stats.epochs,
-        report.stats.unmatched_sync
+        report.stats.unmatched_sync,
+        session.engine(),
+        session.threads(),
     );
-    let has_errors = report.has_errors();
-    let code = render_findings(&report.diagnostics, has("--json"));
-    if code == ExitCode::SUCCESS && has_errors {
-        return ExitCode::from(1);
-    }
-    code
+    report_exit(&report, json)
 }
 
 /// `mcc check --tolerate-truncation`: tolerant read, degraded check.
-fn cmd_check_tolerant(dir: &str, args: &[String]) -> ExitCode {
-    let has = |f: &str| args.iter().any(|a| a == f);
+fn cmd_check_tolerant(dir: &str, args: &[String], json: bool) -> ExitCode {
     let (trace, health) = match read_trace_dir_tolerant(Path::new(dir)) {
         Ok(t) => t,
         Err(e) => {
@@ -136,31 +187,24 @@ fn cmd_check_tolerant(dir: &str, args: &[String]) -> ExitCode {
         }
     };
     eprintln!("trace health: {}", health.summary());
-    let opts = CheckOptions {
-        naive_inter: has("--naive"),
-        parallel: has("--parallel"),
-        ..Default::default()
+    let session = match session_from_args(args) {
+        Ok(s) => s,
+        Err(code) => return code,
     };
-    let (mut report, info) = McChecker::with_options(opts).check_degraded(&trace);
+    let (mut report, info) = session.run_with_repair(&trace);
     if !health.is_complete() {
         // The reader lost data even if every surviving event resolved.
         report.mark_degraded();
     }
     eprintln!("degraded-mode repair: {}", info.summary());
-    report_exit(&report, has("--json"))
+    report_exit(&report, json)
 }
 
 /// Prints a report and maps it to the documented exit codes
 /// (0/1 complete, 4/3 degraded).
 fn report_exit(report: &CheckReport, json: bool) -> ExitCode {
     if json {
-        match serde_json::to_string_pretty(&report.diagnostics) {
-            Ok(s) => println!("{s}"),
-            Err(e) => {
-                eprintln!("mcc: serialization failed: {e}");
-                return ExitCode::from(2);
-            }
-        }
+        print!("{}", report.to_json());
     } else {
         print!("{}", report.render());
     }
@@ -210,15 +254,11 @@ fn cmd_demo(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     };
     let fixed = args.iter().any(|a| a == "--fixed");
-    let procs_override = args
-        .iter()
-        .position(|a| a == "--procs")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<u32>().ok());
+    let procs_override = flag_value(args, "--procs").and_then(|v| v.parse::<u32>().ok());
 
     let mut faults = FaultPlan::none();
     for (flag, is_abort) in [("--abort", true), ("--hang", false)] {
-        if let Some(v) = args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)) {
+        if let Some(v) = flag_value(args, flag) {
             let Some((rank, n)) = parse_rank_count(v) else {
                 eprintln!("mcc: {flag} expects R:N (e.g. {flag} 1:6)");
                 return ExitCode::from(2);
@@ -277,7 +317,7 @@ fn cmd_demo(args: &[String]) -> ExitCode {
         (trace, error)
     };
 
-    if let Some(dir) = args.iter().position(|a| a == "--trace-out").and_then(|i| args.get(i + 1)) {
+    if let Some(dir) = flag_value(args, "--trace-out") {
         if let Err(e) = write_trace_dir(&trace, Path::new(dir)) {
             eprintln!("mcc: cannot write trace: {e}");
             return ExitCode::from(2);
@@ -286,13 +326,13 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     }
 
     if sim_error.is_none() {
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         print!("{}", report.render());
         return if report.has_errors() { ExitCode::from(1) } else { ExitCode::SUCCESS };
     }
     // The run was cut short: the trace may stop mid-epoch, so only the
     // degraded path is safe.
-    let (mut report, info) = McChecker::new().check_degraded(&trace);
+    let (mut report, info) = AnalysisSession::new().run_with_repair(&trace);
     report.mark_degraded();
     eprintln!("degraded-mode repair: {}", info.summary());
     report_exit(&report, false)

@@ -48,7 +48,11 @@
 //! })
 //! .unwrap();
 //!
-//! let report = McChecker::new().check(&result.trace.unwrap());
+//! let report = AnalysisSession::builder()
+//!     .threads(4)
+//!     .engine(Engine::Sweep)
+//!     .build()
+//!     .run(&result.trace.unwrap());
 //! assert!(report.has_errors());
 //! println!("{}", report.render());
 //! ```
@@ -62,8 +66,11 @@ pub use mcc_types as types;
 
 /// The names most programs need.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use mcc_core::{CheckOptions, McChecker};
+
     pub use mcc_core::{
-        CheckOptions, CheckReport, ConsistencyError, ErrorScope, McChecker, Severity,
+        AnalysisSession, CheckReport, ConsistencyError, Engine, ErrorScope, Severity,
     };
     pub use mcc_mpi_sim::{run, DeliveryPolicy, Instrument, Proc, SimConfig};
     pub use mcc_types::{CommId, DataMap, DatatypeId, LockKind, Rank, ReduceOp, Trace, WinId};

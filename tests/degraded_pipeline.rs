@@ -34,7 +34,7 @@ fn truncating_one_rank_keeps_other_ranks_findings() {
 
     let (trace, health) = read_trace_dir_tolerant(&dir).unwrap();
     assert!(!health.is_complete());
-    let (mut report, _info) = McChecker::new().check_degraded(&trace);
+    let (mut report, _info) = AnalysisSession::new().run_with_repair(&trace);
     if !health.is_complete() {
         report.mark_degraded();
     }
@@ -64,7 +64,7 @@ proptest! {
         fs::write(&victim, &data[..cut]).unwrap();
 
         let (trace, _health) = read_trace_dir_tolerant(&dir).unwrap();
-        let (report, _info) = McChecker::new().check_degraded(&trace);
+        let (report, _info) = AnalysisSession::new().run_with_repair(&trace);
         let _ = report.render();
         fs::remove_dir_all(&dir).ok();
     }
@@ -84,7 +84,7 @@ proptest! {
         }
 
         let (trace, _health) = read_trace_dir_tolerant(&dir).unwrap();
-        let (report, _info) = McChecker::new().check_degraded(&trace);
+        let (report, _info) = AnalysisSession::new().run_with_repair(&trace);
         let _ = report.render();
         fs::remove_dir_all(&dir).ok();
     }

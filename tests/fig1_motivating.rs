@@ -27,7 +27,7 @@ fn figure1_get_load_store_conflicts() {
     let result =
         run(SimConfig::new(2).with_seed(1).with_delivery(DeliveryPolicy::AtClose), fig1_body)
             .unwrap();
-    let report = McChecker::new().check(&result.trace.unwrap());
+    let report = AnalysisSession::new().run(&result.trace.unwrap());
     assert!(report.has_errors());
     // Both the load and the store conflict with the get.
     let mut conflicting_ops: Vec<String> =
@@ -46,7 +46,7 @@ fn figure1_symptom_is_timing_dependent_but_detection_is_not() {
     for delivery in [DeliveryPolicy::Eager, DeliveryPolicy::AtClose, DeliveryPolicy::Adversarial] {
         let result =
             run(SimConfig::new(2).with_seed(1).with_delivery(delivery), fig1_body).unwrap();
-        let report = McChecker::new().check(&result.trace.unwrap());
+        let report = AnalysisSession::new().run(&result.trace.unwrap());
         assert!(report.has_errors(), "{delivery:?}");
     }
 }

@@ -7,7 +7,7 @@ use mc_checker::prelude::*;
 
 #[test]
 fn fig2a_intra_epoch_put_store() {
-    let report = McChecker::new().check(&trace_of(2, 5, archetypes::fig2a));
+    let report = AnalysisSession::new().run(&trace_of(2, 5, archetypes::fig2a));
     let e = report.errors().next().expect("fig2a detected");
     assert!(matches!(e.scope, ErrorScope::IntraEpoch { rank: Rank(0), .. }));
     let ops = [e.a.op.as_str(), e.b.op.as_str()];
@@ -16,7 +16,7 @@ fn fig2a_intra_epoch_put_store() {
 
 #[test]
 fn fig2b_active_target_across_processes() {
-    let report = McChecker::new().check(&trace_of(3, 5, archetypes::fig2b));
+    let report = AnalysisSession::new().run(&trace_of(3, 5, archetypes::fig2b));
     let e = report.errors().next().expect("fig2b detected");
     match e.scope {
         ErrorScope::CrossProcess { target, .. } => assert_eq!(target, Rank(1)),
@@ -28,7 +28,7 @@ fn fig2b_active_target_across_processes() {
 
 #[test]
 fn fig2c_passive_target_across_processes() {
-    let report = McChecker::new().check(&trace_of(3, 5, archetypes::fig2c));
+    let report = AnalysisSession::new().run(&trace_of(3, 5, archetypes::fig2c));
     let e = report.errors().next().expect("fig2c detected");
     assert!(matches!(e.scope, ErrorScope::CrossProcess { target: Rank(1), .. }));
     let ops = [e.a.op.as_str(), e.b.op.as_str()];
@@ -38,7 +38,7 @@ fn fig2c_passive_target_across_processes() {
 
 #[test]
 fn fig2d_origin_vs_target() {
-    let report = McChecker::new().check(&trace_of(2, 5, archetypes::fig2d));
+    let report = AnalysisSession::new().run(&trace_of(2, 5, archetypes::fig2d));
     let e = report.errors().next().expect("fig2d detected");
     assert!(matches!(e.scope, ErrorScope::CrossProcess { target: Rank(1), .. }));
     let ops = [e.a.op.as_str(), e.b.op.as_str()];
@@ -48,7 +48,7 @@ fn fig2d_origin_vs_target() {
 #[test]
 fn diagnostics_point_into_the_archetype_source() {
     for (name, nprocs, body, _) in archetypes::all() {
-        let report = McChecker::new().check(&trace_of(nprocs, 5, body));
+        let report = AnalysisSession::new().run(&trace_of(nprocs, 5, body));
         let e = report.errors().next().unwrap();
         assert!(
             e.a.loc.file.ends_with("archetypes.rs"),

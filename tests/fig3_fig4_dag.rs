@@ -5,7 +5,7 @@
 //! is detected while the barrier-separated put/get pair (the paper's
 //! operations `c` and `d`) is not.
 
-use mc_checker::core::{dag, matching, preprocess, regions, vc::Clocks, McChecker};
+use mc_checker::core::{dag, matching, preprocess, regions, vc::Clocks, AnalysisSession};
 use mc_checker::types::{
     CommId, DatatypeId, EventKind, EventRef, Rank, RmaKind, RmaOp, Trace, TraceBuilder, WinId,
 };
@@ -107,7 +107,7 @@ fn regions_a_and_b_extracted() {
 #[test]
 fn checker_reports_only_the_region_a_race() {
     let (trace, [a, st, c, d]) = fig3_trace();
-    let report = McChecker::new().check(&trace);
+    let report = AnalysisSession::new().run(&trace);
     // Exactly one conflict: put `a` vs store `st` (overlapping slot 0).
     assert_eq!(report.diagnostics.len(), 1, "{}", report.render());
     let e = &report.diagnostics[0];

@@ -19,7 +19,7 @@ fn check(nprocs: u32, body: impl Fn(&mut Proc) + Send + Sync) -> CheckReport {
     let result =
         run(SimConfig::new(nprocs).with_seed(9).with_delivery(DeliveryPolicy::AtClose), body)
             .unwrap();
-    McChecker::new().check(&result.trace.unwrap())
+    AnalysisSession::new().run(&result.trace.unwrap())
 }
 
 #[test]
@@ -223,7 +223,7 @@ fn streaming_checker_handles_mpi3_traces() {
     })
     .unwrap();
     let trace = result.trace.unwrap();
-    let batch = McChecker::new().check(&trace);
+    let batch = AnalysisSession::new().run(&trace);
     let (streamed, _) = StreamingChecker::run_over(&trace);
     assert_eq!(streamed.len(), batch.diagnostics.len());
     assert!(!streamed.is_empty());

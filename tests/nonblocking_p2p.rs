@@ -55,7 +55,7 @@ fn nonblocking_handshake_orders_rma() {
         p.win_free(win);
     })
     .unwrap();
-    let report = McChecker::new().check(&result.trace.unwrap());
+    let report = AnalysisSession::new().run(&result.trace.unwrap());
     assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
 }
 
@@ -86,7 +86,7 @@ fn access_before_wait_still_races() {
         p.win_free(win);
     })
     .unwrap();
-    let report = McChecker::new().check(&result.trace.unwrap());
+    let report = AnalysisSession::new().run(&result.trace.unwrap());
     assert!(report.has_errors(), "store before the wait races with the put");
     // Move the store after the wait: clean.
     let result = run(SimConfig::new(2).with_seed(3).with_delivery(DeliveryPolicy::AtClose), |p| {
@@ -110,7 +110,7 @@ fn access_before_wait_still_races() {
         p.win_free(win);
     })
     .unwrap();
-    let report = McChecker::new().check(&result.trace.unwrap());
+    let report = AnalysisSession::new().run(&result.trace.unwrap());
     assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
 }
 
@@ -132,6 +132,6 @@ fn mixed_blocking_nonblocking_matching() {
         }
     })
     .unwrap();
-    let report = McChecker::new().check(&result.trace.unwrap());
+    let report = AnalysisSession::new().run(&result.trace.unwrap());
     assert_eq!(report.stats.unmatched_sync, 0, "all four calls matched");
 }

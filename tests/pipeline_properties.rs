@@ -137,13 +137,13 @@ proptest! {
     #[test]
     fn safe_programs_are_never_flagged(prog in arb_program(), seed in 0u64..1000) {
         let trace = run_safe(&prog, seed);
-        for opts in [
-            CheckOptions::default(),
-            CheckOptions { naive_inter: true, ..Default::default() },
-            CheckOptions { partition_regions: false, ..Default::default() },
-            CheckOptions { parallel: true, ..Default::default() },
+        for session in [
+            AnalysisSession::new(),
+            AnalysisSession::builder().engine(Engine::Naive).build(),
+            AnalysisSession::builder().partition_regions(false).build(),
+            AnalysisSession::builder().threads(4).build(),
         ] {
-            let report = McChecker::with_options(opts).check(&trace);
+            let report = session.run(&trace);
             prop_assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
         }
     }
@@ -152,9 +152,26 @@ proptest! {
     #[test]
     fn checker_is_deterministic(prog in arb_program(), seed in 0u64..1000) {
         let trace = run_safe(&prog, seed);
-        let a = McChecker::new().check(&trace);
-        let b = McChecker::new().check(&trace);
+        let a = AnalysisSession::new().run(&trace);
+        let b = AnalysisSession::new().run(&trace);
         prop_assert_eq!(a.diagnostics, b.diagnostics);
+    }
+
+    /// Differential: the sweep engine and the naive all-pairs engine agree
+    /// on every random trace, at any thread count, finding for finding.
+    #[test]
+    fn sweep_and_naive_engines_agree(prog in arb_program(), seed in 0u64..1000) {
+        let trace = run_safe(&prog, seed);
+        let naive = AnalysisSession::builder().engine(Engine::Naive).build().run(&trace);
+        for threads in [1usize, 4] {
+            let sweep = AnalysisSession::builder()
+                .engine(Engine::Sweep)
+                .threads(threads)
+                .build()
+                .run(&trace);
+            prop_assert_eq!(&sweep.diagnostics, &naive.diagnostics);
+            prop_assert_eq!(sweep.to_json(), naive.to_json());
+        }
     }
 
     /// Injecting a same-slot concurrent writer pair into an otherwise safe
@@ -188,8 +205,12 @@ proptest! {
             p.win_free(win);
         })
         .expect("runs");
-        let report = McChecker::new().check(&result.trace.unwrap());
+        let trace = result.trace.unwrap();
+        let report = AnalysisSession::new().run(&trace);
         prop_assert!(report.has_errors());
+        // Differential on a conflicting trace: naive agrees with sweep.
+        let naive = AnalysisSession::builder().engine(Engine::Naive).build().run(&trace);
+        prop_assert_eq!(&naive.diagnostics, &report.diagnostics);
         // And exactly the injected pair: two puts targeting rank 0.
         let e = report.errors().next().unwrap();
         prop_assert_eq!(&e.a.op, "MPI_Put");

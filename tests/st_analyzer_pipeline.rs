@@ -104,7 +104,7 @@ fn run_mode(report: Option<mc_checker::st_analyzer::Report>) -> (u64, usize) {
     let outcome =
         run_program(&prog, InterpConfig { sim: SimConfig::new(2).with_seed(5), report }).unwrap();
     let mem_events = outcome.result.stats.total_mem_events();
-    let check = McChecker::new().check(&outcome.result.trace.unwrap());
+    let check = AnalysisSession::new().run(&outcome.result.trace.unwrap());
     (mem_events, check.errors().count())
 }
 
@@ -136,7 +136,7 @@ fn diagnostics_cite_ir_lines() {
     let outcome =
         run_program(&prog, InterpConfig { sim: SimConfig::new(2).with_seed(5), report: Some(st) })
             .unwrap();
-    let report = McChecker::new().check(&outcome.result.trace.unwrap());
+    let report = AnalysisSession::new().run(&outcome.result.trace.unwrap());
     let e = report.errors().next().unwrap();
     assert_eq!(e.a.loc.file, "prog.mc");
     let lines = [e.a.loc.line, e.b.loc.line];

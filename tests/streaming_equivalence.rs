@@ -19,7 +19,7 @@ fn streaming_matches_batch_on_buggy_suite() {
             continue; // lockopts@64 is covered by the batch tests
         }
         let trace = trace_of(spec.nprocs, 5, body);
-        let batch = McChecker::new().check(&trace);
+        let batch = AnalysisSession::new().run(&trace);
         let (streamed, _) = StreamingChecker::run_over(&trace);
         assert_eq!(
             keys(&streamed),
@@ -47,7 +47,7 @@ fn streaming_matches_batch_on_fixed_suite() {
 fn streaming_matches_batch_on_extension_cases() {
     for (spec, buggy, fixed) in bugs::extension_cases() {
         let trace = trace_of(spec.nprocs, 5, buggy);
-        let batch = McChecker::new().check(&trace);
+        let batch = AnalysisSession::new().run(&trace);
         let (streamed, _) = StreamingChecker::run_over(&trace);
         assert_eq!(keys(&streamed), keys(&batch.diagnostics), "{}", spec.name);
 

@@ -9,7 +9,7 @@ use mc_checker::prelude::*;
 fn all_five_bugs_detected_at_paper_scale() {
     for (spec, body) in table2_cases() {
         let trace = trace_of(spec.nprocs, 0xdead, body);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert!(report.has_errors(), "{} not detected", spec.name);
         // Scope matches the paper's "error location" column.
         let wants_cross = spec.error_location.contains("across");
@@ -35,7 +35,7 @@ fn all_five_bugs_detected_at_paper_scale() {
 fn no_false_positives_on_fixed_variants() {
     for (spec, body) in fixed_cases() {
         let trace = trace_of(spec.nprocs, 0xdead, body);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert_eq!(
             report.diagnostics.len(),
             0,
@@ -52,7 +52,7 @@ fn detection_is_scale_independent() {
     // the system": lockopts detected from 4 up to 64 ranks.
     for nprocs in [4u32, 16, 64] {
         let trace = trace_of(nprocs, 0xdead, bugs::lockopts::buggy);
-        let report = McChecker::new().check(&trace);
+        let report = AnalysisSession::new().run(&trace);
         assert!(report.has_errors(), "lockopts at {nprocs} ranks");
     }
 }
@@ -62,7 +62,7 @@ fn exclusive_lock_demotion_matches_paper() {
     // "For the original bug with the exclusive lock, we can also detect
     // it but report only a warning."
     let trace = trace_of(8, 0xdead, bugs::lockopts::original_exclusive);
-    let report = McChecker::new().check(&trace);
+    let report = AnalysisSession::new().run(&trace);
     assert!(!report.has_errors());
     assert!(report.warnings().next().is_some());
 }
@@ -71,15 +71,15 @@ fn exclusive_lock_demotion_matches_paper() {
 fn detection_independent_of_checker_options() {
     for (spec, body) in table2_cases() {
         let trace = trace_of(spec.nprocs.min(8), 0xdead, body);
-        let baseline = McChecker::new().check(&trace).diagnostics.len();
-        for opts in [
-            CheckOptions { naive_inter: true, ..Default::default() },
-            CheckOptions { partition_regions: false, ..Default::default() },
-            CheckOptions { parallel: true, ..Default::default() },
-            CheckOptions { naive_matching: true, ..Default::default() },
+        let baseline = AnalysisSession::new().run(&trace).diagnostics.len();
+        for (name, session) in [
+            ("naive engine", AnalysisSession::builder().engine(Engine::Naive).build()),
+            ("no region partitioning", AnalysisSession::builder().partition_regions(false).build()),
+            ("4 threads", AnalysisSession::builder().threads(4).build()),
+            ("naive matching", AnalysisSession::builder().naive_matching(true).build()),
         ] {
-            let n = McChecker::with_options(opts.clone()).check(&trace).diagnostics.len();
-            assert_eq!(n, baseline, "{} with {opts:?}", spec.name);
+            let n = session.run(&trace).diagnostics.len();
+            assert_eq!(n, baseline, "{} with {name}", spec.name);
         }
     }
 }

@@ -17,8 +17,8 @@ fn reports_identical_after_disk_round_trip() {
         write_trace_dir(&trace, &dir).unwrap();
         let loaded = read_trace_dir(&dir).unwrap();
         assert_eq!(trace, loaded, "{}: lossless round trip", spec.name);
-        let a = McChecker::new().check(&trace);
-        let b = McChecker::new().check(&loaded);
+        let a = AnalysisSession::new().run(&trace);
+        let b = AnalysisSession::new().run(&loaded);
         assert_eq!(a.diagnostics, b.diagnostics, "{}", spec.name);
     }
     std::fs::remove_dir_all(&dir).ok();

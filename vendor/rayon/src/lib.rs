@@ -1,12 +1,57 @@
-//! Offline stand-in for `rayon`.
+//! Minimal in-repo stand-in for `rayon`.
 //!
-//! Exposes the `into_par_iter()` entry point the checker's parallel mode
-//! uses, but executes sequentially: `into_par_iter()` simply yields the
-//! standard iterator, so adapter chains (`flat_map`, `map`, `collect`,
-//! ...) are the plain `Iterator` methods. Results are therefore in
-//! deterministic order; the caller's post-sort for "parallel
-//! interleaving" is a no-op but stays correct. Swap in the real rayon
-//! when a registry is available to get actual work-stealing parallelism.
+//! Two entry points:
+//!
+//! * [`par_map`] — a genuinely multithreaded indexed map over `0..n` on
+//!   `std::thread::scope` workers pulling from an atomic work counter.
+//!   Results are returned **in index order regardless of thread count or
+//!   scheduling**, which is what the checker's deterministic-merge
+//!   contract needs. There is no work stealing; shards are claimed
+//!   whole, which is ideal for the checker's coarse, similar-sized
+//!   shards.
+//! * [`prelude::IntoParallelIterator`] — the sequential compatibility
+//!   trait kept for older call sites: `into_par_iter()` yields the plain
+//!   iterator.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every index in `0..n` on up to `threads` OS threads and
+/// returns the results in index order.
+///
+/// `threads <= 1` (or `n <= 1`) runs inline on the caller's thread with
+/// no synchronization at all, so the single-threaded path has zero
+/// overhead over a plain loop. Worker threads claim indices from a shared
+/// atomic counter; each result is written into its own slot, so the
+/// output order is always `f(0), f(1), ..., f(n-1)`.
+pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cells: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                *cells[i].lock().expect("result slot poisoned") = Some(v);
+            });
+        }
+    });
+    cells
+        .into_iter()
+        .map(|c| c.into_inner().expect("result slot poisoned").expect("worker filled every slot"))
+        .collect()
+}
 
 pub mod prelude {
     /// Conversion into a "parallel" iterator (sequential in this shim).
@@ -31,10 +76,37 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn par_iter_behaves_like_iter() {
         let v: Vec<u32> = (0..4u32).into_par_iter().flat_map(|i| vec![i, i]).collect();
         assert_eq!(v, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        for threads in [1, 2, 4, 8] {
+            let v = par_map(100, threads, |i| i * i);
+            assert_eq!(v, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        let ids = par_map(64, 4, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            std::thread::current().id()
+        });
+        let distinct: HashSet<_> = ids.into_iter().collect();
+        assert!(distinct.len() > 1, "work should spread over more than one thread");
+    }
+
+    #[test]
+    fn par_map_edge_cases() {
+        assert!(par_map(0, 4, |i| i).is_empty());
+        assert_eq!(par_map(1, 4, |i| i), vec![0]);
+        assert_eq!(par_map(3, 0, |i| i), vec![0, 1, 2], "zero threads clamps to one");
     }
 }
