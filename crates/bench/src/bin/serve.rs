@@ -1,0 +1,170 @@
+//! Daemon ingest benchmark: events/s and peak resident buffer at
+//! 1, 4, and 16 concurrent sessions against one in-process `mcc-serve`
+//! server.
+//!
+//! Each session streams its own synthetic fig8-style trace over a real
+//! TCP socket and must get back exactly the findings the batch
+//! `AnalysisSession` produces for that trace (any divergence exits 1).
+//! Results are written to `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run -p mcc-bench --release --bin serve [-- --procs 8 --ops 48 \
+//!     --locals 8 --rounds 3 --conflict-pct 5 --reps 3 --out BENCH_serve.json]
+//! ```
+
+use mcc_bench::synth::{synth_trace, SynthParams};
+use mcc_core::AnalysisSession;
+use mcc_serve::proto::SessionOpts;
+use mcc_serve::{client, ServeConfig, Server};
+use std::time::{Duration, Instant};
+
+struct Row {
+    sessions: usize,
+    wall: Duration,
+    events_total: usize,
+    events_per_sec: f64,
+    peak_buffered: usize,
+    regions_flushed: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let procs = flag("--procs", 8) as u32;
+    let ops = flag("--ops", 48) as usize;
+    let locals = flag("--locals", 8) as usize;
+    let rounds = flag("--rounds", 3) as usize;
+    let conflict = flag("--conflict-pct", 5) as f64 / 100.0;
+    let reps = flag("--reps", 3).max(1) as usize;
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let params = SynthParams {
+        nprocs: procs,
+        rounds,
+        ops_per_round: ops,
+        locals_per_round: locals,
+        ..Default::default()
+    };
+    let trace = synth_trace(&params, conflict);
+    let batch = AnalysisSession::new().run(&trace).diagnostics;
+
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run().expect("serve loop"));
+
+    println!(
+        "Daemon ingest benchmark: {} events/session, {} regions, server at {addr} (best of {reps})",
+        trace.total_events(),
+        rounds,
+    );
+    println!();
+    println!(
+        "{:>9} {:>12} {:>14} {:>13} {:>10}",
+        "Sessions", "wall (ms)", "events/s", "peak buffer", "regions"
+    );
+    println!("{}", "-".repeat(62));
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut diverged = false;
+    for sessions in [1usize, 4, 16] {
+        let mut best: Option<Row> = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let workers: Vec<_> = (0..sessions)
+                .map(|_| {
+                    let addr = addr.clone();
+                    let trace = trace.clone();
+                    std::thread::spawn(move || {
+                        client::submit_tcp(&addr, &trace, &SessionOpts::default()).expect("submit")
+                    })
+                })
+                .collect();
+            let reports: Vec<_> = workers.into_iter().map(|w| w.join().expect("client")).collect();
+            let wall = t0.elapsed();
+            for r in &reports {
+                if r.findings != batch {
+                    eprintln!(
+                        "DIVERGENCE: a streamed session reported {} finding(s), batch has {}",
+                        r.findings.len(),
+                        batch.len()
+                    );
+                    diverged = true;
+                }
+            }
+            let events_total = trace.total_events() * sessions;
+            let row = Row {
+                sessions,
+                wall,
+                events_total,
+                events_per_sec: events_total as f64 / wall.as_secs_f64(),
+                peak_buffered: reports.iter().map(|r| r.peak_buffered).max().unwrap_or(0),
+                regions_flushed: reports.iter().map(|r| r.regions_flushed).max().unwrap_or(0),
+            };
+            if best.as_ref().is_none_or(|b| row.wall < b.wall) {
+                best = Some(row);
+            }
+        }
+        let row = best.expect("at least one rep");
+        println!(
+            "{:>9} {:>12.2} {:>14.0} {:>13} {:>10}",
+            row.sessions,
+            row.wall.as_secs_f64() * 1e3,
+            row.events_per_sec,
+            row.peak_buffered,
+            row.regions_flushed
+        );
+        rows.push(row);
+    }
+
+    handle.shutdown();
+    server_thread.join().expect("server thread");
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"serve\",\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"nprocs\": {procs}, \"rounds\": {rounds}, \"ops_per_round\": {ops}, \
+         \"locals_per_round\": {locals}, \"conflict_fraction\": {conflict}, \
+         \"events_per_session\": {}}},\n",
+        trace.total_events()
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"sessions\": {}, \"wall_ms\": {:.3}, \"events_total\": {}, \
+             \"events_per_sec\": {:.0}, \"peak_buffered\": {}, \"regions_flushed\": {}}}{}\n",
+            r.sessions,
+            r.wall.as_secs_f64() * 1e3,
+            r.events_total,
+            r.events_per_sec,
+            r.peak_buffered,
+            r.regions_flushed,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!("  \"reports_identical\": {}\n", !diverged));
+    json.push_str("}\n");
+    std::fs::write(&out, json).expect("write benchmark output");
+    println!();
+    println!("wrote {out}");
+
+    if diverged {
+        std::process::exit(1);
+    }
+}

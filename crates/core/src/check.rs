@@ -50,6 +50,10 @@ pub struct AnalysisStats {
     pub regions: usize,
     /// Extracted epochs.
     pub epochs: usize,
+    /// Epochs owned by each rank (indexed by rank). The streaming checker
+    /// uses these counts to keep per-rank epoch ordinals continuous
+    /// across region flushes; excluded from [`CheckReport::to_json`].
+    pub epochs_per_rank: Vec<usize>,
     /// Synchronization calls that found no partner.
     pub unmatched_sync: usize,
     /// Phase durations.

@@ -68,12 +68,32 @@ pub struct Epochs {
     pub epochs: Vec<Epoch>,
     /// Maps each RMA op event to its epoch's index in `epochs`.
     pub of_op: HashMap<EventRef, usize>,
+    /// Per-rank ordinal of each epoch: its position among the epochs of
+    /// the same rank, in discovery order. This is the epoch number
+    /// reported in findings — unlike the global index it survives
+    /// splitting the trace at global synchronization, so the streaming
+    /// checker and the batch pipeline number epochs identically.
+    pub ordinals: Vec<u32>,
 }
 
 impl Epochs {
     /// The epoch an RMA op belongs to.
     pub fn epoch_of(&self, op: EventRef) -> Option<&Epoch> {
         self.of_op.get(&op).map(|&i| &self.epochs[i])
+    }
+
+    /// The per-rank ordinal of the epoch an RMA op belongs to.
+    pub fn ordinal_of(&self, op: EventRef) -> Option<u32> {
+        self.of_op.get(&op).map(|&i| self.ordinals[i])
+    }
+
+    /// How many epochs each rank owns (indexed by rank).
+    pub fn per_rank_counts(&self, nprocs: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; nprocs];
+        for e in &self.epochs {
+            counts[e.rank.idx()] += 1;
+        }
+        counts
     }
 }
 
@@ -294,20 +314,34 @@ pub fn extract(trace: &Trace, ctx: &crate::preprocess::Ctx) -> Epochs {
                 _ => {}
             }
         }
-        // Unclosed epochs at end of trace.
-        for (w, open) in fence {
-            finish(&mut out, open, WinId(w), None);
-        }
-        for ((w, _), open) in passive {
-            finish(&mut out, open, WinId(w), None);
-        }
-        for (w, open) in access {
-            finish(&mut out, open, WinId(w), None);
-        }
-        for (w, open) in exposure {
+        // Unclosed epochs at end of trace. The open-epoch tables are hash
+        // maps, so drain them into a vector and order by first-op event
+        // index (unique per rank) — the flush order, and with it every
+        // epoch ordinal, must not depend on hasher state.
+        let mut unclosed: Vec<(u32, OpenEpoch)> = fence
+            .into_iter()
+            .chain(passive.into_iter().map(|((w, _), e)| (w, e)))
+            .chain(access)
+            .chain(exposure)
+            .collect();
+        unclosed.sort_by_key(|(_, e)| e.ops.first().map_or(usize::MAX, |op| op.idx));
+        for (w, open) in unclosed {
             finish(&mut out, open, WinId(w), None);
         }
     }
+    // Per-rank ordinals: epochs are discovered rank by rank, so a single
+    // counter pass assigns each epoch its position within its rank.
+    let mut next = vec![0u32; trace.nprocs()];
+    out.ordinals = out
+        .epochs
+        .iter()
+        .map(|e| {
+            let c = &mut next[e.rank.idx()];
+            let o = *c;
+            *c += 1;
+            o
+        })
+        .collect();
     out
 }
 

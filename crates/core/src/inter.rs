@@ -115,7 +115,7 @@ pub(crate) fn build_shards(
                     map: ra.target_map,
                     lock: op_lock_kind(epochs, er),
                     local: None,
-                    epoch: epochs.of_op.get(&er).map(|&i| i as u32),
+                    epoch: epochs.ordinal_of(er),
                 });
                 entry.1 = true;
                 continue;
@@ -324,7 +324,7 @@ pub(crate) fn detect_naive(
                     touches: vec![(ra.win, ra.target_abs, ra.target_map)],
                     lock: op_lock_kind(epochs, er),
                     local: None,
-                    epoch: epochs.of_op.get(&er).map(|&i| i as u32),
+                    epoch: epochs.ordinal_of(er),
                 });
                 continue;
             }

@@ -48,7 +48,7 @@ pub(crate) fn detect(trace: &Trace, ctx: &Ctx, epochs: &Epochs) -> Vec<Consisten
     let mut out = Vec::new();
     let mut seen = HashSet::new();
     for (idx, epoch) in epochs.epochs.iter().enumerate() {
-        for e in check_epoch(trace, ctx, epoch, idx as u32) {
+        for e in check_epoch(trace, ctx, epoch, epochs.ordinals[idx]) {
             if seen.insert(e.dedup_key()) {
                 out.push(e);
             }

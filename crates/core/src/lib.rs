@@ -22,4 +22,4 @@ pub use check::{AnalysisStats, CheckReport};
 pub use degrade::{sanitize, DegradedInfo};
 pub use report::{Confidence, ConsistencyError, ErrorScope, OpInfo, Severity};
 pub use session::{AnalysisSession, AnalysisSessionBuilder, Engine};
-pub use streaming::{StreamingChecker, StreamingStats};
+pub use streaming::{StreamError, StreamingChecker, StreamingStats};

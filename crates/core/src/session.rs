@@ -236,6 +236,7 @@ impl AnalysisSession {
 
         let epochs = epoch::extract(trace, &ctx);
         stats.epochs = epochs.epochs.len();
+        stats.epochs_per_rank = epochs.per_rank_counts(trace.nprocs());
 
         // Detection over independent shards. Shard lists are built in a
         // fixed order and `par_map` returns per-shard results in index
@@ -244,7 +245,7 @@ impl AnalysisSession {
         let t0 = Instant::now();
         let threads = self.cfg.threads;
         let intra_found = rayon::par_map(epochs.epochs.len(), threads, |i| {
-            intra::check_epoch(trace, &ctx, &epochs.epochs[i], i as u32)
+            intra::check_epoch(trace, &ctx, &epochs.epochs[i], epochs.ordinals[i])
         });
         let inter_found = match self.cfg.engine {
             Engine::Sweep => {

@@ -12,16 +12,76 @@
 //! (small) registry events that must persist (window/datatype/group
 //! definitions).
 //!
+//! # Batch equivalence
+//!
+//! Findings are reported exactly as the batch [`AnalysisSession`] would
+//! report them — same event references, same epoch numbers, same
+//! canonical order, same surviving representative per deduplicated
+//! conflict — so a streamed report and a batch report over the same
+//! trace are byte-comparable. Three mechanisms make this work:
+//!
+//! * every finding's [`EventRef`] is remapped from its region-local index
+//!   back to the event's position in the rank's full stream;
+//! * epochs are numbered by **per-rank ordinal** (their position among
+//!   the rank's epochs), which is invariant under splitting the trace at
+//!   global synchronization, and each flushed region advances a per-rank
+//!   base so ordinals stay continuous across regions;
+//! * deduplication keeps, for each source-level conflict, the occurrence
+//!   with the smallest [`ConsistencyError::canonical_key`] seen in *any*
+//!   region — the same representative the batch canonical
+//!   sort-then-dedup selects — and [`StreamingChecker::finish`] returns
+//!   the survivors in canonical order.
+//!
+//! # Bounded memory
+//!
+//! A stream that never reaches a global synchronization would otherwise
+//! buffer without bound. [`StreamingChecker::set_high_watermark`] caps
+//! the buffer: when it fills and no region is flushable, the checker
+//! *evicts* — it analyzes everything buffered as one partial region in
+//! degraded mode (epoch closes synthesized via [`crate::degrade`]),
+//! drops the buffer, and downgrades the session to
+//! [`Confidence::Degraded`], since a conflict between an evicted event
+//! and a later one can no longer be observed.
+//!
 //! Known limitation (inherent to discarding flushed regions): an epoch
 //! that *spans* a global synchronization point is analyzed piecewise, so
 //! an intra-epoch pair straddling the boundary is missed. Well-formed
 //! programs close epochs before global synchronization; the batch
 //! checker remains the completeness reference.
 
-use crate::report::ConsistencyError;
+use crate::report::{Confidence, ConsistencyError, ErrorScope, OpInfo};
 use crate::session::AnalysisSession;
-use mcc_types::{CommId, Event, EventKind, Rank, SourceLoc, Trace, TraceBuilder, WinId};
+use mcc_types::{CommId, Event, EventKind, EventRef, Rank, SourceLoc, Trace, TraceBuilder, WinId};
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Why the streaming checker rejected a call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// A checker must cover at least one rank.
+    ZeroRanks,
+    /// An event named a rank outside `0..nprocs`.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: u32,
+        /// The checker's world size.
+        nprocs: usize,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::ZeroRanks => f.write_str("a streaming checker needs at least one rank"),
+            StreamError::RankOutOfRange { rank, nprocs } => {
+                write!(f, "event names rank {rank}, but the session covers {nprocs} rank(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
 
 /// Incremental, bounded-memory checker.
 pub struct StreamingChecker {
@@ -37,33 +97,83 @@ pub struct StreamingChecker {
     win_comm: HashMap<WinId, CommId>,
     /// Communicators known to span all ranks.
     world_comms: HashSet<CommId>,
-    /// Accumulated findings (deduplicated).
-    findings: Vec<ConsistencyError>,
-    seen: HashSet<String>,
+    /// Canonical-minimum finding per dedup key, event refs remapped to
+    /// the full stream. Bounded by the number of distinct source-level
+    /// conflicts, not by trace length.
+    best: HashMap<String, ConsistencyError>,
+    /// Events already consumed (flushed or evicted) per rank — the global
+    /// stream index of each rank's first buffered event.
+    consumed: Vec<usize>,
+    /// Per-rank epoch ordinal base: epochs owned by each rank in regions
+    /// analyzed so far.
+    epoch_base: Vec<u32>,
+    /// Buffered-event cap; exceeding it with no flushable region evicts.
+    high_watermark: Option<usize>,
+    degraded: bool,
     /// Regions flushed so far.
     pub regions_flushed: usize,
     /// High-water mark of buffered events (the memory bound).
     pub peak_buffered: usize,
+    /// Partial regions force-analyzed at the high watermark.
+    pub evictions: usize,
 }
 
 impl StreamingChecker {
-    /// Creates a streaming checker for `nprocs` ranks.
-    pub fn new(nprocs: usize) -> Self {
+    /// Creates a streaming checker for `nprocs` ranks with the default
+    /// (paper-configuration) analysis session.
+    pub fn new(nprocs: usize) -> Result<Self, StreamError> {
+        Self::with_session(nprocs, AnalysisSession::new())
+    }
+
+    /// Creates a streaming checker that analyzes regions with a custom
+    /// session (thread count, engine, ...).
+    pub fn with_session(nprocs: usize, session: AnalysisSession) -> Result<Self, StreamError> {
+        if nprocs == 0 {
+            return Err(StreamError::ZeroRanks);
+        }
         let mut world_comms = HashSet::new();
         world_comms.insert(CommId::WORLD);
-        Self {
+        Ok(Self {
             nprocs,
-            session: AnalysisSession::new(),
+            session,
             ctx_events: vec![Vec::new(); nprocs],
             buf: vec![Vec::new(); nprocs],
             boundaries: vec![Vec::new(); nprocs],
             win_comm: HashMap::new(),
             world_comms,
-            findings: Vec::new(),
-            seen: HashSet::new(),
+            best: HashMap::new(),
+            consumed: vec![0; nprocs],
+            epoch_base: vec![0; nprocs],
+            high_watermark: None,
+            degraded: false,
             regions_flushed: 0,
             peak_buffered: 0,
-        }
+            evictions: 0,
+        })
+    }
+
+    /// Caps the number of buffered events. When the cap is reached and no
+    /// region is flushable, the buffer is analyzed as a degraded partial
+    /// region and dropped instead of growing without bound. `None`
+    /// removes the cap.
+    pub fn set_high_watermark(&mut self, cap: Option<usize>) {
+        self.high_watermark = cap.map(|c| c.max(1));
+    }
+
+    /// Events currently buffered across all ranks.
+    pub fn buffered(&self) -> usize {
+        self.buf.iter().map(Vec::len).sum()
+    }
+
+    /// Whether any eviction or degraded analysis happened; if so, the
+    /// final findings carry [`Confidence::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Distinct source-level conflicts found so far.
+    pub fn findings_so_far(&self) -> usize {
+        self.best.len()
     }
 
     fn is_registry(kind: &EventKind) -> bool {
@@ -95,8 +205,18 @@ impl StreamingChecker {
 
     /// Feeds one event from `rank`'s instrumentation stream. Returns any
     /// findings completed by this event (i.e. the analysis of a region
-    /// that just became flushable).
-    pub fn push(&mut self, rank: Rank, kind: EventKind, loc: SourceLoc) -> Vec<ConsistencyError> {
+    /// that just became flushable, or of a partial region evicted at the
+    /// high watermark).
+    pub fn push(
+        &mut self,
+        rank: Rank,
+        kind: EventKind,
+        loc: SourceLoc,
+    ) -> Result<Vec<ConsistencyError>, StreamError> {
+        let r = rank.idx();
+        if r >= self.nprocs {
+            return Err(StreamError::RankOutOfRange { rank: rank.0, nprocs: self.nprocs });
+        }
         // Maintain the lightweight registry needed for boundary detection.
         match &kind {
             EventKind::WinCreate { win, comm, .. } => {
@@ -109,31 +229,43 @@ impl StreamingChecker {
             }
             _ => {}
         }
-        let r = rank.idx();
         if self.is_global_sync(&kind) {
             self.boundaries[r].push(self.buf[r].len());
         }
         self.buf[r].push((kind, loc));
-        let buffered: usize = self.buf.iter().map(Vec::len).sum();
+        let buffered = self.buffered();
         self.peak_buffered = self.peak_buffered.max(buffered);
 
         if self.boundaries.iter().all(|b| !b.is_empty()) {
-            self.flush_region()
+            Ok(self.flush_region())
+        } else if self.high_watermark.is_some_and(|cap| buffered >= cap) {
+            Ok(self.evict())
         } else {
-            Vec::new()
+            Ok(Vec::new())
+        }
+    }
+
+    /// Advances each rank's consumed-event count after a drain.
+    fn advance_consumed(&mut self, cuts: &[usize]) {
+        for (c, n) in self.consumed.iter_mut().zip(cuts) {
+            *c += n;
         }
     }
 
     /// Cuts one region (through each rank's first boundary) and analyzes
     /// it together with the persistent registry events.
     fn flush_region(&mut self) -> Vec<ConsistencyError> {
+        let ctx_counts: Vec<usize> = self.ctx_events.iter().map(Vec::len).collect();
         let mut b = TraceBuilder::new(self.nprocs);
+        let mut cuts = vec![0usize; self.nprocs];
+        #[allow(clippy::needless_range_loop)] // r indexes four parallel per-rank arrays
         for r in 0..self.nprocs {
             let rank = Rank(r as u32);
             for (kind, loc) in &self.ctx_events[r] {
                 b.push_at(rank, kind.clone(), loc.clone());
             }
             let cut = self.boundaries[r][0] + 1;
+            cuts[r] = cut;
             let rest = self.buf[r].split_off(cut);
             for (kind, loc) in self.buf[r].drain(..) {
                 if Self::is_registry(&kind) {
@@ -148,41 +280,150 @@ impl StreamingChecker {
             }
         }
         self.regions_flushed += 1;
-        self.analyze(b.build())
-    }
-
-    fn analyze(&mut self, trace: Trace) -> Vec<ConsistencyError> {
-        let report = self.session.run(&trace);
-        let mut fresh = Vec::new();
-        for e in report.diagnostics {
-            if self.seen.insert(e.dedup_key()) {
-                self.findings.push(e.clone());
-                fresh.push(e);
-            }
-        }
+        let fresh = self.analyze_region(&b.build(), &ctx_counts, false);
+        self.advance_consumed(&cuts);
         fresh
     }
 
-    /// Flushes whatever remains and returns all findings.
-    pub fn finish(mut self) -> Vec<ConsistencyError> {
+    /// Drains *everything* buffered into one trace (no boundary needed) —
+    /// the final drain of `finish`, and the partial region of an
+    /// eviction or a degraded salvage.
+    fn drain_all(&mut self) -> (Trace, Vec<usize>, Vec<usize>) {
+        let ctx_counts: Vec<usize> = self.ctx_events.iter().map(Vec::len).collect();
         let mut b = TraceBuilder::new(self.nprocs);
+        let mut cuts = vec![0usize; self.nprocs];
+        #[allow(clippy::needless_range_loop)] // r indexes four parallel per-rank arrays
         for r in 0..self.nprocs {
             let rank = Rank(r as u32);
             for (kind, loc) in &self.ctx_events[r] {
                 b.push_at(rank, kind.clone(), loc.clone());
             }
+            cuts[r] = self.buf[r].len();
             for (kind, loc) in self.buf[r].drain(..) {
+                if Self::is_registry(&kind) {
+                    self.ctx_events[r].push((kind.clone(), loc.clone()));
+                }
                 b.push_at(rank, kind, loc);
             }
+            self.boundaries[r].clear();
         }
-        self.analyze(b.build());
-        self.findings
+        (b.build(), ctx_counts, cuts)
+    }
+
+    /// Analyzes everything buffered as a degraded partial region and
+    /// drops it. Called at the high watermark; conflicts between evicted
+    /// events and later ones can no longer be observed, so the session is
+    /// degraded from here on.
+    fn evict(&mut self) -> Vec<ConsistencyError> {
+        self.degraded = true;
+        self.evictions += 1;
+        let (trace, ctx_counts, cuts) = self.drain_all();
+        let fresh = self.analyze_region(&trace, &ctx_counts, true);
+        self.advance_consumed(&cuts);
+        fresh
+    }
+
+    /// Remaps a finding's event reference from its region-local index to
+    /// the event's position in the rank's full stream, and its epoch
+    /// index to the global per-rank ordinal. Findings never reference the
+    /// replayed registry events at the front of a region trace (only RMA
+    /// operations and local accesses appear in findings), so subtracting
+    /// the replay prefix is always in range.
+    fn remap_op(&self, o: &mut OpInfo, ctx_counts: &[usize]) {
+        let r = o.rank.idx();
+        debug_assert!(o.ev.idx >= ctx_counts[r], "findings never cite replayed registry events");
+        let global = self.consumed[r] + o.ev.idx.saturating_sub(ctx_counts[r]);
+        o.ev = EventRef::new(o.rank, global);
+        if let Some(e) = o.epoch.as_mut() {
+            *e += self.epoch_base[r];
+        }
+    }
+
+    /// Runs the batch pipeline over one region trace, remaps the findings
+    /// into full-stream coordinates, and merges them into the
+    /// canonical-minimum table. Returns the findings whose dedup key was
+    /// new, in canonical order.
+    fn analyze_region(
+        &mut self,
+        trace: &Trace,
+        ctx_counts: &[usize],
+        degraded: bool,
+    ) -> Vec<ConsistencyError> {
+        let report =
+            if degraded { self.session.run_with_repair(trace).0 } else { self.session.run(trace) };
+        let mut fresh = Vec::new();
+        for mut e in report.diagnostics {
+            self.remap_op(&mut e.a, ctx_counts);
+            self.remap_op(&mut e.b, ctx_counts);
+            if self.degraded {
+                e.confidence = Confidence::Degraded;
+            }
+            match self.best.entry(e.dedup_key()) {
+                Entry::Vacant(v) => {
+                    v.insert(e.clone());
+                    fresh.push(e);
+                }
+                Entry::Occupied(mut o) => {
+                    // Keep the canonically smallest occurrence — the same
+                    // representative the batch sort-then-dedup keeps.
+                    if e.canonical_key() < o.get().canonical_key() {
+                        o.insert(e);
+                    }
+                }
+            }
+        }
+        for (r, n) in report.stats.epochs_per_rank.iter().enumerate() {
+            self.epoch_base[r] += *n as u32;
+        }
+        fresh.sort_by_key(batch_order);
+        fresh
+    }
+
+    /// The accumulated findings in canonical order.
+    fn collect(self) -> Vec<ConsistencyError> {
+        let degraded = self.degraded;
+        let mut out: Vec<ConsistencyError> = self.best.into_values().collect();
+        out.sort_by_key(batch_order);
+        if degraded {
+            for e in &mut out {
+                e.confidence = Confidence::Degraded;
+            }
+        }
+        out
+    }
+
+    /// Flushes whatever remains and returns all findings in canonical
+    /// order — byte-comparable with the batch report when the stream was
+    /// complete and no eviction happened.
+    pub fn finish(mut self) -> Vec<ConsistencyError> {
+        if self.buffered() > 0 {
+            let (trace, ctx_counts, cuts) = self.drain_all();
+            self.analyze_region(&trace, &ctx_counts, false);
+            self.advance_consumed(&cuts);
+        }
+        self.collect()
+    }
+
+    /// Salvages a session that ended abnormally (client died mid-stream,
+    /// idle timeout): the remaining buffer is analyzed in degraded mode —
+    /// truncated epochs get synthesized closes via [`crate::degrade`] —
+    /// and **every** finding is downgraded to [`Confidence::Degraded`],
+    /// because the unseen tail could have contained synchronization that
+    /// changes any verdict.
+    pub fn finish_degraded(mut self) -> Vec<ConsistencyError> {
+        self.degraded = true;
+        if self.buffered() > 0 {
+            let (trace, ctx_counts, cuts) = self.drain_all();
+            self.analyze_region(&trace, &ctx_counts, true);
+            self.advance_consumed(&cuts);
+        }
+        self.collect()
     }
 
     /// Convenience: streams a complete trace through the checker (used by
     /// the equivalence tests and benches).
     pub fn run_over(trace: &Trace) -> (Vec<ConsistencyError>, StreamingStats) {
-        let mut sc = StreamingChecker::new(trace.nprocs());
+        let mut sc = StreamingChecker::new(trace.nprocs()).expect("trace has at least one rank");
         // Interleave ranks round-robin, as events would arrive online.
         let mut idx = vec![0usize; trace.nprocs()];
         let mut remaining: usize = trace.total_events();
@@ -192,7 +433,7 @@ impl StreamingChecker {
                 if idx[r] < trace.procs[r].events.len() {
                     let ev: &Event = &trace.procs[r].events[idx[r]];
                     let loc = trace.procs[r].loc(ev.loc);
-                    sc.push(Rank(r as u32), ev.kind.clone(), loc);
+                    sc.push(Rank(r as u32), ev.kind.clone(), loc).expect("rank is in range");
                     idx[r] += 1;
                     remaining -= 1;
                 }
@@ -202,9 +443,25 @@ impl StreamingChecker {
             regions_flushed: sc.regions_flushed,
             peak_buffered: sc.peak_buffered,
             total_events: trace.total_events(),
+            evictions: sc.evictions,
         };
         (sc.finish(), stats)
     }
+}
+
+/// The batch report's total order. The batch pipeline stably sorts by
+/// [`ConsistencyError::canonical_key`] over findings generated intra
+/// before inter, so when one event pair yields both an intra-epoch and a
+/// cross-process finding (equal canonical keys, distinct dedup keys) the
+/// intra-epoch one comes first. The streaming checker accumulates
+/// findings in a hash map, which loses that generation order, so the
+/// scope class is restored here as an explicit tiebreaker.
+fn batch_order(e: &ConsistencyError) -> ((EventRef, EventRef, u64, u64), u8) {
+    let class = match e.scope {
+        ErrorScope::IntraEpoch { .. } => 0,
+        ErrorScope::CrossProcess { .. } => 1,
+    };
+    (e.canonical_key(), class)
 }
 
 /// Memory-profile statistics of a streaming run.
@@ -216,6 +473,8 @@ pub struct StreamingStats {
     pub peak_buffered: usize,
     /// Events processed in total.
     pub total_events: usize,
+    /// Partial regions force-analyzed at the high watermark.
+    pub evictions: usize,
 }
 
 #[cfg(test)]
@@ -262,18 +521,30 @@ mod tests {
     }
 
     #[test]
-    fn streaming_matches_batch() {
+    fn zero_ranks_rejected() {
+        assert_eq!(StreamingChecker::new(0).err(), Some(StreamError::ZeroRanks));
+        assert!(StreamError::ZeroRanks.to_string().contains("at least one rank"));
+    }
+
+    #[test]
+    fn out_of_range_rank_rejected() {
+        let mut sc = StreamingChecker::new(2).unwrap();
+        let err = sc.push(Rank(2), put(1), SourceLoc::unknown()).unwrap_err();
+        assert_eq!(err, StreamError::RankOutOfRange { rank: 2, nprocs: 2 });
+        assert!(err.to_string().contains("rank 2"));
+    }
+
+    #[test]
+    fn streaming_matches_batch_exactly() {
+        // Not just the same dedup keys: the same findings — event refs in
+        // full-stream coordinates, per-rank epoch ordinals, canonical
+        // order, canonical representative.
         let trace = rounds_trace(12);
         let batch = AnalysisSession::new().run(&trace);
         let (streamed, stats) = StreamingChecker::run_over(&trace);
-        assert_eq!(streamed.len(), batch.diagnostics.len());
-        let key = |v: &[ConsistencyError]| {
-            let mut k: Vec<String> = v.iter().map(|e| e.dedup_key()).collect();
-            k.sort();
-            k
-        };
-        assert_eq!(key(&streamed), key(&batch.diagnostics));
+        assert_eq!(streamed, batch.diagnostics);
         assert!(stats.regions_flushed >= 10, "regions flushed incrementally");
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]
@@ -293,7 +564,7 @@ mod tests {
     #[test]
     fn incremental_findings_surface_early() {
         let trace = rounds_trace(12);
-        let mut sc = StreamingChecker::new(2);
+        let mut sc = StreamingChecker::new(2).unwrap();
         let mut found_at = None;
         let mut pushed = 0usize;
         let mut idx = [0usize; 2];
@@ -304,7 +575,7 @@ mod tests {
                 if idx[r] < trace.procs[r].events.len() {
                     let ev = &trace.procs[r].events[idx[r]];
                     let loc = trace.procs[r].loc(ev.loc);
-                    let fresh = sc.push(Rank(r as u32), ev.kind.clone(), loc);
+                    let fresh = sc.push(Rank(r as u32), ev.kind.clone(), loc).unwrap();
                     idx[r] += 1;
                     pushed += 1;
                     progressed = true;
@@ -336,5 +607,92 @@ mod tests {
         }
         let (findings, _) = StreamingChecker::run_over(&b.build());
         assert!(findings.is_empty());
+    }
+
+    /// A stream with no global synchronization at all: the high watermark
+    /// must bound memory by evicting partial regions, and the result is
+    /// degraded — never an unbounded buffer.
+    #[test]
+    fn high_watermark_evicts_and_degrades() {
+        let mut sc = StreamingChecker::new(2).unwrap();
+        sc.set_high_watermark(Some(16));
+        for r in 0..2u32 {
+            sc.push(
+                Rank(r),
+                EventKind::WinCreate { win: WinId(0), base: 0x40, len: 0x40, comm: CommId::WORLD },
+                SourceLoc::unknown(),
+            )
+            .unwrap();
+        }
+        // Rank 0 locks and floods puts; rank 1 stays silent, so no global
+        // sync ever completes and nothing is flushable.
+        sc.push(
+            Rank(0),
+            EventKind::Lock { win: WinId(0), target: Rank(1), kind: mcc_types::LockKind::Shared },
+            SourceLoc::unknown(),
+        )
+        .unwrap();
+        for i in 0..64u32 {
+            sc.push(Rank(0), put(1), SourceLoc::new("flood.c", i, "main")).unwrap();
+            assert!(sc.buffered() <= 16, "buffer stays at or below the watermark");
+        }
+        assert!(sc.evictions >= 1, "eviction happened");
+        assert!(sc.is_degraded());
+        let findings = sc.finish();
+        assert!(findings.iter().all(|e| e.confidence == Confidence::Degraded));
+    }
+
+    /// A session killed mid-stream: `finish_degraded` salvages what was
+    /// buffered (synthesizing the missing epoch close) and every finding
+    /// is downgraded.
+    #[test]
+    fn finish_degraded_salvages_partial_region() {
+        let mut sc = StreamingChecker::new(2).unwrap();
+        for r in 0..2u32 {
+            sc.push(
+                Rank(r),
+                EventKind::WinCreate { win: WinId(0), base: 0x40, len: 0x40, comm: CommId::WORLD },
+                SourceLoc::unknown(),
+            )
+            .unwrap();
+            sc.push(Rank(r), EventKind::Fence { win: WinId(0) }, SourceLoc::unknown()).unwrap();
+        }
+        // The intra-epoch bug: a put whose origin buffer is stored to
+        // before the (never-seen) closing fence.
+        sc.push(Rank(0), put(1), SourceLoc::new("kill.c", 3, "main")).unwrap();
+        sc.push(
+            Rank(0),
+            EventKind::Store { addr: 0x200, len: 4 },
+            SourceLoc::new("kill.c", 4, "main"),
+        )
+        .unwrap();
+        let findings = sc.finish_degraded();
+        assert!(!findings.is_empty(), "the pre-kill bug is salvaged");
+        assert!(findings.iter().all(|e| e.confidence == Confidence::Degraded));
+    }
+
+    /// WinCreate counts as the first global synchronization, so the batch
+    /// comparison holds from the very first region.
+    #[test]
+    fn streaming_matches_batch_on_multiwindow_trace() {
+        let mut b = TraceBuilder::new(3);
+        for r in 0..3u32 {
+            b.push(
+                Rank(r),
+                EventKind::WinCreate { win: WinId(0), base: 0x40, len: 0x40, comm: CommId::WORLD },
+            );
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        b.push(Rank(0), put(1));
+        b.push(Rank(2), put(1));
+        b.push(Rank(1), EventKind::Store { addr: 0x40, len: 4 });
+        for r in 0..3u32 {
+            b.push(Rank(r), EventKind::Fence { win: WinId(0) });
+        }
+        let trace = b.build();
+        let batch = AnalysisSession::new().run(&trace);
+        let (streamed, _) = StreamingChecker::run_over(&trace);
+        assert_eq!(streamed, batch.diagnostics);
+        assert!(!streamed.is_empty());
     }
 }

@@ -1,0 +1,115 @@
+//! Live trace shipping: the Profiler side of the `mcc serve` protocol.
+//!
+//! Where [`crate::tracefile`] logs events to local disk for later batch
+//! analysis, [`TraceFrameWriter`] encodes the same events as
+//! [`mcc_serve::proto`] frames and ships them to a running daemon as the
+//! program executes, so the check happens online.
+
+use mcc_serve::proto::{encode_frame, Frame, SessionOpts, PROTOCOL_VERSION};
+use mcc_types::{EventKind, Rank, SourceLoc, Trace};
+use std::io::{self, Write};
+
+/// Encodes a run's events as daemon frames onto any byte sink.
+///
+/// The writer emits the `Hello` on construction, one `Event` frame per
+/// [`event`](TraceFrameWriter::event) call, and the `Finish` on
+/// [`finish`](TraceFrameWriter::finish) — which hands the sink back so
+/// the caller can read the daemon's `Report` off the same socket.
+pub struct TraceFrameWriter<W: Write> {
+    sink: W,
+    nprocs: usize,
+    events: u64,
+}
+
+impl<W: Write> TraceFrameWriter<W> {
+    /// Opens a session for `nprocs` ranks: writes the `Hello` frame.
+    pub fn new(mut sink: W, nprocs: usize, opts: SessionOpts) -> io::Result<Self> {
+        sink.write_all(&encode_frame(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            nprocs: nprocs as u32,
+            opts,
+        }))?;
+        sink.flush()?;
+        Ok(Self { sink, nprocs, events: 0 })
+    }
+
+    /// Ranks this session covers.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Events shipped so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Ships one event.
+    pub fn event(&mut self, rank: Rank, kind: EventKind, loc: SourceLoc) -> io::Result<()> {
+        self.sink.write_all(&encode_frame(&Frame::Event { rank: rank.0, kind, loc }))?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Ends the stream with a `Finish` frame and returns the sink, so the
+    /// daemon's `Report` can be read from the same connection.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.write_all(&encode_frame(&Frame::Finish))?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Ships a recorded trace event by event (ranks interleaved round-robin,
+/// the order live instrumentation would produce) and returns the sink
+/// positioned after the `Finish` frame.
+pub fn ship_trace<W: Write>(sink: W, trace: &Trace, opts: SessionOpts) -> io::Result<W> {
+    let mut w = TraceFrameWriter::new(sink, trace.nprocs(), opts)?;
+    let mut idx = vec![0usize; trace.nprocs()];
+    let mut remaining = trace.total_events();
+    while remaining > 0 {
+        #[allow(clippy::needless_range_loop)] // r doubles as the rank id
+        for r in 0..trace.nprocs() {
+            if idx[r] < trace.procs[r].events.len() {
+                let ev = &trace.procs[r].events[idx[r]];
+                w.event(Rank(r as u32), ev.kind.clone(), trace.procs[r].loc(ev.loc))?;
+                idx[r] += 1;
+                remaining -= 1;
+            }
+        }
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_serve::proto::FrameReader;
+    use mcc_types::TraceBuilder;
+
+    #[test]
+    fn shipped_frames_decode_back_in_order() {
+        let mut b = TraceBuilder::new(2);
+        b.push_at(
+            Rank(0),
+            EventKind::Barrier { comm: mcc_types::CommId::WORLD },
+            SourceLoc::unknown(),
+        );
+        b.push_at(
+            Rank(1),
+            EventKind::Barrier { comm: mcc_types::CommId::WORLD },
+            SourceLoc::unknown(),
+        );
+        let trace = b.build();
+
+        let bytes = ship_trace(Vec::new(), &trace, SessionOpts::default()).unwrap();
+        let mut reader = FrameReader::new(&bytes[..]);
+        let mut frames = Vec::new();
+        while let Some(f) = reader.next_frame().unwrap() {
+            frames.push(f);
+        }
+        assert!(matches!(frames.first(), Some(Frame::Hello { nprocs: 2, .. })));
+        assert!(matches!(frames.last(), Some(Frame::Finish)));
+        let events = frames.iter().filter(|f| matches!(f, Frame::Event { .. })).count();
+        assert_eq!(events, 2);
+    }
+}

@@ -11,12 +11,17 @@
 //!   scalability studies;
 //! * [`profile`] — convenience wrappers that run a program on the
 //!   simulator under each instrumentation mode and report timings
-//!   (Figure 8's with/without-Profiler comparison).
+//!   (Figure 8's with/without-Profiler comparison);
+//! * [`framewriter`] — the online alternative to trace files: encode
+//!   events as `mcc serve` protocol frames and ship them to a running
+//!   daemon as the program executes.
 
+pub mod framewriter;
 pub mod profile;
 pub mod stats;
 pub mod tracefile;
 
+pub use framewriter::{ship_trace, TraceFrameWriter};
 pub use profile::{profile_run, OverheadReport};
 pub use stats::{EventRates, TraceStats};
 pub use tracefile::{

@@ -1,0 +1,173 @@
+//! A blocking client for the checker daemon.
+//!
+//! Streams a recorded [`Trace`] to a running `mcc serve` daemon event by
+//! event — ranks interleaved round-robin, the order events would arrive
+//! from live instrumentation — and returns the daemon's
+//! [`SessionReport`].
+
+use crate::proto::{write_frame, Frame, FrameReader, ProtoError, SessionOpts, PROTOCOL_VERSION};
+use crate::report::SessionReport;
+use mcc_types::Trace;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+/// Why a submission failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server sent bytes that are not a valid frame.
+    Proto(ProtoError),
+    /// The server refused the session (version mismatch, bad `nprocs`).
+    Rejected(String),
+    /// The server sent a frame that makes no sense at this point.
+    UnexpectedFrame(String),
+    /// The `Report` payload did not parse as a [`SessionReport`].
+    BadReport(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Rejected(m) => write!(f, "server rejected the session: {m}"),
+            ClientError::UnexpectedFrame(m) => write!(f, "unexpected frame from server: {m}"),
+            ClientError::BadReport(m) => write!(f, "unparseable session report: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(e) => ClientError::Io(e),
+            other => ClientError::Proto(other),
+        }
+    }
+}
+
+fn read_reply<S: Read>(reader: &mut FrameReader<S>) -> Result<Frame, ClientError> {
+    loop {
+        match reader.next_frame() {
+            Ok(Some(f)) => return Ok(f),
+            Ok(None) => {
+                return Err(ClientError::UnexpectedFrame(
+                    "server closed the connection without replying".into(),
+                ))
+            }
+            Err(ProtoError::Idle) => {} // no read timeout set by default; retry regardless
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Streams `trace` over an established connection and returns the
+/// server's report. Works over any `Read + Write` stream — TCP, Unix
+/// socket, or an in-memory pair in tests.
+pub fn submit_over<S: Read + Write>(
+    stream: S,
+    trace: &Trace,
+    opts: &SessionOpts,
+) -> Result<SessionReport, ClientError> {
+    let mut reader = FrameReader::new(stream);
+    write_frame(
+        reader.get_mut(),
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+            nprocs: trace.nprocs() as u32,
+            opts: opts.clone(),
+        },
+    )?;
+    match read_reply(&mut reader)? {
+        Frame::Welcome { .. } => {}
+        Frame::Error { message } => return Err(ClientError::Rejected(message)),
+        other => return Err(ClientError::UnexpectedFrame(format!("{other:?}"))),
+    }
+
+    // Interleave ranks round-robin, batching writes so a large trace does
+    // not pay one syscall per event.
+    let mut batch: Vec<u8> = Vec::with_capacity(1 << 16);
+    let mut idx = vec![0usize; trace.nprocs()];
+    let mut remaining = trace.total_events();
+    while remaining > 0 {
+        #[allow(clippy::needless_range_loop)] // r doubles as the rank id
+        for r in 0..trace.nprocs() {
+            if idx[r] < trace.procs[r].events.len() {
+                let ev = &trace.procs[r].events[idx[r]];
+                let frame = Frame::Event {
+                    rank: r as u32,
+                    kind: ev.kind.clone(),
+                    loc: trace.procs[r].loc(ev.loc),
+                };
+                batch.extend_from_slice(&crate::proto::encode_frame(&frame));
+                idx[r] += 1;
+                remaining -= 1;
+            }
+        }
+        if batch.len() >= (1 << 18) || remaining == 0 {
+            reader.get_mut().write_all(&batch)?;
+            batch.clear();
+        }
+    }
+    write_frame(reader.get_mut(), &Frame::Finish)?;
+
+    match read_reply(&mut reader)? {
+        Frame::Report { json } => SessionReport::from_json(&json).map_err(ClientError::BadReport),
+        Frame::Error { message } => Err(ClientError::Rejected(message)),
+        other => Err(ClientError::UnexpectedFrame(format!("{other:?}"))),
+    }
+}
+
+/// Connects to a TCP daemon and submits `trace`.
+pub fn submit_tcp(
+    addr: &str,
+    trace: &Trace,
+    opts: &SessionOpts,
+) -> Result<SessionReport, ClientError> {
+    submit_over(TcpStream::connect(addr)?, trace, opts)
+}
+
+/// Connects to a Unix-socket daemon and submits `trace`.
+#[cfg(unix)]
+pub fn submit_unix(
+    path: &str,
+    trace: &Trace,
+    opts: &SessionOpts,
+) -> Result<SessionReport, ClientError> {
+    submit_over(UnixStream::connect(path)?, trace, opts)
+}
+
+/// Asks a daemon for its supervisor state (the `STATS` verb) and returns
+/// the raw JSON.
+pub fn stats_over<S: Read + Write>(stream: S) -> Result<String, ClientError> {
+    let mut reader = FrameReader::new(stream);
+    write_frame(reader.get_mut(), &Frame::Stats)?;
+    match read_reply(&mut reader)? {
+        Frame::StatsReport { json } => Ok(json),
+        Frame::Error { message } => Err(ClientError::Rejected(message)),
+        other => Err(ClientError::UnexpectedFrame(format!("{other:?}"))),
+    }
+}
+
+/// [`stats_over`] via TCP.
+pub fn stats_tcp(addr: &str) -> Result<String, ClientError> {
+    stats_over(TcpStream::connect(addr)?)
+}
+
+/// [`stats_over`] via Unix socket.
+#[cfg(unix)]
+pub fn stats_unix(path: &str) -> Result<String, ClientError> {
+    stats_over(UnixStream::connect(path)?)
+}

@@ -1,0 +1,33 @@
+//! `mcc-serve` — the MC-Checker daemon.
+//!
+//! The paper's analyses are batch: record a trace, run the checker over
+//! it. This crate turns the PR-2 [`mcc_core::AnalysisSession`] /
+//! [`mcc_core::StreamingChecker`] stack into a long-running service: many
+//! concurrent clients each open a framed connection ([`proto`]), stream
+//! their trace events live, and get back the same findings — byte for
+//! byte — that a batch run over the recorded trace would have produced.
+//!
+//! Layers:
+//!
+//! * [`proto`] — length-prefixed JSON frames, versioned handshake,
+//!   incremental [`proto::FrameReader`];
+//! * [`registry`] — the supervisor's session table behind the `STATS`
+//!   verb, leak-proof via guard `Drop`;
+//! * [`server`] — accept loop, per-connection checking, backpressure and
+//!   idle/death salvage policies;
+//! * [`client`] — a blocking submit/stats client;
+//! * [`report`] — the versioned JSON session report.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod registry;
+pub mod report;
+pub mod server;
+
+pub use client::{stats_tcp, submit_tcp, ClientError};
+pub use proto::{Frame, FrameReader, ProtoError, SessionOpts, MAX_RANKS, PROTOCOL_VERSION};
+pub use registry::{Outcome, Progress, Registry, SessionGuard};
+pub use report::{SessionReport, REPORT_SCHEMA_VERSION};
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,355 @@
+//! The wire protocol of the checker daemon.
+//!
+//! Frames are length-prefixed JSON: a 4-byte little-endian payload length
+//! followed by one serde-serialized [`Frame`]. The length prefix makes
+//! truncation detectable (a stream that ends inside a frame is a protocol
+//! error, not a silent partial parse) and caps per-frame memory at
+//! [`MAX_FRAME_LEN`] before any payload byte is even read.
+//!
+//! Grammar of a session, client side:
+//!
+//! ```text
+//! Hello{version, nprocs, opts}          →
+//!                                       ← Welcome{version, session} | Error{message}
+//! Event{rank, kind, loc} ... (repeated) →
+//! Finish                                →
+//!                                       ← Report{json}
+//! ```
+//!
+//! `Stats` may be sent instead of (or during) a session and is answered
+//! with `StatsReport{json}`. The handshake is versioned: a `Hello` whose
+//! `version` differs from [`PROTOCOL_VERSION`], or whose `nprocs` is zero
+//! or absurd, is answered with an `Error` frame — never a silently
+//! dropped connection.
+
+use mcc_types::{EventKind, SourceLoc};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Version carried in (and required of) every `Hello`.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard cap on a single frame's payload, applied before reading it.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Largest world size a `Hello` may announce.
+pub const MAX_RANKS: u32 = 4096;
+
+/// Per-session options a client may request in its `Hello`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionOpts {
+    /// Worker threads for the region analyses (the server clamps this).
+    pub threads: u32,
+    /// Requested buffered-event cap; `0` accepts the server default. The
+    /// server never raises its own hard cap for a client.
+    pub max_buffered: u32,
+}
+
+impl Default for SessionOpts {
+    fn default() -> Self {
+        Self { threads: 1, max_buffered: 0 }
+    }
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Frame {
+    /// Opens a session: protocol version, world size, session options.
+    Hello {
+        /// Must equal [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Number of ranks whose events will follow (1..=[`MAX_RANKS`]).
+        nprocs: u32,
+        /// Requested session options.
+        opts: SessionOpts,
+    },
+    /// Accepts a `Hello`.
+    Welcome {
+        /// The server's protocol version.
+        version: u32,
+        /// Server-assigned session id (shows up in `STATS`).
+        session: u64,
+    },
+    /// One trace event from one rank's instrumentation stream.
+    Event {
+        /// The originating rank.
+        rank: u32,
+        /// The event.
+        kind: EventKind,
+        /// Its source location.
+        loc: SourceLoc,
+    },
+    /// Ends the stream; the server answers with `Report`.
+    Finish,
+    /// Requests the supervisor's state; answered with `StatsReport`.
+    Stats,
+    /// The final (or salvaged) session report.
+    Report {
+        /// A serialized [`crate::report::SessionReport`].
+        json: String,
+    },
+    /// The supervisor's state.
+    StatsReport {
+        /// A JSON document (see [`crate::registry::Registry::stats_json`]).
+        json: String,
+    },
+    /// The server refuses a frame or a session.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The stream ended inside a frame.
+    Truncated {
+        /// Bytes the frame needed.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+    /// The payload is not a valid frame.
+    Malformed(String),
+    /// A read timed out before a complete frame arrived; buffered partial
+    /// bytes are kept, so the read can be retried.
+    Idle,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtoError::Truncated { needed, got } => {
+                write!(f, "stream ended inside a frame ({got} of {needed} bytes)")
+            }
+            ProtoError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            ProtoError::Idle => f.write_str("read timed out before a complete frame"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Encodes one frame: 4-byte little-endian length, then the JSON payload.
+pub fn encode_frame(f: &Frame) -> Vec<u8> {
+    let payload = serde_json::to_vec(f).expect("frame serialization is infallible");
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Writes one frame and flushes.
+pub fn write_frame(w: &mut impl Write, f: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(f))?;
+    w.flush()
+}
+
+/// How many bytes the frame at the head of `buf` needs in total.
+fn needed(buf: &[u8]) -> usize {
+    if buf.len() < 4 {
+        4
+    } else {
+        4 + u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize
+    }
+}
+
+/// Attempts to decode the frame at the head of `buf`. `Ok(None)` means
+/// more bytes are needed; `Ok(Some((frame, used)))` consumed `used`
+/// bytes. Oversized or malformed frames are errors — garbage can never
+/// decode as a frame.
+pub fn try_decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtoError::TooLarge(len));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let frame = serde_json::from_slice(&buf[4..4 + len])
+        .map_err(|e| ProtoError::Malformed(e.to_string()))?;
+    Ok(Some((frame, 4 + len)))
+}
+
+/// Decodes one complete frame from `buf`, rejecting truncation: a buffer
+/// that holds less than one whole frame is [`ProtoError::Truncated`].
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), ProtoError> {
+    match try_decode(buf)? {
+        Some(x) => Ok(x),
+        None => Err(ProtoError::Truncated { needed: needed(buf), got: buf.len() }),
+    }
+}
+
+/// Incremental frame reader over any byte stream.
+///
+/// Keeps partially received frames across reads, so it composes with
+/// socket read timeouts: a timeout mid-frame surfaces as
+/// [`ProtoError::Idle`] and the next call resumes where the bytes left
+/// off — the caller's idle-timeout policy lives outside the decoder.
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    eof: bool,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a stream.
+    pub fn new(inner: R) -> Self {
+        Self { inner, buf: Vec::new(), eof: false }
+    }
+
+    /// The underlying stream (for writing responses).
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+
+    /// Reads the next frame. `Ok(None)` is clean end-of-stream at a frame
+    /// boundary; ending inside a frame is [`ProtoError::Truncated`].
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtoError> {
+        loop {
+            if let Some((frame, used)) = try_decode(&self.buf)? {
+                self.buf.drain(..used);
+                return Ok(Some(frame));
+            }
+            if self.eof {
+                return if self.buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(ProtoError::Truncated { needed: needed(&self.buf), got: self.buf.len() })
+                };
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    return Err(ProtoError::Idle)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ProtoError::Io(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_types::{CommId, WinId};
+
+    fn frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello { version: PROTOCOL_VERSION, nprocs: 4, opts: SessionOpts::default() },
+            Frame::Welcome { version: PROTOCOL_VERSION, session: 7 },
+            Frame::Event {
+                rank: 2,
+                kind: EventKind::WinCreate {
+                    win: WinId(0),
+                    base: 64,
+                    len: 64,
+                    comm: CommId::WORLD,
+                },
+                loc: SourceLoc::new("app.c", 12, "main"),
+            },
+            Frame::Finish,
+            Frame::Stats,
+            Frame::Report { json: "{\"x\":1}".into() },
+            Frame::StatsReport { json: "{}".into() },
+            Frame::Error { message: "nope".into() },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for f in frames() {
+            let bytes = encode_frame(&f);
+            let (back, used) = decode_frame(&bytes).unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn every_strict_prefix_is_truncated_never_a_frame() {
+        for f in frames() {
+            let bytes = encode_frame(&f);
+            for cut in 0..bytes.len() {
+                match decode_frame(&bytes[..cut]) {
+                    Err(ProtoError::Truncated { got, .. }) => assert_eq!(got, cut),
+                    other => panic!("prefix of {cut} bytes decoded as {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_payload() {
+        let mut bytes = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(decode_frame(&bytes), Err(ProtoError::TooLarge(_))));
+    }
+
+    #[test]
+    fn garbage_payload_is_malformed() {
+        let mut bytes = 4u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(b"!!!!");
+        assert!(matches!(decode_frame(&bytes), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn reader_reassembles_frames_split_across_reads() {
+        struct DribbleReader {
+            bytes: Vec<u8>,
+            pos: usize,
+        }
+        impl Read for DribbleReader {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                if self.pos >= self.bytes.len() {
+                    return Ok(0);
+                }
+                out[0] = self.bytes[self.pos]; // one byte at a time
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let mut bytes = Vec::new();
+        for f in frames() {
+            bytes.extend_from_slice(&encode_frame(&f));
+        }
+        let mut reader = FrameReader::new(DribbleReader { bytes, pos: 0 });
+        let mut got = Vec::new();
+        while let Some(f) = reader.next_frame().unwrap() {
+            got.push(f);
+        }
+        assert_eq!(got, frames());
+    }
+
+    #[test]
+    fn reader_reports_truncation_at_eof_inside_frame() {
+        let bytes = encode_frame(&Frame::Finish);
+        let cut = &bytes[..bytes.len() - 1];
+        let mut reader = FrameReader::new(cut);
+        assert!(matches!(reader.next_frame(), Err(ProtoError::Truncated { .. })));
+    }
+}

@@ -1,0 +1,272 @@
+//! The supervisor's session registry.
+//!
+//! Every accepted session registers here and is tracked until it ends —
+//! completed (client sent `Finish`), or salvaged (client vanished
+//! mid-stream, idle timeout, or the connection thread panicked). The
+//! [`SessionGuard`] unregisters on `Drop`, so a session can never leak
+//! whatever path its connection thread takes; the `STATS` verb renders
+//! the registry as JSON.
+
+use serde::Value;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How a session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The client finished its stream and received a complete report.
+    Completed,
+    /// The session was cut short (death mid-stream, idle timeout, panic)
+    /// and a degraded report was salvaged from what had arrived.
+    Salvaged,
+}
+
+/// Progress of one live session, as last reported by its connection
+/// thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Progress {
+    /// Events ingested so far.
+    pub events: u64,
+    /// Events currently buffered in the checker.
+    pub buffered: usize,
+    /// Peak buffered events.
+    pub peak_buffered: usize,
+    /// Regions flushed.
+    pub regions_flushed: usize,
+    /// Distinct findings so far.
+    pub findings: usize,
+    /// Whether the session already degraded (eviction at the cap).
+    pub degraded: bool,
+}
+
+struct SessionState {
+    nprocs: usize,
+    progress: Progress,
+    last_activity: Instant,
+}
+
+#[derive(Default)]
+struct Totals {
+    completed: u64,
+    salvaged: u64,
+    rejected: u64,
+    events: u64,
+    findings: u64,
+}
+
+struct Inner {
+    next_id: u64,
+    active: BTreeMap<u64, SessionState>,
+    totals: Totals,
+}
+
+/// The shared registry. One per server; connection threads hold an
+/// `Arc<Registry>`.
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                next_id: 1,
+                active: BTreeMap::new(),
+                totals: Totals::default(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned registry mutex would take the whole daemon down for
+        // a single panicked connection thread; the state is a plain
+        // counter table, safe to keep serving.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a new session and returns its guard. Dropping the guard
+    /// without [`SessionGuard::finish`] records the session as salvaged —
+    /// the registry can never leak a session.
+    pub fn register(self: &Arc<Self>, nprocs: usize) -> SessionGuard {
+        let mut inner = self.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.active.insert(
+            id,
+            SessionState { nprocs, progress: Progress::default(), last_activity: Instant::now() },
+        );
+        SessionGuard { registry: Arc::clone(self), id, finished: false }
+    }
+
+    /// Records a refused handshake (version mismatch, bad `nprocs`).
+    pub fn note_rejected(&self) {
+        self.lock().totals.rejected += 1;
+    }
+
+    /// Sessions currently live.
+    pub fn active_count(&self) -> usize {
+        self.lock().active.len()
+    }
+
+    fn update(&self, id: u64, progress: Progress) {
+        if let Some(s) = self.lock().active.get_mut(&id) {
+            s.progress = progress;
+            s.last_activity = Instant::now();
+        }
+    }
+
+    fn finish(&self, id: u64, outcome: Outcome) {
+        let mut inner = self.lock();
+        if let Some(s) = inner.active.remove(&id) {
+            match outcome {
+                Outcome::Completed => inner.totals.completed += 1,
+                Outcome::Salvaged => inner.totals.salvaged += 1,
+            }
+            inner.totals.events += s.progress.events;
+            inner.totals.findings += s.progress.findings as u64;
+        }
+    }
+
+    /// Renders the supervisor state as JSON — the `STATS` verb's payload.
+    pub fn stats_json(&self) -> String {
+        let inner = self.lock();
+        let obj = |fields: Vec<(&str, Value)>| {
+            Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        };
+        let int = |n: u64| Value::Int(n as i128);
+        let mut events_total = inner.totals.events;
+        let mut findings_total = inner.totals.findings;
+        let active: Vec<Value> = inner
+            .active
+            .iter()
+            .map(|(id, s)| {
+                events_total += s.progress.events;
+                findings_total += s.progress.findings as u64;
+                obj(vec![
+                    ("id", int(*id)),
+                    ("nprocs", int(s.nprocs as u64)),
+                    ("events", int(s.progress.events)),
+                    ("buffered", int(s.progress.buffered as u64)),
+                    ("peak_buffered", int(s.progress.peak_buffered as u64)),
+                    ("regions_flushed", int(s.progress.regions_flushed as u64)),
+                    ("findings", int(s.progress.findings as u64)),
+                    ("degraded", Value::Bool(s.progress.degraded)),
+                    ("idle_ms", int(s.last_activity.elapsed().as_millis() as u64)),
+                ])
+            })
+            .collect();
+        let doc = obj(vec![
+            ("schema_version", Value::Int(1)),
+            ("sessions_active", int(inner.active.len() as u64)),
+            ("sessions_completed", int(inner.totals.completed)),
+            ("sessions_salvaged", int(inner.totals.salvaged)),
+            ("hellos_rejected", int(inner.totals.rejected)),
+            ("events_ingested", int(events_total)),
+            ("findings", int(findings_total)),
+            ("sessions", Value::Arr(active)),
+        ]);
+        struct Doc(Value);
+        impl serde::Serialize for Doc {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        serde_json::to_string(&Doc(doc)).expect("stats JSON rendering")
+    }
+}
+
+/// Registration handle of one session. `Drop` without an explicit
+/// [`finish`](SessionGuard::finish) records the session as salvaged.
+pub struct SessionGuard {
+    registry: Arc<Registry>,
+    id: u64,
+    finished: bool,
+}
+
+impl SessionGuard {
+    /// The server-assigned session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Publishes the session's current progress (and refreshes its
+    /// activity timestamp).
+    pub fn report_progress(&self, progress: Progress) {
+        self.registry.update(self.id, progress);
+    }
+
+    /// Ends the session with an explicit outcome.
+    pub fn finish(mut self, outcome: Outcome) {
+        self.finished = true;
+        self.registry.finish(self.id, outcome);
+    }
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.registry.finish(self.id, Outcome::Salvaged);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_progress_finish() {
+        let reg = Arc::new(Registry::new());
+        let g = reg.register(4);
+        assert_eq!(reg.active_count(), 1);
+        g.report_progress(Progress { events: 10, findings: 2, ..Default::default() });
+        let stats = reg.stats_json();
+        assert!(stats.contains("\"sessions_active\":1"), "{stats}");
+        assert!(stats.contains("\"events\":10"), "{stats}");
+        g.finish(Outcome::Completed);
+        assert_eq!(reg.active_count(), 0);
+        let stats = reg.stats_json();
+        assert!(stats.contains("\"sessions_completed\":1"), "{stats}");
+        assert!(stats.contains("\"events_ingested\":10"), "{stats}");
+    }
+
+    #[test]
+    fn dropped_guard_counts_as_salvaged_never_leaks() {
+        let reg = Arc::new(Registry::new());
+        {
+            let _g = reg.register(2);
+            assert_eq!(reg.active_count(), 1);
+            // Connection thread dies without calling finish().
+        }
+        assert_eq!(reg.active_count(), 0, "no leaked session");
+        assert!(reg.stats_json().contains("\"sessions_salvaged\":1"));
+    }
+
+    #[test]
+    fn panicking_holder_still_unregisters() {
+        let reg = Arc::new(Registry::new());
+        let reg2 = Arc::clone(&reg);
+        let _ = std::thread::spawn(move || {
+            let _g = reg2.register(2);
+            panic!("connection thread blew up");
+        })
+        .join();
+        assert_eq!(reg.active_count(), 0);
+        assert!(reg.stats_json().contains("\"sessions_salvaged\":1"));
+    }
+
+    #[test]
+    fn rejections_counted() {
+        let reg = Registry::new();
+        reg.note_rejected();
+        assert!(reg.stats_json().contains("\"hellos_rejected\":1"));
+    }
+}

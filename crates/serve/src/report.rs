@@ -1,0 +1,69 @@
+//! The session report shipped back in a `Report` frame.
+
+use mcc_core::report::{Confidence, ConsistencyError, Severity};
+use serde::{Deserialize, Serialize};
+
+/// Versioned payload of [`crate::proto::Frame::Report`].
+///
+/// `findings` round-trips [`ConsistencyError`] losslessly, so a client
+/// can compare a streamed report against a batch
+/// [`mcc_core::AnalysisSession`] run with plain equality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Report schema version.
+    pub schema_version: u32,
+    /// `Complete` when the whole stream was analyzed normally; `Degraded`
+    /// when the session hit its buffer cap, died mid-stream, or idled
+    /// out and was salvaged.
+    pub confidence: Confidence,
+    /// Findings in the batch-canonical order.
+    pub findings: Vec<ConsistencyError>,
+    /// Events the server ingested for this session.
+    pub events_ingested: u64,
+    /// Concurrent regions flushed during the stream.
+    pub regions_flushed: usize,
+    /// Peak buffered events (the session's memory bound).
+    pub peak_buffered: usize,
+    /// Partial regions force-analyzed at the buffer cap.
+    pub evictions: usize,
+}
+
+/// Current schema version of [`SessionReport`].
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+impl SessionReport {
+    /// Serializes to the JSON carried by a `Report` frame.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serialization is infallible")
+    }
+
+    /// Parses the JSON of a `Report` frame.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Whether any finding is a definite error (not a warning).
+    pub fn has_errors(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips() {
+        let r = SessionReport {
+            schema_version: REPORT_SCHEMA_VERSION,
+            confidence: Confidence::Degraded,
+            findings: Vec::new(),
+            events_ingested: 42,
+            regions_flushed: 3,
+            peak_buffered: 17,
+            evictions: 1,
+        };
+        let back = SessionReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+}

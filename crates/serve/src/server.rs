@@ -1,0 +1,437 @@
+//! The daemon: accept loop, per-connection session handling, supervisor
+//! policies (backpressure, hard caps, idle salvage).
+//!
+//! The server is plain `std::net` + one thread per connection — no async
+//! runtime. Bounded memory is enforced in two stages: past the *soft*
+//! watermark the connection thread pauses briefly before the next socket
+//! read (backpressure — the kernel socket buffer, and eventually the
+//! client, absorb the stall), and at the *hard* watermark the session's
+//! [`StreamingChecker`] evicts, trading the report down to
+//! [`Confidence::Degraded`] instead of growing without bound. A session
+//! that goes quiet for the idle timeout, or whose client vanishes
+//! mid-stream, is *salvaged*: whatever arrived is analyzed in degraded
+//! mode, a degraded report is offered to the (possibly gone) client, and
+//! the registry records the session as salvaged — never leaked.
+
+use crate::proto::{write_frame, Frame, FrameReader, ProtoError, MAX_RANKS, PROTOCOL_VERSION};
+use crate::registry::{Outcome, Progress, Registry, SessionGuard};
+use crate::report::{SessionReport, REPORT_SCHEMA_VERSION};
+use mcc_core::report::Confidence;
+use mcc_core::session::AnalysisSession;
+use mcc_core::streaming::StreamingChecker;
+use mcc_types::Rank;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Supervisor policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Buffered events per session above which the connection thread
+    /// pauses before reading more (backpressure).
+    pub soft_watermark: usize,
+    /// Hard cap on buffered events per session; reaching it forces a
+    /// degraded eviction instead of unbounded growth. A client may
+    /// request a *lower* cap in its `Hello`, never a higher one.
+    pub hard_watermark: usize,
+    /// A session silent for this long is salvaged and closed.
+    pub idle_timeout: Duration,
+    /// Socket read timeout — the granularity at which idle sessions and
+    /// shutdown are noticed.
+    pub tick: Duration,
+    /// How long a backpressured connection thread sleeps per pause.
+    pub backpressure_pause: Duration,
+    /// Upper bound on the per-session analysis thread count a client may
+    /// request.
+    pub max_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            soft_watermark: 8192,
+            hard_watermark: 65536,
+            idle_timeout: Duration::from_secs(30),
+            tick: Duration::from_millis(200),
+            backpressure_pause: Duration::from_millis(2),
+            max_threads: 8,
+        }
+    }
+}
+
+/// A bidirectional connection the server can serve.
+trait Conn: Read + Write + Send {
+    fn set_read_timeout_(&self, d: Option<Duration>) -> io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn set_read_timeout_(&self, d: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(d)
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn set_read_timeout_(&self, d: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(d)
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, String),
+}
+
+/// Where a server listens, as given to [`Server::bind`].
+///
+/// A string containing a `/` is a Unix socket path; anything else is a
+/// TCP address like `127.0.0.1:9477`.
+fn is_unix_addr(addr: &str) -> bool {
+    addr.contains('/')
+}
+
+/// Handle for stopping a running server from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: String,
+    unix: bool,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Asks the accept loop to exit, unblocking it with a throwaway
+    /// connection.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Nudge the (blocking) accept call.
+        if self.unix {
+            #[cfg(unix)]
+            {
+                let _ = UnixStream::connect(&self.addr);
+            }
+        } else if let Ok(addrs) = self.addr.to_socket_addrs() {
+            for a in addrs {
+                let _ = TcpStream::connect_timeout(&a, Duration::from_millis(200));
+            }
+        }
+    }
+}
+
+/// The checker daemon.
+pub struct Server {
+    listener: Listener,
+    registry: Arc<Registry>,
+    cfg: ServeConfig,
+    shutdown: Arc<AtomicBool>,
+    addr: String,
+}
+
+impl Server {
+    /// Binds to `addr` — a TCP address (`host:port`, port `0` picks a
+    /// free one) or, on Unix, a socket path (recognized by a `/`).
+    pub fn bind(addr: &str, cfg: ServeConfig) -> io::Result<Self> {
+        let (listener, bound) = if is_unix_addr(addr) {
+            #[cfg(unix)]
+            {
+                // A stale socket file from a dead daemon would make bind
+                // fail forever; remove it first.
+                let _ = std::fs::remove_file(addr);
+                (Listener::Unix(UnixListener::bind(addr)?, addr.to_string()), addr.to_string())
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix socket paths are not supported on this platform",
+                ));
+            }
+        } else {
+            let l = TcpListener::bind(addr)?;
+            let bound = l.local_addr()?.to_string();
+            (Listener::Tcp(l), bound)
+        };
+        Ok(Self {
+            listener,
+            registry: Arc::new(Registry::new()),
+            cfg,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            addr: bound,
+        })
+    }
+
+    /// The bound address (with the actual port when `:0` was requested).
+    pub fn local_addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The supervisor's session registry.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// A handle that can stop [`run`](Server::run) from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr.clone(),
+            unix: !matches!(self.listener, Listener::Tcp(_)),
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`]. Each connection gets its
+    /// own thread; all are joined before returning, so no session
+    /// outlives the server.
+    pub fn run(self) -> io::Result<()> {
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            let conn: Box<dyn Conn> = match &self.listener {
+                Listener::Tcp(l) => match l.accept() {
+                    Ok((s, _)) => Box::new(s),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                },
+                #[cfg(unix)]
+                Listener::Unix(l, _) => match l.accept() {
+                    Ok((s, _)) => Box::new(s),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                },
+            };
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let registry = Arc::clone(&self.registry);
+            let cfg = self.cfg.clone();
+            workers.retain(|w| !w.is_finished());
+            workers.push(thread::spawn(move || handle_conn(conn, registry, &cfg)));
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = &self.listener {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+fn send(conn: &mut impl Write, f: &Frame) -> bool {
+    write_frame(conn, f).is_ok()
+}
+
+/// Validates a `Hello`; `Err` is the refusal message for the client.
+fn vet_hello(version: u32, nprocs: u32) -> Result<(), String> {
+    if version != PROTOCOL_VERSION {
+        return Err(format!(
+            "protocol version {version} not supported (server speaks {PROTOCOL_VERSION})"
+        ));
+    }
+    if nprocs == 0 {
+        return Err("a session must cover at least one rank".into());
+    }
+    if nprocs > MAX_RANKS {
+        return Err(format!("nprocs {nprocs} exceeds the server cap of {MAX_RANKS} ranks"));
+    }
+    Ok(())
+}
+
+fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) {
+    let _ = conn.set_read_timeout_(Some(cfg.tick));
+    let mut reader = FrameReader::new(conn);
+
+    // Pre-session: answer Stats, wait for Hello.
+    let started = Instant::now();
+    let (nprocs, opts) = loop {
+        match reader.next_frame() {
+            Ok(Some(Frame::Stats)) => {
+                let json = registry.stats_json();
+                if !send(reader.get_mut(), &Frame::StatsReport { json }) {
+                    return;
+                }
+            }
+            Ok(Some(Frame::Hello { version, nprocs, opts })) => {
+                if let Err(message) = vet_hello(version, nprocs) {
+                    registry.note_rejected();
+                    send(reader.get_mut(), &Frame::Error { message });
+                    return;
+                }
+                break (nprocs as usize, opts);
+            }
+            Ok(Some(_)) => {
+                send(reader.get_mut(), &Frame::Error { message: "expected Hello or Stats".into() });
+                return;
+            }
+            Ok(None) => return,
+            Err(ProtoError::Idle) => {
+                if started.elapsed() >= cfg.idle_timeout {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    };
+
+    let threads = (opts.threads.max(1) as usize).min(cfg.max_threads);
+    let session = AnalysisSession::builder().threads(threads).build();
+    let mut checker = match StreamingChecker::with_session(nprocs, session) {
+        Ok(c) => c,
+        Err(e) => {
+            registry.note_rejected();
+            send(reader.get_mut(), &Frame::Error { message: e.to_string() });
+            return;
+        }
+    };
+    let cap = match opts.max_buffered {
+        0 => cfg.hard_watermark,
+        n => (n as usize).min(cfg.hard_watermark),
+    };
+    checker.set_high_watermark(Some(cap));
+
+    let guard = registry.register(nprocs);
+    if !send(reader.get_mut(), &Frame::Welcome { version: PROTOCOL_VERSION, session: guard.id() }) {
+        // Client is already gone; the guard's Drop records the salvage.
+        return;
+    }
+
+    let mut events: u64 = 0;
+    let mut last_activity = Instant::now();
+    let mut checker = Some(checker);
+    loop {
+        let progress_of = |c: &StreamingChecker, events: u64| Progress {
+            events,
+            buffered: c.buffered(),
+            peak_buffered: c.peak_buffered,
+            regions_flushed: c.regions_flushed,
+            findings: c.findings_so_far(),
+            degraded: c.is_degraded(),
+        };
+        match reader.next_frame() {
+            Ok(Some(Frame::Event { rank, kind, loc })) => {
+                last_activity = Instant::now();
+                let c = checker.as_mut().expect("checker lives until the session ends");
+                if let Err(e) = c.push(Rank(rank), kind, loc) {
+                    send(reader.get_mut(), &Frame::Error { message: e.to_string() });
+                    salvage(checker.take(), guard, reader.get_mut(), events);
+                    return;
+                }
+                events += 1;
+                if events.is_multiple_of(256) {
+                    guard.report_progress(progress_of(c, events));
+                }
+                if c.buffered() >= cfg.soft_watermark {
+                    thread::sleep(cfg.backpressure_pause);
+                }
+            }
+            Ok(Some(Frame::Finish)) => {
+                let c = checker.take().expect("checker lives until the session ends");
+                guard.report_progress(progress_of(&c, events));
+                let confidence =
+                    if c.is_degraded() { Confidence::Degraded } else { Confidence::Complete };
+                let (regions_flushed, peak_buffered, evictions) =
+                    (c.regions_flushed, c.peak_buffered, c.evictions);
+                let findings = c.finish();
+                let report = SessionReport {
+                    schema_version: REPORT_SCHEMA_VERSION,
+                    confidence,
+                    findings,
+                    events_ingested: events,
+                    regions_flushed,
+                    peak_buffered,
+                    evictions,
+                };
+                guard.report_progress(Progress {
+                    events,
+                    buffered: 0,
+                    peak_buffered: report.peak_buffered,
+                    regions_flushed: report.regions_flushed,
+                    findings: report.findings.len(),
+                    degraded: report.confidence == Confidence::Degraded,
+                });
+                // Settle the registry before the client can see the
+                // report: a client that reads its Report and immediately
+                // asks for STATS must not find its own session active.
+                guard.finish(Outcome::Completed);
+                send(reader.get_mut(), &Frame::Report { json: report.to_json() });
+                return;
+            }
+            Ok(Some(Frame::Stats)) => {
+                let json = registry.stats_json();
+                if !send(reader.get_mut(), &Frame::StatsReport { json }) {
+                    salvage(checker.take(), guard, reader.get_mut(), events);
+                    return;
+                }
+            }
+            Ok(Some(_)) => {
+                send(
+                    reader.get_mut(),
+                    &Frame::Error { message: "unexpected frame mid-session".into() },
+                );
+                salvage(checker.take(), guard, reader.get_mut(), events);
+                return;
+            }
+            // Clean EOF without Finish, truncation, or transport errors:
+            // the client died mid-stream.
+            Ok(None) | Err(ProtoError::Truncated { .. }) | Err(ProtoError::Io(_)) => {
+                salvage(checker.take(), guard, reader.get_mut(), events);
+                return;
+            }
+            Err(ProtoError::Idle) => {
+                if last_activity.elapsed() >= cfg.idle_timeout {
+                    salvage(checker.take(), guard, reader.get_mut(), events);
+                    return;
+                }
+            }
+            Err(_) => {
+                salvage(checker.take(), guard, reader.get_mut(), events);
+                return;
+            }
+        }
+    }
+}
+
+/// Ends an abnormal session: analyzes whatever arrived in degraded mode,
+/// offers the degraded report to the (possibly gone) client, and records
+/// the session as salvaged.
+fn salvage(
+    checker: Option<StreamingChecker>,
+    guard: SessionGuard,
+    conn: &mut impl Write,
+    events: u64,
+) {
+    let Some(c) = checker else {
+        guard.finish(Outcome::Salvaged);
+        return;
+    };
+    let (regions_flushed, peak_buffered, evictions) =
+        (c.regions_flushed, c.peak_buffered, c.evictions);
+    let findings = c.finish_degraded();
+    let report = SessionReport {
+        schema_version: REPORT_SCHEMA_VERSION,
+        confidence: Confidence::Degraded,
+        findings,
+        events_ingested: events,
+        regions_flushed,
+        peak_buffered,
+        evictions,
+    };
+    guard.report_progress(Progress {
+        events,
+        buffered: 0,
+        peak_buffered: report.peak_buffered,
+        regions_flushed: report.regions_flushed,
+        findings: report.findings.len(),
+        degraded: true,
+    });
+    // Settle the registry first (same reason as the completed path),
+    // then offer the report — the client is usually gone, and a failed
+    // write changes nothing.
+    guard.finish(Outcome::Salvaged);
+    let _ = write_frame(conn, &Frame::Report { json: report.to_json() });
+}

@@ -27,6 +27,27 @@
 //! Exit codes: 0 clean, 1 errors found, 2 usage/IO error,
 //! 3 degraded analysis with errors, 4 degraded analysis, clean.
 //!
+//! mcc serve [--listen ADDR] [--max-buffer N] [--idle-timeout-ms N]
+//!     Run the checker daemon. ADDR is a TCP address (default
+//!     127.0.0.1:9477; port 0 picks a free port) or, on Unix, a socket
+//!     path (recognized by a `/`). Each client connection is a session
+//!     checked online with bounded memory: --max-buffer caps buffered
+//!     events per session (eviction past the cap degrades that session's
+//!     report instead of growing without bound), and sessions idle for
+//!     --idle-timeout-ms are salvaged with a degraded report.
+//!
+//! mcc submit <trace-dir> [--addr ADDR] [--threads N] [--max-buffer N]
+//!            [--format text|json]
+//!     Stream a recorded trace directory to a running daemon and print
+//!     the returned session report. Exit codes as for `mcc check`.
+//!
+//! mcc stats [--addr ADDR]
+//!     Print a running daemon's supervisor state as JSON.
+//!
+//! mcc demo ... --submit ADDR
+//!     Instead of checking in-process, ship the demo's events to a
+//!     daemon via the live frame encoder and print its report.
+//!
 //! mcc table1
 //!     Print the RMA compatibility matrix (paper Table I).
 //!
@@ -40,14 +61,23 @@ use mc_checker::core::{CheckReport, Confidence};
 use mc_checker::mpi_sim::{Fault, FaultPlan, SimError};
 use mc_checker::prelude::*;
 use mc_checker::profiler::{read_trace_dir, read_trace_dir_tolerant, write_trace_dir};
+use mc_checker::serve::proto::{Frame, FrameReader, SessionOpts};
+use mc_checker::serve::{client, ServeConfig, Server, SessionReport};
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Default daemon address for `serve`, `submit`, and `stats`.
+const DEFAULT_ADDR: &str = "127.0.0.1:9477";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("table1") => {
             print!("{}", mc_checker::types::compat::render_table1());
             ExitCode::SUCCESS
@@ -70,7 +100,10 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: mcc <check|demo|table1|list> ...  (see `src/bin/mcc.rs` docs)");
+            eprintln!(
+                "usage: mcc <check|demo|serve|submit|stats|table1|list> ...  \
+                 (see `src/bin/mcc.rs` docs)"
+            );
             ExitCode::from(2)
         }
     }
@@ -239,6 +272,183 @@ fn render_findings(findings: &[ConsistencyError], json: bool) -> ExitCode {
     }
 }
 
+/// Shared by `submit` and `demo --submit`: print a daemon session report
+/// and map it to the documented exit codes.
+fn session_report_exit(report: &SessionReport, json: bool) -> ExitCode {
+    eprintln!(
+        "session: {} events ingested, {} regions flushed, peak buffer {} events, \
+         {} eviction(s), confidence {}",
+        report.events_ingested,
+        report.regions_flushed,
+        report.peak_buffered,
+        report.evictions,
+        report.confidence,
+    );
+    if json {
+        println!("{}", report.to_json());
+    } else if report.findings.is_empty() {
+        println!("MC-Checker: no memory consistency errors detected.");
+    } else {
+        for (i, e) in report.findings.iter().enumerate() {
+            println!("--- finding {} ---\n{e}\n", i + 1);
+        }
+    }
+    match (report.confidence == Confidence::Degraded, report.has_errors()) {
+        (false, false) => ExitCode::SUCCESS,
+        (false, true) => ExitCode::from(1),
+        (true, true) => ExitCode::from(3),
+        (true, false) => ExitCode::from(4),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let addr = flag_value(args, "--listen").unwrap_or(DEFAULT_ADDR);
+    let mut cfg = ServeConfig::default();
+    if let Some(v) = flag_value(args, "--max-buffer") {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => cfg.hard_watermark = n,
+            _ => {
+                eprintln!("mcc: --max-buffer expects a positive integer, got `{v}`");
+                return ExitCode::from(2);
+            }
+        }
+        cfg.soft_watermark = cfg.soft_watermark.min(cfg.hard_watermark);
+    }
+    if let Some(v) = flag_value(args, "--idle-timeout-ms") {
+        match v.parse::<u64>() {
+            Ok(ms) if ms >= 1 => cfg.idle_timeout = Duration::from_millis(ms),
+            _ => {
+                eprintln!("mcc: --idle-timeout-ms expects a positive integer, got `{v}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let server = match Server::bind(addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mcc: cannot bind `{addr}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Parsed by the serve-smoke CI job and the `submit --addr` examples.
+    println!("mcc serve: listening on {}", server.local_addr());
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mcc: serve failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let Some(dir) = args.first() else {
+        eprintln!(
+            "usage: mcc submit <trace-dir> [--addr ADDR] [--threads N] [--max-buffer N] \
+             [--format text|json]"
+        );
+        return ExitCode::from(2);
+    };
+    let json = match json_from_args(args) {
+        Ok(j) => j,
+        Err(code) => return code,
+    };
+    let mut opts = SessionOpts::default();
+    if let Some(v) = flag_value(args, "--threads") {
+        match v.parse::<u32>() {
+            Ok(n) if n >= 1 => opts.threads = n,
+            _ => {
+                eprintln!("mcc: --threads expects a positive integer, got `{v}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(v) = flag_value(args, "--max-buffer") {
+        match v.parse::<u32>() {
+            Ok(n) if n >= 1 => opts.max_buffered = n,
+            _ => {
+                eprintln!("mcc: --max-buffer expects a positive integer, got `{v}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let trace = match read_trace_dir(Path::new(dir)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mcc: cannot read trace directory `{dir}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    match client::submit_tcp(addr, &trace, &opts) {
+        Ok(report) => session_report_exit(&report, json),
+        Err(e) => {
+            eprintln!("mcc: submit to `{addr}` failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    match client::stats_tcp(addr) {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mcc: stats from `{addr}` failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `mcc demo ... --submit ADDR`: ship the demo's events to a daemon with
+/// the live frame encoder and print the daemon's verdict.
+fn submit_demo_trace(trace: &Trace, addr: &str) -> ExitCode {
+    let stream = match std::net::TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mcc: cannot connect to daemon at `{addr}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let stream = match mc_checker::profiler::ship_trace(stream, trace, SessionOpts::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mcc: shipping events to `{addr}` failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut reader = FrameReader::new(stream);
+    loop {
+        match reader.next_frame() {
+            Ok(Some(Frame::Welcome { .. })) => {}
+            Ok(Some(Frame::Report { json })) => {
+                return match SessionReport::from_json(&json) {
+                    Ok(report) => session_report_exit(&report, false),
+                    Err(e) => {
+                        eprintln!("mcc: unparseable session report: {e}");
+                        ExitCode::from(2)
+                    }
+                };
+            }
+            Ok(Some(Frame::Error { message })) => {
+                eprintln!("mcc: daemon refused the session: {message}");
+                return ExitCode::from(2);
+            }
+            Ok(Some(_)) | Ok(None) => {
+                eprintln!("mcc: daemon closed the connection without a report");
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!("mcc: reading the daemon's report failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+}
+
 /// Parses a `R:N` pair (rank, count) as used by `--abort` and `--hang`.
 fn parse_rank_count(v: &str) -> Option<(u32, u64)> {
     let (r, n) = v.split_once(':')?;
@@ -249,7 +459,7 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     let Some(name) = args.first().map(String::as_str) else {
         eprintln!(
             "usage: mcc demo <case> [--fixed] [--procs N] [--trace-out DIR] \
-             [--abort R:N] [--hang R:N]"
+             [--abort R:N] [--hang R:N] [--submit ADDR]"
         );
         return ExitCode::from(2);
     };
@@ -323,6 +533,10 @@ fn cmd_demo(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
         eprintln!("trace written to {dir}");
+    }
+
+    if let Some(addr) = flag_value(args, "--submit") {
+        return submit_demo_trace(&trace, addr);
     }
 
     if sim_error.is_none() {

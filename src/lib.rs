@@ -61,6 +61,7 @@ pub use mcc_apps as apps;
 pub use mcc_core as core;
 pub use mcc_mpi_sim as mpi_sim;
 pub use mcc_profiler as profiler;
+pub use mcc_serve as serve;
 pub use mcc_st_analyzer as st_analyzer;
 pub use mcc_types as types;
 

@@ -1,0 +1,256 @@
+//! End-to-end tests of the checker daemon: concurrent sessions over real
+//! sockets, batch-equivalent reports, handshake rejection, bounded-memory
+//! degradation, and salvage of sessions that die mid-stream — with the
+//! supervisor's `STATS` verb proving no session ever leaks.
+
+use mc_checker::apps::bugs::{self, trace_of};
+use mc_checker::core::Confidence;
+use mc_checker::prelude::*;
+use mc_checker::serve::proto::{write_frame, Frame, FrameReader, SessionOpts, PROTOCOL_VERSION};
+use mc_checker::serve::{client, ServeConfig, Server, ServerHandle};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Starts an in-process daemon with test-friendly timeouts; returns its
+/// address and a shutdown handle (the server thread joins on drop of the
+/// test, via shutdown).
+fn start_server(cfg: ServeConfig) -> (String, ServerHandle, thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind an ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run().expect("serve loop"));
+    (addr, handle, join)
+}
+
+fn quick_cfg() -> ServeConfig {
+    ServeConfig {
+        tick: Duration::from_millis(20),
+        idle_timeout: Duration::from_millis(400),
+        ..ServeConfig::default()
+    }
+}
+
+/// Reads the integer value of `"key":N` out of a stats document.
+fn json_field(stats: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = stats.find(&needle)? + needle.len();
+    let digits: String = stats[at..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn wait_until(mut f: impl FnMut() -> bool, timeout: Duration) -> bool {
+    let start = Instant::now();
+    loop {
+        if f() {
+            return true;
+        }
+        if start.elapsed() >= timeout {
+            return false;
+        }
+        thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The acceptance scenario: six concurrent client sessions — buggy and
+/// clean mixed — each receiving exactly the findings a batch
+/// `AnalysisSession` produces over its trace, all `Complete`.
+#[test]
+fn concurrent_sessions_each_get_their_batch_report() {
+    type BugBody = fn(&mut Proc);
+    let cases: [(&'static str, u32, BugBody); 6] = [
+        ("emulate", 4, bugs::emulate::buggy),
+        ("emulate-fixed", 4, bugs::emulate::fixed),
+        ("mpi3_queue", 4, bugs::mpi3_queue::buggy),
+        ("jacobi-fixed", 4, bugs::jacobi::fixed),
+        ("adlb", 4, bugs::adlb::buggy),
+        ("pingpong", 2, bugs::pingpong::buggy),
+    ];
+    let (addr, handle, join) = start_server(quick_cfg());
+
+    let workers: Vec<_> = cases
+        .iter()
+        .map(|&(name, nprocs, body)| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let trace = trace_of(nprocs, 0xdead, body);
+                let batch = AnalysisSession::new().run(&trace).diagnostics;
+                let report = client::submit_tcp(&addr, &trace, &SessionOpts::default())
+                    .unwrap_or_else(|e| panic!("{name}: submit failed: {e}"));
+                assert_eq!(report.confidence, Confidence::Complete, "{name}");
+                assert_eq!(report.findings, batch, "{name}: daemon diverged from batch");
+                assert_eq!(report.events_ingested, trace.total_events() as u64, "{name}");
+                (name, report.findings.len())
+            })
+        })
+        .collect();
+    let mut buggy_with_findings = 0;
+    for w in workers {
+        let (name, n) = w.join().expect("client thread");
+        if !name.ends_with("-fixed") {
+            assert!(n > 0, "{name}: buggy case must produce findings");
+            buggy_with_findings += 1;
+        } else {
+            assert_eq!(n, 0, "{name}: fixed case must be clean");
+        }
+    }
+    assert_eq!(buggy_with_findings, 4);
+
+    let stats = client::stats_tcp(&addr).expect("stats");
+    assert_eq!(json_field(&stats, "sessions_active"), Some(0), "{stats}");
+    assert_eq!(json_field(&stats, "sessions_completed"), Some(6), "{stats}");
+    assert_eq!(json_field(&stats, "sessions_salvaged"), Some(0), "{stats}");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// A client killed mid-stream is salvaged: the supervisor ends the
+/// session as salvaged (never leaked) and counts its events.
+#[test]
+fn killed_session_is_salvaged_not_leaked() {
+    let (addr, handle, join) = start_server(quick_cfg());
+
+    {
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = FrameReader::new(stream);
+        write_frame(
+            reader.get_mut(),
+            &Frame::Hello { version: PROTOCOL_VERSION, nprocs: 2, opts: SessionOpts::default() },
+        )
+        .unwrap();
+        assert!(matches!(reader.next_frame().unwrap(), Some(Frame::Welcome { .. })));
+        for rank in 0..2u32 {
+            write_frame(
+                reader.get_mut(),
+                &Frame::Event {
+                    rank,
+                    kind: mc_checker::types::EventKind::Barrier { comm: CommId::WORLD },
+                    loc: mc_checker::types::SourceLoc::unknown(),
+                },
+            )
+            .unwrap();
+        }
+        // Drop the connection with the stream unfinished — a dead client.
+    }
+
+    let salvaged = wait_until(
+        || {
+            let stats = client::stats_tcp(&addr).expect("stats");
+            json_field(&stats, "sessions_active") == Some(0)
+                && json_field(&stats, "sessions_salvaged") == Some(1)
+        },
+        Duration::from_secs(5),
+    );
+    let stats = client::stats_tcp(&addr).expect("stats");
+    assert!(salvaged, "session neither salvaged nor reaped: {stats}");
+    assert_eq!(json_field(&stats, "events_ingested"), Some(2), "{stats}");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// A session that goes silent is idle-timed-out; the daemon pushes a
+/// degraded report before closing, and the registry records a salvage.
+#[test]
+fn idle_session_receives_degraded_report() {
+    let (addr, handle, join) = start_server(quick_cfg());
+
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = FrameReader::new(stream);
+    write_frame(
+        reader.get_mut(),
+        &Frame::Hello { version: PROTOCOL_VERSION, nprocs: 1, opts: SessionOpts::default() },
+    )
+    .unwrap();
+    assert!(matches!(reader.next_frame().unwrap(), Some(Frame::Welcome { .. })));
+    write_frame(
+        reader.get_mut(),
+        &Frame::Event {
+            rank: 0,
+            kind: mc_checker::types::EventKind::Barrier { comm: CommId::WORLD },
+            loc: mc_checker::types::SourceLoc::unknown(),
+        },
+    )
+    .unwrap();
+    // ... and then say nothing until the idle timeout fires.
+    let report = match reader.next_frame().expect("daemon pushes a report before closing") {
+        Some(Frame::Report { json }) => mc_checker::serve::SessionReport::from_json(&json).unwrap(),
+        Some(other) => panic!("unexpected frame {other:?}"),
+        None => panic!("connection closed without a salvage report"),
+    };
+    assert_eq!(report.confidence, Confidence::Degraded);
+    assert_eq!(report.events_ingested, 1);
+
+    let stats = client::stats_tcp(&addr).expect("stats");
+    assert_eq!(json_field(&stats, "sessions_active"), Some(0), "{stats}");
+    assert_eq!(json_field(&stats, "sessions_salvaged"), Some(1), "{stats}");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// Bad handshakes get an `Error` frame, not a dropped connection, and are
+/// counted as rejections — zero ranks, absurd rank counts, and version
+/// mismatches alike.
+#[test]
+fn bad_hellos_are_answered_with_error_frames() {
+    let (addr, handle, join) = start_server(quick_cfg());
+
+    let hellos = [
+        Frame::Hello { version: PROTOCOL_VERSION, nprocs: 0, opts: SessionOpts::default() },
+        Frame::Hello { version: PROTOCOL_VERSION, nprocs: 1 << 20, opts: SessionOpts::default() },
+        Frame::Hello { version: PROTOCOL_VERSION + 7, nprocs: 2, opts: SessionOpts::default() },
+    ];
+    for hello in hellos {
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = FrameReader::new(stream);
+        write_frame(reader.get_mut(), &hello).unwrap();
+        match reader.next_frame().unwrap() {
+            Some(Frame::Error { message }) => {
+                assert!(!message.is_empty(), "refusal must say why");
+            }
+            other => panic!("expected an Error frame for {hello:?}, got {other:?}"),
+        }
+    }
+    let stats = client::stats_tcp(&addr).expect("stats");
+    assert_eq!(json_field(&stats, "hellos_rejected"), Some(3), "{stats}");
+    assert_eq!(json_field(&stats, "sessions_active"), Some(0), "{stats}");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// A tiny per-session buffer cap degrades the report instead of letting
+/// the daemon buffer without bound.
+#[test]
+fn hard_buffer_cap_degrades_instead_of_buffering_unboundedly() {
+    let cfg = ServeConfig { hard_watermark: 4, ..quick_cfg() };
+    let (addr, handle, join) = start_server(cfg);
+
+    let trace = trace_of(2, 0xdead, bugs::emulate::buggy);
+    let report = client::submit_tcp(&addr, &trace, &SessionOpts::default()).expect("submit");
+    assert_eq!(report.confidence, Confidence::Degraded);
+    assert!(report.evictions >= 1, "the cap must have forced an eviction");
+    assert!(report.peak_buffered <= 4, "peak {} exceeds the cap", report.peak_buffered);
+    for f in &report.findings {
+        assert_eq!(f.confidence, Confidence::Degraded);
+    }
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// The client may ask for a lower cap than the server's; the request is
+/// honored, and the stats document remains parseable JSON throughout.
+#[test]
+fn client_requested_cap_and_stats_json_shape() {
+    let (addr, handle, join) = start_server(quick_cfg());
+
+    let trace = trace_of(2, 0xdead, bugs::emulate::buggy);
+    let opts = SessionOpts { threads: 2, max_buffered: 4 };
+    let report = client::submit_tcp(&addr, &trace, &opts).expect("submit");
+    assert_eq!(report.confidence, Confidence::Degraded);
+    assert!(report.peak_buffered <= 4);
+
+    let stats = client::stats_tcp(&addr).expect("stats");
+    let parsed = serde_json::parse_value_str(&stats).expect("stats must be valid JSON");
+    drop(parsed);
+    handle.shutdown();
+    join.join().unwrap();
+}

@@ -1,0 +1,177 @@
+//! Streaming/batch equivalence and wire-protocol properties.
+//!
+//! The streaming checker's contract is byte-comparability: over a
+//! complete stream it must report exactly what the batch
+//! [`AnalysisSession`] reports — same events, same epoch ordinals, same
+//! canonical order, same deduplicated representative — so its serialized
+//! findings are byte-identical to the batch diagnostics. The wire
+//! protocol's contract is that frames round-trip and truncation is always
+//! detected, never silently parsed.
+
+use mc_checker::apps::bugs::{self, trace_of};
+use mc_checker::core::streaming::StreamingChecker;
+use mc_checker::prelude::*;
+use mc_checker::serve::proto::{decode_frame, encode_frame, Frame, ProtoError, SessionOpts};
+use mc_checker::types::{EventKind, SourceLoc, WinId};
+use proptest::prelude::*;
+
+type BugBody = fn(&mut Proc);
+
+/// Every bug archetype in `crates/apps/src/bugs`, at a small scale.
+fn archetypes() -> [(&'static str, u32, BugBody); 8] {
+    [
+        ("adlb", 4, bugs::adlb::buggy),
+        ("mpi3_queue", 4, bugs::mpi3_queue::buggy),
+        ("bt_broadcast", 4, bugs::bt_broadcast::buggy),
+        ("emulate", 4, bugs::emulate::buggy),
+        ("jacobi", 4, bugs::jacobi::buggy),
+        ("lockopts", 4, bugs::lockopts::buggy),
+        ("pingpong", 2, bugs::pingpong::buggy),
+        ("fig2c", 3, bugs::archetypes::fig2c),
+    ]
+}
+
+#[test]
+fn streaming_findings_equal_batch_on_every_archetype() {
+    for (name, nprocs, body) in archetypes() {
+        let trace = trace_of(nprocs, 0xdead, body);
+        let batch = AnalysisSession::new().run(&trace);
+        let (streamed, stats) = StreamingChecker::run_over(&trace);
+        assert!(!batch.diagnostics.is_empty(), "{name}: archetype must exhibit its bug");
+        assert_eq!(streamed, batch.diagnostics, "{name}: streamed findings diverge from batch");
+        // Byte-level: the serialized documents agree too.
+        let a = serde_json::to_string(&streamed).unwrap();
+        let b = serde_json::to_string(&batch.diagnostics).unwrap();
+        assert_eq!(a, b, "{name}: serialized findings diverge");
+        assert_eq!(stats.total_events, trace.total_events(), "{name}");
+        assert_eq!(stats.evictions, 0, "{name}: no cap set, nothing may be evicted");
+    }
+}
+
+#[test]
+fn streaming_findings_equal_batch_on_fixed_variants() {
+    let fixed: [(&'static str, u32, BugBody); 5] = [
+        ("emulate", 4, bugs::emulate::fixed),
+        ("bt_broadcast", 4, bugs::bt_broadcast::fixed),
+        ("jacobi", 4, bugs::jacobi::fixed),
+        ("pingpong", 2, bugs::pingpong::fixed),
+        ("mpi3_queue", 4, bugs::mpi3_queue::fixed),
+    ];
+    for (name, nprocs, body) in fixed {
+        let trace = trace_of(nprocs, 0xdead, body);
+        let batch = AnalysisSession::new().run(&trace);
+        let (streamed, _) = StreamingChecker::run_over(&trace);
+        assert_eq!(streamed, batch.diagnostics, "{name} (fixed)");
+    }
+}
+
+/// Two unordered puts from one origin to one target produce an
+/// intra-epoch finding *and* a cross-process finding for the same event
+/// pair — equal canonical keys, distinct dedup keys. The batch stable
+/// sort keeps the intra-epoch one first; streaming must tie-break the
+/// same way (regression: hash-map iteration order leaked into ties).
+#[test]
+fn tie_between_intra_and_cross_findings_matches_batch_order() {
+    fn double_put(p: &mut Proc) {
+        let wbuf = p.alloc_i32s(2);
+        let win = p.win_create(wbuf, 8, CommId::WORLD);
+        p.win_fence(win);
+        if p.rank() == 0 {
+            let buf = p.alloc_i32s(1);
+            p.put(buf, 1, DatatypeId::INT, 2, 0, 1, DatatypeId::INT, win);
+            p.put(buf, 1, DatatypeId::INT, 2, 0, 1, DatatypeId::INT, win);
+        }
+        p.win_fence(win);
+        p.win_free(win);
+    }
+    let trace = trace_of(3, 1, double_put);
+    let batch = AnalysisSession::new().run(&trace).diagnostics;
+    let intra = batch
+        .iter()
+        .filter(|e| matches!(e.scope, mc_checker::core::ErrorScope::IntraEpoch { .. }))
+        .count();
+    assert!(intra >= 1 && intra < batch.len(), "workload must exercise both scope classes");
+    let (streamed, _) = StreamingChecker::run_over(&trace);
+    assert_eq!(streamed, batch);
+}
+
+#[test]
+fn streaming_findings_all_carry_complete_confidence() {
+    use mc_checker::core::Confidence;
+    for (name, nprocs, body) in archetypes() {
+        let trace = trace_of(nprocs, 0xdead, body);
+        let (streamed, _) = StreamingChecker::run_over(&trace);
+        for f in &streamed {
+            assert_eq!(f.confidence, Confidence::Complete, "{name}");
+        }
+    }
+}
+
+fn arb_loc() -> impl Strategy<Value = SourceLoc> {
+    (0..8u32, 1..5000u32).prop_map(|(f, line)| SourceLoc::new(format!("src/f{f}.c"), line, "fn"))
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (0..9u32, 0..64u32, 1..8u32, 0..4096u32).prop_map(|(version, nprocs, threads, cap)| {
+            Frame::Hello { version, nprocs, opts: SessionOpts { threads, max_buffered: cap } }
+        }),
+        (0..9u32, 0..u64::MAX).prop_map(|(version, session)| Frame::Welcome { version, session }),
+        (0..8u32, 0..16u32, arb_loc()).prop_map(|(rank, win, loc)| Frame::Event {
+            rank,
+            kind: EventKind::Fence { win: WinId(win) },
+            loc,
+        }),
+        (0..8u32, arb_loc()).prop_map(|(rank, loc)| Frame::Event {
+            rank,
+            kind: EventKind::Barrier { comm: CommId::WORLD },
+            loc,
+        }),
+        Just(Frame::Finish),
+        Just(Frame::Stats),
+        (0..100u32).prop_map(|i| Frame::Report { json: format!("{{\"i\":{i}}}") }),
+        (0..100u32).prop_map(|i| Frame::StatsReport { json: format!("{{\"n\":{i}}}") }),
+        (0..100u32).prop_map(|i| Frame::Error { message: format!("refused #{i}") }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every frame round-trips through the wire encoding unchanged.
+    #[test]
+    fn frames_round_trip(frame in arb_frame()) {
+        let bytes = encode_frame(&frame);
+        let (back, used) = decode_frame(&bytes).expect("encoded frame decodes");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back, frame);
+    }
+
+    /// No strict prefix of a frame ever decodes — truncation is always
+    /// reported, with an accurate byte count, never parsed as a frame.
+    #[test]
+    fn truncated_frames_are_rejected(frame in arb_frame(), keep in 0..100u32) {
+        let bytes = encode_frame(&frame);
+        let cut = bytes.len() * keep as usize / 100; // < bytes.len()
+        match decode_frame(&bytes[..cut]) {
+            Err(ProtoError::Truncated { needed, got }) => {
+                prop_assert_eq!(got, cut);
+                prop_assert!(needed > cut);
+            }
+            other => prop_assert!(false, "prefix of {} bytes decoded as {:?}", cut, other),
+        }
+    }
+
+    /// Two frames written back to back decode to the same two frames —
+    /// the length prefix delimits them exactly.
+    #[test]
+    fn concatenated_frames_split_cleanly(a in arb_frame(), b in arb_frame()) {
+        let mut bytes = encode_frame(&a);
+        bytes.extend_from_slice(&encode_frame(&b));
+        let (fa, used) = decode_frame(&bytes).expect("first frame");
+        let (fb, rest) = decode_frame(&bytes[used..]).expect("second frame");
+        prop_assert_eq!(fa, a);
+        prop_assert_eq!(fb, b);
+        prop_assert_eq!(used + rest, bytes.len());
+    }
+}
