@@ -133,6 +133,28 @@ fn main() {
         println!("(single-core host: thread scaling cannot exceed 1x here)");
     }
 
+    // One extra instrumented pass shows where the pipeline's time goes
+    // (kept out of the timed loop so the numbers above stay clean).
+    let obs = mcc_obs::RecorderHandle::enabled();
+    AnalysisSession::builder()
+        .engine(Engine::Sweep)
+        .threads(4)
+        .recorder(obs.clone())
+        .build()
+        .run(&trace);
+    println!();
+    println!("Phase spans (sweep, 4 threads, one instrumented pass):");
+    println!("{:<22} {:>6} {:>12} {:>12}", "span", "count", "total (ms)", "max (ms)");
+    for agg in obs.span_summary() {
+        println!(
+            "{:<22} {:>6} {:>12.2} {:>12.2}",
+            agg.name,
+            agg.count,
+            agg.total_us as f64 / 1e3,
+            agg.max_us as f64 / 1e3
+        );
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"engine\",\n");

@@ -59,7 +59,9 @@ fn main() {
     let trace = synth_trace(&params, conflict);
     let batch = AnalysisSession::new().run(&trace).diagnostics;
 
-    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let cfg = ServeConfig::default();
+    let obs = cfg.recorder.clone();
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
     let addr = server.local_addr().to_string();
     let handle = server.handle();
     let server_thread = std::thread::spawn(move || server.run().expect("serve loop"));
@@ -130,6 +132,19 @@ fn main() {
 
     handle.shutdown();
     server_thread.join().expect("server thread");
+
+    println!();
+    println!("Phase spans (daemon side, all sessions and reps):");
+    println!("{:<22} {:>6} {:>12} {:>12}", "span", "count", "total (ms)", "max (ms)");
+    for agg in obs.span_summary() {
+        println!(
+            "{:<22} {:>6} {:>12.2} {:>12.2}",
+            agg.name,
+            agg.count,
+            agg.total_us as f64 / 1e3,
+            agg.max_us as f64 / 1e3
+        );
+    }
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut json = String::new();

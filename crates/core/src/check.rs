@@ -1,41 +1,16 @@
-//! Check reports and the legacy checker facade.
+//! Check reports: [`CheckReport`], [`AnalysisStats`], and their stable
+//! JSON renderings.
 //!
 //! The pipeline itself lives in [`crate::session`] behind
-//! [`AnalysisSession`]; this module holds the result types —
-//! [`CheckReport`] with its stable JSON rendering ([`CheckReport::to_json`])
-//! and [`AnalysisStats`] — plus the deprecated [`McChecker`] shim that
-//! forwards the old API onto a session.
+//! [`crate::session::AnalysisSession`]; this module holds the result
+//! types. [`CheckReport::to_json`] is the deterministic document (no
+//! timings); [`CheckReport::to_json_with_timings`] additively extends it
+//! with per-phase durations for profiling consumers.
 
-use crate::degrade::DegradedInfo;
 use crate::report::{Confidence, ConsistencyError, ErrorScope, OpInfo, Severity};
-use crate::session::{AnalysisSession, Engine};
-use mcc_types::{ConflictKind, Trace};
+use mcc_types::ConflictKind;
 use serde::Value;
 use std::time::Duration;
-
-/// Analysis knobs of the old facade.
-#[deprecated(note = "use AnalysisSession::builder() — threads(n)/engine(...) replace these flags")]
-#[derive(Debug, Clone)]
-pub struct CheckOptions {
-    /// Use the combinatorial all-pairs cross-process detector instead of
-    /// the sharded sweep engine (§IV-C4 ablation).
-    pub naive_inter: bool,
-    /// Partition the trace into concurrent regions at global
-    /// synchronization (§III-B); off = one region (ablation).
-    pub partition_regions: bool,
-    /// Use the scan-from-the-start synchronization matcher instead of the
-    /// progress-counter Algorithm 1 (ablation).
-    pub naive_matching: bool,
-    /// Analyze shards on multiple threads (maps to `threads(4)`).
-    pub parallel: bool,
-}
-
-#[allow(deprecated)]
-impl Default for CheckOptions {
-    fn default() -> Self {
-        Self { naive_inter: false, partition_regions: true, naive_matching: false, parallel: false }
-    }
-}
 
 /// Per-phase timings and structure sizes of one analysis run.
 #[derive(Debug, Clone, Default)]
@@ -62,8 +37,14 @@ pub struct AnalysisStats {
     pub matching_time: Duration,
     /// DAG + vector-clock phase duration.
     pub dag_time: Duration,
+    /// Region partitioning + epoch extraction duration.
+    pub region_time: Duration,
     /// Detection phase duration (both detectors).
     pub detect_time: Duration,
+    /// Canonical sort + dedup duration.
+    pub merge_time: Duration,
+    /// Whole-pipeline wall time.
+    pub total_time: Duration,
 }
 
 /// The outcome of a check.
@@ -139,6 +120,19 @@ impl CheckReport {
     /// count**. Consumers should reject documents whose `schema_version`
     /// they do not know.
     pub fn to_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    /// Like [`to_json`](Self::to_json), plus a `timings` object with the
+    /// per-phase durations in microseconds. Same `schema_version` — the
+    /// field is additive, so consumers of the base schema parse both —
+    /// but this variant is NOT byte-stable across runs (wall time never
+    /// is) and must not feed byte-identity comparisons.
+    pub fn to_json_with_timings(&self) -> String {
+        self.render_json(true)
+    }
+
+    fn render_json(&self, with_timings: bool) -> String {
         let obj = |fields: Vec<(&str, Value)>| {
             Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
         };
@@ -198,7 +192,7 @@ impl CheckReport {
                 ])
             })
             .collect();
-        let doc = obj(vec![
+        let mut fields = vec![
             ("schema_version", Value::Int(1)),
             ("tool", Value::Str("mc-checker".into())),
             ("confidence", confidence(self.confidence)),
@@ -221,8 +215,24 @@ impl CheckReport {
                     ("unmatched_sync", Value::Int(self.stats.unmatched_sync as i128)),
                 ]),
             ),
-            ("findings", Value::Arr(findings)),
-        ]);
+        ];
+        if with_timings {
+            let us = |d: Duration| Value::Int(d.as_micros() as i128);
+            fields.push((
+                "timings",
+                obj(vec![
+                    ("preprocess_us", us(self.stats.preprocess_time)),
+                    ("matching_us", us(self.stats.matching_time)),
+                    ("dag_us", us(self.stats.dag_time)),
+                    ("region_us", us(self.stats.region_time)),
+                    ("detect_us", us(self.stats.detect_time)),
+                    ("merge_us", us(self.stats.merge_time)),
+                    ("total_us", us(self.stats.total_time)),
+                ]),
+            ));
+        }
+        fields.push(("findings", Value::Arr(findings)));
+        let doc = obj(fields);
         struct Doc(Value);
         impl serde::Serialize for Doc {
             fn to_value(&self) -> Value {
@@ -235,53 +245,12 @@ impl CheckReport {
     }
 }
 
-/// The legacy checker facade.
-#[deprecated(note = "use AnalysisSession::builder().threads(n).engine(...).build().run(&trace)")]
-#[derive(Debug, Default, Clone)]
-pub struct McChecker {
-    #[allow(deprecated)]
-    opts: CheckOptions,
-}
-
-#[allow(deprecated)]
-impl McChecker {
-    /// A checker with default (paper-configuration) options.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// A checker with explicit options.
-    pub fn with_options(opts: CheckOptions) -> Self {
-        Self { opts }
-    }
-
-    fn session(&self) -> AnalysisSession {
-        AnalysisSession::builder()
-            .threads(if self.opts.parallel { 4 } else { 1 })
-            .engine(if self.opts.naive_inter { Engine::Naive } else { Engine::Sweep })
-            .partition_regions(self.opts.partition_regions)
-            .naive_matching(self.opts.naive_matching)
-            .build()
-    }
-
-    /// Runs the full pipeline on a trace.
-    pub fn check(&self, trace: &Trace) -> CheckReport {
-        self.session().run(trace)
-    }
-
-    /// Runs the pipeline in degraded mode: the trace is first repaired
-    /// by [`crate::degrade::sanitize`] (dropping unresolvable events and
-    /// synthesizing closes for truncated epochs), then checked.
-    pub fn check_degraded(&self, trace: &Trace) -> (CheckReport, DegradedInfo) {
-        self.session().run_with_repair(trace)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::AnalysisSession;
     use mcc_types::{
-        CommId, DatatypeId, EventKind, LockKind, Rank, RmaKind, RmaOp, TraceBuilder, WinId,
+        CommId, DatatypeId, EventKind, LockKind, Rank, RmaKind, RmaOp, Trace, TraceBuilder, WinId,
     };
 
     fn buggy_trace() -> Trace {
@@ -326,32 +295,6 @@ mod tests {
         assert!(report.stats.dag_nodes >= report.stats.total_events);
         assert_eq!(report.stats.unmatched_sync, 0);
         assert_eq!(report.stats.epochs, 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_agrees_with_session() {
-        let base = AnalysisSession::new().run(&buggy_trace()).diagnostics.len();
-        for naive_inter in [false, true] {
-            for partition in [false, true] {
-                for parallel in [false, true] {
-                    let opts = CheckOptions {
-                        naive_inter,
-                        partition_regions: partition,
-                        naive_matching: false,
-                        parallel,
-                    };
-                    let n = McChecker::with_options(opts).check(&buggy_trace()).diagnostics.len();
-                    assert_eq!(
-                        n, base,
-                        "naive_inter={naive_inter} partition={partition} parallel={parallel}"
-                    );
-                }
-            }
-        }
-        let (report, info) = McChecker::new().check_degraded(&buggy_trace());
-        assert!(info.is_clean());
-        assert_eq!(report.diagnostics.len(), base);
     }
 
     #[test]
@@ -445,9 +388,38 @@ mod tests {
     #[test]
     fn json_report_excludes_timings() {
         let json = AnalysisSession::new().run(&buggy_trace()).to_json();
-        for key in ["_time", "duration", "threads", "engine"] {
+        for key in ["_time", "_us", "timings", "duration", "threads", "engine"] {
             assert!(!json.contains(key), "{key} would break byte-identity across runs");
         }
+    }
+
+    #[test]
+    fn json_with_timings_is_additive_same_schema() {
+        let report = AnalysisSession::new().run(&buggy_trace());
+        let json = report.to_json_with_timings();
+        let v = serde_json::parse_value_str(&json).expect("valid JSON");
+        let Value::Obj(fields) = v else { panic!("top level must be an object") };
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+        assert_eq!(get("schema_version"), Some(Value::Int(1)), "schema version unchanged");
+        let Some(Value::Obj(t)) = get("timings") else { panic!("timings object") };
+        for key in [
+            "preprocess_us",
+            "matching_us",
+            "dag_us",
+            "region_us",
+            "detect_us",
+            "merge_us",
+            "total_us",
+        ] {
+            assert!(t.iter().any(|(n, _)| n == key), "missing {key}");
+        }
+        // Every base-schema field survives: the variant only adds.
+        let base = report.to_json();
+        let Value::Obj(base_fields) = serde_json::parse_value_str(&base).unwrap() else { panic!() };
+        for (name, _) in &base_fields {
+            assert!(fields.iter().any(|(n, _)| n == name), "lost base field {name}");
+        }
+        assert_eq!(fields.len(), base_fields.len() + 1);
     }
 
     /// Regression test for the canonical finding order: reports used to be

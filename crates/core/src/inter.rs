@@ -29,6 +29,7 @@ use crate::preprocess::Ctx;
 use crate::regions::{IntervalIndex, Regions};
 use crate::report::{Confidence, ConsistencyError, ErrorScope, OpInfo, Severity};
 use crate::vc::{Clocks, ReachCache};
+use mcc_obs::RecorderHandle;
 use mcc_types::{
     compat, conflicts, AccessCategory, AccessClass, Compatibility, ConflictKind, DataMap,
     EventKind, EventRef, LockKind, MemRegion, Rank, Trace, WinId,
@@ -62,6 +63,14 @@ pub(crate) struct Shard {
     /// The target rank whose window memory is contended.
     pub(crate) target: Rank,
     items: Vec<Item>,
+}
+
+impl Shard {
+    /// Accesses contending this window instance (the `shard_items`
+    /// histogram's observation).
+    pub(crate) fn len(&self) -> usize {
+        self.items.len()
+    }
 }
 
 fn op_lock_kind(epochs: &Epochs, ev: EventRef) -> Option<LockKind> {
@@ -213,9 +222,15 @@ pub(crate) fn detect_shard(
     dag: &Dag,
     clocks: &Clocks,
     shard: &Shard,
+    obs: &RecorderHandle,
 ) -> Vec<ConsistencyError> {
     let mut cache = ReachCache::new(clocks);
     let mut out = Vec::new();
+    // Counters accumulate locally and flush once per shard, so the
+    // recorder totals are sums over a scheduling-independent shard list —
+    // identical at every thread count.
+    let mut interval_pairs = 0u64;
+    let mut separation_pairs = 0u64;
 
     // Pass 1: sort-and-sweep for pairs with overlapping bytes. Item ids
     // follow `(rank, event index)` order, so pair orientation is stable.
@@ -226,6 +241,7 @@ pub(crate) fn detect_shard(
         }
     }
     for (i, j) in index.overlapping_pairs() {
+        interval_pairs += 1;
         let (a, b) = (&shard.items[i as usize], &shard.items[j as usize]);
         if a.local.is_some() && b.local.is_some() {
             // Two local accesses by the window owner are program-ordered
@@ -253,6 +269,7 @@ pub(crate) fn detect_shard(
         });
         for rma in writers {
             for &st in &local_stores {
+                separation_pairs += 1;
                 let Some(kind) = conflicts(rma.class, st.class, false) else { continue };
                 if !cache.concurrent(dag.enter(rma.ev), dag.enter(st.ev)) {
                     continue;
@@ -261,6 +278,10 @@ pub(crate) fn detect_shard(
             }
         }
     }
+    obs.add("interval_pairs_total", interval_pairs);
+    obs.add("separation_pairs_total", separation_pairs);
+    obs.add("reach_hits_total", cache.hits());
+    obs.add("reach_misses_total", cache.misses());
     out
 }
 
@@ -276,9 +297,10 @@ pub(crate) fn detect(
     dag: &Dag,
     clocks: &Clocks,
 ) -> Vec<ConsistencyError> {
+    let obs = RecorderHandle::disabled();
     let mut out: Vec<ConsistencyError> = build_shards(trace, ctx, epochs, regions, 1)
         .iter()
-        .flat_map(|shard| detect_shard(trace, dag, clocks, shard))
+        .flat_map(|shard| detect_shard(trace, dag, clocks, shard, &obs))
         .collect();
     out.sort_by_key(|x| x.canonical_key());
     let mut seen = HashSet::new();
@@ -298,7 +320,9 @@ pub(crate) fn detect_naive(
     regions: &Regions,
     dag: &Dag,
     clocks: &Clocks,
+    obs: &RecorderHandle,
 ) -> Vec<ConsistencyError> {
+    let mut naive_pairs = 0u64;
     struct Access {
         er: EventRef,
         class: AccessClass,
@@ -355,6 +379,7 @@ pub(crate) fn detect_naive(
         }
         for i in 0..accesses.len() {
             for j in (i + 1)..accesses.len() {
+                naive_pairs += 1;
                 let (a, b) = (&accesses[i], &accesses[j]);
                 // Local-local pairs never conflict under this ruleset
                 // (only the window owner loads/stores its window).
@@ -396,6 +421,7 @@ pub(crate) fn detect_naive(
             }
         }
     }
+    obs.add("naive_pairs_total", naive_pairs);
     out
 }
 
@@ -445,7 +471,15 @@ mod tests {
             let clocks = Clocks::compute(&dag);
             let regions = partition(&self.trace, &m);
             let eps = extract(&self.trace, &ctx);
-            let mut out = detect_naive(&self.trace, &ctx, &eps, &regions, &dag, &clocks);
+            let mut out = detect_naive(
+                &self.trace,
+                &ctx,
+                &eps,
+                &regions,
+                &dag,
+                &clocks,
+                &RecorderHandle::disabled(),
+            );
             out.sort_by_key(|x| x.canonical_key());
             let mut seen = HashSet::new();
             out.retain(|e| seen.insert(e.dedup_key()));
@@ -668,7 +702,7 @@ mod tests {
         let per_shard: usize = build_shards(&trace, &ctx, &eps, &regions, 1)
             .iter()
             .map(|s| {
-                let mut v = detect_shard(&trace, &dag, &clocks, s);
+                let mut v = detect_shard(&trace, &dag, &clocks, s, &RecorderHandle::disabled());
                 v.sort_by_key(|x| x.canonical_key());
                 let mut seen = HashSet::new();
                 v.retain(|e| seen.insert(e.dedup_key()));

@@ -15,9 +15,6 @@ pub mod session;
 pub mod streaming;
 pub mod vc;
 
-#[allow(deprecated)]
-pub use check::{CheckOptions, McChecker};
-
 pub use check::{AnalysisStats, CheckReport};
 pub use degrade::{sanitize, DegradedInfo};
 pub use report::{Confidence, ConsistencyError, ErrorScope, OpInfo, Severity};

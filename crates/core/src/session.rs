@@ -47,6 +47,7 @@ use crate::preprocess;
 use crate::regions::{self, Regions};
 use crate::report::{Confidence, ConsistencyError};
 use crate::vc::Clocks;
+use mcc_obs::RecorderHandle;
 use mcc_types::Trace;
 use std::collections::HashSet;
 use std::fmt;
@@ -95,6 +96,7 @@ pub struct AnalysisSessionBuilder {
     tolerate_truncation: bool,
     partition_regions: bool,
     naive_matching: bool,
+    recorder: RecorderHandle,
 }
 
 impl Default for AnalysisSessionBuilder {
@@ -105,6 +107,7 @@ impl Default for AnalysisSessionBuilder {
             tolerate_truncation: false,
             partition_regions: true,
             naive_matching: false,
+            recorder: RecorderHandle::disabled(),
         }
     }
 }
@@ -146,6 +149,15 @@ impl AnalysisSessionBuilder {
         self
     }
 
+    /// Attaches an observability recorder: phase spans and pipeline
+    /// counters of every run flow into it. Defaults to
+    /// [`RecorderHandle::disabled`], whose operations are single-branch
+    /// no-ops, so un-instrumented sessions pay (nearly) nothing.
+    pub fn recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> AnalysisSession {
         AnalysisSession { cfg: self }
@@ -179,6 +191,12 @@ impl AnalysisSession {
         self.cfg.engine
     }
 
+    /// The attached observability recorder (disabled unless
+    /// [`AnalysisSessionBuilder::recorder`] installed one).
+    pub fn recorder(&self) -> &RecorderHandle {
+        &self.cfg.recorder
+    }
+
     /// Runs the pipeline on a trace.
     ///
     /// Without [`AnalysisSessionBuilder::tolerate_truncation`] the trace
@@ -197,6 +215,17 @@ impl AnalysisSession {
     /// the sanitizer did — the entry point for the CLI's tolerant path.
     pub fn run_with_repair(&self, trace: &Trace) -> (CheckReport, DegradedInfo) {
         let (repaired, info) = degrade::sanitize(trace);
+        if !info.is_clean() {
+            let obs = &self.cfg.recorder;
+            obs.add("degraded_dropped_events_total", info.dropped.len() as u64);
+            obs.add("degraded_synthesized_closes_total", info.synthesized.len() as u64);
+            mcc_obs::log!(
+                Warn,
+                "trace repaired before analysis: {} event(s) dropped, {} close(s) synthesized",
+                info.dropped.len(),
+                info.synthesized.len()
+            );
+        }
         let mut report = self.analyze(&repaired);
         if !info.is_clean() {
             report.mark_degraded();
@@ -205,59 +234,100 @@ impl AnalysisSession {
     }
 
     fn analyze(&self, trace: &Trace) -> CheckReport {
+        let obs = &self.cfg.recorder;
+        let _run_span = obs.span("check.run");
+        let run_start = Instant::now();
         let mut stats = AnalysisStats { total_events: trace.total_events(), ..Default::default() };
+        obs.add("events_total", stats.total_events as u64);
 
         let t0 = Instant::now();
-        let ctx = preprocess::preprocess(trace);
+        let ctx = {
+            let _s = obs.span("check.preprocess");
+            preprocess::preprocess(trace)
+        };
         stats.preprocess_time = t0.elapsed();
 
         let t0 = Instant::now();
-        let matching = if self.cfg.naive_matching {
-            matching::match_sync_naive(trace, &ctx)
-        } else {
-            matching::match_sync(trace, &ctx)
+        let matching = {
+            let _s = obs.span("check.matching");
+            if self.cfg.naive_matching {
+                matching::match_sync_naive(trace, &ctx)
+            } else {
+                matching::match_sync(trace, &ctx)
+            }
         };
         stats.matching_time = t0.elapsed();
         stats.unmatched_sync = matching.unmatched.len();
+        obs.add("unmatched_sync_total", stats.unmatched_sync as u64);
 
         let t0 = Instant::now();
-        let dag = dag::build(trace, &ctx, &matching);
-        let clocks = Clocks::compute(&dag);
+        let (dag, clocks) = {
+            let _s = obs.span("check.dag");
+            let dag = dag::build(trace, &ctx, &matching);
+            let clocks = Clocks::compute(&dag);
+            (dag, clocks)
+        };
         stats.dag_nodes = dag.node_count();
         stats.dag_edges = dag.edge_count();
         stats.dag_time = t0.elapsed();
+        obs.add("dag_nodes_total", stats.dag_nodes as u64);
+        obs.add("dag_edges_total", stats.dag_edges as u64);
 
-        let regions = if self.cfg.partition_regions {
-            regions::partition(trace, &matching)
-        } else {
-            Regions::whole(trace)
+        let t0 = Instant::now();
+        let (regions, epochs) = {
+            let _s = obs.span("check.regions");
+            let regions = if self.cfg.partition_regions {
+                regions::partition(trace, &matching)
+            } else {
+                Regions::whole(trace)
+            };
+            let epochs = epoch::extract(trace, &ctx);
+            (regions, epochs)
         };
         stats.regions = regions.count;
-
-        let epochs = epoch::extract(trace, &ctx);
         stats.epochs = epochs.epochs.len();
         stats.epochs_per_rank = epochs.per_rank_counts(trace.nprocs());
+        stats.region_time = t0.elapsed();
+        obs.add("regions_total", stats.regions as u64);
+        obs.add("epochs_total", stats.epochs as u64);
 
         // Detection over independent shards. Shard lists are built in a
         // fixed order and `par_map` returns per-shard results in index
         // order, so the concatenation below does not depend on
-        // scheduling.
+        // scheduling. Per-shard counters are accumulated inside each
+        // shard and added once on completion, so totals commute and the
+        // metrics snapshot is identical at every thread count.
         let t0 = Instant::now();
         let threads = self.cfg.threads;
-        let intra_found = rayon::par_map(epochs.epochs.len(), threads, |i| {
-            intra::check_epoch(trace, &ctx, &epochs.epochs[i], epochs.ordinals[i])
-        });
-        let inter_found = match self.cfg.engine {
-            Engine::Sweep => {
-                let shards = inter::build_shards(trace, &ctx, &epochs, &regions, threads);
-                rayon::par_map(shards.len(), threads, |i| {
-                    inter::detect_shard(trace, &dag, &clocks, &shards[i])
-                })
-            }
-            Engine::Naive => {
-                vec![inter::detect_naive(trace, &ctx, &epochs, &regions, &dag, &clocks)]
+        let detect_span = obs.span("check.detect");
+        let intra_found = {
+            let _s = obs.span("check.detect.intra");
+            rayon::par_map(epochs.epochs.len(), threads, |i| {
+                intra::check_epoch(trace, &ctx, &epochs.epochs[i], epochs.ordinals[i])
+            })
+        };
+        let inter_found = {
+            let _s = obs.span("check.detect.inter");
+            match self.cfg.engine {
+                Engine::Sweep => {
+                    let shards = {
+                        let _s = obs.span("check.shard");
+                        inter::build_shards(trace, &ctx, &epochs, &regions, threads)
+                    };
+                    obs.add("shards_total", shards.len() as u64);
+                    for shard in &shards {
+                        obs.observe("shard_items", shard.len() as u64);
+                    }
+                    rayon::par_map(shards.len(), threads, |i| {
+                        inter::detect_shard(trace, &dag, &clocks, &shards[i], obs)
+                    })
+                }
+                Engine::Naive => {
+                    vec![inter::detect_naive(trace, &ctx, &epochs, &regions, &dag, &clocks, obs)]
+                }
             }
         };
+        drop(detect_span);
         let mut diagnostics: Vec<ConsistencyError> =
             intra_found.into_iter().chain(inter_found).flatten().collect();
         stats.detect_time = t0.elapsed();
@@ -266,9 +336,44 @@ impl AnalysisSession {
         // of the pair, THEN deduplicate, so the representative of each
         // duplicated source-level conflict is the canonically smallest
         // occurrence whatever order the shards produced them in.
-        diagnostics.sort_by_key(|x| x.canonical_key());
-        let mut seen = HashSet::new();
-        diagnostics.retain(|e| seen.insert(e.dedup_key()));
+        let t0 = Instant::now();
+        let raw = diagnostics.len();
+        {
+            let _s = obs.span("check.merge");
+            diagnostics.sort_by_key(|x| x.canonical_key());
+            let mut seen = HashSet::new();
+            diagnostics.retain(|e| seen.insert(e.dedup_key()));
+        }
+        stats.merge_time = t0.elapsed();
+        obs.add("dedup_dropped_total", (raw - diagnostics.len()) as u64);
+        for d in &diagnostics {
+            use crate::report::Severity;
+            use mcc_types::ConflictKind;
+            obs.add(
+                match d.severity {
+                    Severity::Error => "findings_error_total",
+                    Severity::Warning => "findings_warning_total",
+                },
+                1,
+            );
+            obs.add(
+                match d.kind {
+                    ConflictKind::OverlapViolation => "findings_overlap_total",
+                    ConflictKind::SeparationViolation => "findings_separation_total",
+                },
+                1,
+            );
+        }
+        mcc_obs::log!(
+            Debug,
+            "analysis done: {} event(s), {} finding(s) ({} raw), {} epoch(s), {} region(s)",
+            stats.total_events,
+            diagnostics.len(),
+            raw,
+            stats.epochs,
+            stats.regions
+        );
+        stats.total_time = run_start.elapsed();
 
         CheckReport { diagnostics, stats, confidence: Confidence::Complete }
     }

@@ -217,6 +217,7 @@ impl StreamingChecker {
         if r >= self.nprocs {
             return Err(StreamError::RankOutOfRange { rank: rank.0, nprocs: self.nprocs });
         }
+        self.session.recorder().add("stream_events_total", 1);
         // Maintain the lightweight registry needed for boundary detection.
         match &kind {
             EventKind::WinCreate { win, comm, .. } => {
@@ -255,6 +256,8 @@ impl StreamingChecker {
     /// Cuts one region (through each rank's first boundary) and analyzes
     /// it together with the persistent registry events.
     fn flush_region(&mut self) -> Vec<ConsistencyError> {
+        let _span = self.session.recorder().span("stream.flush_region");
+        self.session.recorder().add("stream_regions_flushed_total", 1);
         let ctx_counts: Vec<usize> = self.ctx_events.iter().map(Vec::len).collect();
         let mut b = TraceBuilder::new(self.nprocs);
         let mut cuts = vec![0usize; self.nprocs];
@@ -315,6 +318,14 @@ impl StreamingChecker {
     /// events and later ones can no longer be observed, so the session is
     /// degraded from here on.
     fn evict(&mut self) -> Vec<ConsistencyError> {
+        let _span = self.session.recorder().span("stream.evict");
+        self.session.recorder().add("stream_evictions_total", 1);
+        mcc_obs::log!(
+            Warn,
+            "streaming buffer hit the high watermark with no flushable region; \
+             evicting {} buffered event(s) in degraded mode",
+            self.buffered()
+        );
         self.degraded = true;
         self.evictions += 1;
         let (trace, ctx_counts, cuts) = self.drain_all();
@@ -396,6 +407,7 @@ impl StreamingChecker {
     /// order — byte-comparable with the batch report when the stream was
     /// complete and no eviction happened.
     pub fn finish(mut self) -> Vec<ConsistencyError> {
+        let _span = self.session.recorder().span("stream.finish");
         if self.buffered() > 0 {
             let (trace, ctx_counts, cuts) = self.drain_all();
             self.analyze_region(&trace, &ctx_counts, false);
@@ -411,6 +423,7 @@ impl StreamingChecker {
     /// because the unseen tail could have contained synchronization that
     /// changes any verdict.
     pub fn finish_degraded(mut self) -> Vec<ConsistencyError> {
+        let _span = self.session.recorder().span("stream.finish");
         self.degraded = true;
         if self.buffered() > 0 {
             let (trace, ctx_counts, cuts) = self.drain_all();

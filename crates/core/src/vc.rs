@@ -149,12 +149,14 @@ impl Clocks {
 pub struct ReachCache<'a> {
     clocks: &'a Clocks,
     memo: std::collections::HashMap<(NodeId, NodeId), bool>,
+    hits: u64,
+    misses: u64,
 }
 
 impl<'a> ReachCache<'a> {
     /// A fresh cache over `clocks`.
     pub fn new(clocks: &'a Clocks) -> Self {
-        Self { clocks, memo: std::collections::HashMap::new() }
+        Self { clocks, memo: std::collections::HashMap::new(), hits: 0, misses: 0 }
     }
 
     /// Memoized [`Clocks::ordered`].
@@ -169,7 +171,16 @@ impl<'a> ReachCache<'a> {
             return true; // reflexive on the shared chain anchor
         }
         let clocks = self.clocks;
-        *self.memo.entry((ca, cb)).or_insert_with(|| clocks.chain_ordered_eq(ca, cb))
+        match self.memo.entry((ca, cb)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                *e.get()
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.misses += 1;
+                *v.insert(clocks.chain_ordered_eq(ca, cb))
+            }
+        }
     }
 
     /// Memoized [`Clocks::concurrent`].
@@ -181,6 +192,16 @@ impl<'a> ReachCache<'a> {
     /// Distinct anchor pairs resolved so far (exposed for stats/tests).
     pub fn entries(&self) -> usize {
         self.memo.len()
+    }
+
+    /// Memo lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Memo lookups that had to consult the vector clocks.
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 }
 

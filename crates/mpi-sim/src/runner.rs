@@ -275,6 +275,7 @@ pub fn run<F>(config: SimConfig, body: F) -> Result<SimResult, SimError>
 where
     F: Fn(&mut Proc) + Send + Sync,
 {
+    let _span = mcc_obs::global().span("sim.run");
     let (sinks, error, wall) = execute(&config, &body, false)?;
     if let Some(error) = error {
         return Err(error);
@@ -298,6 +299,7 @@ pub fn run_tolerant<F>(config: SimConfig, body: F) -> Result<TolerantOutcome, Si
 where
     F: Fn(&mut Proc) + Send + Sync,
 {
+    let _span = mcc_obs::global().span("sim.run");
     let (sinks, error, wall) = execute(&config, &body, true)?;
     let (trace, stats) = assemble(&config, sinks, wall);
     Ok(TolerantOutcome { trace, stats, error })

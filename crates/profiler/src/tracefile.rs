@@ -51,6 +51,7 @@ struct LocDef {
 
 /// Writes a trace as a directory of per-rank JSON-lines files.
 pub fn write_trace_dir(trace: &Trace, dir: &Path) -> io::Result<()> {
+    let _span = mcc_obs::global().span("profiler.write_trace_dir");
     fs::create_dir_all(dir)?;
     let meta = Meta { nprocs: trace.nprocs() };
     fs::write(dir.join("meta.json"), serde_json::to_string(&meta)?)?;
@@ -69,6 +70,7 @@ pub fn write_trace_dir(trace: &Trace, dir: &Path) -> io::Result<()> {
 
 /// Reads a trace directory written by [`write_trace_dir`].
 pub fn read_trace_dir(dir: &Path) -> io::Result<Trace> {
+    let _span = mcc_obs::global().span("profiler.read_trace_dir");
     let meta: Meta = serde_json::from_str(&fs::read_to_string(dir.join("meta.json"))?)?;
     let mut procs = Vec::with_capacity(meta.nprocs);
     for rank in 0..meta.nprocs {
@@ -174,6 +176,7 @@ impl RankWriter {
 /// behind, line-by-line flushed. Used by the fault-injection demos so
 /// that even a run that died mid-epoch leaves a salvageable directory.
 pub fn stream_trace_dir(trace: &Trace, dir: &Path) -> io::Result<()> {
+    let _span = mcc_obs::global().span("profiler.write_trace_dir");
     let w = TraceWriter::create(dir, trace.nprocs())?;
     for (rank, proc) in trace.procs.iter().enumerate() {
         let mut rw = w.rank(rank as u32)?;
@@ -340,6 +343,7 @@ fn read_rank_tolerant(path: &Path, rank: u32, health: &mut TraceHealth) -> Proce
 /// degrade the [`TraceHealth`] instead. The only error is an unreadable
 /// directory.
 pub fn read_trace_dir_tolerant(dir: &Path) -> io::Result<(Trace, TraceHealth)> {
+    let _span = mcc_obs::global().span("profiler.read_trace_dir");
     let mut health = TraceHealth::default();
     let meta: Option<Meta> =
         fs::read_to_string(dir.join("meta.json")).ok().and_then(|s| serde_json::from_str(&s).ok());

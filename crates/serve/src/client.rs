@@ -171,3 +171,26 @@ pub fn stats_tcp(addr: &str) -> Result<String, ClientError> {
 pub fn stats_unix(path: &str) -> Result<String, ClientError> {
     stats_over(UnixStream::connect(path)?)
 }
+
+/// Asks a daemon for its live metrics (the `METRICS` verb) and returns
+/// the Prometheus-style text exposition.
+pub fn metrics_over<S: Read + Write>(stream: S) -> Result<String, ClientError> {
+    let mut reader = FrameReader::new(stream);
+    write_frame(reader.get_mut(), &Frame::Metrics)?;
+    match read_reply(&mut reader)? {
+        Frame::MetricsReport { text } => Ok(text),
+        Frame::Error { message } => Err(ClientError::Rejected(message)),
+        other => Err(ClientError::UnexpectedFrame(format!("{other:?}"))),
+    }
+}
+
+/// [`metrics_over`] via TCP.
+pub fn metrics_tcp(addr: &str) -> Result<String, ClientError> {
+    metrics_over(TcpStream::connect(addr)?)
+}
+
+/// [`metrics_over`] via Unix socket.
+#[cfg(unix)]
+pub fn metrics_unix(path: &str) -> Result<String, ClientError> {
+    metrics_over(UnixStream::connect(path)?)
+}

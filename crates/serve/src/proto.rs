@@ -17,10 +17,18 @@
 //! ```
 //!
 //! `Stats` may be sent instead of (or during) a session and is answered
-//! with `StatsReport{json}`. The handshake is versioned: a `Hello` whose
-//! `version` differs from [`PROTOCOL_VERSION`], or whose `nprocs` is zero
-//! or absurd, is answered with an `Error` frame — never a silently
-//! dropped connection.
+//! with `StatsReport{json}`; likewise `Metrics` is answered with
+//! `MetricsReport{text}` (Prometheus text exposition). The handshake is
+//! versioned: a `Hello` whose `version` differs from
+//! [`PROTOCOL_VERSION`], or whose `nprocs` is zero or absurd, is
+//! answered with an `Error` frame — never a silently dropped connection.
+//!
+//! Extension verbs beyond the version-1 core are negotiated by
+//! *capability*, not by version bump: the `Welcome` frame lists the
+//! server's [`SERVER_CAPABILITIES`], and a client simply avoids verbs the
+//! server did not announce. This keeps old clients working against new
+//! servers and vice versa (an unknown verb still draws an `Error` frame,
+//! never a closed connection).
 
 use mcc_types::{EventKind, SourceLoc};
 use serde::{Deserialize, Serialize};
@@ -29,6 +37,10 @@ use std::io::{self, Read, Write};
 
 /// Version carried in (and required of) every `Hello`.
 pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Capabilities this server build announces in its `Welcome` frame.
+/// `metrics` means the `Metrics` verb is answered with `MetricsReport`.
+pub const SERVER_CAPABILITIES: &[&str] = &["metrics"];
 
 /// Hard cap on a single frame's payload, applied before reading it.
 pub const MAX_FRAME_LEN: usize = 1 << 20;
@@ -70,6 +82,9 @@ pub enum Frame {
         version: u32,
         /// Server-assigned session id (shows up in `STATS`).
         session: u64,
+        /// Extension verbs this server answers (see
+        /// [`SERVER_CAPABILITIES`]); clients skip verbs not listed.
+        capabilities: Vec<String>,
     },
     /// One trace event from one rank's instrumentation stream.
     Event {
@@ -93,6 +108,14 @@ pub enum Frame {
     StatsReport {
         /// A JSON document (see [`crate::registry::Registry::stats_json`]).
         json: String,
+    },
+    /// Requests live metrics (capability `metrics`); answered with
+    /// `MetricsReport`.
+    Metrics,
+    /// The server's metrics in Prometheus text exposition format.
+    MetricsReport {
+        /// Counter/histogram/gauge lines (`mcc_*`).
+        text: String,
     },
     /// The server refuses a frame or a session.
     Error {
@@ -261,7 +284,11 @@ mod tests {
     fn frames() -> Vec<Frame> {
         vec![
             Frame::Hello { version: PROTOCOL_VERSION, nprocs: 4, opts: SessionOpts::default() },
-            Frame::Welcome { version: PROTOCOL_VERSION, session: 7 },
+            Frame::Welcome {
+                version: PROTOCOL_VERSION,
+                session: 7,
+                capabilities: SERVER_CAPABILITIES.iter().map(|s| s.to_string()).collect(),
+            },
             Frame::Event {
                 rank: 2,
                 kind: EventKind::WinCreate {
@@ -276,6 +303,8 @@ mod tests {
             Frame::Stats,
             Frame::Report { json: "{\"x\":1}".into() },
             Frame::StatsReport { json: "{}".into() },
+            Frame::Metrics,
+            Frame::MetricsReport { text: "# TYPE mcc_x counter\nmcc_x 1\n".into() },
             Frame::Error { message: "nope".into() },
         ]
     }

@@ -269,4 +269,65 @@ mod tests {
         reg.note_rejected();
         assert!(reg.stats_json().contains("\"hellos_rejected\":1"));
     }
+
+    /// Hammers the registry (and a shared recorder) from many threads and
+    /// checks every total is exact afterwards — no lost updates, no leaked
+    /// sessions, recorder counters in lockstep with the registry.
+    #[test]
+    fn concurrent_sessions_keep_exact_totals() {
+        const THREADS: u64 = 8;
+        const SESSIONS_PER_THREAD: u64 = 25;
+        let reg = Arc::new(Registry::new());
+        let obs = mcc_obs::RecorderHandle::enabled();
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                let obs = obs.clone();
+                std::thread::spawn(move || {
+                    for s in 0..SESSIONS_PER_THREAD {
+                        let g = reg.register(4);
+                        obs.add("serve_sessions_started_total", 1);
+                        let events = t * SESSIONS_PER_THREAD + s + 1;
+                        g.report_progress(Progress { events, findings: 1, ..Default::default() });
+                        obs.add("serve_events_total", events);
+                        if s % 3 == 0 {
+                            drop(g); // salvaged path
+                            obs.add("serve_sessions_salvaged_total", 1);
+                        } else {
+                            g.finish(Outcome::Completed);
+                            obs.add("serve_sessions_completed_total", 1);
+                        }
+                        if s % 5 == 0 {
+                            reg.note_rejected();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let total = THREADS * SESSIONS_PER_THREAD;
+        let salvaged = THREADS * SESSIONS_PER_THREAD.div_ceil(3);
+        let completed = total - salvaged;
+        let rejected = THREADS * SESSIONS_PER_THREAD.div_ceil(5);
+        // Each session s on thread t reported t*S + s + 1 events: the grand
+        // total is the sum 1..=THREADS*SESSIONS_PER_THREAD.
+        let events = total * (total + 1) / 2;
+
+        assert_eq!(reg.active_count(), 0, "no leaked sessions");
+        let stats = reg.stats_json();
+        assert!(stats.contains(&format!("\"sessions_completed\":{completed}")), "{stats}");
+        assert!(stats.contains(&format!("\"sessions_salvaged\":{salvaged}")), "{stats}");
+        assert!(stats.contains(&format!("\"hellos_rejected\":{rejected}")), "{stats}");
+        assert!(stats.contains(&format!("\"events_ingested\":{events}")), "{stats}");
+        assert!(stats.contains(&format!("\"findings\":{total}")), "{stats}");
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["serve_sessions_started_total"], total);
+        assert_eq!(snap.counters["serve_sessions_completed_total"], completed);
+        assert_eq!(snap.counters["serve_sessions_salvaged_total"], salvaged);
+        assert_eq!(snap.counters["serve_events_total"], events);
+    }
 }

@@ -13,12 +13,15 @@
 //! mode, a degraded report is offered to the (possibly gone) client, and
 //! the registry records the session as salvaged — never leaked.
 
-use crate::proto::{write_frame, Frame, FrameReader, ProtoError, MAX_RANKS, PROTOCOL_VERSION};
+use crate::proto::{
+    write_frame, Frame, FrameReader, ProtoError, MAX_RANKS, PROTOCOL_VERSION, SERVER_CAPABILITIES,
+};
 use crate::registry::{Outcome, Progress, Registry, SessionGuard};
 use crate::report::{SessionReport, REPORT_SCHEMA_VERSION};
 use mcc_core::report::Confidence;
 use mcc_core::session::AnalysisSession;
 use mcc_core::streaming::StreamingChecker;
+use mcc_obs::{log, render_gauge, RecorderHandle};
 use mcc_types::Rank;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -49,6 +52,12 @@ pub struct ServeConfig {
     /// Upper bound on the per-session analysis thread count a client may
     /// request.
     pub max_threads: usize,
+    /// The daemon's observability recorder. Every session's pipeline
+    /// counters and the serve-layer counters flow into it; the `Metrics`
+    /// verb renders its snapshot. Enabled by default — a long-running
+    /// service should be introspectable out of the box (span storage is
+    /// capped at [`mcc_obs::MAX_SPANS`], counters are O(#names)).
+    pub recorder: RecorderHandle,
 }
 
 impl Default for ServeConfig {
@@ -60,8 +69,17 @@ impl Default for ServeConfig {
             tick: Duration::from_millis(200),
             backpressure_pause: Duration::from_millis(2),
             max_threads: 8,
+            recorder: RecorderHandle::enabled(),
         }
     }
+}
+
+/// Renders the daemon's live metrics: the recorder's deterministic
+/// snapshot plus registry gauges — the `Metrics` verb's payload.
+fn metrics_text(registry: &Registry, recorder: &RecorderHandle) -> String {
+    let mut text = recorder.snapshot().render();
+    text.push_str(&render_gauge("serve_sessions_active", registry.active_count() as u64));
+    text
 }
 
 /// A bidirectional connection the server can serve.
@@ -245,8 +263,9 @@ fn vet_hello(version: u32, nprocs: u32) -> Result<(), String> {
 fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) {
     let _ = conn.set_read_timeout_(Some(cfg.tick));
     let mut reader = FrameReader::new(conn);
+    let obs = &cfg.recorder;
 
-    // Pre-session: answer Stats, wait for Hello.
+    // Pre-session: answer Stats/Metrics, wait for Hello.
     let started = Instant::now();
     let (nprocs, opts) = loop {
         match reader.next_frame() {
@@ -256,16 +275,27 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                     return;
                 }
             }
+            Ok(Some(Frame::Metrics)) => {
+                let text = metrics_text(&registry, obs);
+                if !send(reader.get_mut(), &Frame::MetricsReport { text }) {
+                    return;
+                }
+            }
             Ok(Some(Frame::Hello { version, nprocs, opts })) => {
                 if let Err(message) = vet_hello(version, nprocs) {
                     registry.note_rejected();
+                    obs.add("serve_hellos_rejected_total", 1);
+                    log!(Warn, "hello rejected: {message}");
                     send(reader.get_mut(), &Frame::Error { message });
                     return;
                 }
                 break (nprocs as usize, opts);
             }
             Ok(Some(_)) => {
-                send(reader.get_mut(), &Frame::Error { message: "expected Hello or Stats".into() });
+                send(
+                    reader.get_mut(),
+                    &Frame::Error { message: "expected Hello, Stats, or Metrics".into() },
+                );
                 return;
             }
             Ok(None) => return,
@@ -279,11 +309,13 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
     };
 
     let threads = (opts.threads.max(1) as usize).min(cfg.max_threads);
-    let session = AnalysisSession::builder().threads(threads).build();
+    let session = AnalysisSession::builder().threads(threads).recorder(obs.clone()).build();
     let mut checker = match StreamingChecker::with_session(nprocs, session) {
         Ok(c) => c,
         Err(e) => {
             registry.note_rejected();
+            obs.add("serve_hellos_rejected_total", 1);
+            log!(Warn, "session refused: {e}");
             send(reader.get_mut(), &Frame::Error { message: e.to_string() });
             return;
         }
@@ -295,7 +327,17 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
     checker.set_high_watermark(Some(cap));
 
     let guard = registry.register(nprocs);
-    if !send(reader.get_mut(), &Frame::Welcome { version: PROTOCOL_VERSION, session: guard.id() }) {
+    obs.add("serve_sessions_started_total", 1);
+    let _session_span = obs.span("serve.session");
+    log!(Info, "session {} opened: {nprocs} rank(s), {threads} thread(s)", guard.id());
+    if !send(
+        reader.get_mut(),
+        &Frame::Welcome {
+            version: PROTOCOL_VERSION,
+            session: guard.id(),
+            capabilities: SERVER_CAPABILITIES.iter().map(|s| s.to_string()).collect(),
+        },
+    ) {
         // Client is already gone; the guard's Drop records the salvage.
         return;
     }
@@ -318,14 +360,16 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                 let c = checker.as_mut().expect("checker lives until the session ends");
                 if let Err(e) = c.push(Rank(rank), kind, loc) {
                     send(reader.get_mut(), &Frame::Error { message: e.to_string() });
-                    salvage(checker.take(), guard, reader.get_mut(), events);
+                    salvage(checker.take(), guard, reader.get_mut(), events, obs);
                     return;
                 }
                 events += 1;
+                obs.add("serve_events_total", 1);
                 if events.is_multiple_of(256) {
                     guard.report_progress(progress_of(c, events));
                 }
                 if c.buffered() >= cfg.soft_watermark {
+                    obs.add("serve_backpressure_stalls_total", 1);
                     thread::sleep(cfg.backpressure_pause);
                 }
             }
@@ -357,14 +401,28 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                 // Settle the registry before the client can see the
                 // report: a client that reads its Report and immediately
                 // asks for STATS must not find its own session active.
+                let id = guard.id();
                 guard.finish(Outcome::Completed);
+                obs.add("serve_sessions_completed_total", 1);
+                log!(
+                    Info,
+                    "session {id} completed: {events} event(s), {} finding(s)",
+                    report.findings.len()
+                );
                 send(reader.get_mut(), &Frame::Report { json: report.to_json() });
                 return;
             }
             Ok(Some(Frame::Stats)) => {
                 let json = registry.stats_json();
                 if !send(reader.get_mut(), &Frame::StatsReport { json }) {
-                    salvage(checker.take(), guard, reader.get_mut(), events);
+                    salvage(checker.take(), guard, reader.get_mut(), events, obs);
+                    return;
+                }
+            }
+            Ok(Some(Frame::Metrics)) => {
+                let text = metrics_text(&registry, obs);
+                if !send(reader.get_mut(), &Frame::MetricsReport { text }) {
+                    salvage(checker.take(), guard, reader.get_mut(), events, obs);
                     return;
                 }
             }
@@ -373,23 +431,24 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                     reader.get_mut(),
                     &Frame::Error { message: "unexpected frame mid-session".into() },
                 );
-                salvage(checker.take(), guard, reader.get_mut(), events);
+                salvage(checker.take(), guard, reader.get_mut(), events, obs);
                 return;
             }
             // Clean EOF without Finish, truncation, or transport errors:
             // the client died mid-stream.
             Ok(None) | Err(ProtoError::Truncated { .. }) | Err(ProtoError::Io(_)) => {
-                salvage(checker.take(), guard, reader.get_mut(), events);
+                salvage(checker.take(), guard, reader.get_mut(), events, obs);
                 return;
             }
             Err(ProtoError::Idle) => {
                 if last_activity.elapsed() >= cfg.idle_timeout {
-                    salvage(checker.take(), guard, reader.get_mut(), events);
+                    log!(Warn, "session {} idle for {:?}; salvaging", guard.id(), cfg.idle_timeout);
+                    salvage(checker.take(), guard, reader.get_mut(), events, obs);
                     return;
                 }
             }
             Err(_) => {
-                salvage(checker.take(), guard, reader.get_mut(), events);
+                salvage(checker.take(), guard, reader.get_mut(), events, obs);
                 return;
             }
         }
@@ -404,7 +463,10 @@ fn salvage(
     guard: SessionGuard,
     conn: &mut impl Write,
     events: u64,
+    obs: &RecorderHandle,
 ) {
+    obs.add("serve_sessions_salvaged_total", 1);
+    log!(Warn, "session {} salvaged after {events} event(s)", guard.id());
     let Some(c) = checker else {
         guard.finish(Outcome::Salvaged);
         return;

@@ -2,20 +2,25 @@
 //!
 //! ```text
 //! mcc check <trace-dir> [--threads N] [--engine sweep|naive]
-//!           [--format text|json] [--streaming] [--tolerate-truncation]
+//!           [--format text|json] [--timings] [--profile out.json]
+//!           [--streaming] [--tolerate-truncation]
 //!     Analyze a trace directory written by the Profiler
 //!     (mcc_profiler::write_trace_dir) and print the findings.
 //!     --threads runs the sharded conflict engine on N OS threads (the
 //!     report is identical at every thread count); --engine selects the
 //!     sharded sweep engine (default) or the all-pairs baseline;
-//!     --format json prints the stable schema_version-1 report document.
+//!     --format json prints the stable schema_version-1 report document
+//!     (--timings adds the per-phase `timings` object to it).
+//!     --profile records phase spans and pipeline metrics and writes
+//!     them as Chrome trace_event JSON — open the file in Perfetto
+//!     (ui.perfetto.dev) or chrome://tracing.
 //!     --tolerate-truncation reads the directory with the tolerant
 //!     reader (torn lines, missing ranks) and checks in degraded mode.
 //!     (--json, --naive and --parallel are kept as aliases for
 //!     --format json, --engine naive and --threads 4.)
 //!
 //! mcc demo <case> [--fixed] [--procs N] [--trace-out DIR]
-//!          [--abort R:N] [--hang R:N]
+//!          [--abort R:N] [--hang R:N] [--profile out.json]
 //!     Run one of the built-in bug cases under the Profiler and check it.
 //!     Cases: emulate, bt-broadcast, lockopts, ping-pong, jacobi, adlb,
 //!     adlb-crash, mpi3-queue, fig2a, fig2b, fig2c, fig2d.
@@ -41,8 +46,18 @@
 //!     Stream a recorded trace directory to a running daemon and print
 //!     the returned session report. Exit codes as for `mcc check`.
 //!
-//! mcc stats [--addr ADDR]
-//!     Print a running daemon's supervisor state as JSON.
+//! mcc stats [--addr ADDR] [--metrics]
+//!     Print a running daemon's supervisor state as JSON. With
+//!     --metrics, print the daemon's live pipeline counters as
+//!     Prometheus-style text exposition instead (the `METRICS` verb).
+//!
+//! mcc overhead [--reps N]
+//!     Reproduce the paper's Table-3-style profiling-overhead study
+//!     over the bug gallery (native vs. profiled wall time, best of N
+//!     reps), then bound the cost of this build's own observability
+//!     layer: estimate what the disabled instrumentation hooks cost
+//!     during analysis and fail if the estimate exceeds 5% of the
+//!     analysis wall time.
 //!
 //! mcc demo ... --submit ADDR
 //!     Instead of checking in-process, ship the demo's events to a
@@ -78,6 +93,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("overhead") => cmd_overhead(&args[1..]),
         Some("table1") => {
             print!("{}", mc_checker::types::compat::render_table1());
             ExitCode::SUCCESS
@@ -101,7 +117,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: mcc <check|demo|serve|submit|stats|table1|list> ...  \
+                "usage: mcc <check|demo|serve|submit|stats|overhead|table1|list> ...  \
                  (see `src/bin/mcc.rs` docs)"
             );
             ExitCode::from(2)
@@ -114,8 +130,44 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
+/// `--profile out.json` support: a recorder that is enabled only when
+/// the flag is present, installed as the process-global handle so the
+/// simulator and trace IO report into it too, and flushed to a Chrome
+/// trace_event file when the command finishes.
+struct ProfileSink {
+    path: Option<String>,
+    obs: RecorderHandle,
+}
+
+impl ProfileSink {
+    fn from_args(args: &[String]) -> Self {
+        let path = flag_value(args, "--profile").map(str::to_string);
+        let obs =
+            if path.is_some() { RecorderHandle::enabled() } else { RecorderHandle::disabled() };
+        if obs.is_enabled() {
+            mc_checker::obs::set_global(obs.clone());
+        }
+        Self { path, obs }
+    }
+
+    /// Writes the trace file (if requested); IO failure trumps `code`.
+    fn finish(&self, code: ExitCode) -> ExitCode {
+        let Some(path) = &self.path else { return code };
+        match std::fs::write(path, self.obs.to_chrome_trace()) {
+            Ok(()) => {
+                eprintln!("profile written to {path} (open in ui.perfetto.dev)");
+                code
+            }
+            Err(e) => {
+                eprintln!("mcc: cannot write profile `{path}`: {e}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}
+
 /// Builds the analysis session from the shared `check` flags.
-fn session_from_args(args: &[String]) -> Result<AnalysisSession, ExitCode> {
+fn session_from_args(args: &[String], obs: &RecorderHandle) -> Result<AnalysisSession, ExitCode> {
     let has = |f: &str| args.iter().any(|a| a == f);
     let threads = match flag_value(args, "--threads") {
         Some(v) => match v.parse::<usize>() {
@@ -139,7 +191,7 @@ fn session_from_args(args: &[String]) -> Result<AnalysisSession, ExitCode> {
         None if has("--naive") => Engine::Naive,
         None => Engine::Sweep,
     };
-    Ok(AnalysisSession::builder().threads(threads).engine(engine).build())
+    Ok(AnalysisSession::builder().threads(threads).engine(engine).recorder(obs.clone()).build())
 }
 
 /// Resolves `--format text|json` (with `--json` as an alias).
@@ -158,7 +210,8 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let Some(dir) = args.first() else {
         eprintln!(
             "usage: mcc check <trace-dir> [--threads N] [--engine sweep|naive] \
-             [--format text|json] [--streaming] [--tolerate-truncation]"
+             [--format text|json] [--timings] [--profile out.json] \
+             [--streaming] [--tolerate-truncation]"
         );
         return ExitCode::from(2);
     };
@@ -167,9 +220,10 @@ fn cmd_check(args: &[String]) -> ExitCode {
         Ok(j) => j,
         Err(code) => return code,
     };
+    let sink = ProfileSink::from_args(args);
 
     if has("--tolerate-truncation") {
-        return cmd_check_tolerant(dir, args, json);
+        return sink.finish(cmd_check_tolerant(dir, args, json, &sink.obs));
     }
     let trace = match read_trace_dir(Path::new(dir)) {
         Ok(t) => t,
@@ -178,7 +232,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
             eprintln!(
                 "mcc: (a damaged directory may still be readable with --tolerate-truncation)"
             );
-            return ExitCode::from(2);
+            return sink.finish(ExitCode::from(2));
         }
     };
 
@@ -188,10 +242,10 @@ fn cmd_check(args: &[String]) -> ExitCode {
             "streaming: {} events, {} regions flushed, peak buffer {} events",
             stats.total_events, stats.regions_flushed, stats.peak_buffered
         );
-        return render_findings(&findings, json);
+        return sink.finish(render_findings(&findings, json));
     }
 
-    let session = match session_from_args(args) {
+    let session = match session_from_args(args, &sink.obs) {
         Ok(s) => s,
         Err(code) => return code,
     };
@@ -207,11 +261,11 @@ fn cmd_check(args: &[String]) -> ExitCode {
         session.engine(),
         session.threads(),
     );
-    report_exit(&report, json)
+    sink.finish(report_exit(&report, json, has("--timings")))
 }
 
 /// `mcc check --tolerate-truncation`: tolerant read, degraded check.
-fn cmd_check_tolerant(dir: &str, args: &[String], json: bool) -> ExitCode {
+fn cmd_check_tolerant(dir: &str, args: &[String], json: bool, obs: &RecorderHandle) -> ExitCode {
     let (trace, health) = match read_trace_dir_tolerant(Path::new(dir)) {
         Ok(t) => t,
         Err(e) => {
@@ -220,7 +274,7 @@ fn cmd_check_tolerant(dir: &str, args: &[String], json: bool) -> ExitCode {
         }
     };
     eprintln!("trace health: {}", health.summary());
-    let session = match session_from_args(args) {
+    let session = match session_from_args(args, obs) {
         Ok(s) => s,
         Err(code) => return code,
     };
@@ -230,14 +284,19 @@ fn cmd_check_tolerant(dir: &str, args: &[String], json: bool) -> ExitCode {
         report.mark_degraded();
     }
     eprintln!("degraded-mode repair: {}", info.summary());
-    report_exit(&report, json)
+    report_exit(&report, json, args.iter().any(|a| a == "--timings"))
 }
 
 /// Prints a report and maps it to the documented exit codes
-/// (0/1 complete, 4/3 degraded).
-fn report_exit(report: &CheckReport, json: bool) -> ExitCode {
+/// (0/1 complete, 4/3 degraded). `timings` switches the JSON rendering
+/// to the additive per-phase-timings variant.
+fn report_exit(report: &CheckReport, json: bool, timings: bool) -> ExitCode {
     if json {
-        print!("{}", report.to_json());
+        if timings {
+            print!("{}", report.to_json_with_timings());
+        } else {
+            print!("{}", report.to_json());
+        }
     } else {
         print!("{}", report.render());
     }
@@ -391,6 +450,18 @@ fn cmd_submit(args: &[String]) -> ExitCode {
 
 fn cmd_stats(args: &[String]) -> ExitCode {
     let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    if args.iter().any(|a| a == "--metrics") {
+        return match client::metrics_tcp(addr) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("mcc: metrics from `{addr}` failed: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     match client::stats_tcp(addr) {
         Ok(json) => {
             println!("{json}");
@@ -401,6 +472,108 @@ fn cmd_stats(args: &[String]) -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// One bug-gallery entry: name, rank count, program body.
+type GalleryCase = (&'static str, u32, fn(&mut Proc));
+
+/// `mcc overhead`: the paper's Table-3-style overhead study, plus a
+/// bound on the cost of this build's own (disabled) instrumentation.
+fn cmd_overhead(args: &[String]) -> ExitCode {
+    let reps = match flag_value(args, "--reps") {
+        Some(v) => match v.parse::<u32>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("mcc: --reps expects a positive integer, got `{v}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => 3,
+    };
+
+    let mut cases: Vec<GalleryCase> = Vec::new();
+    for (spec, body) in bugs::table2_cases() {
+        cases.push((spec.name, spec.nprocs, body));
+    }
+    for (spec, body, _) in bugs::extension_cases() {
+        cases.push((spec.name, spec.nprocs, body));
+    }
+
+    println!("Profiling overhead over the bug gallery (best of {reps} rep(s) per mode):");
+    println!(
+        "{:<14} {:>5} {:>12} {:>12} {:>8} {:>9}",
+        "app", "procs", "native", "profiled", "norm", "overhead"
+    );
+    for &(name, nprocs, body) in &cases {
+        let base = SimConfig::new(nprocs).with_seed(0xC11);
+        let rep =
+            match mc_checker::profiler::profile_run(name, base, Instrument::Relevant, reps, body) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("mcc: profiling `{name}` failed: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+        println!(
+            "{:<14} {:>5} {:>10.3}ms {:>10.3}ms {:>7.2}x {:>8.1}%",
+            rep.name,
+            rep.nprocs,
+            rep.native.as_secs_f64() * 1e3,
+            rep.profiled.as_secs_f64() * 1e3,
+            rep.normalized,
+            rep.overhead_pct,
+        );
+    }
+
+    // Bound the observability layer's own cost. Every hook in the
+    // analysis pipeline goes through RecorderHandle, which counts its
+    // invocations even when disabled; multiply that count by the
+    // microbenchmarked per-call cost of the disabled path and compare
+    // against the analysis wall time.
+    let mut total_ops = 0u64;
+    let mut total_wall = std::time::Duration::ZERO;
+    for &(name, nprocs, body) in &cases {
+        let trace = bugs::trace_of(nprocs, 0xC11, body);
+        let counting = RecorderHandle::enabled();
+        AnalysisSession::builder().recorder(counting.clone()).build().run(&trace);
+        total_ops += counting.ops();
+
+        let disabled = RecorderHandle::disabled();
+        let session = AnalysisSession::builder().recorder(disabled).build();
+        let mut best = std::time::Duration::MAX;
+        for _ in 0..reps {
+            let t = std::time::Instant::now();
+            std::hint::black_box(session.run(&trace));
+            best = best.min(t.elapsed());
+        }
+        total_wall += best;
+        let _ = name;
+    }
+
+    // Per-call cost of a disabled hook, measured on this machine.
+    let probe = RecorderHandle::disabled();
+    const PROBE_CALLS: u64 = 1 << 22;
+    let t = std::time::Instant::now();
+    for i in 0..PROBE_CALLS {
+        std::hint::black_box(&probe).add(std::hint::black_box("overhead_probe_total"), i);
+    }
+    let per_call = t.elapsed().as_secs_f64() / PROBE_CALLS as f64;
+
+    let instr_cost = total_ops as f64 * per_call;
+    let pct = 100.0 * instr_cost / total_wall.as_secs_f64().max(1e-9);
+    println!();
+    println!(
+        "Disabled-instrumentation bound: {total_ops} hook call(s) across the gallery, \
+         {:.1} ns/call disabled, ~{pct:.3}% of {:.3} ms analysis wall time (limit 5%)",
+        per_call * 1e9,
+        total_wall.as_secs_f64() * 1e3,
+    );
+    if pct >= 5.0 {
+        eprintln!("mcc: disabled instrumentation overhead {pct:.3}% exceeds the 5% budget");
+        return ExitCode::from(1);
+    }
+    println!("OK: instrumentation is free when disabled (within budget).");
+    ExitCode::SUCCESS
 }
 
 /// `mcc demo ... --submit ADDR`: ship the demo's events to a daemon with
@@ -459,10 +632,11 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     let Some(name) = args.first().map(String::as_str) else {
         eprintln!(
             "usage: mcc demo <case> [--fixed] [--procs N] [--trace-out DIR] \
-             [--abort R:N] [--hang R:N] [--submit ADDR]"
+             [--abort R:N] [--hang R:N] [--submit ADDR] [--profile out.json]"
         );
         return ExitCode::from(2);
     };
+    let sink = ProfileSink::from_args(args);
     let fixed = args.iter().any(|a| a == "--fixed");
     let procs_override = flag_value(args, "--procs").and_then(|v| v.parse::<u32>().ok());
 
@@ -530,24 +704,26 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     if let Some(dir) = flag_value(args, "--trace-out") {
         if let Err(e) = write_trace_dir(&trace, Path::new(dir)) {
             eprintln!("mcc: cannot write trace: {e}");
-            return ExitCode::from(2);
+            return sink.finish(ExitCode::from(2));
         }
         eprintln!("trace written to {dir}");
     }
 
     if let Some(addr) = flag_value(args, "--submit") {
-        return submit_demo_trace(&trace, addr);
+        return sink.finish(submit_demo_trace(&trace, addr));
     }
 
+    let session = AnalysisSession::builder().recorder(sink.obs.clone()).build();
     if sim_error.is_none() {
-        let report = AnalysisSession::new().run(&trace);
+        let report = session.run(&trace);
         print!("{}", report.render());
-        return if report.has_errors() { ExitCode::from(1) } else { ExitCode::SUCCESS };
+        let code = if report.has_errors() { ExitCode::from(1) } else { ExitCode::SUCCESS };
+        return sink.finish(code);
     }
     // The run was cut short: the trace may stop mid-epoch, so only the
     // degraded path is safe.
-    let (mut report, info) = AnalysisSession::new().run_with_repair(&trace);
+    let (mut report, info) = session.run_with_repair(&trace);
     report.mark_degraded();
     eprintln!("degraded-mode repair: {}", info.summary());
-    report_exit(&report, false)
+    sink.finish(report_exit(&report, false, false))
 }

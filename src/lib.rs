@@ -60,6 +60,7 @@
 pub use mcc_apps as apps;
 pub use mcc_core as core;
 pub use mcc_mpi_sim as mpi_sim;
+pub use mcc_obs as obs;
 pub use mcc_profiler as profiler;
 pub use mcc_serve as serve;
 pub use mcc_st_analyzer as st_analyzer;
@@ -67,12 +68,10 @@ pub use mcc_types as types;
 
 /// The names most programs need.
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use mcc_core::{CheckOptions, McChecker};
-
     pub use mcc_core::{
         AnalysisSession, CheckReport, ConsistencyError, Engine, ErrorScope, Severity,
     };
     pub use mcc_mpi_sim::{run, DeliveryPolicy, Instrument, Proc, SimConfig};
+    pub use mcc_obs::RecorderHandle;
     pub use mcc_types::{CommId, DataMap, DatatypeId, LockKind, Rank, ReduceOp, Trace, WinId};
 }

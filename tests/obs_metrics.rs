@@ -1,0 +1,131 @@
+//! Observability invariants: pipeline metric snapshots must be
+//! byte-identical at every thread count (counters commute, durations are
+//! kept out of snapshots), and the Chrome-trace export must be valid
+//! JSON whose span set covers the whole analysis pipeline.
+
+use mc_checker::apps::bugs::{self, trace_of};
+use mc_checker::prelude::*;
+use proptest::prelude::*;
+use serde::Value;
+use std::collections::BTreeSet;
+
+type BugBody = fn(&mut Proc);
+
+/// Every bug archetype in `crates/apps/src/bugs`, at a small scale.
+const ARCHETYPES: [(&str, u32, BugBody); 8] = [
+    ("adlb", 4, bugs::adlb::buggy),
+    ("mpi3_queue", 4, bugs::mpi3_queue::buggy),
+    ("bt_broadcast", 4, bugs::bt_broadcast::buggy),
+    ("emulate", 4, bugs::emulate::buggy),
+    ("jacobi", 4, bugs::jacobi::buggy),
+    ("lockopts", 4, bugs::lockopts::buggy),
+    ("pingpong", 2, bugs::pingpong::buggy),
+    ("fig2c", 3, bugs::archetypes::fig2c),
+];
+
+/// Runs one analysis into a fresh recorder and renders the snapshot.
+fn snapshot_of(trace: &Trace, threads: usize, engine: Engine) -> String {
+    let obs = RecorderHandle::enabled();
+    AnalysisSession::builder()
+        .threads(threads)
+        .engine(engine)
+        .recorder(obs.clone())
+        .build()
+        .run(trace);
+    obs.snapshot().render()
+}
+
+#[test]
+fn metric_snapshots_identical_across_thread_counts() {
+    for (name, nprocs, body) in ARCHETYPES {
+        let trace = trace_of(nprocs, 0xdead, body);
+        let baseline = snapshot_of(&trace, 1, Engine::Sweep);
+        assert!(baseline.contains("mcc_events_total"), "{name}: {baseline}");
+        assert!(baseline.contains("mcc_shards_total"), "{name}: {baseline}");
+        for threads in [2usize, 4] {
+            assert_eq!(
+                snapshot_of(&trace, threads, Engine::Sweep),
+                baseline,
+                "{name}: metric snapshot diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn chrome_trace_is_valid_json_and_covers_the_pipeline() {
+    let trace = trace_of(4, 0xdead, bugs::adlb::buggy);
+    let obs = RecorderHandle::enabled();
+    AnalysisSession::builder().threads(4).recorder(obs.clone()).build().run(&trace);
+    let json = obs.to_chrome_trace();
+    let doc = serde_json::parse_value_str(&json).expect("chrome trace must parse as JSON");
+
+    let Some(Value::Arr(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents array missing: {json}");
+    };
+    let names: BTreeSet<&str> = events
+        .iter()
+        .filter_map(|e| match e.get("name") {
+            Some(Value::Str(s)) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    for phase in [
+        "check.run",
+        "check.preprocess",
+        "check.matching",
+        "check.dag",
+        "check.regions",
+        "check.detect",
+        "check.shard",
+        "check.detect.intra",
+        "check.detect.inter",
+        "check.merge",
+    ] {
+        assert!(names.contains(phase), "span `{phase}` missing from trace: {names:?}");
+    }
+    // Every event is a complete-span record with the fields Perfetto
+    // needs, and parent links point at recorded span ids.
+    let mut ids = BTreeSet::new();
+    for e in events {
+        assert!(matches!(e.get("ph"), Some(Value::Str(s)) if s == "X"), "{json}");
+        assert!(matches!(e.get("ts"), Some(Value::Int(_))));
+        assert!(matches!(e.get("dur"), Some(Value::Int(_))));
+        if let Some(args) = e.get("args") {
+            if let Some(Value::Int(id)) = args.get("id") {
+                ids.insert(*id);
+            }
+        }
+    }
+    for e in events {
+        if let Some(args) = e.get("args") {
+            if let Some(Value::Int(parent)) = args.get("parent") {
+                assert!(ids.contains(parent), "dangling parent span id {parent}");
+            }
+        }
+    }
+    assert!(
+        matches!(doc.get("metrics"), Some(Value::Obj(o)) if !o.is_empty()),
+        "metrics object missing from trace: {json}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The snapshot contract holds for any archetype at any seed, and
+    /// for both engines at their own baselines.
+    #[test]
+    fn metric_snapshots_thread_invariant_at_any_seed(case in 0..8usize, seed in 0..u64::MAX) {
+        let (name, nprocs, body) = ARCHETYPES[case];
+        let trace = trace_of(nprocs, seed, body);
+        let baseline = snapshot_of(&trace, 1, Engine::Sweep);
+        for threads in [2usize, 4] {
+            let got = snapshot_of(&trace, threads, Engine::Sweep);
+            prop_assert_eq!(&got, &baseline, "{} diverged at {} threads", name, threads);
+        }
+        let naive1 = snapshot_of(&trace, 1, Engine::Naive);
+        let naive4 = snapshot_of(&trace, 4, Engine::Naive);
+        prop_assert_eq!(&naive4, &naive1, "{} naive snapshot diverged", name);
+    }
+}

@@ -116,7 +116,11 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         (0..9u32, 0..64u32, 1..8u32, 0..4096u32).prop_map(|(version, nprocs, threads, cap)| {
             Frame::Hello { version, nprocs, opts: SessionOpts { threads, max_buffered: cap } }
         }),
-        (0..9u32, 0..u64::MAX).prop_map(|(version, session)| Frame::Welcome { version, session }),
+        (0..9u32, 0..u64::MAX, 0..3usize).prop_map(|(version, session, caps)| Frame::Welcome {
+            version,
+            session,
+            capabilities: (0..caps).map(|i| format!("cap{i}")).collect(),
+        }),
         (0..8u32, 0..16u32, arb_loc()).prop_map(|(rank, win, loc)| Frame::Event {
             rank,
             kind: EventKind::Fence { win: WinId(win) },
@@ -129,6 +133,8 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         }),
         Just(Frame::Finish),
         Just(Frame::Stats),
+        Just(Frame::Metrics),
+        (0..100u32).prop_map(|i| Frame::MetricsReport { text: format!("mcc_x {i}\n") }),
         (0..100u32).prop_map(|i| Frame::Report { json: format!("{{\"i\":{i}}}") }),
         (0..100u32).prop_map(|i| Frame::StatsReport { json: format!("{{\"n\":{i}}}") }),
         (0..100u32).prop_map(|i| Frame::Error { message: format!("refused #{i}") }),
