@@ -1,0 +1,246 @@
+//! Chaos recovery benchmark: how much a mid-stream fault costs a
+//! durable session, per fault kind.
+//!
+//! For every fault kind × seed, a synthetic trace is streamed through
+//! the in-process chaos proxy to a real daemon with a durable session;
+//! the run records wall time, connection attempts, resumes, and re-sent
+//! events, and verifies the final report against the batch analysis
+//! (any divergence exits 1). A clean no-proxy baseline anchors the
+//! recovery overhead. Results go to `BENCH_chaos.json`.
+//!
+//! ```text
+//! cargo run -p mcc-bench --release --bin chaos [-- --procs 8 --ops 48 \
+//!     --locals 8 --rounds 3 --conflict-pct 5 --seeds 8 --out BENCH_chaos.json]
+//! ```
+
+use mcc_bench::synth::{synth_trace, SynthParams};
+use mcc_core::AnalysisSession;
+use mcc_serve::proto::SessionOpts;
+use mcc_serve::{client, ChaosProxy, FaultKind, FaultSchedule, ServeConfig, Server};
+use std::time::{Duration, Instant};
+
+struct Row {
+    kind: &'static str,
+    runs: u64,
+    fired: u64,
+    attempts: u64,
+    resumes: u64,
+    events_resent: u64,
+    mean_wall: Duration,
+    max_wall: Duration,
+}
+
+fn chaos_cfg() -> ServeConfig {
+    ServeConfig {
+        tick: Duration::from_millis(20),
+        ack_interval: 64,
+        resume_grace: Duration::from_secs(60),
+        ..ServeConfig::default()
+    }
+}
+
+fn policy(seed: u64) -> client::RetryPolicy {
+    client::RetryPolicy {
+        retries: 16,
+        base_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_millis(250),
+        reply_deadline: Duration::from_secs(10),
+        jitter_seed: seed,
+        throttle: None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let procs = flag("--procs", 8) as u32;
+    let ops = flag("--ops", 48) as usize;
+    let locals = flag("--locals", 8) as usize;
+    let rounds = flag("--rounds", 3) as usize;
+    let conflict = flag("--conflict-pct", 5) as f64 / 100.0;
+    let seeds = flag("--seeds", 8).max(1);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_chaos.json".to_string());
+
+    let params = SynthParams {
+        nprocs: procs,
+        rounds,
+        ops_per_round: ops,
+        locals_per_round: locals,
+        ..Default::default()
+    };
+    let trace = synth_trace(&params, conflict);
+    let batch = AnalysisSession::new().run(&trace).diagnostics;
+    let wire: u64 = client::encode_events(&trace).iter().map(|f| f.len() as u64).sum();
+
+    println!(
+        "Chaos recovery benchmark: {} events/session ({} wire bytes), {} seed(s) per fault",
+        trace.total_events(),
+        wire,
+        seeds,
+    );
+    println!();
+    println!(
+        "{:>14} {:>6} {:>6} {:>9} {:>8} {:>8} {:>11} {:>11}",
+        "fault", "runs", "fired", "attempts", "resumes", "resent", "mean (ms)", "max (ms)"
+    );
+    println!("{}", "-".repeat(80));
+
+    let mut diverged = false;
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Clean baseline: durable submit, no proxy in the path.
+    {
+        let server = Server::bind("127.0.0.1:0", chaos_cfg()).expect("bind");
+        let addr = server.local_addr().to_string();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().expect("serve loop"));
+        let mut total = Duration::ZERO;
+        let mut max = Duration::ZERO;
+        let mut attempts = 0u64;
+        for seed in 0..seeds {
+            let t0 = Instant::now();
+            let (report, stats) =
+                client::submit_durable_tcp(&addr, &trace, &SessionOpts::default(), &policy(seed))
+                    .expect("baseline submit");
+            let wall = t0.elapsed();
+            total += wall;
+            max = max.max(wall);
+            attempts += stats.attempts as u64;
+            if report.findings != batch {
+                eprintln!("DIVERGENCE: baseline durable session differs from batch");
+                diverged = true;
+            }
+        }
+        handle.shutdown();
+        join.join().expect("server thread");
+        rows.push(Row {
+            kind: "none",
+            runs: seeds,
+            fired: 0,
+            attempts,
+            resumes: 0,
+            events_resent: 0,
+            mean_wall: total / seeds as u32,
+            max_wall: max,
+        });
+    }
+
+    for kind in FaultKind::ALL {
+        let mut total = Duration::ZERO;
+        let mut max = Duration::ZERO;
+        let mut fired = 0u64;
+        let mut attempts = 0u64;
+        let mut resumes = 0u64;
+        let mut resent = 0u64;
+        for seed in 0..seeds {
+            let server = Server::bind("127.0.0.1:0", chaos_cfg()).expect("bind");
+            let addr = server.local_addr().to_string();
+            let handle = server.handle();
+            let join = std::thread::spawn(move || server.run().expect("serve loop"));
+            let schedule = FaultSchedule::from_seed(seed, kind, wire);
+            let mut proxy = ChaosProxy::start(&addr, schedule).expect("start proxy");
+
+            let t0 = Instant::now();
+            let (report, stats) = client::submit_durable_tcp(
+                proxy.addr(),
+                &trace,
+                &SessionOpts::default(),
+                &policy(seed),
+            )
+            .unwrap_or_else(|e| panic!("{}/seed{seed}: submit failed: {e}", kind.name()));
+            let wall = t0.elapsed();
+
+            total += wall;
+            max = max.max(wall);
+            fired += proxy.fired() as u64;
+            attempts += stats.attempts as u64;
+            resumes += stats.resumes as u64;
+            resent += stats.events_resent;
+            if report.findings != batch {
+                eprintln!("DIVERGENCE: {}/seed{seed} differs from batch", kind.name());
+                diverged = true;
+            }
+            proxy.stop();
+            handle.shutdown();
+            join.join().expect("server thread");
+        }
+        rows.push(Row {
+            kind: kind.name(),
+            runs: seeds,
+            fired,
+            attempts,
+            resumes,
+            events_resent: resent,
+            mean_wall: total / seeds as u32,
+            max_wall: max,
+        });
+    }
+
+    for r in &rows {
+        println!(
+            "{:>14} {:>6} {:>6} {:>9} {:>8} {:>8} {:>11.2} {:>11.2}",
+            r.kind,
+            r.runs,
+            r.fired,
+            r.attempts,
+            r.resumes,
+            r.events_resent,
+            r.mean_wall.as_secs_f64() * 1e3,
+            r.max_wall.as_secs_f64() * 1e3,
+        );
+    }
+
+    let baseline_ms = rows[0].mean_wall.as_secs_f64() * 1e3;
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"chaos\",\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"nprocs\": {procs}, \"rounds\": {rounds}, \"ops_per_round\": {ops}, \
+         \"locals_per_round\": {locals}, \"conflict_fraction\": {conflict}, \
+         \"events_per_session\": {}, \"wire_bytes\": {wire}, \"seeds\": {seeds}}},\n",
+        trace.total_events()
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let mean_ms = r.mean_wall.as_secs_f64() * 1e3;
+        json.push_str(&format!(
+            "    {{\"fault\": \"{}\", \"runs\": {}, \"fired\": {}, \"attempts\": {}, \
+             \"resumes\": {}, \"events_resent\": {}, \"mean_wall_ms\": {:.3}, \
+             \"max_wall_ms\": {:.3}, \"recovery_overhead_ms\": {:.3}}}{}\n",
+            r.kind,
+            r.runs,
+            r.fired,
+            r.attempts,
+            r.resumes,
+            r.events_resent,
+            mean_ms,
+            r.max_wall.as_secs_f64() * 1e3,
+            (mean_ms - baseline_ms).max(0.0),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"diverged\": {diverged}\n"));
+    json.push_str("}\n");
+    std::fs::write(&out, &json).expect("write results");
+    println!();
+    println!("results written to {out}");
+
+    if diverged {
+        eprintln!("FAIL: at least one chaos run diverged from the batch report");
+        std::process::exit(1);
+    }
+    println!("OK: every chaos run ended batch-identical.");
+}

@@ -246,6 +246,26 @@ impl StreamingChecker {
         }
     }
 
+    /// Replays a recorded event stream — the recovery entry point. The
+    /// events must be in their original ingest order (e.g. read back
+    /// from a session journal); pushing them one by one rebuilds the
+    /// checker's exact mid-stream state, so a caller that sets the same
+    /// high watermark *before* replaying gets the same flushes and
+    /// evictions — and ultimately the byte-identical report — the
+    /// uninterrupted run would have produced. Returns the number of
+    /// events replayed.
+    pub fn replay<I>(&mut self, events: I) -> Result<u64, StreamError>
+    where
+        I: IntoIterator<Item = (Rank, EventKind, SourceLoc)>,
+    {
+        let mut n = 0u64;
+        for (rank, kind, loc) in events {
+            self.push(rank, kind, loc)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
     /// Advances each rank's consumed-event count after a drain.
     fn advance_consumed(&mut self, cuts: &[usize]) {
         for (c, n) in self.consumed.iter_mut().zip(cuts) {

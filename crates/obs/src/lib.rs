@@ -38,6 +38,32 @@ pub const MAX_SPANS: usize = 1 << 16;
 /// follows. Powers of four cover one event to tens of thousands.
 pub const HIST_BOUNDS: [u64; 9] = [1, 4, 16, 64, 256, 1024, 4096, 16384, 65536];
 
+/// Well-known counter names for the durability and recovery pipeline.
+///
+/// Counters are created on first use by name, so nothing *requires*
+/// these constants — but the retry/recovery/corruption counters are
+/// asserted on by tests and scraped by the chaos-smoke CI job, so their
+/// spellings are pinned here in one place instead of scattered across
+/// call sites.
+pub mod names {
+    /// Wire frames rejected for a CRC32 mismatch.
+    pub const FRAMES_CORRUPT: &str = "serve_frames_corrupt_total";
+    /// Durable sessions parked on disconnect, awaiting a `Resume`.
+    pub const SESSIONS_PARKED: &str = "serve_sessions_parked_total";
+    /// Parked sessions successfully resumed by a reconnecting client.
+    pub const SESSIONS_RESUMED: &str = "serve_sessions_resumed_total";
+    /// Sessions rebuilt from journals at daemon startup (`--recover`).
+    pub const SESSIONS_RECOVERED: &str = "serve_sessions_recovered_total";
+    /// Already-ingested events skipped during an idempotent re-send.
+    pub const EVENTS_DUPLICATE: &str = "serve_events_duplicate_total";
+    /// Journals whose torn tail was dropped during recovery.
+    pub const JOURNAL_TORN: &str = "serve_journal_torn_total";
+    /// Journal files recovery could not replay at all.
+    pub const JOURNAL_UNREADABLE: &str = "serve_journal_unreadable_total";
+    /// Parked sessions that outlived the resume grace and were salvaged.
+    pub const SESSIONS_SWEPT: &str = "serve_sessions_swept_total";
+}
+
 /// One finished span, as stored by the recorder.
 #[derive(Debug, Clone)]
 pub struct SpanRecord {

@@ -43,9 +43,14 @@ impl<W: Write> TraceFrameWriter<W> {
         self.events
     }
 
-    /// Ships one event.
+    /// Ships one event, numbered with the session's next sequence.
     pub fn event(&mut self, rank: Rank, kind: EventKind, loc: SourceLoc) -> io::Result<()> {
-        self.sink.write_all(&encode_frame(&Frame::Event { rank: rank.0, kind, loc }))?;
+        self.sink.write_all(&encode_frame(&Frame::Event {
+            seq: self.events,
+            rank: rank.0,
+            kind,
+            loc,
+        }))?;
         self.events += 1;
         Ok(())
     }

@@ -1,0 +1,347 @@
+//! An in-process TCP chaos proxy for exercising the durability layer.
+//!
+//! Sits between a client and the daemon, forwarding bytes in both
+//! directions, and injects exactly one fault at a seeded byte position
+//! in the client→server stream — a connection drop, a forwarding delay,
+//! an abrupt reset, a partial write, or a single flipped bit. After the
+//! fault fires once, every connection (including reconnects) passes
+//! through clean, so a correct retry/resume implementation always ends
+//! with the batch-identical report; the proxy only decides *where* the
+//! story gets interesting.
+//!
+//! Everything is deterministic under a seed: the fault position and the
+//! delay length come from [`FaultSchedule::from_seed`], never from a
+//! clock or an ambient RNG, so a failing schedule replays exactly.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// The five single-fault archetypes the chaos suite injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Discard the in-flight chunk and close both sides.
+    Drop,
+    /// Stall forwarding for the scheduled delay, then continue normally.
+    Delay,
+    /// Tear the connection down immediately, mid-chunk.
+    Reset,
+    /// Forward only half of the in-flight chunk, then close both sides.
+    PartialWrite,
+    /// Flip one bit of the in-flight chunk and keep forwarding.
+    BitFlip,
+}
+
+impl FaultKind {
+    /// Every fault kind, in schedule order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Drop,
+        FaultKind::Delay,
+        FaultKind::Reset,
+        FaultKind::PartialWrite,
+        FaultKind::BitFlip,
+    ];
+
+    /// Stable lowercase name (used in test labels and bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Reset => "reset",
+            FaultKind::PartialWrite => "partial-write",
+            FaultKind::BitFlip => "bit-flip",
+        }
+    }
+}
+
+/// One fault, fully determined: what, where in the byte stream, and (for
+/// delays) how long.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSchedule {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Fire once the client→server stream has carried this many bytes.
+    pub after_bytes: u64,
+    /// Stall length for [`FaultKind::Delay`]; also the bit offset source
+    /// for [`FaultKind::BitFlip`].
+    pub delay: Duration,
+    /// Which bit of the chunk to flip for [`FaultKind::BitFlip`].
+    pub bit: u32,
+}
+
+impl FaultSchedule {
+    /// Derives a schedule from a seed. The fault position is uniform in
+    /// `[32, max_pos)` — pass roughly half the expected stream size so
+    /// the fault reliably lands mid-stream.
+    pub fn from_seed(seed: u64, kind: FaultKind, max_pos: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hi = max_pos.max(33);
+        Self {
+            kind,
+            after_bytes: rng.gen_range(32..hi),
+            delay: Duration::from_millis(rng.gen_range(20..120)),
+            bit: rng.gen_range(0..8) as u32,
+        }
+    }
+}
+
+/// A running chaos proxy. Dropping it stops the accept loop.
+pub struct ChaosProxy {
+    addr: String,
+    shutdown: Arc<AtomicBool>,
+    fired: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on an ephemeral local port, forwarding every
+    /// connection to `upstream` and injecting `schedule`'s single fault.
+    pub fn start(upstream: &str, schedule: FaultSchedule) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?.to_string();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let fired = Arc::new(AtomicBool::new(false));
+        let upstream = upstream.to_string();
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let fired = Arc::clone(&fired);
+            thread::spawn(move || {
+                let mut pumps: Vec<JoinHandle<()>> = Vec::new();
+                for conn in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(client) = conn else { continue };
+                    let Ok(server) = TcpStream::connect(&upstream) else {
+                        let _ = client.shutdown(Shutdown::Both);
+                        continue;
+                    };
+                    // Client→server carries the fault; server→client is
+                    // a clean pump.
+                    let (c2s_c, c2s_s) = (client.try_clone(), server.try_clone());
+                    if let (Ok(cc), Ok(ss)) = (c2s_c, c2s_s) {
+                        let fired = Arc::clone(&fired);
+                        pumps.push(thread::spawn(move || {
+                            pump_faulty(cc, ss, schedule, &fired);
+                        }));
+                    }
+                    pumps.push(thread::spawn(move || {
+                        pump_clean(server, client);
+                    }));
+                    pumps.retain(|p| !p.is_finished());
+                }
+                for p in pumps {
+                    let _ = p.join();
+                }
+            })
+        };
+        Ok(Self { addr, shutdown, fired, accept_thread: Some(accept_thread) })
+    }
+
+    /// The proxy's listen address — point the client here.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the scheduled fault has fired yet.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting new connections (existing pumps drain on their
+    /// own as their sockets close).
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept.
+        let _ = TcpStream::connect(&self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Forwards `from` → `to` verbatim until either side closes.
+fn pump_clean(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = from.shutdown(Shutdown::Both);
+}
+
+/// Forwards `from` → `to`, injecting the scheduled fault once (globally
+/// across all connections, guarded by `fired`) when the cumulative byte
+/// count crosses `schedule.after_bytes`.
+fn pump_faulty(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    schedule: FaultSchedule,
+    fired: &AtomicBool,
+) {
+    let mut buf = [0u8; 4096];
+    let mut carried: u64 = 0;
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let crossing = carried < schedule.after_bytes && carried + n as u64 >= schedule.after_bytes;
+        carried += n as u64;
+        if crossing && !fired.swap(true, Ordering::SeqCst) {
+            match schedule.kind {
+                FaultKind::Drop => {
+                    // The chunk vanishes and the connection dies.
+                    break;
+                }
+                FaultKind::Delay => {
+                    thread::sleep(schedule.delay);
+                    if to.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                FaultKind::Reset => {
+                    let _ = to.shutdown(Shutdown::Both);
+                    let _ = from.shutdown(Shutdown::Both);
+                    return;
+                }
+                FaultKind::PartialWrite => {
+                    let _ = to.write_all(&buf[..n / 2]);
+                    break;
+                }
+                FaultKind::BitFlip => {
+                    let pos = (schedule.after_bytes % n as u64) as usize;
+                    buf[pos] ^= 1 << (schedule.bit % 8);
+                    if to.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+            }
+        }
+        if to.write_all(&buf[..n]).is_err() {
+            break;
+        }
+    }
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = from.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Spins up an echo server and checks the proxy forwards cleanly
+    /// when the fault position is never reached.
+    #[test]
+    fn proxy_passes_bytes_through_before_the_fault() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let up_addr = upstream.local_addr().unwrap().to_string();
+        let echo = thread::spawn(move || {
+            if let Ok((mut s, _)) = upstream.accept() {
+                let mut buf = [0u8; 64];
+                while let Ok(n) = s.read(&mut buf) {
+                    if n == 0 || s.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        let schedule = FaultSchedule {
+            kind: FaultKind::Drop,
+            after_bytes: 1 << 30, // effectively never
+            delay: Duration::ZERO,
+            bit: 0,
+        };
+        let mut proxy = ChaosProxy::start(&up_addr, schedule).unwrap();
+        let mut s = TcpStream::connect(proxy.addr()).unwrap();
+        s.write_all(b"ping").unwrap();
+        let mut back = [0u8; 4];
+        s.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"ping");
+        assert!(!proxy.fired());
+        drop(s);
+        proxy.stop();
+        let _ = echo.join();
+    }
+
+    /// The drop fault fires exactly once: the first connection dies at
+    /// the scheduled position, the second passes clean.
+    #[test]
+    fn fault_fires_once_then_passes_clean() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let up_addr = upstream.local_addr().unwrap().to_string();
+        // Echo upstream: the round trip on the second connection proves
+        // the whole proxied path is up before the proxy is stopped
+        // (otherwise stop() can race the accept of a backlogged
+        // connection and the sink would wait for it forever).
+        let sink = thread::spawn(move || {
+            for mut s in upstream.incoming().take(2).flatten() {
+                let mut buf = [0u8; 256];
+                while let Ok(n) = s.read(&mut buf) {
+                    if n == 0 || s.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        let schedule =
+            FaultSchedule { kind: FaultKind::Drop, after_bytes: 64, delay: Duration::ZERO, bit: 0 };
+        let mut proxy = ChaosProxy::start(&up_addr, schedule).unwrap();
+
+        let mut s = TcpStream::connect(proxy.addr()).unwrap();
+        s.set_write_timeout(Some(Duration::from_millis(500))).unwrap();
+        // Keep writing until the proxy kills the connection.
+        let mut died = false;
+        for _ in 0..1000 {
+            if s.write_all(&[0u8; 64]).is_err() {
+                died = true;
+                break;
+            }
+            // Death may lag the fault by a round trip, so keep writing.
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert!(proxy.fired(), "fault must have fired");
+        assert!(died, "faulted connection must die");
+
+        // A reconnect sails through — round-trip to prove it.
+        let mut s2 = TcpStream::connect(proxy.addr()).unwrap();
+        s2.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s2.write_all(&[1u8; 64]).unwrap();
+        let mut back = [0u8; 64];
+        s2.read_exact(&mut back).unwrap();
+        assert_eq!(back, [1u8; 64]);
+        drop(s2);
+        proxy.stop();
+        let _ = sink.join();
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        for seed in 0..32 {
+            let a = FaultSchedule::from_seed(seed, FaultKind::BitFlip, 10_000);
+            let b = FaultSchedule::from_seed(seed, FaultKind::BitFlip, 10_000);
+            assert_eq!(a.after_bytes, b.after_bytes);
+            assert_eq!(a.delay, b.delay);
+            assert_eq!(a.bit, b.bit);
+        }
+    }
+}

@@ -4,15 +4,32 @@
 //! event — ranks interleaved round-robin, the order events would arrive
 //! from live instrumentation — and returns the daemon's
 //! [`SessionReport`].
+//!
+//! Two submission modes:
+//!
+//! * [`submit_over`] / [`submit_tcp`] — one shot: any transport failure
+//!   is the caller's problem.
+//! * [`submit_durable_tcp`] — resilient: opens a *durable* session,
+//!   tracks the server's `Ack` offsets, and on any transport failure
+//!   reconnects with exponential backoff + deterministic jitter and a
+//!   `Resume{session, from_seq}`, re-sending only unacknowledged events.
+//!   Re-sent events the server already ingested are skipped server-side
+//!   (sequence numbers make redelivery idempotent), so the final report
+//!   is byte-identical to an uninterrupted run. If the server no longer
+//!   knows the session (`Gone`), the client falls back to a fresh
+//!   submission of the full trace — same report either way.
 
 use crate::proto::{write_frame, Frame, FrameReader, ProtoError, SessionOpts, PROTOCOL_VERSION};
 use crate::report::SessionReport;
 use mcc_types::Trace;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
+use std::thread;
+use std::time::{Duration, Instant};
 
 /// Why a submission failed.
 #[derive(Debug)]
@@ -27,6 +44,8 @@ pub enum ClientError {
     UnexpectedFrame(String),
     /// The `Report` payload did not parse as a [`SessionReport`].
     BadReport(String),
+    /// No complete reply arrived within the read deadline.
+    TimedOut,
 }
 
 impl fmt::Display for ClientError {
@@ -37,6 +56,7 @@ impl fmt::Display for ClientError {
             ClientError::Rejected(m) => write!(f, "server rejected the session: {m}"),
             ClientError::UnexpectedFrame(m) => write!(f, "unexpected frame from server: {m}"),
             ClientError::BadReport(m) => write!(f, "unparseable session report: {m}"),
+            ClientError::TimedOut => f.write_str("timed out waiting for the server's reply"),
         }
     }
 }
@@ -58,24 +78,78 @@ impl From<ProtoError> for ClientError {
     }
 }
 
-fn read_reply<S: Read>(reader: &mut FrameReader<S>) -> Result<Frame, ClientError> {
+/// Default bound on how long [`read_reply`] waits for a complete frame.
+const DEFAULT_REPLY_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Longest single pause between reply-read retries.
+const MAX_IDLE_PAUSE: Duration = Duration::from_millis(50);
+
+/// Reads the next meaningful frame, skipping `Ack`s (they are progress,
+/// not replies). Idle reads — a socket read timeout before a complete
+/// frame — back off with a bounded sleep instead of busy-spinning, and
+/// give up with [`ClientError::TimedOut`] once `deadline` has elapsed.
+fn read_reply<S: Read>(
+    reader: &mut FrameReader<S>,
+    deadline: Duration,
+) -> Result<Frame, ClientError> {
+    let started = Instant::now();
+    let mut pause = Duration::from_millis(1);
     loop {
         match reader.next_frame() {
+            Ok(Some(Frame::Ack { .. })) => {}
             Ok(Some(f)) => return Ok(f),
             Ok(None) => {
                 return Err(ClientError::UnexpectedFrame(
                     "server closed the connection without replying".into(),
                 ))
             }
-            Err(ProtoError::Idle) => {} // no read timeout set by default; retry regardless
+            Err(ProtoError::Idle) => {
+                if started.elapsed() >= deadline {
+                    return Err(ClientError::TimedOut);
+                }
+                thread::sleep(pause);
+                pause = (pause * 2).min(MAX_IDLE_PAUSE);
+            }
             Err(e) => return Err(e.into()),
         }
     }
 }
 
+/// Flattens a trace into its wire form: ranks interleaved round-robin,
+/// each event pre-encoded as a sequence-numbered `Event` frame. Index
+/// `i` of the result carries `seq == i`, so a resume from `Ack{through}`
+/// is just a slice from `through`.
+pub fn encode_events(trace: &Trace) -> Vec<Vec<u8>> {
+    let mut out = Vec::with_capacity(trace.total_events());
+    let mut idx = vec![0usize; trace.nprocs()];
+    let mut remaining = trace.total_events();
+    let mut seq = 0u64;
+    while remaining > 0 {
+        #[allow(clippy::needless_range_loop)] // r doubles as the rank id
+        for r in 0..trace.nprocs() {
+            if idx[r] < trace.procs[r].events.len() {
+                let ev = &trace.procs[r].events[idx[r]];
+                let frame = Frame::Event {
+                    seq,
+                    rank: r as u32,
+                    kind: ev.kind.clone(),
+                    loc: trace.procs[r].loc(ev.loc),
+                };
+                out.push(crate::proto::encode_frame(&frame));
+                seq += 1;
+                idx[r] += 1;
+                remaining -= 1;
+            }
+        }
+    }
+    out
+}
+
 /// Streams `trace` over an established connection and returns the
 /// server's report. Works over any `Read + Write` stream — TCP, Unix
-/// socket, or an in-memory pair in tests.
+/// socket, or an in-memory pair in tests. One shot: transport failures
+/// are returned, not retried (see [`submit_durable_tcp`] for the
+/// resilient path).
 pub fn submit_over<S: Read + Write>(
     stream: S,
     trace: &Trace,
@@ -90,43 +164,346 @@ pub fn submit_over<S: Read + Write>(
             opts: opts.clone(),
         },
     )?;
-    match read_reply(&mut reader)? {
+    match read_reply(&mut reader, DEFAULT_REPLY_DEADLINE)? {
         Frame::Welcome { .. } => {}
         Frame::Error { message } => return Err(ClientError::Rejected(message)),
         other => return Err(ClientError::UnexpectedFrame(format!("{other:?}"))),
     }
 
-    // Interleave ranks round-robin, batching writes so a large trace does
-    // not pay one syscall per event.
+    // Batch writes so a large trace does not pay one syscall per event.
+    let encoded = encode_events(trace);
     let mut batch: Vec<u8> = Vec::with_capacity(1 << 16);
-    let mut idx = vec![0usize; trace.nprocs()];
-    let mut remaining = trace.total_events();
-    while remaining > 0 {
-        #[allow(clippy::needless_range_loop)] // r doubles as the rank id
-        for r in 0..trace.nprocs() {
-            if idx[r] < trace.procs[r].events.len() {
-                let ev = &trace.procs[r].events[idx[r]];
-                let frame = Frame::Event {
-                    rank: r as u32,
-                    kind: ev.kind.clone(),
-                    loc: trace.procs[r].loc(ev.loc),
-                };
-                batch.extend_from_slice(&crate::proto::encode_frame(&frame));
-                idx[r] += 1;
-                remaining -= 1;
-            }
-        }
-        if batch.len() >= (1 << 18) || remaining == 0 {
+    for (i, bytes) in encoded.iter().enumerate() {
+        batch.extend_from_slice(bytes);
+        if batch.len() >= (1 << 18) || i + 1 == encoded.len() {
             reader.get_mut().write_all(&batch)?;
             batch.clear();
         }
     }
     write_frame(reader.get_mut(), &Frame::Finish)?;
 
-    match read_reply(&mut reader)? {
+    match read_reply(&mut reader, DEFAULT_REPLY_DEADLINE)? {
         Frame::Report { json } => SessionReport::from_json(&json).map_err(ClientError::BadReport),
         Frame::Error { message } => Err(ClientError::Rejected(message)),
         other => Err(ClientError::UnexpectedFrame(format!("{other:?}"))),
+    }
+}
+
+/// Reconnect/backoff policy for [`submit_durable_tcp`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Reconnect attempts after the first connection (the retry budget).
+    pub retries: u32,
+    /// First backoff before a reconnect; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// How long to wait for any single server reply.
+    pub reply_deadline: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+    /// Optional pacing: sleep this long after every event frame (written
+    /// unbatched). Slows the stream down deliberately — e.g. so a test
+    /// harness has a window to kill the daemon mid-session.
+    pub throttle: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            retries: 8,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            reply_deadline: Duration::from_secs(30),
+            jitter_seed: 0x5EED,
+            throttle: None,
+        }
+    }
+}
+
+/// What a durable submission went through to get its report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitStats {
+    /// Connections opened (1 for an undisturbed run).
+    pub attempts: u32,
+    /// Successful `Resume` handshakes.
+    pub resumes: u32,
+    /// Events re-sent beyond the first transmission.
+    pub events_resent: u64,
+    /// Wall-clock time of the whole submission.
+    pub wall: Duration,
+}
+
+/// How one connection attempt ended.
+enum Attempt {
+    /// The report arrived.
+    Done(SessionReport),
+    /// Transport trouble — reconnect and resume.
+    Retry(ClientError),
+    /// No point retrying (the server said no, or sent nonsense).
+    Fatal(ClientError),
+}
+
+/// Streams `trace` to a TCP daemon as a durable session, riding out
+/// connection drops, resets, and corrupt transports by resuming with
+/// exponential backoff + jitter under `policy`'s retry budget. Returns
+/// the report and what it took to get it.
+pub fn submit_durable_tcp(
+    addr: &str,
+    trace: &Trace,
+    opts: &SessionOpts,
+    policy: &RetryPolicy,
+) -> Result<(SessionReport, SubmitStats), ClientError> {
+    let tick = Duration::from_millis(5);
+    submit_durable_with(
+        || {
+            let s = TcpStream::connect(addr)?;
+            // A short read timeout keeps ack-draining cheap and lets the
+            // reply deadline fire; the write timeout bounds a black hole.
+            s.set_read_timeout(Some(tick))?;
+            s.set_write_timeout(Some(Duration::from_secs(10)))?;
+            Ok(s)
+        },
+        trace,
+        opts,
+        policy,
+    )
+}
+
+/// [`submit_durable_tcp`] over an arbitrary connector — each call must
+/// yield a fresh connection to the same server, configured with a small
+/// read timeout (so idle reads surface instead of blocking forever).
+pub fn submit_durable_with<S, C>(
+    mut connect: C,
+    trace: &Trace,
+    opts: &SessionOpts,
+    policy: &RetryPolicy,
+) -> Result<(SessionReport, SubmitStats), ClientError>
+where
+    S: Read + Write,
+    C: FnMut() -> io::Result<S>,
+{
+    let started = Instant::now();
+    let mut opts = opts.clone();
+    opts.durable = true;
+    let encoded = encode_events(trace);
+    let mut stats = SubmitStats::default();
+    let mut rng = StdRng::seed_from_u64(policy.jitter_seed);
+    let mut session: Option<u64> = None;
+    let mut acked: u64 = 0;
+    let mut backoff = policy.base_backoff;
+    let mut retries_left = policy.retries;
+
+    loop {
+        stats.attempts += 1;
+        let outcome = match connect() {
+            Ok(stream) => one_attempt(
+                stream,
+                trace,
+                &opts,
+                policy,
+                &encoded,
+                &mut session,
+                &mut acked,
+                &mut stats,
+            ),
+            Err(e) => Attempt::Retry(ClientError::Io(e)),
+        };
+        match outcome {
+            Attempt::Done(report) => {
+                stats.wall = started.elapsed();
+                return Ok((report, stats));
+            }
+            Attempt::Fatal(e) => return Err(e),
+            Attempt::Retry(e) => {
+                if retries_left == 0 {
+                    return Err(e);
+                }
+                retries_left -= 1;
+                let jitter_ms = rng.gen_range(0..(backoff.as_millis() as u64).max(1));
+                thread::sleep(backoff + Duration::from_millis(jitter_ms));
+                backoff = (backoff * 2).min(policy.max_backoff);
+            }
+        }
+    }
+}
+
+/// One connection's worth of the durable protocol: handshake (Hello or
+/// Resume), stream unacked events, Finish, wait for the Report.
+#[allow(clippy::too_many_arguments)]
+fn one_attempt<S: Read + Write>(
+    stream: S,
+    trace: &Trace,
+    opts: &SessionOpts,
+    policy: &RetryPolicy,
+    encoded: &[Vec<u8>],
+    session: &mut Option<u64>,
+    acked: &mut u64,
+    stats: &mut SubmitStats,
+) -> Attempt {
+    let mut reader = FrameReader::new(stream);
+
+    // Handshake.
+    if let Some(id) = *session {
+        if let Err(e) =
+            write_frame(reader.get_mut(), &Frame::Resume { session: id, from_seq: *acked })
+        {
+            return Attempt::Retry(e.into());
+        }
+        match read_reply(&mut reader, policy.reply_deadline) {
+            Ok(Frame::Welcome { .. }) => {}
+            Ok(Frame::Gone { .. }) => {
+                // The server lost the session (expired, or a crash with
+                // no journal); start over with the full trace.
+                *session = None;
+                *acked = 0;
+                return Attempt::Retry(ClientError::Rejected(format!(
+                    "session {id} is gone; resubmitting from scratch"
+                )));
+            }
+            // An `Error` here can be the server genuinely refusing — or
+            // the echo of a transport-corrupted `Resume`. Durable mode
+            // retries either way; the budget bounds a hard refusal.
+            Ok(Frame::Error { message }) => return Attempt::Retry(ClientError::Rejected(message)),
+            Ok(other) => return Attempt::Fatal(ClientError::UnexpectedFrame(format!("{other:?}"))),
+            Err(e @ ClientError::BadReport(_)) => return Attempt::Fatal(e),
+            Err(e) => return Attempt::Retry(e),
+        }
+        stats.resumes += 1;
+        // Welcome after a Resume is followed by the server's Ack offset
+        // — or directly by the Report if the session already completed.
+        match next_progress_frame(&mut reader, policy.reply_deadline) {
+            Ok(Frame::Ack { through }) => *acked = (*acked).max(through),
+            Ok(Frame::Report { json }) => {
+                return match SessionReport::from_json(&json) {
+                    Ok(r) => Attempt::Done(r),
+                    Err(m) => Attempt::Fatal(ClientError::BadReport(m)),
+                }
+            }
+            Ok(Frame::Error { message }) => return Attempt::Retry(ClientError::Rejected(message)),
+            Ok(other) => return Attempt::Fatal(ClientError::UnexpectedFrame(format!("{other:?}"))),
+            Err(e) => return Attempt::Retry(e),
+        }
+    } else {
+        let hello = Frame::Hello {
+            version: PROTOCOL_VERSION,
+            nprocs: trace.nprocs() as u32,
+            opts: opts.clone(),
+        };
+        if let Err(e) = write_frame(reader.get_mut(), &hello) {
+            return Attempt::Retry(e.into());
+        }
+        match read_reply(&mut reader, policy.reply_deadline) {
+            Ok(Frame::Welcome { session: id, .. }) => *session = Some(id),
+            // Could be a real refusal (bad version) or the echo of a
+            // `Hello` the transport corrupted — retry; the budget
+            // bounds a hard refusal.
+            Ok(Frame::Error { message }) => return Attempt::Retry(ClientError::Rejected(message)),
+            Ok(other) => return Attempt::Fatal(ClientError::UnexpectedFrame(format!("{other:?}"))),
+            Err(e @ ClientError::BadReport(_)) => return Attempt::Fatal(e),
+            Err(e) => return Attempt::Retry(e),
+        }
+    }
+
+    // Stream every event the server has not acknowledged.
+    let from = *acked as usize;
+    if stats.attempts > 1 {
+        stats.events_resent += (encoded.len() - from.min(encoded.len())) as u64;
+    }
+    let mut batch: Vec<u8> = Vec::with_capacity(1 << 16);
+    for (i, bytes) in encoded.iter().enumerate().skip(from) {
+        if let Some(pace) = policy.throttle {
+            // Paced mode: one frame per write, so the stream has a
+            // steady, interruptible cadence.
+            let paced = reader.get_mut().write_all(bytes).and_then(|_| reader.get_mut().flush());
+            if let Err(e) = paced {
+                return Attempt::Retry(e.into());
+            }
+            thread::sleep(pace);
+            continue;
+        }
+        batch.extend_from_slice(bytes);
+        if batch.len() >= (1 << 18) || i + 1 == encoded.len() {
+            if let Err(e) = reader.get_mut().write_all(&batch) {
+                return Attempt::Retry(e.into());
+            }
+            batch.clear();
+            // Drain any Acks the server pushed while we were writing —
+            // both to advance the resume offset and to keep the socket
+            // from filling up in either direction.
+            if let Err(e) = drain_acks(&mut reader, acked) {
+                return e;
+            }
+        }
+    }
+    if let Err(e) = write_frame(reader.get_mut(), &Frame::Finish) {
+        return Attempt::Retry(e.into());
+    }
+
+    // Wait for the report, skipping stray Acks.
+    match read_reply(&mut reader, policy.reply_deadline) {
+        Ok(Frame::Report { json }) => match SessionReport::from_json(&json) {
+            Ok(r) => Attempt::Done(r),
+            Err(m) => Attempt::Fatal(ClientError::BadReport(m)),
+        },
+        Ok(Frame::Error { message }) => {
+            // The server closed the session on us (corrupt frame, gap);
+            // it parked or retired it, so a resume can still succeed.
+            Attempt::Retry(ClientError::Rejected(message))
+        }
+        Ok(other) => Attempt::Fatal(ClientError::UnexpectedFrame(format!("{other:?}"))),
+        Err(e @ (ClientError::Rejected(_) | ClientError::BadReport(_))) => Attempt::Fatal(e),
+        Err(e) => Attempt::Retry(e),
+    }
+}
+
+/// Like [`read_reply`] but returns `Ack` frames instead of skipping them
+/// (the post-resume handshake needs the offset).
+fn next_progress_frame<S: Read>(
+    reader: &mut FrameReader<S>,
+    deadline: Duration,
+) -> Result<Frame, ClientError> {
+    let started = Instant::now();
+    let mut pause = Duration::from_millis(1);
+    loop {
+        match reader.next_frame() {
+            Ok(Some(f)) => return Ok(f),
+            Ok(None) => {
+                return Err(ClientError::UnexpectedFrame(
+                    "server closed the connection without replying".into(),
+                ))
+            }
+            Err(ProtoError::Idle) => {
+                if started.elapsed() >= deadline {
+                    return Err(ClientError::TimedOut);
+                }
+                thread::sleep(pause);
+                pause = (pause * 2).min(MAX_IDLE_PAUSE);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Consumes whatever frames are already readable without blocking past
+/// one idle read. `Ack`s advance the resume offset; a server `Error` or
+/// a closed/corrupt stream aborts the attempt (retryably).
+fn drain_acks<S: Read>(reader: &mut FrameReader<S>, acked: &mut u64) -> Result<(), Attempt> {
+    loop {
+        match reader.next_frame() {
+            Ok(Some(Frame::Ack { through })) => *acked = (*acked).max(through),
+            Ok(Some(Frame::Error { message })) => {
+                return Err(Attempt::Retry(ClientError::Rejected(message)))
+            }
+            Ok(Some(_)) => {} // nothing else mid-stream is actionable
+            Ok(None) => {
+                return Err(Attempt::Retry(ClientError::UnexpectedFrame(
+                    "server closed the connection mid-stream".into(),
+                )))
+            }
+            Err(ProtoError::Idle) => return Ok(()),
+            Err(e) => return Err(Attempt::Retry(e.into())),
+        }
     }
 }
 
@@ -154,7 +531,7 @@ pub fn submit_unix(
 pub fn stats_over<S: Read + Write>(stream: S) -> Result<String, ClientError> {
     let mut reader = FrameReader::new(stream);
     write_frame(reader.get_mut(), &Frame::Stats)?;
-    match read_reply(&mut reader)? {
+    match read_reply(&mut reader, DEFAULT_REPLY_DEADLINE)? {
         Frame::StatsReport { json } => Ok(json),
         Frame::Error { message } => Err(ClientError::Rejected(message)),
         other => Err(ClientError::UnexpectedFrame(format!("{other:?}"))),
@@ -177,7 +554,7 @@ pub fn stats_unix(path: &str) -> Result<String, ClientError> {
 pub fn metrics_over<S: Read + Write>(stream: S) -> Result<String, ClientError> {
     let mut reader = FrameReader::new(stream);
     write_frame(reader.get_mut(), &Frame::Metrics)?;
-    match read_reply(&mut reader)? {
+    match read_reply(&mut reader, DEFAULT_REPLY_DEADLINE)? {
         Frame::MetricsReport { text } => Ok(text),
         Frame::Error { message } => Err(ClientError::Rejected(message)),
         other => Err(ClientError::UnexpectedFrame(format!("{other:?}"))),

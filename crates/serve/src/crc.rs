@@ -1,0 +1,101 @@
+//! CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the
+//! integrity check shared by the wire protocol ([`crate::proto`]) and the
+//! session journal ([`crate::journal`]).
+//!
+//! Implemented in-repo because the workspace builds without crates.io
+//! access; a 256-entry table computed at compile time keeps the hot path
+//! at one lookup per byte, which is plenty for frame-sized payloads.
+
+/// The reflected CRC32 lookup table, one entry per byte value.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// A rolling CRC32, for checksumming data in pieces.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh checksum.
+    pub fn new() -> Self {
+        Self { state: !0 }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state >> 8) ^ TABLE[((self.state ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// The final checksum value.
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The catalogue value for the nine-byte ASCII string "123456789"
+    /// (every CRC32 reference lists it).
+    #[test]
+    fn check_value_matches_the_ieee_reference() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn rolling_equals_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::new();
+        for chunk in data.chunks(7) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flips_always_change_the_checksum() {
+        let data = b"frame payload under test";
+        let base = crc32(data);
+        let mut copy = data.to_vec();
+        for pos in 0..copy.len() {
+            for bit in 0..8 {
+                copy[pos] ^= 1 << bit;
+                assert_ne!(crc32(&copy), base, "flip at byte {pos} bit {bit} went undetected");
+                copy[pos] ^= 1 << bit;
+            }
+        }
+    }
+}

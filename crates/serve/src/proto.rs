@@ -1,20 +1,36 @@
 //! The wire protocol of the checker daemon.
 //!
-//! Frames are length-prefixed JSON: a 4-byte little-endian payload length
-//! followed by one serde-serialized [`Frame`]. The length prefix makes
-//! truncation detectable (a stream that ends inside a frame is a protocol
-//! error, not a silent partial parse) and caps per-frame memory at
-//! [`MAX_FRAME_LEN`] before any payload byte is even read.
+//! Frames are length-prefixed, checksummed JSON: a 4-byte little-endian
+//! payload length, a 4-byte little-endian CRC32 over the length bytes
+//! plus the payload, then one serde-serialized [`Frame`]. The length
+//! prefix makes truncation detectable (a stream that ends inside a frame
+//! is a protocol error, not a silent partial parse) and caps per-frame
+//! memory at [`MAX_FRAME_LEN`] before any payload byte is even read; the
+//! checksum makes *corruption* detectable — a flipped bit anywhere in
+//! the header or payload surfaces as [`ProtoError::Corrupt`], answered
+//! by the server with a typed `Error` frame, never a parse failure.
 //!
 //! Grammar of a session, client side:
 //!
 //! ```text
 //! Hello{version, nprocs, opts}          →
 //!                                       ← Welcome{version, session} | Error{message}
-//! Event{rank, kind, loc} ... (repeated) →
+//! Event{seq, rank, kind, loc} ...       →
+//!                                       ← Ack{through}   (durable sessions, periodic)
 //! Finish                                →
 //!                                       ← Report{json}
 //! ```
+//!
+//! A client that lost its connection mid-session reopens one and sends
+//! `Resume{session, from_seq}` instead of `Hello`; the server answers
+//! `Welcome` followed by `Ack{through}` naming the number of events it
+//! has durably ingested, and the client re-sends only events with
+//! `seq >= through`. Re-sent events the server already holds are skipped
+//! (`seq` makes redelivery idempotent), so a client may always replay
+//! from its last known offset. A `Resume` naming a session the server
+//! no longer holds draws a typed `Gone` frame. If the session had
+//! already completed, the server replies `Welcome` then the cached
+//! `Report` immediately — report delivery is idempotent too.
 //!
 //! `Stats` may be sent instead of (or during) a session and is answered
 //! with `StatsReport{json}`; likewise `Metrics` is answered with
@@ -28,7 +44,7 @@
 //! server's [`SERVER_CAPABILITIES`], and a client simply avoids verbs the
 //! server did not announce. This keeps old clients working against new
 //! servers and vice versa (an unknown verb still draws an `Error` frame,
-//! never a closed connection).
+//! never a closed connection). `resume` covers `Resume`/`Ack`/`Gone`.
 
 use mcc_types::{EventKind, SourceLoc};
 use serde::{Deserialize, Serialize};
@@ -39,11 +55,16 @@ use std::io::{self, Read, Write};
 pub const PROTOCOL_VERSION: u32 = 1;
 
 /// Capabilities this server build announces in its `Welcome` frame.
-/// `metrics` means the `Metrics` verb is answered with `MetricsReport`.
-pub const SERVER_CAPABILITIES: &[&str] = &["metrics"];
+/// `metrics` means the `Metrics` verb is answered with `MetricsReport`;
+/// `resume` means durable sessions, `Resume`, `Ack`, and `Gone` are
+/// understood; `crc32` means every frame carries the checksummed header.
+pub const SERVER_CAPABILITIES: &[&str] = &["metrics", "resume", "crc32"];
 
 /// Hard cap on a single frame's payload, applied before reading it.
 pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Bytes of frame header: 4-byte length, 4-byte CRC32.
+pub const FRAME_HEADER_LEN: usize = 8;
 
 /// Largest world size a `Hello` may announce.
 pub const MAX_RANKS: u32 = 4096;
@@ -56,11 +77,17 @@ pub struct SessionOpts {
     /// Requested buffered-event cap; `0` accepts the server default. The
     /// server never raises its own hard cap for a client.
     pub max_buffered: u32,
+    /// Ask the server to keep the session resumable: a dropped
+    /// connection *parks* the session (journaled to disk when the daemon
+    /// runs with a journal directory) instead of salvaging it, and a
+    /// later `Resume` picks up exactly where the acknowledged stream
+    /// left off.
+    pub durable: bool,
 }
 
 impl Default for SessionOpts {
     fn default() -> Self {
-        Self { threads: 1, max_buffered: 0 }
+        Self { threads: 1, max_buffered: 0, durable: false }
     }
 }
 
@@ -76,7 +103,7 @@ pub enum Frame {
         /// Requested session options.
         opts: SessionOpts,
     },
-    /// Accepts a `Hello`.
+    /// Accepts a `Hello` or a `Resume`.
     Welcome {
         /// The server's protocol version.
         version: u32,
@@ -88,6 +115,11 @@ pub enum Frame {
     },
     /// One trace event from one rank's instrumentation stream.
     Event {
+        /// Position of this event in the session's whole stream,
+        /// starting at 0 and dense. The server skips events it already
+        /// ingested (`seq` below the ack offset), which makes re-sending
+        /// after a reconnect idempotent.
+        seq: u64,
         /// The originating rank.
         rank: u32,
         /// The event.
@@ -97,6 +129,29 @@ pub enum Frame {
     },
     /// Ends the stream; the server answers with `Report`.
     Finish,
+    /// Server → client: all events with `seq < through` are durably
+    /// ingested (journaled, when the daemon has a journal directory) and
+    /// need never be re-sent. Sent periodically on durable sessions and
+    /// once immediately after the `Welcome` that answers a `Resume`.
+    Ack {
+        /// Count of durably ingested events.
+        through: u64,
+    },
+    /// Client → server on a fresh connection: reattach to a parked
+    /// session instead of opening a new one.
+    Resume {
+        /// The session id from the original `Welcome`.
+        session: u64,
+        /// Lowest sequence number the client can still re-send (0 for a
+        /// client holding its full trace).
+        from_seq: u64,
+    },
+    /// The server no longer holds the session a `Resume` named (it was
+    /// salvaged, expired, or never existed).
+    Gone {
+        /// The session id the client asked for.
+        session: u64,
+    },
     /// Requests the supervisor's state; answered with `StatsReport`.
     Stats,
     /// The final (or salvaged) session report.
@@ -138,6 +193,16 @@ pub enum ProtoError {
     },
     /// The length prefix exceeds [`MAX_FRAME_LEN`].
     TooLarge(usize),
+    /// The frame's CRC32 does not match its contents — the transport
+    /// corrupted it (or the stream lost frame synchronization). After
+    /// this the stream cannot be trusted; the connection must be
+    /// re-established.
+    Corrupt {
+        /// Checksum the header announced.
+        expected: u32,
+        /// Checksum of the bytes actually received.
+        got: u32,
+    },
     /// The payload is not a valid frame.
     Malformed(String),
     /// A read timed out before a complete frame arrived; buffered partial
@@ -155,6 +220,9 @@ impl fmt::Display for ProtoError {
             ProtoError::TooLarge(n) => {
                 write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_LEN}-byte cap")
             }
+            ProtoError::Corrupt { expected, got } => {
+                write!(f, "corrupt frame: CRC32 {got:#010x} != announced {expected:#010x}")
+            }
             ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
             ProtoError::Idle => f.write_str("read timed out before a complete frame"),
         }
@@ -169,13 +237,60 @@ impl From<io::Error> for ProtoError {
     }
 }
 
-/// Encodes one frame: 4-byte little-endian length, then the JSON payload.
-pub fn encode_frame(f: &Frame) -> Vec<u8> {
-    let payload = serde_json::to_vec(f).expect("frame serialization is infallible");
-    let mut out = Vec::with_capacity(4 + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&payload);
+/// Wraps an arbitrary payload in the wire framing: 4-byte little-endian
+/// length, 4-byte little-endian CRC32 over length-bytes + payload, then
+/// the payload. Shared by the socket protocol and the on-disk journal.
+pub fn frame_payload(payload: &[u8]) -> Vec<u8> {
+    let len_bytes = (payload.len() as u32).to_le_bytes();
+    let mut c = crate::crc::Crc32::new();
+    c.update(&len_bytes);
+    c.update(payload);
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&len_bytes);
+    out.extend_from_slice(&c.finish().to_le_bytes());
+    out.extend_from_slice(payload);
     out
+}
+
+/// Attempts to extract the framed payload at the head of `buf`.
+/// `Ok(None)` means more bytes are needed; `Ok(Some((payload, used)))`
+/// consumed `used` bytes. Oversized headers and checksum mismatches are
+/// errors — garbage can never decode as a payload.
+pub fn try_decode_payload(buf: &[u8]) -> Result<Option<(&[u8], usize)>, ProtoError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtoError::TooLarge(len));
+    }
+    if buf.len() < FRAME_HEADER_LEN + len {
+        return Ok(None);
+    }
+    let expected = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    let payload = &buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len];
+    let mut c = crate::crc::Crc32::new();
+    c.update(&buf[0..4]);
+    c.update(payload);
+    let got = c.finish();
+    if got != expected {
+        return Err(ProtoError::Corrupt { expected, got });
+    }
+    Ok(Some((payload, FRAME_HEADER_LEN + len)))
+}
+
+/// Encodes one frame with the length + CRC32 header.
+pub fn encode_frame(f: &Frame) -> Vec<u8> {
+    // Serializing our own enum through the in-repo serde shim cannot
+    // fail, but a typed fallback beats aborting a daemon thread if that
+    // ever changes: an undecodable frame still reaches the peer as a
+    // well-formed Error frame.
+    let payload = match serde_json::to_vec(f) {
+        Ok(p) => p,
+        Err(e) => serde_json::to_vec(&Frame::Error { message: format!("unencodable frame: {e}") })
+            .unwrap_or_default(),
+    };
+    frame_payload(&payload)
 }
 
 /// Writes one frame and flushes.
@@ -187,30 +302,23 @@ pub fn write_frame(w: &mut impl Write, f: &Frame) -> io::Result<()> {
 /// How many bytes the frame at the head of `buf` needs in total.
 fn needed(buf: &[u8]) -> usize {
     if buf.len() < 4 {
-        4
+        FRAME_HEADER_LEN
     } else {
-        4 + u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize
+        FRAME_HEADER_LEN + u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize
     }
 }
 
 /// Attempts to decode the frame at the head of `buf`. `Ok(None)` means
 /// more bytes are needed; `Ok(Some((frame, used)))` consumed `used`
-/// bytes. Oversized or malformed frames are errors — garbage can never
-/// decode as a frame.
+/// bytes. Oversized, corrupt, or malformed frames are errors — garbage
+/// can never decode as a frame.
 pub fn try_decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
-    if buf.len() < 4 {
+    let Some((payload, used)) = try_decode_payload(buf)? else {
         return Ok(None);
-    }
-    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
-    if len > MAX_FRAME_LEN {
-        return Err(ProtoError::TooLarge(len));
-    }
-    if buf.len() < 4 + len {
-        return Ok(None);
-    }
-    let frame = serde_json::from_slice(&buf[4..4 + len])
-        .map_err(|e| ProtoError::Malformed(e.to_string()))?;
-    Ok(Some((frame, 4 + len)))
+    };
+    let frame =
+        serde_json::from_slice(payload).map_err(|e| ProtoError::Malformed(e.to_string()))?;
+    Ok(Some((frame, used)))
 }
 
 /// Decodes one complete frame from `buf`, rejecting truncation: a buffer
@@ -290,6 +398,7 @@ mod tests {
                 capabilities: SERVER_CAPABILITIES.iter().map(|s| s.to_string()).collect(),
             },
             Frame::Event {
+                seq: 42,
                 rank: 2,
                 kind: EventKind::WinCreate {
                     win: WinId(0),
@@ -300,6 +409,9 @@ mod tests {
                 loc: SourceLoc::new("app.c", 12, "main"),
             },
             Frame::Finish,
+            Frame::Ack { through: 1024 },
+            Frame::Resume { session: 7, from_seq: 256 },
+            Frame::Gone { session: 9 },
             Frame::Stats,
             Frame::Report { json: "{\"x\":1}".into() },
             Frame::StatsReport { json: "{}".into() },
@@ -340,10 +452,51 @@ mod tests {
     }
 
     #[test]
-    fn garbage_payload_is_malformed() {
+    fn garbage_payload_is_corrupt_not_malformed() {
+        // Four bytes that were never framed: the CRC stage rejects them
+        // before the JSON parser ever runs.
         let mut bytes = 4u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 4]); // wrong CRC
         bytes.extend_from_slice(b"!!!!");
+        assert!(matches!(decode_frame(&bytes), Err(ProtoError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn valid_checksum_over_non_frame_json_is_malformed() {
+        // A correctly framed payload that is not a Frame: the CRC passes,
+        // the parse is the typed failure.
+        let bytes = frame_payload(b"{\"NotAFrame\":1}");
         assert!(matches!(decode_frame(&bytes), Err(ProtoError::Malformed(_))));
+    }
+
+    /// Flip any single bit of an encoded frame: the decode must fail with
+    /// a typed error (corrupt, oversized, or truncated-after-length-grew)
+    /// — never decode to a different frame, never panic.
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let original = Frame::Event {
+            seq: 3,
+            rank: 1,
+            kind: EventKind::Barrier { comm: CommId::WORLD },
+            loc: SourceLoc::new("flip.c", 9, "main"),
+        };
+        let bytes = encode_frame(&original);
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut copy = bytes.clone();
+                copy[pos] ^= 1 << bit;
+                match try_decode(&copy) {
+                    Ok(Some((frame, _))) => {
+                        panic!("flip at {pos}.{bit} decoded as {frame:?}")
+                    }
+                    // A flip in the length prefix can make the frame
+                    // *appear* longer than the buffer (needs more bytes)
+                    // or oversized; everything else is a CRC mismatch.
+                    Ok(None) | Err(ProtoError::Corrupt { .. }) | Err(ProtoError::TooLarge(_)) => {}
+                    Err(other) => panic!("flip at {pos}.{bit}: unexpected error {other}"),
+                }
+            }
+        }
     }
 
     #[test]

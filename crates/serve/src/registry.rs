@@ -1,16 +1,26 @@
 //! The supervisor's session registry.
 //!
 //! Every accepted session registers here and is tracked until it ends —
-//! completed (client sent `Finish`), or salvaged (client vanished
-//! mid-stream, idle timeout, or the connection thread panicked). The
-//! [`SessionGuard`] unregisters on `Drop`, so a session can never leak
-//! whatever path its connection thread takes; the `STATS` verb renders
-//! the registry as JSON.
+//! completed (client sent `Finish`), salvaged (non-durable client
+//! vanished mid-stream, idle timeout, or the connection thread
+//! panicked), or *parked*: a durable session whose connection died keeps
+//! its live [`StreamingChecker`] (and open journal) in the registry for
+//! a grace period, waiting for a `Resume`. The [`SessionGuard`]
+//! unregisters on `Drop`, so a session can never leak whatever path its
+//! connection thread takes; the `STATS` verb renders the registry as
+//! JSON.
+//!
+//! Completed durable sessions *retire* their report JSON here for a
+//! while, so a client whose connection died between the server sending
+//! the `Report` and the client reading it can `Resume` and receive the
+//! identical report again — report delivery is idempotent.
 
+use crate::journal::Journal;
+use mcc_core::streaming::StreamingChecker;
 use serde::Value;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How a session ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +50,36 @@ pub struct Progress {
     pub degraded: bool,
 }
 
+/// Everything a parked durable session needs to resume exactly where the
+/// acknowledged stream left off.
+pub struct ParkedSession {
+    /// World size from the original `Hello`.
+    pub nprocs: usize,
+    /// The live checker, mid-stream.
+    pub checker: StreamingChecker,
+    /// Next sequence number the session expects (= events ingested).
+    pub expected_seq: u64,
+    /// The session's journal, still open for appending (when the daemon
+    /// runs with a journal directory).
+    pub journal: Option<Journal>,
+    /// Last reported progress.
+    pub progress: Progress,
+}
+
+/// How a `Resume{session}` resolves against the registry.
+pub enum ResumeOutcome {
+    /// The session was parked; here is everything needed to continue.
+    /// The guard carries the *original* session id.
+    Parked(SessionGuard, Box<ParkedSession>),
+    /// The session already completed; its report can be redelivered.
+    Retired(String),
+    /// The session is still attached to a live connection (the old
+    /// connection has not noticed its death yet). Worth retrying.
+    Active,
+    /// The registry has never heard of it, or it expired.
+    Gone,
+}
+
 struct SessionState {
     nprocs: usize,
     progress: Progress,
@@ -51,6 +91,8 @@ struct Totals {
     completed: u64,
     salvaged: u64,
     rejected: u64,
+    resumed: u64,
+    recovered: u64,
     events: u64,
     findings: u64,
 }
@@ -58,8 +100,14 @@ struct Totals {
 struct Inner {
     next_id: u64,
     active: BTreeMap<u64, SessionState>,
+    parked: BTreeMap<u64, (ParkedSession, Instant)>,
+    retired: BTreeMap<u64, String>,
     totals: Totals,
 }
+
+/// Retired reports kept around for idempotent redelivery (oldest session
+/// ids are evicted first past this many).
+const RETIRED_REPORTS_CAP: usize = 64;
 
 /// The shared registry. One per server; connection threads hold an
 /// `Arc<Registry>`.
@@ -80,6 +128,8 @@ impl Registry {
             inner: Mutex::new(Inner {
                 next_id: 1,
                 active: BTreeMap::new(),
+                parked: BTreeMap::new(),
+                retired: BTreeMap::new(),
                 totals: Totals::default(),
             }),
         }
@@ -106,14 +156,122 @@ impl Registry {
         SessionGuard { registry: Arc::clone(self), id, finished: false }
     }
 
+    /// Adopts a session replayed from a journal at startup: parks it
+    /// under its *original* id (so the old client's `Resume` finds it)
+    /// and advances the id counter past it so new sessions never collide.
+    /// Returns `false` if the id is somehow already taken.
+    pub fn adopt_parked(&self, id: u64, parked: ParkedSession) -> bool {
+        let mut inner = self.lock();
+        if inner.active.contains_key(&id) || inner.parked.contains_key(&id) {
+            return false;
+        }
+        inner.next_id = inner.next_id.max(id + 1);
+        inner.totals.recovered += 1;
+        inner.parked.insert(id, (parked, Instant::now()));
+        true
+    }
+
+    /// Adopts a *finished* session replayed from a journal at startup:
+    /// retires its rebuilt report under the original id for idempotent
+    /// redelivery and counts it as completed + recovered.
+    pub fn adopt_retired(&self, id: u64, report_json: String, events: u64, findings: u64) {
+        let mut inner = self.lock();
+        inner.next_id = inner.next_id.max(id + 1);
+        inner.totals.recovered += 1;
+        inner.totals.completed += 1;
+        inner.totals.events += events;
+        inner.totals.findings += findings;
+        Self::retire_locked(&mut inner, id, report_json);
+    }
+
     /// Records a refused handshake (version mismatch, bad `nprocs`).
     pub fn note_rejected(&self) {
         self.lock().totals.rejected += 1;
     }
 
-    /// Sessions currently live.
+    /// Sessions currently live (attached to a connection).
     pub fn active_count(&self) -> usize {
         self.lock().active.len()
+    }
+
+    /// Sessions currently parked awaiting a `Resume`.
+    pub fn parked_count(&self) -> usize {
+        self.lock().parked.len()
+    }
+
+    /// Stores a completed session's report JSON for idempotent
+    /// redelivery to a resuming client.
+    pub fn retire_report(&self, id: u64, report_json: String) {
+        let mut inner = self.lock();
+        Self::retire_locked(&mut inner, id, report_json);
+    }
+
+    fn retire_locked(inner: &mut Inner, id: u64, report_json: String) {
+        inner.retired.insert(id, report_json);
+        while inner.retired.len() > RETIRED_REPORTS_CAP {
+            let oldest = *inner.retired.keys().next().unwrap_or(&id);
+            inner.retired.remove(&oldest);
+        }
+    }
+
+    /// Resolves a `Resume{session}` request. A parked session is moved
+    /// back to active (same id) and handed to the caller.
+    pub fn resume(self: &Arc<Self>, id: u64) -> ResumeOutcome {
+        let mut inner = self.lock();
+        if let Some((parked, _since)) = inner.parked.remove(&id) {
+            inner.totals.resumed += 1;
+            inner.active.insert(
+                id,
+                SessionState {
+                    nprocs: parked.nprocs,
+                    progress: parked.progress,
+                    last_activity: Instant::now(),
+                },
+            );
+            drop(inner);
+            let guard = SessionGuard { registry: Arc::clone(self), id, finished: false };
+            return ResumeOutcome::Parked(guard, Box::new(parked));
+        }
+        if let Some(json) = inner.retired.get(&id) {
+            return ResumeOutcome::Retired(json.clone());
+        }
+        if inner.active.contains_key(&id) {
+            return ResumeOutcome::Active;
+        }
+        ResumeOutcome::Gone
+    }
+
+    /// Moves a session from active to parked (used via
+    /// [`SessionGuard::park`]).
+    fn park(&self, id: u64, mut parked: ParkedSession) {
+        let mut inner = self.lock();
+        if let Some(s) = inner.active.remove(&id) {
+            parked.progress = s.progress;
+        }
+        inner.parked.insert(id, (parked, Instant::now()));
+    }
+
+    /// Removes parked sessions older than `grace` and returns them; the
+    /// caller salvages each (degraded analysis, journal retirement).
+    /// Swept sessions are counted as salvaged.
+    pub fn sweep_parked(&self, grace: Duration) -> Vec<(u64, ParkedSession)> {
+        let mut inner = self.lock();
+        let expired: Vec<u64> = inner
+            .parked
+            .iter()
+            .filter(|(_, (_, since))| since.elapsed() >= grace)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut out = Vec::with_capacity(expired.len());
+        for id in expired {
+            if let Some((parked, _)) = inner.parked.remove(&id) {
+                inner.totals.salvaged += 1;
+                inner.totals.events += parked.progress.events;
+                inner.totals.findings += parked.progress.findings as u64;
+                out.push((id, parked));
+            }
+        }
+        out
     }
 
     fn update(&self, id: u64, progress: Progress) {
@@ -163,15 +321,34 @@ impl Registry {
                 ])
             })
             .collect();
+        let parked: Vec<Value> = inner
+            .parked
+            .iter()
+            .map(|(id, (p, since))| {
+                events_total += p.progress.events;
+                findings_total += p.progress.findings as u64;
+                obj(vec![
+                    ("id", int(*id)),
+                    ("nprocs", int(p.nprocs as u64)),
+                    ("events", int(p.progress.events)),
+                    ("findings", int(p.progress.findings as u64)),
+                    ("parked_ms", int(since.elapsed().as_millis() as u64)),
+                ])
+            })
+            .collect();
         let doc = obj(vec![
             ("schema_version", Value::Int(1)),
             ("sessions_active", int(inner.active.len() as u64)),
+            ("sessions_parked", int(inner.parked.len() as u64)),
             ("sessions_completed", int(inner.totals.completed)),
             ("sessions_salvaged", int(inner.totals.salvaged)),
+            ("sessions_resumed", int(inner.totals.resumed)),
+            ("sessions_recovered", int(inner.totals.recovered)),
             ("hellos_rejected", int(inner.totals.rejected)),
             ("events_ingested", int(events_total)),
             ("findings", int(findings_total)),
             ("sessions", Value::Arr(active)),
+            ("parked", Value::Arr(parked)),
         ]);
         struct Doc(Value);
         impl serde::Serialize for Doc {
@@ -179,7 +356,11 @@ impl Registry {
                 self.0.clone()
             }
         }
-        serde_json::to_string(&Doc(doc)).expect("stats JSON rendering")
+        // A rendering failure must never take down the STATS verb; fall
+        // back to a minimal-but-valid document.
+        serde_json::to_string(&Doc(doc)).unwrap_or_else(|_| {
+            "{\"schema_version\":1,\"error\":\"stats rendering failed\"}".into()
+        })
     }
 }
 
@@ -208,6 +389,15 @@ impl SessionGuard {
         self.finished = true;
         self.registry.finish(self.id, outcome);
     }
+
+    /// Parks the session: its checker (and journal) stay in the registry
+    /// under the same id, awaiting a `Resume`. Neither completed nor
+    /// salvaged is counted yet — the outcome is decided by the resume or
+    /// the sweep.
+    pub fn park(mut self, parked: ParkedSession) {
+        self.finished = true;
+        self.registry.park(self.id, parked);
+    }
 }
 
 impl Drop for SessionGuard {
@@ -221,6 +411,20 @@ impl Drop for SessionGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn checker(nprocs: usize) -> StreamingChecker {
+        StreamingChecker::new(nprocs).unwrap()
+    }
+
+    fn parked(nprocs: usize) -> ParkedSession {
+        ParkedSession {
+            nprocs,
+            checker: checker(nprocs),
+            expected_seq: 0,
+            journal: None,
+            progress: Progress::default(),
+        }
+    }
 
     #[test]
     fn register_progress_finish() {
@@ -268,6 +472,82 @@ mod tests {
         let reg = Registry::new();
         reg.note_rejected();
         assert!(reg.stats_json().contains("\"hellos_rejected\":1"));
+    }
+
+    #[test]
+    fn parked_session_resumes_under_the_same_id() {
+        let reg = Arc::new(Registry::new());
+        let g = reg.register(2);
+        let id = g.id();
+        g.report_progress(Progress { events: 7, ..Default::default() });
+        let mut p = parked(2);
+        p.expected_seq = 7;
+        g.park(p);
+        assert_eq!(reg.active_count(), 0);
+        assert_eq!(reg.parked_count(), 1);
+        assert!(reg.stats_json().contains("\"sessions_parked\":1"));
+
+        match reg.resume(id) {
+            ResumeOutcome::Parked(g2, p2) => {
+                assert_eq!(g2.id(), id);
+                assert_eq!(p2.expected_seq, 7);
+                assert_eq!(p2.progress.events, 7, "park preserved the reported progress");
+                g2.finish(Outcome::Completed);
+            }
+            _ => panic!("expected a parked session"),
+        }
+        assert_eq!(reg.parked_count(), 0);
+        assert!(reg.stats_json().contains("\"sessions_resumed\":1"));
+        assert!(reg.stats_json().contains("\"sessions_completed\":1"));
+    }
+
+    #[test]
+    fn resume_distinguishes_active_retired_and_gone() {
+        let reg = Arc::new(Registry::new());
+        let g = reg.register(2);
+        let id = g.id();
+        assert!(matches!(reg.resume(id), ResumeOutcome::Active));
+        g.finish(Outcome::Completed);
+        assert!(matches!(reg.resume(id), ResumeOutcome::Gone), "completed but not retired");
+        reg.retire_report(id, "{\"r\":1}".into());
+        match reg.resume(id) {
+            ResumeOutcome::Retired(json) => assert_eq!(json, "{\"r\":1}"),
+            _ => panic!("expected the retired report"),
+        }
+        // Redelivery is idempotent: the report survives being read.
+        assert!(matches!(reg.resume(id), ResumeOutcome::Retired(_)));
+        assert!(matches!(reg.resume(9999), ResumeOutcome::Gone));
+    }
+
+    #[test]
+    fn sweep_salvages_only_expired_parked_sessions() {
+        let reg = Arc::new(Registry::new());
+        let g = reg.register(2);
+        let id = g.id();
+        g.report_progress(Progress { events: 3, findings: 1, ..Default::default() });
+        g.park(parked(2));
+        assert!(reg.sweep_parked(Duration::from_secs(60)).is_empty(), "grace not reached");
+        let swept = reg.sweep_parked(Duration::ZERO);
+        assert_eq!(swept.len(), 1);
+        assert_eq!(swept[0].0, id);
+        assert_eq!(reg.parked_count(), 0);
+        let stats = reg.stats_json();
+        assert!(stats.contains("\"sessions_salvaged\":1"), "{stats}");
+        assert!(stats.contains("\"events_ingested\":3"), "{stats}");
+    }
+
+    #[test]
+    fn adopted_sessions_never_collide_with_new_ids() {
+        let reg = Arc::new(Registry::new());
+        assert!(reg.adopt_parked(17, parked(2)));
+        assert!(!reg.adopt_parked(17, parked(2)), "double adoption refused");
+        reg.adopt_retired(23, "{}".into(), 5, 0);
+        let g = reg.register(2);
+        assert!(g.id() > 23, "fresh ids skip past adopted ones, got {}", g.id());
+        assert!(matches!(reg.resume(17), ResumeOutcome::Parked(..)));
+        assert!(matches!(reg.resume(23), ResumeOutcome::Retired(_)));
+        let stats = reg.stats_json();
+        assert!(stats.contains("\"sessions_recovered\":2"), "{stats}");
     }
 
     /// Hammers the registry (and a shared recorder) from many threads and

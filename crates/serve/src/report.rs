@@ -32,9 +32,18 @@ pub struct SessionReport {
 pub const REPORT_SCHEMA_VERSION: u32 = 1;
 
 impl SessionReport {
-    /// Serializes to the JSON carried by a `Report` frame.
+    /// Serializes to the JSON carried by a `Report` frame. A rendering
+    /// failure degrades to a parseable empty degraded report rather than
+    /// aborting the connection thread.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("report serialization is infallible")
+        serde_json::to_string(self).unwrap_or_else(|_| {
+            format!(
+                "{{\"schema_version\":{REPORT_SCHEMA_VERSION},\"confidence\":\"Degraded\",\
+                 \"findings\":[],\"events_ingested\":{},\"regions_flushed\":{},\
+                 \"peak_buffered\":{},\"evictions\":{}}}",
+                self.events_ingested, self.regions_flushed, self.peak_buffered, self.evictions
+            )
+        })
     }
 
     /// Parses the JSON of a `Report` frame.

@@ -1,5 +1,5 @@
 //! The daemon: accept loop, per-connection session handling, supervisor
-//! policies (backpressure, hard caps, idle salvage).
+//! policies (backpressure, hard caps, idle salvage, durability).
 //!
 //! The server is plain `std::net` + one thread per connection — no async
 //! runtime. Bounded memory is enforced in two stages: past the *soft*
@@ -7,26 +7,43 @@
 //! read (backpressure — the kernel socket buffer, and eventually the
 //! client, absorb the stall), and at the *hard* watermark the session's
 //! [`StreamingChecker`] evicts, trading the report down to
-//! [`Confidence::Degraded`] instead of growing without bound. A session
-//! that goes quiet for the idle timeout, or whose client vanishes
-//! mid-stream, is *salvaged*: whatever arrived is analyzed in degraded
-//! mode, a degraded report is offered to the (possibly gone) client, and
-//! the registry records the session as salvaged — never leaked.
+//! [`Confidence::Degraded`] instead of growing without bound.
+//!
+//! Sessions end in one of three ways. A non-durable session that goes
+//! quiet for the idle timeout, or whose client vanishes mid-stream, is
+//! *salvaged*: whatever arrived is analyzed in degraded mode, a degraded
+//! report is offered to the (possibly gone) client, and the registry
+//! records the session as salvaged — never leaked. A *durable* session
+//! (`SessionOpts::durable`) is instead *parked*: its live checker (and
+//! its journal, when the daemon runs with a journal directory) stays in
+//! the registry for the resume grace period, and a reconnecting client's
+//! `Resume` continues the stream exactly where the last `Ack` left it.
+//! A parked session nobody resumes is swept and salvaged by the janitor.
+//!
+//! With a journal directory configured, every durable session's events
+//! are appended to a per-session write-ahead journal before they are
+//! acknowledged, and `--recover` replays those journals at startup: a
+//! daemon killed outright comes back holding the same parked sessions
+//! (and retired reports) it had, and the eventual reports are
+//! byte-identical to an uninterrupted run.
 
+use crate::journal::{scan_dir, FsyncPolicy, Journal};
 use crate::proto::{
-    write_frame, Frame, FrameReader, ProtoError, MAX_RANKS, PROTOCOL_VERSION, SERVER_CAPABILITIES,
+    write_frame, Frame, FrameReader, ProtoError, SessionOpts, MAX_RANKS, PROTOCOL_VERSION,
+    SERVER_CAPABILITIES,
 };
-use crate::registry::{Outcome, Progress, Registry, SessionGuard};
+use crate::registry::{Outcome, ParkedSession, Progress, Registry, ResumeOutcome, SessionGuard};
 use crate::report::{SessionReport, REPORT_SCHEMA_VERSION};
 use mcc_core::report::Confidence;
 use mcc_core::session::AnalysisSession;
 use mcc_core::streaming::StreamingChecker;
-use mcc_obs::{log, render_gauge, RecorderHandle};
+use mcc_obs::{log, names, render_gauge, RecorderHandle};
 use mcc_types::Rank;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -42,16 +59,35 @@ pub struct ServeConfig {
     /// degraded eviction instead of unbounded growth. A client may
     /// request a *lower* cap in its `Hello`, never a higher one.
     pub hard_watermark: usize,
-    /// A session silent for this long is salvaged and closed.
+    /// A session silent for this long is salvaged (non-durable) or
+    /// parked (durable) and its connection closed.
     pub idle_timeout: Duration,
     /// Socket read timeout — the granularity at which idle sessions and
     /// shutdown are noticed.
     pub tick: Duration,
+    /// Socket write timeout — bounds how long a reply to a stalled peer
+    /// can block a connection thread. `None` blocks forever.
+    pub write_timeout: Option<Duration>,
     /// How long a backpressured connection thread sleeps per pause.
     pub backpressure_pause: Duration,
     /// Upper bound on the per-session analysis thread count a client may
     /// request.
     pub max_threads: usize,
+    /// On durable sessions, send an `Ack` (after syncing the journal)
+    /// every this many events.
+    pub ack_interval: u64,
+    /// Directory for per-session write-ahead journals. `None` disables
+    /// journaling; durable sessions then survive connection drops (they
+    /// park in memory) but not daemon crashes.
+    pub journal_dir: Option<PathBuf>,
+    /// When journal writes reach the disk.
+    pub fsync: FsyncPolicy,
+    /// How long a parked session waits for a `Resume` before the janitor
+    /// sweeps and salvages it.
+    pub resume_grace: Duration,
+    /// Scan `journal_dir` at startup and rebuild the sessions found
+    /// there (`mcc serve --recover`).
+    pub recover: bool,
     /// The daemon's observability recorder. Every session's pipeline
     /// counters and the serve-layer counters flow into it; the `Metrics`
     /// verb renders its snapshot. Enabled by default — a long-running
@@ -67,8 +103,14 @@ impl Default for ServeConfig {
             hard_watermark: 65536,
             idle_timeout: Duration::from_secs(30),
             tick: Duration::from_millis(200),
+            write_timeout: Some(Duration::from_secs(30)),
             backpressure_pause: Duration::from_millis(2),
             max_threads: 8,
+            ack_interval: 256,
+            journal_dir: None,
+            fsync: FsyncPolicy::EveryAck,
+            resume_grace: Duration::from_secs(120),
+            recover: false,
             recorder: RecorderHandle::enabled(),
         }
     }
@@ -79,17 +121,22 @@ impl Default for ServeConfig {
 fn metrics_text(registry: &Registry, recorder: &RecorderHandle) -> String {
     let mut text = recorder.snapshot().render();
     text.push_str(&render_gauge("serve_sessions_active", registry.active_count() as u64));
+    text.push_str(&render_gauge("serve_sessions_parked", registry.parked_count() as u64));
     text
 }
 
 /// A bidirectional connection the server can serve.
 trait Conn: Read + Write + Send {
     fn set_read_timeout_(&self, d: Option<Duration>) -> io::Result<()>;
+    fn set_write_timeout_(&self, d: Option<Duration>) -> io::Result<()>;
 }
 
 impl Conn for TcpStream {
     fn set_read_timeout_(&self, d: Option<Duration>) -> io::Result<()> {
         self.set_read_timeout(d)
+    }
+    fn set_write_timeout_(&self, d: Option<Duration>) -> io::Result<()> {
+        self.set_write_timeout(d)
     }
 }
 
@@ -97,6 +144,9 @@ impl Conn for TcpStream {
 impl Conn for UnixStream {
     fn set_read_timeout_(&self, d: Option<Duration>) -> io::Result<()> {
         self.set_read_timeout(d)
+    }
+    fn set_write_timeout_(&self, d: Option<Duration>) -> io::Result<()> {
+        self.set_write_timeout(d)
     }
 }
 
@@ -153,6 +203,12 @@ pub struct Server {
 impl Server {
     /// Binds to `addr` — a TCP address (`host:port`, port `0` picks a
     /// free one) or, on Unix, a socket path (recognized by a `/`).
+    ///
+    /// With [`ServeConfig::recover`] set and a journal directory
+    /// configured, the directory is scanned before the server starts
+    /// accepting: finished journals are rebuilt into retired reports,
+    /// unfinished ones into parked sessions awaiting their client's
+    /// `Resume`.
     pub fn bind(addr: &str, cfg: ServeConfig) -> io::Result<Self> {
         let (listener, bound) = if is_unix_addr(addr) {
             #[cfg(unix)]
@@ -174,9 +230,15 @@ impl Server {
             let bound = l.local_addr()?.to_string();
             (Listener::Tcp(l), bound)
         };
+        let registry = Arc::new(Registry::new());
+        if cfg.recover {
+            if let Some(dir) = cfg.journal_dir.clone() {
+                recover_dir(&registry, &dir, &cfg);
+            }
+        }
         Ok(Self {
             listener,
-            registry: Arc::new(Registry::new()),
+            registry,
             cfg,
             shutdown: Arc::new(AtomicBool::new(false)),
             addr: bound,
@@ -204,8 +266,27 @@ impl Server {
 
     /// Serves until [`ServerHandle::shutdown`]. Each connection gets its
     /// own thread; all are joined before returning, so no session
-    /// outlives the server.
+    /// outlives the server. A janitor thread sweeps parked sessions that
+    /// outlive the resume grace.
     pub fn run(self) -> io::Result<()> {
+        let janitor = {
+            let registry = Arc::clone(&self.registry);
+            let cfg = self.cfg.clone();
+            let shutdown = Arc::clone(&self.shutdown);
+            thread::spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    thread::sleep(cfg.tick);
+                    for (id, parked) in registry.sweep_parked(cfg.resume_grace) {
+                        cfg.recorder.add(names::SESSIONS_SWEPT, 1);
+                        log!(Warn, "parked session {id} outlived the resume grace; salvaging");
+                        let _ = parked.checker.finish_degraded();
+                        if let Some(j) = parked.journal {
+                            let _ = j.retire();
+                        }
+                    }
+                }
+            })
+        };
         let mut workers: Vec<JoinHandle<()>> = Vec::new();
         loop {
             let conn: Box<dyn Conn> = match &self.listener {
@@ -232,11 +313,110 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        let _ = janitor.join();
         #[cfg(unix)]
         if let Listener::Unix(_, path) = &self.listener {
             let _ = std::fs::remove_file(path);
         }
         Ok(())
+    }
+}
+
+/// Rebuilds sessions from a journal directory at startup.
+fn recover_dir(registry: &Arc<Registry>, dir: &std::path::Path, cfg: &ServeConfig) {
+    let obs = &cfg.recorder;
+    let (sessions, unreadable) = match scan_dir(dir) {
+        Ok(x) => x,
+        Err(e) => {
+            log!(Warn, "journal recovery: cannot scan {}: {e}", dir.display());
+            return;
+        }
+    };
+    for path in &unreadable {
+        obs.add(names::JOURNAL_UNREADABLE, 1);
+        log!(Warn, "journal recovery: {} is unreadable; leaving it in place", path.display());
+    }
+    for rs in sessions {
+        if rs.torn {
+            obs.add(names::JOURNAL_TORN, 1);
+            log!(Warn, "journal recovery: session {} had a torn tail; dropped", rs.session);
+        }
+        let threads = (rs.opts.threads.max(1) as usize).min(cfg.max_threads);
+        let session = AnalysisSession::builder().threads(threads).recorder(obs.clone()).build();
+        let mut checker = match StreamingChecker::with_session(rs.nprocs as usize, session) {
+            Ok(c) => c,
+            Err(e) => {
+                log!(Warn, "journal recovery: session {} refused: {e}", rs.session);
+                continue;
+            }
+        };
+        // Same watermark before replay ⇒ same flushes and evictions ⇒
+        // the byte-identical report the uninterrupted run would produce.
+        // A journaled cap of 0 gets the same reading as a Hello's: the
+        // server's hard watermark.
+        let cap = match rs.cap {
+            0 => cfg.hard_watermark,
+            n => n as usize,
+        };
+        checker.set_high_watermark(Some(cap));
+        let expected_seq = rs.events.last().map(|(s, _, _, _)| s + 1).unwrap_or(0);
+        let replay = checker.replay(rs.events.into_iter().map(|(_, r, k, l)| (Rank(r), k, l)));
+        if let Err(e) = replay {
+            obs.add(names::JOURNAL_UNREADABLE, 1);
+            log!(Warn, "journal recovery: session {} replay failed: {e}", rs.session);
+            continue;
+        }
+        obs.add(names::SESSIONS_RECOVERED, 1);
+        if rs.finished {
+            // The client finished before the crash; rebuild and retire
+            // the report so a Resume redelivers it idempotently.
+            let confidence =
+                if checker.is_degraded() { Confidence::Degraded } else { Confidence::Complete };
+            let (regions_flushed, peak_buffered, evictions) =
+                (checker.regions_flushed, checker.peak_buffered, checker.evictions);
+            let findings = checker.finish();
+            let nfindings = findings.len() as u64;
+            let report = SessionReport {
+                schema_version: REPORT_SCHEMA_VERSION,
+                confidence,
+                findings,
+                events_ingested: expected_seq,
+                regions_flushed,
+                peak_buffered,
+                evictions,
+            };
+            registry.adopt_retired(rs.session, report.to_json(), expected_seq, nfindings);
+            let _ = std::fs::remove_file(&rs.path);
+            log!(Info, "recovered session {} (finished, {expected_seq} event(s))", rs.session);
+        } else {
+            let journal = Journal::open_append(&rs.path, rs.intact_len, cfg.fsync)
+                .map_err(|e| {
+                    log!(Warn, "journal recovery: cannot reopen {}: {e}", rs.path.display());
+                    e
+                })
+                .ok();
+            let id = rs.session;
+            let adopted = registry.adopt_parked(
+                id,
+                ParkedSession {
+                    nprocs: rs.nprocs as usize,
+                    expected_seq,
+                    journal,
+                    progress: Progress {
+                        events: expected_seq,
+                        buffered: checker.buffered(),
+                        peak_buffered: checker.peak_buffered,
+                        regions_flushed: checker.regions_flushed,
+                        findings: checker.findings_so_far(),
+                        degraded: checker.is_degraded(),
+                    },
+                    checker,
+                },
+            );
+            if adopted {
+                log!(Info, "recovered session {id} (parked at seq {expected_seq})");
+            }
+        }
     }
 }
 
@@ -260,14 +440,40 @@ fn vet_hello(version: u32, nprocs: u32) -> Result<(), String> {
     Ok(())
 }
 
+fn welcome_frame(session: u64) -> Frame {
+    Frame::Welcome {
+        version: PROTOCOL_VERSION,
+        session,
+        capabilities: SERVER_CAPABILITIES.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// Everything one running session's loop needs.
+struct SessionCtx {
+    guard: SessionGuard,
+    checker: Option<StreamingChecker>,
+    journal: Option<Journal>,
+    durable: bool,
+    /// Events ingested == the next sequence number expected.
+    events: u64,
+    /// Sequence through which the last `Ack` was sent.
+    last_ack: u64,
+    nprocs: usize,
+}
+
 fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) {
     let _ = conn.set_read_timeout_(Some(cfg.tick));
+    let _ = conn.set_write_timeout_(cfg.write_timeout);
     let mut reader = FrameReader::new(conn);
     let obs = &cfg.recorder;
 
-    // Pre-session: answer Stats/Metrics, wait for Hello.
+    // Pre-session: answer Stats/Metrics, wait for Hello or Resume.
     let started = Instant::now();
-    let (nprocs, opts) = loop {
+    enum Opened {
+        New { nprocs: usize, opts: SessionOpts },
+        Resumed { guard: SessionGuard, parked: Box<ParkedSession> },
+    }
+    let opened = loop {
         match reader.next_frame() {
             Ok(Some(Frame::Stats)) => {
                 let json = registry.stats_json();
@@ -289,12 +495,71 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                     send(reader.get_mut(), &Frame::Error { message });
                     return;
                 }
-                break (nprocs as usize, opts);
+                break Opened::New { nprocs: nprocs as usize, opts };
+            }
+            Ok(Some(Frame::Resume { session, from_seq })) => {
+                // The old connection may not have noticed its death yet;
+                // give it a moment to park before giving up.
+                let deadline = Instant::now() + cfg.resume_grace.min(Duration::from_secs(2));
+                let outcome = loop {
+                    match registry.resume(session) {
+                        ResumeOutcome::Active => {
+                            if Instant::now() >= deadline {
+                                break ResumeOutcome::Active;
+                            }
+                            thread::sleep(cfg.tick);
+                        }
+                        other => break other,
+                    }
+                };
+                match outcome {
+                    ResumeOutcome::Parked(guard, parked) => {
+                        if from_seq > parked.expected_seq {
+                            // The client lost events the server never
+                            // acked; the stream cannot be stitched.
+                            let message = format!(
+                                "cannot resume session {session}: server holds seq \
+                                 {} but client can only re-send from {from_seq}",
+                                parked.expected_seq
+                            );
+                            log!(Warn, "{message}");
+                            guard.park(*parked);
+                            send(reader.get_mut(), &Frame::Error { message });
+                            return;
+                        }
+                        break Opened::Resumed { guard, parked };
+                    }
+                    ResumeOutcome::Retired(json) => {
+                        // Completed while the client was away: redeliver.
+                        obs.add(names::SESSIONS_RESUMED, 1);
+                        log!(Info, "session {session} resumed into its retired report");
+                        if send(reader.get_mut(), &welcome_frame(session)) {
+                            send(reader.get_mut(), &Frame::Report { json });
+                        }
+                        return;
+                    }
+                    ResumeOutcome::Active => {
+                        send(
+                            reader.get_mut(),
+                            &Frame::Error {
+                                message: format!(
+                                    "session {session} is still attached to another connection"
+                                ),
+                            },
+                        );
+                        return;
+                    }
+                    ResumeOutcome::Gone => {
+                        log!(Warn, "resume refused: session {session} is gone");
+                        send(reader.get_mut(), &Frame::Gone { session });
+                        return;
+                    }
+                }
             }
             Ok(Some(_)) => {
                 send(
                     reader.get_mut(),
-                    &Frame::Error { message: "expected Hello, Stats, or Metrics".into() },
+                    &Frame::Error { message: "expected Hello, Resume, Stats, or Metrics".into() },
                 );
                 return;
             }
@@ -304,78 +569,208 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                     return;
                 }
             }
+            Err(e @ (ProtoError::Corrupt { .. } | ProtoError::Malformed(_))) => {
+                obs.add(names::FRAMES_CORRUPT, 1);
+                send(reader.get_mut(), &Frame::Error { message: e.to_string() });
+                return;
+            }
+            Err(ProtoError::TooLarge(n)) => {
+                send(
+                    reader.get_mut(),
+                    &Frame::Error { message: ProtoError::TooLarge(n).to_string() },
+                );
+                return;
+            }
             Err(_) => return,
         }
     };
 
-    let threads = (opts.threads.max(1) as usize).min(cfg.max_threads);
-    let session = AnalysisSession::builder().threads(threads).recorder(obs.clone()).build();
-    let mut checker = match StreamingChecker::with_session(nprocs, session) {
-        Ok(c) => c,
-        Err(e) => {
-            registry.note_rejected();
-            obs.add("serve_hellos_rejected_total", 1);
-            log!(Warn, "session refused: {e}");
-            send(reader.get_mut(), &Frame::Error { message: e.to_string() });
-            return;
-        }
-    };
-    let cap = match opts.max_buffered {
-        0 => cfg.hard_watermark,
-        n => (n as usize).min(cfg.hard_watermark),
-    };
-    checker.set_high_watermark(Some(cap));
-
-    let guard = registry.register(nprocs);
-    obs.add("serve_sessions_started_total", 1);
-    let _session_span = obs.span("serve.session");
-    log!(Info, "session {} opened: {nprocs} rank(s), {threads} thread(s)", guard.id());
-    if !send(
-        reader.get_mut(),
-        &Frame::Welcome {
-            version: PROTOCOL_VERSION,
-            session: guard.id(),
-            capabilities: SERVER_CAPABILITIES.iter().map(|s| s.to_string()).collect(),
-        },
-    ) {
-        // Client is already gone; the guard's Drop records the salvage.
-        return;
-    }
-
-    let mut events: u64 = 0;
-    let mut last_activity = Instant::now();
-    let mut checker = Some(checker);
-    loop {
-        let progress_of = |c: &StreamingChecker, events: u64| Progress {
-            events,
-            buffered: c.buffered(),
-            peak_buffered: c.peak_buffered,
-            regions_flushed: c.regions_flushed,
-            findings: c.findings_so_far(),
-            degraded: c.is_degraded(),
-        };
-        match reader.next_frame() {
-            Ok(Some(Frame::Event { rank, kind, loc })) => {
-                last_activity = Instant::now();
-                let c = checker.as_mut().expect("checker lives until the session ends");
-                if let Err(e) = c.push(Rank(rank), kind, loc) {
+    let ctx = match opened {
+        Opened::New { nprocs, opts } => {
+            let threads = (opts.threads.max(1) as usize).min(cfg.max_threads);
+            let session = AnalysisSession::builder().threads(threads).recorder(obs.clone()).build();
+            let mut checker = match StreamingChecker::with_session(nprocs, session) {
+                Ok(c) => c,
+                Err(e) => {
+                    registry.note_rejected();
+                    obs.add("serve_hellos_rejected_total", 1);
+                    log!(Warn, "session refused: {e}");
                     send(reader.get_mut(), &Frame::Error { message: e.to_string() });
-                    salvage(checker.take(), guard, reader.get_mut(), events, obs);
                     return;
                 }
-                events += 1;
-                obs.add("serve_events_total", 1);
-                if events.is_multiple_of(256) {
-                    guard.report_progress(progress_of(c, events));
+            };
+            let cap = match opts.max_buffered {
+                0 => cfg.hard_watermark,
+                n => (n as usize).min(cfg.hard_watermark),
+            };
+            checker.set_high_watermark(Some(cap));
+
+            let guard = registry.register(nprocs);
+            obs.add("serve_sessions_started_total", 1);
+            log!(Info, "session {} opened: {nprocs} rank(s), {threads} thread(s)", guard.id());
+            let journal = if opts.durable {
+                cfg.journal_dir.as_deref().and_then(|dir| {
+                    match Journal::create(
+                        dir,
+                        guard.id(),
+                        nprocs as u32,
+                        &opts,
+                        cap as u32,
+                        cfg.fsync,
+                    ) {
+                        Ok(j) => Some(j),
+                        Err(e) => {
+                            // A dead disk downgrades durability to
+                            // in-memory parking; the session still runs.
+                            log!(Warn, "session {}: cannot create journal: {e}", guard.id());
+                            None
+                        }
+                    }
+                })
+            } else {
+                None
+            };
+            if !send(reader.get_mut(), &welcome_frame(guard.id())) {
+                // Client is already gone; the guard's Drop records the
+                // salvage (nothing ingested yet, nothing to park).
+                if let Some(j) = journal {
+                    let _ = j.retire();
                 }
-                if c.buffered() >= cfg.soft_watermark {
+                return;
+            }
+            SessionCtx {
+                guard,
+                checker: Some(checker),
+                journal,
+                durable: opts.durable,
+                events: 0,
+                last_ack: 0,
+                nprocs,
+            }
+        }
+        Opened::Resumed { guard, parked } => {
+            obs.add(names::SESSIONS_RESUMED, 1);
+            let id = guard.id();
+            let through = parked.expected_seq;
+            log!(Info, "session {id} resumed at seq {through}");
+            let ctx = SessionCtx {
+                guard,
+                checker: Some(parked.checker),
+                journal: parked.journal,
+                durable: true,
+                events: through,
+                last_ack: through,
+                nprocs: parked.nprocs,
+            };
+            if !send(reader.get_mut(), &welcome_frame(id))
+                || !send(reader.get_mut(), &Frame::Ack { through })
+            {
+                // Died again before the handshake finished: re-park.
+                park(ctx, obs);
+                return;
+            }
+            ctx
+        }
+    };
+
+    run_session(&mut reader, &registry, cfg, ctx);
+}
+
+fn run_session(
+    reader: &mut FrameReader<Box<dyn Conn>>,
+    registry: &Arc<Registry>,
+    cfg: &ServeConfig,
+    mut ctx: SessionCtx,
+) {
+    let obs = &cfg.recorder;
+    let _session_span = obs.span("serve.session");
+    let mut last_activity = Instant::now();
+    let progress_of = |c: &StreamingChecker, events: u64| Progress {
+        events,
+        buffered: c.buffered(),
+        peak_buffered: c.peak_buffered,
+        regions_flushed: c.regions_flushed,
+        findings: c.findings_so_far(),
+        degraded: c.is_degraded(),
+    };
+    loop {
+        match reader.next_frame() {
+            Ok(Some(Frame::Event { seq, rank, kind, loc })) => {
+                last_activity = Instant::now();
+                if ctx.durable {
+                    if seq < ctx.events {
+                        // Idempotent re-send after a resume: skip what
+                        // the checker already holds.
+                        obs.add(names::EVENTS_DUPLICATE, 1);
+                        continue;
+                    }
+                    if seq > ctx.events {
+                        let message = format!("event gap: expected seq {}, got {seq}", ctx.events);
+                        send(reader.get_mut(), &Frame::Error { message });
+                        park(ctx, obs);
+                        return;
+                    }
+                }
+                let Some(c) = ctx.checker.as_mut() else {
+                    send(
+                        reader.get_mut(),
+                        &Frame::Error { message: "internal: session already closed".into() },
+                    );
+                    finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                    return;
+                };
+                let journal_copy = ctx.journal.is_some().then(|| (kind.clone(), loc.clone()));
+                if let Err(e) = c.push(Rank(rank), kind, loc) {
+                    send(reader.get_mut(), &Frame::Error { message: e.to_string() });
+                    // A client feeding invalid events gets a degraded
+                    // report, durable or not — there is nothing coherent
+                    // to resume into.
+                    finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                    return;
+                }
+                if let (Some(j), Some((kind, loc))) = (ctx.journal.as_mut(), journal_copy) {
+                    if let Err(e) = j.append_event(seq, rank, &kind, &loc) {
+                        // Journal failure downgrades durability to
+                        // in-memory parking; the stream continues.
+                        log!(Warn, "session {}: journal write failed: {e}", ctx.guard.id());
+                        ctx.journal = None;
+                    }
+                }
+                ctx.events += 1;
+                obs.add("serve_events_total", 1);
+                if ctx.events.is_multiple_of(256) {
+                    ctx.guard.report_progress(progress_of(c, ctx.events));
+                }
+                if ctx.durable && ctx.events - ctx.last_ack >= cfg.ack_interval {
+                    if let Some(j) = ctx.journal.as_mut() {
+                        if let Err(e) = j.sync_for_ack() {
+                            log!(Warn, "session {}: journal sync failed: {e}", ctx.guard.id());
+                            ctx.journal = None;
+                        }
+                    }
+                    let through = ctx.events;
+                    if !send(reader.get_mut(), &Frame::Ack { through }) {
+                        park(ctx, obs);
+                        return;
+                    }
+                    ctx.last_ack = through;
+                }
+                let buffered = ctx.checker.as_ref().map(|c| c.buffered()).unwrap_or(0);
+                if buffered >= cfg.soft_watermark {
                     obs.add("serve_backpressure_stalls_total", 1);
                     thread::sleep(cfg.backpressure_pause);
                 }
             }
             Ok(Some(Frame::Finish)) => {
-                let c = checker.take().expect("checker lives until the session ends");
-                guard.report_progress(progress_of(&c, events));
+                let Some(c) = ctx.checker.take() else {
+                    send(
+                        reader.get_mut(),
+                        &Frame::Error { message: "internal: session already closed".into() },
+                    );
+                    finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                    return;
+                };
+                ctx.guard.report_progress(progress_of(&c, ctx.events));
                 let confidence =
                     if c.is_degraded() { Confidence::Degraded } else { Confidence::Complete };
                 let (regions_flushed, peak_buffered, evictions) =
@@ -385,44 +780,63 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                     schema_version: REPORT_SCHEMA_VERSION,
                     confidence,
                     findings,
-                    events_ingested: events,
+                    events_ingested: ctx.events,
                     regions_flushed,
                     peak_buffered,
                     evictions,
                 };
-                guard.report_progress(Progress {
-                    events,
+                ctx.guard.report_progress(Progress {
+                    events: ctx.events,
                     buffered: 0,
                     peak_buffered: report.peak_buffered,
                     regions_flushed: report.regions_flushed,
                     findings: report.findings.len(),
                     degraded: report.confidence == Confidence::Degraded,
                 });
+                let json = report.to_json();
                 // Settle the registry before the client can see the
                 // report: a client that reads its Report and immediately
                 // asks for STATS must not find its own session active.
-                let id = guard.id();
-                guard.finish(Outcome::Completed);
+                let id = ctx.guard.id();
+                if ctx.durable {
+                    // Mark completion in the journal, retire the report
+                    // for idempotent redelivery, then hand it over.
+                    if let Some(j) = ctx.journal.as_mut() {
+                        let _ = j.append_finish();
+                    }
+                    registry.retire_report(id, json.clone());
+                }
+                ctx.guard.finish(Outcome::Completed);
                 obs.add("serve_sessions_completed_total", 1);
                 log!(
                     Info,
-                    "session {id} completed: {events} event(s), {} finding(s)",
+                    "session {id} completed: {} event(s), {} finding(s)",
+                    ctx.events,
                     report.findings.len()
                 );
-                send(reader.get_mut(), &Frame::Report { json: report.to_json() });
+                let delivered = send(reader.get_mut(), &Frame::Report { json });
+                if delivered {
+                    // The journal has served its purpose; the in-memory
+                    // retired report covers a redelivery race. An
+                    // undelivered report keeps its journal so a daemon
+                    // crash can still rebuild it.
+                    if let Some(j) = ctx.journal.take() {
+                        let _ = j.retire();
+                    }
+                }
                 return;
             }
             Ok(Some(Frame::Stats)) => {
                 let json = registry.stats_json();
                 if !send(reader.get_mut(), &Frame::StatsReport { json }) {
-                    salvage(checker.take(), guard, reader.get_mut(), events, obs);
+                    finish_abnormally(ctx, registry, reader.get_mut(), obs);
                     return;
                 }
             }
             Ok(Some(Frame::Metrics)) => {
-                let text = metrics_text(&registry, obs);
+                let text = metrics_text(registry, obs);
                 if !send(reader.get_mut(), &Frame::MetricsReport { text }) {
-                    salvage(checker.take(), guard, reader.get_mut(), events, obs);
+                    finish_abnormally(ctx, registry, reader.get_mut(), obs);
                     return;
                 }
             }
@@ -431,44 +845,98 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                     reader.get_mut(),
                     &Frame::Error { message: "unexpected frame mid-session".into() },
                 );
-                salvage(checker.take(), guard, reader.get_mut(), events, obs);
+                finish_abnormally(ctx, registry, reader.get_mut(), obs);
                 return;
             }
             // Clean EOF without Finish, truncation, or transport errors:
             // the client died mid-stream.
             Ok(None) | Err(ProtoError::Truncated { .. }) | Err(ProtoError::Io(_)) => {
-                salvage(checker.take(), guard, reader.get_mut(), events, obs);
+                finish_abnormally(ctx, registry, reader.get_mut(), obs);
                 return;
             }
             Err(ProtoError::Idle) => {
                 if last_activity.elapsed() >= cfg.idle_timeout {
-                    log!(Warn, "session {} idle for {:?}; salvaging", guard.id(), cfg.idle_timeout);
-                    salvage(checker.take(), guard, reader.get_mut(), events, obs);
+                    log!(
+                        Warn,
+                        "session {} idle for {:?}; closing",
+                        ctx.guard.id(),
+                        cfg.idle_timeout
+                    );
+                    finish_abnormally(ctx, registry, reader.get_mut(), obs);
                     return;
                 }
             }
+            Err(e @ (ProtoError::Corrupt { .. } | ProtoError::Malformed(_))) => {
+                // The transport corrupted a frame: answer with a typed
+                // Error (the stream can no longer be trusted), then park
+                // or salvage. A durable client reconnects and resumes
+                // from its last Ack.
+                obs.add(names::FRAMES_CORRUPT, 1);
+                log!(Warn, "session {}: {e}", ctx.guard.id());
+                send(reader.get_mut(), &Frame::Error { message: e.to_string() });
+                finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                return;
+            }
             Err(_) => {
-                salvage(checker.take(), guard, reader.get_mut(), events, obs);
+                finish_abnormally(ctx, registry, reader.get_mut(), obs);
                 return;
             }
         }
     }
 }
 
-/// Ends an abnormal session: analyzes whatever arrived in degraded mode,
-/// offers the degraded report to the (possibly gone) client, and records
-/// the session as salvaged.
-fn salvage(
-    checker: Option<StreamingChecker>,
-    guard: SessionGuard,
+/// Ends a session whose connection is no longer usable: durable sessions
+/// park (awaiting a `Resume`), non-durable ones salvage.
+fn finish_abnormally(
+    ctx: SessionCtx,
+    registry: &Arc<Registry>,
     conn: &mut impl Write,
-    events: u64,
+    obs: &RecorderHandle,
+) {
+    if ctx.durable && ctx.checker.is_some() {
+        park(ctx, obs);
+    } else {
+        salvage(ctx, registry, conn, obs);
+    }
+}
+
+/// Parks a durable session: sync the journal, move the live checker into
+/// the registry, wait for a `Resume`.
+fn park(mut ctx: SessionCtx, obs: &RecorderHandle) {
+    let Some(checker) = ctx.checker.take() else {
+        ctx.guard.finish(Outcome::Salvaged);
+        return;
+    };
+    if let Some(j) = ctx.journal.as_mut() {
+        let _ = j.sync_for_ack();
+    }
+    obs.add(names::SESSIONS_PARKED, 1);
+    log!(Info, "session {} parked at seq {}", ctx.guard.id(), ctx.events);
+    ctx.guard.park(ParkedSession {
+        nprocs: ctx.nprocs,
+        checker,
+        expected_seq: ctx.events,
+        journal: ctx.journal,
+        progress: Progress::default(), // replaced by the registry's copy
+    });
+}
+
+/// Ends an abnormal session for good: analyzes whatever arrived in
+/// degraded mode, offers the degraded report to the (possibly gone)
+/// client, and records the session as salvaged.
+fn salvage(
+    mut ctx: SessionCtx,
+    registry: &Arc<Registry>,
+    conn: &mut impl Write,
     obs: &RecorderHandle,
 ) {
     obs.add("serve_sessions_salvaged_total", 1);
-    log!(Warn, "session {} salvaged after {events} event(s)", guard.id());
-    let Some(c) = checker else {
-        guard.finish(Outcome::Salvaged);
+    log!(Warn, "session {} salvaged after {} event(s)", ctx.guard.id(), ctx.events);
+    if let Some(j) = ctx.journal.take() {
+        let _ = j.retire();
+    }
+    let Some(c) = ctx.checker.take() else {
+        ctx.guard.finish(Outcome::Salvaged);
         return;
     };
     let (regions_flushed, peak_buffered, evictions) =
@@ -478,22 +946,29 @@ fn salvage(
         schema_version: REPORT_SCHEMA_VERSION,
         confidence: Confidence::Degraded,
         findings,
-        events_ingested: events,
+        events_ingested: ctx.events,
         regions_flushed,
         peak_buffered,
         evictions,
     };
-    guard.report_progress(Progress {
-        events,
+    ctx.guard.report_progress(Progress {
+        events: ctx.events,
         buffered: 0,
         peak_buffered: report.peak_buffered,
         regions_flushed: report.regions_flushed,
         findings: report.findings.len(),
         degraded: true,
     });
+    let json = report.to_json();
+    let id = ctx.guard.id();
+    if ctx.durable {
+        // A durable client that reconnects after its session salvaged
+        // still deserves the degraded report instead of a Gone.
+        registry.retire_report(id, json.clone());
+    }
     // Settle the registry first (same reason as the completed path),
     // then offer the report — the client is usually gone, and a failed
     // write changes nothing.
-    guard.finish(Outcome::Salvaged);
-    let _ = write_frame(conn, &Frame::Report { json: report.to_json() });
+    ctx.guard.finish(Outcome::Salvaged);
+    let _ = write_frame(conn, &Frame::Report { json });
 }

@@ -32,19 +32,34 @@
 //! Exit codes: 0 clean, 1 errors found, 2 usage/IO error,
 //! 3 degraded analysis with errors, 4 degraded analysis, clean.
 //!
-//! mcc serve [--listen ADDR] [--max-buffer N] [--idle-timeout-ms N]
+//! mcc serve [--listen ADDR] [--max-buffer N] [--soft-watermark N]
+//!           [--idle-timeout-ms N] [--write-timeout-ms N] [--tick-ms N]
+//!           [--max-threads N] [--ack-interval N] [--journal-dir DIR]
+//!           [--fsync never|ack|always] [--resume-grace-ms N] [--recover]
 //!     Run the checker daemon. ADDR is a TCP address (default
 //!     127.0.0.1:9477; port 0 picks a free port) or, on Unix, a socket
 //!     path (recognized by a `/`). Each client connection is a session
 //!     checked online with bounded memory: --max-buffer caps buffered
 //!     events per session (eviction past the cap degrades that session's
-//!     report instead of growing without bound), and sessions idle for
+//!     report instead of growing without bound), --soft-watermark sets
+//!     the backpressure threshold, and sessions idle for
 //!     --idle-timeout-ms are salvaged with a degraded report.
+//!     --journal-dir enables per-session write-ahead journals for
+//!     durable sessions (--fsync picks the sync policy); with --recover
+//!     the daemon scans that directory at startup and rebuilds the
+//!     sessions it finds, so clients can resume across a crash.
+//!     Parked durable sessions wait --resume-grace-ms for a `Resume`
+//!     before the janitor salvages them.
 //!
 //! mcc submit <trace-dir> [--addr ADDR] [--threads N] [--max-buffer N]
-//!            [--format text|json]
+//!            [--format text|json] [--durable] [--retries N]
+//!            [--backoff-ms N] [--throttle-ms N]
 //!     Stream a recorded trace directory to a running daemon and print
 //!     the returned session report. Exit codes as for `mcc check`.
+//!     --durable opens a resumable session and retries through
+//!     connection drops and daemon restarts (--retries attempts,
+//!     exponential backoff from --backoff-ms with jitter); --throttle-ms
+//!     paces the stream one frame at a time (chaos/CI use).
 //!
 //! mcc stats [--addr ADDR] [--metrics]
 //!     Print a running daemon's supervisor state as JSON. With
@@ -360,28 +375,69 @@ fn session_report_exit(report: &SessionReport, json: bool) -> ExitCode {
     }
 }
 
+/// Parses a positive-integer flag, reporting a uniform usage error.
+fn positive_flag<T: std::str::FromStr + PartialOrd + From<u8>>(
+    args: &[String],
+    flag: &str,
+) -> Result<Option<T>, ExitCode> {
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(v) => match v.parse::<T>() {
+            Ok(n) if n >= T::from(1u8) => Ok(Some(n)),
+            _ => {
+                eprintln!("mcc: {flag} expects a positive integer, got `{v}`");
+                Err(ExitCode::from(2))
+            }
+        },
+    }
+}
+
 fn cmd_serve(args: &[String]) -> ExitCode {
     let addr = flag_value(args, "--listen").unwrap_or(DEFAULT_ADDR);
     let mut cfg = ServeConfig::default();
-    if let Some(v) = flag_value(args, "--max-buffer") {
-        match v.parse::<usize>() {
-            Ok(n) if n >= 1 => cfg.hard_watermark = n,
-            _ => {
-                eprintln!("mcc: --max-buffer expects a positive integer, got `{v}`");
+    macro_rules! take {
+        ($flag:literal, $ty:ty, $set:expr) => {
+            match positive_flag::<$ty>(args, $flag) {
+                Ok(Some(v)) =>
+                {
+                    #[allow(clippy::redundant_closure_call)]
+                    ($set)(&mut cfg, v)
+                }
+                Ok(None) => {}
+                Err(code) => return code,
+            }
+        };
+    }
+    take!("--max-buffer", usize, |c: &mut ServeConfig, n| c.hard_watermark = n);
+    take!("--soft-watermark", usize, |c: &mut ServeConfig, n| c.soft_watermark = n);
+    take!("--idle-timeout-ms", u64, |c: &mut ServeConfig, n| c.idle_timeout =
+        Duration::from_millis(n));
+    take!("--write-timeout-ms", u64, |c: &mut ServeConfig, n| c.write_timeout =
+        Some(Duration::from_millis(n)));
+    take!("--tick-ms", u64, |c: &mut ServeConfig, n| c.tick = Duration::from_millis(n));
+    take!("--max-threads", usize, |c: &mut ServeConfig, n| c.max_threads = n);
+    take!("--ack-interval", u64, |c: &mut ServeConfig, n| c.ack_interval = n);
+    take!("--resume-grace-ms", u64, |c: &mut ServeConfig, n| c.resume_grace =
+        Duration::from_millis(n));
+    cfg.soft_watermark = cfg.soft_watermark.min(cfg.hard_watermark);
+    if let Some(dir) = flag_value(args, "--journal-dir") {
+        cfg.journal_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(v) = flag_value(args, "--fsync") {
+        match mc_checker::serve::FsyncPolicy::parse(v) {
+            Some(p) => cfg.fsync = p,
+            None => {
+                eprintln!("mcc: --fsync expects never|ack|always, got `{v}`");
                 return ExitCode::from(2);
             }
         }
-        cfg.soft_watermark = cfg.soft_watermark.min(cfg.hard_watermark);
     }
-    if let Some(v) = flag_value(args, "--idle-timeout-ms") {
-        match v.parse::<u64>() {
-            Ok(ms) if ms >= 1 => cfg.idle_timeout = Duration::from_millis(ms),
-            _ => {
-                eprintln!("mcc: --idle-timeout-ms expects a positive integer, got `{v}`");
-                return ExitCode::from(2);
-            }
-        }
+    cfg.recover = args.iter().any(|a| a == "--recover");
+    if cfg.recover && cfg.journal_dir.is_none() {
+        eprintln!("mcc: --recover requires --journal-dir");
+        return ExitCode::from(2);
     }
+    let recover = cfg.recover;
     let server = match Server::bind(addr, cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -391,6 +447,13 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     };
     // Parsed by the serve-smoke CI job and the `submit --addr` examples.
     println!("mcc serve: listening on {}", server.local_addr());
+    if recover {
+        // Parsed by the chaos-smoke CI job.
+        println!(
+            "mcc serve: recovered {} parked session(s) from the journal",
+            server.registry().parked_count()
+        );
+    }
     match server.run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -439,6 +502,37 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         }
     };
     let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    if args.iter().any(|a| a == "--durable") {
+        let mut policy = client::RetryPolicy::default();
+        match positive_flag::<u32>(args, "--retries") {
+            Ok(Some(n)) => policy.retries = n,
+            Ok(None) => {}
+            Err(code) => return code,
+        }
+        match positive_flag::<u64>(args, "--backoff-ms") {
+            Ok(Some(ms)) => policy.base_backoff = Duration::from_millis(ms),
+            Ok(None) => {}
+            Err(code) => return code,
+        }
+        match positive_flag::<u64>(args, "--throttle-ms") {
+            Ok(Some(ms)) => policy.throttle = Some(Duration::from_millis(ms)),
+            Ok(None) => {}
+            Err(code) => return code,
+        }
+        return match client::submit_durable_tcp(addr, &trace, &opts, &policy) {
+            Ok((report, stats)) => {
+                eprintln!(
+                    "durable submit: {} attempt(s), {} resume(s), {} event(s) re-sent, {:.1?}",
+                    stats.attempts, stats.resumes, stats.events_resent, stats.wall
+                );
+                session_report_exit(&report, json)
+            }
+            Err(e) => {
+                eprintln!("mcc: durable submit to `{addr}` failed: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     match client::submit_tcp(addr, &trace, &opts) {
         Ok(report) => session_report_exit(&report, json),
         Err(e) => {

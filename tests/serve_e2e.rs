@@ -123,6 +123,7 @@ fn killed_session_is_salvaged_not_leaked() {
             write_frame(
                 reader.get_mut(),
                 &Frame::Event {
+                    seq: rank as u64,
                     rank,
                     kind: mc_checker::types::EventKind::Barrier { comm: CommId::WORLD },
                     loc: mc_checker::types::SourceLoc::unknown(),
@@ -165,6 +166,7 @@ fn idle_session_receives_degraded_report() {
     write_frame(
         reader.get_mut(),
         &Frame::Event {
+            seq: 0,
             rank: 0,
             kind: mc_checker::types::EventKind::Barrier { comm: CommId::WORLD },
             loc: mc_checker::types::SourceLoc::unknown(),
@@ -243,7 +245,7 @@ fn client_requested_cap_and_stats_json_shape() {
     let (addr, handle, join) = start_server(quick_cfg());
 
     let trace = trace_of(2, 0xdead, bugs::emulate::buggy);
-    let opts = SessionOpts { threads: 2, max_buffered: 4 };
+    let opts = SessionOpts { threads: 2, max_buffered: 4, durable: false };
     let report = client::submit_tcp(&addr, &trace, &opts).expect("submit");
     assert_eq!(report.confidence, Confidence::Degraded);
     assert!(report.peak_buffered <= 4);

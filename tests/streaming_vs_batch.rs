@@ -113,20 +113,23 @@ fn arb_loc() -> impl Strategy<Value = SourceLoc> {
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
-        (0..9u32, 0..64u32, 1..8u32, 0..4096u32).prop_map(|(version, nprocs, threads, cap)| {
-            Frame::Hello { version, nprocs, opts: SessionOpts { threads, max_buffered: cap } }
-        }),
+        (0..9u32, 0..64u32, 1..8u32, 0..4096u32, 0..2u8).prop_map(
+            |(version, nprocs, threads, cap, durable)| Frame::Hello {
+                version,
+                nprocs,
+                opts: SessionOpts { threads, max_buffered: cap, durable: durable == 1 },
+            }
+        ),
         (0..9u32, 0..u64::MAX, 0..3usize).prop_map(|(version, session, caps)| Frame::Welcome {
             version,
             session,
             capabilities: (0..caps).map(|i| format!("cap{i}")).collect(),
         }),
-        (0..8u32, 0..16u32, arb_loc()).prop_map(|(rank, win, loc)| Frame::Event {
-            rank,
-            kind: EventKind::Fence { win: WinId(win) },
-            loc,
+        (0..u64::MAX, 0..8u32, 0..16u32, arb_loc()).prop_map(|(seq, rank, win, loc)| {
+            Frame::Event { seq, rank, kind: EventKind::Fence { win: WinId(win) }, loc }
         }),
-        (0..8u32, arb_loc()).prop_map(|(rank, loc)| Frame::Event {
+        (0..u64::MAX, 0..8u32, arb_loc()).prop_map(|(seq, rank, loc)| Frame::Event {
+            seq,
             rank,
             kind: EventKind::Barrier { comm: CommId::WORLD },
             loc,
@@ -134,6 +137,10 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         Just(Frame::Finish),
         Just(Frame::Stats),
         Just(Frame::Metrics),
+        (0..u64::MAX).prop_map(|through| Frame::Ack { through }),
+        (0..u64::MAX, 0..u64::MAX)
+            .prop_map(|(session, from_seq)| Frame::Resume { session, from_seq }),
+        (0..u64::MAX).prop_map(|session| Frame::Gone { session }),
         (0..100u32).prop_map(|i| Frame::MetricsReport { text: format!("mcc_x {i}\n") }),
         (0..100u32).prop_map(|i| Frame::Report { json: format!("{{\"i\":{i}}}") }),
         (0..100u32).prop_map(|i| Frame::StatsReport { json: format!("{{\"n\":{i}}}") }),
