@@ -20,6 +20,7 @@ pub mod jacobi;
 pub mod lockopts;
 pub mod mpi3_queue;
 pub mod pingpong;
+pub mod recovery_gallery;
 
 use mcc_mpi_sim::{run, run_tolerant, DeliveryPolicy, FaultPlan, Proc, SimConfig, SimError};
 use mcc_types::Trace;
@@ -73,6 +74,7 @@ pub fn trace_under_faults(
             .with_seed(seed)
             .with_delivery(DeliveryPolicy::AtClose)
             .with_faults(faults)
+            .expect("bug-case fault plan targets existing ranks")
             .with_watchdog(Duration::from_millis(2000)),
         body,
     )

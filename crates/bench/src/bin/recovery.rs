@@ -1,0 +1,347 @@
+//! Rank-failure recovery benchmark: what a survivable failure costs the
+//! checker, and what a daemon crash costs a recovered session.
+//!
+//! For every recovery-gallery workload the bench measures two latencies:
+//! the failure-aware *analysis* itself (quarantine + ghost
+//! synchronization + recovery rules, batch, in process), and the
+//! *daemon restart* path — a durable session streams half its events,
+//! the daemon vanishes mid-recovery, a second daemon replays the
+//! journal, and the client resumes and finishes. The restart run also
+//! counts what had to be re-executed: events past the acknowledged
+//! prefix, and the epochs they close. Any report that is not
+//! byte-identical to the uninterrupted run (and to batch) exits 1.
+//! Results go to `BENCH_recovery.json`.
+//!
+//! ```text
+//! cargo run -p mcc-bench --release --bin recovery [-- --reps 3 \
+//!     --out BENCH_recovery.json]
+//! ```
+
+use mcc_apps::bugs::{recovery_gallery, trace_under_faults};
+use mcc_core::report::Confidence;
+use mcc_core::AnalysisSession;
+use mcc_serve::journal::FsyncPolicy;
+use mcc_serve::proto::{write_frame, Frame, FrameReader, ProtoError, SessionOpts};
+use mcc_serve::{client, ServeConfig, Server};
+use mcc_types::{EventKind, Trace};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+struct Row {
+    name: &'static str,
+    nprocs: u32,
+    events: usize,
+    failed_rank: u32,
+    findings: usize,
+    analysis_ms: f64,
+    replay_ms: f64,
+    resume_ms: f64,
+    reexecuted_events: u64,
+    reexecuted_epochs: u64,
+}
+
+fn cfg(dir: &Path, recover: bool) -> ServeConfig {
+    ServeConfig {
+        tick: Duration::from_millis(20),
+        // the gallery traces are small; ack every other event so a
+        // provably journaled prefix exists before the daemon dies
+        ack_interval: 2,
+        resume_grace: Duration::from_secs(60),
+        journal_dir: Some(dir.to_path_buf()),
+        fsync: FsyncPolicy::Always,
+        recover,
+        ..ServeConfig::default()
+    }
+}
+
+fn read_frame<R: std::io::Read>(reader: &mut FrameReader<R>) -> Option<Frame> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match reader.next_frame() {
+            Ok(f) => return f,
+            Err(ProtoError::Idle) => assert!(Instant::now() < deadline, "no frame within 10s"),
+            Err(e) => panic!("protocol error: {e}"),
+        }
+    }
+}
+
+/// True for the synchronization calls that close an access/exposure
+/// epoch — re-sending one of these makes the daemon re-execute that
+/// epoch's analysis.
+fn closes_epoch(kind: &EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::Fence { .. }
+            | EventKind::Unlock { .. }
+            | EventKind::UnlockAll { .. }
+            | EventKind::Complete { .. }
+            | EventKind::WaitWin { .. }
+            | EventKind::WinFree { .. }
+    )
+}
+
+/// The event kinds in the wire order `client::encode_events` uses
+/// (round-robin across ranks), so a wire sequence number maps back to
+/// its event.
+fn wire_order(trace: &Trace) -> Vec<EventKind> {
+    let mut out = Vec::with_capacity(trace.total_events());
+    let mut idx = vec![0usize; trace.nprocs()];
+    let mut remaining = trace.total_events();
+    while remaining > 0 {
+        #[allow(clippy::needless_range_loop)] // r doubles as the rank id
+        for r in 0..trace.nprocs() {
+            if idx[r] < trace.procs[r].events.len() {
+                out.push(trace.procs[r].events[idx[r]].kind.clone());
+                idx[r] += 1;
+                remaining -= 1;
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let reps = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(3)
+        .max(1);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_recovery.json".to_string());
+
+    println!("Rank-failure recovery benchmark: 4 gallery workloads, best of {reps} rep(s)");
+    println!();
+    println!(
+        "{:>20} {:>6} {:>7} {:>9} {:>11} {:>10} {:>10} {:>8} {:>7}",
+        "workload", "procs", "events", "findings", "analysis", "replay", "resume", "re-ev", "re-ep"
+    );
+    println!("{}", "-".repeat(96));
+
+    let mut diverged = false;
+    let mut rows: Vec<Row> = Vec::new();
+
+    for (spec, faults, body) in recovery_gallery::gallery() {
+        // Rank deaths are the point of these runs; keep their panic
+        // backtraces out of the bench output.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (trace, error) = trace_under_faults(spec.nprocs, 11, faults(), body);
+        std::panic::set_hook(prev);
+        assert!(error.is_none(), "{}: survivable failure is not an error", spec.name);
+
+        // Failure-aware batch analysis latency (best of reps).
+        let mut analysis = Duration::MAX;
+        let mut batch = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let report = AnalysisSession::new().run(&trace);
+            analysis = analysis.min(t0.elapsed());
+            batch = Some(report);
+        }
+        let batch = batch.unwrap();
+        assert_eq!(batch.confidence, Confidence::Recovered, "{}", spec.name);
+
+        // Uninterrupted durable run: the byte-identity baseline.
+        let dir0 = tmpdir(&format!("bench-rec-base-{}", spec.name));
+        let server = Server::bind("127.0.0.1:0", cfg(&dir0, false)).expect("bind");
+        let addr = server.local_addr().to_string();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().expect("serve loop"));
+        let policy = client::RetryPolicy {
+            retries: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            reply_deadline: Duration::from_secs(10),
+            jitter_seed: 0,
+            throttle: None,
+        };
+        let (uninterrupted, _stats) = client::submit_durable_tcp(
+            &addr,
+            &trace,
+            &SessionOpts { durable: true, ..SessionOpts::default() },
+            &policy,
+        )
+        .expect("uninterrupted submit");
+        handle.shutdown();
+        join.join().expect("server thread");
+        let _ = std::fs::remove_dir_all(&dir0);
+
+        // Crash mid-recovery: daemon A journals half the stream and
+        // dies; daemon B replays the journal and finishes the session.
+        let encoded = client::encode_events(&trace);
+        let half = encoded.len() / 2;
+        let dir = tmpdir(&format!("bench-rec-{}", spec.name));
+
+        let server_a = Server::bind("127.0.0.1:0", cfg(&dir, false)).expect("bind A");
+        let addr_a = server_a.local_addr().to_string();
+        let registry_a = server_a.registry();
+        let handle_a = server_a.handle();
+        let join_a = std::thread::spawn(move || server_a.run().expect("serve loop A"));
+        let session_id;
+        {
+            let stream = TcpStream::connect(&addr_a).expect("connect A");
+            stream.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
+            let mut reader = FrameReader::new(stream);
+            let opts = SessionOpts { durable: true, ..SessionOpts::default() };
+            write_frame(
+                reader.get_mut(),
+                &Frame::Hello { version: mcc_serve::PROTOCOL_VERSION, nprocs: spec.nprocs, opts },
+            )
+            .unwrap();
+            session_id = match read_frame(&mut reader) {
+                Some(Frame::Welcome { session, .. }) => session,
+                other => panic!("expected Welcome, got {other:?}"),
+            };
+            use std::io::Write;
+            for bytes in &encoded[..half] {
+                reader.get_mut().write_all(bytes).unwrap();
+            }
+            reader.get_mut().flush().unwrap();
+            match read_frame(&mut reader) {
+                Some(Frame::Ack { through }) => assert!(through > 0, "no journaled prefix"),
+                other => panic!("expected Ack, got {other:?}"),
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while registry_a.parked_count() != 1 {
+            assert!(Instant::now() < deadline, "{}: session must park", spec.name);
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        handle_a.shutdown();
+        join_a.join().expect("server A thread");
+
+        // Replay latency: bind-with-recover scans and replays journals.
+        let t0 = Instant::now();
+        let server_b = Server::bind("127.0.0.1:0", cfg(&dir, true)).expect("bind B");
+        let replay = t0.elapsed();
+        assert_eq!(server_b.registry().parked_count(), 1, "{}: recovery parks", spec.name);
+        let addr_b = server_b.local_addr().to_string();
+        let handle_b = server_b.handle();
+        let join_b = std::thread::spawn(move || server_b.run().expect("serve loop B"));
+
+        // Resume latency: reconnect to final report.
+        let t1 = Instant::now();
+        let stream = TcpStream::connect(&addr_b).expect("connect B");
+        stream.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
+        let mut reader = FrameReader::new(stream);
+        write_frame(reader.get_mut(), &Frame::Resume { session: session_id, from_seq: 0 }).unwrap();
+        assert!(matches!(read_frame(&mut reader), Some(Frame::Welcome { .. })));
+        let through = match read_frame(&mut reader) {
+            Some(Frame::Ack { through }) => through,
+            other => panic!("expected resume Ack, got {other:?}"),
+        };
+        {
+            use std::io::Write;
+            for bytes in &encoded[through as usize..] {
+                reader.get_mut().write_all(bytes).unwrap();
+            }
+            reader.get_mut().flush().unwrap();
+        }
+        write_frame(reader.get_mut(), &Frame::Finish).unwrap();
+        let report = loop {
+            match read_frame(&mut reader) {
+                Some(Frame::Report { json }) => {
+                    break mcc_serve::SessionReport::from_json(&json).expect("report json")
+                }
+                Some(Frame::Ack { .. }) => {}
+                Some(other) => panic!("unexpected frame {other:?}"),
+                None => panic!("daemon B closed before the report"),
+            }
+        };
+        let resume = t1.elapsed();
+        handle_b.shutdown();
+        join_b.join().expect("server B thread");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        if report.to_json() != uninterrupted.to_json() {
+            eprintln!("DIVERGENCE: {}: restart report differs from uninterrupted", spec.name);
+            diverged = true;
+        }
+        if report.findings != batch.diagnostics {
+            eprintln!("DIVERGENCE: {}: restart report differs from batch", spec.name);
+            diverged = true;
+        }
+
+        let order = wire_order(&trace);
+        let resent = &order[through as usize..];
+        let row = Row {
+            name: spec.name,
+            nprocs: spec.nprocs,
+            events: trace.total_events(),
+            failed_rank: spec.failed_rank,
+            findings: batch.diagnostics.len(),
+            analysis_ms: analysis.as_secs_f64() * 1e3,
+            replay_ms: replay.as_secs_f64() * 1e3,
+            resume_ms: resume.as_secs_f64() * 1e3,
+            reexecuted_events: resent.len() as u64,
+            reexecuted_epochs: resent.iter().filter(|k| closes_epoch(k)).count() as u64,
+        };
+        println!(
+            "{:>20} {:>6} {:>7} {:>9} {:>9.2}ms {:>8.2}ms {:>8.2}ms {:>8} {:>7}",
+            row.name,
+            row.nprocs,
+            row.events,
+            row.findings,
+            row.analysis_ms,
+            row.replay_ms,
+            row.resume_ms,
+            row.reexecuted_events,
+            row.reexecuted_epochs,
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"recovery\",\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"nprocs\": {}, \"events\": {}, \"failed_rank\": {}, \
+             \"findings\": {}, \"analysis_ms\": {:.3}, \"journal_replay_ms\": {:.3}, \
+             \"resume_to_report_ms\": {:.3}, \"recovery_latency_ms\": {:.3}, \
+             \"reexecuted_events\": {}, \"reexecuted_epochs\": {}}}{}\n",
+            r.name,
+            r.nprocs,
+            r.events,
+            r.failed_rank,
+            r.findings,
+            r.analysis_ms,
+            r.replay_ms,
+            r.resume_ms,
+            r.replay_ms + r.resume_ms,
+            r.reexecuted_events,
+            r.reexecuted_epochs,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"diverged\": {diverged}\n"));
+    json.push_str("}\n");
+    std::fs::write(&out, &json).expect("write results");
+    println!();
+    println!("results written to {out}");
+
+    if diverged {
+        eprintln!("FAIL: at least one recovered report diverged");
+        std::process::exit(1);
+    }
+    println!("OK: every restart ended byte-identical to the uninterrupted run and to batch.");
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mcc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create scratch dir");
+    d
+}

@@ -73,6 +73,18 @@ impl CheckReport {
         }
     }
 
+    /// Marks the report as analyzed across a survivable rank failure.
+    ///
+    /// Unlike [`mark_degraded`](Self::mark_degraded) this touches only the
+    /// report-level confidence: findings from intact pre-failure regions
+    /// keep [`Confidence::Complete`] (the streaming checker emitted them
+    /// before the failure and batch must agree byte-for-byte), while the
+    /// failure-specific findings are constructed as
+    /// [`Confidence::Recovered`] at the source.
+    pub fn mark_recovered(&mut self) {
+        self.confidence = Confidence::Recovered;
+    }
+
     /// Only the definite errors.
     pub fn errors(&self) -> impl Iterator<Item = &ConsistencyError> {
         self.diagnostics.iter().filter(|e| e.severity == Severity::Error)
@@ -90,11 +102,16 @@ impl CheckReport {
 
     /// Renders the report the way the MC-Checker CLI would print it.
     pub fn render(&self) -> String {
-        let banner = if self.confidence == Confidence::Degraded {
-            "MC-Checker: DEGRADED ANALYSIS — the trace was incomplete or damaged; \
-             findings cover only what survived.\n"
-        } else {
-            ""
+        let banner = match self.confidence {
+            Confidence::Degraded => {
+                "MC-Checker: DEGRADED ANALYSIS — the trace was incomplete or damaged; \
+                 findings cover only what survived.\n"
+            }
+            Confidence::Recovered => {
+                "MC-Checker: RECOVERED ANALYSIS — a rank failed survivably; \
+                 the failure was modeled explicitly.\n"
+            }
+            Confidence::Complete => "",
         };
         if self.diagnostics.is_empty() {
             return format!("{banner}MC-Checker: no memory consistency errors detected.\n");
@@ -168,6 +185,8 @@ impl CheckReport {
                 let kind = match e.kind {
                     ConflictKind::OverlapViolation => "overlap-violation",
                     ConflictKind::SeparationViolation => "separation-violation",
+                    ConflictKind::StaleReadFromFailedRank => "stale-read-from-failed-rank",
+                    ConflictKind::LostUpdateAcrossReexposure => "lost-update-across-reexposure",
                 };
                 let scope = match e.scope {
                     ErrorScope::IntraEpoch { rank, win } => obj(vec![

@@ -282,6 +282,12 @@ fn drop_reason(tables: &Tables, rank: usize, idx: usize, kind: &EventKind) -> Op
         | EventKind::CommSize { .. }
         | EventKind::Load { .. }
         | EventKind::Store { .. } => None,
+        // Failure/recovery markers are inert annotations: they reference
+        // no epoch or communicator state, so they are always kept.
+        EventKind::RankFailed { .. }
+        | EventKind::WinReexpose { .. }
+        | EventKind::Checkpoint { .. }
+        | EventKind::Restore { .. } => None,
     }
 }
 

@@ -9,6 +9,7 @@ pub(crate) mod inter;
 pub(crate) mod intra;
 pub mod matching;
 pub mod preprocess;
+pub mod recovery;
 pub mod regions;
 pub mod report;
 pub mod session;
@@ -17,6 +18,7 @@ pub mod vc;
 
 pub use check::{AnalysisStats, CheckReport};
 pub use degrade::{sanitize, DegradedInfo};
+pub use recovery::RecoveryAnalysis;
 pub use report::{Confidence, ConsistencyError, ErrorScope, OpInfo, Severity};
 pub use session::{AnalysisSession, AnalysisSessionBuilder, Engine};
 pub use streaming::{StreamError, StreamingChecker, StreamingStats};

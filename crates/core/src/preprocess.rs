@@ -253,10 +253,16 @@ pub fn preprocess(trace: &Trace) -> Ctx {
     // Window creation needs each member's contribution; collect pieces.
     type WinParts = HashMap<WinId, (CommId, HashMap<Rank, (u64, u64)>)>;
     let mut win_parts: WinParts = HashMap::new();
+    // Ranks the survivors report failed: a window created *after* the
+    // failure legitimately has no contribution from the corpse.
+    let mut failed: std::collections::HashSet<Rank> = std::collections::HashSet::new();
 
     for (er, event) in trace.iter_events() {
         let rank = er.rank;
         match &event.kind {
+            EventKind::RankFailed { failed: f, .. } => {
+                failed.insert(*f);
+            }
             EventKind::GroupIncl { old, new, ranks } => {
                 let old_members = ctx.groups[rank.idx()]
                     .get(old)
@@ -331,10 +337,15 @@ pub fn preprocess(trace: &Trace) -> Ctx {
         let ranks = members
             .iter()
             .map(|m| {
-                parts
-                    .get(m)
-                    .copied()
-                    .unwrap_or_else(|| panic!("window {win}: member {m} logged no WinCreate"))
+                parts.get(m).copied().unwrap_or_else(|| {
+                    // A failed rank exposes nothing in windows created
+                    // after its death; anyone else missing is a torn log.
+                    if failed.contains(m) {
+                        (0, 0)
+                    } else {
+                        panic!("window {win}: member {m} logged no WinCreate")
+                    }
+                })
             })
             .collect();
         ctx.wins.insert(win, WinMeta { comm, ranks });

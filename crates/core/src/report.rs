@@ -37,11 +37,20 @@ impl fmt::Display for Severity {
 /// [`Confidence::Degraded`]: the conflict is real in what survived, but
 /// the lost tail could have contained synchronization that changes the
 /// verdict.
+/// A third state, [`Confidence::Recovered`], sits between the two: the
+/// trace records a *survivable* rank failure (failure notifications and —
+/// optionally — checkpoint/restore or window re-exposure markers), and the
+/// analysis accounted for the failure explicitly. Nothing was guessed, so
+/// findings are trustworthy, but the failed rank's final epoch is
+/// necessarily incomplete.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Confidence {
     /// The whole trace was available and internally consistent.
     #[default]
     Complete,
+    /// A rank failed survivably; the analysis is complete over the
+    /// surviving data with the failure modeled explicitly.
+    Recovered,
     /// The trace was truncated or damaged and analyzed in degraded mode.
     Degraded,
 }
@@ -50,6 +59,7 @@ impl fmt::Display for Confidence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Confidence::Complete => f.write_str("complete"),
+            Confidence::Recovered => f.write_str("recovered"),
             Confidence::Degraded => f.write_str("degraded"),
         }
     }
@@ -160,14 +170,15 @@ pub struct ConsistencyError {
 impl ConsistencyError {
     /// A stable key used to deduplicate reports that repeat the same
     /// source-level conflict (e.g. each iteration of a loop). The key is
-    /// order-insensitive in the pair and includes the scope, so the same
-    /// two source lines conflicting both within an epoch and across
-    /// processes count as distinct findings.
+    /// order-insensitive in the pair and includes the scope and the rule
+    /// violated, so the same two source lines conflicting both within an
+    /// epoch and across processes — or under an ordinary data race *and* a
+    /// failure-specific rule — count as distinct findings.
     pub fn dedup_key(&self) -> String {
         let pa = format!("{}:{}:{}", self.a.loc.file, self.a.loc.line, self.a.op);
         let pb = format!("{}:{}:{}", self.b.loc.file, self.b.loc.line, self.b.op);
         let (lo, hi) = if pa <= pb { (pa, pb) } else { (pb, pa) };
-        format!("{}|{lo}|{hi}", self.scope)
+        format!("{}|{:?}|{lo}|{hi}", self.scope, self.kind)
     }
 
     /// The canonical presentation order of findings: by (rank, event id)
@@ -184,8 +195,14 @@ impl ConsistencyError {
 impl fmt::Display for ConsistencyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}: memory consistency error {}", self.severity, self.scope)?;
-        if self.confidence == Confidence::Degraded {
-            writeln!(f, "  confidence: degraded (analyzed from a damaged trace)")?;
+        match self.confidence {
+            Confidence::Complete => {}
+            Confidence::Recovered => {
+                writeln!(f, "  confidence: recovered (a rank failure was modeled explicitly)")?;
+            }
+            Confidence::Degraded => {
+                writeln!(f, "  confidence: degraded (analyzed from a damaged trace)")?;
+            }
         }
         writeln!(f, "  (1) {}", self.a)?;
         writeln!(f, "  (2) {}", self.b)?;

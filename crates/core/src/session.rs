@@ -44,6 +44,7 @@ use crate::inter;
 use crate::intra;
 use crate::matching;
 use crate::preprocess;
+use crate::recovery;
 use crate::regions::{self, Regions};
 use crate::report::{Confidence, ConsistencyError};
 use crate::vc::Clocks;
@@ -203,8 +204,17 @@ impl AnalysisSession {
     /// must be internally consistent (as produced by the profiler or
     /// [`mcc_types::TraceBuilder`]); with it, damaged traces are repaired
     /// first and the report is marked degraded when repair was needed.
+    ///
+    /// Traces carrying failure notifications
+    /// ([`mcc_types::EventKind::RankFailed`]) are automatically routed
+    /// through the failure-aware pipeline ([`Self::run_recovered`])
+    /// regardless of the tolerance setting: a survivable failure is not
+    /// trace damage, and analyzing the failed rank's in-flight tail with
+    /// the ordinary rules would mix delivered and undelivered effects.
     pub fn run(&self, trace: &Trace) -> CheckReport {
-        if self.cfg.tolerate_truncation {
+        if recovery::has_failure_markers(trace) {
+            self.run_recovered(trace).0
+        } else if self.cfg.tolerate_truncation {
             self.run_with_repair(trace).0
         } else {
             self.analyze(trace)
@@ -214,6 +224,9 @@ impl AnalysisSession {
     /// Like [`run`](Self::run) with tolerance on, but also returns what
     /// the sanitizer did — the entry point for the CLI's tolerant path.
     pub fn run_with_repair(&self, trace: &Trace) -> (CheckReport, DegradedInfo) {
+        if recovery::has_failure_markers(trace) {
+            return self.run_recovered(trace);
+        }
         let (repaired, info) = degrade::sanitize(trace);
         if !info.is_clean() {
             let obs = &self.cfg.recorder;
@@ -229,6 +242,96 @@ impl AnalysisSession {
         let mut report = self.analyze(&repaired);
         if !info.is_clean() {
             report.mark_degraded();
+        }
+        (report, info)
+    }
+
+    /// The failure-aware pipeline for traces that record a survivable
+    /// rank failure.
+    ///
+    /// The trace is sanitized (the failed rank's torn tail gets its
+    /// synthetic epoch closes, attributed to the failure), analyzed with
+    /// the ordinary rules, and then post-processed against the
+    /// [`recovery`] pass: regular findings that cite *quarantined* events
+    /// — the failed rank's in-flight tail, whose memory effects may never
+    /// have been delivered — are retracted, and the failure-specific
+    /// findings (stale reads, lost updates across re-exposure) are merged
+    /// in canonical order. The report is
+    /// [`Confidence::Recovered`] unless a *surviving* rank's log also
+    /// needed repair, which is real damage and keeps the report
+    /// [`Confidence::Degraded`].
+    pub fn run_recovered(&self, trace: &Trace) -> (CheckReport, DegradedInfo) {
+        let obs = &self.cfg.recorder;
+        // Ghost synchronization first: append the failed ranks' ghost
+        // participation in the collectives the survivors completed around
+        // them, so post-failure epoch boundaries still match. The ghosts
+        // are recorded as synthesized events — the recovery pass skips
+        // them when placing the quarantine line, and the degraded summary
+        // attributes them to the failure.
+        let mut ghosted = trace.clone();
+        let ghosts = recovery::synthesize_ghost_sync(&mut ghosted);
+        let (repaired, mut info) = degrade::sanitize(&ghosted);
+        for &(rank, n) in &ghosts {
+            obs.add("recovered_ghost_sync_total", n as u64);
+            for _ in 0..n {
+                info.synthesized
+                    .push((rank, "ghost participation in a survivor collective".to_string()));
+            }
+        }
+        let mut report = self.analyze(&repaired);
+        let rec = recovery::analyze(&repaired, &info);
+        obs.add("recovered_failed_ranks_total", rec.failed.len() as u64);
+        obs.add("recovered_quarantined_events_total", rec.quarantined.len() as u64);
+        mcc_obs::log!(
+            Warn,
+            "failure-aware analysis: {} failed rank(s), {} event(s) quarantined, \
+             {} failure-specific finding(s)",
+            rec.failed.len(),
+            rec.quarantined.len(),
+            rec.findings.len()
+        );
+
+        // Retract regular findings built on quarantined evidence BEFORE
+        // merging the failure-specific ones (which legitimately cite the
+        // quarantined write as one side of the pair).
+        let quarantined: HashSet<_> = rec.quarantined.iter().copied().collect();
+        report
+            .diagnostics
+            .retain(|d| !quarantined.contains(&d.a.ev) && !quarantined.contains(&d.b.ev));
+        for d in &rec.findings {
+            use crate::report::Severity;
+            use mcc_types::ConflictKind;
+            obs.add(
+                match d.severity {
+                    Severity::Error => "findings_error_total",
+                    Severity::Warning => "findings_warning_total",
+                },
+                1,
+            );
+            obs.add(
+                match d.kind {
+                    ConflictKind::StaleReadFromFailedRank => "findings_stale_read_total",
+                    ConflictKind::LostUpdateAcrossReexposure => "findings_lost_update_total",
+                    ConflictKind::OverlapViolation => "findings_overlap_total",
+                    ConflictKind::SeparationViolation => "findings_separation_total",
+                },
+                1,
+            );
+        }
+        report.diagnostics.extend(rec.findings);
+        report.diagnostics.sort_by_key(|x| x.canonical_key());
+        let mut seen = HashSet::new();
+        report.diagnostics.retain(|e| seen.insert(e.dedup_key()));
+
+        // Repair at a rank that did NOT fail is genuine trace damage.
+        let failed: HashSet<u32> = rec.failed.iter().map(|(r, _)| r.0).collect();
+        let survivor_damage =
+            info.dropped.iter().map(|(r, _, _)| r.0).any(|r| !failed.contains(&r))
+                || info.synthesized.iter().map(|(r, _)| r.0).any(|r| !failed.contains(&r));
+        if survivor_damage {
+            report.mark_degraded();
+        } else {
+            report.mark_recovered();
         }
         (report, info)
     }
@@ -360,6 +463,8 @@ impl AnalysisSession {
                 match d.kind {
                     ConflictKind::OverlapViolation => "findings_overlap_total",
                     ConflictKind::SeparationViolation => "findings_separation_total",
+                    ConflictKind::StaleReadFromFailedRank => "findings_stale_read_total",
+                    ConflictKind::LostUpdateAcrossReexposure => "findings_lost_update_total",
                 },
                 1,
             );

@@ -110,6 +110,10 @@ pub struct StreamingChecker {
     /// Buffered-event cap; exceeding it with no flushable region evicts.
     high_watermark: Option<usize>,
     degraded: bool,
+    /// A failure notification passed through the stream; the failed
+    /// rank's unflushed tail is handled by the failure-aware pipeline at
+    /// the final drain.
+    recovered: bool,
     /// Regions flushed so far.
     pub regions_flushed: usize,
     /// High-water mark of buffered events (the memory bound).
@@ -146,6 +150,7 @@ impl StreamingChecker {
             epoch_base: vec![0; nprocs],
             high_watermark: None,
             degraded: false,
+            recovered: false,
             regions_flushed: 0,
             peak_buffered: 0,
             evictions: 0,
@@ -169,6 +174,25 @@ impl StreamingChecker {
     /// final findings carry [`Confidence::Degraded`].
     pub fn is_degraded(&self) -> bool {
         self.degraded
+    }
+
+    /// Whether a failure notification was streamed: the session covers a
+    /// survivable rank failure, and the overall verdict is
+    /// [`Confidence::Recovered`] (unless also degraded, which wins).
+    pub fn is_recovered(&self) -> bool {
+        self.recovered
+    }
+
+    /// The session's overall confidence so far: degraded beats recovered
+    /// beats complete.
+    pub fn confidence(&self) -> Confidence {
+        if self.is_degraded() {
+            Confidence::Degraded
+        } else if self.is_recovered() {
+            Confidence::Recovered
+        } else {
+            Confidence::Complete
+        }
     }
 
     /// Distinct source-level conflicts found so far.
@@ -229,6 +253,9 @@ impl StreamingChecker {
                 // (their collectives do not flush regions).
             }
             _ => {}
+        }
+        if matches!(kind, EventKind::RankFailed { .. }) {
+            self.recovered = true;
         }
         if self.is_global_sync(&kind) {
             self.boundaries[r].push(self.buf[r].len());

@@ -1,6 +1,37 @@
 //! Run configuration for the simulator.
 
+use crate::error::SimError;
 use std::time::Duration;
+
+/// What the surviving ranks are expected to do after a [`Fault::RankFailure`],
+/// in the spirit of Besta & Hoefler's fault-tolerant RMA idioms.
+///
+/// The policy rides on the fault so a single plan fully describes the
+/// failure *and* the recovery contract the kernel implements.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// No recovery: the failure aborts the whole job, exactly like the
+    /// legacy [`Fault::RankAbort`]. Survivors observe a peer-failure
+    /// abort, and the run ends in [`crate::SimError::RankPanicked`].
+    Abort,
+    /// Survivors are notified (`rank_failed` markers at their next
+    /// collective synchronization) and continue without the failed rank.
+    /// The run completes and the salvaged trace carries the notification.
+    #[default]
+    Notify,
+    /// Like [`RecoveryPolicy::Notify`], and the kernel additionally rolls
+    /// back to its last in-memory checkpoint and re-exposes its windows
+    /// before touching window memory again.
+    Checkpoint,
+}
+
+impl RecoveryPolicy {
+    /// Whether survivors keep running after the failure (anything but
+    /// [`RecoveryPolicy::Abort`]).
+    pub fn survivable(self) -> bool {
+        !matches!(self, RecoveryPolicy::Abort)
+    }
+}
 
 /// One injected fault. Faults are deterministic given the run seed, so a
 /// failing fault-injection run can always be replayed.
@@ -44,6 +75,20 @@ pub enum Fault {
         /// Delay probability in percent (0–100).
         percent: u8,
     },
+    /// `rank` fails once it has logged `after_events` instrumented events,
+    /// carrying an explicit recovery contract. With
+    /// [`RecoveryPolicy::Abort`] this is exactly [`Fault::RankAbort`];
+    /// with a survivable policy the surviving ranks are notified at their
+    /// next collective synchronization and the run completes without the
+    /// failed rank.
+    RankFailure {
+        /// The rank to fail.
+        rank: u32,
+        /// How many instrumented events the rank logs before dying.
+        after_events: u64,
+        /// What the survivors do about it.
+        recover: RecoveryPolicy,
+    },
 }
 
 impl Fault {
@@ -53,9 +98,48 @@ impl Fault {
             Fault::RankAbort { rank, .. }
             | Fault::HangAtSync { rank, .. }
             | Fault::DropRma { rank, .. }
-            | Fault::DelayRma { rank, .. } => rank,
+            | Fault::DelayRma { rank, .. }
+            | Fault::RankFailure { rank, .. } => rank,
         }
     }
+
+    /// Precedence key used when several faults target the same rank (see
+    /// [`FaultPlan::for_rank`]): lower sorts first, i.e. applies first.
+    ///
+    /// Terminal faults (abort/failure) outrank hangs, which outrank the
+    /// probabilistic RMA degradations; within a class the earlier trigger
+    /// point wins, and a non-recovering abort beats a recoverable failure
+    /// at the same trigger point because it is the more severe outcome.
+    fn precedence(&self) -> (u8, u64, u8) {
+        match *self {
+            Fault::RankAbort { after_events, .. } => (0, after_events, 0),
+            Fault::RankFailure { after_events, recover, .. } => {
+                (0, after_events, if recover.survivable() { 1 } else { 0 })
+            }
+            Fault::HangAtSync { nth_sync, .. } => (1, nth_sync, 0),
+            Fault::DropRma { percent, .. } => (2, u64::from(100 - percent.min(100)), 0),
+            Fault::DelayRma { percent, .. } => (3, u64::from(100 - percent.min(100)), 0),
+        }
+    }
+}
+
+/// The effective faults for one rank after resolving precedence among
+/// everything a [`FaultPlan`] aims at it. See [`FaultPlan::resolved_for_rank`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolvedFaults {
+    /// Event budget after which the rank dies, if any terminal fault
+    /// targets it (the earliest budget wins).
+    pub abort_after: Option<u64>,
+    /// Recovery contract of the winning terminal fault.
+    /// [`RecoveryPolicy::Abort`] for a plain [`Fault::RankAbort`]; ties at
+    /// the same budget resolve to the most severe (non-survivable) policy.
+    pub recover: Option<RecoveryPolicy>,
+    /// Synchronization call index the rank hangs at, if any (earliest wins).
+    pub hang_at: Option<u64>,
+    /// Highest RMA drop probability targeting the rank, in percent.
+    pub drop_rma_pct: u8,
+    /// Highest RMA delay probability targeting the rank, in percent.
+    pub delay_rma_pct: u8,
 }
 
 /// The set of faults injected into one run. Empty by default.
@@ -82,9 +166,63 @@ impl FaultPlan {
         self.faults.is_empty()
     }
 
-    /// Faults targeting `rank`.
+    /// Faults targeting `rank`, in precedence order (not declaration
+    /// order): terminal faults first by trigger point, then hangs, then
+    /// the probabilistic RMA degradations, with ties broken by severity
+    /// and finally declaration order. The sort is stable, so the result
+    /// is deterministic for any plan.
     pub fn for_rank(&self, rank: u32) -> impl Iterator<Item = &Fault> {
-        self.faults.iter().filter(move |f| f.rank() == rank)
+        let mut matching: Vec<&Fault> = self.faults.iter().filter(|f| f.rank() == rank).collect();
+        matching.sort_by_key(|f| f.precedence());
+        matching.into_iter()
+    }
+
+    /// Resolves every fault aimed at `rank` into one effective
+    /// [`ResolvedFaults`], applying the documented precedence: the
+    /// earliest terminal fault wins (ties go to the most severe recovery
+    /// policy), the earliest hang wins, and drop/delay probabilities
+    /// combine by maximum.
+    pub fn resolved_for_rank(&self, rank: u32) -> ResolvedFaults {
+        let mut r = ResolvedFaults::default();
+        for fault in self.for_rank(rank) {
+            match *fault {
+                Fault::RankAbort { after_events, .. } => {
+                    if r.abort_after.is_none() {
+                        r.abort_after = Some(after_events);
+                        r.recover = Some(RecoveryPolicy::Abort);
+                    }
+                }
+                Fault::RankFailure { after_events, recover, .. } => {
+                    if r.abort_after.is_none() {
+                        r.abort_after = Some(after_events);
+                        r.recover = Some(recover);
+                    }
+                }
+                Fault::HangAtSync { nth_sync, .. } => {
+                    if r.hang_at.is_none() {
+                        r.hang_at = Some(nth_sync);
+                    }
+                }
+                Fault::DropRma { percent, .. } => {
+                    r.drop_rma_pct = r.drop_rma_pct.max(percent.min(100));
+                }
+                Fault::DelayRma { percent, .. } => {
+                    r.delay_rma_pct = r.delay_rma_pct.max(percent.min(100));
+                }
+            }
+        }
+        r
+    }
+
+    /// Validates the plan against a world size: every fault must target an
+    /// existing rank. Returns the first offender as a typed error.
+    pub fn validate(&self, world_size: u32) -> Result<(), SimError> {
+        for fault in &self.faults {
+            if fault.rank() >= world_size {
+                return Err(SimError::InvalidFault { rank: fault.rank(), world_size });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -194,16 +332,22 @@ impl SimConfig {
         self
     }
 
-    /// Adds one injected fault.
-    pub fn with_fault(mut self, fault: Fault) -> Self {
+    /// Adds one injected fault, validating that it targets an existing
+    /// rank (`fault.rank() < nprocs`).
+    pub fn with_fault(mut self, fault: Fault) -> Result<Self, SimError> {
+        if fault.rank() >= self.nprocs {
+            return Err(SimError::InvalidFault { rank: fault.rank(), world_size: self.nprocs });
+        }
         self.faults.faults.push(fault);
-        self
+        Ok(self)
     }
 
-    /// Replaces the whole fault plan.
-    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+    /// Replaces the whole fault plan, validating that every fault targets
+    /// an existing rank.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Result<Self, SimError> {
+        plan.validate(self.nprocs)?;
         self.faults = plan;
-        self
+        Ok(self)
     }
 
     /// Enables the deadlock watchdog with the given timeout.
@@ -247,7 +391,9 @@ mod tests {
     fn fault_plan_builders() {
         let c = SimConfig::new(4)
             .with_fault(Fault::RankAbort { rank: 1, after_events: 10 })
+            .unwrap()
             .with_fault(Fault::HangAtSync { rank: 2, nth_sync: 0 })
+            .unwrap()
             .with_watchdog(Duration::from_millis(200));
         assert_eq!(c.faults.faults.len(), 2);
         assert_eq!(c.watchdog, Some(Duration::from_millis(200)));
@@ -256,5 +402,82 @@ mod tests {
         assert_eq!(c.faults.for_rank(3).count(), 0);
         assert_eq!(Fault::DropRma { rank: 5, percent: 50 }.rank(), 5);
         assert_eq!(Fault::DelayRma { rank: 6, percent: 50 }.rank(), 6);
+        assert_eq!(
+            Fault::RankFailure { rank: 7, after_events: 3, recover: RecoveryPolicy::Notify }.rank(),
+            7
+        );
+    }
+
+    #[test]
+    fn out_of_range_fault_is_a_typed_error() {
+        let err = SimConfig::new(2)
+            .with_fault(Fault::RankAbort { rank: 2, after_events: 1 })
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidFault { rank: 2, world_size: 2 }));
+
+        let plan = FaultPlan::none().with(Fault::DropRma { rank: 9, percent: 10 });
+        let err = SimConfig::new(4).with_faults(plan.clone()).unwrap_err();
+        assert!(matches!(err, SimError::InvalidFault { rank: 9, world_size: 4 }));
+        assert!(plan.validate(10).is_ok());
+        assert!(plan.validate(9).is_err());
+    }
+
+    #[test]
+    fn for_rank_orders_by_precedence_not_declaration() {
+        // Declared deliberately out of precedence order.
+        let plan = FaultPlan::none()
+            .with(Fault::DelayRma { rank: 0, percent: 10 })
+            .with(Fault::DropRma { rank: 0, percent: 20 })
+            .with(Fault::HangAtSync { rank: 0, nth_sync: 4 })
+            .with(Fault::RankAbort { rank: 0, after_events: 7 })
+            .with(Fault::RankFailure { rank: 0, after_events: 3, recover: RecoveryPolicy::Notify });
+        let got: Vec<_> = plan.for_rank(0).collect();
+        // Terminal faults first (earliest budget first), then hang, then
+        // drop, then delay.
+        assert!(matches!(got[0], Fault::RankFailure { after_events: 3, .. }));
+        assert!(matches!(got[1], Fault::RankAbort { after_events: 7, .. }));
+        assert!(matches!(got[2], Fault::HangAtSync { nth_sync: 4, .. }));
+        assert!(matches!(got[3], Fault::DropRma { percent: 20, .. }));
+        assert!(matches!(got[4], Fault::DelayRma { percent: 10, .. }));
+    }
+
+    #[test]
+    fn resolved_faults_apply_documented_precedence() {
+        // Earliest terminal fault wins; percents combine by max; earliest
+        // hang wins.
+        let plan = FaultPlan::none()
+            .with(Fault::RankAbort { rank: 1, after_events: 20 })
+            .with(Fault::RankFailure {
+                rank: 1,
+                after_events: 5,
+                recover: RecoveryPolicy::Checkpoint,
+            })
+            .with(Fault::HangAtSync { rank: 1, nth_sync: 9 })
+            .with(Fault::HangAtSync { rank: 1, nth_sync: 2 })
+            .with(Fault::DropRma { rank: 1, percent: 10 })
+            .with(Fault::DropRma { rank: 1, percent: 60 })
+            .with(Fault::DelayRma { rank: 1, percent: 30 });
+        let r = plan.resolved_for_rank(1);
+        assert_eq!(r.abort_after, Some(5));
+        assert_eq!(r.recover, Some(RecoveryPolicy::Checkpoint));
+        assert_eq!(r.hang_at, Some(2));
+        assert_eq!(r.drop_rma_pct, 60);
+        assert_eq!(r.delay_rma_pct, 30);
+        assert_eq!(plan.resolved_for_rank(0), ResolvedFaults::default());
+    }
+
+    #[test]
+    fn terminal_tie_resolves_to_most_severe_policy() {
+        // Same budget: the non-survivable abort wins regardless of
+        // declaration order.
+        let plan = FaultPlan::none()
+            .with(Fault::RankFailure { rank: 0, after_events: 4, recover: RecoveryPolicy::Notify })
+            .with(Fault::RankAbort { rank: 0, after_events: 4 });
+        let r = plan.resolved_for_rank(0);
+        assert_eq!(r.abort_after, Some(4));
+        assert_eq!(r.recover, Some(RecoveryPolicy::Abort));
+        assert!(!RecoveryPolicy::Abort.survivable());
+        assert!(RecoveryPolicy::Notify.survivable());
+        assert!(RecoveryPolicy::Checkpoint.survivable());
     }
 }

@@ -14,6 +14,15 @@ pub enum SimError {
     },
     /// The configuration was invalid (e.g. zero ranks).
     InvalidConfig(String),
+    /// A fault plan targeted a rank that does not exist in the configured
+    /// world. Caught at `with_fault`/`with_faults` time so a typo'd plan
+    /// cannot silently no-op.
+    InvalidFault {
+        /// The out-of-range rank the fault aimed at.
+        rank: u32,
+        /// The configured world size.
+        world_size: u32,
+    },
     /// The watchdog declared a deadlock: no rank made progress for the
     /// configured timeout while every live rank was blocked. Carries, per
     /// blocked rank, a description of the synchronization primitive it was
@@ -40,6 +49,11 @@ impl fmt::Display for SimError {
                 write!(f, "rank {rank} panicked: {message}")
             }
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::InvalidFault { rank, world_size } => write!(
+                f,
+                "invalid fault plan: fault targets rank {rank} but the world has \
+                 {world_size} rank(s)"
+            ),
             SimError::Deadlock { blocked } => {
                 write!(f, "deadlock detected: ")?;
                 if blocked.is_empty() {
@@ -72,6 +86,9 @@ mod tests {
         assert_eq!(e.to_string(), "rank 3 panicked: boom");
         let e = SimError::InvalidConfig("nprocs == 0".into());
         assert!(e.to_string().contains("nprocs"));
+        let e = SimError::InvalidFault { rank: 4, world_size: 2 };
+        assert!(e.to_string().contains("rank 4"), "got {e}");
+        assert!(e.to_string().contains("2 rank(s)"), "got {e}");
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod runner;
 pub mod shared;
 pub mod tracer;
 
-pub use config::{DeliveryPolicy, Fault, FaultPlan, Instrument, SimConfig};
+pub use config::{DeliveryPolicy, Fault, FaultPlan, Instrument, RecoveryPolicy, SimConfig};
 pub use error::SimError;
 pub use proc::Proc;
 pub use runner::{run, run_tolerant, RankStats, RunStats, SimResult, TolerantOutcome};

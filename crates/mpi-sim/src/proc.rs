@@ -21,7 +21,7 @@
 //! `#[track_caller]`; [`Proc::set_func`] sets the routine name recorded in
 //! diagnostics.
 
-use crate::config::{DeliveryPolicy, Fault, Instrument, SimConfig};
+use crate::config::{DeliveryPolicy, Instrument, RecoveryPolicy, SimConfig};
 use crate::datatype::{TypeInfo, TypeRegistry};
 use crate::shared::{AbortReason, BlockSite, CollTag, Shared, WinInfo, ABORT_POLL};
 use crate::tracer::EventSink;
@@ -85,6 +85,9 @@ pub struct Proc {
     // Fault-injection state (see `crate::config::Fault`).
     /// Abort once `events_seen` reaches this count.
     abort_after: Option<u64>,
+    /// Recovery contract of the scheduled death ([`None`] when no
+    /// terminal fault targets this rank).
+    recover: Option<RecoveryPolicy>,
     /// Park forever at this synchronization-call index.
     hang_at: Option<u64>,
     /// Synchronization calls made so far (tracked only when `hang_at` is
@@ -99,6 +102,18 @@ pub struct Proc {
     /// Dedicated RNG for fault decisions, so injecting faults never
     /// perturbs the seeded delivery schedule.
     fault_rng: ChaCha8Rng,
+
+    // Fault-tolerance state (failure notification, checkpoint/restore).
+    /// RMA epochs this rank has *completed* (closing sync returned);
+    /// recorded on the failure board when the rank dies survivably.
+    epochs_closed: u64,
+    /// Failed ranks already observed (and logged) by this rank.
+    failures_seen: std::collections::HashSet<u32>,
+    /// Latest in-memory checkpoint per window: `win -> (id, bytes)` of
+    /// this rank's exposed segment.
+    checkpoints: HashMap<u32, (u64, Vec<u8>)>,
+    /// Fresh checkpoint-id counter.
+    next_ckpt: u64,
 }
 
 /// A posted `MPI_Irecv`, completed by `wait_req`.
@@ -133,23 +148,7 @@ struct PendingAtomic {
 
 impl Proc {
     pub(crate) fn new(rank: u32, cfg: &SimConfig, shared: Arc<Shared>) -> Self {
-        let mut abort_after = None;
-        let mut hang_at = None;
-        let mut drop_rma_pct = 0u8;
-        let mut delay_rma_pct = 0u8;
-        for fault in cfg.faults.for_rank(rank) {
-            match *fault {
-                Fault::RankAbort { after_events, .. } => {
-                    abort_after =
-                        Some(abort_after.map_or(after_events, |a: u64| a.min(after_events)));
-                }
-                Fault::HangAtSync { nth_sync, .. } => {
-                    hang_at = Some(hang_at.map_or(nth_sync, |h: u64| h.min(nth_sync)));
-                }
-                Fault::DropRma { percent, .. } => drop_rma_pct = drop_rma_pct.max(percent),
-                Fault::DelayRma { percent, .. } => delay_rma_pct = delay_rma_pct.max(percent),
-            }
-        }
+        let resolved = cfg.faults.resolved_for_rank(rank);
         Self {
             rank,
             nprocs: cfg.nprocs,
@@ -176,15 +175,20 @@ impl Proc {
             req_open: HashMap::new(),
             irecv_open: HashMap::new(),
             next_req: 0,
-            abort_after,
-            hang_at,
+            abort_after: resolved.abort_after,
+            recover: resolved.recover,
+            hang_at: resolved.hang_at,
             sync_seen: 0,
             events_seen: 0,
-            drop_rma_pct,
-            delay_rma_pct,
+            drop_rma_pct: resolved.drop_rma_pct,
+            delay_rma_pct: resolved.delay_rma_pct,
             fault_rng: ChaCha8Rng::seed_from_u64(
                 cfg.seed ^ (0xd1b5_4a32_d192_ed03u64).wrapping_mul(rank as u64 + 1),
             ),
+            epochs_closed: 0,
+            failures_seen: std::collections::HashSet::new(),
+            checkpoints: HashMap::new(),
+            next_ckpt: 0,
         }
     }
 
@@ -217,10 +221,21 @@ impl Proc {
     // ------------------------------------------------------------------
 
     /// Per-instrumentation-point fault hook: kills the rank with a typed
-    /// payload once its scheduled event budget is exhausted.
+    /// payload once its scheduled event budget is exhausted. A survivable
+    /// recovery policy records the failure (rank + completed epochs) on
+    /// the failure board first, so peers can complete collectives around
+    /// this rank and log the notification; a plain abort poisons the run
+    /// through the runner as before.
     fn fault_event_point(&mut self) {
         if let Some(after) = self.abort_after {
             if self.events_seen >= after {
+                if self.recover.is_some_and(RecoveryPolicy::survivable) {
+                    self.shared.ctl().record_failure(self.rank, self.epochs_closed);
+                    std::panic::panic_any(AbortReason::InjectedFailure {
+                        rank: self.rank,
+                        after_events: after,
+                    });
+                }
                 std::panic::panic_any(AbortReason::InjectedAbort {
                     rank: self.rank,
                     after_events: after,
@@ -228,6 +243,22 @@ impl Proc {
             }
         }
         self.events_seen += 1;
+    }
+
+    /// Logs `rank_failed` notifications for failures this rank has not
+    /// observed yet. `failed` is the stand-in list a completed collective
+    /// returned — already sorted by rank, and deterministic because such
+    /// a collective can only complete once the failure is on the board.
+    fn note_failures(&mut self, failed: &[(u32, u64)], loc: LocId) {
+        for &(rank, epoch) in failed {
+            if self.failures_seen.insert(rank) {
+                self.sink.log_mpi(EventKind::RankFailed { failed: Rank(rank), epoch }, loc);
+            }
+        }
+    }
+
+    fn comm_members(&self, comm: CommId) -> Vec<u32> {
+        self.shared.comms.read().members(comm).to_vec()
     }
 
     /// Per-synchronization-call fault hook: when the plan hangs this rank
@@ -556,20 +587,20 @@ impl Proc {
     pub fn comm_create(&mut self, comm: CommId, group: GroupId) -> Option<CommId> {
         self.sync_point(|| "comm_create".to_string());
         let loc = self.caller_loc();
-        let (n, me) = {
-            let t = self.shared.comms.read();
-            (t.members(comm).len() as u32, self.rank)
-        };
+        let members = self.comm_members(comm);
+        let me = self.rank;
         let shared = self.shared.clone();
         let point = self.shared.coll_point(comm);
-        let result = point.collective(n, me, CollTag::CommCreate, Vec::new(), move |_| {
-            let new = shared.comms.write().comm_create(group);
-            new.0.to_le_bytes().to_vec()
-        });
+        let (result, failed) =
+            point.collective(&members, me, CollTag::CommCreate, Vec::new(), move |_| {
+                let new = shared.comms.write().comm_create(group);
+                new.0.to_le_bytes().to_vec()
+            });
         let new = CommId(u32::from_le_bytes(result.try_into().expect("comm id payload")));
         let member = self.shared.comms.read().group_members(group).contains(&self.rank);
         let logged = member.then_some(new);
         self.sink.log_mpi(EventKind::CommCreate { old: comm, group, new: logged }, loc);
+        self.note_failures(&failed, loc);
         logged
     }
 
@@ -678,10 +709,12 @@ impl Proc {
     pub fn barrier(&mut self, comm: CommId) {
         self.sync_point(|| "barrier".to_string());
         let loc = self.caller_loc();
-        let (n, _) = self.comm_shape(comm);
+        let members = self.comm_members(comm);
         let point = self.shared.coll_point(comm);
-        point.collective(n, self.rank, CollTag::Barrier, Vec::new(), |_| Vec::new());
+        let (_, failed) =
+            point.collective(&members, self.rank, CollTag::Barrier, Vec::new(), |_| Vec::new());
         self.sink.log_mpi(EventKind::Barrier { comm }, loc);
+        self.note_failures(&failed, loc);
     }
 
     /// `MPI_Bcast` of `count` elements of `dtype` at `addr`, rooted at
@@ -692,19 +725,24 @@ impl Proc {
         let loc = self.caller_loc();
         let info = self.resolve(dtype);
         let map = info.map.tiled(count as u64);
-        let (n, rel) = self.comm_shape(comm);
+        let (_, rel) = self.comm_shape(comm);
+        let members = self.comm_members(comm);
         let root_abs = self.shared.comms.read().abs_rank(comm, root);
         let contrib = if rel == root { self.gather(self.rank, addr, &map) } else { Vec::new() };
         let bytes = map.size();
         let point = self.shared.coll_point(comm);
-        let result =
-            point.collective(n, self.rank, CollTag::Bcast { root, bytes }, contrib, move |c| {
-                c[&root_abs].clone()
-            });
+        let (result, failed) = point.collective(
+            &members,
+            self.rank,
+            CollTag::Bcast { root, bytes },
+            contrib,
+            move |c| c[&root_abs].clone(),
+        );
         if rel != root {
             self.scatter(self.rank, addr, &map, &result);
         }
         self.sink.log_mpi(EventKind::Bcast { comm, root: Rank(root), bytes }, loc);
+        self.note_failures(&failed, loc);
     }
 
     /// `MPI_Reduce` of primitive elements: `recv_addr` is significant only
@@ -726,21 +764,23 @@ impl Proc {
         let info = self.resolve(dtype);
         let basic = info.basic.expect("reduce requires a homogeneous datatype");
         let map = info.map.tiled(count as u64);
-        let (n, rel) = self.comm_shape(comm);
+        let (_, rel) = self.comm_shape(comm);
         let members: Vec<u32> = self.shared.comms.read().members(comm).to_vec();
+        let combine_members = members.clone();
         let contrib = self.gather(self.rank, send_addr, &map);
         let point = self.shared.coll_point(comm);
-        let result = point.collective(
-            n,
+        let (result, failed) = point.collective(
+            &members,
             self.rank,
             CollTag::Reduce { root, op, dtype, count },
             contrib,
-            move |c| Shared::combine_reduce(c, &members, op, basic),
+            move |c| Shared::combine_reduce(c, &combine_members, op, basic),
         );
         if rel == root {
             self.scatter(self.rank, recv_addr, &map, &result);
         }
         self.sink.log_mpi(EventKind::Reduce { comm, root: Rank(root), bytes: map.size() }, loc);
+        self.note_failures(&failed, loc);
     }
 
     /// `MPI_Allreduce`.
@@ -759,19 +799,20 @@ impl Proc {
         let info = self.resolve(dtype);
         let basic = info.basic.expect("allreduce requires a homogeneous datatype");
         let map = info.map.tiled(count as u64);
-        let (n, _) = self.comm_shape(comm);
         let members: Vec<u32> = self.shared.comms.read().members(comm).to_vec();
+        let combine_members = members.clone();
         let contrib = self.gather(self.rank, send_addr, &map);
         let point = self.shared.coll_point(comm);
-        let result = point.collective(
-            n,
+        let (result, failed) = point.collective(
+            &members,
             self.rank,
             CollTag::Allreduce { op, dtype, count },
             contrib,
-            move |c| Shared::combine_reduce(c, &members, op, basic),
+            move |c| Shared::combine_reduce(c, &combine_members, op, basic),
         );
         self.scatter(self.rank, recv_addr, &map, &result);
         self.sink.log_mpi(EventKind::Allreduce { comm, bytes: map.size() }, loc);
+        self.note_failures(&failed, loc);
     }
 
     fn comm_shape(&self, comm: CommId) -> (u32, u32) {
@@ -793,30 +834,32 @@ impl Proc {
     pub fn win_create(&mut self, base: u64, len: u64, comm: CommId) -> WinId {
         self.sync_point(|| "win_create".to_string());
         let loc = self.caller_loc();
-        let (n, _) = self.comm_shape(comm);
         let shared = self.shared.clone();
         let members: Vec<u32> = self.shared.comms.read().members(comm).to_vec();
+        let combine_members = members.clone();
         let mut contrib = Vec::with_capacity(16);
         contrib.extend_from_slice(&base.to_le_bytes());
         contrib.extend_from_slice(&len.to_le_bytes());
         let point = self.shared.coll_point(comm);
-        let result = point.collective(n, self.rank, CollTag::WinCreate, contrib, move |c| {
-            let id = shared.fresh_win_id();
-            let ranks = members
-                .iter()
-                .map(|m| {
-                    let b = &c[m];
-                    (
-                        u64::from_le_bytes(b[0..8].try_into().unwrap()),
-                        u64::from_le_bytes(b[8..16].try_into().unwrap()),
-                    )
-                })
-                .collect();
-            shared.wins.write().insert(id.0, WinInfo { comm, ranks });
-            id.0.to_le_bytes().to_vec()
-        });
+        let (result, failed) =
+            point.collective(&members, self.rank, CollTag::WinCreate, contrib, move |c| {
+                let id = shared.fresh_win_id();
+                let ranks = combine_members
+                    .iter()
+                    .map(|m| {
+                        let b = &c[m];
+                        (
+                            u64::from_le_bytes(b[0..8].try_into().unwrap()),
+                            u64::from_le_bytes(b[8..16].try_into().unwrap()),
+                        )
+                    })
+                    .collect();
+                shared.wins.write().insert(id.0, WinInfo { comm, ranks, generation: 0 });
+                id.0.to_le_bytes().to_vec()
+            });
         let win = WinId(u32::from_le_bytes(result.try_into().expect("win id payload")));
         self.sink.log_mpi(EventKind::WinCreate { win, base, len, comm }, loc);
+        self.note_failures(&failed, loc);
         win
     }
 
@@ -830,10 +873,14 @@ impl Proc {
             "win_free with unsynchronized operations on {win}"
         );
         let comm = self.win_comm(win);
-        let (n, _) = self.comm_shape(comm);
+        let members = self.comm_members(comm);
         let point = self.shared.coll_point(comm);
-        point.collective(n, self.rank, CollTag::WinFree { win }, Vec::new(), |_| Vec::new());
+        let (_, failed) =
+            point.collective(&members, self.rank, CollTag::WinFree { win }, Vec::new(), |_| {
+                Vec::new()
+            });
         self.sink.log_mpi(EventKind::WinFree { win }, loc);
+        self.note_failures(&failed, loc);
     }
 
     fn win_comm(&self, win: WinId) -> CommId {
@@ -860,10 +907,114 @@ impl Proc {
             self.apply_pending(op);
         }
         let comm = self.win_comm(win);
-        let (n, _) = self.comm_shape(comm);
+        let members = self.comm_members(comm);
         let point = self.shared.coll_point(comm);
-        point.collective(n, self.rank, CollTag::Fence { win }, Vec::new(), |_| Vec::new());
+        let (_, failed) =
+            point.collective(&members, self.rank, CollTag::Fence { win }, Vec::new(), |_| {
+                Vec::new()
+            });
+        self.epochs_closed += 1;
         self.sink.log_mpi(EventKind::Fence { win }, loc);
+        self.note_failures(&failed, loc);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault tolerance: notification, re-exposure, checkpoint/restore
+    // (Besta & Hoefler's recovery idioms).
+    // ------------------------------------------------------------------
+
+    /// Ranks known (to the runtime) to have failed survivably, sorted.
+    /// Unlogged query for recovery control flow; the *observation* of a
+    /// failure in the trace is the `rank_failed` marker logged at a
+    /// collective synchronization.
+    pub fn failed_ranks(&self) -> Vec<u32> {
+        self.shared.ctl().failed_snapshot().into_iter().map(|(r, _)| r).collect()
+    }
+
+    /// Current exposure generation of `win` (0 until the first
+    /// re-exposure). Unlogged query.
+    pub fn win_generation(&self, win: WinId) -> u32 {
+        self.shared.wins.read().get(&win.0).unwrap_or_else(|| panic!("unknown {win}")).generation
+    }
+
+    /// Collective window re-exposure: opens a fresh epoch *generation*
+    /// over the same memory (the `MPI_Win_free` + re-create recovery
+    /// idiom, without invalidating the handle). Completes around failed
+    /// members; returns the new generation. Any RMA operation issued
+    /// against the previous generation that lands after this call is a
+    /// lost update — the checker flags it.
+    #[track_caller]
+    pub fn win_reexpose(&mut self, win: WinId) -> u32 {
+        self.sync_point(|| format!("win_reexpose({win})"));
+        let loc = self.caller_loc();
+        let comm = self.win_comm(win);
+        let members = self.comm_members(comm);
+        let shared = self.shared.clone();
+        let point = self.shared.coll_point(comm);
+        let (result, failed) = point.collective(
+            &members,
+            self.rank,
+            CollTag::Reexpose { win },
+            Vec::new(),
+            move |_| {
+                let mut wins = shared.wins.write();
+                let info = wins.get_mut(&win.0).expect("re-exposure of unknown window");
+                info.generation += 1;
+                info.generation.to_le_bytes().to_vec()
+            },
+        );
+        let generation = u32::from_le_bytes(result.try_into().expect("generation payload"));
+        self.epochs_closed += 1;
+        self.sink.log_mpi(EventKind::WinReexpose { win, generation }, loc);
+        self.note_failures(&failed, loc);
+        generation
+    }
+
+    /// Takes a seeded in-memory checkpoint of this rank's exposed segment
+    /// of `win`; returns the checkpoint id. Only the latest checkpoint
+    /// per window is retained.
+    #[track_caller]
+    pub fn checkpoint(&mut self, win: WinId) -> u64 {
+        let loc = self.caller_loc();
+        let (base, len) = self.win_self_segment(win);
+        let data = self.peek_bytes(base, len);
+        let id = self.next_ckpt;
+        self.next_ckpt += 1;
+        self.checkpoints.insert(win.0, (id, data));
+        self.sink.log_mpi(EventKind::Checkpoint { win, id }, loc);
+        id
+    }
+
+    /// Rolls this rank's exposed segment of `win` back to its latest
+    /// checkpoint (writes the snapshot back into the arena).
+    ///
+    /// # Panics
+    /// Panics if no checkpoint was taken for `win`.
+    #[track_caller]
+    pub fn restore(&mut self, win: WinId) -> u64 {
+        let loc = self.caller_loc();
+        let (base, _) = self.win_self_segment(win);
+        let (id, data) = self
+            .checkpoints
+            .get(&win.0)
+            .cloned()
+            .unwrap_or_else(|| panic!("restore of {win} without a checkpoint"));
+        self.poke_bytes(base, &data);
+        self.sink.log_mpi(EventKind::Restore { win, id }, loc);
+        id
+    }
+
+    /// This rank's own exposed `(base, len)` segment of `win`.
+    fn win_self_segment(&self, win: WinId) -> (u64, u64) {
+        let wins = self.shared.wins.read();
+        let info = wins.get(&win.0).unwrap_or_else(|| panic!("unknown {win}"));
+        let rel = self
+            .shared
+            .comms
+            .read()
+            .rel_rank(info.comm, self.rank)
+            .unwrap_or_else(|| panic!("rank {} not in {win}'s communicator", self.rank));
+        info.ranks[rel as usize]
     }
 
     /// `MPI_Win_lock` on `target` (comm-relative).
@@ -893,6 +1044,7 @@ impl Proc {
             self.apply_pending(op);
         }
         self.shared.winlocks.unlock(win, abs, kind == LockKind::Exclusive);
+        self.epochs_closed += 1;
         self.sink.log_mpi(EventKind::Unlock { win, target: Rank(target) }, loc);
     }
 
@@ -935,6 +1087,7 @@ impl Proc {
             .remove(&win.0)
             .unwrap_or_else(|| panic!("win_complete on {win} without win_start"));
         self.shared.pscw.complete(win, self.rank, &targets);
+        self.epochs_closed += 1;
         self.sink.log_mpi(EventKind::Complete { win }, loc);
     }
 
@@ -949,6 +1102,7 @@ impl Proc {
             .remove(&win.0)
             .unwrap_or_else(|| panic!("win_wait on {win} without win_post"));
         self.shared.pscw.wait(win, self.rank, &origins, &mut self.pscw_complete_seen);
+        self.epochs_closed += 1;
         self.sink.log_mpi(EventKind::WaitWin { win }, loc);
     }
 
@@ -1080,6 +1234,7 @@ impl Proc {
         for &m in &members {
             self.shared.winlocks.unlock(win, m, false);
         }
+        self.epochs_closed += 1;
         self.sink.log_mpi(EventKind::UnlockAll { win }, loc);
     }
 

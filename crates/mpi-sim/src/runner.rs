@@ -35,6 +35,10 @@ pub struct RunStats {
     pub wall: Duration,
     /// Per-rank counters.
     pub per_rank: Vec<RankStats>,
+    /// Ranks that died survivably (`Fault::RankFailure`), as
+    /// `(rank, epochs_completed)` in rank order. Empty for a run without
+    /// survivable failures.
+    pub failures: Vec<(u32, u64)>,
 }
 
 impl RunStats {
@@ -146,6 +150,12 @@ fn classify(ctl: &Ctl, results: &[RankOutcome]) -> Option<SimError> {
                         ),
                     });
                 }
+                AbortReason::InjectedFailure { .. } => {
+                    // A survivable failure is part of the experiment, not
+                    // an error: survivors keep running and the failure is
+                    // reported through `RunStats::failures`.
+                    continue;
+                }
                 AbortReason::Protocol { rank, message } => {
                     return Some(SimError::Protocol { rank: *rank, message: message.clone() });
                 }
@@ -165,9 +175,9 @@ fn classify(ctl: &Ctl, results: &[RankOutcome]) -> Option<SimError> {
 }
 
 /// What `execute` hands back: each rank's (possibly salvaged) event
-/// sink, the classified root-cause error if any rank failed, and the
-/// wall-clock duration of the run.
-type ExecuteOutcome = (Vec<Option<EventSink>>, Option<SimError>, Duration);
+/// sink, the classified root-cause error if any rank failed, the
+/// wall-clock duration of the run, and the survivable-failure board.
+type ExecuteOutcome = (Vec<Option<EventSink>>, Option<SimError>, Duration, Vec<(u32, u64)>);
 
 /// Spawns the per-rank threads (and the watchdog, when configured), joins
 /// them, and classifies the outcome. `tolerant` controls whether a
@@ -221,9 +231,18 @@ where
                                 (Some(proc.into_sink_lossy()), Some(payload))
                             }
                         };
-                    if outcome.1.is_some() {
+                    let survivable = outcome.1.as_ref().is_some_and(|p| {
+                        matches!(
+                            p.downcast_ref::<AbortReason>(),
+                            Some(AbortReason::InjectedFailure { .. })
+                        )
+                    });
+                    if outcome.1.is_some() && !survivable {
                         // Poison the run so peers blocked on this rank
-                        // unwind instead of deadlocking.
+                        // unwind instead of deadlocking. A survivable
+                        // failure skips this: the rank recorded itself on
+                        // the failure board, so peers complete collectives
+                        // around it and the run continues.
                         shared.trigger_abort();
                     }
                     ctl.rank_done(rank);
@@ -240,8 +259,9 @@ where
     });
     let wall = start.elapsed();
     let error = classify(&ctl, &results);
+    let failures = ctl.failed_snapshot();
     let sinks = results.into_iter().map(|(sink, _)| sink).collect();
-    Ok((sinks, error, wall))
+    Ok((sinks, error, wall, failures))
 }
 
 /// Builds a [`Trace`] + [`RunStats`] from per-rank sinks, substituting an
@@ -250,6 +270,7 @@ fn assemble(
     config: &SimConfig,
     sinks: Vec<Option<EventSink>>,
     wall: Duration,
+    failures: Vec<(u32, u64)>,
 ) -> (Option<Trace>, RunStats) {
     let sinks: Vec<EventSink> = sinks
         .into_iter()
@@ -259,7 +280,7 @@ fn assemble(
     let tracing = config.instrument != crate::config::Instrument::Off;
     let trace = (tracing && config.keep_events)
         .then(|| Trace { procs: sinks.into_iter().map(|s| s.into_trace()).collect() });
-    (trace, RunStats { wall, per_rank })
+    (trace, RunStats { wall, per_rank, failures })
 }
 
 /// Runs `body` once per rank on its own thread and collects traces.
@@ -276,11 +297,11 @@ where
     F: Fn(&mut Proc) + Send + Sync,
 {
     let _span = mcc_obs::global().span("sim.run");
-    let (sinks, error, wall) = execute(&config, &body, false)?;
+    let (sinks, error, wall, failures) = execute(&config, &body, false)?;
     if let Some(error) = error {
         return Err(error);
     }
-    let (trace, stats) = assemble(&config, sinks, wall);
+    let (trace, stats) = assemble(&config, sinks, wall, failures);
     Ok(SimResult { trace, stats })
 }
 
@@ -300,8 +321,8 @@ where
     F: Fn(&mut Proc) + Send + Sync,
 {
     let _span = mcc_obs::global().span("sim.run");
-    let (sinks, error, wall) = execute(&config, &body, true)?;
-    let (trace, stats) = assemble(&config, sinks, wall);
+    let (sinks, error, wall, failures) = execute(&config, &body, true)?;
+    let (trace, stats) = assemble(&config, sinks, wall, failures);
     Ok(TolerantOutcome { trace, stats, error })
 }
 
@@ -843,6 +864,7 @@ mod tests {
     fn hung_rank_is_caught_by_watchdog() {
         let cfg = cfg(4)
             .with_fault(Fault::HangAtSync { rank: 2, nth_sync: 1 })
+            .unwrap()
             .with_watchdog(Duration::from_millis(300));
         let err = run(cfg, |p| {
             let buf = p.alloc_i32s(1);
@@ -902,7 +924,7 @@ mod tests {
 
     #[test]
     fn injected_abort_kills_rank_on_schedule() {
-        let cfg = cfg(2).with_fault(Fault::RankAbort { rank: 1, after_events: 2 });
+        let cfg = cfg(2).with_fault(Fault::RankAbort { rank: 1, after_events: 2 }).unwrap();
         let err = run(cfg, |p| {
             let buf = p.alloc_i32s(1);
             let win = p.win_create(buf, 4, CommId::WORLD);
@@ -921,11 +943,97 @@ mod tests {
         }
     }
 
+    /// A survivable rank failure does not fail the run: survivors finish,
+    /// the failure is reported through `RunStats::failures`, and every
+    /// survivor logs a `RankFailed` marker at its next synchronization.
+    #[test]
+    fn survivable_failure_lets_survivors_finish() {
+        use crate::config::RecoveryPolicy;
+        let cfg = cfg(3)
+            .with_delivery(DeliveryPolicy::AtClose)
+            .with_fault(Fault::RankFailure {
+                rank: 2,
+                after_events: 2,
+                recover: RecoveryPolicy::Notify,
+            })
+            .unwrap();
+        let r = run(cfg, |p| {
+            let buf = p.alloc_i32s(1);
+            let win = p.win_create(buf, 4, CommId::WORLD); // call #1
+            p.win_fence(win); // call #2: closes epoch 1
+            p.win_fence(win); // call #3: rank 2 dies; survivors complete around it
+            p.win_free(win);
+        })
+        .unwrap();
+        assert_eq!(r.stats.failures, vec![(2, 1)], "rank 2 died after closing 1 epoch");
+        let trace = r.trace.unwrap();
+        for survivor in [0usize, 1] {
+            let markers: Vec<_> = trace.procs[survivor]
+                .events
+                .iter()
+                .filter_map(|e| match e.kind {
+                    EventKind::RankFailed { failed, epoch } => Some((failed.0, epoch)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(markers, vec![(2, 1)], "rank {survivor} observed the failure once");
+        }
+        // The dead rank's own log is truncated, with no failure marker.
+        assert!(trace.procs[2]
+            .events
+            .iter()
+            .all(|e| !matches!(e.kind, EventKind::RankFailed { .. })));
+    }
+
+    /// Both survivors observe the failure at the same program point: the
+    /// first collective that completed around the dead rank. Determinism
+    /// holds across repeated runs.
+    #[test]
+    fn failure_observation_is_deterministic() {
+        use crate::config::RecoveryPolicy;
+        let observe = || {
+            let r = run(
+                cfg(4)
+                    .with_delivery(DeliveryPolicy::AtClose)
+                    .with_fault(Fault::RankFailure {
+                        rank: 3,
+                        after_events: 3,
+                        recover: RecoveryPolicy::Notify,
+                    })
+                    .unwrap(),
+                |p| {
+                    let buf = p.alloc_i32s(1);
+                    let win = p.win_create(buf, 4, CommId::WORLD);
+                    p.win_fence(win);
+                    p.win_fence(win); // rank 3 (3 events logged) dies here
+                    p.win_fence(win);
+                    p.win_free(win);
+                },
+            )
+            .unwrap();
+            let trace = r.trace.unwrap();
+            (0..3)
+                .map(|rank| {
+                    trace.procs[rank]
+                        .events
+                        .iter()
+                        .position(|e| matches!(e.kind, EventKind::RankFailed { .. }))
+                })
+                .collect::<Vec<_>>()
+        };
+        let first = observe();
+        assert!(first.iter().all(|p| p.is_some()), "every survivor notified: {first:?}");
+        for _ in 0..5 {
+            assert_eq!(observe(), first, "notification position is scheduling-independent");
+        }
+    }
+
     #[test]
     fn dropped_rma_loses_update_but_is_logged() {
         let cfg = cfg(2)
             .with_delivery(DeliveryPolicy::Eager)
-            .with_fault(Fault::DropRma { rank: 0, percent: 100 });
+            .with_fault(Fault::DropRma { rank: 0, percent: 100 })
+            .unwrap();
         let r = run(cfg, |p| {
             let buf = p.alloc_i32s(1);
             let win = p.win_create(buf, 4, CommId::WORLD);
@@ -954,7 +1062,8 @@ mod tests {
     fn delayed_rma_defeats_eager_delivery() {
         let cfg = cfg(2)
             .with_delivery(DeliveryPolicy::Eager)
-            .with_fault(Fault::DelayRma { rank: 0, percent: 100 });
+            .with_fault(Fault::DelayRma { rank: 0, percent: 100 })
+            .unwrap();
         run(cfg, |p| {
             let buf = p.alloc_i32s(1);
             if p.rank() == 1 {
@@ -980,7 +1089,8 @@ mod tests {
     fn run_tolerant_salvages_partial_trace() {
         let cfg = cfg(2)
             .with_instrument(Instrument::Relevant)
-            .with_fault(Fault::RankAbort { rank: 1, after_events: 2 });
+            .with_fault(Fault::RankAbort { rank: 1, after_events: 2 })
+            .unwrap();
         let out = run_tolerant(cfg, |p| {
             let buf = p.alloc_i32s(1);
             let win = p.win_create(buf, 4, CommId::WORLD);

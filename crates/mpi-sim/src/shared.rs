@@ -34,6 +34,16 @@ pub enum AbortReason {
         /// The event count the abort was scheduled after.
         after_events: u64,
     },
+    /// Fault injection killed this rank with a *survivable* recovery
+    /// policy: the failure is recorded on the failure board, peers are
+    /// notified at their next collective synchronization, and the run is
+    /// NOT poisoned — survivors keep going without the dead rank.
+    InjectedFailure {
+        /// The rank that failed.
+        rank: u32,
+        /// The event count the failure was scheduled after.
+        after_events: u64,
+    },
     /// The rank broke the simulator's MPI protocol rules (e.g. exited
     /// with unsynchronized RMA operations in flight).
     Protocol {
@@ -128,6 +138,11 @@ pub struct Ctl {
     blocked: Mutex<HashMap<u32, BlockSite>>,
     /// The watchdog's verdict, set at most once.
     deadlock: Mutex<Option<Vec<(u32, String)>>>,
+    /// Failure board: `(rank, epochs_completed)` for every rank that died
+    /// under a survivable [`crate::config::RecoveryPolicy`], in failure
+    /// order. Collectives complete around these ranks, and survivors log
+    /// `rank_failed` notifications from this board.
+    failed: Mutex<Vec<(u32, u64)>>,
 }
 
 impl Ctl {
@@ -139,6 +154,7 @@ impl Ctl {
             alive: AtomicU32::new(n),
             blocked: Mutex::new(HashMap::new()),
             deadlock: Mutex::new(None),
+            failed: Mutex::new(Vec::new()),
         }
     }
 
@@ -223,6 +239,32 @@ impl Ctl {
     pub fn take_deadlock(&self) -> Option<Vec<(u32, String)>> {
         self.deadlock.lock().take()
     }
+
+    /// Records a survivable rank failure on the failure board: the rank
+    /// and how many RMA epochs it had *completed* when it died. Counts as
+    /// progress because it can complete a collective the survivors are
+    /// blocked in.
+    pub fn record_failure(&self, rank: u32, epochs_completed: u64) {
+        let mut f = self.failed.lock();
+        if !f.iter().any(|(r, _)| *r == rank) {
+            f.push((rank, epochs_completed));
+        }
+        drop(f);
+        self.bump();
+    }
+
+    /// Snapshot of the failure board, sorted by rank.
+    pub fn failed_snapshot(&self) -> Vec<(u32, u64)> {
+        let mut v = self.failed.lock().clone();
+        v.sort_by_key(|(r, _)| *r);
+        v
+    }
+
+    /// How many of `members` are on the failure board.
+    pub fn failed_among(&self, members: &[u32]) -> u32 {
+        let f = self.failed.lock();
+        members.iter().filter(|m| f.iter().any(|(r, _)| r == *m)).count() as u32
+    }
 }
 
 /// Identifies which collective a rank is participating in, so mismatched
@@ -249,6 +291,10 @@ pub enum CollTag {
     /// not part of the tag (each member legitimately holds a different
     /// handle for the same logical group).
     CommCreate,
+    /// `win_reexpose` — the fault-tolerance re-exposure collective: a new
+    /// epoch generation over the same window memory (Besta & Hoefler's
+    /// window re-creation idiom).
+    Reexpose { win: WinId },
 }
 
 #[derive(Default)]
@@ -259,6 +305,13 @@ struct CollSlot {
     /// Contribution of each member, keyed by absolute rank.
     contrib: HashMap<u32, Vec<u8>>,
     result: Vec<u8>,
+    /// Members whose recorded failure stood in for their arrival when the
+    /// last generation completed, as `(rank, epochs_completed)` sorted by
+    /// rank. This is every member's deterministic failure-observation
+    /// point: such a collective can only complete *because* the failure
+    /// was recorded, so its position in each survivor's log is fixed by
+    /// program order, not by thread scheduling.
+    failed: Vec<(u32, u64)>,
 }
 
 /// One rendezvous point per communicator.
@@ -274,20 +327,31 @@ impl CollPoint {
         Self { slot: Mutex::new(CollSlot::default()), cv: Condvar::new(), ctl }
     }
 
-    /// Executes one collective: blocks until all `n` members arrive, then
-    /// every member returns `combine`'s result. `combine` runs exactly
-    /// once, on the last arriver, while the slot is locked.
+    /// Executes one collective over `members`: blocks until every *live*
+    /// member arrives, then every arriver returns `combine`'s result plus
+    /// the failed members whose recorded failure stood in for their
+    /// arrival. `combine` runs exactly once, while the slot is locked.
+    ///
+    /// Failure awareness: a member on the failure board never arrives, so
+    /// the collective completes once `arrived + failed == n`. Any waiter
+    /// can observe this on a poll lap (a member may die *while* the
+    /// others are already blocked here) and becomes the completer. The
+    /// dead member contributes nothing; combiners that need every
+    /// member's contribution (reductions rooted at or spanning the dead
+    /// rank) are outside the recovery contract and will panic.
     pub fn collective<F>(
         &self,
-        n: u32,
+        members: &[u32],
         me: u32,
         tag: CollTag,
         contrib: Vec<u8>,
         combine: F,
-    ) -> Vec<u8>
+    ) -> (Vec<u8>, Vec<(u32, u64)>)
     where
         F: FnOnce(&HashMap<u32, Vec<u8>>) -> Vec<u8>,
     {
+        let n = members.len() as u32;
+        let mut combine = Some(combine);
         let mut s = self.slot.lock();
         match &s.tag {
             None => s.tag = Some(tag.clone()),
@@ -299,25 +363,46 @@ impl CollPoint {
         let my_gen = s.gen;
         s.contrib.insert(me, contrib);
         s.arrived += 1;
-        if s.arrived == n {
-            s.result = combine(&s.contrib);
-            s.contrib.clear();
-            s.arrived = 0;
-            s.tag = None;
-            s.gen += 1;
-            self.ctl.bump();
-            self.cv.notify_all();
-        } else {
-            self.ctl.enter_blocked(me, BlockSite::Collective(tag));
-            while s.gen == my_gen {
-                self.ctl.check_abort();
-                // Bounded wait so an abort raised between the check and
-                // the sleep is picked up on the next lap.
-                self.cv.wait_for(&mut s, ABORT_POLL);
+        let mut registered = false;
+        loop {
+            if s.gen != my_gen {
+                // Someone else completed this generation.
+                break;
             }
+            if s.arrived + self.ctl.failed_among(members) >= n {
+                // A member can never be both arrived and on the board
+                // within one generation (death only happens at
+                // instrumentation points, never inside the rendezvous),
+                // so the failed members are exactly the non-arrivers.
+                let failed: Vec<(u32, u64)> = self
+                    .ctl
+                    .failed_snapshot()
+                    .into_iter()
+                    .filter(|(r, _)| members.contains(r) && !s.contrib.contains_key(r))
+                    .collect();
+                s.result = (combine.take().expect("combine runs once"))(&s.contrib);
+                s.failed = failed;
+                s.contrib.clear();
+                s.arrived = 0;
+                s.tag = None;
+                s.gen += 1;
+                self.ctl.bump();
+                self.cv.notify_all();
+                break;
+            }
+            if !registered {
+                self.ctl.enter_blocked(me, BlockSite::Collective(tag.clone()));
+                registered = true;
+            }
+            self.ctl.check_abort();
+            // Bounded wait so an abort (or a failure-board update) raised
+            // between the check and the sleep is picked up next lap.
+            self.cv.wait_for(&mut s, ABORT_POLL);
+        }
+        if registered {
             self.ctl.exit_blocked(me);
         }
-        s.result.clone()
+        (s.result.clone(), s.failed.clone())
     }
 }
 
@@ -387,6 +472,9 @@ pub struct WinInfo {
     pub comm: CommId,
     /// `(base, len)` per member position.
     pub ranks: Vec<(u64, u64)>,
+    /// Exposure generation: 0 at `win_create`, bumped by each
+    /// `win_reexpose` after a failure. Same memory, fresh epoch lineage.
+    pub generation: u32,
 }
 
 /// One queued message: `(tag, payload)`.
@@ -749,13 +837,16 @@ mod tests {
     #[test]
     fn collective_rendezvous() {
         let point = Arc::new(CollPoint::new(ctl()));
-        let n = 4;
-        let results: Vec<Vec<u8>> = std::thread::scope(|s| {
+        let n = 4u32;
+        let members: Vec<u32> = (0..n).collect();
+        type RoundTrip = (Vec<u8>, Vec<(u32, u64)>);
+        let results: Vec<RoundTrip> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..n)
                 .map(|me| {
                     let p = point.clone();
+                    let members = members.clone();
                     s.spawn(move || {
-                        p.collective(n, me, CollTag::Barrier, vec![me as u8], |c| {
+                        p.collective(&members, me, CollTag::Barrier, vec![me as u8], |c| {
                             let mut sum = 0u8;
                             for v in c.values() {
                                 sum += v[0];
@@ -767,27 +858,29 @@ mod tests {
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        for r in results {
+        for (r, failed) in results {
             assert_eq!(r, vec![1 + 2 + 3]);
+            assert!(failed.is_empty());
         }
     }
 
     #[test]
     fn collective_repeated_generations() {
         let point = Arc::new(CollPoint::new(ctl()));
-        let n = 3;
+        let n = 3u32;
         std::thread::scope(|s| {
             for me in 0..n {
                 let p = point.clone();
                 s.spawn(move || {
                     for round in 0..50u8 {
-                        let out = p.collective(n, me, CollTag::Barrier, vec![round], |c| {
-                            // All contributions must be from the same round.
-                            let r = c.values().next().unwrap()[0];
-                            assert!(c.values().all(|v| v[0] == r));
-                            vec![r]
-                        });
-                        assert_eq!(out, vec![round]);
+                        let out =
+                            p.collective(&[0, 1, 2], me, CollTag::Barrier, vec![round], |c| {
+                                // All contributions must be from the same round.
+                                let r = c.values().next().unwrap()[0];
+                                assert!(c.values().all(|v| v[0] == r));
+                                vec![r]
+                            });
+                        assert_eq!(out.0, vec![round]);
                     }
                 });
             }
@@ -835,19 +928,52 @@ mod tests {
     fn mismatched_collectives_panic() {
         let point = Arc::new(CollPoint::new(ctl()));
         let p = point.clone();
-        let h =
-            std::thread::spawn(move || p.collective(2, 0, CollTag::Barrier, vec![], |_| vec![]));
+        let h = std::thread::spawn(move || {
+            p.collective(&[0, 1], 0, CollTag::Barrier, vec![], |_| vec![])
+        });
         // Give the first thread time to set the tag.
         std::thread::sleep(std::time::Duration::from_millis(20));
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            point.collective(2, 1, CollTag::WinCreate, vec![], |_| vec![]);
+            point.collective(&[0, 1], 1, CollTag::WinCreate, vec![], |_| vec![]);
         }));
         // Unblock thread 0 so the test does not hang, then re-panic.
-        point.collective(2, 1, CollTag::Barrier, vec![], |_| vec![]);
+        point.collective(&[0, 1], 1, CollTag::Barrier, vec![], |_| vec![]);
         h.join().unwrap();
         if let Err(e) = r {
             std::panic::resume_unwind(e);
         }
+    }
+
+    #[test]
+    fn collective_completes_around_a_failed_rank() {
+        let c = ctl(); // 4 ranks
+        let point = Arc::new(CollPoint::new(c.clone()));
+        let members = [0u32, 1, 2, 3];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3u32)
+                .map(|me| {
+                    let p = point.clone();
+                    s.spawn(move || {
+                        p.collective(&members, me, CollTag::Barrier, vec![], |_| vec![7])
+                    })
+                })
+                .collect();
+            // Let the three survivors block, then fail rank 3: a waiter
+            // must pick the completion up on a poll lap.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            c.record_failure(3, 2);
+            for h in handles {
+                let (result, failed) = h.join().unwrap();
+                assert_eq!(result, vec![7]);
+                assert_eq!(failed, vec![(3, 2)], "completion names the stand-in failure");
+            }
+        });
+        assert_eq!(c.failed_snapshot(), vec![(3, 2)]);
+        assert_eq!(c.failed_among(&members), 1);
+        assert_eq!(c.failed_among(&[0, 1, 2]), 0);
+        // Recording the same failure twice is idempotent.
+        c.record_failure(3, 9);
+        assert_eq!(c.failed_snapshot(), vec![(3, 2)]);
     }
 
     #[test]

@@ -78,6 +78,7 @@ mod tests {
                 .into_iter()
                 .map(|(mpi, mem)| RankStats { mpi_events: mpi, mem_events: mem, rma_bytes: 0 })
                 .collect(),
+            failures: Vec::new(),
         }
     }
 

@@ -48,6 +48,9 @@ pub struct Progress {
     pub findings: usize,
     /// Whether the session already degraded (eviction at the cap).
     pub degraded: bool,
+    /// Whether a survivable rank failure was streamed (failure-aware
+    /// analysis; the verdict will be recovered unless it also degrades).
+    pub recovered: bool,
 }
 
 /// Everything a parked durable session needs to resume exactly where the
@@ -317,6 +320,7 @@ impl Registry {
                     ("regions_flushed", int(s.progress.regions_flushed as u64)),
                     ("findings", int(s.progress.findings as u64)),
                     ("degraded", Value::Bool(s.progress.degraded)),
+                    ("recovered", Value::Bool(s.progress.recovered)),
                     ("idle_ms", int(s.last_activity.elapsed().as_millis() as u64)),
                 ])
             })

@@ -370,8 +370,7 @@ fn recover_dir(registry: &Arc<Registry>, dir: &std::path::Path, cfg: &ServeConfi
         if rs.finished {
             // The client finished before the crash; rebuild and retire
             // the report so a Resume redelivers it idempotently.
-            let confidence =
-                if checker.is_degraded() { Confidence::Degraded } else { Confidence::Complete };
+            let confidence = checker.confidence();
             let (regions_flushed, peak_buffered, evictions) =
                 (checker.regions_flushed, checker.peak_buffered, checker.evictions);
             let findings = checker.finish();
@@ -409,6 +408,7 @@ fn recover_dir(registry: &Arc<Registry>, dir: &std::path::Path, cfg: &ServeConfi
                         regions_flushed: checker.regions_flushed,
                         findings: checker.findings_so_far(),
                         degraded: checker.is_degraded(),
+                        recovered: checker.is_recovered(),
                     },
                     checker,
                 },
@@ -692,6 +692,7 @@ fn run_session(
         regions_flushed: c.regions_flushed,
         findings: c.findings_so_far(),
         degraded: c.is_degraded(),
+        recovered: c.is_recovered(),
     };
     loop {
         match reader.next_frame() {
@@ -771,8 +772,7 @@ fn run_session(
                     return;
                 };
                 ctx.guard.report_progress(progress_of(&c, ctx.events));
-                let confidence =
-                    if c.is_degraded() { Confidence::Degraded } else { Confidence::Complete };
+                let confidence = c.confidence();
                 let (regions_flushed, peak_buffered, evictions) =
                     (c.regions_flushed, c.peak_buffered, c.evictions);
                 let findings = c.finish();
@@ -792,6 +792,7 @@ fn run_session(
                     regions_flushed: report.regions_flushed,
                     findings: report.findings.len(),
                     degraded: report.confidence == Confidence::Degraded,
+                    recovered: report.confidence == Confidence::Recovered,
                 });
                 let json = report.to_json();
                 // Settle the registry before the client can see the
@@ -958,6 +959,7 @@ fn salvage(
         regions_flushed: report.regions_flushed,
         findings: report.findings.len(),
         degraded: true,
+        recovered: false,
     });
     let json = report.to_json();
     let id = ctx.guard.id();

@@ -59,6 +59,13 @@ pub enum ConflictKind {
     OverlapViolation,
     /// The pair is erroneous regardless of overlap (separation rule).
     SeparationViolation,
+    /// A survivor read window memory whose last writer died before
+    /// completing its exposure epoch (failure-aware check, Besta &
+    /// Hoefler fault-tolerant RMA).
+    StaleReadFromFailedRank,
+    /// An RMA operation issued against an old window generation landed
+    /// after the window was re-exposed (failure-aware check).
+    LostUpdateAcrossReexposure,
 }
 
 impl fmt::Display for ConflictKind {
@@ -70,6 +77,12 @@ impl fmt::Display for ConflictKind {
             ConflictKind::SeparationViolation => {
                 f.write_str("combination erroneous even without overlap (MPI-2.2 separation rule)")
             }
+            ConflictKind::StaleReadFromFailedRank => {
+                f.write_str("read of window memory whose last writer failed mid-epoch")
+            }
+            ConflictKind::LostUpdateAcrossReexposure => f.write_str(
+                "RMA update from a pre-failure window generation lost across re-exposure",
+            ),
         }
     }
 }
@@ -333,5 +346,7 @@ mod tests {
     fn conflict_kind_display() {
         assert!(ConflictKind::OverlapViolation.to_string().contains("overlapping"));
         assert!(ConflictKind::SeparationViolation.to_string().contains("separation"));
+        assert!(ConflictKind::StaleReadFromFailedRank.to_string().contains("failed"));
+        assert!(ConflictKind::LostUpdateAcrossReexposure.to_string().contains("re-exposure"));
     }
 }

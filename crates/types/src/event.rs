@@ -287,6 +287,23 @@ pub enum EventKind {
     Load { addr: u64, len: u64 },
     /// CPU store of `len` bytes at `addr`.
     Store { addr: u64, len: u64 },
+
+    // --- failure & recovery markers (Besta & Hoefler fault-tolerant RMA) ---
+    /// A surviving rank observed that `failed` died; `epoch` is the number
+    /// of epochs the failed rank had completed. Logged at the observer's
+    /// first collective synchronization after the failure. A pure marker:
+    /// it neither synchronizes processes nor opens/closes an epoch, so the
+    /// matcher, DAG and epoch extractor ignore it.
+    RankFailed { failed: Rank, epoch: u64 },
+    /// Collective window re-exposure: the window's memory is re-exposed
+    /// under a fresh epoch *generation* (`MPI_Win_free` + re-create
+    /// semantics over the same memory). Ordering comes from the
+    /// surrounding fences, so this too is a marker event.
+    WinReexpose { win: WinId, generation: u32 },
+    /// Local in-memory checkpoint of this rank's segment of `win`.
+    Checkpoint { win: WinId, id: u64 },
+    /// Local restore of this rank's segment of `win` from checkpoint `id`.
+    Restore { win: WinId, id: u64 },
 }
 
 impl EventKind {
@@ -405,7 +422,24 @@ impl EventKind {
             EventKind::CommCreate { .. } => "MPI_Comm_create",
             EventKind::Load { .. } => "load",
             EventKind::Store { .. } => "store",
+            EventKind::RankFailed { .. } => "rank_failed",
+            EventKind::WinReexpose { .. } => "MPI_Win_reexpose",
+            EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::Restore { .. } => "restore",
         }
+    }
+
+    /// Whether this is a failure/recovery marker (notification,
+    /// re-exposure, checkpoint or restore). Markers carry provenance for
+    /// the failure-aware analysis but impose no ordering of their own.
+    pub fn is_recovery_marker(&self) -> bool {
+        matches!(
+            self,
+            EventKind::RankFailed { .. }
+                | EventKind::WinReexpose { .. }
+                | EventKind::Checkpoint { .. }
+                | EventKind::Restore { .. }
+        )
     }
 }
 
@@ -535,6 +569,30 @@ mod tests {
         assert_eq!(compat(cas, cas), Compatibility::Both);
         let cas_dbl = AtomicKind::CompareAndSwap.access_class(DatatypeId::DOUBLE);
         assert_eq!(compat(cas, cas_dbl), Compatibility::NonOverlap);
+    }
+
+    #[test]
+    fn recovery_markers_are_inert() {
+        let markers = [
+            EventKind::RankFailed { failed: Rank(1), epoch: 2 },
+            EventKind::WinReexpose { win: WinId(0), generation: 1 },
+            EventKind::Checkpoint { win: WinId(0), id: 0 },
+            EventKind::Restore { win: WinId(0), id: 0 },
+        ];
+        for m in &markers {
+            assert!(m.is_recovery_marker(), "{m:?}");
+            assert!(!m.is_sync(), "{m:?} must not synchronize processes");
+            assert!(!m.is_rma_sync(), "{m:?} must not open/close epochs");
+            assert!(!m.is_rma_op(), "{m:?}");
+            assert!(!m.is_mem_access(), "{m:?}");
+            assert_eq!(m.collective_comm(), None, "{m:?}");
+            let e = Event::new(m.clone(), LocId(0));
+            let json = serde_json::to_string(&e).unwrap();
+            assert_eq!(e, serde_json::from_str::<Event>(&json).unwrap());
+        }
+        assert_eq!(markers[0].call_name(), "rank_failed");
+        assert_eq!(markers[1].call_name(), "MPI_Win_reexpose");
+        assert!(!EventKind::Fence { win: WinId(0) }.is_recovery_marker());
     }
 
     #[test]

@@ -20,17 +20,30 @@
 //!     --format json, --engine naive and --threads 4.)
 //!
 //! mcc demo <case> [--fixed] [--procs N] [--trace-out DIR]
-//!          [--abort R:N] [--hang R:N] [--profile out.json]
+//!          [--abort R:N] [--hang R:N] [--recover-policy P]
+//!          [--profile out.json]
 //!     Run one of the built-in bug cases under the Profiler and check it.
 //!     Cases: emulate, bt-broadcast, lockopts, ping-pong, jacobi, adlb,
-//!     adlb-crash, mpi3-queue, fig2a, fig2b, fig2c, fig2d.
-//!     --abort R:N injects a crash of rank R after N events; --hang R:N
-//!     hangs rank R at its Nth synchronization call (caught by the
-//!     watchdog). Either switches the run to fault-tolerant tracing and
-//!     the analysis to degraded mode.
+//!     adlb-crash, mpi3-queue, fig2a, fig2b, fig2c, fig2d, plus the
+//!     recovery gallery: jacobi-ckpt, pingpong-reexpose, adlb-failure,
+//!     notify-race (each ships its own fault plan).
+//!     --abort R:N injects a failure of rank R after N events; --hang
+//!     R:N hangs rank R at its Nth synchronization call (caught by the
+//!     watchdog). --recover-policy <abort|notify|checkpoint> chooses
+//!     what --abort means: `abort` (the default) kills the process and
+//!     degrades the analysis; `notify` and `checkpoint` make the
+//!     failure survivable — the run keeps going, survivors observe the
+//!     death, and the checker routes through the failure-aware
+//!     (recovered) pipeline instead of degrading.
 //!
-//! Exit codes: 0 clean, 1 errors found, 2 usage/IO error,
-//! 3 degraded analysis with errors, 4 degraded analysis, clean.
+//! Exit codes:
+//!   0  complete analysis, no errors
+//!   1  complete analysis, errors found
+//!   2  usage or I/O error
+//!   3  degraded analysis, errors found
+//!   4  degraded analysis, no errors
+//!   5  recovered analysis (rank failure modeled), errors found
+//!   6  recovered analysis (rank failure modeled), no errors
 //!
 //! mcc serve [--listen ADDR] [--max-buffer N] [--soft-watermark N]
 //!           [--idle-timeout-ms N] [--write-timeout-ms N] [--tick-ms N]
@@ -87,8 +100,8 @@
 
 use mc_checker::apps::bugs;
 use mc_checker::core::streaming::StreamingChecker;
-use mc_checker::core::{CheckReport, Confidence};
-use mc_checker::mpi_sim::{Fault, FaultPlan, SimError};
+use mc_checker::core::CheckReport;
+use mc_checker::mpi_sim::{Fault, FaultPlan, RecoveryPolicy, SimError};
 use mc_checker::prelude::*;
 use mc_checker::profiler::{read_trace_dir, read_trace_dir_tolerant, write_trace_dir};
 use mc_checker::serve::proto::{Frame, FrameReader, SessionOpts};
@@ -128,12 +141,23 @@ fn main() -> ExitCode {
                 );
             }
             println!("  fig2a / fig2b / fig2c / fig2d   the Figure 2 archetypes");
+            println!("Recovery gallery (survivable rank failures; fault plan built in):");
+            for (spec, _, _) in bugs::recovery_gallery::gallery() {
+                println!(
+                    "  {:<18} {:>3} procs  rank {} fails after {} epoch(s)",
+                    spec.name.replace('_', "-"),
+                    spec.nprocs,
+                    spec.failed_rank,
+                    spec.epochs_completed
+                );
+            }
             ExitCode::SUCCESS
         }
         _ => {
             eprintln!(
                 "usage: mcc <check|demo|serve|submit|stats|overhead|table1|list> ...  \
-                 (see `src/bin/mcc.rs` docs)"
+                 (see `src/bin/mcc.rs` docs)\nexit codes:\n{}",
+                mc_checker::EXIT_CODE_TABLE
             );
             ExitCode::from(2)
         }
@@ -302,9 +326,10 @@ fn cmd_check_tolerant(dir: &str, args: &[String], json: bool, obs: &RecorderHand
     report_exit(&report, json, args.iter().any(|a| a == "--timings"))
 }
 
-/// Prints a report and maps it to the documented exit codes
-/// (0/1 complete, 4/3 degraded). `timings` switches the JSON rendering
-/// to the additive per-phase-timings variant.
+/// Prints a report and maps it to the documented exit codes (0/1
+/// complete, 4/3 degraded, 6/5 recovered — `mc_checker::EXIT_CODE_TABLE`).
+/// `timings` switches the JSON rendering to the additive
+/// per-phase-timings variant.
 fn report_exit(report: &CheckReport, json: bool, timings: bool) -> ExitCode {
     if json {
         if timings {
@@ -315,12 +340,7 @@ fn report_exit(report: &CheckReport, json: bool, timings: bool) -> ExitCode {
     } else {
         print!("{}", report.render());
     }
-    match (report.confidence == Confidence::Degraded, report.has_errors()) {
-        (false, false) => ExitCode::SUCCESS,
-        (false, true) => ExitCode::from(1),
-        (true, true) => ExitCode::from(3),
-        (true, false) => ExitCode::from(4),
-    }
+    ExitCode::from(mc_checker::exit_code_for(report.confidence, report.has_errors()))
 }
 
 fn render_findings(findings: &[ConsistencyError], json: bool) -> ExitCode {
@@ -367,12 +387,7 @@ fn session_report_exit(report: &SessionReport, json: bool) -> ExitCode {
             println!("--- finding {} ---\n{e}\n", i + 1);
         }
     }
-    match (report.confidence == Confidence::Degraded, report.has_errors()) {
-        (false, false) => ExitCode::SUCCESS,
-        (false, true) => ExitCode::from(1),
-        (true, true) => ExitCode::from(3),
-        (true, false) => ExitCode::from(4),
-    }
+    ExitCode::from(mc_checker::exit_code_for(report.confidence, report.has_errors()))
 }
 
 /// Parses a positive-integer flag, reporting a uniform usage error.
@@ -726,7 +741,8 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     let Some(name) = args.first().map(String::as_str) else {
         eprintln!(
             "usage: mcc demo <case> [--fixed] [--procs N] [--trace-out DIR] \
-             [--abort R:N] [--hang R:N] [--submit ADDR] [--profile out.json]"
+             [--abort R:N] [--hang R:N] [--recover-policy abort|notify|checkpoint] \
+             [--submit ADDR] [--profile out.json]"
         );
         return ExitCode::from(2);
     };
@@ -734,6 +750,15 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     let fixed = args.iter().any(|a| a == "--fixed");
     let procs_override = flag_value(args, "--procs").and_then(|v| v.parse::<u32>().ok());
 
+    let policy = match flag_value(args, "--recover-policy") {
+        None | Some("abort") => None,
+        Some("notify") => Some(RecoveryPolicy::Notify),
+        Some("checkpoint") => Some(RecoveryPolicy::Checkpoint),
+        Some(other) => {
+            eprintln!("mcc: --recover-policy expects abort, notify or checkpoint, got `{other}`");
+            return ExitCode::from(2);
+        }
+    };
     let mut faults = FaultPlan::none();
     for (flag, is_abort) in [("--abort", true), ("--hang", false)] {
         if let Some(v) = flag_value(args, flag) {
@@ -741,40 +766,56 @@ fn cmd_demo(args: &[String]) -> ExitCode {
                 eprintln!("mcc: {flag} expects R:N (e.g. {flag} 1:6)");
                 return ExitCode::from(2);
             };
-            faults = faults.with(if is_abort {
-                Fault::RankAbort { rank, after_events: n }
-            } else {
-                Fault::HangAtSync { rank, nth_sync: n }
+            faults = faults.with(match (is_abort, policy) {
+                // A survivable failure: the run continues, survivors
+                // observe the death, and the analysis recovers.
+                (true, Some(recover)) => Fault::RankFailure { rank, after_events: n, recover },
+                (true, None) => Fault::RankAbort { rank, after_events: n },
+                (false, _) => Fault::HangAtSync { rank, nth_sync: n },
             });
         }
     }
     if name == "adlb-crash" {
         faults = bugs::adlb::crash_mid_epoch_faults();
     }
+    // The recovery gallery ships its own fault plan (a survivable rank
+    // failure) unless the command line overrides it.
+    let gallery_case = bugs::recovery_gallery::gallery()
+        .into_iter()
+        .find(|(spec, _, _)| spec.name.replace('_', "-") == name);
+    if let Some((_, gallery_faults, _)) = &gallery_case {
+        if faults.is_empty() {
+            faults = gallery_faults();
+        }
+    }
 
-    let (default_procs, body): (u32, fn(&mut Proc)) = match (name, fixed) {
-        ("emulate", false) => (2, bugs::emulate::buggy),
-        ("emulate", true) => (2, bugs::emulate::fixed),
-        ("bt-broadcast", false) => (2, bugs::bt_broadcast::buggy),
-        ("bt-broadcast", true) => (2, bugs::bt_broadcast::fixed),
-        ("lockopts", false) => (64, bugs::lockopts::buggy),
-        ("lockopts", true) => (64, bugs::lockopts::fixed),
-        ("ping-pong", false) => (2, bugs::pingpong::buggy),
-        ("ping-pong", true) => (2, bugs::pingpong::fixed),
-        ("jacobi", false) => (4, bugs::jacobi::buggy),
-        ("jacobi", true) => (4, bugs::jacobi::fixed),
-        ("adlb", false) => (2, bugs::adlb::buggy),
-        ("adlb", true) => (2, bugs::adlb::fixed),
-        ("adlb-crash", _) => (2, bugs::adlb::buggy),
-        ("mpi3-queue", false) => (4, bugs::mpi3_queue::buggy),
-        ("mpi3-queue", true) => (4, bugs::mpi3_queue::fixed),
-        ("fig2a", _) => (2, bugs::archetypes::fig2a),
-        ("fig2b", _) => (3, bugs::archetypes::fig2b),
-        ("fig2c", _) => (3, bugs::archetypes::fig2c),
-        ("fig2d", _) => (2, bugs::archetypes::fig2d),
-        _ => {
-            eprintln!("mcc: unknown demo `{name}` (try `mcc list`)");
-            return ExitCode::from(2);
+    let (default_procs, body): (u32, fn(&mut Proc)) = if let Some((spec, _, gbody)) = gallery_case {
+        (spec.nprocs, gbody)
+    } else {
+        match (name, fixed) {
+            ("emulate", false) => (2, bugs::emulate::buggy),
+            ("emulate", true) => (2, bugs::emulate::fixed),
+            ("bt-broadcast", false) => (2, bugs::bt_broadcast::buggy),
+            ("bt-broadcast", true) => (2, bugs::bt_broadcast::fixed),
+            ("lockopts", false) => (64, bugs::lockopts::buggy),
+            ("lockopts", true) => (64, bugs::lockopts::fixed),
+            ("ping-pong", false) => (2, bugs::pingpong::buggy),
+            ("ping-pong", true) => (2, bugs::pingpong::fixed),
+            ("jacobi", false) => (4, bugs::jacobi::buggy),
+            ("jacobi", true) => (4, bugs::jacobi::fixed),
+            ("adlb", false) => (2, bugs::adlb::buggy),
+            ("adlb", true) => (2, bugs::adlb::fixed),
+            ("adlb-crash", _) => (2, bugs::adlb::buggy),
+            ("mpi3-queue", false) => (4, bugs::mpi3_queue::buggy),
+            ("mpi3-queue", true) => (4, bugs::mpi3_queue::fixed),
+            ("fig2a", _) => (2, bugs::archetypes::fig2a),
+            ("fig2b", _) => (3, bugs::archetypes::fig2b),
+            ("fig2c", _) => (3, bugs::archetypes::fig2c),
+            ("fig2d", _) => (2, bugs::archetypes::fig2d),
+            _ => {
+                eprintln!("mcc: unknown demo `{name}` (try `mcc list`)");
+                return ExitCode::from(2);
+            }
         }
     };
     let procs = procs_override.unwrap_or(default_procs);
@@ -809,10 +850,10 @@ fn cmd_demo(args: &[String]) -> ExitCode {
 
     let session = AnalysisSession::builder().recorder(sink.obs.clone()).build();
     if sim_error.is_none() {
+        // A survivable rank failure leaves no simulator error; `run`
+        // notices the failure markers and recovers (exit 5/6).
         let report = session.run(&trace);
-        print!("{}", report.render());
-        let code = if report.has_errors() { ExitCode::from(1) } else { ExitCode::SUCCESS };
-        return sink.finish(code);
+        return sink.finish(report_exit(&report, false, false));
     }
     // The run was cut short: the trace may stop mid-epoch, so only the
     // degraded path is safe.

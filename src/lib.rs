@@ -57,6 +57,33 @@
 //! println!("{}", report.render());
 //! ```
 
+/// The CLI's exit-code contract, shared by `mcc check`, `mcc demo` and
+/// `mcc submit`. The `mcc` usage text prints this table verbatim, the
+/// README quotes it, and `tests/recovery_pipeline.rs` asserts all three
+/// stay in sync with [`exit_code_for`].
+pub const EXIT_CODE_TABLE: &str = "\
+  0  complete analysis, no errors
+  1  complete analysis, errors found
+  2  usage or I/O error
+  3  degraded analysis, errors found
+  4  degraded analysis, no errors
+  5  recovered analysis (rank failure modeled), errors found
+  6  recovered analysis (rank failure modeled), no errors";
+
+/// Maps an analysis verdict to the documented process exit code (the
+/// left column of [`EXIT_CODE_TABLE`]).
+pub fn exit_code_for(confidence: mcc_core::report::Confidence, has_errors: bool) -> u8 {
+    use mcc_core::report::Confidence;
+    match (confidence, has_errors) {
+        (Confidence::Complete, false) => 0,
+        (Confidence::Complete, true) => 1,
+        (Confidence::Degraded, true) => 3,
+        (Confidence::Degraded, false) => 4,
+        (Confidence::Recovered, true) => 5,
+        (Confidence::Recovered, false) => 6,
+    }
+}
+
 pub use mcc_apps as apps;
 pub use mcc_core as core;
 pub use mcc_mpi_sim as mpi_sim;

@@ -524,3 +524,143 @@ fn recover_over_damaged_directory_never_panics() {
     drop(server);
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// The failure-aware pipeline through the crash story: a *rank-failure*
+/// session (the `pingpong_reexpose` recovery workload) streams durably,
+/// daemon A dies mid-session, daemon B recovers the journal and serves
+/// the resume. The recovered report must carry `recovered` confidence
+/// and be byte-identical to an uninterrupted daemon run and to batch.
+#[test]
+fn daemon_restart_preserves_a_rank_failure_report() {
+    use mc_checker::apps::bugs::{recovery_gallery, trace_under_faults};
+
+    let (spec, faults, body) = recovery_gallery::gallery().remove(1);
+    assert_eq!(spec.name, "pingpong_reexpose");
+    let (trace, error) = trace_under_faults(spec.nprocs, 11, faults(), body);
+    assert!(error.is_none(), "survivable failure is not an error");
+    let batch = AnalysisSession::new().run(&trace);
+    assert_eq!(batch.confidence, Confidence::Recovered);
+
+    // Uninterrupted daemon run, for the byte-identity baseline.
+    let (addr0, handle0, join0) = start_server(chaos_cfg());
+    let (uninterrupted, _stats) = client::submit_durable_tcp(
+        &addr0,
+        &trace,
+        &SessionOpts { durable: true, ..SessionOpts::default() },
+        &chaos_policy(0),
+    )
+    .expect("uninterrupted submit");
+    handle0.shutdown();
+    join0.join().unwrap();
+    assert_eq!(uninterrupted.confidence, Confidence::Recovered, "session verdict is recovered");
+    assert_eq!(uninterrupted.findings, batch.diagnostics);
+
+    let dir = tmpdir("rankfail-restart");
+    // The gallery trace is small; ack every other event so a provably
+    // journaled prefix exists before the daemon dies.
+    let cfg = |recover| ServeConfig {
+        journal_dir: Some(dir.clone()),
+        fsync: FsyncPolicy::Always,
+        recover,
+        ack_interval: 2,
+        ..chaos_cfg()
+    };
+
+    // --- Daemon A: stream the first half, then vanish mid-recovery. ---
+    let server_a = Server::bind("127.0.0.1:0", cfg(false)).unwrap();
+    let addr_a = server_a.local_addr().to_string();
+    let registry_a = server_a.registry();
+    let handle_a = server_a.handle();
+    let join_a = thread::spawn(move || server_a.run().expect("serve loop A"));
+
+    let encoded = client::encode_events(&trace);
+    let half = encoded.len() / 2;
+    let session_id;
+    {
+        let stream = TcpStream::connect(&addr_a).unwrap();
+        stream.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
+        let mut reader = FrameReader::new(stream);
+        let opts = SessionOpts { durable: true, ..SessionOpts::default() };
+        write_frame(
+            reader.get_mut(),
+            &Frame::Hello {
+                version: mc_checker::serve::PROTOCOL_VERSION,
+                nprocs: spec.nprocs,
+                opts,
+            },
+        )
+        .unwrap();
+        session_id = match read_progress(&mut reader) {
+            Some(Frame::Welcome { session, .. }) => session,
+            other => panic!("expected Welcome, got {other:?}"),
+        };
+        use std::io::Write;
+        for bytes in &encoded[..half] {
+            reader.get_mut().write_all(bytes).unwrap();
+        }
+        reader.get_mut().flush().unwrap();
+        let acked = match read_progress(&mut reader) {
+            Some(Frame::Ack { through }) => through,
+            Some(other) => panic!("unexpected frame {other:?}"),
+            None => panic!("daemon closed mid-stream"),
+        };
+        assert!(acked > 0, "daemon must have acked a prefix");
+    }
+    assert!(
+        wait_until(|| registry_a.parked_count() == 1, Duration::from_secs(5)),
+        "durable session must park on disconnect"
+    );
+    handle_a.shutdown();
+    join_a.join().unwrap();
+
+    // --- Daemon B: recover, resume, finish. ---
+    let server_b = Server::bind("127.0.0.1:0", cfg(true)).unwrap();
+    let addr_b = server_b.local_addr().to_string();
+    assert_eq!(server_b.registry().parked_count(), 1);
+    let handle_b = server_b.handle();
+    let join_b = thread::spawn(move || server_b.run().expect("serve loop B"));
+
+    let stream = TcpStream::connect(&addr_b).unwrap();
+    stream.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
+    let mut reader = FrameReader::new(stream);
+    write_frame(reader.get_mut(), &Frame::Resume { session: session_id, from_seq: 0 }).unwrap();
+    assert!(matches!(read_progress(&mut reader), Some(Frame::Welcome { .. })));
+    let through = match read_progress(&mut reader) {
+        Some(Frame::Ack { through }) => through,
+        other => panic!("expected resume Ack, got {other:?}"),
+    };
+    {
+        use std::io::Write;
+        for bytes in &encoded[through as usize..] {
+            reader.get_mut().write_all(bytes).unwrap();
+        }
+        reader.get_mut().flush().unwrap();
+    }
+    drain_acks(&mut reader);
+    write_frame(reader.get_mut(), &Frame::Finish).unwrap();
+    let report = loop {
+        match read_progress(&mut reader) {
+            Some(Frame::Report { json }) => {
+                break mc_checker::serve::SessionReport::from_json(&json).unwrap()
+            }
+            Some(Frame::Ack { .. }) => {}
+            Some(other) => panic!("unexpected frame {other:?}"),
+            None => panic!("daemon B closed before the report"),
+        }
+    };
+
+    assert_eq!(report.confidence, Confidence::Recovered, "recovered session verdict");
+    assert_eq!(report.events_ingested, trace.total_events() as u64);
+    assert_eq!(
+        report.to_json(),
+        uninterrupted.to_json(),
+        "rank-failure report must be byte-identical across the daemon restart"
+    );
+    let a = serde_json::to_string(&report.findings).unwrap();
+    let b = serde_json::to_string(&batch.diagnostics).unwrap();
+    assert_eq!(a, b, "recovered report not byte-identical to batch");
+
+    handle_b.shutdown();
+    join_b.join().unwrap();
+    let _ = fs::remove_dir_all(&dir);
+}

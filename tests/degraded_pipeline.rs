@@ -89,3 +89,86 @@ proptest! {
         fs::remove_dir_all(&dir).ok();
     }
 }
+
+/// A ring of puts: every rank stores a private scratch cell and puts it
+/// to its right neighbour's window, two fences apart.
+fn put_ring(p: &mut Proc) {
+    let right = (p.rank() + 1) % p.size();
+    let buf = p.alloc_i32s(1);
+    let win = p.win_create(buf, 4, CommId::WORLD);
+    let scratch = p.alloc_i32s(1);
+    p.win_fence(win);
+    p.tstore_i32(scratch, p.rank() as i32);
+    p.put(scratch, 1, DatatypeId::INT, right, 0, 1, DatatypeId::INT, win);
+    p.win_fence(win);
+    p.win_free(win);
+}
+
+/// Two ranks abort in the *same* epoch (both die at the closing fence
+/// with a put in flight): the sanitizer must synthesize a close for each
+/// torn log, and the repaired trace must survive the full pipeline as a
+/// degraded report.
+#[test]
+fn simultaneous_aborts_in_one_epoch_sanitize_cleanly() {
+    use mc_checker::apps::bugs::trace_under_faults;
+    use mc_checker::mpi_sim::{Fault, FaultPlan};
+
+    let faults = FaultPlan::none()
+        .with(Fault::RankAbort { rank: 1, after_events: 4 })
+        .with(Fault::RankAbort { rank: 2, after_events: 4 });
+    let (trace, error) = trace_under_faults(4, 7, faults, put_ring);
+    assert!(error.is_some(), "simultaneous aborts are a failed run");
+
+    let (repaired, info) = mc_checker::core::sanitize(&trace);
+    // Both aborted ranks died inside their access epoch; the survivors
+    // deadlocked in the fence waiting for them (aborts, unlike survivable
+    // failures, do not complete collectives around the corpse), so every
+    // log is torn — but each by exactly its one open epoch.
+    for r in [1u32, 2] {
+        let n = info.synthesized.iter().filter(|(rank, _)| rank.0 == r).count();
+        assert_eq!(n, 1, "aborted rank {r} has exactly one open epoch to close:\n{info:?}");
+    }
+
+    let (mut report, _info) = AnalysisSession::new().run_with_repair(&trace);
+    report.mark_degraded();
+    assert_eq!(report.confidence, Confidence::Degraded);
+    let _ = report.render();
+    let _ = repaired; // the sanitized trace itself is checked above
+}
+
+/// Two ranks fail *survivably* in the same epoch: the survivors complete
+/// the fence around both corpses, log both notifications, and the
+/// checker recovers — quarantining both in-flight puts — rather than
+/// degrading.
+#[test]
+fn two_survivable_failures_in_one_epoch_recover() {
+    use mc_checker::apps::bugs::trace_under_faults;
+    use mc_checker::mpi_sim::{Fault, FaultPlan, RecoveryPolicy};
+    use mc_checker::types::EventKind;
+
+    let faults = FaultPlan::none()
+        .with(Fault::RankFailure { rank: 1, after_events: 4, recover: RecoveryPolicy::Notify })
+        .with(Fault::RankFailure { rank: 2, after_events: 4, recover: RecoveryPolicy::Notify });
+    let (trace, error) = trace_under_faults(4, 7, faults, put_ring);
+    assert!(error.is_none(), "survivable failures are not an error");
+
+    // Each survivor observes both deaths.
+    for r in [0usize, 3] {
+        let markers = trace.procs[r]
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RankFailed { .. }))
+            .count();
+        assert_eq!(markers, 2, "survivor {r} logs one marker per corpse");
+    }
+
+    let report = AnalysisSession::new().run(&trace);
+    assert_eq!(
+        report.confidence,
+        Confidence::Recovered,
+        "two survivable failures still recover:\n{}",
+        report.render()
+    );
+    // Nobody read the undelivered bytes, so the recovered report is clean.
+    assert!(report.errors().next().is_none(), "{}", report.render());
+}

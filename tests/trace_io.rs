@@ -53,3 +53,30 @@ fn big_trace_round_trip() {
     assert_eq!(trace, loaded);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Failure traces — with `rank_failed`, `MPI_Win_reexpose`, `checkpoint`
+/// and `restore` markers — survive the disk round trip byte-exactly, and
+/// the recovered report is identical on both sides.
+#[test]
+fn recovery_markers_survive_the_disk_round_trip() {
+    use mc_checker::apps::bugs::{recovery_gallery, trace_under_faults};
+    use mc_checker::types::EventKind;
+
+    let dir = std::env::temp_dir().join(format!("mcc-it-recovery-rt-{}", std::process::id()));
+    for (spec, faults, body) in recovery_gallery::gallery() {
+        let (trace, error) = trace_under_faults(spec.nprocs, 11, faults(), body);
+        assert!(error.is_none(), "{}", spec.name);
+        assert!(
+            trace.iter_events().any(|(_, e)| matches!(e.kind, EventKind::RankFailed { .. })),
+            "{}: failure trace carries its markers",
+            spec.name
+        );
+        write_trace_dir(&trace, &dir).unwrap();
+        let loaded = read_trace_dir(&dir).unwrap();
+        assert_eq!(trace, loaded, "{}: lossless round trip", spec.name);
+        let a = AnalysisSession::new().run(&trace);
+        let b = AnalysisSession::new().run(&loaded);
+        assert_eq!(a.to_json(), b.to_json(), "{}: identical recovered reports", spec.name);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
