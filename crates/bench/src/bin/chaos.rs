@@ -81,7 +81,11 @@ fn main() {
     };
     let trace = synth_trace(&params, conflict);
     let batch = AnalysisSession::new().run(&trace).diagnostics;
-    let wire: u64 = client::encode_events(&trace).iter().map(|f| f.len() as u64).sum();
+    let wire: u64 =
+        client::encode_stream(&client::flatten_events(&trace), 0, mcc_serve::CodecKind::Json, 1)
+            .iter()
+            .map(|f| f.len() as u64)
+            .sum();
 
     println!(
         "Chaos recovery benchmark: {} events/session ({} wire bytes), {} seed(s) per fault",

@@ -21,7 +21,8 @@ use mcc_apps::bugs::{recovery_gallery, trace_under_faults};
 use mcc_core::report::Confidence;
 use mcc_core::AnalysisSession;
 use mcc_serve::journal::FsyncPolicy;
-use mcc_serve::proto::{write_frame, Frame, FrameReader, ProtoError, SessionOpts};
+use mcc_serve::proto::{write_frame_with, Frame, FrameReader, ProtoError, SessionOpts};
+use mcc_serve::CodecKind;
 use mcc_serve::{client, ServeConfig, Server};
 use mcc_types::{EventKind, Trace};
 use std::net::TcpStream;
@@ -81,7 +82,7 @@ fn closes_epoch(kind: &EventKind) -> bool {
     )
 }
 
-/// The event kinds in the wire order `client::encode_events` uses
+/// The event kinds in the wire order `client::encode_stream` uses
 /// (round-robin across ranks), so a wire sequence number maps back to
 /// its event.
 fn wire_order(trace: &Trace) -> Vec<EventKind> {
@@ -176,7 +177,7 @@ fn main() {
 
         // Crash mid-recovery: daemon A journals half the stream and
         // dies; daemon B replays the journal and finishes the session.
-        let encoded = client::encode_events(&trace);
+        let encoded = client::encode_stream(&client::flatten_events(&trace), 0, CodecKind::Json, 1);
         let half = encoded.len() / 2;
         let dir = tmpdir(&format!("bench-rec-{}", spec.name));
 
@@ -191,9 +192,10 @@ fn main() {
             stream.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
             let mut reader = FrameReader::new(stream);
             let opts = SessionOpts { durable: true, ..SessionOpts::default() };
-            write_frame(
+            write_frame_with(
                 reader.get_mut(),
                 &Frame::Hello { version: mcc_serve::PROTOCOL_VERSION, nprocs: spec.nprocs, opts },
+                CodecKind::Json,
             )
             .unwrap();
             session_id = match read_frame(&mut reader) {
@@ -232,7 +234,12 @@ fn main() {
         let stream = TcpStream::connect(&addr_b).expect("connect B");
         stream.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
         let mut reader = FrameReader::new(stream);
-        write_frame(reader.get_mut(), &Frame::Resume { session: session_id, from_seq: 0 }).unwrap();
+        write_frame_with(
+            reader.get_mut(),
+            &Frame::Resume { session: session_id, from_seq: 0 },
+            CodecKind::Json,
+        )
+        .unwrap();
         assert!(matches!(read_frame(&mut reader), Some(Frame::Welcome { .. })));
         let through = match read_frame(&mut reader) {
             Some(Frame::Ack { through }) => through,
@@ -245,7 +252,7 @@ fn main() {
             }
             reader.get_mut().flush().unwrap();
         }
-        write_frame(reader.get_mut(), &Frame::Finish).unwrap();
+        write_frame_with(reader.get_mut(), &Frame::Finish, CodecKind::Json).unwrap();
         let report = loop {
             match read_frame(&mut reader) {
                 Some(Frame::Report { json }) => {

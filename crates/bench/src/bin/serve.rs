@@ -1,21 +1,28 @@
-//! Daemon ingest benchmark: events/s and peak resident buffer at
-//! 1, 4, and 16 concurrent sessions against one in-process `mcc-serve`
-//! server.
+//! Daemon ingest benchmark: events/s, bytes/s, and peak resident buffer
+//! at 1, 4, and 16 concurrent sessions against one in-process
+//! `mcc-serve` server.
 //!
 //! Each session streams its own synthetic fig8-style trace over a real
 //! TCP socket and must get back exactly the findings the batch
 //! `AnalysisSession` produces for that trace (any divergence exits 1).
-//! Results are written to `BENCH_serve.json`.
+//! The event stream uses the negotiated codec (`--codec`, default
+//! binary with 256-event batches); when binary is measured, one extra
+//! 16-session rep runs with plain per-event JSON so the two wire
+//! formats can be compared on the same workload. Per-layer costs are
+//! split client-side (encode vs. socket time, from `SubmitInfo`) and
+//! daemon-side (phase spans). Results go to `BENCH_serve.json`.
 //!
 //! ```text
-//! cargo run -p mcc-bench --release --bin serve [-- --procs 8 --ops 48 \
-//!     --locals 8 --rounds 3 --conflict-pct 5 --reps 3 --out BENCH_serve.json]
+//! cargo run -p mcc-bench --release --bin serve [-- --procs 8 --ops 12 \
+//!     --locals 80 --rounds 16 --conflict-pct 2 --reps 3 \
+//!     --codec binary --batch-size 256 --out BENCH_serve.json]
 //! ```
 
 use mcc_bench::synth::{synth_trace, SynthParams};
 use mcc_core::AnalysisSession;
+use mcc_serve::client::{SubmitCfg, SubmitInfo};
 use mcc_serve::proto::SessionOpts;
-use mcc_serve::{client, ServeConfig, Server};
+use mcc_serve::{client, CodecKind, ServeConfig, Server, SessionReport};
 use std::time::{Duration, Instant};
 
 struct Row {
@@ -23,8 +30,95 @@ struct Row {
     wall: Duration,
     events_total: usize,
     events_per_sec: f64,
+    bytes_total: u64,
+    bytes_per_sec: f64,
+    /// Client-side serialization time, summed over sessions.
+    encode: Duration,
+    /// Client-side socket write time, summed over sessions.
+    io: Duration,
+    codec: CodecKind,
     peak_buffered: usize,
     regions_flushed: usize,
+}
+
+/// One timed rep: `sessions` concurrent submitters against `addr`.
+fn run_rep(
+    addr: &str,
+    trace: &mcc_types::Trace,
+    cfg: &SubmitCfg,
+    sessions: usize,
+) -> (Duration, Vec<(SessionReport, SubmitInfo)>) {
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..sessions)
+        .map(|_| {
+            let addr = addr.to_string();
+            let trace = trace.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                client::submit_tcp_cfg(&addr, &trace, &SessionOpts::default(), &cfg)
+                    .expect("submit")
+            })
+        })
+        .collect();
+    let results: Vec<_> = workers.into_iter().map(|w| w.join().expect("client")).collect();
+    (t0.elapsed(), results)
+}
+
+fn make_row(
+    sessions: usize,
+    wall: Duration,
+    events_per_session: usize,
+    results: &[(SessionReport, SubmitInfo)],
+) -> Row {
+    let events_total = events_per_session * sessions;
+    let bytes_total: u64 = results.iter().map(|(_, i)| i.bytes_sent).sum();
+    Row {
+        sessions,
+        wall,
+        events_total,
+        events_per_sec: events_total as f64 / wall.as_secs_f64(),
+        bytes_total,
+        bytes_per_sec: bytes_total as f64 / wall.as_secs_f64(),
+        encode: results.iter().map(|(_, i)| i.encode).sum(),
+        io: results.iter().map(|(_, i)| i.io).sum(),
+        codec: results.first().map(|(_, i)| i.codec).unwrap_or_default(),
+        peak_buffered: results.iter().map(|(r, _)| r.peak_buffered).max().unwrap_or(0),
+        regions_flushed: results.iter().map(|(r, _)| r.regions_flushed).max().unwrap_or(0),
+    }
+}
+
+fn print_row(r: &Row) {
+    println!(
+        "{:>9} {:>12.2} {:>14.0} {:>12.1} {:>11.2} {:>11.2} {:>9} {:>8}",
+        r.sessions,
+        r.wall.as_secs_f64() * 1e3,
+        r.events_per_sec,
+        r.bytes_per_sec / 1e6,
+        r.encode.as_secs_f64() * 1e3,
+        r.io.as_secs_f64() * 1e3,
+        r.peak_buffered,
+        r.regions_flushed
+    );
+}
+
+fn row_json(r: &Row) -> String {
+    format!(
+        "{{\"sessions\": {}, \"wall_ms\": {:.3}, \"events_total\": {}, \
+         \"events_per_sec\": {:.0}, \"bytes_total\": {}, \"bytes_per_sec\": {:.0}, \
+         \"client_encode_ms\": {:.3}, \"client_io_ms\": {:.3}, \"codec\": \"{}\", \
+         \"peak_buffered\": {}, \"regions_flushed\": {}}}",
+        r.sessions,
+        r.wall.as_secs_f64() * 1e3,
+        r.events_total,
+        r.events_per_sec,
+        r.bytes_total,
+        r.bytes_per_sec,
+        r.encode.as_secs_f64() * 1e3,
+        r.io.as_secs_f64() * 1e3,
+        r.codec,
+        r.peak_buffered,
+        r.regions_flushed
+    )
 }
 
 fn main() {
@@ -37,11 +131,25 @@ fn main() {
             .unwrap_or(default)
     };
     let procs = flag("--procs", 8) as u32;
-    let ops = flag("--ops", 48) as usize;
-    let locals = flag("--locals", 8) as usize;
-    let rounds = flag("--rounds", 3) as usize;
-    let conflict = flag("--conflict-pct", 5) as f64 / 100.0;
+    let ops = flag("--ops", 12) as usize;
+    let locals = flag("--locals", 80) as usize;
+    let rounds = flag("--rounds", 16) as usize;
+    let conflict = flag("--conflict-pct", 2) as f64 / 100.0;
     let reps = flag("--reps", 3).max(1) as usize;
+    let batch_size = flag("--batch-size", 256).max(1) as usize;
+    let codec = match args
+        .iter()
+        .position(|a| a == "--codec")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("json") => CodecKind::Json,
+        Some("binary") | None => CodecKind::Binary,
+        Some(other) => {
+            eprintln!("--codec expects json|binary, got `{other}`");
+            std::process::exit(2);
+        }
+    };
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -66,69 +174,66 @@ fn main() {
     let handle = server.handle();
     let server_thread = std::thread::spawn(move || server.run().expect("serve loop"));
 
+    let submit_cfg = SubmitCfg { batch_size, prefer_binary: matches!(codec, CodecKind::Binary) };
+
     println!(
-        "Daemon ingest benchmark: {} events/session, {} regions, server at {addr} (best of {reps})",
+        "Daemon ingest benchmark: {} events/session, {} regions, {} batch finding(s), \
+         {codec} codec (batch {batch_size}), server at {addr} (best of {reps})",
         trace.total_events(),
         rounds,
+        batch.len(),
     );
     println!();
     println!(
-        "{:>9} {:>12} {:>14} {:>13} {:>10}",
-        "Sessions", "wall (ms)", "events/s", "peak buffer", "regions"
+        "{:>9} {:>12} {:>14} {:>12} {:>11} {:>11} {:>9} {:>8}",
+        "Sessions", "wall (ms)", "events/s", "MB/s", "enc (ms)", "io (ms)", "peak buf", "regions"
     );
-    println!("{}", "-".repeat(62));
+    println!("{}", "-".repeat(93));
 
     let mut rows: Vec<Row> = Vec::new();
     let mut diverged = false;
+    let check_reports = |results: &[(SessionReport, SubmitInfo)]| {
+        for (r, _) in results {
+            if r.findings != batch {
+                eprintln!(
+                    "DIVERGENCE: a streamed session reported {} finding(s), batch has {}",
+                    r.findings.len(),
+                    batch.len()
+                );
+                return true;
+            }
+        }
+        false
+    };
     for sessions in [1usize, 4, 16] {
         let mut best: Option<Row> = None;
         for _ in 0..reps {
-            let t0 = Instant::now();
-            let workers: Vec<_> = (0..sessions)
-                .map(|_| {
-                    let addr = addr.clone();
-                    let trace = trace.clone();
-                    std::thread::spawn(move || {
-                        client::submit_tcp(&addr, &trace, &SessionOpts::default()).expect("submit")
-                    })
-                })
-                .collect();
-            let reports: Vec<_> = workers.into_iter().map(|w| w.join().expect("client")).collect();
-            let wall = t0.elapsed();
-            for r in &reports {
-                if r.findings != batch {
-                    eprintln!(
-                        "DIVERGENCE: a streamed session reported {} finding(s), batch has {}",
-                        r.findings.len(),
-                        batch.len()
-                    );
-                    diverged = true;
-                }
-            }
-            let events_total = trace.total_events() * sessions;
-            let row = Row {
-                sessions,
-                wall,
-                events_total,
-                events_per_sec: events_total as f64 / wall.as_secs_f64(),
-                peak_buffered: reports.iter().map(|r| r.peak_buffered).max().unwrap_or(0),
-                regions_flushed: reports.iter().map(|r| r.regions_flushed).max().unwrap_or(0),
-            };
+            let (wall, results) = run_rep(&addr, &trace, &submit_cfg, sessions);
+            diverged |= check_reports(&results);
+            let row = make_row(sessions, wall, trace.total_events(), &results);
             if best.as_ref().is_none_or(|b| row.wall < b.wall) {
                 best = Some(row);
             }
         }
         let row = best.expect("at least one rep");
-        println!(
-            "{:>9} {:>12.2} {:>14.0} {:>13} {:>10}",
-            row.sessions,
-            row.wall.as_secs_f64() * 1e3,
-            row.events_per_sec,
-            row.peak_buffered,
-            row.regions_flushed
-        );
+        print_row(&row);
         rows.push(row);
     }
+
+    // When the main measurement is binary, time the same 16-session
+    // workload once over per-event JSON frames: the old wire format, on
+    // the same server, for an apples-to-apples codec comparison.
+    let json_row = if matches!(codec, CodecKind::Binary) {
+        let json_cfg = SubmitCfg { batch_size: 1, prefer_binary: false };
+        let (wall, results) = run_rep(&addr, &trace, &json_cfg, 16);
+        diverged |= check_reports(&results);
+        let row = make_row(16, wall, trace.total_events(), &results);
+        print_row(&row);
+        println!("{:>9}   (json per-event comparison row)", "");
+        Some(row)
+    } else {
+        None
+    };
 
     handle.shutdown();
     server_thread.join().expect("server thread");
@@ -136,7 +241,8 @@ fn main() {
     println!();
     println!("Phase spans (daemon side, all sessions and reps):");
     println!("{:<22} {:>6} {:>12} {:>12}", "span", "count", "total (ms)", "max (ms)");
-    for agg in obs.span_summary() {
+    let spans = obs.span_summary();
+    for agg in &spans {
         println!(
             "{:<22} {:>6} {:>12.2} {:>12.2}",
             agg.name,
@@ -150,28 +256,38 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"serve\",\n");
-    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str("  \"schema_version\": 2,\n");
+    json.push_str(&format!("  \"codec\": \"{codec}\",\n"));
+    json.push_str(&format!("  \"batch_size\": {batch_size},\n"));
     json.push_str(&format!(
         "  \"workload\": {{\"nprocs\": {procs}, \"rounds\": {rounds}, \"ops_per_round\": {ops}, \
          \"locals_per_round\": {locals}, \"conflict_fraction\": {conflict}, \
-         \"events_per_session\": {}}},\n",
-        trace.total_events()
+         \"events_per_session\": {}, \"findings_per_session\": {}}},\n",
+        trace.total_events(),
+        batch.len()
     ));
     json.push_str("  \"runs\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"sessions\": {}, \"wall_ms\": {:.3}, \"events_total\": {}, \
-             \"events_per_sec\": {:.0}, \"peak_buffered\": {}, \"regions_flushed\": {}}}{}\n",
-            r.sessions,
-            r.wall.as_secs_f64() * 1e3,
-            r.events_total,
-            r.events_per_sec,
-            r.peak_buffered,
-            r.regions_flushed,
+            "    {}{}\n",
+            row_json(r),
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
     json.push_str("  ],\n");
+    if let Some(r) = &json_row {
+        json.push_str(&format!("  \"json_comparison\": {},\n", row_json(r)));
+    }
+    json.push_str("  \"daemon_spans_ms\": {");
+    for (i, agg) in spans.iter().enumerate() {
+        json.push_str(&format!(
+            "{}\"{}\": {:.3}",
+            if i == 0 { "" } else { ", " },
+            agg.name,
+            agg.total_us as f64 / 1e3
+        ));
+    }
+    json.push_str("},\n");
     json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
     json.push_str(&format!("  \"reports_identical\": {}\n", !diverged));
     json.push_str("}\n");

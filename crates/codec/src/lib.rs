@@ -1,0 +1,714 @@
+//! `mcc-codec` — the one serialization surface for wire frames, journal
+//! records, and trace files.
+//!
+//! Before this crate, `proto.rs`, `journal.rs`, and `tracefile.rs` each
+//! called `serde_json::to_vec`/`from_slice` directly, which welded every
+//! storage and transport layer to JSON text. The [`Codec`] trait factors
+//! that choice out: the in-repo serde shim serializes every derived type
+//! to a dynamic [`Value`] tree, so a codec only has to encode *values* —
+//! one binary encoder covers every frame and record in the workspace
+//! without per-type code.
+//!
+//! Two implementations:
+//!
+//! * [`JsonCodec`] — the existing JSON text format, still the handshake
+//!   and control format of the wire protocol and the universal fallback.
+//! * [`BinaryCodec`] — a compact tagged binary format: zigzag varints
+//!   for integers, delta-encoded integer columns for the numeric arrays
+//!   that dominate event batches, and an inline string-intern table so a
+//!   repeated source file, function name, or enum tag costs two bytes
+//!   after its first appearance.
+//!
+//! The two formats are *self-describing at the first byte*: JSON is
+//! ASCII, so its first byte is always `< 0x80`, while every binary
+//! payload opens with [`BINARY_MAGIC`] (`0xB1`). [`detect`] and
+//! [`decode_auto`] exploit this so readers (the daemon's frame loop, the
+//! journal replayer) accept both formats without negotiation or a
+//! version bump.
+//!
+//! # Binary format
+//!
+//! ```text
+//! payload   := 0xB1 value            (must consume the whole payload)
+//! value     := 0x00                  null
+//!            | 0x01 | 0x02           false | true
+//!            | 0x03 zigzag           integer
+//!            | 0x04 f64-le           float (8 bytes, IEEE-754 bits)
+//!            | 0x05 varint bytes*    string, UTF-8, appended to the
+//!                                    intern table as it is decoded
+//!            | 0x06 varint           string, as an intern-table index
+//!            | 0x07 varint value*    array (count, then elements)
+//!            | 0x08 varint (str value)*   object (count, then pairs;
+//!                                    keys use the 0x05/0x06 encoding)
+//!            | 0x09 varint zigzag zigzag*  integer column: count >= 1,
+//!                                    first value, then wrapping deltas
+//! varint    := LEB128 (7 bits per byte, little-endian groups)
+//! zigzag    := varint of (n << 1) ^ (n >> 127)  over i128
+//! ```
+//!
+//! Arrays whose elements are all integers (sequence numbers, ranks,
+//! interned location indices, byte offsets) collapse into the `0x09`
+//! column form, where consecutive values usually differ by 0 or 1 and
+//! cost one byte each. The decoder is total: every length is validated
+//! against the remaining input, intern references must point at already
+//! decoded strings, nesting is capped at [`MAX_DEPTH`], and trailing
+//! bytes are an error — corrupt input yields a typed [`CodecError`],
+//! never a panic and never an allocation proportional to a lying length
+//! prefix.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// First byte of every binary payload. JSON text is pure ASCII (its
+/// first byte is `{`, `[`, a digit, `"`, `t`, `f`, `n`, or `-`, all
+/// `< 0x80`), so a leading `0xB1` unambiguously marks the binary codec.
+pub const BINARY_MAGIC: u8 = 0xB1;
+
+/// Deepest value nesting either codec accepts (matches the JSON
+/// parser's recursion cap).
+pub const MAX_DEPTH: usize = 128;
+
+mod tags {
+    pub const NULL: u8 = 0x00;
+    pub const FALSE: u8 = 0x01;
+    pub const TRUE: u8 = 0x02;
+    pub const INT: u8 = 0x03;
+    pub const FLOAT: u8 = 0x04;
+    pub const STR: u8 = 0x05;
+    pub const STR_REF: u8 = 0x06;
+    pub const ARR: u8 = 0x07;
+    pub const OBJ: u8 = 0x08;
+    pub const INT_COLUMN: u8 = 0x09;
+}
+
+/// Which codec a payload uses (or a caller prefers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CodecKind {
+    /// JSON text — the handshake/control format and universal fallback.
+    #[default]
+    Json,
+    /// The compact binary format behind [`BINARY_MAGIC`].
+    Binary,
+}
+
+impl CodecKind {
+    /// The CLI/report spelling (`json` | `binary`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CodecKind::Json => "json",
+            CodecKind::Binary => "binary",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "json" => Some(CodecKind::Json),
+            "binary" => Some(CodecKind::Binary),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CodecKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Why a payload could not be decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// The input ended inside a value.
+    Truncated,
+    /// An unknown value tag.
+    BadTag(u8),
+    /// A varint ran past its maximum width.
+    BadVarint,
+    /// String bytes were not UTF-8.
+    BadUtf8,
+    /// An intern reference pointed past the table built so far.
+    BadStrRef(u64),
+    /// A length prefix exceeded the bytes actually available.
+    BadLength(u64),
+    /// Values nested deeper than [`MAX_DEPTH`].
+    TooDeep,
+    /// Bytes remained after the root value.
+    TrailingBytes(usize),
+    /// The JSON layer rejected the payload.
+    Json(String),
+    /// The payload decoded to a value the target type rejects.
+    Shape(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => f.write_str("input ended inside a value"),
+            CodecError::BadTag(t) => write!(f, "unknown value tag {t:#04x}"),
+            CodecError::BadVarint => f.write_str("overlong varint"),
+            CodecError::BadUtf8 => f.write_str("string bytes are not UTF-8"),
+            CodecError::BadStrRef(i) => write!(f, "intern reference {i} points past the table"),
+            CodecError::BadLength(n) => {
+                write!(f, "length prefix {n} exceeds the remaining input")
+            }
+            CodecError::TooDeep => write!(f, "values nest deeper than {MAX_DEPTH}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after the value"),
+            CodecError::Json(m) => write!(f, "json: {m}"),
+            CodecError::Shape(m) => write!(f, "shape: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A value encoder/decoder. The provided [`encode`](Codec::encode) and
+/// [`decode`](Codec::decode) methods lift it to any type deriving the
+/// workspace serde traits, because those traits round-trip through
+/// [`Value`].
+pub trait Codec {
+    /// Which format this codec speaks.
+    fn kind(&self) -> CodecKind;
+
+    /// Appends the encoding of `v` to `out`.
+    fn encode_value_into(&self, v: &Value, out: &mut Vec<u8>);
+
+    /// Decodes one complete value; trailing bytes are an error.
+    fn decode_value(&self, bytes: &[u8]) -> Result<Value, CodecError>;
+
+    /// Encodes any serializable type.
+    fn encode<T: Serialize + ?Sized>(&self, value: &T) -> Vec<u8>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::new();
+        self.encode_value_into(&value.to_value(), &mut out);
+        out
+    }
+
+    /// Decodes any deserializable type.
+    fn decode<T: Deserialize>(&self, bytes: &[u8]) -> Result<T, CodecError>
+    where
+        Self: Sized,
+    {
+        let v = self.decode_value(bytes)?;
+        T::from_value(&v).map_err(|e| CodecError::Shape(e.to_string()))
+    }
+}
+
+/// The JSON text codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonCodec;
+
+impl Codec for JsonCodec {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Json
+    }
+
+    fn encode_value_into(&self, v: &Value, out: &mut Vec<u8>) {
+        // The value tree always prints; a failure here would be a shim
+        // bug, and an empty payload is at least a typed decode error on
+        // the other side rather than a panic on this one.
+        if let Ok(bytes) = serde_json::to_vec(v) {
+            out.extend_from_slice(&bytes);
+        }
+    }
+
+    fn decode_value(&self, bytes: &[u8]) -> Result<Value, CodecError> {
+        let s = std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)?;
+        serde_json::parse_value_str(s).map_err(|e| CodecError::Json(e.to_string()))
+    }
+}
+
+/// The compact binary codec (see the crate docs for the format).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinaryCodec;
+
+impl Codec for BinaryCodec {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Binary
+    }
+
+    fn encode_value_into(&self, v: &Value, out: &mut Vec<u8>) {
+        out.push(BINARY_MAGIC);
+        let mut interner = Interner::default();
+        encode_value(v, out, &mut interner);
+    }
+
+    fn decode_value(&self, bytes: &[u8]) -> Result<Value, CodecError> {
+        let Some((&magic, rest)) = bytes.split_first() else {
+            return Err(CodecError::Truncated);
+        };
+        if magic != BINARY_MAGIC {
+            return Err(CodecError::BadTag(magic));
+        }
+        let mut d = Decoder { bytes: rest, pos: 0, table: Vec::new() };
+        let v = d.value(0)?;
+        if d.pos != d.bytes.len() {
+            return Err(CodecError::TrailingBytes(d.bytes.len() - d.pos));
+        }
+        Ok(v)
+    }
+}
+
+/// Which codec encoded `payload`.
+pub fn detect(payload: &[u8]) -> CodecKind {
+    match payload.first() {
+        Some(&BINARY_MAGIC) => CodecKind::Binary,
+        _ => CodecKind::Json,
+    }
+}
+
+/// Encodes with the named codec.
+pub fn encode_with<T: Serialize + ?Sized>(kind: CodecKind, value: &T) -> Vec<u8> {
+    match kind {
+        CodecKind::Json => JsonCodec.encode(value),
+        CodecKind::Binary => BinaryCodec.encode(value),
+    }
+}
+
+/// Decodes a payload in whichever codec [`detect`] identifies.
+pub fn decode_auto<T: Deserialize>(payload: &[u8]) -> Result<T, CodecError> {
+    match detect(payload) {
+        CodecKind::Json => JsonCodec.decode(payload),
+        CodecKind::Binary => BinaryCodec.decode(payload),
+    }
+}
+
+/// [`decode_auto`] at the value level.
+pub fn decode_value_auto(payload: &[u8]) -> Result<Value, CodecError> {
+    match detect(payload) {
+        CodecKind::Json => JsonCodec.decode_value(payload),
+        CodecKind::Binary => BinaryCodec.decode_value(payload),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary encoder
+// ---------------------------------------------------------------------
+
+/// Strings already written, keyed back to their first-appearance index.
+/// The decoder rebuilds the same table by appending each inline string
+/// as it arrives, so indices agree without ever being transmitted.
+#[derive(Default)]
+struct Interner<'a> {
+    indices: std::collections::HashMap<&'a str, u32>,
+}
+
+/// Beyond this many distinct strings, new ones are written inline
+/// without joining the table, bounding both sides' memory.
+const MAX_INTERNED: usize = 1 << 16;
+
+impl<'a> Interner<'a> {
+    /// Index of `s` if already interned.
+    fn find(&self, s: &str) -> Option<u32> {
+        self.indices.get(s).copied()
+    }
+
+    fn insert(&mut self, s: &'a str) {
+        if self.indices.len() < MAX_INTERNED {
+            let next = self.indices.len() as u32;
+            self.indices.insert(s, next);
+        }
+    }
+}
+
+fn put_varint(mut n: u128, out: &mut Vec<u8>) {
+    loop {
+        let byte = (n & 0x7F) as u8;
+        n >>= 7;
+        if n == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(n: i128) -> u128 {
+    ((n << 1) ^ (n >> 127)) as u128
+}
+
+fn unzigzag(n: u128) -> i128 {
+    ((n >> 1) as i128) ^ -((n & 1) as i128)
+}
+
+fn put_str<'a>(s: &'a str, out: &mut Vec<u8>, interner: &mut Interner<'a>) {
+    if let Some(idx) = interner.find(s) {
+        out.push(tags::STR_REF);
+        put_varint(idx as u128, out);
+    } else {
+        out.push(tags::STR);
+        put_varint(s.len() as u128, out);
+        out.extend_from_slice(s.as_bytes());
+        interner.insert(s);
+    }
+}
+
+fn encode_value<'a>(v: &'a Value, out: &mut Vec<u8>, interner: &mut Interner<'a>) {
+    match v {
+        Value::Null => out.push(tags::NULL),
+        Value::Bool(false) => out.push(tags::FALSE),
+        Value::Bool(true) => out.push(tags::TRUE),
+        Value::Int(n) => {
+            out.push(tags::INT);
+            put_varint(zigzag(*n), out);
+        }
+        Value::Float(f) => {
+            out.push(tags::FLOAT);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => put_str(s, out, interner),
+        Value::Arr(items) => {
+            if !items.is_empty() && items.iter().all(|i| matches!(i, Value::Int(_))) {
+                // Integer column: first value, then wrapping deltas —
+                // dense sequences and near-constant columns cost a byte
+                // per element.
+                out.push(tags::INT_COLUMN);
+                put_varint(items.len() as u128, out);
+                let mut prev = 0i128;
+                for (i, item) in items.iter().enumerate() {
+                    let Value::Int(n) = item else { unreachable!() };
+                    if i == 0 {
+                        put_varint(zigzag(*n), out);
+                    } else {
+                        put_varint(zigzag(n.wrapping_sub(prev)), out);
+                    }
+                    prev = *n;
+                }
+            } else {
+                out.push(tags::ARR);
+                put_varint(items.len() as u128, out);
+                for item in items {
+                    encode_value(item, out, interner);
+                }
+            }
+        }
+        Value::Obj(fields) => {
+            out.push(tags::OBJ);
+            put_varint(fields.len() as u128, out);
+            for (key, value) in fields {
+                put_str(key, out, interner);
+                encode_value(value, out, interner);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary decoder
+// ---------------------------------------------------------------------
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    table: Vec<String>,
+}
+
+impl<'a> Decoder<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn byte(&mut self) -> Result<u8, CodecError> {
+        let b = *self.bytes.get(self.pos).ok_or(CodecError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u128, CodecError> {
+        let mut n: u128 = 0;
+        for shift in (0..).step_by(7) {
+            if shift >= 128 {
+                return Err(CodecError::BadVarint);
+            }
+            let b = self.byte()?;
+            let bits = (b & 0x7F) as u128;
+            if shift == 126 && bits > 0x3 {
+                return Err(CodecError::BadVarint);
+            }
+            n |= bits << shift;
+            if b & 0x80 == 0 {
+                return Ok(n);
+            }
+        }
+        unreachable!()
+    }
+
+    /// A count whose elements each occupy at least `min_bytes` of input:
+    /// anything larger than the remaining bytes allow is a lie.
+    fn count(&mut self, min_bytes: usize) -> Result<usize, CodecError> {
+        let n = self.varint()?;
+        let cap = (self.remaining() / min_bytes.max(1)) as u128;
+        if n > cap {
+            return Err(CodecError::BadLength(n.min(u64::MAX as u128) as u64));
+        }
+        Ok(n as usize)
+    }
+
+    fn string(&mut self, tag: u8) -> Result<String, CodecError> {
+        match tag {
+            tags::STR => {
+                let len = self.count(1)?;
+                let bytes = self.take(len)?;
+                let s = std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)?.to_string();
+                self.table.push(s.clone());
+                Ok(s)
+            }
+            tags::STR_REF => {
+                let idx = self.varint()?;
+                let idx_usize =
+                    usize::try_from(idx).map_err(|_| CodecError::BadStrRef(u64::MAX))?;
+                self.table
+                    .get(idx_usize)
+                    .cloned()
+                    .ok_or(CodecError::BadStrRef(idx.min(u64::MAX as u128) as u64))
+            }
+            other => Err(CodecError::BadTag(other)),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, CodecError> {
+        if depth >= MAX_DEPTH {
+            return Err(CodecError::TooDeep);
+        }
+        let tag = self.byte()?;
+        match tag {
+            tags::NULL => Ok(Value::Null),
+            tags::FALSE => Ok(Value::Bool(false)),
+            tags::TRUE => Ok(Value::Bool(true)),
+            tags::INT => Ok(Value::Int(unzigzag(self.varint()?))),
+            tags::FLOAT => {
+                let bytes = self.take(8)?;
+                let mut arr = [0u8; 8];
+                arr.copy_from_slice(bytes);
+                Ok(Value::Float(f64::from_bits(u64::from_le_bytes(arr))))
+            }
+            tags::STR | tags::STR_REF => Ok(Value::Str(self.string(tag)?)),
+            tags::ARR => {
+                let n = self.count(1)?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(Value::Arr(items))
+            }
+            tags::OBJ => {
+                let n = self.count(2)?;
+                let mut fields = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let key_tag = self.byte()?;
+                    let key = self.string(key_tag)?;
+                    fields.push((key, self.value(depth + 1)?));
+                }
+                Ok(Value::Obj(fields))
+            }
+            tags::INT_COLUMN => {
+                let n = self.count(1)?;
+                if n == 0 {
+                    return Err(CodecError::BadLength(0));
+                }
+                let mut items = Vec::with_capacity(n);
+                let mut prev = unzigzag(self.varint()?);
+                items.push(Value::Int(prev));
+                for _ in 1..n {
+                    prev = prev.wrapping_add(unzigzag(self.varint()?));
+                    items.push(Value::Int(prev));
+                }
+                Ok(Value::Arr(items))
+            }
+            other => Err(CodecError::BadTag(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gallery() -> Vec<Value> {
+        vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(-1),
+            Value::Int(i128::from(u64::MAX)),
+            Value::Int(i128::from(i64::MIN)),
+            Value::Float(0.0),
+            Value::Float(-1.5),
+            Value::Str(String::new()),
+            Value::Str("fence".into()),
+            Value::Arr(vec![]),
+            Value::Arr(vec![Value::Int(5), Value::Int(6), Value::Int(6), Value::Int(9)]),
+            Value::Arr(vec![Value::Int(1), Value::Str("mixed".into())]),
+            Value::Obj(vec![
+                ("file".into(), Value::Str("app.c".into())),
+                ("line".into(), Value::Int(42)),
+                ("func".into(), Value::Str("app.c".into())), // repeated → interned
+            ]),
+            Value::Obj(vec![(
+                "Batch".into(),
+                Value::Obj(vec![
+                    ("first_seq".into(), Value::Int(1000)),
+                    ("ranks".into(), Value::Arr(vec![Value::Int(0), Value::Int(1), Value::Int(2)])),
+                ]),
+            )]),
+        ]
+    }
+
+    #[test]
+    fn binary_round_trips_the_gallery() {
+        for v in gallery() {
+            let bytes = BinaryCodec.encode(&v);
+            assert_eq!(bytes[0], BINARY_MAGIC);
+            let back = BinaryCodec.decode_value(&bytes).unwrap();
+            assert_eq!(back, v, "binary round trip changed the value");
+        }
+    }
+
+    #[test]
+    fn json_round_trips_the_gallery() {
+        for v in gallery() {
+            // Floats print without guaranteed bit-identity; skip them in
+            // the JSON leg (the binary leg covers them exactly).
+            if matches!(v, Value::Float(_)) {
+                continue;
+            }
+            let bytes = JsonCodec.encode(&v);
+            let back = JsonCodec.decode_value(&bytes).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn detect_tells_the_codecs_apart() {
+        let v = Value::Obj(vec![("x".into(), Value::Int(1))]);
+        assert_eq!(detect(&JsonCodec.encode(&v)), CodecKind::Json);
+        assert_eq!(detect(&BinaryCodec.encode(&v)), CodecKind::Binary);
+        assert_eq!(decode_value_auto(&JsonCodec.encode(&v)).unwrap(), v);
+        assert_eq!(decode_value_auto(&BinaryCodec.encode(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn interning_pays_off_for_repeated_strings() {
+        let repeated =
+            Value::Arr((0..64).map(|_| Value::Str("a/rather/long/source/file.c".into())).collect());
+        let bytes = BinaryCodec.encode(&repeated);
+        // One inline copy plus ~2 bytes per reference.
+        assert!(bytes.len() < 32 + 64 * 3, "interning failed: {} bytes", bytes.len());
+        assert_eq!(BinaryCodec.decode_value(&bytes).unwrap(), repeated);
+    }
+
+    #[test]
+    fn int_columns_delta_encode_dense_sequences() {
+        let dense = Value::Arr((0..1000i128).map(Value::Int).collect());
+        let bytes = BinaryCodec.encode(&dense);
+        assert!(bytes.len() < 1100, "column encoding missing: {} bytes", bytes.len());
+        assert_eq!(BinaryCodec.decode_value(&bytes).unwrap(), dense);
+    }
+
+    #[test]
+    fn extreme_integers_survive_delta_wrapping() {
+        let v = Value::Arr(vec![
+            Value::Int(i128::MIN),
+            Value::Int(i128::MAX),
+            Value::Int(0),
+            Value::Int(i128::MIN + 1),
+        ]);
+        let bytes = BinaryCodec.encode(&v);
+        assert_eq!(BinaryCodec.decode_value(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        for v in gallery() {
+            let bytes = BinaryCodec.encode(&v);
+            for cut in 0..bytes.len() {
+                assert!(
+                    BinaryCodec.decode_value(&bytes[..cut]).is_err(),
+                    "prefix of {cut} bytes decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_never_panic() {
+        for v in gallery() {
+            let bytes = BinaryCodec.encode(&v);
+            for pos in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut copy = bytes.clone();
+                    copy[pos] ^= 1 << bit;
+                    // Any outcome but a panic is acceptable; the framing
+                    // CRC is what detects flips on the wire.
+                    let _ = BinaryCodec.decode_value(&copy);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lying_length_prefixes_do_not_allocate() {
+        // An array claiming u64::MAX elements with 2 bytes behind it.
+        let mut bytes = vec![BINARY_MAGIC, tags::ARR];
+        put_varint(u64::MAX as u128, &mut bytes);
+        bytes.push(tags::NULL);
+        assert!(matches!(BinaryCodec.decode_value(&bytes), Err(CodecError::BadLength(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = BinaryCodec.encode(&Value::Int(7));
+        bytes.push(0x00);
+        assert!(matches!(BinaryCodec.decode_value(&bytes), Err(CodecError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn nesting_past_the_cap_is_rejected_not_overflowed() {
+        let mut bytes = vec![BINARY_MAGIC];
+        for _ in 0..(MAX_DEPTH + 8) {
+            bytes.push(tags::ARR);
+            bytes.push(1); // one element
+        }
+        bytes.push(tags::NULL);
+        assert!(matches!(BinaryCodec.decode_value(&bytes), Err(CodecError::TooDeep)));
+    }
+
+    #[test]
+    fn bad_intern_reference_is_typed() {
+        let mut bytes = vec![BINARY_MAGIC, tags::STR_REF];
+        put_varint(3, &mut bytes);
+        assert!(matches!(BinaryCodec.decode_value(&bytes), Err(CodecError::BadStrRef(3))));
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Probe {
+        name: String,
+        seqs: Vec<u64>,
+        flag: bool,
+    }
+
+    #[test]
+    fn derived_types_round_trip_through_both_codecs() {
+        let p = Probe { name: "probe".into(), seqs: vec![9, 10, 11, 11, 12], flag: true };
+        let b: Probe = BinaryCodec.decode(&BinaryCodec.encode(&p)).unwrap();
+        assert_eq!(b, p);
+        let j: Probe = JsonCodec.decode(&JsonCodec.encode(&p)).unwrap();
+        assert_eq!(j, p);
+        let auto: Probe = decode_auto(&encode_with(CodecKind::Binary, &p)).unwrap();
+        assert_eq!(auto, p);
+    }
+}

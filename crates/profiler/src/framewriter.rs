@@ -4,33 +4,68 @@
 //! analysis, [`TraceFrameWriter`] encodes the same events as
 //! [`mcc_serve::proto`] frames and ships them to a running daemon as the
 //! program executes, so the check happens online.
+//!
+//! By default every event goes out immediately as its own JSON `Event`
+//! frame — the safe shape against any server. After reading the daemon's
+//! `Welcome`, a caller that saw the `binary` capability can switch on
+//! [`set_batching`](TraceFrameWriter::set_batching): events then
+//! accumulate client-side into columnar [`EventBatch`] frames, flushed
+//! with one vectored write per batch. Call
+//! [`flush`](TraceFrameWriter::flush) at any latency boundary;
+//! [`finish`](TraceFrameWriter::finish) always flushes.
 
-use mcc_serve::proto::{encode_frame, Frame, SessionOpts, PROTOCOL_VERSION};
+use mcc_codec::CodecKind;
+use mcc_serve::client::MAX_BATCH_EVENTS;
+use mcc_serve::proto::{
+    encode_frame_with, frame_payload, write_all_vectored, EventBatch, Frame, SessionOpts,
+    PROTOCOL_VERSION,
+};
 use mcc_types::{EventKind, Rank, SourceLoc, Trace};
 use std::io::{self, Write};
 
 /// Encodes a run's events as daemon frames onto any byte sink.
 ///
-/// The writer emits the `Hello` on construction, one `Event` frame per
-/// [`event`](TraceFrameWriter::event) call, and the `Finish` on
-/// [`finish`](TraceFrameWriter::finish) — which hands the sink back so
-/// the caller can read the daemon's `Report` off the same socket.
+/// The writer emits the `Hello` on construction, events on
+/// [`event`](TraceFrameWriter::event) calls (immediately, or batched —
+/// see [`set_batching`](TraceFrameWriter::set_batching)), and the
+/// `Finish` on [`finish`](TraceFrameWriter::finish) — which hands the
+/// sink back so the caller can read the daemon's `Report` off the same
+/// socket.
 pub struct TraceFrameWriter<W: Write> {
     sink: W,
     nprocs: usize,
     events: u64,
+    /// Event-stream codec; control frames are always JSON.
+    codec: CodecKind,
+    /// Events per `Batch` frame; `0` or `1` ships per-event frames.
+    batch_size: usize,
+    /// Events accumulated towards the next `Batch` frame.
+    pending: Option<EventBatch>,
 }
 
 impl<W: Write> TraceFrameWriter<W> {
     /// Opens a session for `nprocs` ranks: writes the `Hello` frame.
+    /// Batching starts off; see
+    /// [`set_batching`](TraceFrameWriter::set_batching).
     pub fn new(mut sink: W, nprocs: usize, opts: SessionOpts) -> io::Result<Self> {
-        sink.write_all(&encode_frame(&Frame::Hello {
-            version: PROTOCOL_VERSION,
-            nprocs: nprocs as u32,
-            opts,
-        }))?;
+        sink.write_all(&encode_frame_with(
+            &Frame::Hello { version: PROTOCOL_VERSION, nprocs: nprocs as u32, opts },
+            CodecKind::Json,
+        ))?;
         sink.flush()?;
-        Ok(Self { sink, nprocs, events: 0 })
+        Ok(Self { sink, nprocs, events: 0, codec: CodecKind::Json, batch_size: 1, pending: None })
+    }
+
+    /// Switches the event stream's shape, typically after reading the
+    /// daemon's `Welcome`: `codec` for event frames, and `batch_size`
+    /// events per columnar `Batch` frame (clamped to
+    /// [`MAX_BATCH_EVENTS`]; `0` or `1` means one frame per event).
+    /// Flushes anything already pending under the old shape first.
+    pub fn set_batching(&mut self, codec: CodecKind, batch_size: usize) -> io::Result<()> {
+        self.flush()?;
+        self.codec = codec;
+        self.batch_size = batch_size.min(MAX_BATCH_EVENTS);
+        Ok(())
     }
 
     /// Ranks this session covers.
@@ -38,27 +73,54 @@ impl<W: Write> TraceFrameWriter<W> {
         self.nprocs
     }
 
-    /// Events shipped so far.
+    /// Events shipped (or pending) so far.
     pub fn events(&self) -> u64 {
         self.events
     }
 
     /// Ships one event, numbered with the session's next sequence.
+    /// With batching on, the event may sit client-side until the batch
+    /// fills or [`flush`](TraceFrameWriter::flush) is called.
     pub fn event(&mut self, rank: Rank, kind: EventKind, loc: SourceLoc) -> io::Result<()> {
-        self.sink.write_all(&encode_frame(&Frame::Event {
-            seq: self.events,
-            rank: rank.0,
-            kind,
-            loc,
-        }))?;
+        if self.batch_size > 1 {
+            let batch = self.pending.get_or_insert_with(|| EventBatch::new(self.events));
+            batch.push(rank.0, kind, &loc);
+            self.events += 1;
+            if batch.len() >= self.batch_size {
+                self.flush()?;
+            }
+            return Ok(());
+        }
+        self.sink.write_all(&encode_frame_with(
+            &Frame::Event { seq: self.events, rank: rank.0, kind, loc },
+            self.codec,
+        ))?;
         self.events += 1;
         Ok(())
     }
 
-    /// Ends the stream with a `Finish` frame and returns the sink, so the
-    /// daemon's `Report` can be read from the same connection.
+    /// Writes any pending batch with one vectored write (header +
+    /// payload, no concatenation copy).
+    pub fn flush(&mut self) -> io::Result<()> {
+        if let Some(batch) = self.pending.take() {
+            if !batch.is_empty() {
+                let payload = mcc_codec::encode_with(self.codec, &Frame::Batch(batch));
+                let framed = frame_payload(&payload);
+                // frame_payload returns header+payload contiguously; the
+                // vectored write matters when callers extend this with
+                // multiple pending buffers.
+                write_all_vectored(&mut self.sink, &[&framed])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ends the stream with a `Finish` frame (flushing any pending
+    /// batch) and returns the sink, so the daemon's `Report` can be read
+    /// from the same connection.
     pub fn finish(mut self) -> io::Result<W> {
-        self.sink.write_all(&encode_frame(&Frame::Finish))?;
+        self.flush()?;
+        self.sink.write_all(&encode_frame_with(&Frame::Finish, CodecKind::Json))?;
         self.sink.flush()?;
         Ok(self.sink)
     }
@@ -66,9 +128,23 @@ impl<W: Write> TraceFrameWriter<W> {
 
 /// Ships a recorded trace event by event (ranks interleaved round-robin,
 /// the order live instrumentation would produce) and returns the sink
-/// positioned after the `Finish` frame.
+/// positioned after the `Finish` frame. Per-event JSON frames — the
+/// shape any server accepts without negotiation.
 pub fn ship_trace<W: Write>(sink: W, trace: &Trace, opts: SessionOpts) -> io::Result<W> {
+    ship_trace_with(sink, trace, opts, CodecKind::Json, 1)
+}
+
+/// [`ship_trace`] with an explicit event-stream shape (the caller has
+/// seen the daemon's capabilities).
+pub fn ship_trace_with<W: Write>(
+    sink: W,
+    trace: &Trace,
+    opts: SessionOpts,
+    codec: CodecKind,
+    batch_size: usize,
+) -> io::Result<W> {
     let mut w = TraceFrameWriter::new(sink, trace.nprocs(), opts)?;
+    w.set_batching(codec, batch_size)?;
     let mut idx = vec![0usize; trace.nprocs()];
     let mut remaining = trace.total_events();
     while remaining > 0 {
@@ -91,8 +167,7 @@ mod tests {
     use mcc_serve::proto::FrameReader;
     use mcc_types::TraceBuilder;
 
-    #[test]
-    fn shipped_frames_decode_back_in_order() {
+    fn two_rank_trace() -> Trace {
         let mut b = TraceBuilder::new(2);
         b.push_at(
             Rank(0),
@@ -104,8 +179,12 @@ mod tests {
             EventKind::Barrier { comm: mcc_types::CommId::WORLD },
             SourceLoc::unknown(),
         );
-        let trace = b.build();
+        b.build()
+    }
 
+    #[test]
+    fn shipped_frames_decode_back_in_order() {
+        let trace = two_rank_trace();
         let bytes = ship_trace(Vec::new(), &trace, SessionOpts::default()).unwrap();
         let mut reader = FrameReader::new(&bytes[..]);
         let mut frames = Vec::new();
@@ -116,5 +195,57 @@ mod tests {
         assert!(matches!(frames.last(), Some(Frame::Finish)));
         let events = frames.iter().filter(|f| matches!(f, Frame::Event { .. })).count();
         assert_eq!(events, 2);
+    }
+
+    #[test]
+    fn batched_shipping_carries_the_same_events_in_batch_frames() {
+        let trace = two_rank_trace();
+        let bytes =
+            ship_trace_with(Vec::new(), &trace, SessionOpts::default(), CodecKind::Binary, 256)
+                .unwrap();
+        let mut reader = FrameReader::new(&bytes[..]);
+        let mut frames = Vec::new();
+        while let Some(f) = reader.next_frame().unwrap() {
+            frames.push(f);
+        }
+        assert!(matches!(frames.first(), Some(Frame::Hello { nprocs: 2, .. })));
+        assert!(matches!(frames.last(), Some(Frame::Finish)));
+        let batched: Vec<&EventBatch> = frames
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Batch(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(batched.len(), 1, "two events fit one batch frame");
+        assert_eq!(batched[0].first_seq, 0);
+        assert_eq!(batched[0].len(), 2);
+        assert!(batched[0].validate().is_ok());
+    }
+
+    #[test]
+    fn small_batches_split_on_the_batch_size() {
+        let mut w = TraceFrameWriter::new(Vec::new(), 1, SessionOpts::default()).unwrap();
+        w.set_batching(CodecKind::Binary, 2).unwrap();
+        for _ in 0..5 {
+            w.event(
+                Rank(0),
+                EventKind::Barrier { comm: mcc_types::CommId::WORLD },
+                SourceLoc::unknown(),
+            )
+            .unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let mut reader = FrameReader::new(&bytes[..]);
+        let mut sizes = Vec::new();
+        let mut next_seq = 0u64;
+        while let Some(f) = reader.next_frame().unwrap() {
+            if let Frame::Batch(b) = f {
+                assert_eq!(b.first_seq, next_seq, "batches are seq-contiguous");
+                next_seq += b.len() as u64;
+                sizes.push(b.len());
+            }
+        }
+        assert_eq!(sizes, vec![2, 2, 1]);
     }
 }

@@ -21,7 +21,7 @@ pub mod profile;
 pub mod stats;
 pub mod tracefile;
 
-pub use framewriter::{ship_trace, TraceFrameWriter};
+pub use framewriter::{ship_trace, ship_trace_with, TraceFrameWriter};
 pub use profile::{profile_run, OverheadReport};
 pub use stats::{EventRates, TraceStats};
 pub use tracefile::{

@@ -30,12 +30,32 @@
 //!   in a [`TraceHealth`], so the checker can decide to run in degraded
 //!   mode instead of refusing the trace.
 
+use mcc_codec::{Codec, JsonCodec};
 use mcc_types::{Event, LocId, ProcessTrace, SourceLoc, Trace};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs::{self, File};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+
+/// The one serializer for trace files. JSON lines are this format's
+/// *identity* — `.jsonl` files are meant to be greppable and readable by
+/// other tools — so the codec is pinned rather than negotiated, but all
+/// encoding still routes through the [`Codec`] surface shared with the
+/// wire protocol and the journals.
+const CODEC: JsonCodec = JsonCodec;
+
+/// Encodes one value as a JSON-lines line (no trailing newline).
+fn to_line<T: Serialize>(value: &T) -> String {
+    // JsonCodec output is UTF-8 by construction.
+    String::from_utf8(CODEC.encode(value)).expect("JSON is UTF-8")
+}
+
+/// Decodes one JSON-lines line, mapping codec errors onto `io::Error`
+/// the way the old `serde_json::from_str` call sites did.
+fn from_line<T: Deserialize>(line: &str) -> io::Result<T> {
+    CODEC.decode(line.as_bytes()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
 
 #[derive(Serialize, Deserialize)]
 struct Meta {
@@ -54,13 +74,13 @@ pub fn write_trace_dir(trace: &Trace, dir: &Path) -> io::Result<()> {
     let _span = mcc_obs::global().span("profiler.write_trace_dir");
     fs::create_dir_all(dir)?;
     let meta = Meta { nprocs: trace.nprocs() };
-    fs::write(dir.join("meta.json"), serde_json::to_string(&meta)?)?;
+    fs::write(dir.join("meta.json"), to_line(&meta))?;
     for (rank, proc) in trace.procs.iter().enumerate() {
         let mut w = BufWriter::new(File::create(dir.join(format!("rank-{rank}.jsonl")))?);
-        serde_json::to_writer(&mut w, &proc.locs)?;
+        w.write_all(&CODEC.encode(&proc.locs))?;
         w.write_all(b"\n")?;
         for event in &proc.events {
-            serde_json::to_writer(&mut w, event)?;
+            w.write_all(&CODEC.encode(event))?;
             w.write_all(b"\n")?;
         }
         w.flush()?;
@@ -71,7 +91,7 @@ pub fn write_trace_dir(trace: &Trace, dir: &Path) -> io::Result<()> {
 /// Reads a trace directory written by [`write_trace_dir`].
 pub fn read_trace_dir(dir: &Path) -> io::Result<Trace> {
     let _span = mcc_obs::global().span("profiler.read_trace_dir");
-    let meta: Meta = serde_json::from_str(&fs::read_to_string(dir.join("meta.json"))?)?;
+    let meta: Meta = from_line(&fs::read_to_string(dir.join("meta.json"))?)?;
     let mut procs = Vec::with_capacity(meta.nprocs);
     for rank in 0..meta.nprocs {
         let f = File::open(dir.join(format!("rank-{rank}.jsonl")))?;
@@ -79,14 +99,14 @@ pub fn read_trace_dir(dir: &Path) -> io::Result<Trace> {
         let loc_line = lines.next().ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, format!("rank {rank}: empty trace file"))
         })??;
-        let locs: Vec<SourceLoc> = serde_json::from_str(&loc_line)?;
+        let locs: Vec<SourceLoc> = from_line(&loc_line)?;
         let mut events = Vec::new();
         for line in lines {
             let line = line?;
             if line.trim().is_empty() {
                 continue;
             }
-            let event: Event = serde_json::from_str(&line)?;
+            let event: Event = from_line(&line)?;
             events.push(event);
         }
         procs.push(ProcessTrace { events, locs });
@@ -114,7 +134,7 @@ impl TraceWriter {
     /// Creates the directory and writes `meta.json` immediately.
     pub fn create(dir: &Path, nprocs: usize) -> io::Result<Self> {
         fs::create_dir_all(dir)?;
-        fs::write(dir.join("meta.json"), serde_json::to_string(&Meta { nprocs })?)?;
+        fs::write(dir.join("meta.json"), to_line(&Meta { nprocs }))?;
         Ok(Self { dir: dir.to_path_buf(), nprocs })
     }
 
@@ -162,12 +182,12 @@ impl RankWriter {
             None => {
                 let id = LocId(self.next_loc);
                 self.next_loc += 1;
-                self.write_line(serde_json::to_string(&LocDef { loc: loc.clone() })?)?;
+                self.write_line(to_line(&LocDef { loc: loc.clone() }))?;
                 self.interned.insert(loc, id);
                 id
             }
         };
-        self.write_line(serde_json::to_string(&Event::new(kind, id))?)
+        self.write_line(to_line(&Event::new(kind, id)))
     }
 }
 
@@ -307,14 +327,14 @@ fn read_rank_tolerant(path: &Path, rank: u32, health: &mut TraceHealth) -> Proce
         }
         // First line of a batch-written file is the whole location table.
         if i == 0 {
-            if let Ok(table) = serde_json::from_str::<Vec<SourceLoc>>(line) {
+            if let Ok(table) = from_line::<Vec<SourceLoc>>(line) {
                 locs = table;
                 continue;
             }
         }
-        if let Ok(event) = serde_json::from_str::<Event>(line) {
+        if let Ok(event) = from_line::<Event>(line) {
             events.push(event);
-        } else if let Ok(def) = serde_json::from_str::<LocDef>(line) {
+        } else if let Ok(def) = from_line::<LocDef>(line) {
             locs.push(def.loc);
         } else if i + 1 == lines.len() && !ends_with_newline {
             torn = true;
@@ -346,7 +366,7 @@ pub fn read_trace_dir_tolerant(dir: &Path) -> io::Result<(Trace, TraceHealth)> {
     let _span = mcc_obs::global().span("profiler.read_trace_dir");
     let mut health = TraceHealth::default();
     let meta: Option<Meta> =
-        fs::read_to_string(dir.join("meta.json")).ok().and_then(|s| serde_json::from_str(&s).ok());
+        fs::read_to_string(dir.join("meta.json")).ok().and_then(|s| from_line(&s).ok());
     health.meta_ok = meta.is_some();
     health.expected_ranks = match meta {
         Some(m) => m.nprocs,

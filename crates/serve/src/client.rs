@@ -18,10 +18,21 @@
 //!   is byte-identical to an uninterrupted run. If the server no longer
 //!   knows the session (`Gone`), the client falls back to a fresh
 //!   submission of the full trace — same report either way.
+//!
+//! Both modes negotiate the event-stream shape from the server's
+//! `Welcome` capabilities ([`SubmitCfg`]): against a server announcing
+//! `binary`, events go out as columnar [`EventBatch`] frames in the
+//! compact binary codec; otherwise (or with `prefer_binary` off) they
+//! fall back to per-event JSON frames, which every server understands.
+//! Handshake and control frames are always JSON.
 
-use crate::proto::{write_frame, Frame, FrameReader, ProtoError, SessionOpts, PROTOCOL_VERSION};
+use crate::proto::{
+    encode_frame_with, write_all_vectored, write_frame_with, EventBatch, Frame, FrameReader,
+    ProtoError, SessionOpts, CAP_BINARY, PROTOCOL_VERSION,
+};
 use crate::report::SessionReport;
-use mcc_types::Trace;
+use mcc_codec::CodecKind;
+use mcc_types::{EventKind, SourceLoc, Trace};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -30,6 +41,10 @@ use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::thread;
 use std::time::{Duration, Instant};
+
+// Control frames (Hello, Resume, Finish, Stats, Metrics) stay JSON: they
+// are the handshake surface every server version must parse.
+const CONTROL: CodecKind = CodecKind::Json;
 
 /// Why a submission failed.
 #[derive(Debug)]
@@ -115,34 +130,125 @@ fn read_reply<S: Read>(
     }
 }
 
-/// Flattens a trace into its wire form: ranks interleaved round-robin,
-/// each event pre-encoded as a sequence-numbered `Event` frame. Index
-/// `i` of the result carries `seq == i`, so a resume from `Ack{through}`
+/// How the event stream is shaped on the wire.
+#[derive(Debug, Clone)]
+pub struct SubmitCfg {
+    /// Events per `Batch` frame when the binary codec is negotiated
+    /// (capped at [`MAX_BATCH_EVENTS`]); `0` or `1` sends per-event
+    /// frames even over binary.
+    pub batch_size: usize,
+    /// Negotiate the binary codec when the server offers it. Off forces
+    /// the per-event JSON fallback regardless of the server.
+    pub prefer_binary: bool,
+}
+
+impl Default for SubmitCfg {
+    fn default() -> Self {
+        Self { batch_size: 256, prefer_binary: true }
+    }
+}
+
+/// Hard cap on events per `Batch` frame, keeping even pathological
+/// payloads far from [`crate::proto::MAX_FRAME_LEN`].
+pub const MAX_BATCH_EVENTS: usize = 4096;
+
+/// Accumulate roughly this many bytes of encoded frames per socket
+/// write.
+const FLUSH_BYTES: usize = 1 << 18;
+
+/// What one submission did on the wire (for benchmarks and diagnostics).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitInfo {
+    /// The negotiated event-stream codec.
+    pub codec: CodecKind,
+    /// Bytes of event frames written (headers included; handshake and
+    /// Finish excluded).
+    pub bytes_sent: u64,
+    /// Event/batch frames written.
+    pub frames_sent: u64,
+    /// Wall-clock spent encoding event frames.
+    pub encode: Duration,
+    /// Wall-clock spent writing them to the socket.
+    pub io: Duration,
+}
+
+/// Flattens a trace into stream order: ranks interleaved round-robin, the
+/// order events would arrive from live instrumentation. Index `i` of the
+/// result is the event with `seq == i`, so a resume from `Ack{through}`
 /// is just a slice from `through`.
-pub fn encode_events(trace: &Trace) -> Vec<Vec<u8>> {
+pub fn flatten_events(trace: &Trace) -> Vec<(u32, EventKind, SourceLoc)> {
     let mut out = Vec::with_capacity(trace.total_events());
     let mut idx = vec![0usize; trace.nprocs()];
     let mut remaining = trace.total_events();
-    let mut seq = 0u64;
     while remaining > 0 {
         #[allow(clippy::needless_range_loop)] // r doubles as the rank id
         for r in 0..trace.nprocs() {
             if idx[r] < trace.procs[r].events.len() {
                 let ev = &trace.procs[r].events[idx[r]];
-                let frame = Frame::Event {
-                    seq,
-                    rank: r as u32,
-                    kind: ev.kind.clone(),
-                    loc: trace.procs[r].loc(ev.loc),
-                };
-                out.push(crate::proto::encode_frame(&frame));
-                seq += 1;
+                out.push((r as u32, ev.kind.clone(), trace.procs[r].loc(ev.loc)));
                 idx[r] += 1;
                 remaining -= 1;
             }
         }
     }
     out
+}
+
+/// Picks the event-stream codec from the server's `Welcome` capabilities.
+fn negotiated_codec(capabilities: &[String], prefer_binary: bool) -> CodecKind {
+    if prefer_binary && capabilities.iter().any(|c| c == CAP_BINARY) {
+        CodecKind::Binary
+    } else {
+        CodecKind::Json
+    }
+}
+
+/// Encodes `events[from..]` into wire frames: columnar `Batch` frames
+/// when the binary codec is negotiated and batching is on, per-event
+/// frames otherwise.
+pub fn encode_stream(
+    events: &[(u32, EventKind, SourceLoc)],
+    from: u64,
+    codec: CodecKind,
+    batch_size: usize,
+) -> Vec<Vec<u8>> {
+    let tail = &events[(from as usize).min(events.len())..];
+    let mut out = Vec::new();
+    if codec == CodecKind::Binary && batch_size > 1 {
+        let cap = batch_size.min(MAX_BATCH_EVENTS);
+        let mut i = 0usize;
+        while i < tail.len() {
+            let n = cap.min(tail.len() - i);
+            let mut b = EventBatch::new(from + i as u64);
+            for (rank, kind, loc) in &tail[i..i + n] {
+                b.push(*rank, kind.clone(), loc);
+            }
+            out.push(encode_frame_with(&Frame::Batch(b), codec));
+            i += n;
+        }
+    } else {
+        out.reserve(tail.len());
+        for (i, (rank, kind, loc)) in tail.iter().enumerate() {
+            let frame = Frame::Event {
+                seq: from + i as u64,
+                rank: *rank,
+                kind: kind.clone(),
+                loc: loc.clone(),
+            };
+            out.push(encode_frame_with(&frame, codec));
+        }
+    }
+    out
+}
+
+/// Flattens a trace into its wire form: ranks interleaved round-robin,
+/// each event pre-encoded as a sequence-numbered JSON `Event` frame.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `flatten_events` and the `SubmitCfg`-negotiated submit paths"
+)]
+pub fn encode_events(trace: &Trace) -> Vec<Vec<u8>> {
+    encode_stream(&flatten_events(trace), 0, CodecKind::Json, 1)
 }
 
 /// Streams `trace` over an established connection and returns the
@@ -155,35 +261,67 @@ pub fn submit_over<S: Read + Write>(
     trace: &Trace,
     opts: &SessionOpts,
 ) -> Result<SessionReport, ClientError> {
+    submit_over_cfg(stream, trace, opts, &SubmitCfg::default()).map(|(report, _)| report)
+}
+
+/// [`submit_over`] with an explicit wire shape, also returning what the
+/// submission did on the wire.
+pub fn submit_over_cfg<S: Read + Write>(
+    stream: S,
+    trace: &Trace,
+    opts: &SessionOpts,
+    cfg: &SubmitCfg,
+) -> Result<(SessionReport, SubmitInfo), ClientError> {
     let mut reader = FrameReader::new(stream);
-    write_frame(
+    write_frame_with(
         reader.get_mut(),
         &Frame::Hello {
             version: PROTOCOL_VERSION,
             nprocs: trace.nprocs() as u32,
             opts: opts.clone(),
         },
+        CONTROL,
     )?;
-    match read_reply(&mut reader, DEFAULT_REPLY_DEADLINE)? {
-        Frame::Welcome { .. } => {}
+    let capabilities = match read_reply(&mut reader, DEFAULT_REPLY_DEADLINE)? {
+        Frame::Welcome { capabilities, .. } => capabilities,
         Frame::Error { message } => return Err(ClientError::Rejected(message)),
         other => return Err(ClientError::UnexpectedFrame(format!("{other:?}"))),
-    }
+    };
+    let codec = negotiated_codec(&capabilities, cfg.prefer_binary);
+    let mut info = SubmitInfo { codec, ..Default::default() };
 
-    // Batch writes so a large trace does not pay one syscall per event.
-    let encoded = encode_events(trace);
-    let mut batch: Vec<u8> = Vec::with_capacity(1 << 16);
-    for (i, bytes) in encoded.iter().enumerate() {
-        batch.extend_from_slice(bytes);
-        if batch.len() >= (1 << 18) || i + 1 == encoded.len() {
-            reader.get_mut().write_all(&batch)?;
-            batch.clear();
+    let events = flatten_events(trace);
+    let t = Instant::now();
+    let encoded = encode_stream(&events, 0, codec, cfg.batch_size);
+    info.encode = t.elapsed();
+    info.frames_sent = encoded.len() as u64;
+
+    // Vectored writes so a large trace pays neither one syscall per
+    // frame nor a concatenation copy.
+    let t = Instant::now();
+    let mut pending: Vec<&[u8]> = Vec::new();
+    let mut pending_bytes = 0usize;
+    for bytes in &encoded {
+        pending.push(bytes);
+        pending_bytes += bytes.len();
+        if pending_bytes >= FLUSH_BYTES {
+            write_all_vectored(reader.get_mut(), &pending)?;
+            info.bytes_sent += pending_bytes as u64;
+            pending.clear();
+            pending_bytes = 0;
         }
     }
-    write_frame(reader.get_mut(), &Frame::Finish)?;
+    if !pending.is_empty() {
+        write_all_vectored(reader.get_mut(), &pending)?;
+        info.bytes_sent += pending_bytes as u64;
+    }
+    info.io = t.elapsed();
+    write_frame_with(reader.get_mut(), &Frame::Finish, CONTROL)?;
 
     match read_reply(&mut reader, DEFAULT_REPLY_DEADLINE)? {
-        Frame::Report { json } => SessionReport::from_json(&json).map_err(ClientError::BadReport),
+        Frame::Report { json } => {
+            SessionReport::from_json(&json).map(|r| (r, info)).map_err(ClientError::BadReport)
+        }
         Frame::Error { message } => Err(ClientError::Rejected(message)),
         other => Err(ClientError::UnexpectedFrame(format!("{other:?}"))),
     }
@@ -232,6 +370,10 @@ pub struct SubmitStats {
     pub events_resent: u64,
     /// Wall-clock time of the whole submission.
     pub wall: Duration,
+    /// Event-frame bytes written across all attempts.
+    pub bytes_sent: u64,
+    /// The event-stream codec the last attempt negotiated.
+    pub codec: CodecKind,
 }
 
 /// How one connection attempt ended.
@@ -254,8 +396,19 @@ pub fn submit_durable_tcp(
     opts: &SessionOpts,
     policy: &RetryPolicy,
 ) -> Result<(SessionReport, SubmitStats), ClientError> {
+    submit_durable_tcp_cfg(addr, trace, opts, policy, &SubmitCfg::default())
+}
+
+/// [`submit_durable_tcp`] with an explicit wire shape.
+pub fn submit_durable_tcp_cfg(
+    addr: &str,
+    trace: &Trace,
+    opts: &SessionOpts,
+    policy: &RetryPolicy,
+    cfg: &SubmitCfg,
+) -> Result<(SessionReport, SubmitStats), ClientError> {
     let tick = Duration::from_millis(5);
-    submit_durable_with(
+    submit_durable_with_cfg(
         || {
             let s = TcpStream::connect(addr)?;
             // A short read timeout keeps ack-draining cheap and lets the
@@ -267,6 +420,7 @@ pub fn submit_durable_tcp(
         trace,
         opts,
         policy,
+        cfg,
     )
 }
 
@@ -274,7 +428,7 @@ pub fn submit_durable_tcp(
 /// yield a fresh connection to the same server, configured with a small
 /// read timeout (so idle reads surface instead of blocking forever).
 pub fn submit_durable_with<S, C>(
-    mut connect: C,
+    connect: C,
     trace: &Trace,
     opts: &SessionOpts,
     policy: &RetryPolicy,
@@ -283,10 +437,25 @@ where
     S: Read + Write,
     C: FnMut() -> io::Result<S>,
 {
+    submit_durable_with_cfg(connect, trace, opts, policy, &SubmitCfg::default())
+}
+
+/// [`submit_durable_with`] with an explicit wire shape.
+pub fn submit_durable_with_cfg<S, C>(
+    mut connect: C,
+    trace: &Trace,
+    opts: &SessionOpts,
+    policy: &RetryPolicy,
+    cfg: &SubmitCfg,
+) -> Result<(SessionReport, SubmitStats), ClientError>
+where
+    S: Read + Write,
+    C: FnMut() -> io::Result<S>,
+{
     let started = Instant::now();
     let mut opts = opts.clone();
     opts.durable = true;
-    let encoded = encode_events(trace);
+    let events = flatten_events(trace);
     let mut stats = SubmitStats::default();
     let mut rng = StdRng::seed_from_u64(policy.jitter_seed);
     let mut session: Option<u64> = None;
@@ -302,7 +471,8 @@ where
                 trace,
                 &opts,
                 policy,
-                &encoded,
+                cfg,
+                &events,
                 &mut session,
                 &mut acked,
                 &mut stats,
@@ -336,22 +506,28 @@ fn one_attempt<S: Read + Write>(
     trace: &Trace,
     opts: &SessionOpts,
     policy: &RetryPolicy,
-    encoded: &[Vec<u8>],
+    cfg: &SubmitCfg,
+    events: &[(u32, EventKind, SourceLoc)],
     session: &mut Option<u64>,
     acked: &mut u64,
     stats: &mut SubmitStats,
 ) -> Attempt {
     let mut reader = FrameReader::new(stream);
 
-    // Handshake.
+    // Handshake. Each attempt re-negotiates the event-stream codec from
+    // the Welcome it receives — a resume may land on a differently
+    // configured server.
+    let capabilities;
     if let Some(id) = *session {
-        if let Err(e) =
-            write_frame(reader.get_mut(), &Frame::Resume { session: id, from_seq: *acked })
-        {
+        if let Err(e) = write_frame_with(
+            reader.get_mut(),
+            &Frame::Resume { session: id, from_seq: *acked },
+            CONTROL,
+        ) {
             return Attempt::Retry(e.into());
         }
         match read_reply(&mut reader, policy.reply_deadline) {
-            Ok(Frame::Welcome { .. }) => {}
+            Ok(Frame::Welcome { capabilities: caps, .. }) => capabilities = caps,
             Ok(Frame::Gone { .. }) => {
                 // The server lost the session (expired, or a crash with
                 // no journal); start over with the full trace.
@@ -390,11 +566,14 @@ fn one_attempt<S: Read + Write>(
             nprocs: trace.nprocs() as u32,
             opts: opts.clone(),
         };
-        if let Err(e) = write_frame(reader.get_mut(), &hello) {
+        if let Err(e) = write_frame_with(reader.get_mut(), &hello, CONTROL) {
             return Attempt::Retry(e.into());
         }
         match read_reply(&mut reader, policy.reply_deadline) {
-            Ok(Frame::Welcome { session: id, .. }) => *session = Some(id),
+            Ok(Frame::Welcome { session: id, capabilities: caps, .. }) => {
+                *session = Some(id);
+                capabilities = caps;
+            }
             // Could be a real refusal (bad version) or the echo of a
             // `Hello` the transport corrupted — retry; the budget
             // bounds a hard refusal.
@@ -406,37 +585,48 @@ fn one_attempt<S: Read + Write>(
     }
 
     // Stream every event the server has not acknowledged.
-    let from = *acked as usize;
+    let from = *acked;
     if stats.attempts > 1 {
-        stats.events_resent += (encoded.len() - from.min(encoded.len())) as u64;
+        stats.events_resent += (events.len() as u64).saturating_sub(from);
     }
-    let mut batch: Vec<u8> = Vec::with_capacity(1 << 16);
-    for (i, bytes) in encoded.iter().enumerate().skip(from) {
-        if let Some(pace) = policy.throttle {
-            // Paced mode: one frame per write, so the stream has a
-            // steady, interruptible cadence.
+    let codec = negotiated_codec(&capabilities, cfg.prefer_binary);
+    stats.codec = codec;
+    if let Some(pace) = policy.throttle {
+        // Paced mode: one per-event frame per write, so the stream has a
+        // steady, interruptible cadence.
+        let encoded = encode_stream(events, from, codec, 1);
+        for bytes in &encoded {
             let paced = reader.get_mut().write_all(bytes).and_then(|_| reader.get_mut().flush());
             if let Err(e) = paced {
                 return Attempt::Retry(e.into());
             }
+            stats.bytes_sent += bytes.len() as u64;
             thread::sleep(pace);
-            continue;
         }
-        batch.extend_from_slice(bytes);
-        if batch.len() >= (1 << 18) || i + 1 == encoded.len() {
-            if let Err(e) = reader.get_mut().write_all(&batch) {
-                return Attempt::Retry(e.into());
-            }
-            batch.clear();
-            // Drain any Acks the server pushed while we were writing —
-            // both to advance the resume offset and to keep the socket
-            // from filling up in either direction.
-            if let Err(e) = drain_acks(&mut reader, acked) {
-                return e;
+    } else {
+        let encoded = encode_stream(events, from, codec, cfg.batch_size);
+        let mut pending: Vec<&[u8]> = Vec::new();
+        let mut pending_bytes = 0usize;
+        for (i, bytes) in encoded.iter().enumerate() {
+            pending.push(bytes);
+            pending_bytes += bytes.len();
+            if pending_bytes >= FLUSH_BYTES || i + 1 == encoded.len() {
+                if let Err(e) = write_all_vectored(reader.get_mut(), &pending) {
+                    return Attempt::Retry(e.into());
+                }
+                stats.bytes_sent += pending_bytes as u64;
+                pending.clear();
+                pending_bytes = 0;
+                // Drain any Acks the server pushed while we were writing
+                // — both to advance the resume offset and to keep the
+                // socket from filling up in either direction.
+                if let Err(e) = drain_acks(&mut reader, acked) {
+                    return e;
+                }
             }
         }
     }
-    if let Err(e) = write_frame(reader.get_mut(), &Frame::Finish) {
+    if let Err(e) = write_frame_with(reader.get_mut(), &Frame::Finish, CONTROL) {
         return Attempt::Retry(e.into());
     }
 
@@ -516,6 +706,18 @@ pub fn submit_tcp(
     submit_over(TcpStream::connect(addr)?, trace, opts)
 }
 
+/// [`submit_tcp`] with an explicit [`SubmitCfg`]; also returns the
+/// [`SubmitInfo`] transfer accounting (negotiated codec, bytes, layer
+/// times) the bench and CLI report.
+pub fn submit_tcp_cfg(
+    addr: &str,
+    trace: &Trace,
+    opts: &SessionOpts,
+    cfg: &SubmitCfg,
+) -> Result<(SessionReport, SubmitInfo), ClientError> {
+    submit_over_cfg(TcpStream::connect(addr)?, trace, opts, cfg)
+}
+
 /// Connects to a Unix-socket daemon and submits `trace`.
 #[cfg(unix)]
 pub fn submit_unix(
@@ -530,7 +732,7 @@ pub fn submit_unix(
 /// the raw JSON.
 pub fn stats_over<S: Read + Write>(stream: S) -> Result<String, ClientError> {
     let mut reader = FrameReader::new(stream);
-    write_frame(reader.get_mut(), &Frame::Stats)?;
+    write_frame_with(reader.get_mut(), &Frame::Stats, CONTROL)?;
     match read_reply(&mut reader, DEFAULT_REPLY_DEADLINE)? {
         Frame::StatsReport { json } => Ok(json),
         Frame::Error { message } => Err(ClientError::Rejected(message)),
@@ -553,7 +755,7 @@ pub fn stats_unix(path: &str) -> Result<String, ClientError> {
 /// the Prometheus-style text exposition.
 pub fn metrics_over<S: Read + Write>(stream: S) -> Result<String, ClientError> {
     let mut reader = FrameReader::new(stream);
-    write_frame(reader.get_mut(), &Frame::Metrics)?;
+    write_frame_with(reader.get_mut(), &Frame::Metrics, CONTROL)?;
     match read_reply(&mut reader, DEFAULT_REPLY_DEADLINE)? {
         Frame::MetricsReport { text } => Ok(text),
         Frame::Error { message } => Err(ClientError::Rejected(message)),

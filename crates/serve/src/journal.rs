@@ -6,10 +6,14 @@
 //! [`mcc_core::StreamingChecker`] on restart and end up in exactly the
 //! state the acknowledged stream had reached. Records reuse the wire
 //! framing ([`crate::proto::frame_payload`]): 4-byte length, 4-byte
-//! CRC32, JSON payload. A torn tail — the partial record a `kill -9`
-//! leaves behind — therefore fails its checksum (or its length) and the
-//! reader stops at the last intact record instead of erroring out: a
-//! journal always replays to a consistent prefix of the stream.
+//! CRC32, then one payload in either [`mcc_codec`] format. New journals
+//! are written in the compact binary codec; the reader auto-detects each
+//! record's codec from its first byte, so journals written by older
+//! (JSON-only) builds — and mixed files that an upgrade appended binary
+//! records to — replay without any flag. A torn tail — the partial
+//! record a `kill -9` leaves behind — fails its checksum (or its length)
+//! and the reader stops at the last intact record instead of erroring
+//! out: a journal always replays to a consistent prefix of the stream.
 //!
 //! The fsync policy trades durability for throughput:
 //! [`FsyncPolicy::EveryAck`] (the default) syncs once per acknowledgement
@@ -18,7 +22,8 @@
 //! OS (a daemon crash still loses nothing — page cache survives the
 //! process — only a machine crash can).
 
-use crate::proto::{frame_payload, try_decode_payload, ProtoError, SessionOpts};
+use crate::proto::{frame_payload, try_decode_payload, EventBatch, ProtoError, SessionOpts};
+use mcc_codec::{encode_with, CodecKind};
 use mcc_types::{EventKind, SourceLoc};
 use serde::{Deserialize, Serialize};
 use std::fs::{self, File, OpenOptions};
@@ -75,6 +80,11 @@ pub enum JournalRecord {
         /// Its source location.
         loc: SourceLoc,
     },
+    /// A run of consecutive ingested events, columnar (see
+    /// [`EventBatch`]) — written when the client streamed a `Batch`
+    /// frame, so the journal keeps the wire's compression. Replay
+    /// expands it to individual events.
+    Batch(EventBatch),
     /// The client sent `Finish`; the report was (or was about to be)
     /// built. A journal ending in `Finish` replays to a *completed*
     /// session.
@@ -123,10 +133,11 @@ impl Journal {
         Ok(Self { file, path: path.to_path_buf(), policy, dirty: false })
     }
 
-    /// Appends one record (framed + checksummed).
+    /// Appends one record (framed + checksummed) in the compact binary
+    /// codec. The reader auto-detects record codecs, so appending binary
+    /// records to a journal an older build started in JSON is fine.
     pub fn append(&mut self, rec: &JournalRecord) -> io::Result<()> {
-        let payload = serde_json::to_vec(rec)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let payload = encode_with(CodecKind::Binary, rec);
         self.file.write_all(&frame_payload(&payload))?;
         self.dirty = true;
         if self.policy == FsyncPolicy::Always {
@@ -145,6 +156,12 @@ impl Journal {
         loc: &SourceLoc,
     ) -> io::Result<()> {
         self.append(&JournalRecord::Event { seq, rank, kind: kind.clone(), loc: loc.clone() })
+    }
+
+    /// Appends one columnar batch record (the non-duplicate tail of a
+    /// wire `Batch` frame).
+    pub fn append_batch(&mut self, batch: &EventBatch) -> io::Result<()> {
+        self.append(&JournalRecord::Batch(batch.clone()))
     }
 
     /// Appends the `Finish` marker and syncs it down.
@@ -249,7 +266,10 @@ pub fn read_journal(path: &Path) -> Result<ReplayedSession, JournalError> {
     while offset < bytes.len() {
         match try_decode_payload(&bytes[offset..]) {
             Ok(Some((payload, used))) => {
-                match serde_json::from_slice::<JournalRecord>(payload) {
+                // Each record's codec is detected from its first payload
+                // byte, so JSON journals from older builds and binary
+                // journals from this one replay through the same loop.
+                match mcc_codec::decode_auto::<JournalRecord>(payload) {
                     Ok(JournalRecord::Open { session, nprocs, opts, cap }) if header.is_none() => {
                         header = Some((session, nprocs, opts, cap));
                     }
@@ -261,6 +281,21 @@ pub fn read_journal(path: &Path) -> Result<ReplayedSession, JournalError> {
                     }
                     Ok(JournalRecord::Event { seq, rank, kind, loc }) => {
                         events.push((seq, rank, kind, loc));
+                    }
+                    Ok(JournalRecord::Batch(batch)) => {
+                        if batch.validate().is_err() {
+                            torn = true;
+                            break;
+                        }
+                        for i in 0..batch.len() {
+                            let (rank, kind, loc) = batch.event(i);
+                            events.push((
+                                batch.first_seq + i as u64,
+                                rank,
+                                kind.clone(),
+                                loc.clone(),
+                            ));
+                        }
                     }
                     Ok(JournalRecord::Finish) => {
                         finished = true;
@@ -401,6 +436,104 @@ mod tests {
         let replay = read_journal(&path).unwrap();
         assert_eq!(replay.events.len(), 4);
         assert!(!replay.torn);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_records_replay_as_individual_events() {
+        let dir = tmpdir("batch");
+        let opts = SessionOpts::default();
+        let mut j = Journal::create(&dir, 5, 2, &opts, 0, FsyncPolicy::Never).unwrap();
+        let (seq, rank, kind, loc) = ev(0);
+        j.append_event(seq, rank, &kind, &loc).unwrap();
+        let mut b = EventBatch::new(1);
+        for i in 1..4u64 {
+            let (_, rank, kind, loc) = ev(i);
+            b.push(rank, kind, &loc);
+        }
+        j.append_batch(&b).unwrap();
+        let path = j.path().to_path_buf();
+        drop(j);
+
+        let replay = read_journal(&path).unwrap();
+        assert_eq!(replay.events.len(), 4);
+        for (i, e) in replay.events.iter().enumerate() {
+            assert_eq!(*e, ev(i as u64));
+        }
+        assert!(!replay.torn);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_journals_from_older_builds_replay_without_a_flag() {
+        // Hand-write a journal exactly as the previous (JSON-only) build
+        // did: frame_payload over serde_json::to_vec per record.
+        let dir = tmpdir("oldjson");
+        let path = dir.join("session-11.mccj");
+        let mut bytes = Vec::new();
+        let recs = [
+            JournalRecord::Open {
+                session: 11,
+                nprocs: 2,
+                opts: SessionOpts { threads: 1, max_buffered: 0, durable: true },
+                cap: 512,
+            },
+            {
+                let (seq, rank, kind, loc) = ev(0);
+                JournalRecord::Event { seq, rank, kind, loc }
+            },
+            {
+                let (seq, rank, kind, loc) = ev(1);
+                JournalRecord::Event { seq, rank, kind, loc }
+            },
+        ];
+        for rec in &recs {
+            bytes.extend_from_slice(&frame_payload(&serde_json::to_vec(rec).unwrap()));
+        }
+        fs::write(&path, &bytes).unwrap();
+
+        let replay = read_journal(&path).unwrap();
+        assert_eq!(replay.session, 11);
+        assert_eq!(replay.events.len(), 2);
+        assert!(!replay.finished);
+        assert!(!replay.torn);
+
+        // An upgraded daemon appends binary records to that same file;
+        // the mixed journal still replays whole.
+        let mut j = Journal::open_append(&path, replay.intact_len, FsyncPolicy::Never).unwrap();
+        let (seq, rank, kind, loc) = ev(2);
+        j.append_event(seq, rank, &kind, &loc).unwrap();
+        j.append_finish().unwrap();
+        drop(j);
+        let replay = read_journal(&path).unwrap();
+        assert_eq!(replay.events.len(), 3);
+        assert!(replay.finished);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_batch_record_tears_the_tail() {
+        let dir = tmpdir("badbatch");
+        let opts = SessionOpts::default();
+        let mut j = Journal::create(&dir, 6, 2, &opts, 0, FsyncPolicy::Never).unwrap();
+        let (seq, rank, kind, loc) = ev(0);
+        j.append_event(seq, rank, &kind, &loc).unwrap();
+        // A structurally valid record whose columns lie: loc_idx points
+        // past the table.
+        let bad = EventBatch {
+            first_seq: 1,
+            ranks: vec![0],
+            loc_idx: vec![9],
+            kinds: vec![EventKind::Fence { win: WinId(0) }],
+            locs: vec![],
+        };
+        j.append(&JournalRecord::Batch(bad)).unwrap();
+        let path = j.path().to_path_buf();
+        drop(j);
+
+        let replay = read_journal(&path).unwrap();
+        assert_eq!(replay.events.len(), 1, "bad batch dropped, prefix kept");
+        assert!(replay.torn);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -51,6 +51,7 @@ pub use client::{
 };
 pub use crc::crc32;
 pub use journal::{read_journal, scan_dir, FsyncPolicy, Journal, JournalError, ReplayedSession};
+pub use mcc_codec::{Codec, CodecKind};
 pub use proto::{Frame, FrameReader, ProtoError, SessionOpts, MAX_RANKS, PROTOCOL_VERSION};
 pub use registry::{Outcome, ParkedSession, Progress, Registry, ResumeOutcome, SessionGuard};
 pub use report::{SessionReport, REPORT_SCHEMA_VERSION};

@@ -1,14 +1,29 @@
 //! The wire protocol of the checker daemon.
 //!
-//! Frames are length-prefixed, checksummed JSON: a 4-byte little-endian
+//! Frames are length-prefixed and checksummed: a 4-byte little-endian
 //! payload length, a 4-byte little-endian CRC32 over the length bytes
-//! plus the payload, then one serde-serialized [`Frame`]. The length
-//! prefix makes truncation detectable (a stream that ends inside a frame
-//! is a protocol error, not a silent partial parse) and caps per-frame
-//! memory at [`MAX_FRAME_LEN`] before any payload byte is even read; the
-//! checksum makes *corruption* detectable — a flipped bit anywhere in
-//! the header or payload surfaces as [`ProtoError::Corrupt`], answered
-//! by the server with a typed `Error` frame, never a parse failure.
+//! plus the payload, then one serde-serialized [`Frame`] in either
+//! [`mcc_codec`] format. The length prefix makes truncation detectable
+//! (a stream that ends inside a frame is a protocol error, not a silent
+//! partial parse) and caps per-frame memory at [`MAX_FRAME_LEN`] before
+//! any payload byte is even read; the checksum makes *corruption*
+//! detectable — a flipped bit anywhere in the header or payload surfaces
+//! as [`ProtoError::Corrupt`], answered by the server with a typed
+//! `Error` frame, never a parse failure.
+//!
+//! # Payload codecs
+//!
+//! The payload inside the framing is one [`Frame`] encoded by either
+//! codec from [`mcc_codec`]: JSON text (the handshake/control format
+//! and the universal fallback) or the compact binary format (first byte
+//! [`mcc_codec::BINARY_MAGIC`]). The two are distinguishable from the
+//! payload's first byte, so the decoder accepts both unconditionally —
+//! *sending* binary is what gets negotiated: a server that announces the
+//! `binary` capability in its `Welcome` accepts binary payloads and
+//! [`Frame::Batch`] frames; clients fall back to per-event JSON against
+//! servers that do not. `PROTOCOL_VERSION` is unchanged — an old JSON
+//! client and a new binary-capable server interoperate, as do a new
+//! client and an old server.
 //!
 //! Grammar of a session, client side:
 //!
@@ -46,19 +61,27 @@
 //! servers and vice versa (an unknown verb still draws an `Error` frame,
 //! never a closed connection). `resume` covers `Resume`/`Ack`/`Gone`.
 
+use mcc_codec::{encode_with, CodecKind};
 use mcc_types::{EventKind, SourceLoc};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 
 /// Version carried in (and required of) every `Hello`.
 pub const PROTOCOL_VERSION: u32 = 1;
 
+/// The capability string that announces binary-codec and `Batch` frame
+/// support (see [`SERVER_CAPABILITIES`]).
+pub const CAP_BINARY: &str = "binary";
+
 /// Capabilities this server build announces in its `Welcome` frame.
 /// `metrics` means the `Metrics` verb is answered with `MetricsReport`;
 /// `resume` means durable sessions, `Resume`, `Ack`, and `Gone` are
-/// understood; `crc32` means every frame carries the checksummed header.
-pub const SERVER_CAPABILITIES: &[&str] = &["metrics", "resume", "crc32"];
+/// understood; `crc32` means every frame carries the checksummed header;
+/// `binary` means the server accepts binary-codec payloads and `Batch`
+/// frames (a server run with `--no-binary` drops it, and clients fall
+/// back to per-event JSON).
+pub const SERVER_CAPABILITIES: &[&str] = &["metrics", "resume", "crc32", CAP_BINARY];
 
 /// Hard cap on a single frame's payload, applied before reading it.
 pub const MAX_FRAME_LEN: usize = 1 << 20;
@@ -88,6 +111,109 @@ pub struct SessionOpts {
 impl Default for SessionOpts {
     fn default() -> Self {
         Self { threads: 1, max_buffered: 0, durable: false }
+    }
+}
+
+/// A run of consecutive events under one frame header and one CRC32,
+/// stored columnar: sequence numbers are dense (only `first_seq` is
+/// carried), source locations are interned into a per-batch table, and
+/// the per-event columns (`ranks`, `loc_idx`, `kinds`) sit in parallel
+/// arrays — the shape the binary codec's integer columns and string
+/// interning compress best, though a batch is equally valid JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventBatch {
+    /// Sequence number of the first event; event `i` has
+    /// `seq == first_seq + i`.
+    pub first_seq: u64,
+    /// Originating rank per event.
+    pub ranks: Vec<u32>,
+    /// Index into [`locs`](Self::locs) per event.
+    pub loc_idx: Vec<u32>,
+    /// The events themselves.
+    pub kinds: Vec<EventKind>,
+    /// The batch's source-location table, first-appearance order.
+    pub locs: Vec<SourceLoc>,
+}
+
+impl EventBatch {
+    /// An empty batch starting at `first_seq`.
+    pub fn new(first_seq: u64) -> Self {
+        Self {
+            first_seq,
+            ranks: Vec::new(),
+            loc_idx: Vec::new(),
+            kinds: Vec::new(),
+            locs: Vec::new(),
+        }
+    }
+
+    /// Events in the batch.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether the batch carries no events.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Appends one event, interning its location. Consecutive events
+    /// usually share a location, so the table is scanned from the most
+    /// recent entry backwards.
+    pub fn push(&mut self, rank: u32, kind: EventKind, loc: &SourceLoc) {
+        let idx = match self.locs.iter().rposition(|l| l == loc) {
+            Some(i) => i as u32,
+            None => {
+                self.locs.push(loc.clone());
+                (self.locs.len() - 1) as u32
+            }
+        };
+        self.ranks.push(rank);
+        self.loc_idx.push(idx);
+        self.kinds.push(kind);
+    }
+
+    /// Checks the batch's internal consistency — a decoded batch must
+    /// pass before its columns are indexed. `Err` carries the refusal
+    /// message for the peer.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.ranks.len();
+        if self.loc_idx.len() != n || self.kinds.len() != n {
+            return Err(format!(
+                "batch columns disagree: {n} rank(s), {} loc index(es), {} kind(s)",
+                self.loc_idx.len(),
+                self.kinds.len()
+            ));
+        }
+        if let Some(&bad) = self.loc_idx.iter().find(|&&i| i as usize >= self.locs.len()) {
+            return Err(format!(
+                "batch loc index {bad} points past its {}-entry table",
+                self.locs.len()
+            ));
+        }
+        if self.first_seq.checked_add(n as u64).is_none() {
+            return Err("batch sequence range overflows".into());
+        }
+        Ok(())
+    }
+
+    /// The batch's tail starting at event `skip` (used to journal only
+    /// the events that were not duplicates of an earlier delivery). The
+    /// location table is kept whole; unreferenced entries are harmless.
+    pub fn suffix(&self, skip: usize) -> EventBatch {
+        EventBatch {
+            first_seq: self.first_seq + skip as u64,
+            ranks: self.ranks[skip..].to_vec(),
+            loc_idx: self.loc_idx[skip..].to_vec(),
+            kinds: self.kinds[skip..].to_vec(),
+            locs: self.locs.clone(),
+        }
+    }
+
+    /// Borrows event `i` as `(rank, kind, loc)`. Call
+    /// [`validate`](Self::validate) first; out-of-range indices panic.
+    pub fn event(&self, i: usize) -> (u32, &EventKind, &SourceLoc) {
+        (self.ranks[i], &self.kinds[i], &self.locs[self.loc_idx[i] as usize])
     }
 }
 
@@ -127,6 +253,14 @@ pub enum Frame {
         /// Its source location.
         loc: SourceLoc,
     },
+    /// A run of consecutive events under one header and CRC32. Requires
+    /// the `binary` capability in the server's `Welcome` (the batch
+    /// itself may be encoded by either codec). Event `i` of the batch is
+    /// exactly equivalent to an `Event` frame with
+    /// `seq == first_seq + i`, including duplicate-skip semantics on
+    /// resume: a server that already ingested a prefix of the batch
+    /// skips it.
+    Batch(EventBatch),
     /// Ends the stream; the server answers with `Report`.
     Finish,
     /// Server → client: all events with `seq < through` are durably
@@ -279,24 +413,71 @@ pub fn try_decode_payload(buf: &[u8]) -> Result<Option<(&[u8], usize)>, ProtoErr
     Ok(Some((payload, FRAME_HEADER_LEN + len)))
 }
 
-/// Encodes one frame with the length + CRC32 header.
-pub fn encode_frame(f: &Frame) -> Vec<u8> {
+/// Encodes one frame in the given payload codec, wrapped in the
+/// length + CRC32 header.
+pub fn encode_frame_with(f: &Frame, codec: CodecKind) -> Vec<u8> {
     // Serializing our own enum through the in-repo serde shim cannot
     // fail, but a typed fallback beats aborting a daemon thread if that
     // ever changes: an undecodable frame still reaches the peer as a
     // well-formed Error frame.
-    let payload = match serde_json::to_vec(f) {
-        Ok(p) => p,
-        Err(e) => serde_json::to_vec(&Frame::Error { message: format!("unencodable frame: {e}") })
-            .unwrap_or_default(),
-    };
+    let payload = encode_with(codec, f);
+    if payload.is_empty() {
+        let err = Frame::Error { message: "unencodable frame".into() };
+        return frame_payload(&encode_with(codec, &err));
+    }
     frame_payload(&payload)
 }
 
-/// Writes one frame and flushes.
-pub fn write_frame(w: &mut impl Write, f: &Frame) -> io::Result<()> {
-    w.write_all(&encode_frame(f))?;
+/// Writes one frame in the given payload codec and flushes.
+pub fn write_frame_with(w: &mut impl Write, f: &Frame, codec: CodecKind) -> io::Result<()> {
+    w.write_all(&encode_frame_with(f, codec))?;
     w.flush()
+}
+
+/// Encodes one frame as JSON with the length + CRC32 header.
+#[deprecated(since = "0.1.0", note = "use `encode_frame_with(f, CodecKind::Json)`")]
+pub fn encode_frame(f: &Frame) -> Vec<u8> {
+    encode_frame_with(f, CodecKind::Json)
+}
+
+/// Writes one JSON frame and flushes.
+#[deprecated(since = "0.1.0", note = "use `write_frame_with(w, f, CodecKind::Json)`")]
+pub fn write_frame(w: &mut impl Write, f: &Frame) -> io::Result<()> {
+    write_frame_with(w, f, CodecKind::Json)
+}
+
+/// Writes every buffer in `bufs` in order with as few syscalls as the
+/// platform allows (vectored I/O), retrying on `Interrupted` and short
+/// writes. Used by batching senders to emit header + payload pairs
+/// without concatenating them first.
+pub fn write_all_vectored(w: &mut impl Write, bufs: &[&[u8]]) -> io::Result<()> {
+    let total: usize = bufs.iter().map(|b| b.len()).sum();
+    let mut written = 0usize;
+    while written < total {
+        // Rebuild the IoSlice list past the bytes already written.
+        let mut slices = Vec::with_capacity(bufs.len());
+        let mut skip = written;
+        for buf in bufs {
+            if skip >= buf.len() {
+                skip -= buf.len();
+            } else {
+                slices.push(IoSlice::new(&buf[skip..]));
+                skip = 0;
+            }
+        }
+        match w.write_vectored(&slices) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "failed to write whole frame batch",
+                ))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 /// How many bytes the frame at the head of `buf` needs in total.
@@ -311,13 +492,28 @@ fn needed(buf: &[u8]) -> usize {
 /// Attempts to decode the frame at the head of `buf`. `Ok(None)` means
 /// more bytes are needed; `Ok(Some((frame, used)))` consumed `used`
 /// bytes. Oversized, corrupt, or malformed frames are errors — garbage
-/// can never decode as a frame.
+/// can never decode as a frame. Accepts both payload codecs.
 pub fn try_decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
+    try_decode_with(buf, true)
+}
+
+/// [`try_decode`] with the binary payload codec optionally gated off
+/// (`mcc serve --no-binary`): a binary payload behind an intact CRC is
+/// then refused as [`ProtoError::Malformed`] rather than decoded.
+pub fn try_decode_with(
+    buf: &[u8],
+    allow_binary: bool,
+) -> Result<Option<(Frame, usize)>, ProtoError> {
     let Some((payload, used)) = try_decode_payload(buf)? else {
         return Ok(None);
     };
+    if !allow_binary && mcc_codec::detect(payload) == CodecKind::Binary {
+        return Err(ProtoError::Malformed(
+            "binary-codec payload refused: this server only accepts JSON frames".into(),
+        ));
+    }
     let frame =
-        serde_json::from_slice(payload).map_err(|e| ProtoError::Malformed(e.to_string()))?;
+        mcc_codec::decode_auto(payload).map_err(|e| ProtoError::Malformed(e.to_string()))?;
     Ok(Some((frame, used)))
 }
 
@@ -339,13 +535,22 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), ProtoError> {
 pub struct FrameReader<R> {
     inner: R,
     buf: Vec<u8>,
+    /// Consumed prefix of `buf`. Advancing a cursor instead of draining
+    /// per frame keeps decoding linear when a peer's batched write lands
+    /// many frames in one buffer; the consumed prefix is compacted away
+    /// once it passes [`Self::COMPACT_AT`].
+    pos: usize,
     eof: bool,
+    allow_binary: bool,
 }
 
 impl<R: Read> FrameReader<R> {
+    /// Consumed-prefix size that triggers buffer compaction.
+    const COMPACT_AT: usize = 1 << 16;
+
     /// Wraps a stream.
     pub fn new(inner: R) -> Self {
-        Self { inner, buf: Vec::new(), eof: false }
+        Self { inner, buf: Vec::new(), pos: 0, eof: false, allow_binary: true }
     }
 
     /// The underlying stream (for writing responses).
@@ -353,19 +558,41 @@ impl<R: Read> FrameReader<R> {
         &mut self.inner
     }
 
+    /// Gates the binary payload codec (see [`try_decode_with`]). On by
+    /// default; a `--no-binary` server turns it off.
+    pub fn set_allow_binary(&mut self, allow: bool) {
+        self.allow_binary = allow;
+    }
+
+    fn consume(&mut self, used: usize) {
+        self.pos += used;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= Self::COMPACT_AT {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
     /// Reads the next frame. `Ok(None)` is clean end-of-stream at a frame
     /// boundary; ending inside a frame is [`ProtoError::Truncated`].
     pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtoError> {
         loop {
-            if let Some((frame, used)) = try_decode(&self.buf)? {
-                self.buf.drain(..used);
+            if let Some((frame, used)) = try_decode_with(&self.buf[self.pos..], self.allow_binary)?
+            {
+                self.consume(used);
                 return Ok(Some(frame));
             }
             if self.eof {
-                return if self.buf.is_empty() {
+                let pending = self.buf.len() - self.pos;
+                return if pending == 0 {
                     Ok(None)
                 } else {
-                    Err(ProtoError::Truncated { needed: needed(&self.buf), got: self.buf.len() })
+                    Err(ProtoError::Truncated {
+                        needed: needed(&self.buf[self.pos..]),
+                        got: pending,
+                    })
                 };
             }
             let mut chunk = [0u8; 4096];
@@ -389,6 +616,16 @@ mod tests {
     use super::*;
     use mcc_types::{CommId, WinId};
 
+    fn sample_batch() -> EventBatch {
+        let mut b = EventBatch::new(100);
+        let loc_a = SourceLoc::new("app.c", 12, "main");
+        let loc_b = SourceLoc::new("app.c", 30, "worker");
+        b.push(0, EventKind::Barrier { comm: CommId::WORLD }, &loc_a);
+        b.push(1, EventKind::Barrier { comm: CommId::WORLD }, &loc_b);
+        b.push(2, EventKind::Barrier { comm: CommId::WORLD }, &loc_a);
+        b
+    }
+
     fn frames() -> Vec<Frame> {
         vec![
             Frame::Hello { version: PROTOCOL_VERSION, nprocs: 4, opts: SessionOpts::default() },
@@ -408,6 +645,7 @@ mod tests {
                 },
                 loc: SourceLoc::new("app.c", 12, "main"),
             },
+            Frame::Batch(sample_batch()),
             Frame::Finish,
             Frame::Ack { through: 1024 },
             Frame::Resume { session: 7, from_seq: 256 },
@@ -422,23 +660,46 @@ mod tests {
     }
 
     #[test]
-    fn frames_round_trip() {
-        for f in frames() {
-            let bytes = encode_frame(&f);
-            let (back, used) = decode_frame(&bytes).unwrap();
-            assert_eq!(used, bytes.len());
-            assert_eq!(back, f);
+    fn frames_round_trip_in_both_codecs() {
+        for codec in [CodecKind::Json, CodecKind::Binary] {
+            for f in frames() {
+                let bytes = encode_frame_with(&f, codec);
+                let (back, used) = decode_frame(&bytes).unwrap();
+                assert_eq!(used, bytes.len());
+                assert_eq!(back, f, "codec {codec}");
+            }
         }
     }
 
     #[test]
+    fn binary_frames_are_smaller_for_event_batches() {
+        let f = Frame::Batch(sample_batch());
+        let json = encode_frame_with(&f, CodecKind::Json);
+        let binary = encode_frame_with(&f, CodecKind::Binary);
+        assert!(binary.len() < json.len(), "binary {} >= json {}", binary.len(), json.len());
+    }
+
+    #[test]
+    fn no_binary_gate_refuses_binary_payloads_as_malformed() {
+        let bytes = encode_frame_with(&Frame::Finish, CodecKind::Binary);
+        assert!(matches!(try_decode_with(&bytes, false), Err(ProtoError::Malformed(_))));
+        // The same bytes decode fine with the gate open, and JSON frames
+        // pass regardless.
+        assert!(try_decode_with(&bytes, true).unwrap().is_some());
+        let json = encode_frame_with(&Frame::Finish, CodecKind::Json);
+        assert!(try_decode_with(&json, false).unwrap().is_some());
+    }
+
+    #[test]
     fn every_strict_prefix_is_truncated_never_a_frame() {
-        for f in frames() {
-            let bytes = encode_frame(&f);
-            for cut in 0..bytes.len() {
-                match decode_frame(&bytes[..cut]) {
-                    Err(ProtoError::Truncated { got, .. }) => assert_eq!(got, cut),
-                    other => panic!("prefix of {cut} bytes decoded as {other:?}"),
+        for codec in [CodecKind::Json, CodecKind::Binary] {
+            for f in frames() {
+                let bytes = encode_frame_with(&f, codec);
+                for cut in 0..bytes.len() {
+                    match decode_frame(&bytes[..cut]) {
+                        Err(ProtoError::Truncated { got, .. }) => assert_eq!(got, cut),
+                        other => panic!("prefix of {cut} bytes decoded as {other:?}"),
+                    }
                 }
             }
         }
@@ -480,20 +741,27 @@ mod tests {
             kind: EventKind::Barrier { comm: CommId::WORLD },
             loc: SourceLoc::new("flip.c", 9, "main"),
         };
-        let bytes = encode_frame(&original);
-        for pos in 0..bytes.len() {
-            for bit in 0..8 {
-                let mut copy = bytes.clone();
-                copy[pos] ^= 1 << bit;
-                match try_decode(&copy) {
-                    Ok(Some((frame, _))) => {
-                        panic!("flip at {pos}.{bit} decoded as {frame:?}")
+        for codec in [CodecKind::Json, CodecKind::Binary] {
+            let bytes = encode_frame_with(&original, codec);
+            for pos in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut copy = bytes.clone();
+                    copy[pos] ^= 1 << bit;
+                    match try_decode(&copy) {
+                        Ok(Some((frame, _))) => {
+                            panic!("flip at {pos}.{bit} ({codec}) decoded as {frame:?}")
+                        }
+                        // A flip in the length prefix can make the frame
+                        // *appear* longer than the buffer (needs more
+                        // bytes) or oversized; everything else is a CRC
+                        // mismatch.
+                        Ok(None)
+                        | Err(ProtoError::Corrupt { .. })
+                        | Err(ProtoError::TooLarge(_)) => {}
+                        Err(other) => {
+                            panic!("flip at {pos}.{bit} ({codec}): unexpected error {other}")
+                        }
                     }
-                    // A flip in the length prefix can make the frame
-                    // *appear* longer than the buffer (needs more bytes)
-                    // or oversized; everything else is a CRC mismatch.
-                    Ok(None) | Err(ProtoError::Corrupt { .. }) | Err(ProtoError::TooLarge(_)) => {}
-                    Err(other) => panic!("flip at {pos}.{bit}: unexpected error {other}"),
                 }
             }
         }
@@ -516,8 +784,11 @@ mod tests {
             }
         }
         let mut bytes = Vec::new();
-        for f in frames() {
-            bytes.extend_from_slice(&encode_frame(&f));
+        // Alternate codecs frame to frame: the reader's auto-detection
+        // must handle an interleaved stream.
+        for (i, f) in frames().iter().enumerate() {
+            let codec = if i % 2 == 0 { CodecKind::Json } else { CodecKind::Binary };
+            bytes.extend_from_slice(&encode_frame_with(f, codec));
         }
         let mut reader = FrameReader::new(DribbleReader { bytes, pos: 0 });
         let mut got = Vec::new();
@@ -529,9 +800,79 @@ mod tests {
 
     #[test]
     fn reader_reports_truncation_at_eof_inside_frame() {
-        let bytes = encode_frame(&Frame::Finish);
+        let bytes = encode_frame_with(&Frame::Finish, CodecKind::Json);
         let cut = &bytes[..bytes.len() - 1];
         let mut reader = FrameReader::new(cut);
         assert!(matches!(reader.next_frame(), Err(ProtoError::Truncated { .. })));
+    }
+
+    #[test]
+    fn reader_cursor_survives_many_small_frames_and_compaction() {
+        // Push enough frames through one buffer to cross COMPACT_AT
+        // several times; every frame must come back in order.
+        let one = encode_frame_with(&Frame::Ack { through: 7 }, CodecKind::Binary);
+        let n = (FrameReader::<&[u8]>::COMPACT_AT * 3) / one.len() + 5;
+        let mut bytes = Vec::new();
+        for _ in 0..n {
+            bytes.extend_from_slice(&one);
+        }
+        let mut reader = FrameReader::new(&bytes[..]);
+        let mut got = 0usize;
+        while let Some(f) = reader.next_frame().unwrap() {
+            assert_eq!(f, Frame::Ack { through: 7 });
+            got += 1;
+        }
+        assert_eq!(got, n);
+    }
+
+    #[test]
+    fn batch_validate_catches_lying_columns() {
+        let mut b = sample_batch();
+        assert!(b.validate().is_ok());
+        b.loc_idx[1] = 99; // points past the table
+        assert!(b.validate().is_err());
+        let mut b = sample_batch();
+        b.ranks.pop(); // columns disagree
+        assert!(b.validate().is_err());
+        let mut b = sample_batch();
+        b.first_seq = u64::MAX; // seq range overflow
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn batch_suffix_drops_prefix_events_only() {
+        let b = sample_batch();
+        let tail = b.suffix(2);
+        assert_eq!(tail.first_seq, 102);
+        assert_eq!(tail.len(), 1);
+        let (rank, _, loc) = tail.event(0);
+        assert_eq!(rank, 2);
+        assert_eq!(loc, &SourceLoc::new("app.c", 12, "main"));
+    }
+
+    #[test]
+    fn write_all_vectored_handles_short_writes() {
+        // A writer that accepts at most 3 bytes per call exercises the
+        // resume-past-written-prefix logic.
+        struct Choppy(Vec<u8>);
+        impl Write for Choppy {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                let n = buf.len().min(3);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+                let first = bufs.iter().find(|b| !b.is_empty()).map(|b| &b[..]).unwrap_or(&[]);
+                self.write(first)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let parts: [&[u8]; 4] = [b"header01", b"payload-one", b"h2", b"payload-two-longer"];
+        let mut w = Choppy(Vec::new());
+        write_all_vectored(&mut w, &parts).unwrap();
+        let expect: Vec<u8> = parts.concat();
+        assert_eq!(w.0, expect);
     }
 }

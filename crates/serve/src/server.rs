@@ -29,11 +29,12 @@
 
 use crate::journal::{scan_dir, FsyncPolicy, Journal};
 use crate::proto::{
-    write_frame, Frame, FrameReader, ProtoError, SessionOpts, MAX_RANKS, PROTOCOL_VERSION,
-    SERVER_CAPABILITIES,
+    write_frame_with, Frame, FrameReader, ProtoError, SessionOpts, CAP_BINARY, MAX_RANKS,
+    PROTOCOL_VERSION, SERVER_CAPABILITIES,
 };
 use crate::registry::{Outcome, ParkedSession, Progress, Registry, ResumeOutcome, SessionGuard};
 use crate::report::{SessionReport, REPORT_SCHEMA_VERSION};
+use mcc_codec::CodecKind;
 use mcc_core::report::Confidence;
 use mcc_core::session::AnalysisSession;
 use mcc_core::streaming::StreamingChecker;
@@ -88,6 +89,11 @@ pub struct ServeConfig {
     /// Scan `journal_dir` at startup and rebuild the sessions found
     /// there (`mcc serve --recover`).
     pub recover: bool,
+    /// Refuse binary-codec payloads and drop the `binary` capability
+    /// from the `Welcome` (`mcc serve --no-binary`): clients fall back
+    /// to per-event JSON, which is the interop escape hatch when a
+    /// codec bug needs ruling out.
+    pub no_binary: bool,
     /// The daemon's observability recorder. Every session's pipeline
     /// counters and the serve-layer counters flow into it; the `Metrics`
     /// verb renders its snapshot. Enabled by default — a long-running
@@ -111,6 +117,7 @@ impl Default for ServeConfig {
             fsync: FsyncPolicy::EveryAck,
             resume_grace: Duration::from_secs(120),
             recover: false,
+            no_binary: false,
             recorder: RecorderHandle::enabled(),
         }
     }
@@ -420,8 +427,11 @@ fn recover_dir(registry: &Arc<Registry>, dir: &std::path::Path, cfg: &ServeConfi
     }
 }
 
+// Server replies are control frames (Welcome, Ack, Report, Error...):
+// small, rare, and part of the handshake surface old clients must be
+// able to read, so they stay JSON regardless of negotiation.
 fn send(conn: &mut impl Write, f: &Frame) -> bool {
-    write_frame(conn, f).is_ok()
+    write_frame_with(conn, f, CodecKind::Json).is_ok()
 }
 
 /// Validates a `Hello`; `Err` is the refusal message for the client.
@@ -440,11 +450,15 @@ fn vet_hello(version: u32, nprocs: u32) -> Result<(), String> {
     Ok(())
 }
 
-fn welcome_frame(session: u64) -> Frame {
+fn welcome_frame(session: u64, no_binary: bool) -> Frame {
     Frame::Welcome {
         version: PROTOCOL_VERSION,
         session,
-        capabilities: SERVER_CAPABILITIES.iter().map(|s| s.to_string()).collect(),
+        capabilities: SERVER_CAPABILITIES
+            .iter()
+            .filter(|&&c| !(no_binary && c == CAP_BINARY))
+            .map(|s| s.to_string())
+            .collect(),
     }
 }
 
@@ -465,6 +479,7 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
     let _ = conn.set_read_timeout_(Some(cfg.tick));
     let _ = conn.set_write_timeout_(cfg.write_timeout);
     let mut reader = FrameReader::new(conn);
+    reader.set_allow_binary(!cfg.no_binary);
     let obs = &cfg.recorder;
 
     // Pre-session: answer Stats/Metrics, wait for Hello or Resume.
@@ -533,7 +548,7 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                         // Completed while the client was away: redeliver.
                         obs.add(names::SESSIONS_RESUMED, 1);
                         log!(Info, "session {session} resumed into its retired report");
-                        if send(reader.get_mut(), &welcome_frame(session)) {
+                        if send(reader.get_mut(), &welcome_frame(session, cfg.no_binary)) {
                             send(reader.get_mut(), &Frame::Report { json });
                         }
                         return;
@@ -630,7 +645,7 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
             } else {
                 None
             };
-            if !send(reader.get_mut(), &welcome_frame(guard.id())) {
+            if !send(reader.get_mut(), &welcome_frame(guard.id(), cfg.no_binary)) {
                 // Client is already gone; the guard's Drop records the
                 // salvage (nothing ingested yet, nothing to park).
                 if let Some(j) = journal {
@@ -662,7 +677,7 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                 last_ack: through,
                 nprocs: parked.nprocs,
             };
-            if !send(reader.get_mut(), &welcome_frame(id))
+            if !send(reader.get_mut(), &welcome_frame(id, cfg.no_binary))
                 || !send(reader.get_mut(), &Frame::Ack { through })
             {
                 // Died again before the handshake finished: re-park.
@@ -741,6 +756,91 @@ fn run_session(
                 obs.add("serve_events_total", 1);
                 if ctx.events.is_multiple_of(256) {
                     ctx.guard.report_progress(progress_of(c, ctx.events));
+                }
+                if ctx.durable && ctx.events - ctx.last_ack >= cfg.ack_interval {
+                    if let Some(j) = ctx.journal.as_mut() {
+                        if let Err(e) = j.sync_for_ack() {
+                            log!(Warn, "session {}: journal sync failed: {e}", ctx.guard.id());
+                            ctx.journal = None;
+                        }
+                    }
+                    let through = ctx.events;
+                    if !send(reader.get_mut(), &Frame::Ack { through }) {
+                        park(ctx, obs);
+                        return;
+                    }
+                    ctx.last_ack = through;
+                }
+                let buffered = ctx.checker.as_ref().map(|c| c.buffered()).unwrap_or(0);
+                if buffered >= cfg.soft_watermark {
+                    obs.add("serve_backpressure_stalls_total", 1);
+                    thread::sleep(cfg.backpressure_pause);
+                }
+            }
+            Ok(Some(Frame::Batch(batch))) => {
+                last_activity = Instant::now();
+                if let Err(message) = batch.validate() {
+                    obs.add(names::FRAMES_CORRUPT, 1);
+                    send(reader.get_mut(), &Frame::Error { message });
+                    finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                    return;
+                }
+                // The batch is exactly equivalent to its expansion into
+                // Event frames: same dedup-prefix semantics on durable
+                // re-sends, same gap check, same push-then-journal order.
+                let mut skip = 0usize;
+                if ctx.durable {
+                    if batch.first_seq > ctx.events {
+                        let message = format!(
+                            "event gap: expected seq {}, got {}",
+                            ctx.events, batch.first_seq
+                        );
+                        send(reader.get_mut(), &Frame::Error { message });
+                        park(ctx, obs);
+                        return;
+                    }
+                    skip = ((ctx.events - batch.first_seq) as usize).min(batch.len());
+                    if skip > 0 {
+                        obs.add(names::EVENTS_DUPLICATE, skip as u64);
+                    }
+                    if skip == batch.len() {
+                        continue;
+                    }
+                }
+                let events_before = ctx.events;
+                {
+                    let Some(c) = ctx.checker.as_mut() else {
+                        send(
+                            reader.get_mut(),
+                            &Frame::Error { message: "internal: session already closed".into() },
+                        );
+                        finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                        return;
+                    };
+                    for i in skip..batch.len() {
+                        let (rank, kind, loc) = batch.event(i);
+                        if let Err(e) = c.push(Rank(rank), kind.clone(), loc.clone()) {
+                            send(reader.get_mut(), &Frame::Error { message: e.to_string() });
+                            finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                            return;
+                        }
+                        ctx.events += 1;
+                    }
+                    obs.add("serve_events_total", ctx.events - events_before);
+                    // One progress report per 256-event boundary crossed,
+                    // matching the per-event path's cadence.
+                    if events_before / 256 != ctx.events / 256 {
+                        ctx.guard.report_progress(progress_of(c, ctx.events));
+                    }
+                }
+                if ctx.journal.is_some() {
+                    let tail = batch.suffix(skip);
+                    if let Some(j) = ctx.journal.as_mut() {
+                        if let Err(e) = j.append_batch(&tail) {
+                            log!(Warn, "session {}: journal write failed: {e}", ctx.guard.id());
+                            ctx.journal = None;
+                        }
+                    }
                 }
                 if ctx.durable && ctx.events - ctx.last_ack >= cfg.ack_interval {
                     if let Some(j) = ctx.journal.as_mut() {
@@ -972,5 +1072,5 @@ fn salvage(
     // then offer the report — the client is usually gone, and a failed
     // write changes nothing.
     ctx.guard.finish(Outcome::Salvaged);
-    let _ = write_frame(conn, &Frame::Report { json });
+    let _ = write_frame_with(conn, &Frame::Report { json }, CodecKind::Json);
 }

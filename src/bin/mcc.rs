@@ -49,6 +49,7 @@
 //!           [--idle-timeout-ms N] [--write-timeout-ms N] [--tick-ms N]
 //!           [--max-threads N] [--ack-interval N] [--journal-dir DIR]
 //!           [--fsync never|ack|always] [--resume-grace-ms N] [--recover]
+//!           [--no-binary]
 //!     Run the checker daemon. ADDR is a TCP address (default
 //!     127.0.0.1:9477; port 0 picks a free port) or, on Unix, a socket
 //!     path (recognized by a `/`). Each client connection is a session
@@ -63,16 +64,26 @@
 //!     sessions it finds, so clients can resume across a crash.
 //!     Parked durable sessions wait --resume-grace-ms for a `Resume`
 //!     before the janitor salvages them.
+//!     --no-binary makes the daemon JSON-only: it stops announcing the
+//!     `binary` capability and refuses binary-codec payloads, for
+//!     mixed-version fleets where some peer can't speak the compact
+//!     wire format.
 //!
 //! mcc submit <trace-dir> [--addr ADDR] [--threads N] [--max-buffer N]
 //!            [--format text|json] [--durable] [--retries N]
-//!            [--backoff-ms N] [--throttle-ms N]
+//!            [--backoff-ms N] [--throttle-ms N] [--codec json|binary]
+//!            [--batch-size N]
 //!     Stream a recorded trace directory to a running daemon and print
 //!     the returned session report. Exit codes as for `mcc check`.
 //!     --durable opens a resumable session and retries through
 //!     connection drops and daemon restarts (--retries attempts,
 //!     exponential backoff from --backoff-ms with jitter); --throttle-ms
 //!     paces the stream one frame at a time (chaos/CI use).
+//!     --codec picks the event-stream encoding (default binary, used
+//!     only when the daemon's Welcome announces the `binary`
+//!     capability; the handshake and the daemon's replies stay JSON);
+//!     --batch-size groups N events per columnar Batch frame
+//!     (default 256, 1 disables batching).
 //!
 //! mcc stats [--addr ADDR] [--metrics]
 //!     Print a running daemon's supervisor state as JSON. With
@@ -448,6 +459,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         }
     }
     cfg.recover = args.iter().any(|a| a == "--recover");
+    cfg.no_binary = args.iter().any(|a| a == "--no-binary");
     if cfg.recover && cfg.journal_dir.is_none() {
         eprintln!("mcc: --recover requires --journal-dir");
         return ExitCode::from(2);
@@ -482,7 +494,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     let Some(dir) = args.first() else {
         eprintln!(
             "usage: mcc submit <trace-dir> [--addr ADDR] [--threads N] [--max-buffer N] \
-             [--format text|json]"
+             [--format text|json] [--codec json|binary] [--batch-size N]"
         );
         return ExitCode::from(2);
     };
@@ -517,6 +529,22 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         }
     };
     let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    let mut submit_cfg = client::SubmitCfg::default();
+    if let Some(v) = flag_value(args, "--codec") {
+        match v {
+            "json" => submit_cfg.prefer_binary = false,
+            "binary" => submit_cfg.prefer_binary = true,
+            _ => {
+                eprintln!("mcc: --codec expects json|binary, got `{v}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match positive_flag::<usize>(args, "--batch-size") {
+        Ok(Some(n)) => submit_cfg.batch_size = n,
+        Ok(None) => {}
+        Err(code) => return code,
+    }
     if args.iter().any(|a| a == "--durable") {
         let mut policy = client::RetryPolicy::default();
         match positive_flag::<u32>(args, "--retries") {
@@ -534,11 +562,17 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             Ok(None) => {}
             Err(code) => return code,
         }
-        return match client::submit_durable_tcp(addr, &trace, &opts, &policy) {
+        return match client::submit_durable_tcp_cfg(addr, &trace, &opts, &policy, &submit_cfg) {
             Ok((report, stats)) => {
                 eprintln!(
-                    "durable submit: {} attempt(s), {} resume(s), {} event(s) re-sent, {:.1?}",
-                    stats.attempts, stats.resumes, stats.events_resent, stats.wall
+                    "durable submit: {} attempt(s), {} resume(s), {} event(s) re-sent, \
+                     {} byte(s) over {} codec, {:.1?}",
+                    stats.attempts,
+                    stats.resumes,
+                    stats.events_resent,
+                    stats.bytes_sent,
+                    stats.codec,
+                    stats.wall
                 );
                 session_report_exit(&report, json)
             }
@@ -548,8 +582,14 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             }
         };
     }
-    match client::submit_tcp(addr, &trace, &opts) {
-        Ok(report) => session_report_exit(&report, json),
+    match client::submit_tcp_cfg(addr, &trace, &opts, &submit_cfg) {
+        Ok((report, info)) => {
+            eprintln!(
+                "submit: {} frame(s), {} byte(s) over {} codec",
+                info.frames_sent, info.bytes_sent, info.codec
+            );
+            session_report_exit(&report, json)
+        }
         Err(e) => {
             eprintln!("mcc: submit to `{addr}` failed: {e}");
             ExitCode::from(2)
@@ -695,17 +735,76 @@ fn submit_demo_trace(trace: &Trace, addr: &str) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let stream = match mc_checker::profiler::ship_trace(stream, trace, SessionOpts::default()) {
+    // Read the daemon's side on a clone of the socket so the `Welcome`
+    // (and its capability list) arrives before we pick an event codec.
+    let read_half = match stream.try_clone() {
         Ok(s) => s,
+        Err(e) => {
+            eprintln!("mcc: cannot clone the daemon socket: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut reader = FrameReader::new(read_half);
+    let mut writer = match mc_checker::profiler::TraceFrameWriter::new(
+        stream,
+        trace.nprocs(),
+        SessionOpts::default(),
+    ) {
+        Ok(w) => w,
         Err(e) => {
             eprintln!("mcc: shipping events to `{addr}` failed: {e}");
             return ExitCode::from(2);
         }
     };
-    let mut reader = FrameReader::new(stream);
+    match reader.next_frame() {
+        Ok(Some(Frame::Welcome { capabilities, .. })) => {
+            if capabilities.iter().any(|c| c == "binary") {
+                if let Err(e) = writer.set_batching(mc_checker::serve::CodecKind::Binary, 256) {
+                    eprintln!("mcc: shipping events to `{addr}` failed: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        Ok(Some(Frame::Error { message })) => {
+            eprintln!("mcc: daemon refused the session: {message}");
+            return ExitCode::from(2);
+        }
+        Ok(Some(_)) | Ok(None) => {
+            eprintln!("mcc: daemon closed the connection without a welcome");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("mcc: reading the daemon's welcome failed: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let shipped = (|| {
+        let mut idx = vec![0usize; trace.nprocs()];
+        let mut remaining = trace.total_events();
+        while remaining > 0 {
+            for (r, i) in idx.iter_mut().enumerate() {
+                if *i < trace.procs[r].events.len() {
+                    let ev = &trace.procs[r].events[*i];
+                    writer.event(
+                        mc_checker::types::Rank(r as u32),
+                        ev.kind.clone(),
+                        trace.procs[r].loc(ev.loc),
+                    )?;
+                    *i += 1;
+                    remaining -= 1;
+                }
+            }
+        }
+        writer.finish()
+    })();
+    if let Err(e) = shipped {
+        eprintln!("mcc: shipping events to `{addr}` failed: {e}");
+        return ExitCode::from(2);
+    }
     loop {
         match reader.next_frame() {
             Ok(Some(Frame::Welcome { .. })) => {}
+            Ok(Some(Frame::Ack { .. })) => {}
             Ok(Some(Frame::Report { json })) => {
                 return match SessionReport::from_json(&json) {
                     Ok(report) => session_report_exit(&report, false),

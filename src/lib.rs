@@ -85,6 +85,7 @@ pub fn exit_code_for(confidence: mcc_core::report::Confidence, has_errors: bool)
 }
 
 pub use mcc_apps as apps;
+pub use mcc_codec as codec;
 pub use mcc_core as core;
 pub use mcc_mpi_sim as mpi_sim;
 pub use mcc_obs as obs;

@@ -11,13 +11,21 @@ use mc_checker::core::streaming::StreamingChecker;
 use mc_checker::core::Confidence;
 use mc_checker::prelude::*;
 use mc_checker::serve::journal::{read_journal, FsyncPolicy, Journal};
-use mc_checker::serve::proto::{write_frame, Frame, FrameReader, ProtoError, SessionOpts};
+use mc_checker::serve::proto::{write_frame_with, Frame, FrameReader, ProtoError, SessionOpts};
+use mc_checker::serve::CodecKind;
 use mc_checker::serve::{
     client, ChaosProxy, FaultKind, FaultSchedule, ServeConfig, Server, ServerHandle,
 };
 use mc_checker::types::Rank;
 use proptest::prelude::*;
 use std::fs;
+
+/// These tests drive the protocol by hand; everything they send is
+/// handshake/control traffic, which is always JSON on the wire.
+fn write_frame(w: &mut impl std::io::Write, f: &Frame) -> std::io::Result<()> {
+    write_frame_with(w, f, CodecKind::Json)
+}
+
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -75,7 +83,10 @@ fn chaos_policy(seed: u64) -> client::RetryPolicy {
 /// Total client→server bytes of a durable submission — the space the
 /// fault position is drawn from.
 fn wire_len(trace: &Trace) -> u64 {
-    client::encode_events(trace).iter().map(|f| f.len() as u64).sum()
+    client::encode_stream(&client::flatten_events(trace), 0, CodecKind::Json, 1)
+        .iter()
+        .map(|f| f.len() as u64)
+        .sum()
 }
 
 /// Streams `trace` through a chaos proxy carrying `schedule` and asserts
@@ -156,7 +167,7 @@ fn duplicate_resend_is_idempotent() {
     .unwrap();
     assert!(matches!(read_progress(&mut reader), Some(Frame::Welcome { .. })));
 
-    let encoded = client::encode_events(&trace);
+    let encoded = client::encode_stream(&client::flatten_events(&trace), 0, CodecKind::Json, 1);
     for round in 0..2 {
         for bytes in &encoded {
             use std::io::Write;
@@ -242,7 +253,7 @@ fn daemon_restart_recovers_journal_and_report_matches_batch() {
     let handle_a = server_a.handle();
     let join_a = thread::spawn(move || server_a.run().expect("serve loop A"));
 
-    let encoded = client::encode_events(&trace);
+    let encoded = client::encode_stream(&client::flatten_events(&trace), 0, CodecKind::Json, 1);
     let half = encoded.len() / 2;
     let session_id;
     {
@@ -573,7 +584,7 @@ fn daemon_restart_preserves_a_rank_failure_report() {
     let handle_a = server_a.handle();
     let join_a = thread::spawn(move || server_a.run().expect("serve loop A"));
 
-    let encoded = client::encode_events(&trace);
+    let encoded = client::encode_stream(&client::flatten_events(&trace), 0, CodecKind::Json, 1);
     let half = encoded.len() / 2;
     let session_id;
     {

@@ -6,11 +6,20 @@
 use mc_checker::apps::bugs::{self, trace_of};
 use mc_checker::core::Confidence;
 use mc_checker::prelude::*;
-use mc_checker::serve::proto::{write_frame, Frame, FrameReader, SessionOpts, PROTOCOL_VERSION};
+use mc_checker::serve::proto::{
+    write_frame_with, Frame, FrameReader, SessionOpts, PROTOCOL_VERSION,
+};
+use mc_checker::serve::CodecKind;
 use mc_checker::serve::{client, ServeConfig, Server, ServerHandle};
 use std::net::TcpStream;
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// These tests drive the protocol by hand; everything they send is
+/// handshake/control traffic, which is always JSON on the wire.
+fn write_frame(w: &mut impl std::io::Write, f: &Frame) -> std::io::Result<()> {
+    write_frame_with(w, f, CodecKind::Json)
+}
 
 /// Starts an in-process daemon with test-friendly timeouts; returns its
 /// address and a shutdown handle (the server thread joins on drop of the

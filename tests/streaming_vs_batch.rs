@@ -11,7 +11,8 @@
 use mc_checker::apps::bugs::{self, trace_of};
 use mc_checker::core::streaming::StreamingChecker;
 use mc_checker::prelude::*;
-use mc_checker::serve::proto::{decode_frame, encode_frame, Frame, ProtoError, SessionOpts};
+use mc_checker::serve::proto::{decode_frame, encode_frame_with, Frame, ProtoError, SessionOpts};
+use mc_checker::serve::CodecKind;
 use mc_checker::types::{EventKind, SourceLoc, WinId};
 use proptest::prelude::*;
 
@@ -154,7 +155,7 @@ proptest! {
     /// Every frame round-trips through the wire encoding unchanged.
     #[test]
     fn frames_round_trip(frame in arb_frame()) {
-        let bytes = encode_frame(&frame);
+        let bytes = encode_frame_with(&frame, CodecKind::Json);
         let (back, used) = decode_frame(&bytes).expect("encoded frame decodes");
         prop_assert_eq!(used, bytes.len());
         prop_assert_eq!(back, frame);
@@ -164,7 +165,7 @@ proptest! {
     /// reported, with an accurate byte count, never parsed as a frame.
     #[test]
     fn truncated_frames_are_rejected(frame in arb_frame(), keep in 0..100u32) {
-        let bytes = encode_frame(&frame);
+        let bytes = encode_frame_with(&frame, CodecKind::Json);
         let cut = bytes.len() * keep as usize / 100; // < bytes.len()
         match decode_frame(&bytes[..cut]) {
             Err(ProtoError::Truncated { needed, got }) => {
@@ -179,8 +180,8 @@ proptest! {
     /// the length prefix delimits them exactly.
     #[test]
     fn concatenated_frames_split_cleanly(a in arb_frame(), b in arb_frame()) {
-        let mut bytes = encode_frame(&a);
-        bytes.extend_from_slice(&encode_frame(&b));
+        let mut bytes = encode_frame_with(&a, CodecKind::Json);
+        bytes.extend_from_slice(&encode_frame_with(&b, CodecKind::Json));
         let (fa, used) = decode_frame(&bytes).expect("first frame");
         let (fb, rest) = decode_frame(&bytes[used..]).expect("second frame");
         prop_assert_eq!(fa, a);

@@ -80,6 +80,21 @@ pub trait Deserialize: Sized {
 // Primitive impls
 // ---------------------------------------------------------------------
 
+// A `Value` is its own serialization (mirrors real serde_json, where
+// `Value` implements both traits), so codecs written against value
+// trees compose with the generic `Serialize`/`Deserialize` surface.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_serde_int {
     ($($t:ty),* $(,)?) => {$(
         impl Serialize for $t {
