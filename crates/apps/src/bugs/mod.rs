@@ -55,6 +55,20 @@ pub fn trace_of(nprocs: u32, seed: u64, body: impl Fn(&mut Proc) + Send + Sync) 
         .expect("tracing is enabled")
 }
 
+/// Runs a bug-case body under the seeded adversarial delivery policy and
+/// returns its trace.
+///
+/// Unlike [`trace_of`], each RMA operation's completion timing is drawn
+/// from the seeded RNG, so the same body can behave differently from
+/// seed to seed — the random-search baseline that `mcc explore`'s
+/// systematic enumeration replaces.
+pub fn trace_adversarial(nprocs: u32, seed: u64, body: impl Fn(&mut Proc) + Send + Sync) -> Trace {
+    run(SimConfig::new(nprocs).with_seed(seed).with_delivery(DeliveryPolicy::Adversarial), body)
+        .expect("bug case must run to completion")
+        .trace
+        .expect("tracing is enabled")
+}
+
 /// Runs a bug-case body under fault injection and salvages whatever
 /// trace the surviving ranks produced.
 ///

@@ -1,0 +1,170 @@
+//! Schedule-exploration benchmark: `mcc explore`'s DFS with sleep-set
+//! pruning and fingerprint dedup over the gallery cases, reporting
+//! schedules/s and how much of the naive enumeration each reduction
+//! saved. Results go to `BENCH_explore.json`.
+//!
+//! ```text
+//! cargo run -p mcc-bench --release --bin explore [-- --reps 3 --out BENCH_explore.json]
+//! ```
+//!
+//! This is also a correctness gate: a known-buggy case whose exploration
+//! covers its schedule space without surfacing the bug is a hard failure
+//! (exit 1) — partial-order reduction must never prune the witness.
+
+use mcc_explore::Explorer;
+use mcc_mpi_sim::Proc;
+use std::time::{Duration, Instant};
+
+struct Case {
+    name: &'static str,
+    nprocs: u32,
+    buggy: bool,
+    body: fn(&mut Proc),
+}
+
+struct Row {
+    name: &'static str,
+    buggy: bool,
+    wall: Duration,
+    explored: u64,
+    deduped: u64,
+    pruned: u64,
+    naive: u64,
+    choice_points: u64,
+    first_buggy: Option<u64>,
+    exhausted: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let reps = flag("--reps", 3).max(1) as usize;
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_explore.json".to_string());
+
+    use mcc_apps::bugs;
+    let cases = [
+        Case { name: "fig2a", nprocs: 2, buggy: true, body: bugs::archetypes::fig2a },
+        Case { name: "ping-pong", nprocs: 2, buggy: true, body: bugs::pingpong::buggy },
+        Case { name: "ping-pong-fixed", nprocs: 2, buggy: false, body: bugs::pingpong::fixed },
+        Case { name: "emulate", nprocs: 2, buggy: true, body: bugs::emulate::buggy },
+        Case { name: "emulate-fixed", nprocs: 2, buggy: false, body: bugs::emulate::fixed },
+    ];
+
+    println!("Schedule-exploration benchmark (best of {reps})");
+    println!();
+    println!(
+        "{:<16} {:>10} {:>8} {:>8} {:>8} {:>10} {:>12} {:>10}",
+        "Case", "wall (ms)", "explored", "deduped", "pruned", "naive", "schedules/s", "bug at"
+    );
+    println!("{}", "-".repeat(90));
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut missed = false;
+    for case in &cases {
+        let explorer = Explorer::new(case.nprocs);
+        let mut wall = Duration::MAX;
+        let mut report = explorer.run(case.body);
+        for _ in 1..reps {
+            let t0 = Instant::now();
+            report = explorer.run(case.body);
+            wall = wall.min(t0.elapsed());
+        }
+        if wall == Duration::MAX {
+            // reps == 1: the single warm-up run is the measurement.
+            let t0 = Instant::now();
+            report = explorer.run(case.body);
+            wall = t0.elapsed();
+        }
+        let rate = report.schedules_explored as f64 / wall.as_secs_f64();
+        println!(
+            "{:<16} {:>10.2} {:>8} {:>8} {:>8} {:>10} {:>12.0} {:>10}",
+            case.name,
+            wall.as_secs_f64() * 1e3,
+            report.schedules_explored,
+            report.deduped,
+            report.pruned,
+            report.naive_schedules,
+            rate,
+            report.first_buggy.map(|i| i.to_string()).unwrap_or_else(|| "-".into()),
+        );
+        if case.buggy && report.first_buggy.is_none() {
+            eprintln!(
+                "MISSED: {} is a known-buggy case but exploration found no buggy schedule \
+                 (exhausted: {})",
+                case.name, report.exhausted
+            );
+            missed = true;
+        }
+        if !case.buggy && report.has_errors() {
+            eprintln!("FALSE POSITIVE: {} is fixed but exploration reported errors", case.name);
+            missed = true;
+        }
+        rows.push(Row {
+            name: case.name,
+            buggy: case.buggy,
+            wall,
+            explored: report.schedules_explored,
+            deduped: report.deduped,
+            pruned: report.pruned,
+            naive: report.naive_schedules,
+            choice_points: report.choice_points,
+            first_buggy: report.first_buggy,
+            exhausted: report.exhausted,
+        });
+    }
+
+    println!();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"explore\",\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"cases\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let rate = r.explored as f64 / r.wall.as_secs_f64();
+        // Fraction of the naive enumeration the reductions made
+        // unnecessary: 0 when every naive schedule had to run.
+        let reduction = 1.0 - r.explored as f64 / r.naive as f64;
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"known_buggy\": {}, \"wall_ms\": {:.3}, \
+             \"schedules_explored\": {}, \"schedules_per_sec\": {:.1}, \
+             \"deduped\": {}, \"pruned\": {}, \"naive_schedules\": {}, \
+             \"choice_points\": {}, \"pruning_ratio\": {:.4}, \
+             \"first_buggy\": {}, \"exhausted\": {}}}{}\n",
+            r.name,
+            r.buggy,
+            r.wall.as_secs_f64() * 1e3,
+            r.explored,
+            rate,
+            r.deduped,
+            r.pruned,
+            r.naive,
+            r.choice_points,
+            reduction,
+            r.first_buggy.map(|i| i.to_string()).unwrap_or_else(|| "null".into()),
+            r.exhausted,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"all_known_bugs_found\": {}\n", !missed));
+    json.push_str("}\n");
+    std::fs::write(&out, json).expect("write benchmark output");
+    println!("wrote {out}");
+
+    if missed {
+        eprintln!("FAIL: exploration missed a known bug (or flagged a fixed case)");
+        std::process::exit(1);
+    }
+}

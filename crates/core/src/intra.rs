@@ -68,8 +68,24 @@ pub(crate) fn check_epoch(
     epoch: &Epoch,
     epoch_idx: u32,
 ) -> Vec<ConsistencyError> {
-    let mut out = Vec::new();
+    let mut out = check_epoch_raw(trace, ctx, epoch, epoch_idx);
     let mut seen = HashSet::new();
+    out.retain(|e| seen.insert(e.dedup_key()));
+    out
+}
+
+/// Like [`check_epoch`] but without the per-epoch source-location
+/// deduplication: every conflicting pair is reported, loop repeats
+/// included. [`crate::hb::racing_events`] needs the repeats — a
+/// deduplicated report would hide racing loop iterations from the
+/// schedule explorer.
+pub(crate) fn check_epoch_raw(
+    trace: &Trace,
+    ctx: &Ctx,
+    epoch: &Epoch,
+    epoch_idx: u32,
+) -> Vec<ConsistencyError> {
+    let mut out = Vec::new();
     let ops: Vec<ResolvedOp> = epoch
         .ops
         .iter()
@@ -81,11 +97,7 @@ pub(crate) fn check_epoch(
         })
         .collect();
 
-    let mut push = |e: ConsistencyError, seen: &mut HashSet<_>| {
-        if seen.insert(e.dedup_key()) {
-            out.push(e);
-        }
-    };
+    let mut push = |e: ConsistencyError| out.push(e);
 
     // Operation pairs within the epoch. Pairs where one op completed
     // (early wait) before the other was issued are program-ordered.
@@ -98,47 +110,41 @@ pub(crate) fn check_epoch(
             }
             // Origin-buffer side (both buffers live at this rank).
             if a.ra.origin_conflicts_with(&b.ra) {
-                push(
-                    ConsistencyError {
-                        severity: Severity::Error,
-                        scope: ErrorScope::IntraEpoch { rank: epoch.rank, win: epoch.win },
-                        confidence: Confidence::Complete,
-                        a: op_info(trace, a, true).with_epoch(Some(epoch_idx)),
-                        b: op_info(trace, b, true).with_epoch(Some(epoch_idx)),
-                        kind: ConflictKind::OverlapViolation,
-                        explanation: format!(
-                            "both operations access the same local buffer while nonblocking \
+                push(ConsistencyError {
+                    severity: Severity::Error,
+                    scope: ErrorScope::IntraEpoch { rank: epoch.rank, win: epoch.win },
+                    confidence: Confidence::Complete,
+                    a: op_info(trace, a, true).with_epoch(Some(epoch_idx)),
+                    b: op_info(trace, b, true).with_epoch(Some(epoch_idx)),
+                    kind: ConflictKind::OverlapViolation,
+                    explanation: format!(
+                        "both operations access the same local buffer while nonblocking \
                              and unordered within the epoch (at least one updates it); \
                              the result is undefined until the epoch closes at {}",
-                            close_desc(trace, epoch)
-                        ),
-                    },
-                    &mut seen,
-                );
+                        close_desc(trace, epoch)
+                    ),
+                });
             }
             // Target-window side.
             if a.ra.target_abs == b.ra.target_abs && a.ra.win == b.ra.win {
                 let overlap = a.ra.target_map.overlaps_at(0, &b.ra.target_map, 0);
                 if let Some(kind) = conflicts(a.ra.class, b.ra.class, overlap) {
-                    push(
-                        ConsistencyError {
-                            severity: Severity::Error,
-                            scope: ErrorScope::IntraEpoch { rank: epoch.rank, win: epoch.win },
-                            confidence: Confidence::Complete,
-                            a: op_info(trace, a, false).with_epoch(Some(epoch_idx)),
-                            b: op_info(trace, b, false).with_epoch(Some(epoch_idx)),
-                            kind,
-                            explanation: format!(
-                                "unordered {} and {} update overlapping window memory at target \
+                    push(ConsistencyError {
+                        severity: Severity::Error,
+                        scope: ErrorScope::IntraEpoch { rank: epoch.rank, win: epoch.win },
+                        confidence: Confidence::Complete,
+                        a: op_info(trace, a, false).with_epoch(Some(epoch_idx)),
+                        b: op_info(trace, b, false).with_epoch(Some(epoch_idx)),
+                        kind,
+                        explanation: format!(
+                            "unordered {} and {} update overlapping window memory at target \
                                  {} within one epoch (Table I: {})",
-                                a.ra.class,
-                                b.ra.class,
-                                a.ra.target_abs,
-                                compat(a.ra.class, b.ra.class)
-                            ),
-                        },
-                        &mut seen,
-                    );
+                            a.ra.class,
+                            b.ra.class,
+                            a.ra.target_abs,
+                            compat(a.ra.class, b.ra.class)
+                        ),
+                    });
                 }
             }
         }
@@ -163,25 +169,22 @@ pub(crate) fn check_epoch(
                 } else {
                     "reads its local buffer at an undefined time before it completes"
                 };
-                push(
-                    ConsistencyError {
-                        severity: Severity::Error,
-                        scope: ErrorScope::IntraEpoch { rank: epoch.rank, win: epoch.win },
-                        confidence: Confidence::Complete,
-                        a: op_info(trace, op, true).with_epoch(Some(epoch_idx)),
-                        b: OpInfo::from_trace(trace, acc, Some(region)),
-                        kind: ConflictKind::OverlapViolation,
-                        explanation: format!(
-                            "the nonblocking {} {}; the {} of the same memory races with it \
+                push(ConsistencyError {
+                    severity: Severity::Error,
+                    scope: ErrorScope::IntraEpoch { rank: epoch.rank, win: epoch.win },
+                    confidence: Confidence::Complete,
+                    a: op_info(trace, op, true).with_epoch(Some(epoch_idx)),
+                    b: OpInfo::from_trace(trace, acc, Some(region)),
+                    kind: ConflictKind::OverlapViolation,
+                    explanation: format!(
+                        "the nonblocking {} {}; the {} of the same memory races with it \
                              (close: {})",
-                            trace.event(op.ev).kind.call_name(),
-                            effect,
-                            if is_store { "store" } else { "load" },
-                            close_desc(trace, epoch),
-                        ),
-                    },
-                    &mut seen,
-                );
+                        trace.event(op.ev).kind.call_name(),
+                        effect,
+                        if is_store { "store" } else { "load" },
+                        close_desc(trace, epoch),
+                    ),
+                });
             }
         }
     }

@@ -5,6 +5,7 @@ pub mod check;
 pub mod dag;
 pub mod degrade;
 pub mod epoch;
+pub mod hb;
 pub(crate) mod inter;
 pub(crate) mod intra;
 pub mod matching;
@@ -18,6 +19,7 @@ pub mod vc;
 
 pub use check::{AnalysisStats, CheckReport};
 pub use degrade::{sanitize, DegradedInfo};
+pub use hb::racing_events;
 pub use recovery::RecoveryAnalysis;
 pub use report::{Confidence, ConsistencyError, ErrorScope, OpInfo, Severity};
 pub use session::{AnalysisSession, AnalysisSessionBuilder, Engine};

@@ -1,0 +1,169 @@
+//! Decision vectors and their textual witness form.
+//!
+//! A schedule is fully determined by the per-rank sequence of delivery
+//! decisions, because within a rank the choice indices follow program
+//! order deterministically (see [`mcc_mpi_sim::ChoicePoint`]). The
+//! witness encoding is meant for command lines and reports: one string
+//! per rank, `e` for eager and `c` for at-close, ranks joined by `/`,
+//! and a lone `-` for a rank that made no decisions. `ec/-/c` reads as
+//! "rank 0: eager then at-close; rank 1: nothing; rank 2: at-close".
+
+use mcc_mpi_sim::Delivery;
+use std::fmt;
+
+/// Per-rank delivery decisions, indexed by `(rank, choice index)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionVec {
+    per_rank: Vec<Vec<Delivery>>,
+}
+
+/// A malformed witness string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessError {
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for WitnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed witness: {}", self.message)
+    }
+}
+
+impl std::error::Error for WitnessError {}
+
+impl DecisionVec {
+    /// An empty vector for `nprocs` ranks (every choice falls back to the
+    /// oracle's default).
+    pub fn new(nprocs: u32) -> Self {
+        Self { per_rank: vec![Vec::new(); nprocs as usize] }
+    }
+
+    /// Number of ranks.
+    pub fn nprocs(&self) -> u32 {
+        self.per_rank.len() as u32
+    }
+
+    /// Total decisions across all ranks.
+    pub fn len(&self) -> usize {
+        self.per_rank.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no rank has any decision.
+    pub fn is_empty(&self) -> bool {
+        self.per_rank.iter().all(Vec::is_empty)
+    }
+
+    /// The decision for `(rank, index)`, if one is recorded.
+    pub fn get(&self, rank: u32, index: u64) -> Option<Delivery> {
+        self.per_rank.get(rank as usize)?.get(index as usize).copied()
+    }
+
+    /// Appends `rank`'s next decision. `index` must equal the rank's
+    /// current decision count — decisions are dense per-rank prefixes by
+    /// construction, never sparse.
+    pub fn push(&mut self, rank: u32, index: u64, decision: Delivery) {
+        let r = &mut self.per_rank[rank as usize];
+        assert_eq!(r.len() as u64, index, "decisions must be appended in per-rank order");
+        r.push(decision);
+    }
+
+    /// The decisions of one rank.
+    pub fn rank(&self, rank: u32) -> &[Delivery] {
+        &self.per_rank[rank as usize]
+    }
+
+    /// Renders the witness string (`ec/-/c` style).
+    pub fn witness(&self) -> String {
+        self.per_rank
+            .iter()
+            .map(|r| {
+                if r.is_empty() {
+                    "-".to_string()
+                } else {
+                    r.iter()
+                        .map(|d| match d {
+                            Delivery::Eager => 'e',
+                            Delivery::AtClose => 'c',
+                        })
+                        .collect()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+
+    /// Parses a witness string. The rank count is taken from the string
+    /// itself; [`Explorer::replay`](crate::Explorer::replay) checks it
+    /// against the case being replayed.
+    pub fn parse(s: &str) -> Result<Self, WitnessError> {
+        let mut per_rank = Vec::new();
+        for (i, part) in s.split('/').enumerate() {
+            if part == "-" {
+                per_rank.push(Vec::new());
+                continue;
+            }
+            if part.is_empty() {
+                return Err(WitnessError {
+                    message: format!("rank {i} is empty (use `-` for a rank with no decisions)"),
+                });
+            }
+            let mut decisions = Vec::with_capacity(part.len());
+            for ch in part.chars() {
+                decisions.push(match ch {
+                    'e' => Delivery::Eager,
+                    'c' => Delivery::AtClose,
+                    other => {
+                        return Err(WitnessError {
+                            message: format!("rank {i} has `{other}` (expected only `e` or `c`)"),
+                        })
+                    }
+                });
+            }
+            per_rank.push(decisions);
+        }
+        Ok(Self { per_rank })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn witness_round_trips() {
+        let mut v = DecisionVec::new(3);
+        v.push(0, 0, Delivery::Eager);
+        v.push(0, 1, Delivery::AtClose);
+        v.push(2, 0, Delivery::AtClose);
+        assert_eq!(v.witness(), "ec/-/c");
+        let parsed = DecisionVec::parse("ec/-/c").unwrap();
+        assert_eq!(parsed, v);
+        assert_eq!(parsed.get(0, 1), Some(Delivery::AtClose));
+        assert_eq!(parsed.get(1, 0), None);
+        assert_eq!(parsed.len(), 3);
+    }
+
+    #[test]
+    fn empty_vector_witness() {
+        let v = DecisionVec::new(2);
+        assert!(v.is_empty());
+        assert_eq!(v.witness(), "-/-");
+        assert_eq!(DecisionVec::parse("-/-").unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_witnesses_rejected() {
+        assert!(DecisionVec::parse("ex").is_err());
+        assert!(DecisionVec::parse("e//c").is_err());
+        let err = DecisionVec::parse("q").unwrap_err();
+        assert!(err.to_string().contains("expected only `e` or `c`"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "per-rank order")]
+    fn sparse_push_rejected() {
+        let mut v = DecisionVec::new(1);
+        v.push(0, 1, Delivery::Eager);
+    }
+}

@@ -1,0 +1,71 @@
+//! The replaying oracle that drives one simulated run.
+
+use crate::decision::DecisionVec;
+use mcc_mpi_sim::{ChoicePoint, Delivery, ScheduleOracle};
+use std::sync::Mutex;
+
+/// One executed decision: what was answered and which event-log position
+/// the controlled operation holds (when tracing is on).
+pub type Executed = (Delivery, Option<u64>);
+
+/// A [`ScheduleOracle`] that replays a prefix of explicit decisions and
+/// answers a fixed default beyond it, recording everything it was asked.
+///
+/// The recording is what grows the explorer's DFS stack: after a run,
+/// [`ReplayOracle::take_executed`] yields the full per-rank decision
+/// history — prefix decisions echoed back plus the defaults appended at
+/// choice points the prefix did not cover.
+#[derive(Debug)]
+pub struct ReplayOracle {
+    prefix: DecisionVec,
+    default: Delivery,
+    executed: Mutex<Vec<Vec<Executed>>>,
+}
+
+impl ReplayOracle {
+    /// An oracle over `nprocs` ranks replaying `prefix` and answering
+    /// `default` past it.
+    pub fn new(prefix: DecisionVec, nprocs: u32, default: Delivery) -> Self {
+        Self { prefix, default, executed: Mutex::new(vec![Vec::new(); nprocs as usize]) }
+    }
+
+    /// The per-rank decision history of the finished run. Call after the
+    /// simulator has joined every rank thread.
+    pub fn take_executed(&self) -> Vec<Vec<Executed>> {
+        std::mem::take(&mut self.executed.lock().expect("oracle lock poisoned"))
+    }
+}
+
+impl ScheduleOracle for ReplayOracle {
+    fn decide(&self, choice: ChoicePoint) -> Delivery {
+        let d = self.prefix.get(choice.rank, choice.index).unwrap_or(self.default);
+        let mut executed = self.executed.lock().expect("oracle lock poisoned");
+        let rank = &mut executed[choice.rank as usize];
+        debug_assert_eq!(
+            rank.len() as u64,
+            choice.index,
+            "choice points must arrive in per-rank program order"
+        );
+        rank.push((d, choice.event_idx));
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replays_prefix_then_default() {
+        let mut prefix = DecisionVec::new(2);
+        prefix.push(0, 0, Delivery::Eager);
+        let oracle = ReplayOracle::new(prefix, 2, Delivery::AtClose);
+        let ask = |rank, index| oracle.decide(ChoicePoint { rank, index, event_idx: Some(index) });
+        assert_eq!(ask(0, 0), Delivery::Eager, "prefix decision replayed");
+        assert_eq!(ask(0, 1), Delivery::AtClose, "past the prefix: default");
+        assert_eq!(ask(1, 0), Delivery::AtClose, "rank without prefix: default");
+        let executed = oracle.take_executed();
+        assert_eq!(executed[0], vec![(Delivery::Eager, Some(0)), (Delivery::AtClose, Some(1))]);
+        assert_eq!(executed[1], vec![(Delivery::AtClose, Some(0))]);
+    }
+}

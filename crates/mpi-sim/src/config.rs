@@ -1,6 +1,8 @@
 //! Run configuration for the simulator.
 
 use crate::error::SimError;
+use crate::schedule::ScheduleOracle;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// What the surviving ranks are expected to do after a [`Fault::RankFailure`],
@@ -284,6 +286,11 @@ pub struct SimConfig {
     /// long while every live rank is blocked on a synchronization
     /// primitive. `None` (the default) disables the watchdog.
     pub watchdog: Option<Duration>,
+    /// Scheduler for the [`DeliveryPolicy::Adversarial`] choice points.
+    /// `None` (the default) keeps the historical per-rank seeded RNG;
+    /// `Some` routes every delivery decision through the oracle so a
+    /// schedule can be enumerated or replayed (see [`crate::schedule`]).
+    pub oracle: Option<Arc<dyn ScheduleOracle>>,
 }
 
 impl SimConfig {
@@ -299,6 +306,7 @@ impl SimConfig {
             arena_bytes: 1 << 20,
             faults: FaultPlan::none(),
             watchdog: None,
+            oracle: None,
         }
     }
 
@@ -353,6 +361,15 @@ impl SimConfig {
     /// Enables the deadlock watchdog with the given timeout.
     pub fn with_watchdog(mut self, timeout: Duration) -> Self {
         self.watchdog = Some(timeout);
+        self
+    }
+
+    /// Installs a schedule oracle for the adversarial delivery choice
+    /// points (and selects [`DeliveryPolicy::Adversarial`], the only
+    /// policy with choice points to steer).
+    pub fn with_oracle(mut self, oracle: Arc<dyn ScheduleOracle>) -> Self {
+        self.delivery = DeliveryPolicy::Adversarial;
+        self.oracle = Some(oracle);
         self
     }
 }

@@ -57,6 +57,7 @@ pub mod memory;
 pub mod proc;
 pub mod reduce;
 pub mod runner;
+pub mod schedule;
 pub mod shared;
 pub mod tracer;
 
@@ -64,4 +65,5 @@ pub use config::{DeliveryPolicy, Fault, FaultPlan, Instrument, RecoveryPolicy, S
 pub use error::SimError;
 pub use proc::Proc;
 pub use runner::{run, run_tolerant, RankStats, RunStats, SimResult, TolerantOutcome};
+pub use schedule::{ChoicePoint, Delivery, FixedOracle, ScheduleOracle};
 pub use shared::{AbortReason, BlockSite};

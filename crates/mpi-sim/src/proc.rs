@@ -23,6 +23,7 @@
 
 use crate::config::{DeliveryPolicy, Instrument, RecoveryPolicy, SimConfig};
 use crate::datatype::{TypeInfo, TypeRegistry};
+use crate::schedule::{ChoicePoint, Delivery, ScheduleOracle};
 use crate::shared::{AbortReason, BlockSite, CollTag, Shared, WinInfo, ABORT_POLL};
 use crate::tracer::EventSink;
 use mcc_types::{
@@ -58,6 +59,12 @@ pub struct Proc {
     sink: EventSink,
     rng: ChaCha8Rng,
     delivery: DeliveryPolicy,
+    /// Controlled scheduler for the adversarial choice points; `None`
+    /// falls back to `rng` (the historical behaviour, bit-for-bit).
+    oracle: Option<Arc<dyn ScheduleOracle>>,
+    /// Delivery choices consulted so far — the per-rank choice index
+    /// handed to the oracle.
+    choices_made: u64,
     func: String,
     /// Bumped on `set_func` so the call-site cache never serves a stale
     /// routine name.
@@ -159,6 +166,8 @@ impl Proc {
                 cfg.seed ^ (0x9e37_79b9_7f4a_7c15u64).wrapping_mul(rank as u64 + 1),
             ),
             delivery: cfg.delivery,
+            oracle: cfg.oracle.clone(),
+            choices_made: 0,
             func: "main".to_string(),
             func_epoch: 0,
             loc_cache: HashMap::new(),
@@ -1651,7 +1660,23 @@ impl Proc {
             && match self.delivery {
                 DeliveryPolicy::Eager => true,
                 DeliveryPolicy::AtClose => false,
-                DeliveryPolicy::Adversarial => self.rng.gen_bool(0.5),
+                DeliveryPolicy::Adversarial => match self.oracle.clone() {
+                    None => self.rng.gen_bool(0.5),
+                    Some(oracle) => {
+                        let index = self.choices_made;
+                        self.choices_made += 1;
+                        // The operation was logged just before this call,
+                        // so the last event of this rank's log is the one
+                        // the answer controls.
+                        let event_idx = if self.sink.enabled() {
+                            Some(self.sink.events_logged().saturating_sub(1))
+                        } else {
+                            None
+                        };
+                        let choice = ChoicePoint { rank: self.rank, index, event_idx };
+                        oracle.decide(choice) == Delivery::Eager
+                    }
+                },
             };
         if eager {
             self.apply_pending(&pending);

@@ -1,0 +1,113 @@
+//! Pluggable control over the adversarial scheduler's choice points.
+//!
+//! Under [`crate::DeliveryPolicy::Adversarial`] every deliverable
+//! one-sided operation poses one binary question: apply the memory effect
+//! *now* (eager) or at the *closing synchronization* (at-close)? By
+//! default each rank answers from its seeded ChaCha8 stream — good for
+//! randomized stress, useless for systematic search, because the stream
+//! cannot be steered one decision at a time.
+//!
+//! A [`ScheduleOracle`] replaces the RNG at exactly those choice points.
+//! The runtime hands the oracle a [`ChoicePoint`] — which rank is asking,
+//! the 0-based index of the question in that rank's program order, and the
+//! position of the already-logged RMA event the answer controls — and the
+//! oracle returns a [`Delivery`]. Because per-rank choice indices follow
+//! program order deterministically, a decision vector keyed by
+//! `(rank, index)` replays a schedule exactly; this is what `mcc-explore`
+//! builds its DFS enumeration and witness replay on.
+//!
+//! Installing an oracle changes nothing else: fault-injection randomness
+//! stays on its dedicated RNG, and runs without an oracle keep the
+//! historical seeded behaviour bit-for-bit.
+
+use std::fmt;
+
+/// One delivery decision: when a deliverable RMA operation's memory
+/// effect is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Delivery {
+    /// Apply at issue time.
+    Eager,
+    /// Defer to the epoch's closing synchronization.
+    AtClose,
+}
+
+impl Delivery {
+    /// The other alternative — DFS backtracking flips decisions with this.
+    pub fn flipped(self) -> Self {
+        match self {
+            Delivery::Eager => Delivery::AtClose,
+            Delivery::AtClose => Delivery::Eager,
+        }
+    }
+}
+
+impl fmt::Display for Delivery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Delivery::Eager => f.write_str("eager"),
+            Delivery::AtClose => f.write_str("at-close"),
+        }
+    }
+}
+
+/// One question posed to a [`ScheduleOracle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChoicePoint {
+    /// The rank asking.
+    pub rank: u32,
+    /// 0-based index of this choice in the rank's program order. Within a
+    /// rank the sequence 0, 1, 2, … is deterministic, so `(rank, index)`
+    /// addresses the same program decision in every run of the same
+    /// prefix.
+    pub index: u64,
+    /// Index of the RMA/atomic event this choice controls in the rank's
+    /// event log (the operation is logged immediately before the runtime
+    /// asks). `None` when tracing is disabled.
+    pub event_idx: Option<u64>,
+}
+
+/// A scheduler for the adversarial delivery choice points.
+///
+/// Implementations are shared across all rank threads of a run, so they
+/// must be `Send + Sync`; any recording state needs interior mutability.
+/// `Debug` is required so a [`crate::SimConfig`] carrying an oracle still
+/// derives `Debug`.
+pub trait ScheduleOracle: Send + Sync + fmt::Debug {
+    /// Answers one delivery question.
+    fn decide(&self, choice: ChoicePoint) -> Delivery;
+}
+
+/// The trivial oracle: every operation gets the same answer. Useful for
+/// pinning a run to the best (`Eager`) or worst (`AtClose`) legal timing
+/// through the oracle interface instead of the delivery policy.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedOracle(pub Delivery);
+
+impl ScheduleOracle for FixedOracle {
+    fn decide(&self, _choice: ChoicePoint) -> Delivery {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_flips() {
+        assert_eq!(Delivery::Eager.flipped(), Delivery::AtClose);
+        assert_eq!(Delivery::AtClose.flipped(), Delivery::Eager);
+        assert_eq!(Delivery::Eager.to_string(), "eager");
+        assert_eq!(Delivery::AtClose.to_string(), "at-close");
+    }
+
+    #[test]
+    fn fixed_oracle_is_constant() {
+        let o = FixedOracle(Delivery::Eager);
+        for i in 0..4 {
+            let c = ChoicePoint { rank: 0, index: i, event_idx: Some(i) };
+            assert_eq!(o.decide(c), Delivery::Eager);
+        }
+    }
+}

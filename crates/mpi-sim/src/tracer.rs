@@ -116,6 +116,12 @@ impl EventSink {
         self.counts
     }
 
+    /// Events recorded so far (MPI calls plus retained memory accesses)
+    /// — equals the event-log length whenever `keep_events` is on.
+    pub fn events_logged(&self) -> u64 {
+        self.counts.mpi + self.counts.mem
+    }
+
     /// Consumes the sink into a [`ProcessTrace`].
     pub fn into_trace(self) -> ProcessTrace {
         ProcessTrace { events: self.events, locs: self.locs }

@@ -241,16 +241,6 @@ pub fn encode_stream(
     out
 }
 
-/// Flattens a trace into its wire form: ranks interleaved round-robin,
-/// each event pre-encoded as a sequence-numbered JSON `Event` frame.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `flatten_events` and the `SubmitCfg`-negotiated submit paths"
-)]
-pub fn encode_events(trace: &Trace) -> Vec<Vec<u8>> {
-    encode_stream(&flatten_events(trace), 0, CodecKind::Json, 1)
-}
-
 /// Streams `trace` over an established connection and returns the
 /// server's report. Works over any `Read + Write` stream — TCP, Unix
 /// socket, or an in-memory pair in tests. One shot: transport failures

@@ -434,18 +434,6 @@ pub fn write_frame_with(w: &mut impl Write, f: &Frame, codec: CodecKind) -> io::
     w.flush()
 }
 
-/// Encodes one frame as JSON with the length + CRC32 header.
-#[deprecated(since = "0.1.0", note = "use `encode_frame_with(f, CodecKind::Json)`")]
-pub fn encode_frame(f: &Frame) -> Vec<u8> {
-    encode_frame_with(f, CodecKind::Json)
-}
-
-/// Writes one JSON frame and flushes.
-#[deprecated(since = "0.1.0", note = "use `write_frame_with(w, f, CodecKind::Json)`")]
-pub fn write_frame(w: &mut impl Write, f: &Frame) -> io::Result<()> {
-    write_frame_with(w, f, CodecKind::Json)
-}
-
 /// Writes every buffer in `bufs` in order with as few syscalls as the
 /// platform allows (vectored I/O), retrying on `Interrupted` and short
 /// writes. Used by batching senders to emit header + payload pairs

@@ -21,7 +21,7 @@
 //!
 //! mcc demo <case> [--fixed] [--procs N] [--trace-out DIR]
 //!          [--abort R:N] [--hang R:N] [--recover-policy P]
-//!          [--profile out.json]
+//!          [--seed N] [--seed-sweep N] [--profile out.json]
 //!     Run one of the built-in bug cases under the Profiler and check it.
 //!     Cases: emulate, bt-broadcast, lockopts, ping-pong, jacobi, adlb,
 //!     adlb-crash, mpi3-queue, fig2a, fig2b, fig2c, fig2d, plus the
@@ -35,6 +35,27 @@
 //!     failure survivable — the run keeps going, survivors observe the
 //!     death, and the checker routes through the failure-aware
 //!     (recovered) pipeline instead of degrading.
+//!     --seed N runs the case once under the seeded *adversarial*
+//!     delivery policy instead of the deterministic worst case;
+//!     --seed-sweep N tries N consecutive seeds and reports the first
+//!     one whose trace checks dirty — the random-search baseline that
+//!     `mcc explore` replaces with systematic enumeration.
+//!
+//! mcc explore <case> [--fixed] [--procs N] [--max-schedules N]
+//!             [--max-depth N] [--threads N] [--format text|json]
+//!             [--replay WITNESS]
+//!     Systematically enumerate the case's RMA delivery schedules with
+//!     partial-order reduction: every run is driven by an explicit
+//!     per-operation eager/at-close decision vector, only decisions the
+//!     happens-before analysis marks as racing are ever flipped, and
+//!     trace-equivalent schedules are deduplicated. Each finding carries
+//!     a witness decision vector (`ec/-` style: one `e`/`c` string per
+//!     rank); --replay WITNESS re-runs that exact schedule. Schedules
+//!     that deadlock under some delivery timing are recorded as such
+//!     (watchdog-bounded) instead of hanging. --threads shards the
+//!     search; the report is byte-identical at every thread count.
+//!     Exits 1 when any schedule has errors, 7 when the --max-schedules
+//!     budget ran out before the space was covered, 0 on full coverage.
 //!
 //! Exit codes:
 //!   0  complete analysis, no errors
@@ -44,6 +65,7 @@
 //!   4  degraded analysis, no errors
 //!   5  recovered analysis (rank failure modeled), errors found
 //!   6  recovered analysis (rank failure modeled), no errors
+//!   7  exploration: schedule budget exhausted before covering the space (no errors found)
 //!
 //! mcc serve [--listen ADDR] [--max-buffer N] [--soft-watermark N]
 //!           [--idle-timeout-ms N] [--write-timeout-ms N] [--tick-ms N]
@@ -129,6 +151,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
+        Some("explore") => cmd_explore(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
@@ -162,11 +185,15 @@ fn main() -> ExitCode {
                     spec.epochs_completed
                 );
             }
+            println!(
+                "Run one with `mcc demo <case>`; enumerate its delivery schedules with \
+                 `mcc explore <case>` (recovery-gallery cases are demo-only)."
+            );
             ExitCode::SUCCESS
         }
         _ => {
             eprintln!(
-                "usage: mcc <check|demo|serve|submit|stats|overhead|table1|list> ...  \
+                "usage: mcc <check|demo|explore|serve|submit|stats|overhead|table1|list> ...  \
                  (see `src/bin/mcc.rs` docs)\nexit codes:\n{}",
                 mc_checker::EXIT_CODE_TABLE
             );
@@ -265,6 +292,17 @@ fn cmd_check(args: &[String]) -> ExitCode {
         );
         return ExitCode::from(2);
     };
+    for flag in ["--seed", "--seed-sweep"] {
+        if args.iter().any(|a| a == flag) {
+            eprintln!(
+                "mcc: `{flag}` is a simulator knob: `mcc check` analyzes a recorded trace and \
+                 cannot re-run it under a different schedule. Re-record the trace with \
+                 `mcc demo <case> {flag} N --trace-out DIR`, or enumerate delivery schedules \
+                 systematically with `mcc explore <case>`."
+            );
+            return ExitCode::from(2);
+        }
+    }
     let has = |f: &str| args.iter().any(|a| a == f);
     let json = match json_from_args(args) {
         Ok(j) => j,
@@ -836,12 +874,43 @@ fn parse_rank_count(v: &str) -> Option<(u32, u64)> {
     Some((r.parse().ok()?, n.parse().ok()?))
 }
 
+/// A demo case resolved to its default process count and body.
+type ResolvedCase = (u32, fn(&mut Proc));
+
+/// The non-gallery demo cases: default process count and body for a case
+/// name and variant. The recovery gallery resolves separately because
+/// its cases carry their own fault plans.
+fn resolve_case(name: &str, fixed: bool) -> Option<ResolvedCase> {
+    Some(match (name, fixed) {
+        ("emulate", false) => (2, bugs::emulate::buggy),
+        ("emulate", true) => (2, bugs::emulate::fixed),
+        ("bt-broadcast", false) => (2, bugs::bt_broadcast::buggy),
+        ("bt-broadcast", true) => (2, bugs::bt_broadcast::fixed),
+        ("lockopts", false) => (64, bugs::lockopts::buggy),
+        ("lockopts", true) => (64, bugs::lockopts::fixed),
+        ("ping-pong", false) => (2, bugs::pingpong::buggy),
+        ("ping-pong", true) => (2, bugs::pingpong::fixed),
+        ("jacobi", false) => (4, bugs::jacobi::buggy),
+        ("jacobi", true) => (4, bugs::jacobi::fixed),
+        ("adlb", false) => (2, bugs::adlb::buggy),
+        ("adlb", true) => (2, bugs::adlb::fixed),
+        ("adlb-crash", _) => (2, bugs::adlb::buggy),
+        ("mpi3-queue", false) => (4, bugs::mpi3_queue::buggy),
+        ("mpi3-queue", true) => (4, bugs::mpi3_queue::fixed),
+        ("fig2a", _) => (2, bugs::archetypes::fig2a),
+        ("fig2b", _) => (3, bugs::archetypes::fig2b),
+        ("fig2c", _) => (3, bugs::archetypes::fig2c),
+        ("fig2d", _) => (2, bugs::archetypes::fig2d),
+        _ => return None,
+    })
+}
+
 fn cmd_demo(args: &[String]) -> ExitCode {
     let Some(name) = args.first().map(String::as_str) else {
         eprintln!(
             "usage: mcc demo <case> [--fixed] [--procs N] [--trace-out DIR] \
              [--abort R:N] [--hang R:N] [--recover-policy abort|notify|checkpoint] \
-             [--submit ADDR] [--profile out.json]"
+             [--seed N] [--seed-sweep N] [--submit ADDR] [--profile out.json]"
         );
         return ExitCode::from(2);
     };
@@ -891,37 +960,75 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     let (default_procs, body): (u32, fn(&mut Proc)) = if let Some((spec, _, gbody)) = gallery_case {
         (spec.nprocs, gbody)
     } else {
-        match (name, fixed) {
-            ("emulate", false) => (2, bugs::emulate::buggy),
-            ("emulate", true) => (2, bugs::emulate::fixed),
-            ("bt-broadcast", false) => (2, bugs::bt_broadcast::buggy),
-            ("bt-broadcast", true) => (2, bugs::bt_broadcast::fixed),
-            ("lockopts", false) => (64, bugs::lockopts::buggy),
-            ("lockopts", true) => (64, bugs::lockopts::fixed),
-            ("ping-pong", false) => (2, bugs::pingpong::buggy),
-            ("ping-pong", true) => (2, bugs::pingpong::fixed),
-            ("jacobi", false) => (4, bugs::jacobi::buggy),
-            ("jacobi", true) => (4, bugs::jacobi::fixed),
-            ("adlb", false) => (2, bugs::adlb::buggy),
-            ("adlb", true) => (2, bugs::adlb::fixed),
-            ("adlb-crash", _) => (2, bugs::adlb::buggy),
-            ("mpi3-queue", false) => (4, bugs::mpi3_queue::buggy),
-            ("mpi3-queue", true) => (4, bugs::mpi3_queue::fixed),
-            ("fig2a", _) => (2, bugs::archetypes::fig2a),
-            ("fig2b", _) => (3, bugs::archetypes::fig2b),
-            ("fig2c", _) => (3, bugs::archetypes::fig2c),
-            ("fig2d", _) => (2, bugs::archetypes::fig2d),
-            _ => {
+        match resolve_case(name, fixed) {
+            Some(case) => case,
+            None => {
                 eprintln!("mcc: unknown demo `{name}` (try `mcc list`)");
                 return ExitCode::from(2);
             }
         }
     };
     let procs = procs_override.unwrap_or(default_procs);
+
+    let seed = match flag_value(args, "--seed") {
+        None => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("mcc: --seed expects an unsigned integer, got `{v}`");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let sweep = match positive_flag::<u64>(args, "--seed-sweep") {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    if (seed.is_some() || sweep.is_some()) && !faults.is_empty() {
+        eprintln!(
+            "mcc: --seed/--seed-sweep pick adversarial delivery schedules and cannot be \
+             combined with fault injection (or a case that ships a fault plan)"
+        );
+        return ExitCode::from(2);
+    }
+    if let Some(n) = sweep {
+        for flag in ["--trace-out", "--submit"] {
+            if args.iter().any(|a| a == flag) {
+                eprintln!("mcc: {flag} is per-run and cannot be combined with --seed-sweep");
+                return ExitCode::from(2);
+            }
+        }
+        // Random-search baseline: try N consecutive seeds under the
+        // adversarial delivery policy, stop at the first dirty trace.
+        let base = seed.unwrap_or(0xC11);
+        eprintln!(
+            "running {name}{} with {procs} ranks, sweeping {n} seed(s) from {base}...",
+            if fixed { " (fixed)" } else { "" }
+        );
+        let session = AnalysisSession::builder().recorder(sink.obs.clone()).build();
+        for s in base..base.saturating_add(n) {
+            let report = session.run(&bugs::trace_adversarial(procs, s, body));
+            if report.has_errors() {
+                eprintln!(
+                    "seed sweep: error first exposed at seed {s} ({} of {n} seed(s) tried); \
+                     `mcc explore {name}` enumerates schedules instead of sampling them",
+                    s - base + 1
+                );
+                return sink.finish(report_exit(&report, false, false));
+            }
+        }
+        println!("seed sweep: no consistency error in {n} seed(s) (base seed {base})");
+        return sink.finish(ExitCode::SUCCESS);
+    }
     eprintln!("running {name}{} with {procs} ranks...", if fixed { " (fixed)" } else { "" });
 
     let (trace, sim_error): (Trace, Option<SimError>) = if faults.is_empty() {
-        (bugs::trace_of(procs, 0xC11, body), None)
+        let trace = match seed {
+            // The opted-in random baseline: one adversarial schedule.
+            Some(s) => bugs::trace_adversarial(procs, s, body),
+            None => bugs::trace_of(procs, 0xC11, body),
+        };
+        (trace, None)
     } else {
         // Rank deaths are the point of this run; keep their panic
         // backtraces out of the report.
@@ -960,4 +1067,92 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     report.mark_degraded();
     eprintln!("degraded-mode repair: {}", info.summary());
     sink.finish(report_exit(&report, false, false))
+}
+
+fn cmd_explore(args: &[String]) -> ExitCode {
+    let Some(name) = args.first().map(String::as_str) else {
+        eprintln!(
+            "usage: mcc explore <case> [--fixed] [--procs N] [--max-schedules N] \
+             [--max-depth N] [--threads N] [--format text|json] [--replay WITNESS]"
+        );
+        return ExitCode::from(2);
+    };
+    let json = match json_from_args(args) {
+        Ok(j) => j,
+        Err(code) => return code,
+    };
+    let fixed = args.iter().any(|a| a == "--fixed");
+    let is_gallery = bugs::recovery_gallery::gallery()
+        .into_iter()
+        .any(|(spec, _, _)| spec.name.replace('_', "-") == name);
+    if is_gallery || name == "adlb-crash" {
+        eprintln!(
+            "mcc: `{name}` ships a fault plan; `mcc explore` enumerates the delivery \
+             schedules of fault-free runs (run it with `mcc demo {name}` instead)"
+        );
+        return ExitCode::from(2);
+    }
+    let Some((default_procs, body)) = resolve_case(name, fixed) else {
+        eprintln!("mcc: unknown case `{name}` (try `mcc list`)");
+        return ExitCode::from(2);
+    };
+    let procs =
+        flag_value(args, "--procs").and_then(|v| v.parse::<u32>().ok()).unwrap_or(default_procs);
+    let max_schedules = match positive_flag::<u64>(args, "--max-schedules") {
+        Ok(v) => v.unwrap_or(256),
+        Err(code) => return code,
+    };
+    let max_depth = match positive_flag::<usize>(args, "--max-depth") {
+        Ok(v) => v.unwrap_or(64),
+        Err(code) => return code,
+    };
+    let threads = match positive_flag::<usize>(args, "--threads") {
+        Ok(v) => v.unwrap_or(1),
+        Err(code) => return code,
+    };
+    let explorer = mc_checker::explore::Explorer::new(procs)
+        .with_max_schedules(max_schedules)
+        .with_max_depth(max_depth)
+        .with_threads(threads);
+
+    // Deadlocking and crashing schedules are expected outcomes of the
+    // enumeration; keep their rank panics out of the output.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let code = if let Some(witness) = flag_value(args, "--replay") {
+        match explorer.replay(witness, body) {
+            Err(e) => {
+                eprintln!("mcc: {e}");
+                ExitCode::from(2)
+            }
+            Ok(outcome) => {
+                eprintln!("replayed witness {} with {procs} rank(s)", outcome.witness);
+                if let Some(e) = &outcome.sim_error {
+                    eprintln!("simulator: {e}");
+                }
+                let findings_code = render_findings(&outcome.findings, json);
+                if outcome.sim_error.is_some() {
+                    // The witness reproduced a deadlock or crash.
+                    ExitCode::from(1)
+                } else {
+                    findings_code
+                }
+            }
+        }
+    } else {
+        eprintln!(
+            "exploring {name}{} with {procs} rank(s), budget {max_schedules} schedule(s), \
+             {threads} thread(s)...",
+            if fixed { " (fixed)" } else { "" }
+        );
+        let report = explorer.run(body);
+        if json {
+            print!("{}", report.to_json());
+        } else {
+            print!("{}", report.render());
+        }
+        ExitCode::from(report.exit_code())
+    };
+    std::panic::set_hook(prev);
+    code
 }

@@ -57,8 +57,9 @@
 //! println!("{}", report.render());
 //! ```
 
-/// The CLI's exit-code contract, shared by `mcc check`, `mcc demo` and
-/// `mcc submit`. The `mcc` usage text prints this table verbatim, the
+/// The CLI's exit-code contract, shared by `mcc check`, `mcc demo`,
+/// `mcc explore` and `mcc submit`. The `mcc` usage text prints this
+/// table verbatim, the
 /// README quotes it, and `tests/recovery_pipeline.rs` asserts all three
 /// stay in sync with [`exit_code_for`].
 pub const EXIT_CODE_TABLE: &str = "\
@@ -68,7 +69,8 @@ pub const EXIT_CODE_TABLE: &str = "\
   3  degraded analysis, errors found
   4  degraded analysis, no errors
   5  recovered analysis (rank failure modeled), errors found
-  6  recovered analysis (rank failure modeled), no errors";
+  6  recovered analysis (rank failure modeled), no errors
+  7  exploration: schedule budget exhausted before covering the space (no errors found)";
 
 /// Maps an analysis verdict to the documented process exit code (the
 /// left column of [`EXIT_CODE_TABLE`]).
@@ -87,6 +89,7 @@ pub fn exit_code_for(confidence: mcc_core::report::Confidence, has_errors: bool)
 pub use mcc_apps as apps;
 pub use mcc_codec as codec;
 pub use mcc_core as core;
+pub use mcc_explore as explore;
 pub use mcc_mpi_sim as mpi_sim;
 pub use mcc_obs as obs;
 pub use mcc_profiler as profiler;
