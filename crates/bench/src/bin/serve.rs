@@ -238,6 +238,21 @@ fn main() {
     handle.shutdown();
     server_thread.join().expect("server thread");
 
+    // Daemon-side latency histograms, over every session and rep: how
+    // long ingested events waited for their ack, and how long the first
+    // finding of a session took from its first event.
+    let snap = obs.snapshot();
+    let latency = |family: &str| -> (u64, u64, u64) {
+        snap.hists.get(family).map_or((0, 0, 0), |h| (h.count, h.quantile(0.50), h.quantile(0.99)))
+    };
+    let (ack_n, ack_p50, ack_p99) = latency(mcc_obs::names::INGEST_ACK_LATENCY_US);
+    let (ff_n, ff_p50, ff_p99) = latency(mcc_obs::names::FIRST_FINDING_LATENCY_US);
+    println!();
+    println!("Latency histograms (daemon side, µs upper bounds):");
+    println!("{:<22} {:>8} {:>10} {:>10}", "family", "count", "p50 (µs)", "p99 (µs)");
+    println!("{:<22} {:>8} {:>10} {:>10}", "ingest→ack", ack_n, ack_p50, ack_p99);
+    println!("{:<22} {:>8} {:>10} {:>10}", "first finding", ff_n, ff_p50, ff_p99);
+
     println!();
     println!("Phase spans (daemon side, all sessions and reps):");
     println!("{:<22} {:>6} {:>12} {:>12}", "span", "count", "total (ms)", "max (ms)");
@@ -256,7 +271,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"serve\",\n");
-    json.push_str("  \"schema_version\": 2,\n");
+    json.push_str("  \"schema_version\": 3,\n");
     json.push_str(&format!("  \"codec\": \"{codec}\",\n"));
     json.push_str(&format!("  \"batch_size\": {batch_size},\n"));
     json.push_str(&format!(
@@ -288,6 +303,11 @@ fn main() {
         ));
     }
     json.push_str("},\n");
+    json.push_str(&format!(
+        "  \"latency_us\": {{\"ingest_ack\": {{\"count\": {ack_n}, \"p50\": {ack_p50}, \
+         \"p99\": {ack_p99}}}, \"first_finding\": {{\"count\": {ff_n}, \"p50\": {ff_p50}, \
+         \"p99\": {ff_p99}}}}},\n"
+    ));
     json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
     json.push_str(&format!("  \"reports_identical\": {}\n", !diverged));
     json.push_str("}\n");

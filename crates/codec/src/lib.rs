@@ -185,6 +185,9 @@ pub trait Codec {
     {
         let mut out = Vec::new();
         self.encode_value_into(&value.to_value(), &mut out);
+        let obs = mcc_obs::global();
+        obs.add(mcc_obs::names::CODEC_ENCODE_FRAMES, 1);
+        obs.add(mcc_obs::names::CODEC_ENCODE_BYTES, out.len() as u64);
         out
     }
 
@@ -194,6 +197,9 @@ pub trait Codec {
         Self: Sized,
     {
         let v = self.decode_value(bytes)?;
+        let obs = mcc_obs::global();
+        obs.add(mcc_obs::names::CODEC_DECODE_FRAMES, 1);
+        obs.add(mcc_obs::names::CODEC_DECODE_BYTES, bytes.len() as u64);
         T::from_value(&v).map_err(|e| CodecError::Shape(e.to_string()))
     }
 }

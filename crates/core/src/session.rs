@@ -333,6 +333,14 @@ impl AnalysisSession {
         } else {
             report.mark_recovered();
         }
+        obs.add(
+            mcc_obs::names::FINDINGS_RECOVERED,
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.confidence == crate::report::Confidence::Recovered)
+                .count() as u64,
+        );
         (report, info)
     }
 

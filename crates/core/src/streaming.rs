@@ -55,6 +55,7 @@ use mcc_types::{CommId, Event, EventKind, EventRef, Rank, SourceLoc, Trace, Trac
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::time::Instant;
 
 /// Why the streaming checker rejected a call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,6 +121,11 @@ pub struct StreamingChecker {
     pub peak_buffered: usize,
     /// Partial regions force-analyzed at the high watermark.
     pub evictions: usize,
+    /// When the first event arrived — the start of the first-finding
+    /// latency clock (ROADMAP's time-to-first-finding metric).
+    first_event_at: Option<Instant>,
+    /// Whether the first-finding latency was already observed.
+    first_finding_seen: bool,
 }
 
 impl StreamingChecker {
@@ -154,6 +160,8 @@ impl StreamingChecker {
             regions_flushed: 0,
             peak_buffered: 0,
             evictions: 0,
+            first_event_at: None,
+            first_finding_seen: false,
         })
     }
 
@@ -242,6 +250,9 @@ impl StreamingChecker {
             return Err(StreamError::RankOutOfRange { rank: rank.0, nprocs: self.nprocs });
         }
         self.session.recorder().add("stream_events_total", 1);
+        if self.first_event_at.is_none() {
+            self.first_event_at = Some(Instant::now());
+        }
         // Maintain the lightweight registry needed for boundary detection.
         match &kind {
             EventKind::WinCreate { win, comm, .. } => {
@@ -304,6 +315,7 @@ impl StreamingChecker {
     /// it together with the persistent registry events.
     fn flush_region(&mut self) -> Vec<ConsistencyError> {
         let _span = self.session.recorder().span("stream.flush_region");
+        let flush_started = Instant::now();
         self.session.recorder().add("stream_regions_flushed_total", 1);
         let ctx_counts: Vec<usize> = self.ctx_events.iter().map(Vec::len).collect();
         let mut b = TraceBuilder::new(self.nprocs);
@@ -332,6 +344,9 @@ impl StreamingChecker {
         self.regions_flushed += 1;
         let fresh = self.analyze_region(&b.build(), &ctx_counts, false);
         self.advance_consumed(&cuts);
+        self.session
+            .recorder()
+            .observe(mcc_obs::names::REGION_FLUSH_US, flush_started.elapsed().as_micros() as u64);
         fresh
     }
 
@@ -434,6 +449,15 @@ impl StreamingChecker {
             self.epoch_base[r] += *n as u32;
         }
         fresh.sort_by_key(batch_order);
+        if !fresh.is_empty() && !self.first_finding_seen {
+            self.first_finding_seen = true;
+            if let Some(t0) = self.first_event_at {
+                self.session.recorder().observe(
+                    mcc_obs::names::FIRST_FINDING_LATENCY_US,
+                    t0.elapsed().as_micros() as u64,
+                );
+            }
+        }
         fresh
     }
 

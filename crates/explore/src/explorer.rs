@@ -317,6 +317,7 @@ impl Explorer {
     where
         F: Fn(&mut Proc) + Send + Sync,
     {
+        let _span = mcc_obs::global().span("explore.shard");
         let mut ran = 0u64;
         if !resume {
             if budget == 0 {
@@ -345,6 +346,7 @@ impl Explorer {
     where
         F: Fn(&mut Proc) + Send + Sync,
     {
+        let _span = mcc_obs::global().span("explore.run");
         // Schedule 0: everything at-close, the all-default root.
         let mut root = ShardState::default();
         self.step(&body, &mut root);
@@ -454,6 +456,13 @@ impl Explorer {
             }
         }
         let naive_schedules = if choice_points >= 64 { u64::MAX } else { 1u64 << choice_points };
+        // Counters are emitted here, after the deterministic cross-shard
+        // merge, so their values depend only on the decomposition — never
+        // on the thread count.
+        let obs = mcc_obs::global();
+        obs.add(mcc_obs::names::EXPLORE_SCHEDULES_RUN, records.len() as u64);
+        obs.add(mcc_obs::names::EXPLORE_SCHEDULES_PRUNED, pruned);
+        obs.add(mcc_obs::names::EXPLORE_SCHEDULES_DEDUPED, deduped);
         ExploreReport {
             schema_version: 1,
             nprocs: self.nprocs,

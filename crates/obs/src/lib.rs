@@ -28,7 +28,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Spans kept per recorder before further spans are counted but not
 /// stored — a bound so a long-running daemon cannot grow without limit.
@@ -62,6 +62,48 @@ pub mod names {
     pub const JOURNAL_UNREADABLE: &str = "serve_journal_unreadable_total";
     /// Parked sessions that outlived the resume grace and were salvaged.
     pub const SESSIONS_SWEPT: &str = "serve_sessions_swept_total";
+
+    // -- hot-path latency histograms (values in microseconds) --
+
+    /// Ingest→ack latency: first unacked event arrival to the ack write.
+    pub const INGEST_ACK_LATENCY_US: &str = "serve_ingest_ack_latency_us";
+    /// Duration of one journal fsync performed for an ack.
+    pub const JOURNAL_FSYNC_US: &str = "serve_journal_fsync_us";
+    /// Duration of one streaming region flush (boundary analysis).
+    pub const REGION_FLUSH_US: &str = "stream_region_flush_us";
+    /// First event arrival to first finding emission, per session.
+    pub const FIRST_FINDING_LATENCY_US: &str = "stream_first_finding_latency_us";
+
+    // -- recovery pipeline (emitted by `mcc-core` recovery analysis) --
+
+    /// Events quarantined because their rank failed mid-epoch.
+    pub const RECOVERED_QUARANTINED: &str = "recovered_quarantined_events_total";
+    /// Ghost synchronizations synthesized to close orphaned epochs.
+    pub const RECOVERED_GHOST_SYNC: &str = "recovered_ghost_sync_total";
+    /// Ranks observed to have failed during a recovered run.
+    pub const RECOVERED_FAILED_RANKS: &str = "recovered_failed_ranks_total";
+    /// Findings carrying Recovered (not Complete) confidence.
+    pub const FINDINGS_RECOVERED: &str = "findings_recovered_confidence_total";
+
+    // -- schedule exploration (`mcc explore`) --
+
+    /// Schedules actually executed by the explorer.
+    pub const EXPLORE_SCHEDULES_RUN: &str = "explore_schedules_run_total";
+    /// Schedules pruned by sleep-set partial-order reduction.
+    pub const EXPLORE_SCHEDULES_PRUNED: &str = "explore_schedules_pruned_total";
+    /// Schedules skipped because their fingerprint was already seen.
+    pub const EXPLORE_SCHEDULES_DEDUPED: &str = "explore_schedules_deduped_total";
+
+    // -- binary codec --
+
+    /// Frames encoded through the unified codec API.
+    pub const CODEC_ENCODE_FRAMES: &str = "codec_encode_frames_total";
+    /// Bytes produced by codec encodes.
+    pub const CODEC_ENCODE_BYTES: &str = "codec_encoded_bytes_total";
+    /// Frames decoded through the unified codec API.
+    pub const CODEC_DECODE_FRAMES: &str = "codec_decode_frames_total";
+    /// Bytes consumed by codec decodes.
+    pub const CODEC_DECODE_BYTES: &str = "codec_decoded_bytes_total";
 }
 
 /// One finished span, as stored by the recorder.
@@ -106,6 +148,10 @@ struct Inner {
     next_span: AtomicU64,
     spans_dropped: AtomicU64,
     ops: AtomicU64,
+    /// Trace id for cross-process correlation; 0 = unset.
+    trace_id: AtomicU64,
+    /// span id → (remote trace id, remote parent span id).
+    remote_links: Mutex<BTreeMap<u64, (u64, u64)>>,
 }
 
 impl Inner {
@@ -118,6 +164,8 @@ impl Inner {
             next_span: AtomicU64::new(1),
             spans_dropped: AtomicU64::new(0),
             ops: AtomicU64::new(0),
+            trace_id: AtomicU64::new(0),
+            remote_links: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -131,6 +179,10 @@ impl Inner {
 
     fn lock_hists(&self) -> std::sync::MutexGuard<'_, BTreeMap<&'static str, Hist>> {
         self.hists.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_remote_links(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, (u64, u64)>> {
+        self.remote_links.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -206,6 +258,51 @@ impl RecorderHandle {
         self.0.as_ref().map_or(0, |i| i.ops.load(Ordering::Relaxed))
     }
 
+    /// Sets the cross-process trace id exported in the Chrome trace and
+    /// propagated over the wire via the `tracectx` capability.
+    pub fn set_trace_id(&self, id: u64) {
+        if let Some(inner) = &self.0 {
+            inner.trace_id.store(id, Ordering::Relaxed);
+        }
+    }
+
+    /// The trace id, if one was set (0 counts as unset).
+    pub fn trace_id(&self) -> Option<u64> {
+        let id = self.0.as_ref()?.trace_id.load(Ordering::Relaxed);
+        (id != 0).then_some(id)
+    }
+
+    /// Lazily assigns a process-unique trace id (wall clock ⊕ pid) and
+    /// returns it. Idempotent: later calls return the first id.
+    pub fn ensure_trace_id(&self) -> Option<u64> {
+        let inner = self.0.as_ref()?;
+        let cur = inner.trace_id.load(Ordering::Relaxed);
+        if cur != 0 {
+            return Some(cur);
+        }
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED);
+        let id = (nanos ^ (std::process::id() as u64) << 32).max(1);
+        match inner.trace_id.compare_exchange(0, id, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => Some(id),
+            Err(prev) => Some(prev),
+        }
+    }
+
+    /// Links a local span to a parent span in another process's trace.
+    /// The link is exported in the span's Chrome-trace `args` as
+    /// `remoteTrace`/`remoteParent`, which `mcc trace-merge` rewrites
+    /// into a real parent edge.
+    pub fn link_remote(&self, span_id: u64, remote_trace: u64, remote_parent: u64) {
+        if let Some(inner) = &self.0 {
+            if span_id != 0 {
+                inner.lock_remote_links().insert(span_id, (remote_trace, remote_parent));
+            }
+        }
+    }
+
     /// A deterministic snapshot of counters and histograms. Empty for a
     /// disabled handle.
     pub fn snapshot(&self) -> Snapshot {
@@ -269,20 +366,29 @@ impl RecorderHandle {
     /// microseconds — plus a `metrics` object carrying the deterministic
     /// counter snapshot, which Perfetto ignores but CI baselines read.
     pub fn to_chrome_trace(&self) -> String {
-        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",");
+        if let Some(id) = self.trace_id() {
+            out.push_str(&format!("\"traceId\":{id},"));
+        }
+        out.push_str("\"traceEvents\":[");
+        let links = self.0.as_ref().map_or_else(BTreeMap::new, |i| i.lock_remote_links().clone());
         for (i, s) in self.spans().iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
+            let remote = links.get(&s.id).map_or_else(String::new, |(t, p)| {
+                format!(",\"remoteTrace\":{t},\"remoteParent\":{p}")
+            });
             out.push_str(&format!(
                 "{{\"name\":{},\"cat\":\"mcc\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
-                 \"pid\":1,\"tid\":{},\"args\":{{\"id\":{},\"parent\":{}}}}}",
+                 \"pid\":1,\"tid\":{},\"args\":{{\"id\":{},\"parent\":{}{}}}}}",
                 json_string(s.name),
                 s.start_us,
                 s.dur_us,
                 s.tid,
                 s.id,
                 s.parent.map_or_else(|| "null".to_string(), |p| p.to_string()),
+                remote,
             ));
         }
         out.push_str("],\"metrics\":{");
@@ -333,6 +439,15 @@ pub struct SpanGuard {
     start: Option<Instant>,
 }
 
+impl SpanGuard {
+    /// The span's recorder-unique id (0 on a disabled handle) — what a
+    /// client sends over the wire as the remote parent for the daemon's
+    /// session span.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(inner) = self.inner.take() else { return };
@@ -376,6 +491,26 @@ pub struct HistSnapshot {
     pub count: u64,
 }
 
+impl HistSnapshot {
+    /// An upper-bound estimate of the `q`-quantile (0.0 ≤ q ≤ 1.0): the
+    /// `le` bound of the bucket the quantile falls in, or `u64::MAX` when
+    /// it lands in the overflow bucket. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for &(le, n) in &self.buckets {
+            cum += n;
+            if cum >= rank {
+                return le;
+            }
+        }
+        u64::MAX
+    }
+}
+
 /// A frozen, deterministic view of a recorder's counters and histograms.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Snapshot {
@@ -414,6 +549,100 @@ impl Snapshot {
 /// are not monotonic recorder counters, e.g. live session counts).
 pub fn render_gauge(name: &str, value: u64) -> String {
     format!("# TYPE mcc_{name} gauge\nmcc_{name} {value}\n")
+}
+
+// ---------------------------------------------------------------------
+// Per-session flight recorder.
+
+/// Default capacity of a [`FlightRecorder`] ring.
+pub const FLIGHT_RECORDER_CAP: usize = 256;
+
+/// One flight-recorder entry: a timestamped state transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Monotonic sequence number (never wraps; gaps mean evicted entries).
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub ts_us: u64,
+    /// Short stable kind, e.g. `frame`, `ack`, `evict`, `park`.
+    pub kind: &'static str,
+    /// Free-form detail for the kind (already formatted).
+    pub detail: String,
+}
+
+/// A fixed-size ring buffer of session state transitions, kept per
+/// session and dumped as JSONL only on salvage/error/`Gone` — postmortem
+/// detail without always-on logging. Not thread-safe by itself: each
+/// session owns one and records from its connection thread.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    epoch: Instant,
+    cap: usize,
+    next_seq: u64,
+    ring: std::collections::VecDeque<FlightRecord>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::with_capacity(FLIGHT_RECORDER_CAP)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `cap` entries (oldest evicted first).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            epoch: Instant::now(),
+            cap: cap.max(1),
+            next_seq: 0,
+            ring: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Appends one record, evicting the oldest if the ring is full.
+    pub fn record(&mut self, kind: &'static str, detail: impl Into<String>) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(FlightRecord {
+            seq: self.next_seq,
+            ts_us: self.epoch.elapsed().as_micros() as u64,
+            kind,
+            detail: detail.into(),
+        });
+        self.next_seq += 1;
+    }
+
+    /// Records kept (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total records ever appended, including evicted ones.
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Renders the ring as JSONL, one `{"seq","ts_us","kind","detail"}`
+    /// object per line, oldest first.
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.ring {
+            out.push_str(&format!(
+                "{{\"seq\":{},\"ts_us\":{},\"kind\":{},\"detail\":{}}}\n",
+                r.seq,
+                r.ts_us,
+                json_string(r.kind),
+                json_string(&r.detail)
+            ));
+        }
+        out
+    }
 }
 
 static GLOBAL: Mutex<Option<RecorderHandle>> = Mutex::new(None);
@@ -467,16 +696,34 @@ pub fn log_enabled(level: Level) -> bool {
     level as u8 <= max_level()
 }
 
-/// Emits one log line to stderr. Use through [`log!`], which skips the
-/// formatting entirely when the level is off.
+/// Emits one structured log line to stderr. Use through [`log!`], which
+/// skips the formatting entirely when the level is off.
 pub fn log_emit(level: Level, target: &str, msg: &str) {
+    log_emit_kv(level, target, msg, &[]);
+}
+
+/// Like [`log_emit`] but with extra key/value fields (e.g. a session id)
+/// appended to the JSON object. Lines are one JSON object each:
+/// `{"ts_us":…,"level":"warn","target":"…","msg":"…","session":"42"}`.
+pub fn log_emit_kv(level: Level, target: &str, msg: &str, kv: &[(&str, String)]) {
     let tag = match level {
-        Level::Error => "ERROR",
-        Level::Warn => "WARN",
-        Level::Info => "INFO",
-        Level::Debug => "DEBUG",
+        Level::Error => "error",
+        Level::Warn => "warn",
+        Level::Info => "info",
+        Level::Debug => "debug",
     };
-    eprintln!("[mcc {tag} {target}] {msg}");
+    let ts_us =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_micros() as u64).unwrap_or(0);
+    let mut line = format!(
+        "{{\"ts_us\":{ts_us},\"level\":\"{tag}\",\"target\":{},\"msg\":{}",
+        json_string(target),
+        json_string(msg)
+    );
+    for (k, v) in kv {
+        line.push_str(&format!(",{}:{}", json_string(k), json_string(v)));
+    }
+    line.push('}');
+    eprintln!("{line}");
 }
 
 /// Leveled diagnostic, off by default: `log!(Warn, "lost {n} events")`.
@@ -489,6 +736,24 @@ macro_rules! log {
     ($lvl:ident, $($arg:tt)*) => {
         if $crate::log_enabled($crate::Level::$lvl) {
             $crate::log_emit($crate::Level::$lvl, module_path!(), &format!($($arg)*));
+        }
+    };
+}
+
+/// [`log!`] with structured key/value fields prepended:
+/// `logkv!(Warn, [("session", id)], "gap at {seq}")`. Values are
+/// stringified with `Display`; like `log!`, nothing is formatted when
+/// the level is off.
+#[macro_export]
+macro_rules! logkv {
+    ($lvl:ident, [$(($k:expr, $v:expr)),* $(,)?], $($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::$lvl) {
+            $crate::log_emit_kv(
+                $crate::Level::$lvl,
+                module_path!(),
+                &format!($($arg)*),
+                &[$(($k, $v.to_string())),*],
+            );
         }
     };
 }
@@ -666,5 +931,96 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn trace_id_round_trip_and_export() {
+        let h = RecorderHandle::enabled();
+        assert_eq!(h.trace_id(), None);
+        assert!(!h.to_chrome_trace().contains("traceId"));
+        let id = h.ensure_trace_id().unwrap();
+        assert!(id != 0);
+        assert_eq!(h.ensure_trace_id(), Some(id), "idempotent");
+        assert_eq!(h.trace_id(), Some(id));
+        assert!(h.to_chrome_trace().contains(&format!("\"traceId\":{id}")));
+        // Disabled handles have no trace id and never will.
+        let d = RecorderHandle::disabled();
+        assert_eq!(d.ensure_trace_id(), None);
+        d.set_trace_id(7);
+        assert_eq!(d.trace_id(), None);
+    }
+
+    #[test]
+    fn remote_links_export_in_span_args() {
+        let h = RecorderHandle::enabled();
+        let span_id = {
+            let s = h.span("serve.session");
+            assert!(s.id() != 0);
+            s.id()
+        };
+        h.link_remote(span_id, 0xABCD, 42);
+        let doc = h.to_chrome_trace();
+        assert!(doc.contains("\"remoteTrace\":43981"), "{doc}");
+        assert!(doc.contains("\"remoteParent\":42"), "{doc}");
+        // Unlinked spans carry no remote fields.
+        {
+            let _s = h.span("other");
+        }
+        let doc = h.to_chrome_trace();
+        assert_eq!(doc.matches("remoteParent").count(), 1, "{doc}");
+    }
+
+    #[test]
+    fn disabled_span_guard_has_zero_id() {
+        let h = RecorderHandle::disabled();
+        let s = h.span("x");
+        assert_eq!(s.id(), 0);
+    }
+
+    #[test]
+    fn hist_quantiles_pick_bucket_bounds() {
+        let mut h = Hist::default();
+        for v in [1u64, 2, 3, 10, 50, 200, 100_000] {
+            h.observe(v);
+        }
+        let snap = HistSnapshot {
+            buckets: HIST_BOUNDS.iter().copied().zip(h.buckets.iter().copied()).collect(),
+            overflow: h.buckets[HIST_BOUNDS.len()],
+            sum: h.sum,
+            count: h.count,
+        };
+        assert_eq!(snap.quantile(0.0), 1);
+        assert_eq!(snap.quantile(0.5), 16);
+        assert_eq!(snap.quantile(0.99), u64::MAX, "overflow bucket");
+        assert_eq!(HistSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn flight_recorder_ring_evicts_oldest() {
+        let mut fr = FlightRecorder::with_capacity(3);
+        assert!(fr.is_empty());
+        for i in 0..5 {
+            fr.record("frame", format!("seq={i}"));
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.total_recorded(), 5);
+        let dump = fr.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"seq\":2"), "{dump}");
+        assert!(lines[2].contains("\"seq\":4"), "{dump}");
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"ts_us\":"), "{line}");
+            assert!(line.contains("\"kind\":\"frame\""), "{line}");
+        }
+    }
+
+    #[test]
+    fn structured_log_line_shape() {
+        // log_emit writes to stderr; exercise the formatting path via a
+        // captured variant by checking the pieces that build the line.
+        assert_eq!(json_string("serve"), "\"serve\"");
+        log_emit_kv(Level::Debug, "mcc_obs::tests", "shape probe", &[("session", "7".into())]);
     }
 }

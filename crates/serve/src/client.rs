@@ -28,7 +28,7 @@
 
 use crate::proto::{
     encode_frame_with, write_all_vectored, write_frame_with, EventBatch, Frame, FrameReader,
-    ProtoError, SessionOpts, CAP_BINARY, PROTOCOL_VERSION,
+    ProtoError, SessionOpts, CAP_BINARY, CAP_TRACECTX, PROTOCOL_VERSION,
 };
 use crate::report::SessionReport;
 use mcc_codec::CodecKind;
@@ -203,6 +203,26 @@ fn negotiated_codec(capabilities: &[String], prefer_binary: bool) -> CodecKind {
     }
 }
 
+/// Stamps the session with this process's trace context when the server
+/// negotiated `tracectx` and the global recorder is live. Sent right
+/// after `Welcome` — never speculatively, so a `tracectx`-unaware server
+/// (old build, or `--no-tracectx`) is never shown a frame it cannot
+/// decode. Returns the frame written, if any.
+fn send_trace_ctx<S: Read + Write>(
+    reader: &mut FrameReader<S>,
+    capabilities: &[String],
+    parent_span: u64,
+) -> Result<bool, ProtoError> {
+    if !capabilities.iter().any(|c| c == CAP_TRACECTX) {
+        return Ok(false);
+    }
+    let Some(trace_id) = mcc_obs::global().ensure_trace_id() else {
+        return Ok(false);
+    };
+    write_frame_with(reader.get_mut(), &Frame::TraceCtx { trace_id, parent_span }, CONTROL)?;
+    Ok(true)
+}
+
 /// Encodes `events[from..]` into wire frames: columnar `Batch` frames
 /// when the binary codec is negotiated and batching is on, per-event
 /// frames otherwise.
@@ -262,6 +282,7 @@ pub fn submit_over_cfg<S: Read + Write>(
     opts: &SessionOpts,
     cfg: &SubmitCfg,
 ) -> Result<(SessionReport, SubmitInfo), ClientError> {
+    let submit_span = mcc_obs::global().span("client.submit");
     let mut reader = FrameReader::new(stream);
     write_frame_with(
         reader.get_mut(),
@@ -277,6 +298,7 @@ pub fn submit_over_cfg<S: Read + Write>(
         Frame::Error { message } => return Err(ClientError::Rejected(message)),
         other => return Err(ClientError::UnexpectedFrame(format!("{other:?}"))),
     };
+    send_trace_ctx(&mut reader, &capabilities, submit_span.id())?;
     let codec = negotiated_codec(&capabilities, cfg.prefer_binary);
     let mut info = SubmitInfo { codec, ..Default::default() };
 
@@ -502,6 +524,7 @@ fn one_attempt<S: Read + Write>(
     acked: &mut u64,
     stats: &mut SubmitStats,
 ) -> Attempt {
+    let submit_span = mcc_obs::global().span("client.submit");
     let mut reader = FrameReader::new(stream);
 
     // Handshake. Each attempt re-negotiates the event-stream codec from
@@ -572,6 +595,10 @@ fn one_attempt<S: Read + Write>(
             Err(e @ ClientError::BadReport(_)) => return Attempt::Fatal(e),
             Err(e) => return Attempt::Retry(e),
         }
+    }
+
+    if let Err(e) = send_trace_ctx(&mut reader, &capabilities, submit_span.id()) {
+        return Attempt::Retry(e.into());
     }
 
     // Stream every event the server has not acknowledged.
@@ -762,4 +789,27 @@ pub fn metrics_tcp(addr: &str) -> Result<String, ClientError> {
 #[cfg(unix)]
 pub fn metrics_unix(path: &str) -> Result<String, ClientError> {
     metrics_over(UnixStream::connect(path)?)
+}
+
+/// Asks a daemon for its fleet health snapshot (the `HEALTH` verb) and
+/// returns the raw JSON.
+pub fn health_over<S: Read + Write>(stream: S) -> Result<String, ClientError> {
+    let mut reader = FrameReader::new(stream);
+    write_frame_with(reader.get_mut(), &Frame::Health, CONTROL)?;
+    match read_reply(&mut reader, DEFAULT_REPLY_DEADLINE)? {
+        Frame::HealthReport { json } => Ok(json),
+        Frame::Error { message } => Err(ClientError::Rejected(message)),
+        other => Err(ClientError::UnexpectedFrame(format!("{other:?}"))),
+    }
+}
+
+/// [`health_over`] via TCP.
+pub fn health_tcp(addr: &str) -> Result<String, ClientError> {
+    health_over(TcpStream::connect(addr)?)
+}
+
+/// [`health_over`] via Unix socket.
+#[cfg(unix)]
+pub fn health_unix(path: &str) -> Result<String, ClientError> {
+    health_over(UnixStream::connect(path)?)
 }

@@ -74,14 +74,29 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// support (see [`SERVER_CAPABILITIES`]).
 pub const CAP_BINARY: &str = "binary";
 
+/// The capability string that announces `TraceCtx` frame support: a
+/// client that sees it in the `Welcome` may send one [`Frame::TraceCtx`]
+/// so the daemon's session span parent-links into the client's trace.
+/// Negotiated exactly like `binary` — a server run with `--no-tracectx`
+/// drops it and clients stay silent, so `tracectx`-unaware peers
+/// round-trip cleanly in both directions.
+pub const CAP_TRACECTX: &str = "tracectx";
+
+/// The capability string that announces the `Health` verb, answered with
+/// [`Frame::HealthReport`] (a JSON fleet-health document).
+pub const CAP_HEALTH: &str = "health";
+
 /// Capabilities this server build announces in its `Welcome` frame.
 /// `metrics` means the `Metrics` verb is answered with `MetricsReport`;
 /// `resume` means durable sessions, `Resume`, `Ack`, and `Gone` are
 /// understood; `crc32` means every frame carries the checksummed header;
 /// `binary` means the server accepts binary-codec payloads and `Batch`
 /// frames (a server run with `--no-binary` drops it, and clients fall
-/// back to per-event JSON).
-pub const SERVER_CAPABILITIES: &[&str] = &["metrics", "resume", "crc32", CAP_BINARY];
+/// back to per-event JSON); `tracectx` means the server accepts a
+/// [`Frame::TraceCtx`] stamp after the handshake; `health` means the
+/// `Health` verb is answered with `HealthReport`.
+pub const SERVER_CAPABILITIES: &[&str] =
+    &["metrics", "resume", "crc32", CAP_BINARY, CAP_TRACECTX, CAP_HEALTH];
 
 /// Hard cap on a single frame's payload, applied before reading it.
 pub const MAX_FRAME_LEN: usize = 1 << 20;
@@ -305,6 +320,29 @@ pub enum Frame {
     MetricsReport {
         /// Counter/histogram/gauge lines (`mcc_*`).
         text: String,
+    },
+    /// Client → server, after the handshake and only when the server's
+    /// `Welcome` listed the `tracectx` capability: names the client's
+    /// trace so the daemon's `serve.session` span parent-links into it.
+    /// `mcc trace-merge` later stitches the two Chrome traces into one
+    /// tree. Servers without the capability never see this frame.
+    TraceCtx {
+        /// The client recorder's trace id (nonzero).
+        trace_id: u64,
+        /// Span id of the client's `submit` span, the remote parent for
+        /// the daemon's session span.
+        parent_span: u64,
+    },
+    /// Requests fleet health (capability `health`); answered with
+    /// `HealthReport`. Like `Stats`/`Metrics`, valid both before a
+    /// session and during one.
+    Health,
+    /// The server's health summary: a JSON document with uptime, session
+    /// counts by state, event totals, and buffering/eviction pressure —
+    /// what `mcc top` polls.
+    HealthReport {
+        /// The JSON health document (`schema_version` 1).
+        json: String,
     },
     /// The server refuses a frame or a session.
     Error {
@@ -643,6 +681,9 @@ mod tests {
             Frame::StatsReport { json: "{}".into() },
             Frame::Metrics,
             Frame::MetricsReport { text: "# TYPE mcc_x counter\nmcc_x 1\n".into() },
+            Frame::TraceCtx { trace_id: 0xDEAD_BEEF, parent_span: 12 },
+            Frame::Health,
+            Frame::HealthReport { json: "{\"schema_version\":1}".into() },
             Frame::Error { message: "nope".into() },
         ]
     }

@@ -17,6 +17,7 @@
 
 use crate::journal::Journal;
 use mcc_core::streaming::StreamingChecker;
+use mcc_obs::FlightRecorder;
 use serde::Value;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -67,6 +68,10 @@ pub struct ParkedSession {
     pub journal: Option<Journal>,
     /// Last reported progress.
     pub progress: Progress,
+    /// The session's flight recorder, carried across park/resume so a
+    /// postmortem dump covers the whole session, not just the last
+    /// connection.
+    pub flight: FlightRecorder,
 }
 
 /// How a `Resume{session}` resolves against the registry.
@@ -116,12 +121,38 @@ const RETIRED_REPORTS_CAP: usize = 64;
 /// `Arc<Registry>`.
 pub struct Registry {
     inner: Mutex<Inner>,
+    started: Instant,
 }
 
 impl Default for Registry {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Aggregate fleet state, as served by the `Health` verb.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetStats {
+    /// Sessions attached to a live connection.
+    pub active: usize,
+    /// Sessions parked awaiting a `Resume`.
+    pub parked: usize,
+    /// Sessions completed since startup.
+    pub completed: u64,
+    /// Sessions salvaged since startup.
+    pub salvaged: u64,
+    /// Sessions resumed since startup.
+    pub resumed: u64,
+    /// Sessions recovered from journals since startup.
+    pub recovered: u64,
+    /// Handshakes rejected since startup.
+    pub rejected: u64,
+    /// Events ingested across finished and live sessions.
+    pub events: u64,
+    /// Findings across finished and live sessions.
+    pub findings: u64,
+    /// Events currently buffered across live and parked checkers.
+    pub buffered: u64,
 }
 
 impl Registry {
@@ -135,7 +166,41 @@ impl Registry {
                 retired: BTreeMap::new(),
                 totals: Totals::default(),
             }),
+            started: Instant::now(),
         }
+    }
+
+    /// Time since the registry (≈ the daemon) was created.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// A consistent aggregate of the fleet's state.
+    pub fn fleet(&self) -> FleetStats {
+        let inner = self.lock();
+        let mut f = FleetStats {
+            active: inner.active.len(),
+            parked: inner.parked.len(),
+            completed: inner.totals.completed,
+            salvaged: inner.totals.salvaged,
+            resumed: inner.totals.resumed,
+            recovered: inner.totals.recovered,
+            rejected: inner.totals.rejected,
+            events: inner.totals.events,
+            findings: inner.totals.findings,
+            buffered: 0,
+        };
+        for s in inner.active.values() {
+            f.events += s.progress.events;
+            f.findings += s.progress.findings as u64;
+            f.buffered += s.progress.buffered as u64;
+        }
+        for (p, _) in inner.parked.values() {
+            f.events += p.progress.events;
+            f.findings += p.progress.findings as u64;
+            f.buffered += p.progress.buffered as u64;
+        }
+        f
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -427,6 +492,7 @@ mod tests {
             expected_seq: 0,
             journal: None,
             progress: Progress::default(),
+            flight: FlightRecorder::default(),
         }
     }
 

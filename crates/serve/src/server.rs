@@ -29,8 +29,8 @@
 
 use crate::journal::{scan_dir, FsyncPolicy, Journal};
 use crate::proto::{
-    write_frame_with, Frame, FrameReader, ProtoError, SessionOpts, CAP_BINARY, MAX_RANKS,
-    PROTOCOL_VERSION, SERVER_CAPABILITIES,
+    write_frame_with, Frame, FrameReader, ProtoError, SessionOpts, CAP_BINARY, CAP_TRACECTX,
+    MAX_RANKS, PROTOCOL_VERSION, SERVER_CAPABILITIES,
 };
 use crate::registry::{Outcome, ParkedSession, Progress, Registry, ResumeOutcome, SessionGuard};
 use crate::report::{SessionReport, REPORT_SCHEMA_VERSION};
@@ -38,8 +38,9 @@ use mcc_codec::CodecKind;
 use mcc_core::report::Confidence;
 use mcc_core::session::AnalysisSession;
 use mcc_core::streaming::StreamingChecker;
-use mcc_obs::{log, names, render_gauge, RecorderHandle};
+use mcc_obs::{log, logkv, names, render_gauge, FlightRecorder, RecorderHandle};
 use mcc_types::Rank;
+use serde::Value;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
@@ -94,6 +95,11 @@ pub struct ServeConfig {
     /// to per-event JSON, which is the interop escape hatch when a
     /// codec bug needs ruling out.
     pub no_binary: bool,
+    /// Drop the `tracectx` capability from the `Welcome` and refuse
+    /// `TraceCtx` frames (`mcc serve --no-tracectx`), making this server
+    /// behave like a pre-tracectx build: clients stay silent and traces
+    /// remain per-process.
+    pub no_tracectx: bool,
     /// The daemon's observability recorder. Every session's pipeline
     /// counters and the serve-layer counters flow into it; the `Metrics`
     /// verb renders its snapshot. Enabled by default — a long-running
@@ -118,6 +124,7 @@ impl Default for ServeConfig {
             resume_grace: Duration::from_secs(120),
             recover: false,
             no_binary: false,
+            no_tracectx: false,
             recorder: RecorderHandle::enabled(),
         }
     }
@@ -126,10 +133,78 @@ impl Default for ServeConfig {
 /// Renders the daemon's live metrics: the recorder's deterministic
 /// snapshot plus registry gauges — the `Metrics` verb's payload.
 fn metrics_text(registry: &Registry, recorder: &RecorderHandle) -> String {
+    let fleet = registry.fleet();
     let mut text = recorder.snapshot().render();
-    text.push_str(&render_gauge("serve_sessions_active", registry.active_count() as u64));
-    text.push_str(&render_gauge("serve_sessions_parked", registry.parked_count() as u64));
+    text.push_str(&render_gauge("serve_sessions_active", fleet.active as u64));
+    text.push_str(&render_gauge("serve_sessions_parked", fleet.parked as u64));
+    text.push_str(&render_gauge("serve_buffered_events", fleet.buffered));
     text
+}
+
+/// Renders the daemon's fleet-health summary — the `Health` verb's
+/// payload, polled by `mcc top`. Schema version 1; all values integers.
+fn health_json(registry: &Registry, recorder: &RecorderHandle) -> String {
+    let f = registry.fleet();
+    let snap = recorder.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let uptime_ms = registry.uptime().as_millis() as u64;
+    let events_per_sec = f.events.saturating_mul(1000).checked_div(uptime_ms).unwrap_or(0);
+    let obj = |fields: Vec<(&str, Value)>| {
+        Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    let int = |n: u64| Value::Int(n as i128);
+    let doc = obj(vec![
+        ("schema_version", Value::Int(1)),
+        ("uptime_ms", int(uptime_ms)),
+        (
+            "sessions",
+            obj(vec![
+                ("active", int(f.active as u64)),
+                ("parked", int(f.parked as u64)),
+                ("completed", int(f.completed)),
+                ("salvaged", int(f.salvaged)),
+                ("resumed", int(f.resumed)),
+                ("recovered", int(f.recovered)),
+                ("rejected", int(f.rejected)),
+            ]),
+        ),
+        ("events_ingested", int(f.events)),
+        ("events_per_sec", int(events_per_sec)),
+        ("findings", int(f.findings)),
+        ("buffered_events", int(f.buffered)),
+        ("evictions", int(counter("stream_evictions_total"))),
+        ("backpressure_stalls", int(counter("serve_backpressure_stalls_total"))),
+        ("frames_corrupt", int(counter(names::FRAMES_CORRUPT))),
+    ]);
+    struct Doc(Value);
+    impl serde::Serialize for Doc {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+    serde_json::to_string(&Doc(doc))
+        .unwrap_or_else(|_| "{\"schema_version\":1,\"error\":\"health rendering failed\"}".into())
+}
+
+/// Dumps a finished-badly session's flight recorder: to
+/// `journal_dir/flight-<id>.jsonl` when the daemon has a journal
+/// directory, to the structured log otherwise. No-op for an empty ring.
+fn dump_flight(cfg: &ServeConfig, id: u64, flight: &FlightRecorder) {
+    if flight.is_empty() {
+        return;
+    }
+    cfg.recorder.add("serve_flight_dumps_total", 1);
+    let jsonl = flight.dump_jsonl();
+    if let Some(dir) = cfg.journal_dir.as_deref() {
+        let path = dir.join(format!("flight-{id}.jsonl"));
+        if std::fs::write(&path, &jsonl).is_ok() {
+            logkv!(Info, [("session", id)], "flight recorder dumped to {}", path.display());
+            return;
+        }
+    }
+    for line in jsonl.lines() {
+        logkv!(Warn, [("session", id)], "flight: {line}");
+    }
 }
 
 /// A bidirectional connection the server can serve.
@@ -283,9 +358,15 @@ impl Server {
             thread::spawn(move || {
                 while !shutdown.load(Ordering::SeqCst) {
                     thread::sleep(cfg.tick);
-                    for (id, parked) in registry.sweep_parked(cfg.resume_grace) {
+                    for (id, mut parked) in registry.sweep_parked(cfg.resume_grace) {
                         cfg.recorder.add(names::SESSIONS_SWEPT, 1);
-                        log!(Warn, "parked session {id} outlived the resume grace; salvaging");
+                        logkv!(
+                            Warn,
+                            [("session", id)],
+                            "parked session outlived the resume grace; salvaging"
+                        );
+                        parked.flight.record("sweep", "resume grace expired; salvaging");
+                        dump_flight(&cfg, id, &parked.flight);
                         let _ = parked.checker.finish_degraded();
                         if let Some(j) = parked.journal {
                             let _ = j.retire();
@@ -402,6 +483,8 @@ fn recover_dir(registry: &Arc<Registry>, dir: &std::path::Path, cfg: &ServeConfi
                 })
                 .ok();
             let id = rs.session;
+            let mut flight = FlightRecorder::default();
+            flight.record("recover", format!("rebuilt from journal at seq {expected_seq}"));
             let adopted = registry.adopt_parked(
                 id,
                 ParkedSession {
@@ -418,6 +501,7 @@ fn recover_dir(registry: &Arc<Registry>, dir: &std::path::Path, cfg: &ServeConfi
                         recovered: checker.is_recovered(),
                     },
                     checker,
+                    flight,
                 },
             );
             if adopted {
@@ -450,13 +534,14 @@ fn vet_hello(version: u32, nprocs: u32) -> Result<(), String> {
     Ok(())
 }
 
-fn welcome_frame(session: u64, no_binary: bool) -> Frame {
+fn welcome_frame(session: u64, cfg: &ServeConfig) -> Frame {
     Frame::Welcome {
         version: PROTOCOL_VERSION,
         session,
         capabilities: SERVER_CAPABILITIES
             .iter()
-            .filter(|&&c| !(no_binary && c == CAP_BINARY))
+            .filter(|&&c| !(cfg.no_binary && c == CAP_BINARY))
+            .filter(|&&c| !(cfg.no_tracectx && c == CAP_TRACECTX))
             .map(|s| s.to_string())
             .collect(),
     }
@@ -473,6 +558,52 @@ struct SessionCtx {
     /// Sequence through which the last `Ack` was sent.
     last_ack: u64,
     nprocs: usize,
+    /// Arrival time of the oldest event not yet covered by an `Ack`
+    /// (feeds the ingest→ack latency histogram).
+    pending_since: Option<Instant>,
+    /// Whether the session is currently past the soft watermark, so
+    /// the flight recorder logs the crossing, not every stalled read.
+    stalled: bool,
+    /// Ring buffer of state transitions, dumped on salvage/error.
+    flight: FlightRecorder,
+}
+
+impl SessionCtx {
+    /// Syncs the journal for an ack, timing the fsync into the
+    /// [`names::JOURNAL_FSYNC_US`] histogram. A failed sync downgrades
+    /// durability to in-memory parking (journal dropped).
+    fn sync_journal_for_ack(&mut self, obs: &RecorderHandle) {
+        if let Some(j) = self.journal.as_mut() {
+            let t0 = Instant::now();
+            let result = j.sync_for_ack();
+            let us = t0.elapsed().as_micros() as u64;
+            obs.observe(names::JOURNAL_FSYNC_US, us);
+            self.flight.record("fsync", format!("{us}us at seq {}", self.events));
+            if let Err(e) = result {
+                logkv!(Warn, [("session", self.guard.id())], "journal sync failed: {e}");
+                self.flight.record("journal_lost", e.to_string());
+                self.journal = None;
+            }
+        }
+    }
+
+    /// Sends the periodic `Ack`, observing ingest→ack latency. Returns
+    /// `false` when the client is gone (caller parks).
+    fn send_ack(&mut self, conn: &mut impl Write, obs: &RecorderHandle) -> bool {
+        let through = self.events;
+        if !send(conn, &Frame::Ack { through }) {
+            return false;
+        }
+        if let Some(since) = self.pending_since.take() {
+            let us = since.elapsed().as_micros() as u64;
+            obs.observe(names::INGEST_ACK_LATENCY_US, us);
+            self.flight.record("ack", format!("through {through} ({us}us)"));
+        } else {
+            self.flight.record("ack", format!("through {through}"));
+        }
+        self.last_ack = through;
+        true
+    }
 }
 
 fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) {
@@ -499,6 +630,12 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
             Ok(Some(Frame::Metrics)) => {
                 let text = metrics_text(&registry, obs);
                 if !send(reader.get_mut(), &Frame::MetricsReport { text }) {
+                    return;
+                }
+            }
+            Ok(Some(Frame::Health)) => {
+                let json = health_json(&registry, obs);
+                if !send(reader.get_mut(), &Frame::HealthReport { json }) {
                     return;
                 }
             }
@@ -548,7 +685,7 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                         // Completed while the client was away: redeliver.
                         obs.add(names::SESSIONS_RESUMED, 1);
                         log!(Info, "session {session} resumed into its retired report");
-                        if send(reader.get_mut(), &welcome_frame(session, cfg.no_binary)) {
+                        if send(reader.get_mut(), &welcome_frame(session, cfg)) {
                             send(reader.get_mut(), &Frame::Report { json });
                         }
                         return;
@@ -574,7 +711,9 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
             Ok(Some(_)) => {
                 send(
                     reader.get_mut(),
-                    &Frame::Error { message: "expected Hello, Resume, Stats, or Metrics".into() },
+                    &Frame::Error {
+                        message: "expected Hello, Resume, Stats, Metrics, or Health".into(),
+                    },
                 );
                 return;
             }
@@ -645,7 +784,7 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
             } else {
                 None
             };
-            if !send(reader.get_mut(), &welcome_frame(guard.id(), cfg.no_binary)) {
+            if !send(reader.get_mut(), &welcome_frame(guard.id(), cfg)) {
                 // Client is already gone; the guard's Drop records the
                 // salvage (nothing ingested yet, nothing to park).
                 if let Some(j) = journal {
@@ -653,6 +792,11 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                 }
                 return;
             }
+            let mut flight = FlightRecorder::default();
+            flight.record(
+                "open",
+                format!("nprocs={nprocs} threads={threads} durable={}", opts.durable),
+            );
             SessionCtx {
                 guard,
                 checker: Some(checker),
@@ -661,13 +805,19 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                 events: 0,
                 last_ack: 0,
                 nprocs,
+                pending_since: None,
+                stalled: false,
+                flight,
             }
         }
         Opened::Resumed { guard, parked } => {
             obs.add(names::SESSIONS_RESUMED, 1);
             let id = guard.id();
             let through = parked.expected_seq;
-            log!(Info, "session {id} resumed at seq {through}");
+            logkv!(Info, [("session", id)], "resumed at seq {through}");
+            let parked = *parked;
+            let mut flight = parked.flight;
+            flight.record("resume", format!("at seq {through}"));
             let ctx = SessionCtx {
                 guard,
                 checker: Some(parked.checker),
@@ -676,8 +826,11 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                 events: through,
                 last_ack: through,
                 nprocs: parked.nprocs,
+                pending_since: None,
+                stalled: false,
+                flight,
             };
-            if !send(reader.get_mut(), &welcome_frame(id, cfg.no_binary))
+            if !send(reader.get_mut(), &welcome_frame(id, cfg))
                 || !send(reader.get_mut(), &Frame::Ack { through })
             {
                 // Died again before the handshake finished: re-park.
@@ -698,7 +851,7 @@ fn run_session(
     mut ctx: SessionCtx,
 ) {
     let obs = &cfg.recorder;
-    let _session_span = obs.span("serve.session");
+    let session_span = obs.span("serve.session");
     let mut last_activity = Instant::now();
     let progress_of = |c: &StreamingChecker, events: u64| Progress {
         events,
@@ -722,6 +875,7 @@ fn run_session(
                     }
                     if seq > ctx.events {
                         let message = format!("event gap: expected seq {}, got {seq}", ctx.events);
+                        ctx.flight.record("gap", message.clone());
                         send(reader.get_mut(), &Frame::Error { message });
                         park(ctx, obs);
                         return;
@@ -732,59 +886,75 @@ fn run_session(
                         reader.get_mut(),
                         &Frame::Error { message: "internal: session already closed".into() },
                     );
-                    finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                    finish_abnormally(ctx, registry, reader.get_mut(), cfg);
                     return;
                 };
                 let journal_copy = ctx.journal.is_some().then(|| (kind.clone(), loc.clone()));
+                let evictions_before = c.evictions;
                 if let Err(e) = c.push(Rank(rank), kind, loc) {
+                    ctx.flight.record("push_error", e.to_string());
                     send(reader.get_mut(), &Frame::Error { message: e.to_string() });
                     // A client feeding invalid events gets a degraded
                     // report, durable or not — there is nothing coherent
                     // to resume into.
-                    finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                    finish_abnormally(ctx, registry, reader.get_mut(), cfg);
                     return;
+                }
+                if c.evictions > evictions_before {
+                    ctx.flight.record("evict", format!("eviction #{} at seq {seq}", c.evictions));
                 }
                 if let (Some(j), Some((kind, loc))) = (ctx.journal.as_mut(), journal_copy) {
                     if let Err(e) = j.append_event(seq, rank, &kind, &loc) {
                         // Journal failure downgrades durability to
                         // in-memory parking; the stream continues.
-                        log!(Warn, "session {}: journal write failed: {e}", ctx.guard.id());
+                        logkv!(Warn, [("session", ctx.guard.id())], "journal write failed: {e}");
+                        ctx.flight.record("journal_lost", e.to_string());
                         ctx.journal = None;
                     }
                 }
                 ctx.events += 1;
+                ctx.pending_since.get_or_insert_with(Instant::now);
                 obs.add("serve_events_total", 1);
                 if ctx.events.is_multiple_of(256) {
                     ctx.guard.report_progress(progress_of(c, ctx.events));
+                    ctx.flight.record("frame", format!("event seq {seq}"));
                 }
                 if ctx.durable && ctx.events - ctx.last_ack >= cfg.ack_interval {
-                    if let Some(j) = ctx.journal.as_mut() {
-                        if let Err(e) = j.sync_for_ack() {
-                            log!(Warn, "session {}: journal sync failed: {e}", ctx.guard.id());
-                            ctx.journal = None;
-                        }
-                    }
-                    let through = ctx.events;
-                    if !send(reader.get_mut(), &Frame::Ack { through }) {
+                    ctx.sync_journal_for_ack(obs);
+                    if !ctx.send_ack(reader.get_mut(), obs) {
                         park(ctx, obs);
                         return;
                     }
-                    ctx.last_ack = through;
                 }
                 let buffered = ctx.checker.as_ref().map(|c| c.buffered()).unwrap_or(0);
                 if buffered >= cfg.soft_watermark {
                     obs.add("serve_backpressure_stalls_total", 1);
+                    if !ctx.stalled {
+                        ctx.stalled = true;
+                        ctx.flight.record(
+                            "backpressure",
+                            format!("buffered {buffered} crossed soft watermark"),
+                        );
+                    }
                     thread::sleep(cfg.backpressure_pause);
+                } else if ctx.stalled {
+                    ctx.stalled = false;
+                    ctx.flight.record("backpressure", format!("cleared at {buffered}"));
                 }
             }
             Ok(Some(Frame::Batch(batch))) => {
                 last_activity = Instant::now();
                 if let Err(message) = batch.validate() {
                     obs.add(names::FRAMES_CORRUPT, 1);
+                    ctx.flight.record("batch_invalid", message.clone());
                     send(reader.get_mut(), &Frame::Error { message });
-                    finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                    finish_abnormally(ctx, registry, reader.get_mut(), cfg);
                     return;
                 }
+                ctx.flight.record(
+                    "frame",
+                    format!("batch of {} at seq {}", batch.len(), batch.first_seq),
+                );
                 // The batch is exactly equivalent to its expansion into
                 // Event frames: same dedup-prefix semantics on durable
                 // re-sends, same gap check, same push-then-journal order.
@@ -795,6 +965,7 @@ fn run_session(
                             "event gap: expected seq {}, got {}",
                             ctx.events, batch.first_seq
                         );
+                        ctx.flight.record("gap", message.clone());
                         send(reader.get_mut(), &Frame::Error { message });
                         park(ctx, obs);
                         return;
@@ -814,17 +985,29 @@ fn run_session(
                             reader.get_mut(),
                             &Frame::Error { message: "internal: session already closed".into() },
                         );
-                        finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                        finish_abnormally(ctx, registry, reader.get_mut(), cfg);
                         return;
                     };
+                    let evictions_before = c.evictions;
                     for i in skip..batch.len() {
                         let (rank, kind, loc) = batch.event(i);
                         if let Err(e) = c.push(Rank(rank), kind.clone(), loc.clone()) {
+                            ctx.flight.record("push_error", e.to_string());
                             send(reader.get_mut(), &Frame::Error { message: e.to_string() });
-                            finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                            finish_abnormally(ctx, registry, reader.get_mut(), cfg);
                             return;
                         }
                         ctx.events += 1;
+                    }
+                    if c.evictions > evictions_before {
+                        ctx.flight.record(
+                            "evict",
+                            format!(
+                                "{} eviction(s) in batch at seq {}",
+                                c.evictions - evictions_before,
+                                batch.first_seq
+                            ),
+                        );
                     }
                     obs.add("serve_events_total", ctx.events - events_before);
                     // One progress report per 256-event boundary crossed,
@@ -833,33 +1016,66 @@ fn run_session(
                         ctx.guard.report_progress(progress_of(c, ctx.events));
                     }
                 }
+                ctx.pending_since.get_or_insert_with(Instant::now);
                 if ctx.journal.is_some() {
                     let tail = batch.suffix(skip);
                     if let Some(j) = ctx.journal.as_mut() {
                         if let Err(e) = j.append_batch(&tail) {
-                            log!(Warn, "session {}: journal write failed: {e}", ctx.guard.id());
+                            logkv!(
+                                Warn,
+                                [("session", ctx.guard.id())],
+                                "journal write failed: {e}"
+                            );
+                            ctx.flight.record("journal_lost", e.to_string());
                             ctx.journal = None;
                         }
                     }
                 }
                 if ctx.durable && ctx.events - ctx.last_ack >= cfg.ack_interval {
-                    if let Some(j) = ctx.journal.as_mut() {
-                        if let Err(e) = j.sync_for_ack() {
-                            log!(Warn, "session {}: journal sync failed: {e}", ctx.guard.id());
-                            ctx.journal = None;
-                        }
-                    }
-                    let through = ctx.events;
-                    if !send(reader.get_mut(), &Frame::Ack { through }) {
+                    ctx.sync_journal_for_ack(obs);
+                    if !ctx.send_ack(reader.get_mut(), obs) {
                         park(ctx, obs);
                         return;
                     }
-                    ctx.last_ack = through;
                 }
                 let buffered = ctx.checker.as_ref().map(|c| c.buffered()).unwrap_or(0);
                 if buffered >= cfg.soft_watermark {
                     obs.add("serve_backpressure_stalls_total", 1);
+                    if !ctx.stalled {
+                        ctx.stalled = true;
+                        ctx.flight.record(
+                            "backpressure",
+                            format!("buffered {buffered} crossed soft watermark"),
+                        );
+                    }
                     thread::sleep(cfg.backpressure_pause);
+                } else if ctx.stalled {
+                    ctx.stalled = false;
+                    ctx.flight.record("backpressure", format!("cleared at {buffered}"));
+                }
+            }
+            Ok(Some(Frame::TraceCtx { trace_id, parent_span })) => {
+                if cfg.no_tracectx {
+                    // The capability was not announced; an opted-out
+                    // server treats the frame exactly like a pre-tracectx
+                    // build treats any unknown frame.
+                    send(
+                        reader.get_mut(),
+                        &Frame::Error { message: "unexpected frame mid-session".into() },
+                    );
+                    finish_abnormally(ctx, registry, reader.get_mut(), cfg);
+                    return;
+                }
+                last_activity = Instant::now();
+                obs.link_remote(session_span.id(), trace_id, parent_span);
+                ctx.flight
+                    .record("tracectx", format!("trace {trace_id:#x} parent span {parent_span}"));
+            }
+            Ok(Some(Frame::Health)) => {
+                let json = health_json(registry, obs);
+                if !send(reader.get_mut(), &Frame::HealthReport { json }) {
+                    finish_abnormally(ctx, registry, reader.get_mut(), cfg);
+                    return;
                 }
             }
             Ok(Some(Frame::Finish)) => {
@@ -868,7 +1084,7 @@ fn run_session(
                         reader.get_mut(),
                         &Frame::Error { message: "internal: session already closed".into() },
                     );
-                    finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                    finish_abnormally(ctx, registry, reader.get_mut(), cfg);
                     return;
                 };
                 ctx.guard.report_progress(progress_of(&c, ctx.events));
@@ -909,9 +1125,19 @@ fn run_session(
                 }
                 ctx.guard.finish(Outcome::Completed);
                 obs.add("serve_sessions_completed_total", 1);
-                log!(
+                // The Report acknowledges everything still pending, so
+                // it closes the ingest→ack window for short sessions
+                // that never crossed the ack interval.
+                if let Some(since) = ctx.pending_since.take() {
+                    obs.observe(
+                        mcc_obs::names::INGEST_ACK_LATENCY_US,
+                        since.elapsed().as_micros() as u64,
+                    );
+                }
+                logkv!(
                     Info,
-                    "session {id} completed: {} event(s), {} finding(s)",
+                    [("session", id)],
+                    "completed: {} event(s), {} finding(s)",
                     ctx.events,
                     report.findings.len()
                 );
@@ -930,14 +1156,14 @@ fn run_session(
             Ok(Some(Frame::Stats)) => {
                 let json = registry.stats_json();
                 if !send(reader.get_mut(), &Frame::StatsReport { json }) {
-                    finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                    finish_abnormally(ctx, registry, reader.get_mut(), cfg);
                     return;
                 }
             }
             Ok(Some(Frame::Metrics)) => {
                 let text = metrics_text(registry, obs);
                 if !send(reader.get_mut(), &Frame::MetricsReport { text }) {
-                    finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                    finish_abnormally(ctx, registry, reader.get_mut(), cfg);
                     return;
                 }
             }
@@ -946,24 +1172,26 @@ fn run_session(
                     reader.get_mut(),
                     &Frame::Error { message: "unexpected frame mid-session".into() },
                 );
-                finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                finish_abnormally(ctx, registry, reader.get_mut(), cfg);
                 return;
             }
             // Clean EOF without Finish, truncation, or transport errors:
             // the client died mid-stream.
             Ok(None) | Err(ProtoError::Truncated { .. }) | Err(ProtoError::Io(_)) => {
-                finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                ctx.flight.record("disconnect", "stream ended without Finish");
+                finish_abnormally(ctx, registry, reader.get_mut(), cfg);
                 return;
             }
             Err(ProtoError::Idle) => {
                 if last_activity.elapsed() >= cfg.idle_timeout {
-                    log!(
+                    logkv!(
                         Warn,
-                        "session {} idle for {:?}; closing",
-                        ctx.guard.id(),
+                        [("session", ctx.guard.id())],
+                        "idle for {:?}; closing",
                         cfg.idle_timeout
                     );
-                    finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                    ctx.flight.record("idle", format!("idle past {:?}", cfg.idle_timeout));
+                    finish_abnormally(ctx, registry, reader.get_mut(), cfg);
                     return;
                 }
             }
@@ -973,13 +1201,14 @@ fn run_session(
                 // or salvage. A durable client reconnects and resumes
                 // from its last Ack.
                 obs.add(names::FRAMES_CORRUPT, 1);
-                log!(Warn, "session {}: {e}", ctx.guard.id());
+                logkv!(Warn, [("session", ctx.guard.id())], "{e}");
+                ctx.flight.record("corrupt", e.to_string());
                 send(reader.get_mut(), &Frame::Error { message: e.to_string() });
-                finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                finish_abnormally(ctx, registry, reader.get_mut(), cfg);
                 return;
             }
             Err(_) => {
-                finish_abnormally(ctx, registry, reader.get_mut(), obs);
+                finish_abnormally(ctx, registry, reader.get_mut(), cfg);
                 return;
             }
         }
@@ -992,12 +1221,12 @@ fn finish_abnormally(
     ctx: SessionCtx,
     registry: &Arc<Registry>,
     conn: &mut impl Write,
-    obs: &RecorderHandle,
+    cfg: &ServeConfig,
 ) {
     if ctx.durable && ctx.checker.is_some() {
-        park(ctx, obs);
+        park(ctx, &cfg.recorder);
     } else {
-        salvage(ctx, registry, conn, obs);
+        salvage(ctx, registry, conn, cfg);
     }
 }
 
@@ -1009,16 +1238,20 @@ fn park(mut ctx: SessionCtx, obs: &RecorderHandle) {
         return;
     };
     if let Some(j) = ctx.journal.as_mut() {
+        let t0 = Instant::now();
         let _ = j.sync_for_ack();
+        obs.observe(names::JOURNAL_FSYNC_US, t0.elapsed().as_micros() as u64);
     }
     obs.add(names::SESSIONS_PARKED, 1);
-    log!(Info, "session {} parked at seq {}", ctx.guard.id(), ctx.events);
+    logkv!(Info, [("session", ctx.guard.id())], "parked at seq {}", ctx.events);
+    ctx.flight.record("park", format!("at seq {}", ctx.events));
     ctx.guard.park(ParkedSession {
         nprocs: ctx.nprocs,
         checker,
         expected_seq: ctx.events,
         journal: ctx.journal,
         progress: Progress::default(), // replaced by the registry's copy
+        flight: ctx.flight,
     });
 }
 
@@ -1029,10 +1262,13 @@ fn salvage(
     mut ctx: SessionCtx,
     registry: &Arc<Registry>,
     conn: &mut impl Write,
-    obs: &RecorderHandle,
+    cfg: &ServeConfig,
 ) {
+    let obs = &cfg.recorder;
     obs.add("serve_sessions_salvaged_total", 1);
-    log!(Warn, "session {} salvaged after {} event(s)", ctx.guard.id(), ctx.events);
+    logkv!(Warn, [("session", ctx.guard.id())], "salvaged after {} event(s)", ctx.events);
+    ctx.flight.record("salvage", format!("after {} event(s)", ctx.events));
+    dump_flight(cfg, ctx.guard.id(), &ctx.flight);
     if let Some(j) = ctx.journal.take() {
         let _ = j.retire();
     }

@@ -71,7 +71,7 @@
 //!           [--idle-timeout-ms N] [--write-timeout-ms N] [--tick-ms N]
 //!           [--max-threads N] [--ack-interval N] [--journal-dir DIR]
 //!           [--fsync never|ack|always] [--resume-grace-ms N] [--recover]
-//!           [--no-binary]
+//!           [--no-binary] [--no-tracectx] [--profile out.json]
 //!     Run the checker daemon. ADDR is a TCP address (default
 //!     127.0.0.1:9477; port 0 picks a free port) or, on Unix, a socket
 //!     path (recognized by a `/`). Each client connection is a session
@@ -89,12 +89,16 @@
 //!     --no-binary makes the daemon JSON-only: it stops announcing the
 //!     `binary` capability and refuses binary-codec payloads, for
 //!     mixed-version fleets where some peer can't speak the compact
-//!     wire format.
+//!     wire format. --no-tracectx likewise drops the `tracectx`
+//!     capability, making the daemon behave like a pre-tracectx build.
+//!     --profile enables the daemon-side recorder and writes its
+//!     Chrome trace on exit, for `mcc trace-merge` against a client
+//!     `mcc submit --profile` trace.
 //!
 //! mcc submit <trace-dir> [--addr ADDR] [--threads N] [--max-buffer N]
 //!            [--format text|json] [--durable] [--retries N]
 //!            [--backoff-ms N] [--throttle-ms N] [--codec json|binary]
-//!            [--batch-size N]
+//!            [--batch-size N] [--profile out.json]
 //!     Stream a recorded trace directory to a running daemon and print
 //!     the returned session report. Exit codes as for `mcc check`.
 //!     --durable opens a resumable session and retries through
@@ -106,11 +110,34 @@
 //!     capability; the handshake and the daemon's replies stay JSON);
 //!     --batch-size groups N events per columnar Batch frame
 //!     (default 256, 1 disables batching).
+//!     --profile records the client-side submit spans as a Chrome
+//!     trace and — when the daemon's Welcome lists the `tracectx`
+//!     capability — stamps the session with this process's trace id,
+//!     so a daemon `--profile` trace can be re-parented onto this one
+//!     with `mcc trace-merge`.
 //!
 //! mcc stats [--addr ADDR] [--metrics]
 //!     Print a running daemon's supervisor state as JSON. With
 //!     --metrics, print the daemon's live pipeline counters as
 //!     Prometheus-style text exposition instead (the `METRICS` verb).
+//!
+//! mcc top [--addr ADDR] [--interval-ms N] [--once]
+//!     Live fleet view of a running daemon: polls the `HEALTH` and
+//!     `METRICS` verbs and renders sessions by state, events/s,
+//!     buffered events, evictions, and the hot-path latency
+//!     histograms (ingest→ack, journal fsync, first finding) as
+//!     p50/p99. --once prints a single snapshot and exits (CI use);
+//!     otherwise the screen refreshes every --interval-ms (default
+//!     1000) until interrupted.
+//!
+//! mcc trace-merge <client.json> <daemon.json> [-o merged.json]
+//!     Merge a client-side `--profile` Chrome trace with the daemon's
+//!     `mcc serve --profile` trace into one document. Daemon span ids
+//!     are shifted past the client's, and daemon spans that carry a
+//!     `remoteTrace` link matching the client's `traceId` are
+//!     re-parented onto the client span that sent the `TraceCtx`
+//!     frame, so Perfetto shows client encode → wire → daemon flush →
+//!     analysis as a single tree.
 //!
 //! mcc overhead [--reps N]
 //!     Reproduce the paper's Table-3-style profiling-overhead study
@@ -155,6 +182,8 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
+        Some("trace-merge") => cmd_trace_merge(&args[1..]),
         Some("overhead") => cmd_overhead(&args[1..]),
         Some("table1") => {
             print!("{}", mc_checker::types::compat::render_table1());
@@ -193,7 +222,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: mcc <check|demo|explore|serve|submit|stats|overhead|table1|list> ...  \
+                "usage: mcc <check|demo|explore|serve|submit|stats|top|trace-merge|overhead|table1|list> ...  \
                  (see `src/bin/mcc.rs` docs)\nexit codes:\n{}",
                 mc_checker::EXIT_CODE_TABLE
             );
@@ -222,6 +251,10 @@ impl ProfileSink {
         let obs =
             if path.is_some() { RecorderHandle::enabled() } else { RecorderHandle::disabled() };
         if obs.is_enabled() {
+            // Mint the process trace id up front so the written trace is
+            // self-identifying even when no daemon ever negotiated
+            // `tracectx` (trace-merge keys the parent rewrite on it).
+            obs.ensure_trace_id();
             mc_checker::obs::set_global(obs.clone());
         }
         Self { path, obs }
@@ -498,10 +531,21 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     }
     cfg.recover = args.iter().any(|a| a == "--recover");
     cfg.no_binary = args.iter().any(|a| a == "--no-binary");
+    cfg.no_tracectx = args.iter().any(|a| a == "--no-tracectx");
     if cfg.recover && cfg.journal_dir.is_none() {
         eprintln!("mcc: --recover requires --journal-dir");
         return ExitCode::from(2);
     }
+    // `--profile` turns on the daemon-side recorder; its Chrome trace —
+    // session spans carrying `remoteTrace` links back to the submitting
+    // clients — is written when the server exits, ready for
+    // `mcc trace-merge` against a client-side profile.
+    let profile = flag_value(args, "--profile").map(str::to_string);
+    if profile.is_some() {
+        cfg.recorder = RecorderHandle::enabled();
+        mc_checker::obs::set_global(cfg.recorder.clone());
+    }
+    let obs = cfg.recorder.clone();
     let recover = cfg.recover;
     let server = match Server::bind(addr, cfg) {
         Ok(s) => s,
@@ -519,20 +563,70 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             server.registry().parked_count()
         );
     }
-    match server.run() {
+    // SIGINT/SIGTERM ask the accept loop to exit instead of killing the
+    // process, so `run` returns, journals close, and the `--profile`
+    // trace below actually gets written.
+    install_shutdown_handler(server.handle());
+    let code = match server.run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("mcc: serve failed: {e}");
             ExitCode::from(2)
         }
+    };
+    if let Some(path) = profile {
+        match std::fs::write(&path, obs.to_chrome_trace()) {
+            Ok(()) => eprintln!("profile written to {path} (open in ui.perfetto.dev)"),
+            Err(e) => {
+                eprintln!("mcc: cannot write profile `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
+    code
 }
+
+/// Set from the SIGINT/SIGTERM handler; a watcher thread turns it into
+/// a clean [`mc_checker::serve::ServerHandle::shutdown`].
+static SERVE_STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Routes SIGINT and SIGTERM into a graceful server shutdown. The
+/// handler itself only stores a flag (the only async-signal-safe thing
+/// it may do); a watcher thread notices and pokes the accept loop.
+/// Declared against the C library the Rust runtime already links, so no
+/// new dependency is involved.
+#[cfg(unix)]
+fn install_shutdown_handler(handle: mc_checker::serve::ServerHandle) {
+    use std::sync::atomic::Ordering;
+    extern "C" fn on_signal(_sig: i32) {
+        SERVE_STOP.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    // POSIX-mandated numbers: SIGINT = 2, SIGTERM = 15.
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(2, handler);
+        signal(15, handler);
+    }
+    std::thread::spawn(move || loop {
+        if SERVE_STOP.load(Ordering::SeqCst) {
+            handle.shutdown();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    });
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_handler(_handle: mc_checker::serve::ServerHandle) {}
 
 fn cmd_submit(args: &[String]) -> ExitCode {
     let Some(dir) = args.first() else {
         eprintln!(
             "usage: mcc submit <trace-dir> [--addr ADDR] [--threads N] [--max-buffer N] \
-             [--format text|json] [--codec json|binary] [--batch-size N]"
+             [--format text|json] [--codec json|binary] [--batch-size N] [--profile out.json]"
         );
         return ExitCode::from(2);
     };
@@ -540,6 +634,9 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         Ok(j) => j,
         Err(code) => return code,
     };
+    // The global recorder the sink installs is what the client reads to
+    // stamp the session with a trace context (see `client::send_trace_ctx`).
+    let sink = ProfileSink::from_args(args);
     let mut opts = SessionOpts::default();
     if let Some(v) = flag_value(args, "--threads") {
         match v.parse::<u32>() {
@@ -600,27 +697,29 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             Ok(None) => {}
             Err(code) => return code,
         }
-        return match client::submit_durable_tcp_cfg(addr, &trace, &opts, &policy, &submit_cfg) {
-            Ok((report, stats)) => {
-                eprintln!(
-                    "durable submit: {} attempt(s), {} resume(s), {} event(s) re-sent, \
-                     {} byte(s) over {} codec, {:.1?}",
-                    stats.attempts,
-                    stats.resumes,
-                    stats.events_resent,
-                    stats.bytes_sent,
-                    stats.codec,
-                    stats.wall
-                );
-                session_report_exit(&report, json)
-            }
-            Err(e) => {
-                eprintln!("mcc: durable submit to `{addr}` failed: {e}");
-                ExitCode::from(2)
-            }
-        };
+        return sink.finish(
+            match client::submit_durable_tcp_cfg(addr, &trace, &opts, &policy, &submit_cfg) {
+                Ok((report, stats)) => {
+                    eprintln!(
+                        "durable submit: {} attempt(s), {} resume(s), {} event(s) re-sent, \
+                         {} byte(s) over {} codec, {:.1?}",
+                        stats.attempts,
+                        stats.resumes,
+                        stats.events_resent,
+                        stats.bytes_sent,
+                        stats.codec,
+                        stats.wall
+                    );
+                    session_report_exit(&report, json)
+                }
+                Err(e) => {
+                    eprintln!("mcc: durable submit to `{addr}` failed: {e}");
+                    ExitCode::from(2)
+                }
+            },
+        );
     }
-    match client::submit_tcp_cfg(addr, &trace, &opts, &submit_cfg) {
+    sink.finish(match client::submit_tcp_cfg(addr, &trace, &opts, &submit_cfg) {
         Ok((report, info)) => {
             eprintln!(
                 "submit: {} frame(s), {} byte(s) over {} codec",
@@ -632,7 +731,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             eprintln!("mcc: submit to `{addr}` failed: {e}");
             ExitCode::from(2)
         }
-    }
+    })
 }
 
 fn cmd_stats(args: &[String]) -> ExitCode {
@@ -659,6 +758,287 @@ fn cmd_stats(args: &[String]) -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Walks nested object keys in a parsed JSON document; absent or
+/// non-integer paths read as 0, so a newer/older daemon never crashes
+/// the view.
+fn int_at(doc: &serde::Value, keys: &[&str]) -> i128 {
+    let mut v = doc;
+    for k in keys {
+        match v.get(k) {
+            Some(next) => v = next,
+            None => return 0,
+        }
+    }
+    match v {
+        serde::Value::Int(n) => *n,
+        _ => 0,
+    }
+}
+
+/// Reads one histogram family out of the Prometheus exposition:
+/// `(count, p50, p99)` in the family's unit, quantiles resolved to the
+/// cumulative bucket bound they fall in (`u64::MAX` = overflow bucket).
+fn hist_from_metrics(text: &str, family: &str) -> Option<(u64, u64, u64)> {
+    let bucket_prefix = format!("mcc_{family}_bucket{{le=\"");
+    let count_prefix = format!("mcc_{family}_count ");
+    let mut buckets: Vec<(u64, u64)> = Vec::new();
+    let mut count = 0u64;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(&bucket_prefix) {
+            let (le, tail) = rest.split_once("\"}")?;
+            let bound = if le == "+Inf" { u64::MAX } else { le.parse().ok()? };
+            buckets.push((bound, tail.trim().parse().ok()?));
+        } else if let Some(rest) = line.strip_prefix(&count_prefix) {
+            count = rest.trim().parse().ok()?;
+        }
+    }
+    if count == 0 || buckets.is_empty() {
+        return None;
+    }
+    let quantile = |q: f64| -> u64 {
+        let rank = ((q * count as f64).ceil() as u64).max(1);
+        for &(bound, cum) in &buckets {
+            if cum >= rank {
+                return bound;
+            }
+        }
+        u64::MAX
+    };
+    Some((count, quantile(0.5), quantile(0.99)))
+}
+
+/// One `mcc top` latency row; the overflow bucket prints as `>last`.
+fn top_latency_row(label: &str, metrics: &str, family: &str) {
+    let fmt = |v: u64| {
+        if v == u64::MAX {
+            ">65536".to_string()
+        } else {
+            v.to_string()
+        }
+    };
+    match hist_from_metrics(metrics, family) {
+        Some((count, p50, p99)) => {
+            println!("   {:<14} {:>8} {:>8}   {:>8}", label, fmt(p50), fmt(p99), count);
+        }
+        None => println!("   {label:<14} {:>8} {:>8}   {:>8}", "-", "-", "-"),
+    }
+}
+
+fn cmd_top(args: &[String]) -> ExitCode {
+    let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    let once = args.iter().any(|a| a == "--once");
+    let interval = match positive_flag::<u64>(args, "--interval-ms") {
+        Ok(v) => v.unwrap_or(1000),
+        Err(code) => return code,
+    };
+    loop {
+        let health = match client::health_tcp(addr) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("mcc: health from `{addr}` failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let metrics = match client::metrics_tcp(addr) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("mcc: metrics from `{addr}` failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let doc = match serde_json::parse_value_str(&health) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("mcc: unparseable HEALTH document from `{addr}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if !once {
+            // Clear and home, as `top` does, so the view refreshes in place.
+            print!("\x1b[2J\x1b[H");
+        }
+        let uptime_ms = int_at(&doc, &["uptime_ms"]);
+        println!("mcc top — {addr} — uptime {:.1}s", uptime_ms as f64 / 1e3);
+        println!(
+            " sessions  active {}  parked {}  completed {}  salvaged {}  resumed {}  \
+             recovered {}  rejected {}",
+            int_at(&doc, &["sessions", "active"]),
+            int_at(&doc, &["sessions", "parked"]),
+            int_at(&doc, &["sessions", "completed"]),
+            int_at(&doc, &["sessions", "salvaged"]),
+            int_at(&doc, &["sessions", "resumed"]),
+            int_at(&doc, &["sessions", "recovered"]),
+            int_at(&doc, &["sessions", "rejected"]),
+        );
+        println!(
+            " events    {} ingested  {}/s  findings {}  buffered {}",
+            int_at(&doc, &["events_ingested"]),
+            int_at(&doc, &["events_per_sec"]),
+            int_at(&doc, &["findings"]),
+            int_at(&doc, &["buffered_events"]),
+        );
+        println!(
+            " pressure  evictions {}  backpressure stalls {}  corrupt frames {}",
+            int_at(&doc, &["evictions"]),
+            int_at(&doc, &["backpressure_stalls"]),
+            int_at(&doc, &["frames_corrupt"]),
+        );
+        println!(" latency (µs)       p50      p99      count");
+        top_latency_row("ingest→ack", &metrics, "serve_ingest_ack_latency_us");
+        top_latency_row("journal fsync", &metrics, "serve_journal_fsync_us");
+        top_latency_row("region flush", &metrics, "stream_region_flush_us");
+        top_latency_row("first finding", &metrics, "stream_first_finding_latency_us");
+        if once {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(Duration::from_millis(interval));
+    }
+}
+
+/// Replaces (or inserts) `key` in an object value.
+fn obj_set(v: &mut serde::Value, key: &str, val: serde::Value) {
+    if let serde::Value::Obj(fields) = v {
+        for (k, slot) in fields.iter_mut() {
+            if k == key {
+                *slot = val;
+                return;
+            }
+        }
+        fields.push((key.to_string(), val));
+    }
+}
+
+fn as_int(v: Option<&serde::Value>) -> Option<i128> {
+    match v {
+        Some(serde::Value::Int(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn cmd_trace_merge(args: &[String]) -> ExitCode {
+    let (Some(client_path), Some(daemon_path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: mcc trace-merge <client.json> <daemon.json> [-o merged.json]");
+        return ExitCode::from(2);
+    };
+    let out_path =
+        flag_value(args, "-o").or_else(|| flag_value(args, "--out")).unwrap_or("merged.json");
+    let mut docs = Vec::new();
+    for path in [client_path, daemon_path] {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("mcc: cannot read trace `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match serde_json::parse_value_str(&text) {
+            Ok(d) => docs.push(d),
+            Err(e) => {
+                eprintln!("mcc: `{path}` is not a Chrome trace document: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let daemon_doc = docs.pop().expect("two docs parsed");
+    let client_doc = docs.pop().expect("two docs parsed");
+    let trace_id = as_int(client_doc.get("traceId"));
+    if trace_id.is_none() {
+        eprintln!(
+            "mcc: `{client_path}` carries no traceId (was it recorded with --profile against a \
+             tracectx-capable daemon?); merging without parent links"
+        );
+    }
+    let events_of = |doc: &serde::Value| -> Vec<serde::Value> {
+        match doc.get("traceEvents") {
+            Some(serde::Value::Arr(evs)) => evs.clone(),
+            _ => Vec::new(),
+        }
+    };
+    let client_events = events_of(&client_doc);
+    let daemon_events = events_of(&daemon_doc);
+    // Shift daemon span ids past the client's so the merged id space
+    // stays collision-free; remote links then resolve in client ids.
+    let offset = client_events
+        .iter()
+        .filter_map(|e| as_int(e.get("args").and_then(|a| a.get("id"))))
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let mut merged = client_events;
+    let mut links = 0usize;
+    for ev in daemon_events {
+        let mut ev = ev.clone();
+        obj_set(&mut ev, "pid", serde::Value::Int(2));
+        let Some(serde::Value::Obj(_)) = ev.get("args") else {
+            merged.push(ev);
+            continue;
+        };
+        let id = as_int(ev.get("args").and_then(|a| a.get("id"))).unwrap_or(0);
+        let parent = as_int(ev.get("args").and_then(|a| a.get("parent"))).unwrap_or(0);
+        let remote_trace = as_int(ev.get("args").and_then(|a| a.get("remoteTrace")));
+        let remote_parent = as_int(ev.get("args").and_then(|a| a.get("remoteParent")));
+        let new_parent = match (remote_trace, remote_parent) {
+            // The daemon span was explicitly linked (via a TraceCtx
+            // frame) to a span of *this* client trace: re-parent it
+            // there, in unshifted client ids.
+            (Some(rt), Some(rp)) if trace_id == Some(rt) => {
+                links += 1;
+                rp
+            }
+            _ if parent != 0 => parent + offset,
+            _ => 0,
+        };
+        if let serde::Value::Obj(fields) = &mut ev {
+            for (k, v) in fields.iter_mut() {
+                if k == "args" {
+                    if id != 0 {
+                        obj_set(v, "id", serde::Value::Int(id + offset));
+                    }
+                    obj_set(v, "parent", serde::Value::Int(new_parent));
+                }
+            }
+        }
+        merged.push(ev);
+    }
+    let mut out = Vec::new();
+    out.push(("displayTimeUnit".to_string(), serde::Value::Str("ms".into())));
+    if let Some(id) = trace_id {
+        out.push(("traceId".to_string(), serde::Value::Int(id)));
+    }
+    out.push(("traceEvents".to_string(), serde::Value::Arr(merged)));
+    out.push((
+        "metrics".to_string(),
+        serde::Value::Obj(vec![
+            (
+                "client".to_string(),
+                client_doc.get("metrics").cloned().unwrap_or(serde::Value::Obj(Vec::new())),
+            ),
+            (
+                "daemon".to_string(),
+                daemon_doc.get("metrics").cloned().unwrap_or(serde::Value::Obj(Vec::new())),
+            ),
+        ]),
+    ));
+    let doc = serde::Value::Obj(out);
+    let rendered = match serde_json::to_string(&doc) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mcc: cannot render the merged trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = std::fs::write(out_path, rendered) {
+        eprintln!("mcc: cannot write `{out_path}`: {e}");
+        return ExitCode::from(2);
+    }
+    // Parsed by the obs-smoke CI job.
+    println!(
+        "trace-merge: {links} daemon span(s) parent-linked into the client trace, \
+         written to {out_path}"
+    );
+    ExitCode::SUCCESS
 }
 
 /// One bug-gallery entry: name, rank count, program body.

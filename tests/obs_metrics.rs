@@ -42,6 +42,14 @@ fn metric_snapshots_identical_across_thread_counts() {
         let baseline = snapshot_of(&trace, 1, Engine::Sweep);
         assert!(baseline.contains("mcc_events_total"), "{name}: {baseline}");
         assert!(baseline.contains("mcc_shards_total"), "{name}: {baseline}");
+        // The byte-identity contract covers histograms too: the sweep
+        // engine populates the shard-size distribution, whose buckets
+        // must not depend on how many workers drained the shards.
+        assert!(
+            baseline.contains("mcc_shard_items_bucket{le=\"+Inf\"}"),
+            "{name}: shard_items histogram missing: {baseline}"
+        );
+        assert!(baseline.contains("mcc_shard_items_count"), "{name}: {baseline}");
         for threads in [2usize, 4] {
             assert_eq!(
                 snapshot_of(&trace, threads, Engine::Sweep),
@@ -50,6 +58,125 @@ fn metric_snapshots_identical_across_thread_counts() {
             );
         }
     }
+}
+
+/// A strict line-level parser for the Prometheus text exposition the
+/// daemon serves: every line is either a `# TYPE` header or a sample
+/// belonging to the most recent header; histogram blocks carry
+/// non-decreasing cumulative buckets ending at `+Inf`, with `_count`
+/// equal to the `+Inf` bucket. Returns `(families, samples)` counts.
+fn strict_prometheus_parse(text: &str) -> (usize, usize) {
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    }
+    let mut current: Option<(String, &'static str)> = None;
+    let mut seen_families = std::collections::BTreeSet::new();
+    let mut hist_cum: Option<u64> = None;
+    let mut hist_count: Option<u64> = None;
+    let mut hist_inf: Option<u64> = None;
+    let mut samples = 0usize;
+    let close_hist = |cum: &mut Option<u64>, count: &mut Option<u64>, inf: &mut Option<u64>| {
+        if let (Some(inf), Some(count)) = (inf.take(), count.take()) {
+            assert_eq!(inf, count, "histogram _count must equal the +Inf bucket");
+        }
+        *cum = None;
+    };
+    for line in text.lines() {
+        assert!(!line.is_empty(), "blank line in exposition");
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            close_hist(&mut hist_cum, &mut hist_count, &mut hist_inf);
+            let mut it = rest.split(' ');
+            let name = it.next().expect("TYPE line has a name");
+            let kind = match it.next() {
+                Some("counter") => "counter",
+                Some("gauge") => "gauge",
+                Some("histogram") => "histogram",
+                other => panic!("unknown metric type {other:?} in `{line}`"),
+            };
+            assert!(it.next().is_none(), "trailing junk in `{line}`");
+            assert!(valid_name(name), "bad metric name in `{line}`");
+            assert!(name.starts_with("mcc_"), "unprefixed family in `{line}`");
+            assert!(seen_families.insert(name.to_string()), "family `{name}` declared twice");
+            current = Some((name.to_string(), kind));
+            continue;
+        }
+        let (family, kind) = current.as_ref().expect("sample before any # TYPE header");
+        let (metric, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let value: u64 = value.parse().unwrap_or_else(|_| panic!("non-integer value in `{line}`"));
+        samples += 1;
+        match *kind {
+            "counter" | "gauge" => {
+                assert_eq!(metric, family, "sample `{metric}` outside its family `{family}`");
+            }
+            "histogram" => {
+                if let Some(rest) = metric.strip_prefix(family.as_str()) {
+                    match rest {
+                        "_sum" => {}
+                        "_count" => {
+                            assert!(hist_count.replace(value).is_none(), "two _count lines");
+                        }
+                        _ => {
+                            let le = rest
+                                .strip_prefix("_bucket{le=\"")
+                                .and_then(|s| s.strip_suffix("\"}"))
+                                .unwrap_or_else(|| panic!("bad histogram sample `{line}`"));
+                            if le == "+Inf" {
+                                assert!(hist_inf.replace(value).is_none(), "two +Inf buckets");
+                            } else {
+                                let _: u64 = le
+                                    .parse()
+                                    .unwrap_or_else(|_| panic!("non-integer le in `{line}`"));
+                                assert!(
+                                    hist_inf.is_none(),
+                                    "bucket after +Inf in family `{family}`"
+                                );
+                            }
+                            let prev = hist_cum.replace(value).unwrap_or(0);
+                            assert!(
+                                value >= prev,
+                                "cumulative bucket decreased in `{line}` ({prev} -> {value})"
+                            );
+                        }
+                    }
+                } else {
+                    panic!("sample `{metric}` outside its family `{family}`");
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+    close_hist(&mut hist_cum, &mut hist_count, &mut hist_inf);
+    (seen_families.len(), samples)
+}
+
+/// The daemon's `METRICS` payload — counters, latency histograms, and
+/// gauges — survives the strict parser, over a snapshot populated by a
+/// real pipeline run plus the serve-layer latency families.
+#[test]
+fn prometheus_exposition_is_strictly_well_formed() {
+    let trace = trace_of(4, 0xdead, bugs::adlb::buggy);
+    let obs = RecorderHandle::enabled();
+    AnalysisSession::builder().threads(4).recorder(obs.clone()).build().run(&trace);
+    // The serve layer feeds the same recorder; emulate its latency
+    // observations so every sample shape (counter, histogram bucket,
+    // sum, count, gauge) appears in the parsed document.
+    for v in [3u64, 70, 900, 20_000, 1_000_000] {
+        obs.observe(mc_checker::obs::names::INGEST_ACK_LATENCY_US, v);
+        obs.observe(mc_checker::obs::names::FIRST_FINDING_LATENCY_US, v * 2);
+    }
+    let mut text = obs.snapshot().render();
+    text.push_str(&mc_checker::obs::render_gauge("sessions_active", 3));
+    let (families, samples) = strict_prometheus_parse(&text);
+    assert!(families >= 5, "expected a populated exposition, got {families} families");
+    assert!(samples > families, "histograms must contribute multiple samples per family");
+    assert!(text.contains("# TYPE mcc_serve_ingest_ack_latency_us histogram"), "{text}");
+    assert!(text.contains("# TYPE mcc_stream_first_finding_latency_us histogram"), "{text}");
+    assert!(text.contains("# TYPE mcc_sessions_active gauge"), "{text}");
+    // An out-of-range observation lands in +Inf only: count reflects it,
+    // no finite bucket does.
+    assert!(text.contains("mcc_serve_ingest_ack_latency_us_count 5"), "{text}");
 }
 
 #[test]
@@ -114,18 +241,30 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// The snapshot contract holds for any archetype at any seed, and
-    /// for both engines at their own baselines.
+    /// for both engines at their own baselines — histogram buckets
+    /// (`shard_items` and anything else a run observes) included, since
+    /// the comparison is over the full rendered exposition.
     #[test]
     fn metric_snapshots_thread_invariant_at_any_seed(case in 0..8usize, seed in 0..u64::MAX) {
         let (name, nprocs, body) = ARCHETYPES[case];
         let trace = trace_of(nprocs, seed, body);
         let baseline = snapshot_of(&trace, 1, Engine::Sweep);
+        prop_assert!(
+            baseline.contains("mcc_shard_items_bucket"),
+            "{}: histogram missing from sweep baseline", name
+        );
         for threads in [2usize, 4] {
             let got = snapshot_of(&trace, threads, Engine::Sweep);
             prop_assert_eq!(&got, &baseline, "{} diverged at {} threads", name, threads);
         }
         let naive1 = snapshot_of(&trace, 1, Engine::Naive);
-        let naive4 = snapshot_of(&trace, 4, Engine::Naive);
-        prop_assert_eq!(&naive4, &naive1, "{} naive snapshot diverged", name);
+        for threads in [2usize, 4] {
+            let got = snapshot_of(&trace, threads, Engine::Naive);
+            prop_assert_eq!(&got, &naive1, "{} naive diverged at {} threads", name, threads);
+        }
+        // Both expositions must survive the strict parser whatever the
+        // seed produced.
+        strict_prometheus_parse(&baseline);
+        strict_prometheus_parse(&naive1);
     }
 }

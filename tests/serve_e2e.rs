@@ -247,6 +247,159 @@ fn hard_buffer_cap_degrades_instead_of_buffering_unboundedly() {
     join.join().unwrap();
 }
 
+/// Serializes tests that install a process-global recorder: the client
+/// reads `mcc_obs::global()` when deciding whether to stamp a session
+/// with a trace context, so two tests swapping it concurrently would
+/// race.
+static GLOBAL_OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// The cross-process tracing acceptance path, in-process: a client with
+/// an enabled recorder stamps its session, and the daemon's
+/// `serve.session` span exports `remoteTrace`/`remoteParent` pointing at
+/// the client's trace id and `client.submit` span id — exactly what
+/// `mcc trace-merge` rewrites into a parent edge.
+#[test]
+fn trace_context_links_daemon_session_to_client_span() {
+    let _serialize = GLOBAL_OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let server_obs = RecorderHandle::enabled();
+    let cfg = ServeConfig { recorder: server_obs.clone(), ..quick_cfg() };
+    let (addr, handle, join) = start_server(cfg);
+
+    let client_obs = RecorderHandle::enabled();
+    mc_checker::obs::set_global(client_obs.clone());
+    let trace = trace_of(2, 0xdead, bugs::pingpong::buggy);
+    let report = client::submit_tcp(&addr, &trace, &SessionOpts::default()).expect("submit");
+    mc_checker::obs::set_global(RecorderHandle::disabled());
+    assert_eq!(report.confidence, Confidence::Complete);
+
+    let trace_id = client_obs.trace_id().expect("the client must have stamped a trace id");
+    let submit = client_obs
+        .spans()
+        .into_iter()
+        .find(|s| s.name == "client.submit")
+        .expect("the client records a client.submit span");
+
+    handle.shutdown();
+    join.join().unwrap();
+
+    let daemon_trace = server_obs.to_chrome_trace();
+    let link = format!("\"remoteTrace\":{trace_id},\"remoteParent\":{}", submit.id);
+    assert!(
+        daemon_trace.contains("\"name\":\"serve.session\""),
+        "daemon trace must contain the session span: {daemon_trace}"
+    );
+    assert!(
+        daemon_trace.contains(&link),
+        "daemon trace must carry the remote link `{link}`: {daemon_trace}"
+    );
+}
+
+/// Mixed-version safety, both directions. An opted-out (pre-tracectx)
+/// server never announces the capability, so a new client stays silent
+/// and the session completes; a client without a recorder (an old
+/// build) sends nothing, and the daemon trace carries no remote links.
+#[test]
+fn tracectx_unaware_peers_round_trip_cleanly() {
+    let _serialize = GLOBAL_OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    // New client, opted-out server.
+    let server_obs = RecorderHandle::enabled();
+    let cfg = ServeConfig { no_tracectx: true, recorder: server_obs.clone(), ..quick_cfg() };
+    let (addr, handle, join) = start_server(cfg);
+    mc_checker::obs::set_global(RecorderHandle::enabled());
+    let trace = trace_of(2, 0xdead, bugs::pingpong::buggy);
+    let report = client::submit_tcp(&addr, &trace, &SessionOpts::default())
+        .expect("a tracing client must interoperate with an opted-out server");
+    mc_checker::obs::set_global(RecorderHandle::disabled());
+    assert_eq!(report.confidence, Confidence::Complete);
+    handle.shutdown();
+    join.join().unwrap();
+    assert!(
+        !server_obs.to_chrome_trace().contains("remoteTrace"),
+        "an opted-out server must not record remote links"
+    );
+
+    // Old client (no recorder installed), new server.
+    let server_obs = RecorderHandle::enabled();
+    let cfg = ServeConfig { recorder: server_obs.clone(), ..quick_cfg() };
+    let (addr, handle, join) = start_server(cfg);
+    let report = client::submit_tcp(&addr, &trace, &SessionOpts::default())
+        .expect("a non-tracing client must interoperate with a tracing server");
+    assert_eq!(report.confidence, Confidence::Complete);
+    handle.shutdown();
+    join.join().unwrap();
+    assert!(
+        !server_obs.to_chrome_trace().contains("remoteTrace"),
+        "a silent client must leave no remote links"
+    );
+}
+
+/// An opted-out server does not list `tracectx` in its `Welcome` and
+/// refuses a `TraceCtx` frame the way a pre-tracectx build refuses any
+/// unknown frame: with an `Error`, not a hang or a crash.
+#[test]
+fn opted_out_server_refuses_tracectx_frames() {
+    let cfg = ServeConfig { no_tracectx: true, ..quick_cfg() };
+    let (addr, handle, join) = start_server(cfg);
+
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = FrameReader::new(stream);
+    write_frame(
+        reader.get_mut(),
+        &Frame::Hello { version: PROTOCOL_VERSION, nprocs: 2, opts: SessionOpts::default() },
+    )
+    .unwrap();
+    match reader.next_frame().unwrap() {
+        Some(Frame::Welcome { capabilities, .. }) => {
+            assert!(
+                !capabilities.iter().any(|c| c == "tracectx"),
+                "--no-tracectx must drop the capability, got {capabilities:?}"
+            );
+        }
+        other => panic!("expected Welcome, got {other:?}"),
+    }
+    write_frame(reader.get_mut(), &Frame::TraceCtx { trace_id: 7, parent_span: 3 }).unwrap();
+    match reader.next_frame().unwrap() {
+        Some(Frame::Error { message }) => assert!(!message.is_empty()),
+        other => panic!("expected an Error frame, got {other:?}"),
+    }
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// The `HEALTH` verb answers mid-session with a parseable snapshot whose
+/// session gauges reflect the live registry.
+#[test]
+fn health_verb_reports_live_counters() {
+    let (addr, handle, join) = start_server(quick_cfg());
+
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = FrameReader::new(stream);
+    write_frame(
+        reader.get_mut(),
+        &Frame::Hello { version: PROTOCOL_VERSION, nprocs: 1, opts: SessionOpts::default() },
+    )
+    .unwrap();
+    assert!(matches!(reader.next_frame().unwrap(), Some(Frame::Welcome { .. })));
+    write_frame(reader.get_mut(), &Frame::Health).unwrap();
+    let health = match reader.next_frame().unwrap() {
+        Some(Frame::HealthReport { json }) => json,
+        other => panic!("expected HealthReport, got {other:?}"),
+    };
+    let doc = serde_json::parse_value_str(&health).expect("health must be valid JSON");
+    drop(doc);
+    assert_eq!(json_field(&health, "schema_version"), Some(1), "{health}");
+    let active = json_field(&health, "active").expect("active gauge");
+    assert_eq!(active, 1, "this session itself must be counted: {health}");
+
+    // The standalone client helper sees the same document shape.
+    drop(reader);
+    let via_client = client::health_tcp(&addr).expect("health over a dedicated connection");
+    assert!(json_field(&via_client, "uptime_ms").is_some(), "{via_client}");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
 /// The client may ask for a lower cap than the server's; the request is
 /// honored, and the stats document remains parseable JSON throughout.
 #[test]
