@@ -1,0 +1,386 @@
+//! Overload benchmark: a governed daemon under deliberate abuse.
+//!
+//! An in-process daemon runs with a hard memory ceiling while three
+//! hostile actors — an event flooder, a slowloris, and a malformed
+//! giant batch — share it with a fleet of well-behaved durable
+//! sessions. The run records what the governor did (admissions, typed
+//! `Busy` rejections, sheddings, throttle stalls), whether the daemon's
+//! own accounting ever exceeded the ceiling, and whether any
+//! well-behaved report diverged from the same submission against an
+//! unloaded daemon. Divergence, a ceiling breach, or a shed
+//! well-behaved session exits 1. Results go to `BENCH_overload.json`.
+//!
+//! ```text
+//! cargo run -p mcc-bench --release --bin overload [-- --ceiling-mb 64 \
+//!     --sessions 14 --out BENCH_overload.json]
+//! ```
+
+use mcc_apps::bugs::{self, trace_of};
+use mcc_serve::proto::{
+    encode_frame_with, write_frame_with, EventBatch, Frame, FrameReader, SessionOpts,
+    PROTOCOL_VERSION,
+};
+use mcc_serve::{client, CodecKind, Registry, ServeConfig, Server};
+use mcc_types::{CommId, DatatypeId, EventKind, Rank, RmaKind, RmaOp, SourceLoc, Trace, WinId};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn policy() -> client::RetryPolicy {
+    client::RetryPolicy {
+        retries: 40,
+        base_backoff: Duration::from_millis(25),
+        max_backoff: Duration::from_millis(250),
+        reply_deadline: Duration::from_secs(15),
+        ..client::RetryPolicy::default()
+    }
+}
+
+fn start_server(
+    cfg: ServeConfig,
+) -> (String, mcc_serve::ServerHandle, Arc<Registry>, thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind an ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let registry = server.registry();
+    let join = thread::spawn(move || server.run().expect("serve loop"));
+    (addr, handle, registry, join)
+}
+
+/// Opens a raw governance session, returning the reader and session id.
+fn open_session(addr: &str) -> (FrameReader<TcpStream>, u64) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_millis(50))).expect("read timeout");
+    let mut reader = FrameReader::new(stream);
+    let opts = SessionOpts { governance: true, ..SessionOpts::default() };
+    write_frame_with(
+        reader.get_mut(),
+        &Frame::Hello { version: PROTOCOL_VERSION, nprocs: 1, opts },
+        CodecKind::Json,
+    )
+    .expect("hello");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match reader.next_frame() {
+            Ok(Some(Frame::Welcome { session, .. })) => return (reader, session),
+            Ok(Some(other)) => panic!("expected Welcome, got {other:?}"),
+            Ok(None) => panic!("connection closed during handshake"),
+            Err(mcc_serve::ProtoError::Idle) => assert!(Instant::now() < deadline, "no Welcome"),
+            Err(e) => panic!("handshake error: {e}"),
+        }
+    }
+}
+
+/// Streams giant events as fast as the socket takes them, until the
+/// daemon cuts the connection. Returns the flooder's session id.
+fn flood(addr: &str) -> u64 {
+    let (mut reader, id) = open_session(addr);
+    let wc =
+        EventKind::WinCreate { win: WinId(0), base: 0x1000, len: 1 << 30, comm: CommId::WORLD };
+    if write_frame_with(
+        reader.get_mut(),
+        &Frame::Event { seq: 0, rank: 0, kind: wc, loc: SourceLoc::unknown() },
+        CodecKind::Json,
+    )
+    .is_err()
+    {
+        return id;
+    }
+    let func = "f".repeat(8 << 10);
+    for i in 0..20_000u64 {
+        let kind = EventKind::Rma(RmaOp {
+            kind: RmaKind::Put,
+            win: WinId(0),
+            target: Rank(0),
+            origin_addr: 0x4000_0000 + i * 8,
+            origin_count: 1,
+            origin_dtype: DatatypeId::INT,
+            target_disp: i * 8,
+            target_count: 1,
+            target_dtype: DatatypeId::INT,
+        });
+        let frame = Frame::Event {
+            seq: 1 + i,
+            rank: 0,
+            kind,
+            loc: SourceLoc::new("flood.c", i as u32 + 1, &func),
+        };
+        if write_frame_with(reader.get_mut(), &frame, CodecKind::Json).is_err() {
+            break; // evicted: the daemon closed the socket on us
+        }
+    }
+    id
+}
+
+/// A structurally hostile batch — a loc index pointing past a giant
+/// location table — behind an intact checksum. The daemon must answer
+/// with a typed `Error` and salvage, never ingest it.
+fn malformed_batch(addr: &str) {
+    let (mut reader, _) = open_session(addr);
+    let locs: Vec<SourceLoc> =
+        (0..512).map(|i| SourceLoc::new("giant.c", i + 1, "g".repeat(512))).collect();
+    let batch = EventBatch {
+        first_seq: 0,
+        ranks: vec![0, 0],
+        loc_idx: vec![0, 4096],
+        kinds: vec![
+            EventKind::Barrier { comm: CommId::WORLD },
+            EventKind::Barrier { comm: CommId::WORLD },
+        ],
+        locs,
+    };
+    reader
+        .get_mut()
+        .write_all(&encode_frame_with(&Frame::Batch(batch), CodecKind::Json))
+        .expect("send hostile batch");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match reader.next_frame() {
+            Ok(Some(Frame::Error { .. })) | Ok(None) | Err(mcc_serve::ProtoError::Io(_)) => return,
+            Ok(Some(_)) => {}
+            Err(mcc_serve::ProtoError::Idle) => {
+                if Instant::now() >= deadline {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Resident set size in MiB, from `/proc/self/status` (0 where absent).
+fn rss_mb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|kb| kb.parse::<u64>().ok()))
+        })
+        .map(|kb| kb / 1024)
+        .unwrap_or(0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let ceiling = (flag("--ceiling-mb", 64) as usize) << 20;
+    let sessions = flag("--sessions", 14) as usize;
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_overload.json".to_string());
+
+    type BugBody = fn(&mut mcc_mpi_sim::Proc);
+    let cases: [(&'static str, u32, BugBody); 7] = [
+        ("emulate", 4, bugs::emulate::buggy),
+        ("emulate-fixed", 4, bugs::emulate::fixed),
+        ("mpi3_queue", 4, bugs::mpi3_queue::buggy),
+        ("jacobi-fixed", 4, bugs::jacobi::fixed),
+        ("adlb", 4, bugs::adlb::buggy),
+        ("pingpong", 2, bugs::pingpong::buggy),
+        ("emulate-2", 4, bugs::emulate::buggy),
+    ];
+    let traces: Vec<(&'static str, Trace)> = (0..sessions)
+        .map(|i| {
+            let (name, nprocs, body) = cases[i % cases.len()];
+            (name, trace_of(nprocs, 0xbeef + i as u64, body))
+        })
+        .collect();
+
+    println!(
+        "Overload benchmark: {} well-behaved session(s), {} MiB ceiling, 3 hostile actor(s)",
+        sessions,
+        ceiling >> 20
+    );
+
+    // Unloaded baseline: same traces, same client path, no hostiles.
+    let t0 = Instant::now();
+    let baseline_cfg = ServeConfig {
+        tick: Duration::from_millis(20),
+        idle_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    };
+    let (addr, handle, _registry, join) = start_server(baseline_cfg);
+    let baseline: Vec<String> = traces
+        .iter()
+        .map(|(name, trace)| {
+            let (report, _) =
+                client::submit_durable_tcp(&addr, trace, &SessionOpts::default(), &policy())
+                    .unwrap_or_else(|e| panic!("{name}: baseline submit failed: {e}"));
+            report.to_json()
+        })
+        .collect();
+    handle.shutdown();
+    join.join().expect("baseline server");
+    let baseline_wall = t0.elapsed();
+
+    // The governed run: hard ceiling, fast janitor, short idle so the
+    // slowloris dies promptly.
+    let t0 = Instant::now();
+    let cfg = ServeConfig {
+        tick: Duration::from_millis(5),
+        idle_timeout: Duration::from_millis(600),
+        mem_ceiling: ceiling,
+        ..ServeConfig::default()
+    };
+    let (addr, handle, registry, join) = start_server(cfg);
+
+    // Slowloris: one event, then silence; held open for the whole run.
+    let (mut slowloris, slowloris_id) = open_session(&addr);
+    write_frame_with(
+        slowloris.get_mut(),
+        &Frame::Event {
+            seq: 0,
+            rank: 0,
+            kind: EventKind::Barrier { comm: CommId::WORLD },
+            loc: SourceLoc::unknown(),
+        },
+        CodecKind::Json,
+    )
+    .expect("slowloris event");
+
+    let flooder = {
+        let addr = addr.clone();
+        thread::spawn(move || flood(&addr))
+    };
+    let batcher = {
+        let addr = addr.clone();
+        thread::spawn(move || malformed_batch(&addr))
+    };
+
+    let workers: Vec<_> = traces
+        .iter()
+        .map(|(name, trace)| {
+            let addr = addr.clone();
+            let trace = trace.clone();
+            let name = *name;
+            thread::spawn(move || {
+                let (report, _) =
+                    client::submit_durable_tcp(&addr, &trace, &SessionOpts::default(), &policy())
+                        .unwrap_or_else(|e| panic!("{name}: submit under load failed: {e}"));
+                report.to_json()
+            })
+        })
+        .collect();
+
+    let flooder_id = flooder.join().expect("flooder thread");
+    batcher.join().expect("batcher thread");
+    let under_load: Vec<String> = workers.into_iter().map(|w| w.join().expect("worker")).collect();
+    drop(slowloris);
+
+    // Let the janitor settle the books before reading them.
+    let settle = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < settle {
+        let f = registry.fleet();
+        if f.active == 0 && f.parked == 0 && !registry.shed_log().is_empty() {
+            break;
+        }
+        thread::sleep(Duration::from_millis(20));
+    }
+    let fleet = registry.fleet();
+    let shed = registry.shed_log();
+    handle.shutdown();
+    join.join().expect("governed server");
+    let loaded_wall = t0.elapsed();
+
+    let divergent = traces
+        .iter()
+        .zip(under_load.iter().zip(baseline.iter()))
+        .filter(|(t, (got, want))| {
+            if got != want {
+                eprintln!("DIVERGENCE: {} under load differs from unloaded baseline", t.0);
+                true
+            } else {
+                false
+            }
+        })
+        .count();
+    let ceiling_held = fleet.peak_accounted_bytes <= ceiling as u64;
+    let shed_wrong: Vec<u64> =
+        shed.iter().copied().filter(|&id| id != flooder_id || id == slowloris_id).collect();
+
+    println!();
+    println!(
+        "{:>14} {:>10} {:>8} {:>10} {:>10} {:>12} {:>10}",
+        "admitted", "rejected", "shed", "throttled", "divergent", "peak (MiB)", "rss (MiB)"
+    );
+    println!(
+        "{:>14} {:>10} {:>8} {:>10} {:>10} {:>12} {:>10}",
+        fleet.admitted,
+        fleet.rejected,
+        fleet.shed,
+        fleet.throttled,
+        divergent,
+        fleet.peak_accounted_bytes >> 20,
+        rss_mb(),
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"overload\",\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"sessions\": {sessions}, \"hostiles\": 3, \
+         \"ceiling_bytes\": {ceiling}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"governor\": {{\"admitted\": {}, \"rejected\": {}, \"shed\": {}, \
+         \"throttled\": {}, \"peak_accounted_bytes\": {}, \"shed_log\": {:?}}},\n",
+        fleet.admitted,
+        fleet.rejected,
+        fleet.shed,
+        fleet.throttled,
+        fleet.peak_accounted_bytes,
+        shed,
+    ));
+    json.push_str(&format!(
+        "  \"walls_ms\": {{\"baseline\": {:.1}, \"loaded\": {:.1}}},\n",
+        baseline_wall.as_secs_f64() * 1e3,
+        loaded_wall.as_secs_f64() * 1e3,
+    ));
+    json.push_str(&format!("  \"rss_mb\": {},\n", rss_mb()));
+    json.push_str(&format!("  \"ceiling_held\": {ceiling_held},\n"));
+    json.push_str(&format!("  \"divergent\": {divergent}\n"));
+    json.push_str("}\n");
+    std::fs::write(&out, &json).expect("write results");
+    println!();
+    println!("results written to {out}");
+
+    let mut failed = false;
+    if divergent > 0 {
+        eprintln!("FAIL: {divergent} well-behaved report(s) diverged under load");
+        failed = true;
+    }
+    if !ceiling_held {
+        eprintln!(
+            "FAIL: accounting peaked at {} bytes over the {} ceiling",
+            fleet.peak_accounted_bytes, ceiling
+        );
+        failed = true;
+    }
+    if !shed_wrong.is_empty() {
+        eprintln!("FAIL: shed sessions other than the flooder: {shed_wrong:?}");
+        failed = true;
+    }
+    if shed.is_empty() {
+        eprintln!("FAIL: the flooder was never shed");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "OK: flooder shed, ceiling held, every well-behaved report byte-identical under load."
+    );
+}

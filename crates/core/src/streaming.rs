@@ -84,6 +84,24 @@ impl fmt::Display for StreamError {
 
 impl std::error::Error for StreamError {}
 
+/// Estimated resident cost, in bytes, of one buffered event: the inline
+/// `(EventKind, SourceLoc)` pair plus every heap allocation hanging off
+/// it (location strings, datatype field tables, group rank lists). The
+/// estimate is deterministic — a pure function of the event, never of
+/// allocator behavior — so any byte-denominated policy built on it
+/// (quotas, the daemon's memory accountant) makes the same decisions on
+/// every run and on journal replay.
+pub fn event_cost(kind: &EventKind, loc: &SourceLoc) -> usize {
+    let heap = match kind {
+        EventKind::TypeStruct { fields, .. } => {
+            fields.capacity() * std::mem::size_of::<(u64, u32, mcc_types::DatatypeId)>()
+        }
+        EventKind::GroupIncl { ranks, .. } => ranks.capacity() * std::mem::size_of::<u32>(),
+        _ => 0,
+    };
+    std::mem::size_of::<(EventKind, SourceLoc)>() + loc.file.len() + loc.func.len() + heap
+}
+
 /// Incremental, bounded-memory checker.
 pub struct StreamingChecker {
     nprocs: usize,
@@ -119,6 +137,10 @@ pub struct StreamingChecker {
     pub regions_flushed: usize,
     /// High-water mark of buffered events (the memory bound).
     pub peak_buffered: usize,
+    /// Estimated bytes currently buffered (see [`event_cost`]).
+    buffered_bytes: usize,
+    /// High-water mark of [`Self::buffered_bytes`].
+    pub peak_buffered_bytes: usize,
     /// Partial regions force-analyzed at the high watermark.
     pub evictions: usize,
     /// When the first event arrived — the start of the first-finding
@@ -159,6 +181,8 @@ impl StreamingChecker {
             recovered: false,
             regions_flushed: 0,
             peak_buffered: 0,
+            buffered_bytes: 0,
+            peak_buffered_bytes: 0,
             evictions: 0,
             first_event_at: None,
             first_finding_seen: false,
@@ -176,6 +200,14 @@ impl StreamingChecker {
     /// Events currently buffered across all ranks.
     pub fn buffered(&self) -> usize {
         self.buf.iter().map(Vec::len).sum()
+    }
+
+    /// Estimated bytes currently buffered across all ranks — the
+    /// per-event [`event_cost`] summed over every unflushed event. This
+    /// is what the daemon's memory accountant charges against its global
+    /// ceiling; it is maintained incrementally, so reading it is O(1).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buffered_bytes
     }
 
     /// Whether any eviction or degraded analysis happened; if so, the
@@ -271,6 +303,8 @@ impl StreamingChecker {
         if self.is_global_sync(&kind) {
             self.boundaries[r].push(self.buf[r].len());
         }
+        self.buffered_bytes += event_cost(&kind, &loc);
+        self.peak_buffered_bytes = self.peak_buffered_bytes.max(self.buffered_bytes);
         self.buf[r].push((kind, loc));
         let buffered = self.buffered();
         self.peak_buffered = self.peak_buffered.max(buffered);
@@ -330,6 +364,7 @@ impl StreamingChecker {
             cuts[r] = cut;
             let rest = self.buf[r].split_off(cut);
             for (kind, loc) in self.buf[r].drain(..) {
+                self.buffered_bytes = self.buffered_bytes.saturating_sub(event_cost(&kind, &loc));
                 if Self::is_registry(&kind) {
                     self.ctx_events[r].push((kind.clone(), loc.clone()));
                 }
@@ -365,6 +400,7 @@ impl StreamingChecker {
             }
             cuts[r] = self.buf[r].len();
             for (kind, loc) in self.buf[r].drain(..) {
+                self.buffered_bytes = self.buffered_bytes.saturating_sub(event_cost(&kind, &loc));
                 if Self::is_registry(&kind) {
                     self.ctx_events[r].push((kind.clone(), loc.clone()));
                 }
@@ -526,6 +562,7 @@ impl StreamingChecker {
         let stats = StreamingStats {
             regions_flushed: sc.regions_flushed,
             peak_buffered: sc.peak_buffered,
+            peak_buffered_bytes: sc.peak_buffered_bytes,
             total_events: trace.total_events(),
             evictions: sc.evictions,
         };
@@ -555,6 +592,8 @@ pub struct StreamingStats {
     pub regions_flushed: usize,
     /// Maximum simultaneously buffered events.
     pub peak_buffered: usize,
+    /// Maximum simultaneously buffered bytes (estimated).
+    pub peak_buffered_bytes: usize,
     /// Events processed in total.
     pub total_events: usize,
     /// Partial regions force-analyzed at the high watermark.
@@ -753,6 +792,37 @@ mod tests {
         let findings = sc.finish_degraded();
         assert!(!findings.is_empty(), "the pre-kill bug is salvaged");
         assert!(findings.iter().all(|e| e.confidence == Confidence::Degraded));
+    }
+
+    /// The byte accountant tracks every push and every drain: it charges
+    /// the heap behind location strings, returns to (near) zero once the
+    /// buffer is flushed, and records a peak that reflects the strings'
+    /// length, not just the event count.
+    #[test]
+    fn buffered_bytes_follow_pushes_and_flushes() {
+        let mut sc = StreamingChecker::new(2).unwrap();
+        assert_eq!(sc.buffered_bytes(), 0);
+        let long_func = "f".repeat(1000);
+        for r in 0..2u32 {
+            sc.push(
+                Rank(r),
+                EventKind::WinCreate { win: WinId(0), base: 0x40, len: 0x40, comm: CommId::WORLD },
+                SourceLoc::unknown(),
+            )
+            .unwrap();
+        }
+        sc.push(Rank(0), put(1), SourceLoc::new("big.c", 1, &long_func)).unwrap();
+        let with_big_loc = sc.buffered_bytes();
+        assert!(with_big_loc >= 1000, "loc strings are charged ({with_big_loc} bytes)");
+        assert_eq!(sc.peak_buffered_bytes, with_big_loc);
+        // A fence on each rank makes the region flushable; the buffer
+        // drains and the accountant follows it down.
+        for r in 0..2u32 {
+            sc.push(Rank(r), EventKind::Fence { win: WinId(0) }, SourceLoc::unknown()).unwrap();
+        }
+        assert_eq!(sc.buffered(), 0);
+        assert_eq!(sc.buffered_bytes(), 0);
+        assert_eq!(sc.peak_buffered_bytes, with_big_loc.max(sc.peak_buffered_bytes));
     }
 
     /// WinCreate counts as the first global synchronization, so the batch

@@ -63,6 +63,17 @@ pub mod names {
     /// Parked sessions that outlived the resume grace and were salvaged.
     pub const SESSIONS_SWEPT: &str = "serve_sessions_swept_total";
 
+    // -- resource governance (admission / quotas / shedding) --
+
+    /// `Hello`s refused by admission control (session cap or pressure).
+    pub const HELLOS_BUSY: &str = "serve_hellos_busy_total";
+    /// Sessions force-evicted by the supervisor under Critical pressure.
+    pub const SESSIONS_SHED: &str = "serve_sessions_shed_total";
+    /// Sessions degraded-and-evicted for exceeding a per-session quota.
+    pub const QUOTA_EVICTIONS: &str = "serve_quota_evictions_total";
+    /// Ingest pauses injected by the token-bucket event-rate limiter.
+    pub const THROTTLE_STALLS: &str = "serve_throttle_stalls_total";
+
     // -- hot-path latency histograms (values in microseconds) --
 
     /// Ingest→ack latency: first unacked event arrival to the ack write.

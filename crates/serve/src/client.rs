@@ -100,9 +100,12 @@ const DEFAULT_REPLY_DEADLINE: Duration = Duration::from_secs(30);
 const MAX_IDLE_PAUSE: Duration = Duration::from_millis(50);
 
 /// Reads the next meaningful frame, skipping `Ack`s (they are progress,
-/// not replies). Idle reads — a socket read timeout before a complete
-/// frame — back off with a bounded sleep instead of busy-spinning, and
-/// give up with [`ClientError::TimedOut`] once `deadline` has elapsed.
+/// not replies) and the governance advisories `Throttled` (pacing
+/// notice) and `QuotaExceeded` (always followed by the degraded
+/// `Report` the caller is waiting for). Idle reads — a socket read
+/// timeout before a complete frame — back off with a bounded sleep
+/// instead of busy-spinning, and give up with [`ClientError::TimedOut`]
+/// once `deadline` has elapsed.
 fn read_reply<S: Read>(
     reader: &mut FrameReader<S>,
     deadline: Duration,
@@ -112,6 +115,7 @@ fn read_reply<S: Read>(
     loop {
         match reader.next_frame() {
             Ok(Some(Frame::Ack { .. })) => {}
+            Ok(Some(Frame::Throttled { .. } | Frame::QuotaExceeded { .. })) => {}
             Ok(Some(f)) => return Ok(f),
             Ok(None) => {
                 return Err(ClientError::UnexpectedFrame(
@@ -284,17 +288,22 @@ pub fn submit_over_cfg<S: Read + Write>(
 ) -> Result<(SessionReport, SubmitInfo), ClientError> {
     let submit_span = mcc_obs::global().span("client.submit");
     let mut reader = FrameReader::new(stream);
+    // This build understands Busy/Throttled/QuotaExceeded, so tell the
+    // server it may use them instead of plain Errors.
+    let mut opts = opts.clone();
+    opts.governance = true;
     write_frame_with(
         reader.get_mut(),
-        &Frame::Hello {
-            version: PROTOCOL_VERSION,
-            nprocs: trace.nprocs() as u32,
-            opts: opts.clone(),
-        },
+        &Frame::Hello { version: PROTOCOL_VERSION, nprocs: trace.nprocs() as u32, opts },
         CONTROL,
     )?;
     let capabilities = match read_reply(&mut reader, DEFAULT_REPLY_DEADLINE)? {
         Frame::Welcome { capabilities, .. } => capabilities,
+        Frame::Busy { retry_after_ms, message } => {
+            return Err(ClientError::Rejected(format!(
+                "{message} (server busy; retry after {retry_after_ms}ms)"
+            )))
+        }
         Frame::Error { message } => return Err(ClientError::Rejected(message)),
         other => return Err(ClientError::UnexpectedFrame(format!("{other:?}"))),
     };
@@ -467,6 +476,7 @@ where
     let started = Instant::now();
     let mut opts = opts.clone();
     opts.durable = true;
+    opts.governance = true;
     let events = flatten_events(trace);
     let mut stats = SubmitStats::default();
     let mut rng = StdRng::seed_from_u64(policy.jitter_seed);
@@ -587,6 +597,13 @@ fn one_attempt<S: Read + Write>(
                 *session = Some(id);
                 capabilities = caps;
             }
+            // The server is over capacity or under memory pressure:
+            // honor its retry hint (bounded — the hint is advisory, not
+            // a lever a hostile server may pull), then burn one retry.
+            Ok(Frame::Busy { retry_after_ms, message }) => {
+                thread::sleep(Duration::from_millis(retry_after_ms.min(5_000)));
+                return Attempt::Retry(ClientError::Rejected(message));
+            }
             // Could be a real refusal (bad version) or the echo of a
             // `Hello` the transport corrupted — retry; the budget
             // bounds a hard refusal.
@@ -665,7 +682,8 @@ fn one_attempt<S: Read + Write>(
 }
 
 /// Like [`read_reply`] but returns `Ack` frames instead of skipping them
-/// (the post-resume handshake needs the offset).
+/// (the post-resume handshake needs the offset). Governance advisories
+/// are still skipped — they carry no offset.
 fn next_progress_frame<S: Read>(
     reader: &mut FrameReader<S>,
     deadline: Duration,
@@ -674,6 +692,7 @@ fn next_progress_frame<S: Read>(
     let mut pause = Duration::from_millis(1);
     loop {
         match reader.next_frame() {
+            Ok(Some(Frame::Throttled { .. } | Frame::QuotaExceeded { .. })) => {}
             Ok(Some(f)) => return Ok(f),
             Ok(None) => {
                 return Err(ClientError::UnexpectedFrame(

@@ -97,6 +97,10 @@ pub struct Journal {
     path: PathBuf,
     policy: FsyncPolicy,
     dirty: bool,
+    /// Bytes written to the journal so far (framed records, including
+    /// the `Open` header) — the session's disk-backlog share of the
+    /// memory accountant's charge.
+    bytes: u64,
 }
 
 impl Journal {
@@ -113,7 +117,7 @@ impl Journal {
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("session-{session}.mccj"));
         let file = OpenOptions::new().write(true).create(true).truncate(true).open(&path)?;
-        let mut j = Self { file, path, policy, dirty: false };
+        let mut j = Self { file, path, policy, dirty: false, bytes: 0 };
         j.append(&JournalRecord::Open { session, nprocs, opts: clone_opts(opts), cap })?;
         // The Open record is the session's existence proof; make it
         // durable immediately regardless of policy.
@@ -130,7 +134,7 @@ impl Journal {
         let mut file = file;
         use std::io::Seek;
         file.seek(io::SeekFrom::End(0))?;
-        Ok(Self { file, path: path.to_path_buf(), policy, dirty: false })
+        Ok(Self { file, path: path.to_path_buf(), policy, dirty: false, bytes: intact_len })
     }
 
     /// Appends one record (framed + checksummed) in the compact binary
@@ -138,7 +142,9 @@ impl Journal {
     /// records to a journal an older build started in JSON is fine.
     pub fn append(&mut self, rec: &JournalRecord) -> io::Result<()> {
         let payload = encode_with(CodecKind::Binary, rec);
-        self.file.write_all(&frame_payload(&payload))?;
+        let framed = frame_payload(&payload);
+        self.file.write_all(&framed)?;
+        self.bytes += framed.len() as u64;
         self.dirty = true;
         if self.policy == FsyncPolicy::Always {
             self.file.sync_data()?;
@@ -187,6 +193,11 @@ impl Journal {
         &self.path
     }
 
+    /// Bytes appended (or reopened onto) so far — O(1), no stat call.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes
+    }
+
     /// Deletes the journal (the session reached a final state and its
     /// report is retired elsewhere). Removal failures are reported but
     /// harmless — a leftover journal just replays to a finished session.
@@ -197,7 +208,12 @@ impl Journal {
 }
 
 fn clone_opts(o: &SessionOpts) -> SessionOpts {
-    SessionOpts { threads: o.threads, max_buffered: o.max_buffered, durable: o.durable }
+    SessionOpts {
+        threads: o.threads,
+        max_buffered: o.max_buffered,
+        durable: o.durable,
+        governance: o.governance,
+    }
 }
 
 /// A journal read back from disk: the intact prefix of one session.
@@ -385,7 +401,7 @@ mod tests {
     #[test]
     fn journal_round_trips_open_events_finish() {
         let dir = tmpdir("roundtrip");
-        let opts = SessionOpts { threads: 2, max_buffered: 64, durable: true };
+        let opts = SessionOpts { threads: 2, max_buffered: 64, durable: true, governance: true };
         let mut j = Journal::create(&dir, 9, 2, &opts, 64, FsyncPolicy::EveryAck).unwrap();
         for i in 0..5 {
             let (seq, rank, kind, loc) = ev(i);
@@ -475,7 +491,12 @@ mod tests {
             JournalRecord::Open {
                 session: 11,
                 nprocs: 2,
-                opts: SessionOpts { threads: 1, max_buffered: 0, durable: true },
+                opts: SessionOpts {
+                    threads: 1,
+                    max_buffered: 0,
+                    durable: true,
+                    ..Default::default()
+                },
                 cap: 512,
             },
             {

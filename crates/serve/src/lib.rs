@@ -26,8 +26,10 @@
 //!   verb, leak-proof via guard `Drop`, with parking/retiring for
 //!   resumable sessions;
 //! * [`server`] — accept loop, per-connection checking, backpressure,
-//!   idle/death salvage-or-park policies, startup recovery, and the
-//!   parked-session janitor;
+//!   idle/death salvage-or-park policies, startup recovery, the
+//!   parked-session janitor, and resource governance (admission
+//!   control, per-session quotas, and priority load shedding under a
+//!   daemon-wide memory ceiling);
 //! * [`client`] — a blocking submit/stats client plus the retrying
 //!   durable submitter;
 //! * [`chaos`] — an in-process TCP fault-injection proxy for the chaos
@@ -55,4 +57,4 @@ pub use mcc_codec::{Codec, CodecKind};
 pub use proto::{Frame, FrameReader, ProtoError, SessionOpts, MAX_RANKS, PROTOCOL_VERSION};
 pub use registry::{Outcome, ParkedSession, Progress, Registry, ResumeOutcome, SessionGuard};
 pub use report::{SessionReport, REPORT_SCHEMA_VERSION};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{pressure_of, PressureLevel, ServeConfig, Server, ServerHandle};

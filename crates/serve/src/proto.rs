@@ -86,6 +86,14 @@ pub const CAP_TRACECTX: &str = "tracectx";
 /// [`Frame::HealthReport`] (a JSON fleet-health document).
 pub const CAP_HEALTH: &str = "health";
 
+/// The capability string that announces resource governance: the server
+/// may answer a `Hello` with a typed [`Frame::Busy`] (instead of a plain
+/// `Error`) and may send [`Frame::Throttled`]/[`Frame::QuotaExceeded`]
+/// advisories mid-session — but only to clients that themselves declared
+/// `governance: true` in their [`SessionOpts`], so governance-unaware
+/// peers keep seeing plain `Error` frames in both directions.
+pub const CAP_GOVERNANCE: &str = "governance";
+
 /// Capabilities this server build announces in its `Welcome` frame.
 /// `metrics` means the `Metrics` verb is answered with `MetricsReport`;
 /// `resume` means durable sessions, `Resume`, `Ack`, and `Gone` are
@@ -94,9 +102,11 @@ pub const CAP_HEALTH: &str = "health";
 /// frames (a server run with `--no-binary` drops it, and clients fall
 /// back to per-event JSON); `tracectx` means the server accepts a
 /// [`Frame::TraceCtx`] stamp after the handshake; `health` means the
-/// `Health` verb is answered with `HealthReport`.
+/// `Health` verb is answered with `HealthReport`; `governance` means the
+/// server runs admission control and quotas and speaks the typed
+/// `Busy`/`Throttled`/`QuotaExceeded` frames to clients that opt in.
 pub const SERVER_CAPABILITIES: &[&str] =
-    &["metrics", "resume", "crc32", CAP_BINARY, CAP_TRACECTX, CAP_HEALTH];
+    &["metrics", "resume", "crc32", CAP_BINARY, CAP_TRACECTX, CAP_HEALTH, CAP_GOVERNANCE];
 
 /// Hard cap on a single frame's payload, applied before reading it.
 pub const MAX_FRAME_LEN: usize = 1 << 20;
@@ -108,7 +118,7 @@ pub const FRAME_HEADER_LEN: usize = 8;
 pub const MAX_RANKS: u32 = 4096;
 
 /// Per-session options a client may request in its `Hello`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionOpts {
     /// Worker threads for the region analyses (the server clamps this).
     pub threads: u32,
@@ -121,11 +131,48 @@ pub struct SessionOpts {
     /// later `Resume` picks up exactly where the acknowledged stream
     /// left off.
     pub durable: bool,
+    /// The client understands the typed governance frames
+    /// ([`Frame::Busy`], [`Frame::Throttled`], [`Frame::QuotaExceeded`]).
+    /// Servers only send those frames to sessions that set this; old
+    /// clients (whose `Hello` omits the field entirely — see the
+    /// hand-written `Deserialize` below) get plain `Error` frames.
+    pub governance: bool,
 }
 
 impl Default for SessionOpts {
     fn default() -> Self {
-        Self { threads: 1, max_buffered: 0, durable: false }
+        Self { threads: 1, max_buffered: 0, durable: false, governance: false }
+    }
+}
+
+// Serde is hand-written (not derived) for exactly one reason: the derive
+// treats every named field as required, so a version-1 `Hello` — whose
+// opts object has no `governance` key — would be refused as malformed by
+// a new server. Encoding always writes all fields (old servers ignore
+// unknown keys); decoding defaults `governance` to `false` when absent,
+// in both payload codecs, keeping the mixed-version matrix green.
+impl Serialize for SessionOpts {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![
+            ("threads".to_string(), self.threads.to_value()),
+            ("max_buffered".to_string(), self.max_buffered.to_value()),
+            ("durable".to_string(), self.durable.to_value()),
+            ("governance".to_string(), self.governance.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SessionOpts {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            threads: Deserialize::from_value(serde::__private::field(v, "threads")?)?,
+            max_buffered: Deserialize::from_value(serde::__private::field(v, "max_buffered")?)?,
+            durable: Deserialize::from_value(serde::__private::field(v, "durable")?)?,
+            governance: match v.get("governance") {
+                Some(g) => Deserialize::from_value(g)?,
+                None => false,
+            },
+        })
     }
 }
 
@@ -341,8 +388,43 @@ pub enum Frame {
     /// counts by state, event totals, and buffering/eviction pressure —
     /// what `mcc top` polls.
     HealthReport {
-        /// The JSON health document (`schema_version` 1).
+        /// The JSON health document (`schema_version` 2).
         json: String,
+    },
+    /// The server refuses a `Hello` because admission control is engaged
+    /// — the session cap is reached or memory pressure is above Normal.
+    /// Only sent to clients that declared `governance: true` in their
+    /// [`SessionOpts`]; other clients get a plain `Error` carrying the
+    /// same message. The durable client honors `retry_after_ms` in its
+    /// backoff loop and tries again.
+    Busy {
+        /// How long the client should wait before retrying its `Hello`.
+        retry_after_ms: u64,
+        /// Human-readable reason (which limit refused the session).
+        message: String,
+    },
+    /// Advisory, server → governance-aware client: the session crossed
+    /// its token-bucket event-rate quota and ingest is being paced. The
+    /// session continues; the client may slow down voluntarily. Sent at
+    /// most once per crossing.
+    Throttled {
+        /// The pause the server is injecting per excess event.
+        retry_after_ms: u64,
+    },
+    /// The session exceeded a hard per-session quota (max events, max
+    /// buffered bytes, wall-clock deadline) or was shed under Critical
+    /// memory pressure. The server degrades-then-evicts: this frame is
+    /// followed by a salvaged `Report` with Degraded confidence, then the
+    /// connection closes. Only sent to governance-aware clients; others
+    /// get a plain `Error` before the same salvaged report.
+    QuotaExceeded {
+        /// Which quota tripped (`"max-events"`, `"max-buffered-bytes"`,
+        /// `"deadline"`, `"memory-pressure"`).
+        quota: String,
+        /// The configured limit.
+        limit: u64,
+        /// The observed value that crossed it.
+        observed: u64,
     },
     /// The server refuses a frame or a session.
     Error {
@@ -683,7 +765,10 @@ mod tests {
             Frame::MetricsReport { text: "# TYPE mcc_x counter\nmcc_x 1\n".into() },
             Frame::TraceCtx { trace_id: 0xDEAD_BEEF, parent_span: 12 },
             Frame::Health,
-            Frame::HealthReport { json: "{\"schema_version\":1}".into() },
+            Frame::HealthReport { json: "{\"schema_version\":2}".into() },
+            Frame::Busy { retry_after_ms: 250, message: "session cap reached".into() },
+            Frame::Throttled { retry_after_ms: 10 },
+            Frame::QuotaExceeded { quota: "max-events".into(), limit: 1000, observed: 1001 },
             Frame::Error { message: "nope".into() },
         ]
     }
@@ -852,6 +937,31 @@ mod tests {
             got += 1;
         }
         assert_eq!(got, n);
+    }
+
+    /// A version-1 `Hello` whose opts object predates the `governance`
+    /// field must still decode (defaulting to `false`), and a new opts
+    /// object must survive both codecs with the flag intact — this is
+    /// what keeps the mixed-version client/server matrix green.
+    #[test]
+    fn session_opts_without_governance_field_decode_with_default() {
+        let old_shape = serde::Value::Obj(vec![
+            ("threads".to_string(), 2u32.to_value()),
+            ("max_buffered".to_string(), 512u32.to_value()),
+            ("durable".to_string(), true.to_value()),
+        ]);
+        let opts = SessionOpts::from_value(&old_shape).unwrap();
+        assert_eq!(
+            opts,
+            SessionOpts { threads: 2, max_buffered: 512, durable: true, governance: false }
+        );
+        // And the modern shape round-trips through both codecs.
+        let new = SessionOpts { governance: true, ..SessionOpts::default() };
+        for codec in [CodecKind::Json, CodecKind::Binary] {
+            let bytes = mcc_codec::encode_with(codec, &new);
+            let back: SessionOpts = mcc_codec::decode_auto(&bytes).unwrap();
+            assert_eq!(back, new, "codec {codec}");
+        }
     }
 
     #[test]

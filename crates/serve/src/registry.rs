@@ -19,7 +19,7 @@ use crate::journal::Journal;
 use mcc_core::streaming::StreamingChecker;
 use mcc_obs::FlightRecorder;
 use serde::Value;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -41,6 +41,13 @@ pub struct Progress {
     pub events: u64,
     /// Events currently buffered in the checker.
     pub buffered: usize,
+    /// Estimated bytes currently buffered in the checker (see
+    /// [`mcc_core::streaming::event_cost`]) — what the memory accountant
+    /// charges against the daemon's ceiling.
+    pub buffered_bytes: u64,
+    /// Bytes appended to the session's journal so far (its disk-backlog
+    /// share of the accountant's charge).
+    pub journal_bytes: u64,
     /// Peak buffered events.
     pub peak_buffered: usize,
     /// Regions flushed.
@@ -72,6 +79,10 @@ pub struct ParkedSession {
     /// postmortem dump covers the whole session, not just the last
     /// connection.
     pub flight: FlightRecorder,
+    /// Whether the client declared governance support in its `Hello`
+    /// (carried across park/resume so typed quota frames stay gated
+    /// correctly after a reconnect).
+    pub governance: bool,
 }
 
 /// How a `Resume{session}` resolves against the registry.
@@ -103,6 +114,9 @@ struct Totals {
     recovered: u64,
     events: u64,
     findings: u64,
+    admitted: u64,
+    shed: u64,
+    throttled: u64,
 }
 
 struct Inner {
@@ -111,6 +125,19 @@ struct Inner {
     parked: BTreeMap<u64, (ParkedSession, Instant)>,
     retired: BTreeMap<u64, String>,
     totals: Totals,
+    /// Active sessions the supervisor picked as shed victims; their
+    /// connection threads poll [`Registry::shed_requested`] and exit
+    /// through the degraded-salvage path. The mark survives a park (a
+    /// resumed victim is shed on its first frame).
+    shed_requested: BTreeSet<u64>,
+    /// Every shed victim in selection order — the record the
+    /// shedding-determinism suite asserts on.
+    shed_log: Vec<u64>,
+    /// Daemon-wide high-water mark of accounted bytes (buffered +
+    /// journal backlog), sampled whenever the fleet is aggregated.
+    peak_accounted_bytes: u64,
+    /// Daemon-wide high-water mark of simultaneously buffered events.
+    peak_buffered_events: u64,
 }
 
 /// Retired reports kept around for idempotent redelivery (oldest session
@@ -153,6 +180,22 @@ pub struct FleetStats {
     pub findings: u64,
     /// Events currently buffered across live and parked checkers.
     pub buffered: u64,
+    /// Sessions admitted (a `Welcome` answered a `Hello`) since startup.
+    pub admitted: u64,
+    /// Sessions force-evicted by pressure shedding since startup.
+    pub shed: u64,
+    /// Sessions that crossed their event-rate quota since startup.
+    pub throttled: u64,
+    /// Estimated bytes currently buffered across live and parked
+    /// checkers — the accountant's in-memory charge.
+    pub buffered_bytes: u64,
+    /// Journal backlog bytes across live and parked sessions.
+    pub journal_bytes: u64,
+    /// Daemon-wide high-water mark of accounted bytes (buffered +
+    /// journal), as sampled at fleet aggregations.
+    pub peak_accounted_bytes: u64,
+    /// Daemon-wide high-water mark of simultaneously buffered events.
+    pub peak_buffered_events: u64,
 }
 
 impl Registry {
@@ -165,6 +208,10 @@ impl Registry {
                 parked: BTreeMap::new(),
                 retired: BTreeMap::new(),
                 totals: Totals::default(),
+                shed_requested: BTreeSet::new(),
+                shed_log: Vec::new(),
+                peak_accounted_bytes: 0,
+                peak_buffered_events: 0,
             }),
             started: Instant::now(),
         }
@@ -175,9 +222,11 @@ impl Registry {
         self.started.elapsed()
     }
 
-    /// A consistent aggregate of the fleet's state.
+    /// A consistent aggregate of the fleet's state. Also advances the
+    /// daemon-wide peak gauges, so any caller (janitor tick, `HEALTH`,
+    /// `METRICS`) doubles as a sampling point.
     pub fn fleet(&self) -> FleetStats {
-        let inner = self.lock();
+        let mut inner = self.lock();
         let mut f = FleetStats {
             active: inner.active.len(),
             parked: inner.parked.len(),
@@ -189,17 +238,33 @@ impl Registry {
             events: inner.totals.events,
             findings: inner.totals.findings,
             buffered: 0,
+            admitted: inner.totals.admitted,
+            shed: inner.totals.shed,
+            throttled: inner.totals.throttled,
+            buffered_bytes: 0,
+            journal_bytes: 0,
+            peak_accounted_bytes: 0,
+            peak_buffered_events: 0,
         };
         for s in inner.active.values() {
             f.events += s.progress.events;
             f.findings += s.progress.findings as u64;
             f.buffered += s.progress.buffered as u64;
+            f.buffered_bytes += s.progress.buffered_bytes;
+            f.journal_bytes += s.progress.journal_bytes;
         }
         for (p, _) in inner.parked.values() {
             f.events += p.progress.events;
             f.findings += p.progress.findings as u64;
             f.buffered += p.progress.buffered as u64;
+            f.buffered_bytes += p.progress.buffered_bytes;
+            f.journal_bytes += p.progress.journal_bytes;
         }
+        inner.peak_accounted_bytes =
+            inner.peak_accounted_bytes.max(f.buffered_bytes + f.journal_bytes);
+        inner.peak_buffered_events = inner.peak_buffered_events.max(f.buffered);
+        f.peak_accounted_bytes = inner.peak_accounted_bytes;
+        f.peak_buffered_events = inner.peak_buffered_events;
         f
     }
 
@@ -217,6 +282,7 @@ impl Registry {
         let mut inner = self.lock();
         let id = inner.next_id;
         inner.next_id += 1;
+        inner.totals.admitted += 1;
         inner.active.insert(
             id,
             SessionState { nprocs, progress: Progress::default(), last_activity: Instant::now() },
@@ -252,9 +318,99 @@ impl Registry {
         Self::retire_locked(&mut inner, id, report_json);
     }
 
-    /// Records a refused handshake (version mismatch, bad `nprocs`).
+    /// Records a refused handshake (version mismatch, bad `nprocs`, or
+    /// admission control engaged).
     pub fn note_rejected(&self) {
         self.lock().totals.rejected += 1;
+    }
+
+    /// Records a session crossing its event-rate quota for the first
+    /// time (the session itself continues, paced).
+    pub fn note_throttled(&self) {
+        self.lock().totals.throttled += 1;
+    }
+
+    /// Selects shed victims until at least `bytes_to_free` of accounted
+    /// bytes (buffered + journal backlog) are covered, in deterministic
+    /// **largest-buffer-first** order (ties broken by ascending session
+    /// id). Parked victims are removed and returned — the caller owns
+    /// their salvage. Active victims are *marked*: their connection
+    /// threads observe the mark via [`Self::shed_requested`] and exit
+    /// through the degraded-salvage path. Victims already marked are
+    /// never re-selected; every victim is appended to the shed log once.
+    pub fn shed_victims(&self, bytes_to_free: u64) -> Vec<(u64, Option<ParkedSession>)> {
+        let mut inner = self.lock();
+        let mut candidates: Vec<(u64, u64, u64)> = inner
+            .active
+            .iter()
+            .map(|(id, s)| (*id, s.progress.buffered_bytes, s.progress.journal_bytes))
+            .chain(
+                inner
+                    .parked
+                    .iter()
+                    .map(|(id, (p, _))| (*id, p.progress.buffered_bytes, p.progress.journal_bytes)),
+            )
+            .filter(|(id, _, _)| !inner.shed_requested.contains(id))
+            .collect();
+        candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut freed = 0u64;
+        let mut out = Vec::new();
+        for (id, buffered, journal) in candidates {
+            if freed >= bytes_to_free {
+                break;
+            }
+            freed += buffered + journal;
+            inner.totals.shed += 1;
+            inner.shed_log.push(id);
+            if let Some((parked, _)) = inner.parked.remove(&id) {
+                inner.totals.salvaged += 1;
+                inner.totals.events += parked.progress.events;
+                inner.totals.findings += parked.progress.findings as u64;
+                out.push((id, Some(parked)));
+            } else {
+                inner.shed_requested.insert(id);
+                out.push((id, None));
+            }
+        }
+        out
+    }
+
+    /// Whether `id` carries a pending shed mark. Connection threads poll
+    /// this once per frame-loop iteration; `true` means the session must
+    /// exit through the degraded-salvage path now. The mark is **not**
+    /// consumed here — it is cleared atomically with the session's
+    /// accounting when the session finishes, so [`Self::pending_shed_bytes`]
+    /// keeps covering the victim's memory for the whole window between
+    /// selection and exit.
+    pub fn shed_requested(&self, id: u64) -> bool {
+        self.lock().shed_requested.contains(&id)
+    }
+
+    /// Every shed victim so far, in selection order.
+    pub fn shed_log(&self) -> Vec<u64> {
+        self.lock().shed_log.clone()
+    }
+
+    /// Accounted bytes (buffered + journal backlog) held by victims that
+    /// are marked but have not yet exited. Their memory is already
+    /// condemned: the janitor subtracts this from the fleet total before
+    /// judging pressure, so one shedding pass is given time to take
+    /// effect instead of cascading onto innocent sessions at the next
+    /// tick.
+    pub fn pending_shed_bytes(&self) -> u64 {
+        let inner = self.lock();
+        inner
+            .shed_requested
+            .iter()
+            .map(|id| {
+                inner
+                    .active
+                    .get(id)
+                    .map(|s| &s.progress)
+                    .or_else(|| inner.parked.get(id).map(|(p, _)| &p.progress))
+                    .map_or(0, |p| p.buffered_bytes + p.journal_bytes)
+            })
+            .sum()
     }
 
     /// Sessions currently live (attached to a connection).
@@ -332,6 +488,7 @@ impl Registry {
             .collect();
         let mut out = Vec::with_capacity(expired.len());
         for id in expired {
+            inner.shed_requested.remove(&id);
             if let Some((parked, _)) = inner.parked.remove(&id) {
                 inner.totals.salvaged += 1;
                 inner.totals.events += parked.progress.events;
@@ -351,6 +508,7 @@ impl Registry {
 
     fn finish(&self, id: u64, outcome: Outcome) {
         let mut inner = self.lock();
+        inner.shed_requested.remove(&id);
         if let Some(s) = inner.active.remove(&id) {
             match outcome {
                 Outcome::Completed => inner.totals.completed += 1,
@@ -381,6 +539,8 @@ impl Registry {
                     ("nprocs", int(s.nprocs as u64)),
                     ("events", int(s.progress.events)),
                     ("buffered", int(s.progress.buffered as u64)),
+                    ("buffered_bytes", int(s.progress.buffered_bytes)),
+                    ("journal_bytes", int(s.progress.journal_bytes)),
                     ("peak_buffered", int(s.progress.peak_buffered as u64)),
                     ("regions_flushed", int(s.progress.regions_flushed as u64)),
                     ("findings", int(s.progress.findings as u64)),
@@ -413,6 +573,9 @@ impl Registry {
             ("sessions_salvaged", int(inner.totals.salvaged)),
             ("sessions_resumed", int(inner.totals.resumed)),
             ("sessions_recovered", int(inner.totals.recovered)),
+            ("sessions_admitted", int(inner.totals.admitted)),
+            ("sessions_shed", int(inner.totals.shed)),
+            ("sessions_throttled", int(inner.totals.throttled)),
             ("hellos_rejected", int(inner.totals.rejected)),
             ("events_ingested", int(events_total)),
             ("findings", int(findings_total)),
@@ -493,6 +656,7 @@ mod tests {
             journal: None,
             progress: Progress::default(),
             flight: FlightRecorder::default(),
+            governance: false,
         }
     }
 
@@ -618,6 +782,132 @@ mod tests {
         assert!(matches!(reg.resume(23), ResumeOutcome::Retired(_)));
         let stats = reg.stats_json();
         assert!(stats.contains("\"sessions_recovered\":2"), "{stats}");
+    }
+
+    /// Shed selection is largest-buffer-first with ascending-id
+    /// tiebreak, skips already-marked victims, stops once enough bytes
+    /// are covered, and logs every victim exactly once in order.
+    #[test]
+    fn shed_victims_are_selected_largest_buffer_first() {
+        let reg = Arc::new(Registry::new());
+        let g1 = reg.register(1); // 100 bytes
+        let g2 = reg.register(1); // 900 bytes
+        let g3 = reg.register(1); // 900 bytes (tie with g2 — lower id wins)
+        g1.report_progress(Progress { buffered_bytes: 100, ..Default::default() });
+        g2.report_progress(Progress { buffered_bytes: 900, ..Default::default() });
+        g3.report_progress(Progress { buffered_bytes: 900, ..Default::default() });
+        let (id1, id2, id3) = (g1.id(), g2.id(), g3.id());
+
+        let victims = reg.shed_victims(1000);
+        let ids: Vec<u64> = victims.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![id2, id3], "two 900-byte sessions cover the 1000-byte target");
+        assert!(victims.iter().all(|(_, p)| p.is_none()), "active victims are marked, not taken");
+        assert!(reg.shed_requested(id2));
+        assert!(reg.shed_requested(id2), "the mark persists until the session exits");
+        assert!(!reg.shed_requested(id1), "unselected sessions carry no mark");
+
+        // A second round never re-selects the still-marked id3; it moves
+        // on to the smallest remainder.
+        let more = reg.shed_victims(1);
+        assert_eq!(more.iter().map(|(id, _)| *id).collect::<Vec<_>>(), vec![id1]);
+        assert_eq!(reg.shed_log(), vec![id2, id3, id1]);
+        assert!(reg.stats_json().contains("\"sessions_shed\":3"));
+        drop((g1, g2, g3));
+    }
+
+    /// A parked victim is removed outright (the caller salvages it); a
+    /// shed mark survives a park so a resumed victim still exits.
+    #[test]
+    fn shed_takes_parked_sessions_and_marks_survive_parking() {
+        let reg = Arc::new(Registry::new());
+        let g = reg.register(1);
+        let id = g.id();
+        g.report_progress(Progress { buffered_bytes: 500, ..Default::default() });
+        let mut p = parked(1);
+        p.progress.buffered_bytes = 500;
+        g.park(p);
+        let victims = reg.shed_victims(1);
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].0, id);
+        assert!(victims[0].1.is_some(), "parked victim handed to the caller");
+        assert_eq!(reg.parked_count(), 0);
+        assert!(reg.stats_json().contains("\"sessions_salvaged\":1"));
+
+        // Active victim that parks before polling: the mark persists and
+        // fires on resume.
+        let g = reg.register(1);
+        let id = g.id();
+        g.report_progress(Progress { buffered_bytes: 700, ..Default::default() });
+        let victims = reg.shed_victims(1);
+        assert_eq!(victims[0].0, id);
+        assert!(victims[0].1.is_none());
+        g.park(parked(1));
+        match reg.resume(id) {
+            ResumeOutcome::Parked(guard, _parked) => {
+                assert!(reg.shed_requested(id), "mark survived park + resume");
+                drop(guard);
+            }
+            _ => panic!("resume of a parked victim must hand the session back"),
+        }
+        assert!(!reg.shed_requested(id), "the victim's exit clears its mark");
+    }
+
+    /// While a marked victim is still draining, its bytes stay covered
+    /// by `pending_shed_bytes`; the cover lifts atomically with the
+    /// session's accounting when it finishes, so the janitor never
+    /// double-counts the same pressure into a second shedding pass.
+    #[test]
+    fn pending_shed_bytes_cover_marked_victims_until_exit() {
+        let reg = Arc::new(Registry::new());
+        let g1 = reg.register(1);
+        let g2 = reg.register(1);
+        g1.report_progress(Progress {
+            buffered_bytes: 700,
+            journal_bytes: 50,
+            ..Default::default()
+        });
+        g2.report_progress(Progress { buffered_bytes: 100, ..Default::default() });
+        assert_eq!(reg.pending_shed_bytes(), 0);
+
+        let victims = reg.shed_victims(500);
+        assert_eq!(victims.len(), 1, "the 750-byte session alone covers the target");
+        assert_eq!(reg.pending_shed_bytes(), 750);
+        // Polling the mark does not lift the cover...
+        assert!(reg.shed_requested(g1.id()));
+        assert_eq!(reg.pending_shed_bytes(), 750);
+        // ...the session's exit does, together with its fleet bytes.
+        drop(g1);
+        assert_eq!(reg.pending_shed_bytes(), 0);
+        assert_eq!(reg.fleet().buffered_bytes, 100);
+        drop(g2);
+    }
+
+    #[test]
+    fn fleet_aggregates_bytes_and_tracks_peaks() {
+        let reg = Arc::new(Registry::new());
+        let g1 = reg.register(1);
+        let g2 = reg.register(1);
+        g1.report_progress(Progress {
+            buffered: 10,
+            buffered_bytes: 4096,
+            journal_bytes: 100,
+            ..Default::default()
+        });
+        g2.report_progress(Progress { buffered: 5, buffered_bytes: 1024, ..Default::default() });
+        let f = reg.fleet();
+        assert_eq!(f.buffered, 15);
+        assert_eq!(f.buffered_bytes, 5120);
+        assert_eq!(f.journal_bytes, 100);
+        assert_eq!(f.peak_accounted_bytes, 5220);
+        assert_eq!(f.peak_buffered_events, 15);
+        assert_eq!(f.admitted, 2);
+        g1.finish(Outcome::Completed);
+        g2.finish(Outcome::Completed);
+        let f = reg.fleet();
+        assert_eq!(f.buffered_bytes, 0, "finished sessions release their charge");
+        assert_eq!(f.peak_accounted_bytes, 5220, "the peak is sticky");
+        reg.note_throttled();
+        assert_eq!(reg.fleet().throttled, 1);
     }
 
     /// Hammers the registry (and a shared recorder) from many threads and

@@ -26,6 +26,20 @@
 //! daemon killed outright comes back holding the same parked sessions
 //! (and retired reports) it had, and the eventual reports are
 //! byte-identical to an uninterrupted run.
+//!
+//! On top of the per-session watermarks sits daemon-wide *resource
+//! governance*: a memory accountant sums every session's buffered event
+//! bytes and journal backlog against [`ServeConfig::mem_ceiling`] and
+//! classifies the total into a [`PressureLevel`]. At `Elevated` pressure
+//! (or with [`ServeConfig::max_sessions`] reached) new `Hello`s are
+//! refused with a typed `Busy` carrying a retry hint; at `Critical`
+//! pressure the janitor sheds sessions in deterministic
+//! largest-buffer-first order until the accountant is back under 3/4 of
+//! the ceiling. Per-session quotas (event count, event rate, buffered
+//! bytes, wall-clock deadline) throttle or degrade-then-evict individual
+//! sessions with typed `Throttled`/`QuotaExceeded` frames instead of
+//! dropping their connections. Clients that did not negotiate the
+//! `governance` capability see plain `Error` frames instead.
 
 use crate::journal::{scan_dir, FsyncPolicy, Journal};
 use crate::proto::{
@@ -106,6 +120,39 @@ pub struct ServeConfig {
     /// service should be introspectable out of the box (span storage is
     /// capped at [`mcc_obs::MAX_SPANS`], counters are O(#names)).
     pub recorder: RecorderHandle,
+    /// Cap on concurrently held sessions (active + parked). A `Hello`
+    /// past the cap is refused with a typed `Busy`; `Resume` is exempt
+    /// (refusing it would strand parked memory). `0` = unlimited
+    /// (`mcc serve --max-sessions`).
+    pub max_sessions: usize,
+    /// Daemon-wide memory ceiling in bytes for the accountant's total
+    /// (buffered event bytes + journal backlog across all sessions).
+    /// Crossing 75% refuses new `Hello`s; crossing 90% makes the
+    /// janitor shed sessions largest-buffer-first until the total is
+    /// back under 3/4 of the ceiling. `0` = unlimited
+    /// (`mcc serve --mem-ceiling`).
+    pub mem_ceiling: usize,
+    /// Per-session cap on total ingested events; exceeding it
+    /// degrade-then-evicts with a typed `QuotaExceeded`. `0` = unlimited
+    /// (`mcc serve --quota-events`).
+    pub quota_max_events: u64,
+    /// Per-session sustained event-rate cap (events/second, token
+    /// bucket with a one-second burst allowance). A session over the
+    /// rate is paced with read stalls and told once per crossing via a
+    /// typed `Throttled`; it is never evicted for rate alone. `0` =
+    /// unlimited (`mcc serve --quota-rate`).
+    pub quota_event_rate: u64,
+    /// Per-session cap on buffered event *bytes* (as accounted by the
+    /// checker); exceeding it degrade-then-evicts with a typed
+    /// `QuotaExceeded`. `0` = unlimited (`mcc serve --quota-bytes`).
+    pub quota_max_bytes: usize,
+    /// Wall-clock deadline for a session; one still running past it
+    /// degrade-then-evicts with a typed `QuotaExceeded`. `None` =
+    /// unlimited (`mcc serve --deadline`).
+    pub session_deadline: Option<Duration>,
+    /// Retry hint carried in `Busy` refusals; the durable client honors
+    /// it in its backoff loop (`mcc serve --busy-retry-ms`).
+    pub busy_retry_after: Duration,
 }
 
 impl Default for ServeConfig {
@@ -126,35 +173,142 @@ impl Default for ServeConfig {
             no_binary: false,
             no_tracectx: false,
             recorder: RecorderHandle::enabled(),
+            max_sessions: 0,
+            mem_ceiling: 0,
+            quota_max_events: 0,
+            quota_event_rate: 0,
+            quota_max_bytes: 0,
+            session_deadline: None,
+            busy_retry_after: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Memory-pressure band of the daemon-wide accountant, computed from
+/// accounted bytes against [`ServeConfig::mem_ceiling`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PressureLevel {
+    /// Below 75% of the ceiling (or no ceiling configured).
+    Normal,
+    /// At or above 75% of the ceiling: new `Hello`s are refused.
+    Elevated,
+    /// At or above 90% of the ceiling: the janitor sheds sessions in
+    /// largest-buffer-first order until back under 3/4 of the ceiling.
+    Critical,
+}
+
+impl PressureLevel {
+    /// Stable lowercase name, as rendered by `HEALTH` and `mcc top`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PressureLevel::Normal => "normal",
+            PressureLevel::Elevated => "elevated",
+            PressureLevel::Critical => "critical",
+        }
+    }
+
+    /// Numeric form for the `serve_pressure_level` gauge (0/1/2).
+    pub fn as_gauge(self) -> u64 {
+        self as u64
+    }
+}
+
+/// Classifies `accounted` bytes against a `ceiling` (`0` = unlimited,
+/// always [`PressureLevel::Normal`]). Thresholds are exact integer
+/// fractions — 3/4 for `Elevated`, 9/10 for `Critical` — so the bands
+/// are deterministic across platforms.
+pub fn pressure_of(accounted: u64, ceiling: u64) -> PressureLevel {
+    if ceiling == 0 {
+        return PressureLevel::Normal;
+    }
+    if accounted.saturating_mul(10) >= ceiling.saturating_mul(9) {
+        PressureLevel::Critical
+    } else if accounted.saturating_mul(4) >= ceiling.saturating_mul(3) {
+        PressureLevel::Elevated
+    } else {
+        PressureLevel::Normal
+    }
+}
+
+/// Buffered-byte growth between unscheduled progress reports: a session
+/// ingesting large events reports every ~1 MiB of growth in addition to
+/// the every-256-events cadence, so the accountant tracks byte floods
+/// that cross the ceiling long before the event-count cadence fires.
+const BYTES_REPORT_DELTA: usize = 1 << 20;
+
+/// Sleep-pacing token bucket for [`ServeConfig::quota_event_rate`]:
+/// capacity equals the refill rate, so a session gets a one-second
+/// burst allowance and is paced to the sustained rate past it.
+struct TokenBucket {
+    /// Tokens per second, and the bucket capacity.
+    rate: u64,
+    /// Current balance; negative is debt the next stall repays.
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate: u64) -> Self {
+        Self { rate, tokens: rate as f64, last: Instant::now() }
+    }
+
+    /// Consumes `n` tokens and returns how long the caller must stall
+    /// to stay within rate (zero while the burst allowance covers it).
+    fn consume(&mut self, n: u64) -> Duration {
+        let now = Instant::now();
+        let refill = now.duration_since(self.last).as_secs_f64() * self.rate as f64;
+        self.tokens = (self.tokens + refill).min(self.rate as f64);
+        self.last = now;
+        self.tokens -= n as f64;
+        if self.tokens >= 0.0 {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(-self.tokens / self.rate as f64)
         }
     }
 }
 
 /// Renders the daemon's live metrics: the recorder's deterministic
 /// snapshot plus registry gauges — the `Metrics` verb's payload.
-fn metrics_text(registry: &Registry, recorder: &RecorderHandle) -> String {
+fn metrics_text(registry: &Registry, cfg: &ServeConfig) -> String {
     let fleet = registry.fleet();
-    let mut text = recorder.snapshot().render();
+    let accounted = fleet.buffered_bytes + fleet.journal_bytes;
+    let level = pressure_of(accounted, cfg.mem_ceiling as u64);
+    let mut text = cfg.recorder.snapshot().render();
     text.push_str(&render_gauge("serve_sessions_active", fleet.active as u64));
     text.push_str(&render_gauge("serve_sessions_parked", fleet.parked as u64));
     text.push_str(&render_gauge("serve_buffered_events", fleet.buffered));
+    text.push_str(&render_gauge("serve_buffered_bytes", fleet.buffered_bytes));
+    text.push_str(&render_gauge("serve_journal_bytes", fleet.journal_bytes));
+    text.push_str(&render_gauge("serve_accounted_bytes", accounted));
+    text.push_str(&render_gauge("serve_peak_accounted_bytes", fleet.peak_accounted_bytes));
+    text.push_str(&render_gauge("serve_peak_buffered_events", fleet.peak_buffered_events));
+    text.push_str(&render_gauge("serve_mem_ceiling_bytes", cfg.mem_ceiling as u64));
+    text.push_str(&render_gauge("serve_pressure_level", level.as_gauge()));
+    text.push_str(&render_gauge("serve_sessions_admitted", fleet.admitted));
+    text.push_str(&render_gauge("serve_sessions_shed", fleet.shed));
+    text.push_str(&render_gauge("serve_sessions_throttled", fleet.throttled));
     text
 }
 
 /// Renders the daemon's fleet-health summary — the `Health` verb's
-/// payload, polled by `mcc top`. Schema version 1; all values integers.
-fn health_json(registry: &Registry, recorder: &RecorderHandle) -> String {
+/// payload, polled by `mcc top`. Schema version 2 (v2 added the
+/// `pressure` and `admission` sections); all values integers except
+/// `pressure.level`.
+fn health_json(registry: &Registry, cfg: &ServeConfig) -> String {
     let f = registry.fleet();
-    let snap = recorder.snapshot();
+    let snap = cfg.recorder.snapshot();
     let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
     let uptime_ms = registry.uptime().as_millis() as u64;
     let events_per_sec = f.events.saturating_mul(1000).checked_div(uptime_ms).unwrap_or(0);
+    let accounted = f.buffered_bytes + f.journal_bytes;
+    let level = pressure_of(accounted, cfg.mem_ceiling as u64);
     let obj = |fields: Vec<(&str, Value)>| {
         Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     };
     let int = |n: u64| Value::Int(n as i128);
     let doc = obj(vec![
-        ("schema_version", Value::Int(1)),
+        ("schema_version", Value::Int(2)),
         ("uptime_ms", int(uptime_ms)),
         (
             "sessions",
@@ -166,6 +320,27 @@ fn health_json(registry: &Registry, recorder: &RecorderHandle) -> String {
                 ("resumed", int(f.resumed)),
                 ("recovered", int(f.recovered)),
                 ("rejected", int(f.rejected)),
+            ]),
+        ),
+        (
+            "pressure",
+            obj(vec![
+                ("level", Value::Str(level.as_str().to_string())),
+                ("accounted_bytes", int(accounted)),
+                ("buffered_bytes", int(f.buffered_bytes)),
+                ("journal_bytes", int(f.journal_bytes)),
+                ("peak_accounted_bytes", int(f.peak_accounted_bytes)),
+                ("mem_ceiling_bytes", int(cfg.mem_ceiling as u64)),
+            ]),
+        ),
+        (
+            "admission",
+            obj(vec![
+                ("admitted", int(f.admitted)),
+                ("rejected", int(f.rejected)),
+                ("shed", int(f.shed)),
+                ("throttled", int(f.throttled)),
+                ("max_sessions", int(cfg.max_sessions as u64)),
             ]),
         ),
         ("events_ingested", int(f.events)),
@@ -183,7 +358,7 @@ fn health_json(registry: &Registry, recorder: &RecorderHandle) -> String {
         }
     }
     serde_json::to_string(&Doc(doc))
-        .unwrap_or_else(|_| "{\"schema_version\":1,\"error\":\"health rendering failed\"}".into())
+        .unwrap_or_else(|_| "{\"schema_version\":2,\"error\":\"health rendering failed\"}".into())
 }
 
 /// Dumps a finished-badly session's flight recorder: to
@@ -372,6 +547,7 @@ impl Server {
                             let _ = j.retire();
                         }
                     }
+                    shed_under_pressure(&registry, &cfg);
                 }
             })
         };
@@ -407,6 +583,52 @@ impl Server {
             let _ = std::fs::remove_file(path);
         }
         Ok(())
+    }
+}
+
+/// One janitor tick of priority load shedding: at `Critical` pressure,
+/// picks victims in deterministic largest-buffer-first order (ties by
+/// session id) until the accountant projects the total back under 3/4
+/// of the ceiling. Parked victims are salvaged here; active victims are
+/// marked in the registry and evict themselves at their connection
+/// thread's next loop iteration.
+fn shed_under_pressure(registry: &Arc<Registry>, cfg: &ServeConfig) {
+    if cfg.mem_ceiling == 0 {
+        return;
+    }
+    let f = registry.fleet();
+    // Bytes held by already-marked victims are condemned but not yet
+    // released; judging pressure without subtracting them would cascade
+    // a second shedding pass onto innocent sessions while the first one
+    // is still taking effect.
+    let accounted =
+        (f.buffered_bytes + f.journal_bytes).saturating_sub(registry.pending_shed_bytes());
+    if pressure_of(accounted, cfg.mem_ceiling as u64) != PressureLevel::Critical {
+        return;
+    }
+    let target = (cfg.mem_ceiling as u64 / 4).saturating_mul(3);
+    let to_free = accounted.saturating_sub(target);
+    logkv!(
+        Warn,
+        [("accounted", accounted), ("ceiling", cfg.mem_ceiling as u64)],
+        "critical memory pressure; shedding to free {to_free} byte(s)"
+    );
+    for (id, parked) in registry.shed_victims(to_free) {
+        cfg.recorder.add(names::SESSIONS_SHED, 1);
+        match parked {
+            Some(mut p) => {
+                logkv!(Warn, [("session", id)], "shed under memory pressure (parked); salvaging");
+                p.flight.record("shed", "critical memory pressure; salvaging");
+                dump_flight(cfg, id, &p.flight);
+                let _ = p.checker.finish_degraded();
+                if let Some(j) = p.journal {
+                    let _ = j.retire();
+                }
+            }
+            None => {
+                logkv!(Warn, [("session", id)], "shed under memory pressure (active); marked");
+            }
+        }
     }
 }
 
@@ -494,6 +716,8 @@ fn recover_dir(registry: &Arc<Registry>, dir: &std::path::Path, cfg: &ServeConfi
                     progress: Progress {
                         events: expected_seq,
                         buffered: checker.buffered(),
+                        buffered_bytes: checker.buffered_bytes() as u64,
+                        journal_bytes: rs.intact_len,
                         peak_buffered: checker.peak_buffered,
                         regions_flushed: checker.regions_flushed,
                         findings: checker.findings_so_far(),
@@ -502,6 +726,7 @@ fn recover_dir(registry: &Arc<Registry>, dir: &std::path::Path, cfg: &ServeConfi
                     },
                     checker,
                     flight,
+                    governance: rs.opts.governance,
                 },
             );
             if adopted {
@@ -566,6 +791,21 @@ struct SessionCtx {
     stalled: bool,
     /// Ring buffer of state transitions, dumped on salvage/error.
     flight: FlightRecorder,
+    /// Whether the client negotiated the `governance` capability in its
+    /// `Hello`: typed `Busy`/`Throttled`/`QuotaExceeded` frames go only
+    /// to clients that can read them; others get plain `Error`s.
+    governance: bool,
+    /// When the session opened (or resumed) — the clock the wall-clock
+    /// deadline quota runs against.
+    opened_at: Instant,
+    /// Pacing bucket for the per-session event-rate quota.
+    bucket: Option<TokenBucket>,
+    /// Whether the last ingest stalled on the rate quota, so `Throttled`
+    /// is sent once per crossing, not once per stalled frame.
+    throttle_notified: bool,
+    /// Buffered bytes at the last progress report, for the ~1 MiB
+    /// byte-growth report trigger.
+    last_report_bytes: usize,
 }
 
 impl SessionCtx {
@@ -628,13 +868,13 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                 }
             }
             Ok(Some(Frame::Metrics)) => {
-                let text = metrics_text(&registry, obs);
+                let text = metrics_text(&registry, cfg);
                 if !send(reader.get_mut(), &Frame::MetricsReport { text }) {
                     return;
                 }
             }
             Ok(Some(Frame::Health)) => {
-                let json = health_json(&registry, obs);
+                let json = health_json(&registry, cfg);
                 if !send(reader.get_mut(), &Frame::HealthReport { json }) {
                     return;
                 }
@@ -645,6 +885,31 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                     obs.add("serve_hellos_rejected_total", 1);
                     log!(Warn, "hello rejected: {message}");
                     send(reader.get_mut(), &Frame::Error { message });
+                    return;
+                }
+                // Admission control: a full house or elevated memory
+                // pressure refuses new work before it costs anything.
+                // `Resume` is exempt — refusing one would strand the
+                // very parked memory the daemon wants freed.
+                let f = registry.fleet();
+                let level = pressure_of(f.buffered_bytes + f.journal_bytes, cfg.mem_ceiling as u64);
+                let at_capacity = cfg.max_sessions > 0 && f.active + f.parked >= cfg.max_sessions;
+                if at_capacity || level >= PressureLevel::Elevated {
+                    registry.note_rejected();
+                    obs.add(names::HELLOS_BUSY, 1);
+                    let message = if at_capacity {
+                        format!("server at capacity ({} session(s)); retry later", cfg.max_sessions)
+                    } else {
+                        format!("server under {} memory pressure; retry later", level.as_str())
+                    };
+                    log!(Warn, "hello refused: {message}");
+                    let retry_after_ms = cfg.busy_retry_after.as_millis() as u64;
+                    let reply = if opts.governance {
+                        Frame::Busy { retry_after_ms, message }
+                    } else {
+                        Frame::Error { message }
+                    };
+                    send(reader.get_mut(), &reply);
                     return;
                 }
                 break Opened::New { nprocs: nprocs as usize, opts };
@@ -808,6 +1073,11 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                 pending_since: None,
                 stalled: false,
                 flight,
+                governance: opts.governance,
+                opened_at: Instant::now(),
+                bucket: (cfg.quota_event_rate > 0).then(|| TokenBucket::new(cfg.quota_event_rate)),
+                throttle_notified: false,
+                last_report_bytes: 0,
             }
         }
         Opened::Resumed { guard, parked } => {
@@ -829,6 +1099,15 @@ fn handle_conn(conn: Box<dyn Conn>, registry: Arc<Registry>, cfg: &ServeConfig) 
                 pending_since: None,
                 stalled: false,
                 flight,
+                governance: parked.governance,
+                // The deadline clock restarts on resume: the quota bounds
+                // one connection's wall-clock, not the session's lifetime
+                // across reconnects (parked time already has its own
+                // bound in the resume grace).
+                opened_at: Instant::now(),
+                bucket: (cfg.quota_event_rate > 0).then(|| TokenBucket::new(cfg.quota_event_rate)),
+                throttle_notified: false,
+                last_report_bytes: 0,
             };
             if !send(reader.get_mut(), &welcome_frame(id, cfg))
                 || !send(reader.get_mut(), &Frame::Ack { through })
@@ -853,9 +1132,11 @@ fn run_session(
     let obs = &cfg.recorder;
     let session_span = obs.span("serve.session");
     let mut last_activity = Instant::now();
-    let progress_of = |c: &StreamingChecker, events: u64| Progress {
+    let progress_of = |c: &StreamingChecker, events: u64, journal_bytes: u64| Progress {
         events,
         buffered: c.buffered(),
+        buffered_bytes: c.buffered_bytes() as u64,
+        journal_bytes,
         peak_buffered: c.peak_buffered,
         regions_flushed: c.regions_flushed,
         findings: c.findings_so_far(),
@@ -863,6 +1144,40 @@ fn run_session(
         recovered: c.is_recovered(),
     };
     loop {
+        // Governance checks that do not need a frame to fire: a shed
+        // mark left by the janitor, or the wall-clock deadline. Both
+        // are noticed at worst one read-timeout tick late.
+        if registry.shed_requested(ctx.guard.id()) {
+            let observed = ctx.checker.as_ref().map(|c| c.buffered_bytes() as u64).unwrap_or(0)
+                + ctx.journal.as_ref().map(|j| j.bytes_appended()).unwrap_or(0);
+            ctx.flight.record("shed", "critical memory pressure; evicting");
+            quota_evict(
+                ctx,
+                registry,
+                reader.get_mut(),
+                cfg,
+                "memory-pressure",
+                cfg.mem_ceiling as u64,
+                observed,
+            );
+            return;
+        }
+        if let Some(deadline) = cfg.session_deadline {
+            let elapsed = ctx.opened_at.elapsed();
+            if elapsed >= deadline {
+                obs.add(names::QUOTA_EVICTIONS, 1);
+                quota_evict(
+                    ctx,
+                    registry,
+                    reader.get_mut(),
+                    cfg,
+                    "deadline",
+                    deadline.as_millis() as u64,
+                    elapsed.as_millis() as u64,
+                );
+                return;
+            }
+        }
         match reader.next_frame() {
             Ok(Some(Frame::Event { seq, rank, kind, loc })) => {
                 last_activity = Instant::now();
@@ -915,9 +1230,45 @@ fn run_session(
                 ctx.events += 1;
                 ctx.pending_since.get_or_insert_with(Instant::now);
                 obs.add("serve_events_total", 1);
-                if ctx.events.is_multiple_of(256) {
-                    ctx.guard.report_progress(progress_of(c, ctx.events));
+                let buffered_bytes = c.buffered_bytes();
+                // Progress on the 256-event cadence, and additionally on
+                // every ~1 MiB of buffered-byte growth — a flood of huge
+                // events must reach the accountant before it reaches the
+                // event-count cadence.
+                if ctx.events.is_multiple_of(256)
+                    || buffered_bytes.abs_diff(ctx.last_report_bytes) >= BYTES_REPORT_DELTA
+                {
+                    ctx.last_report_bytes = buffered_bytes;
+                    let jb = ctx.journal.as_ref().map(|j| j.bytes_appended()).unwrap_or(0);
+                    ctx.guard.report_progress(progress_of(c, ctx.events, jb));
                     ctx.flight.record("frame", format!("event seq {seq}"));
+                }
+                if cfg.quota_max_events > 0 && ctx.events > cfg.quota_max_events {
+                    obs.add(names::QUOTA_EVICTIONS, 1);
+                    let observed = ctx.events;
+                    quota_evict(
+                        ctx,
+                        registry,
+                        reader.get_mut(),
+                        cfg,
+                        "max-events",
+                        cfg.quota_max_events,
+                        observed,
+                    );
+                    return;
+                }
+                if cfg.quota_max_bytes > 0 && buffered_bytes > cfg.quota_max_bytes {
+                    obs.add(names::QUOTA_EVICTIONS, 1);
+                    quota_evict(
+                        ctx,
+                        registry,
+                        reader.get_mut(),
+                        cfg,
+                        "max-buffered-bytes",
+                        cfg.quota_max_bytes as u64,
+                        buffered_bytes as u64,
+                    );
+                    return;
                 }
                 if ctx.durable && ctx.events - ctx.last_ack >= cfg.ack_interval {
                     ctx.sync_journal_for_ack(obs);
@@ -926,6 +1277,7 @@ fn run_session(
                         return;
                     }
                 }
+                throttle(&mut ctx, registry, reader.get_mut(), cfg, 1);
                 let buffered = ctx.checker.as_ref().map(|c| c.buffered()).unwrap_or(0);
                 if buffered >= cfg.soft_watermark {
                     obs.add("serve_backpressure_stalls_total", 1);
@@ -979,6 +1331,7 @@ fn run_session(
                     }
                 }
                 let events_before = ctx.events;
+                let buffered_bytes;
                 {
                     let Some(c) = ctx.checker.as_mut() else {
                         send(
@@ -1010,10 +1363,16 @@ fn run_session(
                         );
                     }
                     obs.add("serve_events_total", ctx.events - events_before);
+                    buffered_bytes = c.buffered_bytes();
                     // One progress report per 256-event boundary crossed,
-                    // matching the per-event path's cadence.
-                    if events_before / 256 != ctx.events / 256 {
-                        ctx.guard.report_progress(progress_of(c, ctx.events));
+                    // matching the per-event path's cadence — plus the
+                    // same ~1 MiB byte-growth trigger.
+                    if events_before / 256 != ctx.events / 256
+                        || buffered_bytes.abs_diff(ctx.last_report_bytes) >= BYTES_REPORT_DELTA
+                    {
+                        ctx.last_report_bytes = buffered_bytes;
+                        let jb = ctx.journal.as_ref().map(|j| j.bytes_appended()).unwrap_or(0);
+                        ctx.guard.report_progress(progress_of(c, ctx.events, jb));
                     }
                 }
                 ctx.pending_since.get_or_insert_with(Instant::now);
@@ -1031,6 +1390,33 @@ fn run_session(
                         }
                     }
                 }
+                if cfg.quota_max_events > 0 && ctx.events > cfg.quota_max_events {
+                    obs.add(names::QUOTA_EVICTIONS, 1);
+                    let observed = ctx.events;
+                    quota_evict(
+                        ctx,
+                        registry,
+                        reader.get_mut(),
+                        cfg,
+                        "max-events",
+                        cfg.quota_max_events,
+                        observed,
+                    );
+                    return;
+                }
+                if cfg.quota_max_bytes > 0 && buffered_bytes > cfg.quota_max_bytes {
+                    obs.add(names::QUOTA_EVICTIONS, 1);
+                    quota_evict(
+                        ctx,
+                        registry,
+                        reader.get_mut(),
+                        cfg,
+                        "max-buffered-bytes",
+                        cfg.quota_max_bytes as u64,
+                        buffered_bytes as u64,
+                    );
+                    return;
+                }
                 if ctx.durable && ctx.events - ctx.last_ack >= cfg.ack_interval {
                     ctx.sync_journal_for_ack(obs);
                     if !ctx.send_ack(reader.get_mut(), obs) {
@@ -1038,6 +1424,8 @@ fn run_session(
                         return;
                     }
                 }
+                let ingested = ctx.events - events_before;
+                throttle(&mut ctx, registry, reader.get_mut(), cfg, ingested);
                 let buffered = ctx.checker.as_ref().map(|c| c.buffered()).unwrap_or(0);
                 if buffered >= cfg.soft_watermark {
                     obs.add("serve_backpressure_stalls_total", 1);
@@ -1072,7 +1460,7 @@ fn run_session(
                     .record("tracectx", format!("trace {trace_id:#x} parent span {parent_span}"));
             }
             Ok(Some(Frame::Health)) => {
-                let json = health_json(registry, obs);
+                let json = health_json(registry, cfg);
                 if !send(reader.get_mut(), &Frame::HealthReport { json }) {
                     finish_abnormally(ctx, registry, reader.get_mut(), cfg);
                     return;
@@ -1087,7 +1475,8 @@ fn run_session(
                     finish_abnormally(ctx, registry, reader.get_mut(), cfg);
                     return;
                 };
-                ctx.guard.report_progress(progress_of(&c, ctx.events));
+                let jb = ctx.journal.as_ref().map(|j| j.bytes_appended()).unwrap_or(0);
+                ctx.guard.report_progress(progress_of(&c, ctx.events, jb));
                 let confidence = c.confidence();
                 let (regions_flushed, peak_buffered, evictions) =
                     (c.regions_flushed, c.peak_buffered, c.evictions);
@@ -1104,6 +1493,8 @@ fn run_session(
                 ctx.guard.report_progress(Progress {
                     events: ctx.events,
                     buffered: 0,
+                    buffered_bytes: 0,
+                    journal_bytes: 0,
                     peak_buffered: report.peak_buffered,
                     regions_flushed: report.regions_flushed,
                     findings: report.findings.len(),
@@ -1161,7 +1552,7 @@ fn run_session(
                 }
             }
             Ok(Some(Frame::Metrics)) => {
-                let text = metrics_text(registry, obs);
+                let text = metrics_text(registry, cfg);
                 if !send(reader.get_mut(), &Frame::MetricsReport { text }) {
                     finish_abnormally(ctx, registry, reader.get_mut(), cfg);
                     return;
@@ -1215,6 +1606,99 @@ fn run_session(
     }
 }
 
+/// Paces a session against its event-rate quota: consumes `n` tokens
+/// and, when over rate, stalls the connection thread for the deficit
+/// (the kernel socket buffer, and eventually the client, absorb the
+/// stall — same mechanism as backpressure). The first stalled frame of
+/// a crossing also tells a governance-aware client via `Throttled`;
+/// rate pacing never evicts.
+fn throttle(
+    ctx: &mut SessionCtx,
+    registry: &Arc<Registry>,
+    conn: &mut impl Write,
+    cfg: &ServeConfig,
+    n: u64,
+) {
+    let Some(bucket) = ctx.bucket.as_mut() else { return };
+    let stall = bucket.consume(n);
+    if stall.is_zero() {
+        ctx.throttle_notified = false;
+        return;
+    }
+    cfg.recorder.add(names::THROTTLE_STALLS, 1);
+    if !ctx.throttle_notified {
+        ctx.throttle_notified = true;
+        registry.note_throttled();
+        ctx.flight.record(
+            "throttle",
+            format!("rate quota {} ev/s crossed; stalling {}ms", bucket.rate, stall.as_millis()),
+        );
+        if ctx.governance {
+            let _ = write_frame_with(
+                conn,
+                &Frame::Throttled { retry_after_ms: stall.as_millis() as u64 },
+                CodecKind::Json,
+            );
+        }
+    }
+    thread::sleep(stall);
+}
+
+/// Degrade-then-evict for a governance limit (hard quota, deadline, or
+/// pressure shed): answers with the typed `QuotaExceeded` — or a plain
+/// `Error` for clients that did not negotiate `governance` — then
+/// salvages the session, durable or not. Salvage is the point: the
+/// degraded report is offered over the still-open connection and the
+/// session's memory (checker and journal) is released immediately.
+/// Parking a quota violator would keep the very bytes the limit exists
+/// to bound.
+fn quota_evict(
+    mut ctx: SessionCtx,
+    registry: &Arc<Registry>,
+    conn: &mut (impl Read + Write),
+    cfg: &ServeConfig,
+    quota: &str,
+    limit: u64,
+    observed: u64,
+) {
+    ctx.flight.record("quota", format!("{quota}: {observed} over limit {limit}"));
+    logkv!(
+        Warn,
+        [("session", ctx.guard.id())],
+        "quota {quota} exceeded ({observed} over {limit}); evicting"
+    );
+    let notice = if ctx.governance {
+        Frame::QuotaExceeded { quota: quota.to_string(), limit, observed }
+    } else {
+        Frame::Error { message: format!("quota {quota} exceeded: {observed} over limit {limit}") }
+    };
+    let _ = write_frame_with(conn, &notice, CodecKind::Json);
+    salvage(ctx, registry, conn, cfg);
+    // The peer may still have events in flight; dropping the socket with
+    // unread data pending turns the close into an RST, which can destroy
+    // the notice and report just written before the peer reads them.
+    // Draining briefly converts the close into a clean FIN for any
+    // modest backlog — a peer that keeps flooding past the allowance
+    // still gets cut off hard.
+    drain_inbound(conn, Duration::from_millis(200));
+}
+
+/// Reads and discards inbound bytes until EOF, an error, or the
+/// allowance elapses (the connection's read timeout, `cfg.tick`, bounds
+/// each wait).
+fn drain_inbound(conn: &mut impl Read, allowance: Duration) {
+    let deadline = Instant::now() + allowance;
+    let mut sink = [0u8; 16 * 1024];
+    while Instant::now() < deadline {
+        match conn.read(&mut sink) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {}
+            Err(_) => return,
+        }
+    }
+}
+
 /// Ends a session whose connection is no longer usable: durable sessions
 /// park (awaiting a `Resume`), non-durable ones salvage.
 fn finish_abnormally(
@@ -1252,6 +1736,7 @@ fn park(mut ctx: SessionCtx, obs: &RecorderHandle) {
         journal: ctx.journal,
         progress: Progress::default(), // replaced by the registry's copy
         flight: ctx.flight,
+        governance: ctx.governance,
     });
 }
 
@@ -1291,6 +1776,8 @@ fn salvage(
     ctx.guard.report_progress(Progress {
         events: ctx.events,
         buffered: 0,
+        buffered_bytes: 0,
+        journal_bytes: 0,
         peak_buffered: report.peak_buffered,
         regions_flushed: report.regions_flushed,
         findings: report.findings.len(),

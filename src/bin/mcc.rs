@@ -72,6 +72,9 @@
 //!           [--max-threads N] [--ack-interval N] [--journal-dir DIR]
 //!           [--fsync never|ack|always] [--resume-grace-ms N] [--recover]
 //!           [--no-binary] [--no-tracectx] [--profile out.json]
+//!           [--max-sessions N] [--mem-ceiling MIB] [--quota-events N]
+//!           [--quota-rate N] [--quota-bytes N] [--deadline-s N]
+//!           [--busy-retry-ms N]
 //!     Run the checker daemon. ADDR is a TCP address (default
 //!     127.0.0.1:9477; port 0 picks a free port) or, on Unix, a socket
 //!     path (recognized by a `/`). Each client connection is a session
@@ -94,6 +97,19 @@
 //!     --profile enables the daemon-side recorder and writes its
 //!     Chrome trace on exit, for `mcc trace-merge` against a client
 //!     `mcc submit --profile` trace.
+//!     Resource governance (all off by default): --max-sessions caps
+//!     concurrently held sessions; --mem-ceiling MIB bounds the
+//!     daemon-wide accountant (buffered event bytes + journal backlog)
+//!     — past 75% new sessions are refused with a typed `Busy`
+//!     carrying the --busy-retry-ms hint, past 90% the janitor sheds
+//!     sessions largest-buffer-first to degraded reports until back
+//!     under 3/4 of the ceiling. Per-session quotas: --quota-events
+//!     and --quota-bytes cap a session's total events and buffered
+//!     bytes (exceeding either degrades-then-evicts with a typed
+//!     `QuotaExceeded`), --quota-rate paces a session to N events/s
+//!     (token bucket; over-rate sessions are stalled and told once per
+//!     crossing via `Throttled`, never evicted), and --deadline-s
+//!     bounds a session's wall-clock time.
 //!
 //! mcc submit <trace-dir> [--addr ADDR] [--threads N] [--max-buffer N]
 //!            [--format text|json] [--durable] [--retries N]
@@ -516,6 +532,15 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     take!("--ack-interval", u64, |c: &mut ServeConfig, n| c.ack_interval = n);
     take!("--resume-grace-ms", u64, |c: &mut ServeConfig, n| c.resume_grace =
         Duration::from_millis(n));
+    take!("--max-sessions", usize, |c: &mut ServeConfig, n| c.max_sessions = n);
+    take!("--mem-ceiling", usize, |c: &mut ServeConfig, n| c.mem_ceiling = n << 20);
+    take!("--quota-events", u64, |c: &mut ServeConfig, n| c.quota_max_events = n);
+    take!("--quota-rate", u64, |c: &mut ServeConfig, n| c.quota_event_rate = n);
+    take!("--quota-bytes", usize, |c: &mut ServeConfig, n| c.quota_max_bytes = n);
+    take!("--deadline-s", u64, |c: &mut ServeConfig, n| c.session_deadline =
+        Some(Duration::from_secs(n)));
+    take!("--busy-retry-ms", u64, |c: &mut ServeConfig, n| c.busy_retry_after =
+        Duration::from_millis(n));
     cfg.soft_watermark = cfg.soft_watermark.min(cfg.hard_watermark);
     if let Some(dir) = flag_value(args, "--journal-dir") {
         cfg.journal_dir = Some(std::path::PathBuf::from(dir));
@@ -777,6 +802,31 @@ fn int_at(doc: &serde::Value, keys: &[&str]) -> i128 {
     }
 }
 
+/// Like [`int_at`] for string leaves (e.g. HEALTH's `pressure.level`).
+fn str_at<'a>(doc: &'a serde::Value, keys: &[&str]) -> Option<&'a str> {
+    let mut v = doc;
+    for k in keys {
+        v = v.get(k)?;
+    }
+    match v {
+        serde::Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Human-scale byte count for `mcc top` (10 MiB reads better than
+/// 10485760).
+fn fmt_bytes(n: i128) -> String {
+    let n = n.max(0) as u64;
+    if n >= 1 << 20 {
+        format!("{:.1}MiB", n as f64 / (1u64 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.1}KiB", n as f64 / 1024.0)
+    } else {
+        format!("{n}B")
+    }
+}
+
 /// Reads one histogram family out of the Prometheus exposition:
 /// `(count, p50, p99)` in the family's unit, quantiles resolved to the
 /// cumulative bucket bound they fall in (`u64::MAX` = overflow bucket).
@@ -884,6 +934,23 @@ fn cmd_top(args: &[String]) -> ExitCode {
             int_at(&doc, &["evictions"]),
             int_at(&doc, &["backpressure_stalls"]),
             int_at(&doc, &["frames_corrupt"]),
+        );
+        // Governance sections are schema v2; a v1 daemon just shows
+        // zeros / "-" here.
+        let ceiling = int_at(&doc, &["pressure", "mem_ceiling_bytes"]);
+        println!(
+            " memory    {}  accounted {}  ceiling {}  peak {}",
+            str_at(&doc, &["pressure", "level"]).unwrap_or("-"),
+            fmt_bytes(int_at(&doc, &["pressure", "accounted_bytes"])),
+            if ceiling == 0 { "unlimited".to_string() } else { fmt_bytes(ceiling) },
+            fmt_bytes(int_at(&doc, &["pressure", "peak_accounted_bytes"])),
+        );
+        println!(
+            " admission admitted {}  rejected {}  shed {}  throttled {}",
+            int_at(&doc, &["admission", "admitted"]),
+            int_at(&doc, &["admission", "rejected"]),
+            int_at(&doc, &["admission", "shed"]),
+            int_at(&doc, &["admission", "throttled"]),
         );
         println!(" latency (µs)       p50      p99      count");
         top_latency_row("ingest→ack", &metrics, "serve_ingest_ack_latency_us");

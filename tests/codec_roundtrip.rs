@@ -67,10 +67,8 @@ fn arb_batch() -> impl Strategy<Value = EventBatch> {
 }
 
 fn arb_opts() -> impl Strategy<Value = SessionOpts> {
-    (1..8u32, 0..4096u32, 0..2u8).prop_map(|(threads, max_buffered, durable)| SessionOpts {
-        threads,
-        max_buffered,
-        durable: durable == 1,
+    (1..8u32, 0..4096u32, 0..2u8, 0..2u8).prop_map(|(threads, max_buffered, durable, gov)| {
+        SessionOpts { threads, max_buffered, durable: durable == 1, governance: gov == 1 }
     })
 }
 

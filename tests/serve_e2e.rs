@@ -388,7 +388,13 @@ fn health_verb_reports_live_counters() {
     };
     let doc = serde_json::parse_value_str(&health).expect("health must be valid JSON");
     drop(doc);
-    assert_eq!(json_field(&health, "schema_version"), Some(1), "{health}");
+    assert_eq!(json_field(&health, "schema_version"), Some(2), "{health}");
+    assert!(health.contains("\"pressure\""), "v2 must carry the pressure section: {health}");
+    assert!(health.contains("\"admission\""), "v2 must carry the admission section: {health}");
+    assert!(
+        health.contains("\"level\":\"normal\""),
+        "an unconfigured ceiling reads as normal pressure: {health}"
+    );
     let active = json_field(&health, "active").expect("active gauge");
     assert_eq!(active, 1, "this session itself must be counted: {health}");
 
@@ -407,7 +413,7 @@ fn client_requested_cap_and_stats_json_shape() {
     let (addr, handle, join) = start_server(quick_cfg());
 
     let trace = trace_of(2, 0xdead, bugs::emulate::buggy);
-    let opts = SessionOpts { threads: 2, max_buffered: 4, durable: false };
+    let opts = SessionOpts { threads: 2, max_buffered: 4, ..SessionOpts::default() };
     let report = client::submit_tcp(&addr, &trace, &opts).expect("submit");
     assert_eq!(report.confidence, Confidence::Degraded);
     assert!(report.peak_buffered <= 4);

@@ -118,7 +118,12 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             |(version, nprocs, threads, cap, durable)| Frame::Hello {
                 version,
                 nprocs,
-                opts: SessionOpts { threads, max_buffered: cap, durable: durable == 1 },
+                opts: SessionOpts {
+                    threads,
+                    max_buffered: cap,
+                    durable: durable == 1,
+                    governance: false
+                },
             }
         ),
         (0..9u32, 0..u64::MAX, 0..3usize).prop_map(|(version, session, caps)| Frame::Welcome {
